@@ -1,0 +1,51 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench race fuzz cover experiments examples golden clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz campaigns on every fuzz target (seed corpora always run
+# under plain `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzDecideVsBruteForce -fuzztime=30s ./internal/conflict/
+	$(GO) test -fuzz=FuzzFactoredVsFull -fuzztime=30s ./internal/conflict/
+	$(GO) test -fuzz=FuzzHNFInvariants -fuzztime=30s ./internal/intmat/
+	$(GO) test -fuzz=FuzzRowNullBasis -fuzztime=30s ./internal/intmat/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/loopnest/
+
+cover:
+	$(GO) test -cover ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -e all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/matmul
+	$(GO) run ./examples/transitive
+	$(GO) run ./examples/bitlevel
+	$(GO) run ./examples/frontend
+
+# Regenerate the figure golden files after an intentional format change.
+golden:
+	$(GO) test ./internal/spacetime/ -update
+
+clean:
+	$(GO) clean ./...

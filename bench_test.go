@@ -1,0 +1,450 @@
+// Repository-level benchmark harness: one benchmark per evaluation
+// artifact of the paper (see the per-experiment index in DESIGN.md).
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks print, once per run, the quantity the paper reports
+// (total execution time, buffer counts, engine effort) via b.Log, so a
+// -v run doubles as a results table.
+package lodim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lodim/internal/array"
+	"lodim/internal/conflict"
+	"lodim/internal/intmat"
+	"lodim/internal/loopnest"
+	"lodim/internal/schedule"
+	"lodim/internal/spacetime"
+	"lodim/internal/systolic"
+	"lodim/internal/uda"
+)
+
+// BenchmarkExample51Procedure regenerates Example 5.1 (E1): the
+// time-optimal conflict-free schedule for 3-D matmul on a linear array
+// via Procedure 5.1. Paper: Π° ∈ {[1,μ,1],[μ,1,1]}, t = μ(μ+2)+1.
+func BenchmarkExample51Procedure(b *testing.B) {
+	for _, mu := range []int64{4, 8} {
+		b.Run(fmt.Sprintf("mu=%d", mu), func(b *testing.B) {
+			algo := uda.MatMul(mu)
+			s := intmat.FromRows([]int64{1, 1, -1})
+			var res *schedule.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = schedule.FindOptimal(algo, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if want := mu*(mu+2) + 1; res.Time != want {
+				b.Fatalf("t = %d, want %d", res.Time, want)
+			}
+			b.Logf("μ=%d: t=%d (paper μ(μ+2)+1=%d), Π=%v, %d candidates", mu, res.Time, mu*(mu+2)+1, res.Mapping.Pi, res.Candidates)
+		})
+	}
+}
+
+// BenchmarkExample51ILP regenerates E1 through the paper's integer
+// programming formulation (Section 5 / appendix Equation 8.1).
+func BenchmarkExample51ILP(b *testing.B) {
+	for _, mu := range []int64{4, 8} {
+		b.Run(fmt.Sprintf("mu=%d", mu), func(b *testing.B) {
+			algo := uda.MatMul(mu)
+			s := intmat.FromRows([]int64{1, 1, -1})
+			var res *schedule.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = schedule.FindOptimalILP(algo, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if want := mu*(mu+2) + 1; res.Time != want {
+				b.Fatalf("t = %d, want %d", res.Time, want)
+			}
+			b.Logf("μ=%d: t=%d, Π=%v, %d B&B nodes", mu, res.Time, res.Mapping.Pi, res.Candidates)
+		})
+	}
+}
+
+// BenchmarkExample51Buffers regenerates E2: the buffer comparison of
+// Example 5.1 — 3 buffers for the optimal design versus 4 for [23]'s
+// schedule Π' = [2,1,μ] at μ = 4.
+func BenchmarkExample51Buffers(b *testing.B) {
+	machine := array.NearestNeighbor(1)
+	algo := uda.MatMul(4)
+	s := intmat.FromRows([]int64{1, 1, -1})
+	var opt, ref *array.Decomposition
+	var err error
+	for i := 0; i < b.N; i++ {
+		opt, err = machine.Decompose(s, algo.D, intmat.Vec(1, 4, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref, err = machine.Decompose(s, algo.D, intmat.Vec(2, 1, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if opt.TotalBuffers() != 3 || ref.TotalBuffers() != 4 {
+		b.Fatalf("buffers %d/%d, want 3/4", opt.TotalBuffers(), ref.TotalBuffers())
+	}
+	b.Logf("buffers: optimal=%d, [23]=%d (paper: 3 vs 4)", opt.TotalBuffers(), ref.TotalBuffers())
+}
+
+// BenchmarkExample52Procedure regenerates E3/E4: transitive closure,
+// t = μ(μ+3)+1 versus [22]'s μ(2μ+3)+1.
+func BenchmarkExample52Procedure(b *testing.B) {
+	for _, mu := range []int64{4, 8} {
+		b.Run(fmt.Sprintf("mu=%d", mu), func(b *testing.B) {
+			algo := uda.TransitiveClosure(mu)
+			s := intmat.FromRows([]int64{0, 0, 1})
+			var res *schedule.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = schedule.FindOptimal(algo, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if want := mu*(mu+3) + 1; res.Time != want {
+				b.Fatalf("t = %d, want %d", res.Time, want)
+			}
+			b.Logf("μ=%d: t=%d vs [22] t'=%d (%.2fx)", mu, res.Time, mu*(2*mu+3)+1,
+				float64(mu*(2*mu+3)+1)/float64(res.Time))
+		})
+	}
+}
+
+// BenchmarkExample52ILP is E3 through the ILP engine (appendix Eq 8.2).
+func BenchmarkExample52ILP(b *testing.B) {
+	algo := uda.TransitiveClosure(4)
+	s := intmat.FromRows([]int64{0, 0, 1})
+	var res *schedule.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = schedule.FindOptimalILP(algo, s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Time != 29 {
+		b.Fatalf("t = %d, want 29", res.Time)
+	}
+}
+
+// BenchmarkFigure1 regenerates F1: the feasibility classification of
+// conflict vectors in a 2-D index set.
+func BenchmarkFigure1(b *testing.B) {
+	set := uda.Box(4, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := spacetime.RenderIndexSet2D(set, intmat.Vec(1, 1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := spacetime.RenderIndexSet2D(set, intmat.Vec(3, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates F2: the linear-array block diagram.
+func BenchmarkFigure2(b *testing.B) {
+	m, err := schedule.NewMapping(uda.MatMul(4), intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, 4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := array.NearestNeighbor(1).Decompose(m.S, m.Algo.D, m.Pi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spacetime.RenderLinearArray(m, dec, []string{"B", "A", "C"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Simulation regenerates F3: the full cycle-accurate
+// execution of the μ = 4 matmul design, including the product check.
+func BenchmarkFigure3Simulation(b *testing.B) {
+	mu := int64(4)
+	rng := rand.New(rand.NewSource(3))
+	n := int(mu + 1)
+	a := make([][]int64, n)
+	bb := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		bb[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = rng.Int63n(19) - 9
+			bb[i][j] = rng.Int63n(19) - 9
+		}
+	}
+	m, err := schedule.NewMapping(uda.MatMul(mu), intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, mu, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := systolic.NewMatMulProgram(mu, a, bb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := systolic.New(m, prog, array.NearestNeighbor(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var run *systolic.RunResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err = sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if run.Cycles != mu*(mu+2)+1 || len(run.Conflicts) != 0 || len(run.Collisions) != 0 {
+		b.Fatalf("cycles=%d conflicts=%d collisions=%d", run.Cycles, len(run.Conflicts), len(run.Collisions))
+	}
+	want := systolic.MatMulReference(a, bb)
+	got := systolic.CollectMatMulOutputs(mu, run.Outputs)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				b.Fatal("product mismatch")
+			}
+		}
+	}
+}
+
+// BenchmarkHNFExample regenerates X1: the Hermite normal form of the
+// Example 2.1 mapping matrix and the conflict decision.
+func BenchmarkHNFExample(b *testing.B) {
+	T := intmat.FromRows([]int64{1, 7, 1, 1}, []int64{1, 7, 1, 0})
+	set := uda.Cube(4, 6)
+	for i := 0; i < b.N; i++ {
+		res, err := conflict.Decide(T, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ConflictFree {
+			b.Fatal("Example 2.1 matrix reported conflict-free")
+		}
+	}
+}
+
+// BenchmarkProp81 regenerates X2: the closed-form null basis versus the
+// general HNF on a normalized 2×5 space mapping.
+func BenchmarkProp81(b *testing.B) {
+	s := intmat.FromRows(
+		[]int64{1, 0, 1, 0, 1},
+		[]int64{0, 1, 0, 1, 1},
+	)
+	pi := intmat.Vec(1, 1, 3, 9, 27)
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := schedule.Prop81NullVectors(s, pi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hnf", func(b *testing.B) {
+		T := s.AppendRow(pi)
+		for i := 0; i < b.N; i++ {
+			if _, err := intmat.HermiteNormalForm(T); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngines is X3/X5: the formulation-versus-enumeration
+// ablation. The ILP effort is insensitive to μ while Procedure 5.1's
+// candidate count grows with the optimum's objective value.
+func BenchmarkEngines(b *testing.B) {
+	for _, mu := range []int64{4, 8, 12} {
+		algo := uda.MatMul(mu)
+		s := intmat.FromRows([]int64{1, 1, -1})
+		b.Run(fmt.Sprintf("procedure/mu=%d", mu), func(b *testing.B) {
+			var res *schedule.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = schedule.FindOptimal(algo, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Candidates), "candidates")
+		})
+		b.Run(fmt.Sprintf("ilp/mu=%d", mu), func(b *testing.B) {
+			var res *schedule.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = schedule.FindOptimalILP(algo, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Candidates), "nodes")
+		})
+	}
+}
+
+// BenchmarkBitLevelConvolution is X4a: the 4-D bit-level convolution
+// mapped into a 2-D array (Theorem 3.1 regime).
+func BenchmarkBitLevelConvolution(b *testing.B) {
+	algo := uda.BitLevelConvolution(4, 3, 3)
+	s := intmat.FromRows(
+		[]int64{1, 0, 0, 0},
+		[]int64{0, 1, 0, 0},
+	)
+	var res *schedule.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = schedule.FindOptimal(algo, s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("Π=%v t=%d via %s", res.Mapping.Pi, res.Time, res.Conflict.Method)
+}
+
+// BenchmarkBitLevelMatMul is X4b: the 5-D bit-level matmul mapped into
+// a 2-D array (Theorem 4.7 regime).
+func BenchmarkBitLevelMatMul(b *testing.B) {
+	algo := uda.BitLevelMatMul(2, 2)
+	s := intmat.FromRows(
+		[]int64{1, 0, 0, 0, 0},
+		[]int64{0, 1, 0, 0, 0},
+	)
+	var res *schedule.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = schedule.FindOptimal(algo, s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("Π=%v t=%d via %s", res.Mapping.Pi, res.Time, res.Conflict.Method)
+}
+
+// BenchmarkDecideScaling sweeps the conflict decision across algorithm
+// dimension and codimension — the shape study for the theorem ladder:
+// k = n−1 uses the closed form, k = n−2/n−3 the certificate + fallback,
+// and the cost of the exact fallback grows with the β-lattice bounds.
+func BenchmarkDecideScaling(b *testing.B) {
+	cases := []struct {
+		name string
+		t    *intmat.Matrix
+		mu   int64
+	}{
+		{"n=3/k=2", intmat.FromRows([]int64{1, 1, -1}, []int64{1, 4, 1}), 4},
+		{"n=4/k=2", intmat.FromRows([]int64{1, 7, 1, 1}, []int64{1, 7, 1, 0}), 6},
+		{"n=5/k=3", intmat.FromRows([]int64{1, 0, 0, 0, 0}, []int64{0, 1, 0, 0, 0}, []int64{1, 1, 1, 9, 3}), 2},
+		{"n=6/k=3", intmat.FromRows(
+			[]int64{1, 0, 0, -8, 0, 0},
+			[]int64{0, 1, 0, 0, -8, 0},
+			[]int64{0, 0, 1, 0, 0, -8}), 7},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			set := uda.Cube(c.t.Cols(), c.mu)
+			for i := 0; i < b.N; i++ {
+				if _, err := conflict.Decide(c.t, set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchScaling sweeps Procedure 5.1 across problem size for
+// the matmul workload — the empirical form of the paper's complexity
+// claim that enumeration effort grows with the optimum's objective.
+func BenchmarkSearchScaling(b *testing.B) {
+	for _, mu := range []int64{2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("mu=%d", mu), func(b *testing.B) {
+			algo := uda.MatMul(mu)
+			s := intmat.FromRows([]int64{1, 1, -1})
+			var res *schedule.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = schedule.FindOptimal(algo, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Candidates), "candidates")
+		})
+	}
+}
+
+// BenchmarkFrontend measures the source-to-algorithm pipeline: parse,
+// dependence analysis and uniformization of the matmul statement.
+func BenchmarkFrontend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nest, err := loopnest.Parse("mm", []string{"i", "j", "k"}, []int64{4, 4, 4},
+			"C[i,j] = C[i,j] + A[i,k] * B[k,j]")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := loopnest.Analyze(nest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBitSerialMatMul times the full functional bit-serial
+// execution (243 computations, carry chains, product verification
+// input) on the 5-D mapping.
+func BenchmarkBitSerialMatMul(b *testing.B) {
+	algo := uda.BitLevelMatMul(2, 2)
+	m, err := schedule.NewMapping(algo,
+		intmat.FromRows([]int64{1, 0, 0, 0, 0}, []int64{0, 1, 0, 0, 0}),
+		intmat.Vec(1, 1, 1, 9, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := [][]int64{{7, 2, 5}, {1, 6, 3}, {4, 0, 7}}
+	bb := [][]int64{{3, 5, 1}, {7, 2, 0}, {6, 4, 2}}
+	prog, err := systolic.NewBitMatMulProgram(2, 2, a, bb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := systolic.New(m, prog, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactVsBruteForce quantifies the decision procedures: the
+// lattice enumeration versus the definitional brute force on the
+// Example 2.1 instance.
+func BenchmarkExactVsBruteForce(b *testing.B) {
+	T := intmat.FromRows([]int64{1, 7, 1, 1}, []int64{1, 7, 1, 0})
+	set := uda.Cube(4, 6)
+	b.Run("exact-lattice", func(b *testing.B) {
+		a, err := conflict.Analyze(T, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := a.ExactDecision(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute-force", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conflict.BruteForce(T, set)
+		}
+	})
+}

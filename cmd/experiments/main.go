@@ -1,0 +1,77 @@
+// Command experiments regenerates every evaluation artifact of the
+// paper: Examples 5.1 and 5.2 (with the comparisons against [23] and
+// [22]), Figures 1–3, the Hermite-normal-form worked examples (2.1,
+// 4.1, 4.2), Proposition 8.1, the engine ablation (Procedure 5.1 vs
+// the ILP formulation), the bit-level mapping studies, and the
+// extension results (the Theorem 4.7 necessity gap and the Section 6
+// future-work problems). Output is deterministic and available as
+// terminal text, Markdown (the format EXPERIMENTS.md quotes) or JSON.
+//
+// Usage:
+//
+//	experiments -e all
+//	experiments -e e51,fig3 -format markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lodim/internal/exp"
+)
+
+func main() {
+	var (
+		sel    = flag.String("e", "all", "comma-separated experiment names, or 'all'")
+		format = flag.String("format", "text", "output format: text, markdown, json")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *sel, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, sel, format string) error {
+	want := map[string]bool{}
+	for _, s := range strings.Split(sel, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	ran := 0
+	for _, spec := range exp.Registry() {
+		if !all && !want[spec.ID] {
+			continue
+		}
+		ran++
+		artifact, err := spec.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		var out string
+		switch format {
+		case "text":
+			out = exp.RenderText(artifact)
+		case "markdown", "md":
+			out = exp.RenderMarkdown(artifact)
+		case "json":
+			out, err = exp.RenderJSON(artifact)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q (text, markdown, json)", format)
+		}
+		fmt.Fprintln(w, out)
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: no experiment matched; known:")
+		for _, spec := range exp.Registry() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", spec.ID, spec.Title)
+		}
+		return fmt.Errorf("unknown selection %q", sel)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSelections(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	for _, c := range []struct{ sel, format string }{
+		{"e52", "text"},
+		{"fig1,fig2", "markdown"},
+		{"gap", "json"},
+	} {
+		if err := run(null, c.sel, c.format); err != nil {
+			t.Errorf("run(%q, %q): %v", c.sel, c.format, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run(null, "nope", "text"); err == nil {
+		t.Error("unknown selection accepted")
+	}
+	if err := run(null, "e52", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

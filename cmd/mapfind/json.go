@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// jsonResult is the machine-readable output of mapfind -json.
+type jsonResult struct {
+	Algorithm  string    `json:"algorithm"`
+	Dim        int       `json:"n"`
+	NumDeps    int       `json:"m"`
+	Bounds     []int64   `json:"mu"`
+	D          [][]int64 `json:"dependence_matrix"`
+	S          [][]int64 `json:"space_mapping"`
+	Pi         []int64   `json:"schedule"`
+	TotalTime  int64     `json:"total_time"`
+	Objective  int64     `json:"objective"`
+	Method     string    `json:"engine"`
+	Candidates int       `json:"candidates"`
+	Conflict   string    `json:"conflict_certificate"`
+	Machine    *jsonMach `json:"machine,omitempty"`
+}
+
+type jsonMach struct {
+	K            [][]int64 `json:"usage_matrix"`
+	Buffers      []int64   `json:"buffers"`
+	TotalBuffers int64     `json:"total_buffers"`
+	SingleHop    bool      `json:"single_hop"`
+}
+
+func matrixRows(m *intmat.Matrix) [][]int64 {
+	rows := make([][]int64, m.Rows())
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result) error {
+	out := jsonResult{
+		Algorithm:  algo.Name,
+		Dim:        algo.Dim(),
+		NumDeps:    algo.NumDeps(),
+		Bounds:     algo.Set.Upper,
+		D:          matrixRows(algo.D),
+		S:          matrixRows(res.Mapping.S),
+		Pi:         res.Mapping.Pi,
+		TotalTime:  res.Time,
+		Objective:  res.Time - 1,
+		Method:     res.Method,
+		Candidates: res.Candidates,
+		Conflict:   res.Conflict.Method,
+	}
+	if res.Decomp != nil {
+		out.Machine = &jsonMach{
+			K:            matrixRows(res.Decomp.K),
+			Buffers:      res.Decomp.Buffers,
+			TotalBuffers: res.Decomp.TotalBuffers(),
+			SingleHop:    res.Decomp.SingleHop(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

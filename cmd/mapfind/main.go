@@ -1,0 +1,164 @@
+// Command mapfind searches for the time-optimal conflict-free schedule
+// of a uniform dependence algorithm given a space mapping, using either
+// Procedure 5.1 (enumeration) or the paper's integer-programming
+// formulation.
+//
+// Usage:
+//
+//	mapfind -algo matmul -mu 4 -s "1,1,-1" [-engine procedure|ilp] [-machine mesh1]
+//	mapfind -algo transitive-closure -mu 4 -s "0,0,1" -engine ilp
+//	mapfind -algo bit-matmul -mu 3,3 -s "1,0,0,0,0;0,1,0,0,0;0,0,1,1,0"
+//
+// Instead of a named algorithm, a loop-nest statement can be analyzed
+// directly (the RAB front end), optionally expanded to bit level:
+//
+//	mapfind -stmt "C[i,j] = C[i,j] + A[i,k]*B[k,j]" -vars i,j,k -mu 4,4,4 -s "1,1,-1"
+//	mapfind -stmt "y[i] = y[i] + h[k]*x[i-k]" -vars i,k -mu 6,3 -bits 3 -s "1,0,0,0;0,1,0,0"
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lodim/internal/cli"
+	"lodim/internal/loopnest"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "matmul", "algorithm: matmul, transitive-closure, convolution, lu, sor, bit-convolution, bit-matmul, matvec, edit-distance, jacobi2d, correlation")
+		sizes    = flag.String("mu", "", "problem sizes, comma separated (defaults per algorithm)")
+		sSpec    = flag.String("s", "1,1,-1", "space mapping rows, ';' separated; 'empty:N' for a single processor")
+		engine   = flag.String("engine", "procedure", "optimizer: procedure (5.1) or ilp")
+		machine  = flag.String("machine", "none", "target machine: none, meshN, or p:<cols>")
+		maxCost  = flag.Int64("maxcost", 0, "enumeration cost ceiling (0 = default)")
+		stmt     = flag.String("stmt", "", "loop-nest statement to analyze instead of -algo")
+		vars     = flag.String("vars", "", "loop variables for -stmt, comma separated")
+		bits     = flag.Int64("bits", 0, "bit-expand the algorithm with the given bit bound (0 = word level)")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
+		algoFile = flag.String("algo-file", "", "load a custom algorithm from a JSON file (see uda JSON schema)")
+	)
+	flag.Parse()
+	if err := run2(options{
+		algo: *algoName, sizes: *sizes, s: *sSpec, engine: *engine,
+		machine: *machine, maxCost: *maxCost, stmt: *stmt, vars: *vars, bits: *bits,
+		json: *jsonOut, algoFile: *algoFile,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mapfind:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	algo, sizes, s, engine, machine string
+	maxCost                         int64
+	stmt, vars                      string
+	bits                            int64
+	json                            bool
+	algoFile                        string
+}
+
+// run keeps the original positional signature used by the tests.
+func run(algoName, sizes, sSpec, engine, machineSpec string, maxCost int64) error {
+	return run2(options{algo: algoName, sizes: sizes, s: sSpec, engine: engine, machine: machineSpec, maxCost: maxCost})
+}
+
+func run2(o options) error {
+	szs, err := cli.ParseSizes(o.sizes)
+	if err != nil {
+		return err
+	}
+	var algo *uda.Algorithm
+	if o.algoFile != "" {
+		data, err := os.ReadFile(o.algoFile)
+		if err != nil {
+			return err
+		}
+		algo = &uda.Algorithm{}
+		if err := json.Unmarshal(data, algo); err != nil {
+			return fmt.Errorf("parsing %s: %w", o.algoFile, err)
+		}
+	} else if o.stmt != "" {
+		if o.vars == "" {
+			return errors.New("-stmt requires -vars")
+		}
+		varNames := strings.Split(o.vars, ",")
+		for i := range varNames {
+			varNames[i] = strings.TrimSpace(varNames[i])
+		}
+		if len(szs) != len(varNames) {
+			return fmt.Errorf("-mu has %d sizes for %d variables", len(szs), len(varNames))
+		}
+		nest, err := loopnest.Parse("stmt", varNames, szs, o.stmt)
+		if err != nil {
+			return err
+		}
+		analysis, err := loopnest.Analyze(nest)
+		if err != nil {
+			return err
+		}
+		fmt.Println("derived dependencies:")
+		for _, d := range analysis.Dependencies {
+			fmt.Printf("  %v  (%s, from %s)\n", d.Vector, d.Kind, d.Array)
+		}
+		algo = analysis.Algorithm
+	} else {
+		algo, err = cli.Algorithm(o.algo, szs)
+		if err != nil {
+			return err
+		}
+	}
+	if o.bits > 0 {
+		algo = uda.BitExpand(algo, o.bits)
+		fmt.Printf("bit-expanded to %s: n=%d, m=%d\n", algo.Name, algo.Dim(), algo.NumDeps())
+	}
+	return solve(algo, o.s, o.engine, o.machine, o.maxCost, o.json)
+}
+
+func solve(algo *uda.Algorithm, sSpec, engine, machineSpec string, maxCost int64, jsonOut bool) error {
+	s, err := cli.ParseMatrix(sSpec)
+	if err != nil {
+		return err
+	}
+	m, err := cli.Machine(machineSpec)
+	if err != nil {
+		return err
+	}
+	opts := &schedule.Options{Machine: m, MaxCost: maxCost}
+
+	if !jsonOut {
+		fmt.Printf("algorithm: %s\n", algo)
+		fmt.Printf("space mapping S (%dx%d):\n%v\n", s.Rows(), s.Cols(), s)
+	}
+
+	var res *schedule.Result
+	switch engine {
+	case "procedure":
+		res, err = schedule.FindOptimal(algo, s, opts)
+	case "ilp":
+		res, err = schedule.FindOptimalILP(algo, s, opts)
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(os.Stdout, algo, res)
+	}
+	fmt.Printf("\noptimal schedule Π° = %v\n", res.Mapping.Pi)
+	fmt.Printf("total execution time t = %d (objective f = %d)\n", res.Time, res.Time-1)
+	fmt.Printf("conflict certificate: %s\n", res.Conflict)
+	fmt.Printf("engine: %s, candidates/nodes examined: %d\n", res.Method, res.Candidates)
+	if res.Decomp != nil {
+		fmt.Printf("machine realization: K =\n%v\nbuffers per dependence: %v (total %d), single-hop: %v\n",
+			res.Decomp.K, res.Decomp.Buffers, res.Decomp.TotalBuffers(), res.Decomp.SingleHop())
+	}
+	return nil
+}

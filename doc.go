@@ -1,0 +1,11 @@
+// Package lodim reproduces Shang & Fortes, "Time-Optimal and
+// Conflict-Free Mappings of Uniform Dependence Algorithms into Lower
+// Dimensional Processor Arrays" (ICPP 1990; Purdue TR-EE 90-29).
+//
+// Import lodim/mapping for the public API. See README.md for an
+// overview, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-versus-measured record. The root package exists to host
+// module documentation and the repository-level benchmark harness
+// (bench_test.go), which regenerates each of the paper's evaluation
+// artifacts as a testing.B benchmark.
+package lodim

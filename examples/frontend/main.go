@@ -1,0 +1,78 @@
+// The full RAB-style pipeline of the paper's introduction: a nested
+// loop program written as text is (1) analyzed and uniformized into a
+// uniform dependence algorithm, (2) expanded to bit level, and (3)
+// mapped — time-optimally and conflict-free — into a 2-dimensional
+// processor array, the exact flow the paper motivates ("maps often a
+// four or five dimensional bit level algorithm into a 2-dimensional
+// bit level processor array").
+//
+//	go run ./examples/frontend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lodim/internal/systolic"
+	"lodim/mapping"
+)
+
+func main() {
+	// Step 0: the program, as the user would write it.
+	const stmt = "C[i,j] = C[i,j] + A[i,k] * B[k,j]"
+	vars := []string{"i", "j", "k"}
+	bounds := []int64{2, 2, 2}
+	fmt.Printf("program: for %v in %v:  %s\n\n", vars, bounds, stmt)
+
+	// Step 1: dependence analysis + uniformization.
+	nest, err := mapping.ParseNest("matmul", vars, bounds, stmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := mapping.AnalyzeNest(nest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("derived dependencies:")
+	for _, d := range analysis.Dependencies {
+		fmt.Printf("  %v  (%s, from %s)\n", d.Vector, d.Kind, d.Array)
+	}
+	word := analysis.Algorithm
+	fmt.Printf("word-level algorithm: %s\nD =\n%v\n\n", word, word.D)
+
+	// Step 2: bit-level expansion (2-bit operands for a small demo).
+	bit := mapping.BitExpand(word, 2)
+	fmt.Printf("bit-level algorithm: %s (n = %d, m = %d)\nD =\n%v\n\n", bit, bit.Dim(), bit.NumDeps(), bit.D)
+
+	// Step 3: map the 5-D bit-level algorithm into a 2-D array with
+	// PE = (i, j) — the Theorem 4.7 regime (k = n−2).
+	S := mapping.FromRows(
+		[]int64{1, 0, 0, 0, 0},
+		[]int64{0, 1, 0, 0, 0},
+	)
+	res, err := mapping.FindOptimal(bit, S, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-D array mapping: Π° = %v, t = %d, certificate %s (%d candidates)\n",
+		res.Mapping.Pi, res.Time, res.Conflict.Method, res.Candidates)
+
+	// Cross-checks: brute force + cycle-accurate run.
+	if free, w := mapping.BruteForce(res.Mapping.T, bit.Set); !free {
+		log.Fatalf("conflict found by brute force: %v", w)
+	}
+	sim, err := mapping.NewSimulator(res.Mapping, &systolic.ChecksumProgram{Streams: bit.NumDeps()}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("execution: %d computations on %d PEs in %d cycles, conflicts %d\n",
+		run.Computations, run.Processors, run.Cycles, len(run.Conflicts))
+	if len(run.Conflicts) != 0 {
+		log.Fatal("conflicts observed")
+	}
+	fmt.Println("pipeline verified ✓")
+}

@@ -1,0 +1,3 @@
+module lodim
+
+go 1.22

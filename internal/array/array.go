@@ -1,0 +1,209 @@
+// Package array models the target processor array: its interconnection
+// primitives, the decomposition SD = PK required by condition 2 of
+// Definition 2.2 in Shang & Fortes (1990), buffer counts, and the
+// appendix's link-collision criterion.
+//
+// A (k−1)-dimensional array is described by its matrix of
+// interconnection primitives P ∈ Z^{(k−1)×r}: column l is a vector a
+// datum can travel along in one time unit (for the four-neighbor mesh,
+// ±e_1 and ±e_2). A space mapping S is implementable on the machine
+// when every transferred dependence SD_i decomposes into primitive
+// hops, P·K_i = S·d̄_i with usage counts k_li ≥ 0, and the hop count
+// does not exceed the time the schedule leaves for the datum to arrive:
+// Σ_l k_li ≤ Π·d̄_i (Equation 2.3).
+package array
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/ilp"
+	"lodim/internal/intmat"
+	"lodim/internal/lp"
+	"lodim/internal/rat"
+)
+
+// Machine is a fixed-interconnection processor array.
+type Machine struct {
+	// P is the matrix of interconnection primitives; column l is one
+	// primitive. The zero-column "stay" primitive need not be listed:
+	// a datum may always wait in place (buffers model the waiting).
+	P *intmat.Matrix
+}
+
+// NearestNeighbor returns the dim-dimensional mesh machine whose
+// primitives are ±e_1, …, ±e_dim — for dim = 2 exactly the paper's
+//
+//	P = [0  0 1 -1]
+//	    [1 -1 0  0]
+//
+// (column order here is +e_1, −e_1, …).
+func NearestNeighbor(dim int) *Machine {
+	p := intmat.New(dim, 2*dim)
+	for i := 0; i < dim; i++ {
+		p.Set(i, 2*i, 1)
+		p.Set(i, 2*i+1, -1)
+	}
+	return &Machine{P: p}
+}
+
+// FromPrimitives returns a machine with the given primitive columns.
+func FromPrimitives(cols ...intmat.Vector) *Machine {
+	if len(cols) == 0 {
+		panic("array: no primitives")
+	}
+	p := intmat.New(len(cols[0]), len(cols))
+	for j, c := range cols {
+		p.SetCol(j, c)
+	}
+	return &Machine{P: p}
+}
+
+// Dim returns the array dimensionality k−1.
+func (m *Machine) Dim() int { return m.P.Rows() }
+
+// Decomposition is the result of realizing SD on a machine: K solves
+// P·K = S·D with non-negative usage counts, and Buffers[i] =
+// Π·d̄_i − Σ_l k_li is the number of delay registers needed on the path
+// of dependence i.
+type Decomposition struct {
+	K       *intmat.Matrix
+	Buffers []int64
+}
+
+// ErrUnrealizable reports that some transferred dependence cannot be
+// decomposed into primitive hops within its schedule slack.
+var ErrUnrealizable = errors.New("array: space mapping not realizable on this machine")
+
+// Decompose finds, for each dependence d̄_i, non-negative integer usage
+// counts of the primitives realizing the transfer S·d̄_i in the fewest
+// hops, then checks the timing inequality Σ_l k_li ≤ Π·d̄_i. The
+// minimum-hop decomposition is found exactly with a small integer
+// program per dependence (the instances have r variables and k−1
+// equality rows — trivial for the solver).
+func (m *Machine) Decompose(s *intmat.Matrix, d *intmat.Matrix, pi intmat.Vector) (*Decomposition, error) {
+	if s.Rows() != m.Dim() {
+		return nil, fmt.Errorf("array: S has %d rows, machine is %d-dimensional", s.Rows(), m.Dim())
+	}
+	if s.Cols() != d.Rows() || len(pi) != d.Rows() {
+		return nil, fmt.Errorf("array: dimension mismatch: S %dx%d, D %dx%d, Π %d",
+			s.Rows(), s.Cols(), d.Rows(), d.Cols(), len(pi))
+	}
+	sd := s.Mul(d)
+	r := m.P.Cols()
+	K := intmat.New(r, d.Cols())
+	buffers := make([]int64, d.Cols())
+	for i := 0; i < d.Cols(); i++ {
+		target := sd.Col(i)
+		counts, hops, err := m.minHops(target)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dependence %d transfers %v: %v", ErrUnrealizable, i+1, target, err)
+		}
+		slack := pi.Dot(d.Col(i))
+		if hops > slack {
+			return nil, fmt.Errorf("%w: dependence %d needs %d hops but Π·d̄ = %d", ErrUnrealizable, i+1, hops, slack)
+		}
+		K.SetCol(i, counts)
+		buffers[i] = slack - hops
+	}
+	return &Decomposition{K: K, Buffers: buffers}, nil
+}
+
+// MinHops returns, for each dependence column of D, the minimum number
+// of primitive hops needed to realize the transfer S·d̄_i, independent
+// of any schedule. It returns ErrUnrealizable if some transfer cannot
+// be decomposed at all.
+func (m *Machine) MinHops(s *intmat.Matrix, d *intmat.Matrix) ([]int64, error) {
+	if s.Rows() != m.Dim() || s.Cols() != d.Rows() {
+		return nil, fmt.Errorf("array: dimension mismatch: S %dx%d, D %dx%d", s.Rows(), s.Cols(), d.Rows(), d.Cols())
+	}
+	sd := s.Mul(d)
+	hops := make([]int64, d.Cols())
+	for i := 0; i < d.Cols(); i++ {
+		_, h, err := m.minHops(sd.Col(i))
+		if err != nil {
+			return nil, fmt.Errorf("%w: dependence %d transfers %v: %v", ErrUnrealizable, i+1, sd.Col(i), err)
+		}
+		hops[i] = h
+	}
+	return hops, nil
+}
+
+// minHops finds non-negative integer counts x minimizing Σx subject to
+// P·x = target.
+func (m *Machine) minHops(target intmat.Vector) (intmat.Vector, int64, error) {
+	r := m.P.Cols()
+	c := make([]rat.Rat, r)
+	lower := make([]lp.Bound, r)
+	for j := 0; j < r; j++ {
+		c[j] = rat.One()
+		lower[j] = lp.BoundAt(rat.Zero())
+	}
+	prob := &lp.Problem{NumVars: r, C: c, Lower: lower}
+	for row := 0; row < m.P.Rows(); row++ {
+		coeffs := make([]rat.Rat, r)
+		for j := 0; j < r; j++ {
+			coeffs[j] = rat.FromInt(m.P.At(row, j))
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{
+			Coeffs: coeffs, Op: lp.EQ, RHS: rat.FromInt(target[row]),
+		})
+	}
+	sol, err := ilp.Solve(prob, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("no primitive decomposition (%v)", sol.Status)
+	}
+	counts := make(intmat.Vector, r)
+	for j := 0; j < r; j++ {
+		v, ok := sol.X[j].Int64()
+		if !ok {
+			return nil, 0, fmt.Errorf("non-integral decomposition %v", sol.X[j])
+		}
+		counts[j] = v
+	}
+	hops, ok := sol.Objective.Int64()
+	if !ok {
+		return nil, 0, fmt.Errorf("non-integral hop count %v", sol.Objective)
+	}
+	return counts, hops, nil
+}
+
+// SingleHop reports the appendix's link-collision criterion: when every
+// column of K has at most one non-zero entry and that entry is 1, each
+// datum uses at most one link exactly once on its way from source to
+// destination, so no two data can ever contend for a link ("data link
+// collisions occur only if data use links more than once when passing
+// from the source to the destination").
+func (d *Decomposition) SingleHop() bool {
+	for j := 0; j < d.K.Cols(); j++ {
+		nonZero := 0
+		for i := 0; i < d.K.Rows(); i++ {
+			v := d.K.At(i, j)
+			if v == 0 {
+				continue
+			}
+			if v != 1 {
+				return false
+			}
+			nonZero++
+		}
+		if nonZero > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalBuffers returns the sum of buffer registers over all
+// dependencies — the cost figure the paper compares designs by
+// ("the number of buffers is Σ(Π·d̄_i − 1) = 4" for [23] versus 3 here).
+func (d *Decomposition) TotalBuffers() int64 {
+	var s int64
+	for _, b := range d.Buffers {
+		s += b
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package array
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+func TestNearestNeighborShape(t *testing.T) {
+	m := NearestNeighbor(2)
+	if m.Dim() != 2 || m.P.Cols() != 4 {
+		t.Fatalf("P is %dx%d", m.P.Rows(), m.P.Cols())
+	}
+	// Columns must be ±e1, ±e2 in some order; check sums.
+	seen := map[string]bool{}
+	for j := 0; j < 4; j++ {
+		seen[m.P.Col(j).String()] = true
+	}
+	for _, want := range []string{"[1 0]", "[-1 0]", "[0 1]", "[0 -1]"} {
+		if !seen[want] {
+			t.Errorf("missing primitive %s; have %v", want, seen)
+		}
+	}
+}
+
+func TestFromPrimitives(t *testing.T) {
+	m := FromPrimitives(intmat.Vec(1), intmat.Vec(-1))
+	if m.Dim() != 1 || m.P.Cols() != 2 {
+		t.Fatalf("P is %dx%d", m.P.Rows(), m.P.Cols())
+	}
+}
+
+// TestExample51LinearArray reproduces the matmul design of Example 5.1:
+// S = [1,1,-1], Π = [1,μ,1] with μ = 4, linear array with primitives
+// P = [1, -1] (left-right links). SD = [1, 1, -1]; the decomposition
+// needs exactly 1 hop per dependence, and the A-link (dependence d̄_2,
+// Π·d̄_2 = μ = 4) carries 3 buffers. Total buffers = 3, versus 4 for
+// the [23] schedule Π' = [2,1,μ].
+func TestExample51LinearArray(t *testing.T) {
+	machine := NearestNeighbor(1)
+	S := intmat.FromRows([]int64{1, 1, -1})
+	algo := uda.MatMul(4)
+	pi := intmat.Vec(1, 4, 1)
+
+	dec, err := machine.Decompose(S, algo.D, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Buffers; got[0] != 0 || got[1] != 3 || got[2] != 0 {
+		t.Errorf("buffers = %v, want [0 3 0]", got)
+	}
+	if dec.TotalBuffers() != 3 {
+		t.Errorf("total buffers = %d, want 3", dec.TotalBuffers())
+	}
+	if !dec.SingleHop() {
+		t.Error("Example 5.1 design should be single-hop (collision-free)")
+	}
+	// Verify P·K = S·D.
+	if !machine.P.Mul(dec.K).Equal(S.Mul(algo.D)) {
+		t.Errorf("PK != SD:\nK=\n%v", dec.K)
+	}
+
+	// The [23] schedule needs Σ(Π'·d̄_i − 1) = 4 buffers.
+	piRef := intmat.Vec(2, 1, 4)
+	decRef, err := machine.Decompose(S, algo.D, piRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decRef.TotalBuffers() != 4 {
+		t.Errorf("[23] total buffers = %d, want 4", decRef.TotalBuffers())
+	}
+}
+
+// TestExample52TransitiveClosure: S = [0,0,1], Π = [μ+1,1,1], μ = 4.
+// P = SD = [1, 0, -1, 0, -1] realized on the bidirectional linear
+// array; every transfer is 0 or 1 hop.
+func TestExample52TransitiveClosure(t *testing.T) {
+	machine := NearestNeighbor(1)
+	S := intmat.FromRows([]int64{0, 0, 1})
+	algo := uda.TransitiveClosure(4)
+	pi := intmat.Vec(5, 1, 1)
+
+	dec, err := machine.Decompose(S, algo.D, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !machine.P.Mul(dec.K).Equal(S.Mul(algo.D)) {
+		t.Error("PK != SD")
+	}
+	if !dec.SingleHop() {
+		t.Error("Example 5.2 design should be single-hop")
+	}
+	// Transfers: SD = [1,0,-1,0,-1]; hop counts 1,0,1,0,1. Slacks
+	// Π·d̄: d1=(0,0,1)→1; d2=(0,1,0)→1; d3=(1,-1,-1)→3; d4=(1,-1,0)→4;
+	// d5=(1,0,-1)→4. Buffers = slack − hops = [0,1,2,4,3].
+	want := []int64{0, 1, 2, 4, 3}
+	for i, b := range dec.Buffers {
+		if b != want[i] {
+			t.Errorf("buffer[%d] = %d, want %d", i, b, want[i])
+		}
+	}
+}
+
+func TestDecomposeMultiHop(t *testing.T) {
+	// A transfer of (2,1) on the 2-D mesh needs 3 hops.
+	machine := NearestNeighbor(2)
+	S := intmat.FromRows([]int64{2, 0}, []int64{1, 0})
+	D := intmat.FromRows([]int64{1, 0}, []int64{0, 1})
+	pi := intmat.Vec(3, 1)
+	dec, err := machine.Decompose(S, D, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0 of K must sum to 3 with buffer 0.
+	var hops int64
+	for i := 0; i < dec.K.Rows(); i++ {
+		hops += dec.K.At(i, 0)
+	}
+	if hops != 3 || dec.Buffers[0] != 0 {
+		t.Errorf("hops = %d buffers = %d, want 3 and 0", hops, dec.Buffers[0])
+	}
+	if dec.SingleHop() {
+		t.Error("multi-hop decomposition reported single-hop")
+	}
+}
+
+func TestDecomposeTimingViolation(t *testing.T) {
+	// Same transfer but the schedule leaves only 2 time units.
+	machine := NearestNeighbor(2)
+	S := intmat.FromRows([]int64{2, 0}, []int64{1, 0})
+	D := intmat.FromRows([]int64{1, 0}, []int64{0, 1})
+	pi := intmat.Vec(2, 1)
+	if _, err := machine.Decompose(S, D, pi); !errors.Is(err, ErrUnrealizable) {
+		t.Errorf("err = %v, want ErrUnrealizable", err)
+	}
+}
+
+func TestDecomposeImpossibleTransfer(t *testing.T) {
+	// A machine with only the +e1 primitive cannot realize a −1 transfer.
+	machine := FromPrimitives(intmat.Vec(1))
+	S := intmat.FromRows([]int64{-1})
+	D := intmat.FromRows([]int64{1})
+	pi := intmat.Vec(10)
+	if _, err := machine.Decompose(S, D, pi); !errors.Is(err, ErrUnrealizable) {
+		t.Errorf("err = %v, want ErrUnrealizable", err)
+	}
+}
+
+func TestDecomposeShapeErrors(t *testing.T) {
+	machine := NearestNeighbor(2)
+	S1 := intmat.FromRows([]int64{1, 0}) // 1 row, machine wants 2
+	D := intmat.Identity(2)
+	if _, err := machine.Decompose(S1, D, intmat.Vec(1, 1)); err == nil {
+		t.Error("row-mismatched S accepted")
+	}
+	S2 := intmat.FromRows([]int64{1, 0, 0}, []int64{0, 1, 0})
+	if _, err := machine.Decompose(S2, D, intmat.Vec(1, 1)); err == nil {
+		t.Error("column-mismatched S accepted")
+	}
+}
+
+// TestDecomposePropertyRandom: on random meshes, space mappings and
+// dependence matrices, any successful decomposition satisfies P·K = SD
+// with non-negative counts, hop counts equal to the L1 norm of the
+// transfer (the mesh's exact shortest path), and buffers equal to the
+// slack.
+func TestDecomposePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(2)
+		machine := NearestNeighbor(dim)
+		n := 2 + rng.Intn(2)
+		m := 1 + rng.Intn(3)
+		s := intmat.New(dim, n)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < n; j++ {
+				s.Set(i, j, rng.Int63n(5)-2)
+			}
+		}
+		d := intmat.New(n, m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				d.Set(i, j, rng.Int63n(3)-1)
+			}
+		}
+		// A generous schedule so timing never blocks the property.
+		pi := make(intmat.Vector, n)
+		for i := range pi {
+			pi[i] = 100
+		}
+		dec, err := machine.Decompose(s, d, pi)
+		if err != nil {
+			continue // timing can still fail when Π·d̄ ≤ 0
+		}
+		if !machine.P.Mul(dec.K).Equal(s.Mul(d)) {
+			t.Fatalf("PK != SD for S=\n%v D=\n%v", s, d)
+		}
+		sd := s.Mul(d)
+		for i := 0; i < m; i++ {
+			var hops int64
+			for l := 0; l < dec.K.Rows(); l++ {
+				v := dec.K.At(l, i)
+				if v < 0 {
+					t.Fatalf("negative usage count K[%d][%d] = %d", l, i, v)
+				}
+				hops += v
+			}
+			if want := sd.Col(i).AbsSum(); hops != want {
+				t.Fatalf("hops for dependence %d = %d, want L1 = %d", i, hops, want)
+			}
+			if dec.Buffers[i] != pi.Dot(d.Col(i))-hops {
+				t.Fatalf("buffers[%d] = %d, want slack %d", i, dec.Buffers[i], pi.Dot(d.Col(i))-hops)
+			}
+		}
+	}
+}
+
+func TestZeroTransferNeedsNoHops(t *testing.T) {
+	machine := NearestNeighbor(1)
+	S := intmat.FromRows([]int64{0, 0, 1})
+	D := intmat.FromRows([]int64{1, 0, 0}, []int64{0, 1, 0}, []int64{0, 0, 1})
+	pi := intmat.Vec(1, 1, 1)
+	dec, err := machine.Decompose(S, D, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1, d2 transfer 0 → all counts zero, buffers = Π·d̄ = 1.
+	if dec.Buffers[0] != 1 || dec.Buffers[1] != 1 || dec.Buffers[2] != 0 {
+		t.Errorf("buffers = %v, want [1 1 0]", dec.Buffers)
+	}
+}

@@ -1,0 +1,132 @@
+// Package cli holds shared helpers for the command-line tools:
+// parsing matrices, vectors and algorithm specifications from flags.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// ParseVector parses "1,2,-3" into a Vector.
+func ParseVector(s string) (intmat.Vector, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cli: empty vector")
+	}
+	parts := strings.Split(s, ",")
+	v := make(intmat.Vector, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad vector entry %q: %v", p, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// ParseMatrix parses "1,1,-1;0,1,0" (semicolon-separated rows) into a
+// Matrix. The special value "empty:N" denotes the 0×N matrix (a space
+// mapping onto a single processor).
+func ParseMatrix(s string) (*intmat.Matrix, error) {
+	s = strings.TrimSpace(s)
+	if cols, ok := strings.CutPrefix(s, "empty:"); ok {
+		n, err := strconv.Atoi(cols)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cli: bad empty matrix spec %q", s)
+		}
+		return intmat.New(0, n), nil
+	}
+	rowSpecs := strings.Split(s, ";")
+	rows := make([][]int64, len(rowSpecs))
+	for i, rs := range rowSpecs {
+		v, err := ParseVector(rs)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && len(v) != len(rows[0]) {
+			return nil, fmt.Errorf("cli: ragged matrix: row %d has %d entries, row 1 has %d", i+1, len(v), len(rows[0]))
+		}
+		rows[i] = v
+	}
+	return intmat.FromRows(rows...), nil
+}
+
+// Algorithm instantiates a named library algorithm at the given sizes.
+// Sizes beyond what the constructor needs are ignored; missing sizes
+// default to 4 (and 3 for bit widths).
+func Algorithm(name string, sizes []int64) (*uda.Algorithm, error) {
+	get := func(i int, def int64) int64 {
+		if i < len(sizes) && sizes[i] > 0 {
+			return sizes[i]
+		}
+		return def
+	}
+	switch name {
+	case "matmul":
+		return uda.MatMul(get(0, 4)), nil
+	case "transitive-closure", "tc":
+		return uda.TransitiveClosure(get(0, 4)), nil
+	case "convolution", "conv":
+		return uda.Convolution(get(0, 6), get(1, 3)), nil
+	case "lu":
+		return uda.LU(get(0, 4)), nil
+	case "sor":
+		return uda.SOR(get(0, 5), get(1, 5)), nil
+	case "bit-convolution", "bitconv":
+		return uda.BitLevelConvolution(get(0, 4), get(1, 3), get(2, 3)), nil
+	case "bit-matmul", "bitmm":
+		return uda.BitLevelMatMul(get(0, 3), get(1, 3)), nil
+	case "matvec":
+		return uda.MatVec(get(0, 4), get(1, 4)), nil
+	case "edit-distance", "edit":
+		return uda.EditDistance(get(0, 5), get(1, 5)), nil
+	case "jacobi2d", "jacobi":
+		return uda.Jacobi2D(get(0, 4), get(1, 4), get(2, 4)), nil
+	case "correlation", "corr":
+		return uda.Correlation(get(0, 6), get(1, 3)), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown algorithm %q (have: matmul, transitive-closure, convolution, lu, sor, bit-convolution, bit-matmul, matvec, edit-distance, jacobi2d, correlation)", name)
+	}
+}
+
+// Machine parses a machine spec: "none", "mesh1", "mesh2", … or an
+// explicit primitive list "p:1;-1" (columns semicolon-separated).
+func Machine(spec string) (*array.Machine, error) {
+	spec = strings.TrimSpace(spec)
+	switch {
+	case spec == "" || spec == "none":
+		return nil, nil
+	case strings.HasPrefix(spec, "mesh"):
+		d, err := strconv.Atoi(spec[len("mesh"):])
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("cli: bad machine spec %q", spec)
+		}
+		return array.NearestNeighbor(d), nil
+	case strings.HasPrefix(spec, "p:"):
+		colSpecs := strings.Split(spec[2:], ";")
+		cols := make([]intmat.Vector, len(colSpecs))
+		for i, cs := range colSpecs {
+			v, err := ParseVector(cs)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = v
+		}
+		return array.FromPrimitives(cols...), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown machine spec %q (use none, meshN, or p:...)", spec)
+	}
+}
+
+// ParseSizes parses "4" or "4,3,3" into a size list.
+func ParseSizes(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	return ParseVector(s)
+}

@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"testing"
+
+	"lodim/internal/intmat"
+)
+
+func TestParseVector(t *testing.T) {
+	v, err := ParseVector("1, -2,3")
+	if err != nil || !v.Equal(intmat.Vec(1, -2, 3)) {
+		t.Errorf("got %v, %v", v, err)
+	}
+	if _, err := ParseVector(""); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ParseVector("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestParseMatrix(t *testing.T) {
+	m, err := ParseMatrix("1,1,-1;0,1,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.At(0, 2) != -1 {
+		t.Errorf("m = %v", m)
+	}
+	e, err := ParseMatrix("empty:3")
+	if err != nil || e.Rows() != 0 || e.Cols() != 3 {
+		t.Errorf("empty: %v, %v", e, err)
+	}
+	if _, err := ParseMatrix("empty:x"); err == nil {
+		t.Error("bad empty spec accepted")
+	}
+	if _, err := ParseMatrix("1,2;3"); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestAlgorithmLookup(t *testing.T) {
+	cases := map[string]int{
+		"matmul": 3, "tc": 3, "transitive-closure": 3,
+		"conv": 2, "convolution": 2, "lu": 3, "sor": 2,
+		"bitconv": 4, "bit-convolution": 4, "bitmm": 5, "bit-matmul": 5,
+		"matvec": 2, "edit": 2, "edit-distance": 2,
+		"jacobi": 3, "jacobi2d": 3, "corr": 2, "correlation": 2,
+	}
+	for name, dim := range cases {
+		a, err := Algorithm(name, nil)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if a.Dim() != dim {
+			t.Errorf("%s: dim %d, want %d", name, a.Dim(), dim)
+		}
+	}
+	if _, err := Algorithm("nope", nil); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Explicit sizes.
+	a, err := Algorithm("matmul", []int64{7})
+	if err != nil || a.Set.Upper[0] != 7 {
+		t.Errorf("sized matmul: %v, %v", a, err)
+	}
+}
+
+func TestMachineSpec(t *testing.T) {
+	if m, err := Machine("none"); err != nil || m != nil {
+		t.Errorf("none: %v, %v", m, err)
+	}
+	if m, err := Machine(""); err != nil || m != nil {
+		t.Errorf("empty: %v, %v", m, err)
+	}
+	m, err := Machine("mesh2")
+	if err != nil || m.Dim() != 2 {
+		t.Errorf("mesh2: %v", err)
+	}
+	p, err := Machine("p:1;-1")
+	if err != nil || p.Dim() != 1 || p.P.Cols() != 2 {
+		t.Errorf("p:1;-1: %v", err)
+	}
+	if _, err := Machine("meshX"); err == nil {
+		t.Error("meshX accepted")
+	}
+	if _, err := Machine("bogus"); err == nil {
+		t.Error("bogus accepted")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	s, err := ParseSizes("4,3")
+	if err != nil || len(s) != 2 || s[1] != 3 {
+		t.Errorf("sizes: %v, %v", s, err)
+	}
+	s2, err := ParseSizes("")
+	if err != nil || s2 != nil {
+		t.Errorf("empty sizes: %v, %v", s2, err)
+	}
+}

@@ -1,0 +1,96 @@
+package conflict
+
+import (
+	"sort"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// BruteForce decides conflict-freeness by direct construction: it maps
+// every index point through T and reports the first pair of distinct
+// points with identical images. It is the definitional ground truth
+// (Definition 2.2, condition 3) used to validate every closed-form
+// criterion, and is exponential in the index-set size — use only on
+// small sets.
+//
+// The returned witness is the canonicalized difference of a colliding
+// pair (a non-feasible conflict vector), nil when conflict-free.
+func BruteForce(t *intmat.Matrix, set uda.IndexSet) (conflictFree bool, witness intmat.Vector) {
+	seen := make(map[string]intmat.Vector, set.Size())
+	conflictFree = true
+	set.Each(func(j intmat.Vector) bool {
+		img := t.MulVec(j).String()
+		if prev, ok := seen[img]; ok {
+			conflictFree = false
+			witness = j.Sub(prev).Canonical()
+			return false
+		}
+		seen[img] = j
+		return true
+	})
+	return conflictFree, witness
+}
+
+// ClassInfo summarizes the collisions attributable to one primitive
+// conflict direction.
+type ClassInfo struct {
+	// Vector is the canonical non-feasible conflict vector of the class.
+	Vector intmat.Vector
+	// Pairs counts ordered-free colliding point pairs (j, j+c·Vector).
+	Pairs int
+}
+
+// Classes groups every colliding point pair of the mapping by the
+// canonical primitive vector of their difference — a collision census
+// per conflict class. Conflict-free mappings return an empty slice. The
+// result is sorted by descending pair count, ties by vector string, so
+// the dominant conflict direction comes first; it quantifies *how*
+// conflicting a rejected mapping is, which the optimizers' diagnostics
+// and the experiment reports use.
+func Classes(t *intmat.Matrix, set uda.IndexSet) []ClassInfo {
+	counts := map[string]*ClassInfo{}
+	for _, group := range BruteForceCollisions(t, set) {
+		for a := 0; a < len(group); a++ {
+			for b := a + 1; b < len(group); b++ {
+				key := group[b].Sub(group[a]).Canonical()
+				ci, ok := counts[key.String()]
+				if !ok {
+					ci = &ClassInfo{Vector: key}
+					counts[key.String()] = ci
+				}
+				ci.Pairs++
+			}
+		}
+	}
+	out := make([]ClassInfo, 0, len(counts))
+	for _, ci := range counts {
+		out = append(out, *ci)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Pairs != out[b].Pairs {
+			return out[a].Pairs > out[b].Pairs
+		}
+		return out[a].Vector.String() < out[b].Vector.String()
+	})
+	return out
+}
+
+// BruteForceCollisions returns every group of index points that share a
+// processor-and-time image under T, keyed by image. Used by the
+// simulator tests and the figure generators to show concrete colliding
+// computations.
+func BruteForceCollisions(t *intmat.Matrix, set uda.IndexSet) map[string][]intmat.Vector {
+	groups := make(map[string][]intmat.Vector)
+	set.Each(func(j intmat.Vector) bool {
+		img := t.MulVec(j).String()
+		groups[img] = append(groups[img], j)
+		return true
+	})
+	for k, g := range groups {
+		if len(g) < 2 {
+			delete(groups, k)
+		}
+	}
+	return groups
+}

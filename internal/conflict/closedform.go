@@ -1,0 +1,119 @@
+package conflict
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/intmat"
+)
+
+// This file implements the k = n−1 special case of Section 3: a mapping
+// matrix T ∈ Z^{(n−1)×n} with rank n−1 has exactly one conflict vector
+// (up to the paper's normalization: primitive, first non-zero entry
+// positive), computable in closed form.
+
+// ErrNotCodimensionOne is returned when the closed form is applied to a
+// matrix that is not (n−1)×n.
+var ErrNotCodimensionOne = errors.New("conflict: matrix is not (n-1)×n")
+
+// UniqueConflictVector returns the unique (canonicalized) conflict
+// vector of a rank-(n−1) matrix T ∈ Z^{(n−1)×n}. It is computed from
+// the signed maximal minors of T:
+//
+//	γ_i = (−1)^i · det(T with column i removed)
+//
+// which spans the one-dimensional null space; the result is then made
+// primitive with positive leading entry (the λ normalization of
+// Equation 3.2). ErrRank is returned when every maximal minor vanishes
+// (rank < n−1), matching Theorem 3.1's rank criterion: rank(T) = n−1
+// iff some f_i ≠ 0.
+func UniqueConflictVector(t *intmat.Matrix) (intmat.Vector, error) {
+	n := t.Cols()
+	if t.Rows() != n-1 {
+		return nil, fmt.Errorf("%w: got %dx%d", ErrNotCodimensionOne, t.Rows(), t.Cols())
+	}
+	gamma := intmat.NewVector(n)
+	cols := make([]int, 0, n-1)
+	rows := make([]int, n-1)
+	for i := range rows {
+		rows[i] = i
+	}
+	for i := 0; i < n; i++ {
+		cols = cols[:0]
+		for c := 0; c < n; c++ {
+			if c != i {
+				cols = append(cols, c)
+			}
+		}
+		d := t.Submatrix(rows, cols).Det()
+		if i%2 == 1 {
+			d = -d
+		}
+		gamma[i] = d
+	}
+	if gamma.IsZero() {
+		return nil, ErrRank
+	}
+	return gamma.Canonical(), nil
+}
+
+// ConflictVectorViaAdjugate implements Equation 3.2 literally: with
+// T = [B, b̄] and B the leading (n−1)×(n−1) block,
+//
+//	γ = λ·[ −adj(B)·b̄ ; det B ].
+//
+// It requires det B ≠ 0 (the paper's "without loss of generality"
+// arrangement) and returns the canonicalized vector; it exists to
+// cross-validate UniqueConflictVector against the paper's own formula.
+func ConflictVectorViaAdjugate(t *intmat.Matrix) (intmat.Vector, error) {
+	n := t.Cols()
+	if t.Rows() != n-1 {
+		return nil, fmt.Errorf("%w: got %dx%d", ErrNotCodimensionOne, t.Rows(), t.Cols())
+	}
+	rows := make([]int, n-1)
+	cols := make([]int, n-1)
+	for i := range rows {
+		rows[i], cols[i] = i, i
+	}
+	B := t.Submatrix(rows, cols)
+	if B.Det() == 0 {
+		return nil, fmt.Errorf("conflict: leading block B is singular; Equation 3.2 requires rank(B) = n-1")
+	}
+	b := t.Col(n - 1)
+	top := B.Adjugate().MulVec(b).Neg()
+	gamma := append(top.Clone(), B.Det())
+	return intmat.Vector(gamma).Canonical(), nil
+}
+
+// LinearForms returns the functions f_1, …, f_n of Equation 3.2
+// evaluated for the given T = [S; Π]: f_i is the (signed) determinant
+// of T with column i removed, which Proposition 3.2 shows is linear in
+// the entries of Π when S is fixed. The schedule optimizer uses the
+// symbolic version (internal/schedule); this numeric evaluation backs
+// its tests.
+func LinearForms(t *intmat.Matrix) (intmat.Vector, error) {
+	n := t.Cols()
+	if t.Rows() != n-1 {
+		return nil, fmt.Errorf("%w: got %dx%d", ErrNotCodimensionOne, t.Rows(), t.Cols())
+	}
+	gamma := intmat.NewVector(n)
+	rows := make([]int, n-1)
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		cols = cols[:0]
+		for c := 0; c < n; c++ {
+			if c != i {
+				cols = append(cols, c)
+			}
+		}
+		d := t.Submatrix(rows, cols).Det()
+		if i%2 == 1 {
+			d = -d
+		}
+		gamma[i] = d
+	}
+	return gamma, nil
+}

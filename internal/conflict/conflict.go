@@ -1,0 +1,186 @@
+// Package conflict implements the computational-conflict theory of
+// Shang & Fortes (1990): conflict vectors of a mapping matrix, the
+// feasibility criterion for constant-bounded index sets, the closed-form
+// unique conflict vector of the k = n−1 case, the Hermite-normal-form
+// representation of all conflict vectors, and the necessary and/or
+// sufficient conflict-freeness conditions of Theorems 4.3–4.8, together
+// with an exact decision procedure valid for every k and a brute-force
+// ground truth used for validation.
+//
+// Terminology follows the paper (Definition 2.3): for a mapping matrix
+// T ∈ Z^{k×n} with rank k < n, a conflict vector is an integral vector
+// γ ≠ 0 with Tγ = 0 and gcd(γ) = 1. The vector is feasible when no two
+// points of the index set differ by γ; T is conflict-free when every
+// conflict vector is feasible. Two computations mapped by a
+// non-conflict-free T collide in the same processor at the same time.
+package conflict
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// Feasible reports whether γ is a feasible conflict vector for the
+// constant-bounded index set — Theorem 2.2: γ is feasible iff some
+// entry satisfies |γ_i| > μ_i.
+func Feasible(set uda.IndexSet, gamma intmat.Vector) bool {
+	if len(gamma) != set.Dim() {
+		panic(fmt.Sprintf("conflict: Feasible dimension mismatch %d vs %d", len(gamma), set.Dim()))
+	}
+	for i, g := range gamma {
+		a := g
+		if a < 0 {
+			a = -a
+		}
+		if a > set.Upper[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Analysis bundles a mapping matrix with an index set and the Hermite
+// normal form of the matrix, giving access to the conflict-vector
+// representation of Theorem 4.2.
+type Analysis struct {
+	T   *intmat.Matrix
+	Set uda.IndexSet
+	H   *intmat.HNF
+}
+
+// ErrRank reports that the mapping matrix violates the rank(T) = k
+// requirement of Definition 2.2 (condition 4).
+var ErrRank = errors.New("conflict: mapping matrix does not have full row rank")
+
+// Analyze validates T against the index set and computes its Hermite
+// normal form. T must have n = set.Dim() columns and full row rank.
+func Analyze(t *intmat.Matrix, set uda.IndexSet) (*Analysis, error) {
+	if t.Cols() != set.Dim() {
+		return nil, fmt.Errorf("conflict: T has %d columns, index set dimension is %d", t.Cols(), set.Dim())
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := intmat.HermiteNormalForm(t)
+	if err != nil {
+		if errors.Is(err, intmat.ErrRankDeficient) {
+			return nil, ErrRank
+		}
+		return nil, err
+	}
+	return &Analysis{T: t, Set: set, H: h}, nil
+}
+
+// K returns the number of rows of T (the mapped array has K−1
+// dimensions).
+func (a *Analysis) K() int { return a.T.Rows() }
+
+// N returns the algorithm dimension.
+func (a *Analysis) N() int { return a.T.Cols() }
+
+// NullBasis returns the basis u_{k+1}, …, u_n of the conflict-vector
+// lattice (the trailing columns of the HNF multiplier U).
+func (a *Analysis) NullBasis() []intmat.Vector { return a.H.NullBasis() }
+
+// Combine returns the conflict-lattice vector γ = Σ β_t·u_{k+t}
+// corresponding to the free coordinates β (Theorem 4.2, Equation 4.3).
+func (a *Analysis) Combine(beta intmat.Vector) intmat.Vector {
+	basis := a.NullBasis()
+	if len(beta) != len(basis) {
+		panic(fmt.Sprintf("conflict: Combine got %d coordinates, want %d", len(beta), len(basis)))
+	}
+	gamma := intmat.NewVector(a.N())
+	for t, b := range basis {
+		gamma = gamma.Add(b.Scale(beta[t]))
+	}
+	return gamma
+}
+
+// Result is the outcome of a conflict-freeness decision.
+type Result struct {
+	ConflictFree bool
+	// Witness is a non-feasible conflict vector when ConflictFree is
+	// false and the deciding method produces one (the exact procedure
+	// and the brute force always do; closed-form theorem checks may
+	// leave it nil).
+	Witness intmat.Vector
+	// Method names the deciding criterion, e.g. "theorem-3.1",
+	// "theorem-4.7", "exact-enumeration".
+	Method string
+}
+
+func (r Result) String() string {
+	if r.ConflictFree {
+		return fmt.Sprintf("conflict-free (%s)", r.Method)
+	}
+	if r.Witness != nil {
+		return fmt.Sprintf("has conflicts, witness %v (%s)", r.Witness, r.Method)
+	}
+	return fmt.Sprintf("has conflicts (%s)", r.Method)
+}
+
+// Decide determines conflict-freeness of T over the index set using the
+// strongest applicable criterion from the paper:
+//
+//	k = n   — rank(T) = n makes τ injective on Z^n: always conflict-free.
+//	k = n−1 — Theorem 3.1: the unique conflict vector decides (exact in
+//	          both directions).
+//	k = n−2 — Theorem 4.7 as a fast path confirming conflict-freeness.
+//	k = n−3 — Theorem 4.8, likewise.
+//	any k   — the exact bounded-lattice enumeration as the fallback.
+//
+// The paper states Theorems 4.7 and 4.8 as necessary and sufficient,
+// but the necessity direction has a gap: when a row of the null basis
+// has mixed signs, |u_{i,n−1} + u_{i,n}| can exceed μ_i even though the
+// row fails the same-sign requirement, so a matrix can be conflict-free
+// with condition (1) violated (see the package tests, which exhibit
+// such matrices). Decide therefore treats the theorem conditions as
+// sufficient certificates and resolves the remaining cases with the
+// exact enumeration, keeping the overall decision exact in both
+// directions.
+func Decide(t *intmat.Matrix, set uda.IndexSet) (Result, error) {
+	a, err := Analyze(t, set)
+	if err != nil {
+		return Result{}, err
+	}
+	k, n := a.K(), a.N()
+	switch {
+	case k >= n:
+		return Result{ConflictFree: true, Method: "full-rank-injective"}, nil
+	case k == n-1:
+		gamma, err := UniqueConflictVector(t)
+		if err != nil {
+			return Result{}, err
+		}
+		if Feasible(set, gamma) {
+			return Result{ConflictFree: true, Method: "theorem-3.1"}, nil
+		}
+		return Result{ConflictFree: false, Witness: gamma, Method: "theorem-3.1"}, nil
+	case k == n-2:
+		if a.Theorem47() {
+			return Result{ConflictFree: true, Method: "theorem-4.7"}, nil
+		}
+		return a.exactResult("exact-after-4.7")
+	case k == n-3:
+		if a.Theorem48() {
+			return Result{ConflictFree: true, Method: "theorem-4.8"}, nil
+		}
+		return a.exactResult("exact-after-4.8")
+	default:
+		if a.Theorem45() {
+			return Result{ConflictFree: true, Method: "theorem-4.5"}, nil
+		}
+		return a.exactResult("exact-enumeration")
+	}
+}
+
+func (a *Analysis) exactResult(method string) (Result, error) {
+	free, witness, err := a.ExactDecision()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{ConflictFree: free, Witness: witness, Method: method}, nil
+}

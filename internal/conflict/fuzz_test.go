@@ -1,0 +1,89 @@
+package conflict
+
+import (
+	"errors"
+	"testing"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// FuzzDecideVsBruteForce feeds arbitrary 2×4 mapping matrices and box
+// bounds to the full decision ladder and cross-checks the definitional
+// ground truth. Run with `go test -fuzz FuzzDecideVsBruteForce` for a
+// campaign; the seed corpus runs on every `go test`.
+func FuzzDecideVsBruteForce(f *testing.F) {
+	f.Add(int8(1), int8(7), int8(1), int8(1), int8(1), int8(7), int8(1), int8(0), uint8(2))
+	f.Add(int8(1), int8(0), int8(-10), int8(2), int8(0), int8(1), int8(2), int8(-10), uint8(3))
+	f.Add(int8(1), int8(1), int8(-1), int8(0), int8(1), int8(4), int8(1), int8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i int8, muRaw uint8) {
+		// Clamp entries: huge coefficients make the enumeration bounds
+		// astronomically loose without exercising anything new.
+		clamp := func(x int8) int64 { return int64(x % 10) }
+		T := intmat.FromRows(
+			[]int64{clamp(a), clamp(b), clamp(c), clamp(d)},
+			[]int64{clamp(e), clamp(g), clamp(h), clamp(i)},
+		)
+		if T.Rank() != 2 {
+			return
+		}
+		mu := int64(muRaw%3) + 1
+		set := uda.Cube(4, mu)
+		res, err := Decide(T, set)
+		if errors.Is(err, ErrBudget) {
+			return // resource bound, not a correctness property
+		}
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		free, witness := BruteForce(T, set)
+		if res.ConflictFree != free {
+			t.Fatalf("Decide=%v (%s) but brute force=%v for\n%v μ=%d (bf witness %v)",
+				res.ConflictFree, res.Method, free, T, mu, witness)
+		}
+		if !res.ConflictFree && res.Witness != nil {
+			if !T.MulVec(res.Witness).IsZero() {
+				t.Fatalf("witness %v not in null space", res.Witness)
+			}
+			if Feasible(set, res.Witness) {
+				t.Fatalf("witness %v is feasible", res.Witness)
+			}
+		}
+	})
+}
+
+// FuzzFactoredVsFull cross-checks the factored SpaceAnalyzer against
+// the full decision on arbitrary 1×3 space mappings and schedules.
+func FuzzFactoredVsFull(f *testing.F) {
+	f.Add(int8(1), int8(1), int8(-1), int8(1), int8(4), int8(1), uint8(4))
+	f.Add(int8(0), int8(0), int8(1), int8(5), int8(1), int8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, s1, s2, s3, p1, p2, p3 int8, muRaw uint8) {
+		S := intmat.FromRows([]int64{int64(s1), int64(s2), int64(s3)})
+		if S.Rank() != 1 {
+			return
+		}
+		mu := int64(muRaw%4) + 1
+		set := uda.Cube(3, mu)
+		sa, err := NewSpaceAnalyzer(S, set)
+		if err != nil {
+			t.Fatalf("NewSpaceAnalyzer: %v", err)
+		}
+		pi := intmat.Vec(int64(p1), int64(p2), int64(p3))
+		T := S.AppendRow(pi)
+		if T.Rank() != 2 {
+			return
+		}
+		fast, err := sa.Decide(pi)
+		if err != nil {
+			t.Fatalf("factored: %v", err)
+		}
+		slow, err := Decide(T, set)
+		if err != nil {
+			t.Fatalf("full: %v", err)
+		}
+		if fast.ConflictFree != slow.ConflictFree {
+			t.Fatalf("factored=%v full=%v for S=%v Π=%v μ=%d",
+				fast.ConflictFree, slow.ConflictFree, S.Row(0), pi, mu)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package exp defines the evaluation artifacts of the reproduction as
+// typed, renderable values: each experiment produces an Artifact made
+// of tables, preformatted figure blocks and notes, which the renderers
+// emit as plain text, Markdown (the format EXPERIMENTS.md quotes) or
+// JSON. The cmd/experiments tool is a thin shell over this package, so
+// every number in the documentation is regenerable and testable.
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is a column-aligned result table.
+type Table struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Artifact is one experiment's complete output.
+type Artifact struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Tables []Table `json:"tables,omitempty"`
+	// Figures are preformatted monospace blocks (ASCII diagrams).
+	Figures []string `json:"figures,omitempty"`
+	// Notes are prose observations, one paragraph per entry.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Spec names a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() (*Artifact, error)
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Spec {
+	return []Spec{
+		{"e51", "Example 5.1 — time-optimal matmul on a linear array", E51},
+		{"e52", "Example 5.2 — time-optimal transitive closure on a linear array", E52},
+		{"fig1", "Figure 1 — feasible vs non-feasible conflict vectors", Fig1},
+		{"fig2", "Figure 2 — linear array block diagram for matmul", Fig2},
+		{"fig3", "Figure 3 — space-time execution of matmul (μ = 4)", Fig3},
+		{"hnf", "Examples 2.1/4.1/4.2 — Hermite normal form and conflict vectors", HNFExample},
+		{"prop81", "Proposition 8.1 — closed-form U(Π) for T ∈ Z^{3×5}", Prop81},
+		{"engines", "Ablation — Procedure 5.1 vs ILP formulation", Engines},
+		{"bitlevel", "Bit-level studies — 4-D convolution and 5-D matmul into 2-D arrays", BitLevel},
+		{"gap", "Theorem 4.7 necessity gap — conflict-free matrix failing condition (1)", Gap},
+		{"space", "Problems 6.1/6.2 — space-optimal and joint mappings (paper future work)", Space},
+	}
+}
+
+// Lookup returns the spec with the given ID.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// RenderText formats an artifact for terminals.
+func RenderText(a *Artifact) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s ====\n", a.ID, a.Title)
+	for _, t := range a.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(&b, "%s\n", t.Title)
+		}
+		widths := columnWidths(t)
+		writeRowText(&b, t.Columns, widths)
+		for _, r := range t.Rows {
+			writeRowText(&b, r, widths)
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range a.Figures {
+		b.WriteString(f)
+		if !strings.HasSuffix(f, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range a.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderMarkdown formats an artifact as a Markdown section.
+func RenderMarkdown(a *Artifact) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", a.ID, a.Title)
+	for _, t := range a.Tables {
+		if t.Title != "" {
+			fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+		}
+		b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+		sep := make([]string, len(t.Columns))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		b.WriteString("|" + strings.Join(sep, "|") + "|\n")
+		for _, r := range t.Rows {
+			b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range a.Figures {
+		b.WriteString("```\n")
+		b.WriteString(f)
+		if !strings.HasSuffix(f, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("```\n\n")
+	}
+	for _, n := range a.Notes {
+		fmt.Fprintf(&b, "> %s\n\n", n)
+	}
+	return b.String()
+}
+
+// RenderJSON emits the artifact as indented JSON.
+func RenderJSON(a *Artifact) (string, error) {
+	out, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+func columnWidths(t Table) []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len([]rune(c))
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(w) && len([]rune(c)) > w[i] {
+				w[i] = len([]rune(c))
+			}
+		}
+	}
+	return w
+}
+
+func writeRowText(b *strings.Builder, cells []string, widths []int) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		pad := 0
+		if i < len(widths) {
+			pad = widths[i] - len([]rune(c))
+		}
+		b.WriteString(c)
+		if pad > 0 {
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+	}
+	b.WriteString("\n")
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment and
+// checks for the headline facts each must contain (in text rendering).
+func TestAllExperimentsRun(t *testing.T) {
+	wantContains := map[string][]string{
+		"e51":      {"25", "OK", "[1 2 3]", "13"}, // t, verdict, winner, dataflow bound at μ=4
+		"e52":      {"29", "OK", "[5 1 1]"},
+		"fig1":     {"NON-FEASIBLE", "FEASIBLE"},
+		"fig2":     {"buffers: 3", "link A"},
+		"fig3":     {"000", "444"},
+		"hnf":      {"has conflicts", "[1 0 -1 0]", "false"},
+		"prop81":   {"T·u4 = [0 0 0]", "identical lattices"},
+		"engines":  {"agree"},
+		"bitlevel": {"theorem-4.7", "theorem-3.1"},
+		"gap":      {"Theorem 4.7 conditions hold", "false", "true"},
+		"space":    {"9", "Problem 6.2", "beats"},
+	}
+	for _, spec := range Registry() {
+		artifact, err := spec.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		if artifact.ID != spec.ID {
+			t.Errorf("%s: artifact ID %q", spec.ID, artifact.ID)
+		}
+		out := RenderText(artifact)
+		if out == "" {
+			t.Errorf("%s: empty output", spec.ID)
+		}
+		for _, want := range wantContains[spec.ID] {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: output missing %q:\n%s", spec.ID, want, out)
+			}
+		}
+	}
+}
+
+func TestRegistryUniqueAndLookup(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Registry() {
+		if seen[spec.ID] {
+			t.Errorf("duplicate experiment %q", spec.ID)
+		}
+		seen[spec.ID] = true
+		if spec.Title == "" || spec.Run == nil {
+			t.Errorf("%s: incomplete spec", spec.ID)
+		}
+		got, ok := Lookup(spec.ID)
+		if !ok || got.ID != spec.ID {
+			t.Errorf("Lookup(%s) failed", spec.ID)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown ID succeeded")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	a := &Artifact{
+		ID:      "x",
+		Title:   "demo",
+		Tables:  []Table{{Title: "tt", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}},
+		Figures: []string{"ascii art"},
+		Notes:   []string{"a note"},
+	}
+	md := RenderMarkdown(a)
+	for _, want := range []string{"## x — demo", "| a | b |", "|---|---|", "| 1 | 2 |", "```\nascii art\n```", "> a note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRenderJSONRoundTrip(t *testing.T) {
+	a, err := E52()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.ID != "e52" || len(back.Tables) == 0 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestRenderTextAlignment(t *testing.T) {
+	a := &Artifact{ID: "x", Title: "t", Tables: []Table{{
+		Columns: []string{"col", "c"},
+		Rows:    [][]string{{"long-cell", "1"}, {"s", "22"}},
+	}}}
+	out := RenderText(a)
+	lines := strings.Split(out, "\n")
+	// Header and rows must align on the separator.
+	var bars []int
+	for _, l := range lines {
+		if i := strings.Index(l, " | "); i >= 0 {
+			bars = append(bars, i)
+		}
+	}
+	if len(bars) != 3 {
+		t.Fatalf("expected 3 table lines, got %d:\n%s", len(bars), out)
+	}
+	if bars[0] != bars[1] || bars[1] != bars[2] {
+		t.Errorf("columns not aligned: %v\n%s", bars, out)
+	}
+}

@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenE52Markdown pins the Markdown rendering of the fully
+// deterministic Example 5.2 artifact — the regression guard for both
+// the experiment's numbers and the renderer's format. Refresh with
+// `go test ./internal/exp/ -update` after an intentional change.
+func TestGoldenE52Markdown(t *testing.T) {
+	artifact, err := E52()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderMarkdown(artifact)
+	path := filepath.Join("testdata", "e52.md")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/exp/ -update`): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("e52 markdown differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

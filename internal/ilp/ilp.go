@@ -1,0 +1,186 @@
+// Package ilp implements exact integer linear programming by branch and
+// bound over the rational simplex of internal/lp.
+//
+// Two entry points exist:
+//
+//   - Solve: plain branch and bound with integrality required on a
+//     chosen subset of the variables (all by default).
+//   - SolveDisjunctive: the decomposition used throughout Section 5 and
+//     the appendix of Shang & Fortes (1990). The conflict-freeness
+//     constraint "∃i such that |f_i(Π)| ≥ μ_i + 1" is not convex, but it
+//     is a finite disjunction of convex half-space systems; the paper
+//     splits the feasible set into one convex subproblem per disjunct
+//     (Equations 8.1 and 8.2) and takes the best optimum. When, as in
+//     the paper's examples, every coefficient is 0 or ±1, all extreme
+//     points of each subproblem are integral and the LP relaxation is
+//     already integral; branch and bound then terminates at the root.
+//
+// All arithmetic is exact; optima and argmins are returned as rationals
+// that are exact integers whenever integrality was requested.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/lp"
+	"lodim/internal/rat"
+)
+
+// Solution is the result of an integer solve.
+type Solution struct {
+	Status    lp.Status
+	X         []rat.Rat
+	Objective rat.Rat
+	// Branch is the index of the winning disjunct for SolveDisjunctive,
+	// -1 for plain Solve.
+	Branch int
+	// Nodes is the number of branch-and-bound nodes explored, summed
+	// over disjuncts for SolveDisjunctive (useful for the ablation
+	// benchmarks comparing formulations).
+	Nodes int
+}
+
+// ErrDepth reports that branch and bound exceeded its node budget,
+// which indicates an unbounded integer feasible region or a model far
+// outside this package's intended scale.
+var ErrDepth = errors.New("ilp: branch-and-bound node budget exceeded")
+
+// maxNodes bounds the search. Mapping problems need single digits.
+const maxNodes = 200000
+
+// Solve minimizes p with the variables selected by integer required to
+// take integral values. A nil integer slice requires integrality of all
+// variables. The LP relaxation being unbounded is reported as
+// lp.Unbounded (the integer problem is then unbounded or infeasible;
+// distinguishing the two is not needed by this repository and is
+// undecidable by bounding alone).
+func Solve(p *lp.Problem, integer []bool) (*Solution, error) {
+	if integer == nil {
+		integer = make([]bool, p.NumVars)
+		for i := range integer {
+			integer[i] = true
+		}
+	}
+	if len(integer) != p.NumVars {
+		return nil, fmt.Errorf("ilp: integer mask has %d entries, want %d", len(integer), p.NumVars)
+	}
+	s := &solver{integer: integer}
+	best, err := s.branch(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		// No integral solution found anywhere in the tree.
+		st := lp.Infeasible
+		if s.sawUnbounded {
+			st = lp.Unbounded
+		}
+		return &Solution{Status: st, Branch: -1, Nodes: s.nodes}, nil
+	}
+	return &Solution{Status: lp.Optimal, X: best.x, Objective: best.obj, Branch: -1, Nodes: s.nodes}, nil
+}
+
+type incumbent struct {
+	x   []rat.Rat
+	obj rat.Rat
+}
+
+type solver struct {
+	integer      []bool
+	nodes        int
+	sawUnbounded bool
+	best         *incumbent
+}
+
+// branch solves p plus the extra bound constraints, recursing on a
+// fractional integral variable. It returns the solver-wide incumbent.
+func (s *solver) branch(p *lp.Problem, extra []lp.Constraint) (*incumbent, error) {
+	s.nodes++
+	if s.nodes > maxNodes {
+		return nil, ErrDepth
+	}
+	q := *p
+	q.Constraints = append(append([]lp.Constraint{}, p.Constraints...), extra...)
+	sol, err := q.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return s.best, nil
+	case lp.Unbounded:
+		// An unbounded relaxation cannot be pruned by bounding; the
+		// caller decides what to report if no incumbent ever appears.
+		s.sawUnbounded = true
+		return s.best, nil
+	}
+	// Bound: prune if the relaxation cannot beat the incumbent.
+	if s.best != nil && s.best.obj.LessEq(sol.Objective) {
+		return s.best, nil
+	}
+	// Find a fractional integral variable.
+	frac := -1
+	for j, isInt := range s.integer {
+		if isInt && !sol.X[j].IsInt() {
+			frac = j
+			break
+		}
+	}
+	if frac < 0 {
+		if s.best == nil || sol.Objective.Less(s.best.obj) {
+			s.best = &incumbent{x: sol.X, obj: sol.Objective}
+		}
+		return s.best, nil
+	}
+	fl := sol.X[frac].Floor()
+	coeff := make([]rat.Rat, p.NumVars)
+	coeff[frac] = rat.One()
+	down := append(append([]lp.Constraint{}, extra...), lp.Constraint{Coeffs: coeff, Op: lp.LE, RHS: rat.FromInt(fl)})
+	if _, err := s.branch(p, down); err != nil {
+		return nil, err
+	}
+	up := append(append([]lp.Constraint{}, extra...), lp.Constraint{Coeffs: coeff, Op: lp.GE, RHS: rat.FromInt(fl + 1)})
+	if _, err := s.branch(p, up); err != nil {
+		return nil, err
+	}
+	return s.best, nil
+}
+
+// SolveDisjunctive minimizes the base problem subject to, additionally,
+// at least one of the given constraint bundles holding (a disjunction
+// of conjunctions). Each disjunct is solved as an independent (integer,
+// when integer is non-nil or nil-all) program and the best optimum
+// wins; ties keep the lowest branch index. This mirrors the paper's
+// partition of the non-convex conflict-free solution space into convex
+// subsets (appendix, Equations 8.1/8.2).
+func SolveDisjunctive(base *lp.Problem, disjuncts [][]lp.Constraint, integer []bool) (*Solution, error) {
+	if len(disjuncts) == 0 {
+		return nil, errors.New("ilp: no disjuncts")
+	}
+	bestSol := &Solution{Status: lp.Infeasible, Branch: -1}
+	sawUnbounded := false
+	totalNodes := 0
+	for b, extra := range disjuncts {
+		sub := *base
+		sub.Constraints = append(append([]lp.Constraint{}, base.Constraints...), extra...)
+		sol, err := Solve(&sub, integer)
+		if err != nil {
+			return nil, fmt.Errorf("ilp: disjunct %d: %w", b, err)
+		}
+		totalNodes += sol.Nodes
+		switch sol.Status {
+		case lp.Unbounded:
+			sawUnbounded = true
+		case lp.Optimal:
+			if bestSol.Status != lp.Optimal || sol.Objective.Less(bestSol.Objective) {
+				bestSol = &Solution{Status: lp.Optimal, X: sol.X, Objective: sol.Objective, Branch: b}
+			}
+		}
+	}
+	bestSol.Nodes = totalNodes
+	if bestSol.Status != lp.Optimal && sawUnbounded {
+		bestSol.Status = lp.Unbounded
+	}
+	return bestSol, nil
+}

@@ -1,0 +1,306 @@
+package ilp
+
+import (
+	"testing"
+
+	"lodim/internal/lp"
+	"lodim/internal/rat"
+)
+
+func ri(n int64) rat.Rat { return rat.FromInt(n) }
+func rvec(ns ...int64) []rat.Rat {
+	v := make([]rat.Rat, len(ns))
+	for i, n := range ns {
+		v[i] = rat.FromInt(n)
+	}
+	return v
+}
+
+// Knapsack-style: max 5x+4y s.t. 6x+5y <= 10, x,y >= 0 integer.
+// LP optimum is fractional (x=5/3); integer optimum is x=0,y=2 (8) or
+// x=1,y=0 (5)... check: 6+5=11 > 10 so (1,0) only 5; (0,2) gives 8.
+func TestBranchAndBoundFractionalRoot(t *testing.T) {
+	p := &lp.Problem{
+		NumVars: 2,
+		C:       rvec(-5, -4),
+		Constraints: []lp.Constraint{
+			{Coeffs: rvec(6, 5), Op: lp.LE, RHS: ri(10)},
+		},
+		Lower: []lp.Bound{lp.BoundAt(ri(0)), lp.BoundAt(ri(0))},
+	}
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.Objective.Equal(ri(-8)) {
+		t.Errorf("objective %v, want -8", sol.Objective)
+	}
+	if !sol.X[0].Equal(ri(0)) || !sol.X[1].Equal(ri(2)) {
+		t.Errorf("x = %v, want [0 2]", sol.X)
+	}
+	if sol.Nodes < 2 {
+		t.Errorf("expected branching, explored %d nodes", sol.Nodes)
+	}
+}
+
+// Integral-vertex LP: branch and bound must stop at the root.
+func TestIntegralRootNoBranching(t *testing.T) {
+	p := &lp.Problem{
+		NumVars: 2,
+		C:       rvec(1, 1),
+		Constraints: []lp.Constraint{
+			{Coeffs: rvec(1, 1), Op: lp.GE, RHS: ri(3)},
+		},
+		Lower: []lp.Bound{lp.BoundAt(ri(0)), lp.BoundAt(ri(0))},
+	}
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || !sol.Objective.Equal(ri(3)) {
+		t.Fatalf("got %v obj %v", sol.Status, sol.Objective)
+	}
+	if sol.Nodes != 1 {
+		t.Errorf("explored %d nodes, want 1 (integral root)", sol.Nodes)
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 2x = 1 with x integer: LP feasible (x=1/2), IP infeasible.
+	p := &lp.Problem{
+		NumVars: 1,
+		C:       rvec(1),
+		Constraints: []lp.Constraint{
+			{Coeffs: rvec(2), Op: lp.EQ, RHS: ri(1)},
+		},
+	}
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Errorf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMixedInteger(t *testing.T) {
+	// min x+y s.t. 2x+2y >= 3; y integer, x continuous.
+	// With y = 0: x = 3/2, obj 3/2. With y = 1: x = 1/2, obj 3/2.
+	// Optimum 3/2 either way; check objective only.
+	p := &lp.Problem{
+		NumVars: 2,
+		C:       rvec(1, 1),
+		Constraints: []lp.Constraint{
+			{Coeffs: rvec(2, 2), Op: lp.GE, RHS: ri(3)},
+		},
+		Lower: []lp.Bound{lp.BoundAt(ri(0)), lp.BoundAt(ri(0))},
+	}
+	sol, err := Solve(p, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.Objective.Equal(rat.FromFrac(3, 2)) {
+		t.Errorf("objective %v, want 3/2", sol.Objective)
+	}
+	if !sol.X[1].IsInt() {
+		t.Errorf("integer variable fractional: %v", sol.X[1])
+	}
+}
+
+func TestIntegerMaskLengthError(t *testing.T) {
+	p := &lp.Problem{NumVars: 2, C: rvec(1, 1)}
+	if _, err := Solve(p, []bool{true}); err == nil {
+		t.Error("bad mask accepted")
+	}
+}
+
+func TestUnboundedReported(t *testing.T) {
+	p := &lp.Problem{
+		NumVars:     1,
+		C:           rvec(-1),
+		Constraints: []lp.Constraint{{Coeffs: rvec(1), Op: lp.GE, RHS: ri(0)}},
+	}
+	sol, err := Solve(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Unbounded {
+		t.Errorf("status %v, want unbounded", sol.Status)
+	}
+}
+
+// TestDisjunctivePaperMatmul reproduces the appendix solve of Example
+// 5.1 exactly: minimize μ(π1+π2+π3) with π_i ≥ 1 and the disjunction
+//
+//	π2+π3 ≥ μ+1  ∨  π1+π3 ≥ μ+1  ∨  π1-π2 ≥ μ+1  ∨  π2-π1 ≥ μ+1
+//
+// For μ = 4 the optimum is 24 = μ(μ+2), attained by [1,4,1] (branch 0)
+// and [4,1,1] (branch 1), matching the paper's Π2 and Π3.
+func TestDisjunctivePaperMatmul(t *testing.T) {
+	mu := int64(4)
+	base := &lp.Problem{
+		NumVars: 3,
+		C:       rvec(mu, mu, mu),
+		Lower:   []lp.Bound{lp.BoundAt(ri(1)), lp.BoundAt(ri(1)), lp.BoundAt(ri(1))},
+	}
+	disjuncts := [][]lp.Constraint{
+		{{Coeffs: rvec(0, 1, 1), Op: lp.GE, RHS: ri(mu + 1)}},
+		{{Coeffs: rvec(1, 0, 1), Op: lp.GE, RHS: ri(mu + 1)}},
+		{{Coeffs: rvec(1, -1, 0), Op: lp.GE, RHS: ri(mu + 1)}},
+		{{Coeffs: rvec(-1, 1, 0), Op: lp.GE, RHS: ri(mu + 1)}},
+	}
+	sol, err := SolveDisjunctive(base, disjuncts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if want := ri(mu * (mu + 2)); !sol.Objective.Equal(want) {
+		t.Errorf("objective %v, want %v (= μ(μ+2))", sol.Objective, want)
+	}
+	if sol.Branch != 0 && sol.Branch != 1 {
+		t.Errorf("winning branch %d, want 0 or 1", sol.Branch)
+	}
+	sum := rat.Sum(sol.X...)
+	if !sum.Equal(ri(mu + 2)) {
+		t.Errorf("Σπ = %v, want μ+2 = %d", sum, mu+2)
+	}
+}
+
+func TestDisjunctiveInfeasibleBranchesSkipped(t *testing.T) {
+	base := &lp.Problem{
+		NumVars: 1,
+		C:       rvec(1),
+		Lower:   []lp.Bound{lp.BoundAt(ri(0))},
+	}
+	disjuncts := [][]lp.Constraint{
+		{ // infeasible: x >= 5 and x <= 3
+			{Coeffs: rvec(1), Op: lp.GE, RHS: ri(5)},
+			{Coeffs: rvec(1), Op: lp.LE, RHS: ri(3)},
+		},
+		{ // feasible: x >= 2
+			{Coeffs: rvec(1), Op: lp.GE, RHS: ri(2)},
+		},
+	}
+	sol, err := SolveDisjunctive(base, disjuncts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || sol.Branch != 1 || !sol.Objective.Equal(ri(2)) {
+		t.Errorf("got status %v branch %d obj %v", sol.Status, sol.Branch, sol.Objective)
+	}
+}
+
+func TestDisjunctiveAllInfeasible(t *testing.T) {
+	base := &lp.Problem{NumVars: 1, C: rvec(1), Lower: []lp.Bound{lp.BoundAt(ri(0))}}
+	disjuncts := [][]lp.Constraint{
+		{
+			{Coeffs: rvec(1), Op: lp.GE, RHS: ri(5)},
+			{Coeffs: rvec(1), Op: lp.LE, RHS: ri(3)},
+		},
+	}
+	sol, err := SolveDisjunctive(base, disjuncts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Errorf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestDisjunctiveNoDisjunctsError(t *testing.T) {
+	base := &lp.Problem{NumVars: 1, C: rvec(1)}
+	if _, err := SolveDisjunctive(base, nil, nil); err == nil {
+		t.Error("empty disjunction accepted")
+	}
+}
+
+// Exhaustive cross-check: B&B optimum equals brute-force integer grid
+// search over a box, for a batch of small random-ish models.
+func TestAgainstBruteForce(t *testing.T) {
+	models := []struct {
+		c    []int64
+		rows [][]int64 // a1 a2 rhs, meaning a1 x + a2 y <= rhs
+	}{
+		{[]int64{-3, -2}, [][]int64{{2, 1, 7}, {1, 3, 9}}},
+		{[]int64{-1, -4}, [][]int64{{1, 2, 8}, {3, 1, 9}}},
+		{[]int64{2, -5}, [][]int64{{1, 1, 6}, {-1, 2, 4}}},
+		{[]int64{-7, -1}, [][]int64{{5, 2, 11}}},
+	}
+	for mi, m := range models {
+		p := &lp.Problem{
+			NumVars: 2,
+			C:       rvec(m.c...),
+			Lower:   []lp.Bound{lp.BoundAt(ri(0)), lp.BoundAt(ri(0))},
+			Upper:   []lp.Bound{lp.BoundAt(ri(10)), lp.BoundAt(ri(10))},
+		}
+		for _, r := range m.rows {
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: rvec(r[0], r[1]), Op: lp.LE, RHS: ri(r[2])})
+		}
+		sol, err := Solve(p, nil)
+		if err != nil {
+			t.Fatalf("model %d: %v", mi, err)
+		}
+		// Brute force.
+		bestObj := int64(1 << 60)
+		found := false
+		for x := int64(0); x <= 10; x++ {
+			for y := int64(0); y <= 10; y++ {
+				ok := true
+				for _, r := range m.rows {
+					if r[0]*x+r[1]*y > r[2] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				obj := m.c[0]*x + m.c[1]*y
+				if !found || obj < bestObj {
+					bestObj, found = obj, true
+				}
+			}
+		}
+		if !found {
+			if sol.Status != lp.Infeasible {
+				t.Errorf("model %d: brute force infeasible, solver says %v", mi, sol.Status)
+			}
+			continue
+		}
+		if sol.Status != lp.Optimal {
+			t.Fatalf("model %d: status %v", mi, sol.Status)
+		}
+		if !sol.Objective.Equal(ri(bestObj)) {
+			t.Errorf("model %d: objective %v, brute force %d", mi, sol.Objective, bestObj)
+		}
+	}
+}
+
+func BenchmarkDisjunctiveMatmul(b *testing.B) {
+	mu := int64(16)
+	base := &lp.Problem{
+		NumVars: 3,
+		C:       rvec(mu, mu, mu),
+		Lower:   []lp.Bound{lp.BoundAt(ri(1)), lp.BoundAt(ri(1)), lp.BoundAt(ri(1))},
+	}
+	disjuncts := [][]lp.Constraint{
+		{{Coeffs: rvec(0, 1, 1), Op: lp.GE, RHS: ri(mu + 1)}},
+		{{Coeffs: rvec(1, 0, 1), Op: lp.GE, RHS: ri(mu + 1)}},
+		{{Coeffs: rvec(1, -1, 0), Op: lp.GE, RHS: ri(mu + 1)}},
+		{{Coeffs: rvec(-1, 1, 0), Op: lp.GE, RHS: ri(mu + 1)}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveDisjunctive(base, disjuncts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package intmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddChecked(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{-5, 5, 0},
+		{math.MaxInt64 - 1, 1, math.MaxInt64},
+		{math.MinInt64 + 1, -1, math.MinInt64},
+	}
+	for _, c := range cases {
+		if got := addChecked(c.a, c.b); got != c.want {
+			t.Errorf("addChecked(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddCheckedOverflow(t *testing.T) {
+	for _, c := range [][2]int64{
+		{math.MaxInt64, 1},
+		{math.MinInt64, -1},
+		{math.MaxInt64, math.MaxInt64},
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("addChecked(%d, %d) did not panic", c[0], c[1])
+				} else if _, ok := r.(*OverflowError); !ok {
+					t.Errorf("addChecked(%d, %d) panicked with %v, want *OverflowError", c[0], c[1], r)
+				}
+			}()
+			addChecked(c[0], c[1])
+		}()
+	}
+}
+
+func TestSubCheckedOverflow(t *testing.T) {
+	for _, c := range [][2]int64{
+		{math.MinInt64, 1},
+		{math.MaxInt64, -1},
+		{0, math.MinInt64},
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("subChecked(%d, %d) did not panic", c[0], c[1])
+				}
+			}()
+			subChecked(c[0], c[1])
+		}()
+	}
+}
+
+func TestMulChecked(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, math.MaxInt64, 0},
+		{3, 7, 21},
+		{-3, 7, -21},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MinInt64, 1, math.MinInt64},
+		{1 << 31, 1 << 31, 1 << 62},
+	}
+	for _, c := range cases {
+		if got := mulChecked(c.a, c.b); got != c.want {
+			t.Errorf("mulChecked(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCheckedOverflow(t *testing.T) {
+	for _, c := range [][2]int64{
+		{math.MaxInt64, 2},
+		{math.MinInt64, -1},
+		{-1, math.MinInt64},
+		{1 << 32, 1 << 32},
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("mulChecked(%d, %d) did not panic", c[0], c[1])
+				}
+			}()
+			mulChecked(c[0], c[1])
+		}()
+	}
+}
+
+func TestGuardConvertsOverflow(t *testing.T) {
+	f := func() (err error) {
+		defer Guard(&err)
+		mulChecked(math.MaxInt64, math.MaxInt64)
+		return nil
+	}
+	err := f()
+	if err == nil {
+		t.Fatal("Guard did not capture the overflow")
+	}
+	if _, ok := err.(*OverflowError); !ok {
+		t.Fatalf("Guard produced %T, want *OverflowError", err)
+	}
+}
+
+func TestGuardPassesOtherPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Guard swallowed a non-overflow panic")
+		}
+	}()
+	var err error
+	func() {
+		defer Guard(&err)
+		panic("unrelated")
+	}()
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 5},
+		{12, 18, 6},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{-12, -18, 6},
+		{7, 13, 1},
+		{1, math.MaxInt64, 1},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDAll(t *testing.T) {
+	if got := GCDAll(); got != 0 {
+		t.Errorf("GCDAll() = %d, want 0", got)
+	}
+	if got := GCDAll(4, 6, 8); got != 2 {
+		t.Errorf("GCDAll(4, 6, 8) = %d, want 2", got)
+	}
+	if got := GCDAll(3, 5, 7); got != 1 {
+		t.Errorf("GCDAll(3, 5, 7) = %d, want 1", got)
+	}
+	if got := GCDAll(0, 0, -9); got != 9 {
+		t.Errorf("GCDAll(0, 0, -9) = %d, want 9", got)
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{4, 6, 12},
+		{-4, 6, 12},
+		{7, 13, 91},
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtGCDBasic(t *testing.T) {
+	cases := [][2]int64{{240, 46}, {46, 240}, {-240, 46}, {240, -46}, {-240, -46}, {0, 5}, {5, 0}, {0, 0}, {1, 1}, {17, 17}}
+	for _, c := range cases {
+		g, x, y := ExtGCD(c[0], c[1])
+		if g != GCD(c[0], c[1]) {
+			t.Errorf("ExtGCD(%d, %d) gcd = %d, want %d", c[0], c[1], g, GCD(c[0], c[1]))
+		}
+		if c[0]*x+c[1]*y != g {
+			t.Errorf("ExtGCD(%d, %d): %d*%d + %d*%d = %d, want %d", c[0], c[1], c[0], x, c[1], y, c[0]*x+c[1]*y, g)
+		}
+	}
+}
+
+// Property: ExtGCD always satisfies the Bézout identity and produces the
+// same gcd as GCD, for arbitrary int32-range inputs.
+func TestExtGCDProperty(t *testing.T) {
+	f := func(a32, b32 int32) bool {
+		a, b := int64(a32), int64(b32)
+		g, x, y := ExtGCD(a, b)
+		if g < 0 {
+			return false
+		}
+		if g != GCD(a, b) {
+			return false
+		}
+		return a*x+b*y == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gcd divides both operands and any common divisor divides gcd
+// (checked via gcd(a/g, b/g) == 1).
+func TestGCDProperty(t *testing.T) {
+	f := func(a32, b32 int32) bool {
+		a, b := int64(a32), int64(b32)
+		g := GCD(a, b)
+		if g == 0 {
+			return a == 0 && b == 0
+		}
+		if a%g != 0 || b%g != 0 {
+			return false
+		}
+		return GCD(a/g, b/g) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

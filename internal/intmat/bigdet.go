@@ -1,0 +1,60 @@
+package intmat
+
+import "math/big"
+
+// detBig computes the determinant with arbitrary-precision Bareiss
+// elimination. It is the fallback used by Det when the int64 fast path
+// overflows (Hermite multipliers of adversarial inputs can have large
+// entries even when the final determinant is ±1). The result must fit
+// in int64 or the computation panics with *OverflowError.
+func (m *Matrix) detBig() int64 {
+	n := m.rows
+	if n == 0 {
+		return 1
+	}
+	w := make([]*big.Int, n*n)
+	for i := range w {
+		w[i] = big.NewInt(m.a[i])
+	}
+	at := func(i, j int) *big.Int { return w[i*n+j] }
+	sign := int64(1)
+	prev := big.NewInt(1)
+	var num, t1, t2 big.Int
+	for k := 0; k < n-1; k++ {
+		if at(k, k).Sign() == 0 {
+			p := -1
+			for i := k + 1; i < n; i++ {
+				if at(i, k).Sign() != 0 {
+					p = i
+					break
+				}
+			}
+			if p < 0 {
+				return 0
+			}
+			for j := 0; j < n; j++ {
+				w[k*n+j], w[p*n+j] = w[p*n+j], w[k*n+j]
+			}
+			sign = -sign
+		}
+		pkk := new(big.Int).Set(at(k, k))
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				t1.Mul(at(i, j), pkk)
+				t2.Mul(at(i, k), at(k, j))
+				num.Sub(&t1, &t2)
+				at(i, j).Quo(&num, prev)
+			}
+			at(i, k).SetInt64(0)
+		}
+		prev.Set(pkk)
+	}
+	d := at(n-1, n-1)
+	if !d.IsInt64() {
+		overflow("detBig result")
+	}
+	if sign < 0 {
+		return -d.Int64()
+	}
+	return d.Int64()
+}

@@ -1,0 +1,214 @@
+package intmat
+
+import "fmt"
+
+// Det returns the determinant of a square matrix, computed exactly with
+// fraction-free Bareiss elimination. Intermediate values that overflow
+// int64 are transparently recomputed with arbitrary precision; the
+// function panics with *OverflowError only if the determinant itself
+// does not fit in int64. It panics if m is not square.
+func (m *Matrix) Det() int64 {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("intmat: Det of non-square %dx%d matrix", m.rows, m.cols))
+	}
+	if d, ok := m.detInt64Try(); ok {
+		return d
+	}
+	return m.detBig()
+}
+
+// detInt64Try runs the int64 fast path, reporting ok = false when the
+// intermediate arithmetic overflows.
+func (m *Matrix) detInt64Try() (d int64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isOverflow := r.(*OverflowError); isOverflow {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return m.detInt64(), true
+}
+
+func (m *Matrix) detInt64() int64 {
+	n := m.rows
+	if n == 0 {
+		return 1
+	}
+	w := m.Clone()
+	sign := int64(1)
+	prev := int64(1)
+	for k := 0; k < n-1; k++ {
+		// Pivot: find a non-zero entry in column k at or below row k.
+		if w.At(k, k) == 0 {
+			p := -1
+			for i := k + 1; i < n; i++ {
+				if w.At(i, k) != 0 {
+					p = i
+					break
+				}
+			}
+			if p < 0 {
+				return 0
+			}
+			w.swapRows(k, p)
+			sign = -sign
+		}
+		pkk := w.At(k, k)
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				// Bareiss update: exact division by the previous pivot.
+				num := subChecked(mulChecked(w.At(i, j), pkk), mulChecked(w.At(i, k), w.At(k, j)))
+				w.Set(i, j, num/prev)
+			}
+			w.Set(i, k, 0)
+		}
+		prev = pkk
+	}
+	return mulChecked(sign, w.At(n-1, n-1))
+}
+
+// Rank returns the rank of m, computed exactly with fraction-free
+// Bareiss elimination with full pivoting.
+func (m *Matrix) Rank() int {
+	w := m.Clone()
+	rows, cols := w.rows, w.cols
+	prev := int64(1)
+	r := 0
+	for r < rows && r < cols {
+		// Find any non-zero pivot in the trailing block.
+		pi, pj := -1, -1
+	search:
+		for i := r; i < rows; i++ {
+			for j := r; j < cols; j++ {
+				if w.At(i, j) != 0 {
+					pi, pj = i, j
+					break search
+				}
+			}
+		}
+		if pi < 0 {
+			break
+		}
+		w.swapRows(r, pi)
+		w.swapCols(r, pj)
+		p := w.At(r, r)
+		for i := r + 1; i < rows; i++ {
+			for j := r + 1; j < cols; j++ {
+				num := subChecked(mulChecked(w.At(i, j), p), mulChecked(w.At(i, r), w.At(r, j)))
+				w.Set(i, j, num/prev)
+			}
+			w.Set(i, r, 0)
+		}
+		prev = p
+		r++
+	}
+	return r
+}
+
+// Cofactor returns the (i, j) cofactor of a square matrix m:
+// (-1)^(i+j) times the determinant of m with row i and column j removed.
+func (m *Matrix) Cofactor(i, j int) int64 {
+	if m.rows != m.cols {
+		panic("intmat: Cofactor of non-square matrix")
+	}
+	d := m.DeleteRowCol(i, j).Det()
+	if (i+j)%2 != 0 {
+		return negChecked(d)
+	}
+	return d
+}
+
+// Adjugate returns the adjugate (classical adjoint) of a square matrix:
+// Adj(m)[i][j] = Cofactor(j, i), so that m·Adj(m) = det(m)·I.
+func (m *Matrix) Adjugate() *Matrix {
+	if m.rows != m.cols {
+		panic("intmat: Adjugate of non-square matrix")
+	}
+	n := m.rows
+	adj := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			adj.Set(j, i, m.Cofactor(i, j))
+		}
+	}
+	return adj
+}
+
+// IsUnimodular reports whether m is square, integral (always true here)
+// and has determinant ±1.
+func (m *Matrix) IsUnimodular() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	d := m.Det()
+	return d == 1 || d == -1
+}
+
+// InverseUnimodular returns the exact integral inverse of a unimodular
+// matrix (V = U^{-1} in the paper's notation). It panics if m is not
+// unimodular.
+func (m *Matrix) InverseUnimodular() *Matrix {
+	if m.rows != m.cols {
+		panic("intmat: InverseUnimodular of non-square matrix")
+	}
+	d := m.Det()
+	switch d {
+	case 1:
+		return m.Adjugate()
+	case -1:
+		return m.Adjugate().Neg()
+	default:
+		panic(fmt.Sprintf("intmat: InverseUnimodular of matrix with determinant %d", d))
+	}
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	for c := 0; c < m.cols; c++ {
+		m.a[i*m.cols+c], m.a[j*m.cols+c] = m.a[j*m.cols+c], m.a[i*m.cols+c]
+	}
+}
+
+func (m *Matrix) swapCols(i, j int) {
+	if i == j {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		m.a[r*m.cols+i], m.a[r*m.cols+j] = m.a[r*m.cols+j], m.a[r*m.cols+i]
+	}
+}
+
+// addColMultiple performs col_dst += c · col_src.
+func (m *Matrix) addColMultiple(dst, src int, c int64) {
+	if c == 0 {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		m.a[r*m.cols+dst] = addChecked(m.a[r*m.cols+dst], mulChecked(c, m.a[r*m.cols+src]))
+	}
+}
+
+// negCol negates column j in place.
+func (m *Matrix) negCol(j int) {
+	for r := 0; r < m.rows; r++ {
+		m.a[r*m.cols+j] = negChecked(m.a[r*m.cols+j])
+	}
+}
+
+// combineCols applies the 2x2 unimodular column transform
+//
+//	[col_i, col_j] ← [x·col_i + y·col_j,  u·col_i + v·col_j]
+//
+// where x·v - y·u = ±1 is the caller's responsibility.
+func (m *Matrix) combineCols(i, j int, x, y, u, v int64) {
+	for r := 0; r < m.rows; r++ {
+		a, b := m.a[r*m.cols+i], m.a[r*m.cols+j]
+		m.a[r*m.cols+i] = addChecked(mulChecked(x, a), mulChecked(y, b))
+		m.a[r*m.cols+j] = addChecked(mulChecked(u, a), mulChecked(v, b))
+	}
+}

@@ -1,0 +1,27 @@
+// Package intmat implements exact linear algebra over the integers.
+//
+// The package is the numerical substrate for the conflict-free mapping
+// theory of Shang & Fortes (1990): everything in that paper — conflict
+// vectors, adjugates, Hermite normal forms, unimodular multipliers — is
+// exact integer arithmetic, so floating point is never used. All values
+// are int64 and every arithmetic operation is overflow-checked; an
+// overflow aborts the computation with an *OverflowError panic, which the
+// exported entry points convert into an ordinary error (see Guard).
+//
+// The matrices handled by mapping problems are tiny (algorithm dimension
+// n is rarely above 6 and never above a few dozen), so the implementation
+// favors clarity and exactness over asymptotic speed:
+//
+//   - determinants and ranks use fraction-free Bareiss elimination,
+//   - adjugates are computed from cofactors,
+//   - the Hermite normal form T·U = [L, 0] is computed by integer column
+//     operations driven by the extended Euclidean algorithm, producing
+//     the unimodular multiplier U and its inverse V = U^{-1} exactly as
+//     required by Theorem 4.1 of the paper.
+//
+// The Hermite normal form used here matches the paper's relaxed
+// definition: L is lower triangular and nonsingular, with positive
+// diagonal and left-of-diagonal entries reduced modulo the diagonal;
+// unlike the textbook form no further canonicity is imposed, because the
+// theory only needs T transformed to [L, 0] by a unimodular U.
+package intmat

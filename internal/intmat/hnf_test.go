@@ -1,0 +1,261 @@
+package intmat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestHNFPaperExample42 reproduces Example 4.2: the Hermite normal form
+// of the mapping matrix T of Equation 2.8,
+//
+//	T = [1 7 1 1]
+//	    [1 7 1 0]
+//
+// must give TU = [L, 0] with a 2x2 nonsingular lower-triangular L, and
+// the last two columns of U must span the null space containing the
+// paper's conflict vectors γ1 = [0,1,-7,0] and γ2 = [7,-1,0,0].
+func TestHNFPaperExample42(t *testing.T) {
+	T := FromRows(
+		[]int64{1, 7, 1, 1},
+		[]int64{1, 7, 1, 0},
+	)
+	h, err := HermiteNormalForm(T)
+	if err != nil {
+		t.Fatalf("HermiteNormalForm: %v", err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NullityDim() != 2 {
+		t.Fatalf("nullity = %d, want 2", h.NullityDim())
+	}
+	// Both paper conflict vectors must be integral combinations of the
+	// null basis — equivalently, they must satisfy Tγ = 0 and have
+	// integral coordinates β = Vγ with β1 = β2 = 0.
+	V := h.V()
+	for _, g := range []Vector{Vec(0, 1, -7, 0), Vec(7, -1, 0, 0), Vec(1, 0, -1, 0)} {
+		if !T.MulVec(g).IsZero() {
+			t.Errorf("Tγ != 0 for γ = %v", g)
+		}
+		beta := V.MulVec(g)
+		if beta[0] != 0 || beta[1] != 0 {
+			t.Errorf("β = Vγ = %v has non-zero leading entries for γ = %v", beta, g)
+		}
+	}
+}
+
+func TestHNFSquareUnimodularInput(t *testing.T) {
+	// A square nonsingular input: H should be lower triangular with
+	// |det H| = |det T|.
+	T := FromRows(
+		[]int64{2, 4, 4},
+		[]int64{-6, 6, 12},
+		[]int64{10, 4, 16},
+	)
+	h, err := HermiteNormalForm(T)
+	if err != nil {
+		t.Fatalf("HermiteNormalForm: %v", err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	dT, dH := T.Det(), h.H.Det()
+	if dT != dH && dT != -dH {
+		t.Errorf("|det H| = |%d| != |det T| = |%d|", dH, dT)
+	}
+	if h.NullityDim() != 0 {
+		t.Errorf("nullity = %d, want 0", h.NullityDim())
+	}
+}
+
+func TestHNFRankDeficient(t *testing.T) {
+	T := FromRows(
+		[]int64{1, 2, 3},
+		[]int64{2, 4, 6},
+	)
+	if _, err := HermiteNormalForm(T); !errors.Is(err, ErrRankDeficient) {
+		t.Errorf("err = %v, want ErrRankDeficient", err)
+	}
+	// More rows than columns is always rank deficient for this purpose.
+	if _, err := HermiteNormalForm(New(3, 2)); !errors.Is(err, ErrRankDeficient) {
+		t.Errorf("tall matrix err = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestHNFZeroRow(t *testing.T) {
+	T := FromRows(
+		[]int64{0, 0, 0},
+		[]int64{1, 2, 3},
+	)
+	if _, err := HermiteNormalForm(T); !errors.Is(err, ErrRankDeficient) {
+		t.Errorf("err = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestHNFSingleRow(t *testing.T) {
+	T := FromRows([]int64{6, 10, 15})
+	h, err := HermiteNormalForm(T)
+	if err != nil {
+		t.Fatalf("HermiteNormalForm: %v", err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The pivot must be gcd(6, 10, 15) = 1.
+	if got := h.H.At(0, 0); got != 1 {
+		t.Errorf("L[0][0] = %d, want gcd 1", got)
+	}
+	for _, b := range h.NullBasis() {
+		if !T.MulVec(b).IsZero() {
+			t.Errorf("null basis vector %v not annihilated", b)
+		}
+	}
+}
+
+func TestHNFPivotGCDOfRow(t *testing.T) {
+	// For a 1×n matrix, the single pivot is exactly the gcd of the row.
+	T := FromRows([]int64{12, 18, 30})
+	h, err := HermiteNormalForm(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.H.At(0, 0); got != 6 {
+		t.Errorf("pivot = %d, want 6", got)
+	}
+}
+
+func TestHNFNullBasisAnnihilated(t *testing.T) {
+	T := FromRows(
+		[]int64{1, 1, -1, 2},
+		[]int64{3, 0, 1, -1},
+	)
+	h, err := HermiteNormalForm(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := h.NullBasis()
+	if len(basis) != 2 {
+		t.Fatalf("basis size %d, want 2", len(basis))
+	}
+	for _, b := range basis {
+		if !T.MulVec(b).IsZero() {
+			t.Errorf("T·%v != 0", b)
+		}
+		if b.GCD() != 1 {
+			t.Errorf("basis vector %v is not primitive", b)
+		}
+	}
+}
+
+// TestHNFRandom exercises the decomposition on random full-row-rank
+// matrices and verifies every structural invariant, plus that V = U^{-1}
+// and that the null basis is annihilated.
+func TestHNFRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 0
+	for trials < 500 {
+		k := 1 + rng.Intn(4)
+		n := k + rng.Intn(4)
+		T := randMatrix(rng, k, n, 9)
+		if T.Rank() < k {
+			continue // skip rank-deficient draws; covered by dedicated tests
+		}
+		trials++
+		h, err := HermiteNormalForm(T)
+		if err != nil {
+			t.Fatalf("HermiteNormalForm(%v): %v", T, err)
+		}
+		if err := h.Verify(); err != nil {
+			t.Fatalf("Verify failed for\n%v\nH=\n%v\nU=\n%v\n%v", T, h.H, h.U, err)
+		}
+		if !h.U.Mul(h.V()).Equal(Identity(n)) {
+			t.Fatalf("U·V != I for\n%v", T)
+		}
+		for _, b := range h.NullBasis() {
+			if !T.MulVec(b).IsZero() {
+				t.Fatalf("null basis not annihilated for\n%v", T)
+			}
+		}
+	}
+}
+
+// TestHNFRankDeficientRandom verifies that random rank-deficient
+// matrices are rejected.
+func TestHNFRankDeficientRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		// Build a k×n matrix whose last row duplicates the first.
+		k := 2 + rng.Intn(3)
+		n := k + rng.Intn(3)
+		T := randMatrix(rng, k, n, 5)
+		T.SetRow(k-1, T.Row(0))
+		if _, err := HermiteNormalForm(T); !errors.Is(err, ErrRankDeficient) {
+			t.Fatalf("expected ErrRankDeficient for duplicated-row matrix\n%v, got %v", T, err)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3},
+		{-7, 2, -4},
+		{6, 3, 2},
+		{-6, 3, -2},
+		{0, 5, 0},
+		{1, 7, 0},
+		{-1, 7, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHNFLAccessor(t *testing.T) {
+	T := FromRows(
+		[]int64{1, 7, 1, 1},
+		[]int64{1, 7, 1, 0},
+	)
+	h, err := HermiteNormalForm(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := h.L()
+	if L.Rows() != 2 || L.Cols() != 2 {
+		t.Fatalf("L shape %dx%d", L.Rows(), L.Cols())
+	}
+	if L.Det() == 0 {
+		t.Error("L singular")
+	}
+	if L.At(0, 1) != 0 {
+		t.Error("L not lower triangular")
+	}
+}
+
+func BenchmarkHNF4x6(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	mats := make([]*Matrix, 0, 64)
+	for len(mats) < 64 {
+		m := randMatrix(rng, 4, 6, 9)
+		if m.Rank() == 4 {
+			mats = append(mats, m)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HermiteNormalForm(mats[i%len(mats)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDet6x6(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := randMatrix(rng, 6, 6, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Det()
+	}
+}

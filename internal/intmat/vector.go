@@ -1,0 +1,170 @@
+package intmat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a dense integer vector. Whether it denotes a row or a column
+// is determined by context, matching the paper's convention.
+type Vector []int64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Vec is a convenience constructor: Vec(1, -2, 3).
+func Vec(vs ...int64) Vector {
+	v := make(Vector, len(vs))
+	copy(v, vs)
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports whether v and w have the same length and entries.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every entry of v is zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of v and w. It panics if the lengths
+// differ and panics with *OverflowError on int64 overflow.
+func (v Vector) Dot(w Vector) int64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("intmat: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s int64
+	for i := range v {
+		s = addChecked(s, mulChecked(v[i], w[i]))
+	}
+	return s
+}
+
+// Add returns v + w entrywise.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("intmat: Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = addChecked(v[i], w[i])
+	}
+	return r
+}
+
+// Sub returns v - w entrywise.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("intmat: Sub length mismatch %d vs %d", len(v), len(w)))
+	}
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = subChecked(v[i], w[i])
+	}
+	return r
+}
+
+// Scale returns c·v.
+func (v Vector) Scale(c int64) Vector {
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = mulChecked(c, v[i])
+	}
+	return r
+}
+
+// Neg returns -v.
+func (v Vector) Neg() Vector { return v.Scale(-1) }
+
+// GCD returns the non-negative greatest common divisor of the entries of
+// v (0 for a zero or empty vector).
+func (v Vector) GCD() int64 { return GCDAll(v...) }
+
+// Primitive returns v divided by the gcd of its entries, i.e. the
+// shortest integer vector on the same ray. The zero vector is returned
+// unchanged.
+func (v Vector) Primitive() Vector {
+	g := v.GCD()
+	if g == 0 || g == 1 {
+		return v.Clone()
+	}
+	r := make(Vector, len(v))
+	for i := range v {
+		r[i] = v[i] / g
+	}
+	return r
+}
+
+// FirstNonZero returns the index of the first non-zero entry, or -1 for
+// the zero vector.
+func (v Vector) FirstNonZero() int {
+	for i, x := range v {
+		if x != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Canonical returns the primitive vector on the line spanned by v whose
+// first non-zero entry is positive — the paper's normalization of
+// conflict vectors (Definition 2.3 plus the sign convention of Section 3).
+// The zero vector is returned unchanged.
+func (v Vector) Canonical() Vector {
+	p := v.Primitive()
+	if i := p.FirstNonZero(); i >= 0 && p[i] < 0 {
+		return p.Neg()
+	}
+	return p
+}
+
+// AbsSum returns Σ|v_i|.
+func (v Vector) AbsSum() int64 {
+	var s int64
+	for _, x := range v {
+		s = addChecked(s, absChecked(x))
+	}
+	return s
+}
+
+// InfNorm returns max|v_i| (0 for an empty vector).
+func (v Vector) InfNorm() int64 {
+	var m int64
+	for _, x := range v {
+		if a := absChecked(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// String formats the vector as, e.g., "[1 -2 3]".
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,152 @@
+package intmat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVecConstructorsAndClone(t *testing.T) {
+	v := Vec(1, -2, 3)
+	if len(v) != 3 || v[0] != 1 || v[1] != -2 || v[2] != 3 {
+		t.Fatalf("Vec(1,-2,3) = %v", v)
+	}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone did not produce an independent copy")
+	}
+	z := NewVector(4)
+	if !z.IsZero() || len(z) != 4 {
+		t.Errorf("NewVector(4) = %v", z)
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	if !Vec(1, 2).Equal(Vec(1, 2)) {
+		t.Error("equal vectors reported unequal")
+	}
+	if Vec(1, 2).Equal(Vec(1, 3)) {
+		t.Error("unequal vectors reported equal")
+	}
+	if Vec(1, 2).Equal(Vec(1, 2, 3)) {
+		t.Error("different-length vectors reported equal")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Vec(1, 2, 3).Dot(Vec(4, -5, 6)); got != 4-10+18 {
+		t.Errorf("Dot = %d, want 12", got)
+	}
+	if got := Vec().Dot(Vec()); got != 0 {
+		t.Errorf("empty Dot = %d, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Vec(1).Dot(Vec(1, 2))
+}
+
+func TestAddSubScaleNeg(t *testing.T) {
+	v, w := Vec(1, 2, 3), Vec(10, 20, 30)
+	if got := v.Add(w); !got.Equal(Vec(11, 22, 33)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(Vec(9, 18, 27)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(-2); !got.Equal(Vec(-2, -4, -6)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Neg(); !got.Equal(Vec(-1, -2, -3)) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestPrimitive(t *testing.T) {
+	cases := []struct{ in, want Vector }{
+		{Vec(2, 4, 6), Vec(1, 2, 3)},
+		{Vec(-2, 4), Vec(-1, 2)},
+		{Vec(0, 0), Vec(0, 0)},
+		{Vec(5), Vec(1)},
+		{Vec(3, 5), Vec(3, 5)},
+	}
+	for _, c := range cases {
+		if got := c.in.Primitive(); !got.Equal(c.want) {
+			t.Errorf("Primitive(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	cases := []struct{ in, want Vector }{
+		{Vec(2, 4, 6), Vec(1, 2, 3)},
+		{Vec(-2, 4), Vec(1, -2)},
+		{Vec(0, -3, 6), Vec(0, 1, -2)},
+		{Vec(0, 0), Vec(0, 0)},
+	}
+	for _, c := range cases {
+		if got := c.in.Canonical(); !got.Equal(c.want) {
+			t.Errorf("Canonical(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFirstNonZero(t *testing.T) {
+	if got := Vec(0, 0, 5, 0).FirstNonZero(); got != 2 {
+		t.Errorf("FirstNonZero = %d, want 2", got)
+	}
+	if got := Vec(0, 0).FirstNonZero(); got != -1 {
+		t.Errorf("FirstNonZero of zero = %d, want -1", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vec(3, -4, 0, 2)
+	if got := v.AbsSum(); got != 9 {
+		t.Errorf("AbsSum = %d, want 9", got)
+	}
+	if got := v.InfNorm(); got != 4 {
+		t.Errorf("InfNorm = %d, want 4", got)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	if got := Vec(1, -2, 3).String(); got != "[1 -2 3]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Canonical output is primitive with non-negative leading
+// entry, and lies on the same line as the input.
+func TestCanonicalProperty(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		v := Vec(int64(a), int64(b), int64(c))
+		p := v.Canonical()
+		if v.IsZero() {
+			return p.IsZero()
+		}
+		if p.GCD() != 1 {
+			return false
+		}
+		if p[p.FirstNonZero()] <= 0 {
+			return false
+		}
+		// Cross-product-style proportionality check: v and p parallel.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if v[i]*p[j] != v[j]*p[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

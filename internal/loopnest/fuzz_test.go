@@ -1,0 +1,27 @@
+package loopnest
+
+import "testing"
+
+// FuzzParse: the statement parser must never panic and must either
+// produce a valid nest or a descriptive error, for arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add("C[i,j] = C[i,j] + A[i,k]*B[k,j]")
+	f.Add("y[i] = y[i] + h[k] * x[i-k]")
+	f.Add("u[t,x] = u[t-1,x-1] + u[t-1,x+1]")
+	f.Add("A[2*i-j+3, j] = A[2*i-j+2, j]")
+	f.Add("")
+	f.Add("[[[")
+	f.Add("A[i] = = B[i]")
+	f.Add("A[i] = B[((((i))))]")
+	f.Fuzz(func(t *testing.T, stmt string) {
+		nest, err := Parse("fuzz", []string{"i", "j", "k"}, []int64{3, 3, 3}, stmt)
+		if err != nil {
+			return
+		}
+		if err := nest.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects: %v", stmt, err)
+		}
+		// Analysis must never panic either; errors are fine.
+		_, _ = Analyze(nest)
+	})
+}

@@ -1,0 +1,416 @@
+// Package loopnest is the front end that turns nested-loop programs
+// into uniform dependence algorithms — the pipeline stage the paper
+// attributes to RAB: "the dependence relations are analyzed and the
+// algorithm is uniformized" (Section 1).
+//
+// The input model matches the paper's program class (Section 2): a
+// single statement inside an n-deep loop nest with constant bounds,
+// where every array subscript is an affine function of the loop
+// variables. Two analyses produce the dependence matrix D:
+//
+//   - flow dependencies: a read of the array written by the statement
+//     depends on the iteration that produced the value; with equal
+//     access matrices the distance vector is constant (uniform) and is
+//     recovered by exact integer solving;
+//   - input uniformization: a read of an input array whose access
+//     matrix is column-rank-deficient touches the same element from
+//     many iterations (a broadcast); the broadcast is serialized into
+//     propagation dependencies along a lattice basis of the access
+//     matrix's null space, exactly the classical uniformization the
+//     paper cites.
+//
+// The result is a uda.Algorithm whose (J, D) pair feeds the mapping
+// machinery; for the matrix multiplication statement
+// C[i,j] = C[i,j] + A[i,k]*B[k,j] the derived D is the paper's
+// Equation 3.4 identity matrix.
+package loopnest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// Affine is an affine subscript expression Σ Coef_i·var_i + Const.
+type Affine struct {
+	Coef  intmat.Vector
+	Const int64
+}
+
+func (a Affine) String() string {
+	var parts []string
+	for i, c := range a.Coef {
+		switch {
+		case c == 0:
+		case c == 1:
+			parts = append(parts, fmt.Sprintf("v%d", i))
+		default:
+			parts = append(parts, fmt.Sprintf("%d*v%d", c, i))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprint(a.Const))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Ref is an array reference with affine subscripts.
+type Ref struct {
+	Array string
+	Index []Affine
+}
+
+func (r Ref) String() string {
+	idx := make([]string, len(r.Index))
+	for i, a := range r.Index {
+		idx[i] = a.String()
+	}
+	return r.Array + "[" + strings.Join(idx, ",") + "]"
+}
+
+// accessMatrix returns (C, c): subscripts = C·j + c.
+func (r Ref) accessMatrix(n int) (*intmat.Matrix, intmat.Vector) {
+	m := intmat.New(len(r.Index), n)
+	c := make(intmat.Vector, len(r.Index))
+	for i, a := range r.Index {
+		m.SetRow(i, a.Coef)
+		c[i] = a.Const
+	}
+	return m, c
+}
+
+// Statement is a single assignment: Write = f(Reads...).
+type Statement struct {
+	Write Ref
+	Reads []Ref
+}
+
+// Nest is an n-deep loop nest with constant bounds 0 ≤ var_i ≤ Bounds_i
+// around a single statement.
+type Nest struct {
+	Name   string
+	Vars   []string
+	Bounds intmat.Vector
+	Body   Statement
+}
+
+// Validate checks structural consistency.
+func (nst *Nest) Validate() error {
+	n := len(nst.Vars)
+	if n == 0 {
+		return errors.New("loopnest: no loop variables")
+	}
+	if len(nst.Bounds) != n {
+		return fmt.Errorf("loopnest: %d bounds for %d variables", len(nst.Bounds), n)
+	}
+	for i, b := range nst.Bounds {
+		if b < 1 {
+			return fmt.Errorf("loopnest: bound of %s is %d, want ≥ 1", nst.Vars[i], b)
+		}
+	}
+	check := func(r Ref) error {
+		if r.Array == "" {
+			return errors.New("loopnest: reference without array name")
+		}
+		if len(r.Index) == 0 {
+			return fmt.Errorf("loopnest: %s has no subscripts", r.Array)
+		}
+		for _, a := range r.Index {
+			if len(a.Coef) != n {
+				return fmt.Errorf("loopnest: subscript of %s has %d coefficients, want %d", r.Array, len(a.Coef), n)
+			}
+		}
+		return nil
+	}
+	if err := check(nst.Body.Write); err != nil {
+		return err
+	}
+	if len(nst.Body.Reads) == 0 {
+		return errors.New("loopnest: statement has no reads")
+	}
+	for _, r := range nst.Body.Reads {
+		if err := check(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrSameIteration reports a read of the element being written in the
+// same iteration with no loop carrying the recurrence — illegal in a
+// single statement, legal across statements when the writer precedes
+// the reader textually (see AnalyzeMulti).
+var ErrSameIteration = errors.New("loopnest: the statement reads the element it writes in the same iteration (no loop carries the recurrence)")
+
+// DependenceInfo records the origin of one column of the derived D.
+type DependenceInfo struct {
+	Vector intmat.Vector
+	// Kind is "flow" (value produced by an earlier iteration) or
+	// "uniformized" (broadcast serialized into propagation).
+	Kind string
+	// Array is the array whose access induced the dependence.
+	Array string
+}
+
+// Analysis is the result of analyzing a nest.
+type Analysis struct {
+	Algorithm    *uda.Algorithm
+	Dependencies []DependenceInfo
+}
+
+// Analyze derives the uniform dependence algorithm (J, D) of the nest.
+// It returns an error when a dependence is not uniform (different
+// access matrices to the written array) or not lexicographically
+// positive (the statement would read a value not yet produced).
+func Analyze(nst *Nest) (*Analysis, error) {
+	if err := nst.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(nst.Vars)
+	wMat, wOff := nst.Body.Write.accessMatrix(n)
+	var deps []DependenceInfo
+	seen := map[string]bool{}
+	add := func(d intmat.Vector, kind, arr string) {
+		key := d.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		deps = append(deps, DependenceInfo{Vector: d, Kind: kind, Array: arr})
+	}
+
+	for _, r := range nst.Body.Reads {
+		rMat, rOff := r.accessMatrix(n)
+		if r.Array == nst.Body.Write.Array {
+			// Flow dependence: writer at j−d, reader at j, with
+			// W·(j−d) + wOff = R·j + rOff. Uniformity needs W = R
+			// entrywise; the distance solves W·d = wOff − rOff.
+			if len(r.Index) != len(nst.Body.Write.Index) {
+				return nil, fmt.Errorf("loopnest: %s read/write arity mismatch", r.Array)
+			}
+			if !wMat.Equal(rMat) {
+				return nil, fmt.Errorf("loopnest: dependence on %s is not uniform: read access %v differs from write access %v in the linear part", r.Array, rMat, wMat)
+			}
+			d, aliases, err := flowDistance(wMat, wOff.Sub(rOff))
+			if err != nil {
+				return nil, fmt.Errorf("loopnest: %s: %w", r.Array, err)
+			}
+			if aliases {
+				add(d, "flow", r.Array)
+				continue
+			}
+			// Read and write never touch the same element (e.g. A[2i] vs
+			// A[2i+1]): no flow dependence — the read behaves like an
+			// input and may still need broadcast uniformization below.
+		}
+		// Input-like read: uniformize broadcasts along null(access).
+		reduced := independentRows(rMat)
+		if reduced.Rows() == rMat.Cols() {
+			continue // bijective-ish access: every iteration reads its own element
+		}
+		var nullBasis []intmat.Vector
+		if reduced.Rows() == 0 {
+			for j := 0; j < n; j++ {
+				e := intmat.NewVector(n)
+				e[j] = 1
+				nullBasis = append(nullBasis, e)
+			}
+		} else {
+			h, err := intmat.HermiteNormalForm(reduced)
+			if err != nil {
+				return nil, fmt.Errorf("loopnest: %s: access analysis failed: %v", r.Array, err)
+			}
+			nullBasis = h.NullBasis()
+		}
+		for _, w := range nullBasis {
+			add(lexPositive(w), "uniformized", r.Array)
+		}
+	}
+	if len(deps) == 0 {
+		return nil, errors.New("loopnest: statement induces no dependencies — every read is a distinct pure input; any full-rank T is trivially valid")
+	}
+	d := intmat.New(n, len(deps))
+	for i, di := range deps {
+		d.SetCol(i, di.Vector)
+	}
+	algo := &uda.Algorithm{Name: nst.Name, Set: uda.IndexSet{Upper: nst.Bounds.Clone()}, D: d}
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analysis{Algorithm: algo, Dependencies: deps}, nil
+}
+
+// flowDistance solves W·d = rhs for the realized flow-dependence
+// distance: the reader at iteration j consumes the value produced by
+// the lexicographically latest earlier writer, so the distance is the
+// lexicographically smallest strictly positive element of the solution
+// set d0 + null(W). Along a line that minimum is well-defined (lex
+// order is monotone in the line parameter); for null dimension 0 the
+// solution is unique; for the full-dimensional null space (a scalar
+// accumulator) the nearest writer is always the immediate predecessor
+// e_n. Intermediate null dimensions make the nearest writer
+// point-dependent — not a uniform dependence — and are rejected.
+// aliases is false (with nil error) when the read and write can never
+// touch the same element, i.e. there is no flow dependence at all.
+func flowDistance(w *intmat.Matrix, rhs intmat.Vector) (d intmat.Vector, aliases bool, err error) {
+	n := w.Cols()
+	// Reduce to independent rows (repeated subscripts are consistent or
+	// the system is infeasible; consistency is verified at the end).
+	wr := independentRows(w)
+	rowsUsed := independentRowIndices(w)
+	rhsR := make(intmat.Vector, len(rowsUsed))
+	for i, r := range rowsUsed {
+		rhsR[i] = rhs[r]
+	}
+	var d0 intmat.Vector
+	var nullBasis []intmat.Vector
+	if wr.Rows() == 0 {
+		d0 = intmat.NewVector(n)
+		for j := 0; j < n; j++ {
+			e := intmat.NewVector(n)
+			e[j] = 1
+			nullBasis = append(nullBasis, e)
+		}
+	} else {
+		h, herr := intmat.HermiteNormalForm(wr)
+		if herr != nil {
+			return nil, false, fmt.Errorf("access matrix analysis failed: %v", herr)
+		}
+		// Solve L·y = rhsR by forward substitution; entries must divide
+		// exactly for an integral solution to exist.
+		k := wr.Rows()
+		y := make(intmat.Vector, n)
+		L := h.H
+		for i := 0; i < k; i++ {
+			acc := rhsR[i]
+			for j := 0; j < i; j++ {
+				acc -= L.At(i, j) * y[j]
+			}
+			if L.At(i, i) == 0 || acc%L.At(i, i) != 0 {
+				return nil, false, nil // accesses never alias: no flow dependence
+			}
+			y[i] = acc / L.At(i, i)
+		}
+		d0 = h.U.MulVec(y)
+		nullBasis = h.NullBasis()
+	}
+	// Consistency on redundant rows.
+	if !w.MulVec(d0).Equal(rhs) {
+		return nil, false, nil // inconsistent subscripts: never alias
+	}
+	d, err = minimalLexPositive(d0, nullBasis)
+	if err != nil {
+		return nil, false, err
+	}
+	return d, true, nil
+}
+
+// minimalLexPositive returns the lexicographically smallest strictly
+// positive representative of d0 + span_Z(basis), for null dimensions
+// 0, 1 and full (see flowDistance).
+func minimalLexPositive(d0 intmat.Vector, basis []intmat.Vector) (intmat.Vector, error) {
+	n := len(d0)
+	switch len(basis) {
+	case 0:
+		switch lexSign(d0) {
+		case 0:
+			return nil, ErrSameIteration
+		case -1:
+			return nil, errors.New("dependence distance is lexicographically negative: the statement reads a value produced by a later iteration")
+		}
+		return d0, nil
+	case n:
+		// W ≡ 0: every iteration touches the same element; the nearest
+		// earlier writer is the immediate lexicographic predecessor.
+		e := intmat.NewVector(n)
+		e[n-1] = 1
+		return e, nil
+	case 1:
+		w := lexPositive(basis[0])
+		// lex order of d0 + t·w is strictly increasing in t; binary
+		// search for the smallest t with a strictly positive vector.
+		lo, hi := int64(-1), int64(1)
+		for lexSign(d0.Add(w.Scale(lo))) > 0 {
+			lo *= 2
+			if lo < -(1 << 40) {
+				return nil, errors.New("internal: unbounded lexicographic search")
+			}
+		}
+		for lexSign(d0.Add(w.Scale(hi))) <= 0 {
+			hi *= 2
+			if hi > 1<<40 {
+				return nil, errors.New("internal: unbounded lexicographic search")
+			}
+		}
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if lexSign(d0.Add(w.Scale(mid))) > 0 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return d0.Add(w.Scale(hi)), nil
+	default:
+		return nil, fmt.Errorf("recurrence has a %d-dimensional family of producing iterations — the nearest writer is point-dependent, not a uniform dependence", len(basis))
+	}
+}
+
+func lexSign(v intmat.Vector) int {
+	for _, x := range v {
+		if x > 0 {
+			return 1
+		}
+		if x < 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+func lexLess(a, b intmat.Vector) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// lexPositive flips a vector so its first non-zero entry is positive —
+// propagation direction for uniformized broadcasts (either direction
+// serializes the broadcast; lex-positive respects execution order for
+// any valid schedule with positive entries).
+func lexPositive(v intmat.Vector) intmat.Vector {
+	if lexSign(v) < 0 {
+		return v.Neg()
+	}
+	return v.Clone()
+}
+
+// independentRows returns a maximal set of linearly independent rows of
+// m, in their original order.
+func independentRows(m *intmat.Matrix) *intmat.Matrix {
+	idx := independentRowIndices(m)
+	cols := make([]int, m.Cols())
+	for i := range cols {
+		cols[i] = i
+	}
+	return m.Submatrix(idx, cols)
+}
+
+func independentRowIndices(m *intmat.Matrix) []int {
+	var idx []int
+	cur := intmat.New(0, m.Cols())
+	for r := 0; r < m.Rows(); r++ {
+		cand := cur.AppendRow(m.Row(r))
+		if cand.Rank() == cand.Rows() {
+			cur = cand
+			idx = append(idx, r)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,301 @@
+package loopnest
+
+import (
+	"strings"
+	"testing"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+func mustParse(t *testing.T, name string, vars []string, bounds []int64, stmt string) *Nest {
+	t.Helper()
+	nest, err := Parse(name, vars, bounds, stmt)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", stmt, err)
+	}
+	return nest
+}
+
+func mustAnalyze(t *testing.T, nest *Nest) *Analysis {
+	t.Helper()
+	a, err := Analyze(nest)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", nest.Name, err)
+	}
+	return a
+}
+
+func depSet(a *Analysis) map[string]string {
+	m := map[string]string{}
+	for _, d := range a.Dependencies {
+		m[d.Vector.String()] = d.Kind
+	}
+	return m
+}
+
+// TestMatMulDerivesEquation34: the classic matmul statement must yield
+// exactly the paper's dependence matrix D = I (Equation 3.4): the C
+// accumulation is a flow dependence along k, and the A and B broadcasts
+// uniformize along j and i respectively.
+func TestMatMulDerivesEquation34(t *testing.T) {
+	nest := mustParse(t, "matmul", []string{"i", "j", "k"}, []int64{4, 4, 4},
+		"C[i,j] = C[i,j] + A[i,k] * B[k,j]")
+	a := mustAnalyze(t, nest)
+	deps := depSet(a)
+	want := map[string]string{
+		"[0 0 1]": "flow",        // C along k
+		"[0 1 0]": "uniformized", // A broadcast along j
+		"[1 0 0]": "uniformized", // B broadcast along i
+	}
+	if len(deps) != len(want) {
+		t.Fatalf("deps = %v, want %v", deps, want)
+	}
+	for v, kind := range want {
+		if deps[v] != kind {
+			t.Errorf("dependence %s: kind %q, want %q", v, deps[v], kind)
+		}
+	}
+	// The derived algorithm is interchangeable with the hand-written one.
+	ref := uda.MatMul(4)
+	if a.Algorithm.Dim() != ref.Dim() || a.Algorithm.NumDeps() != ref.NumDeps() {
+		t.Errorf("derived algorithm shape differs: %v vs %v", a.Algorithm, ref)
+	}
+}
+
+// TestConvolutionDerivation: y[i] = y[i] + h[k]*x[i-k] over (i, k).
+func TestConvolutionDerivation(t *testing.T) {
+	nest := mustParse(t, "conv", []string{"i", "k"}, []int64{6, 3},
+		"y[i] = y[i] + h[k] * x[i-k]")
+	a := mustAnalyze(t, nest)
+	deps := depSet(a)
+	want := map[string]string{
+		"[0 1]": "flow",        // y accumulates along k
+		"[1 0]": "uniformized", // h broadcast along i
+		"[1 1]": "uniformized", // x constant along i−k = const diagonals
+	}
+	for v, kind := range want {
+		if deps[v] != kind {
+			t.Errorf("dependence %s: got %q, want %q (all: %v)", v, deps[v], kind, deps)
+		}
+	}
+	if len(deps) != len(want) {
+		t.Errorf("deps = %v, want exactly %v", deps, want)
+	}
+}
+
+// TestStencilFlowDistances: u[t,x] = u[t-1,x-1] + u[t-1,x+1] has two
+// uniform flow dependencies (1,1) and (1,-1).
+func TestStencilFlowDistances(t *testing.T) {
+	nest := mustParse(t, "stencil", []string{"t", "x"}, []int64{5, 5},
+		"u[t,x] = u[t-1,x-1] + u[t-1,x+1]")
+	a := mustAnalyze(t, nest)
+	deps := depSet(a)
+	if deps["[1 1]"] != "flow" || deps["[1 -1]"] != "flow" {
+		t.Errorf("deps = %v", deps)
+	}
+	if len(deps) != 2 {
+		t.Errorf("extra dependencies: %v", deps)
+	}
+}
+
+// TestScalarAccumulator: s[0] = s[0] + a[i,j] — full-dimensional
+// aliasing resolves to the immediate predecessor e_n.
+func TestScalarAccumulator(t *testing.T) {
+	nest := mustParse(t, "reduce", []string{"i", "j"}, []int64{3, 3},
+		"s[0] = s[0] + a[i,j]")
+	a := mustAnalyze(t, nest)
+	deps := depSet(a)
+	if deps["[0 1]"] != "flow" {
+		t.Errorf("deps = %v, want flow [0 1]", deps)
+	}
+	if len(deps) != 1 {
+		t.Errorf("deps = %v", deps)
+	}
+}
+
+// TestNeverAliasingReadIsInput: A[2i] = A[2i+1] + ... never aliases;
+// with a broadcast-free access there is no dependence from A at all.
+func TestNeverAliasingReadIsInput(t *testing.T) {
+	nest := mustParse(t, "odd-even", []string{"i", "j"}, []int64{4, 4},
+		"A[2*i] = A[2*i+1] + B[j]")
+	a := mustAnalyze(t, nest)
+	deps := depSet(a)
+	// A[2i+1] never aliases A[2i] → input-like; its access (2i+1) is
+	// rank 1 over 2 vars → broadcast along j → dep (0,1).
+	// B[j] broadcast along i → dep (1,0).
+	if deps["[0 1]"] != "uniformized" || deps["[1 0]"] != "uniformized" {
+		t.Errorf("deps = %v", deps)
+	}
+	if len(deps) != 2 {
+		t.Errorf("deps = %v", deps)
+	}
+}
+
+// TestAntiLexicographicRejected: reading a value produced later must be
+// rejected.
+func TestAntiLexicographicRejected(t *testing.T) {
+	nest := mustParse(t, "bad", []string{"i"}, []int64{4},
+		"u[i] = u[i+1] + 1")
+	if _, err := Analyze(nest); err == nil || !strings.Contains(err.Error(), "lexicographically negative") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestSameIterationReadRejected: x[i] = x[i] with bijective access and
+// no carrying loop is not a uniform dependence algorithm.
+func TestSameIterationReadRejected(t *testing.T) {
+	nest := mustParse(t, "bad", []string{"i"}, []int64{4},
+		"x[i] = x[i] + 1")
+	if _, err := Analyze(nest); err == nil || !strings.Contains(err.Error(), "same iteration") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestNonUniformRejected: transposed access is not uniform.
+func TestNonUniformRejected(t *testing.T) {
+	nest := mustParse(t, "bad", []string{"i", "j"}, []int64{4, 4},
+		"A[i,j] = A[j,i] + 1")
+	if _, err := Analyze(nest); err == nil || !strings.Contains(err.Error(), "not uniform") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestAmbiguousRecurrenceRejected: u[i] over (i,j,k): write access has
+// a 2-dimensional null space → nearest writer is point-dependent.
+func TestAmbiguousRecurrenceRejected(t *testing.T) {
+	nest := mustParse(t, "bad", []string{"i", "j", "k"}, []int64{3, 3, 3},
+		"u[i] = u[i-1] + 1")
+	if _, err := Analyze(nest); err == nil || !strings.Contains(err.Error(), "point-dependent") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestPureInputsOnlyRejected: no dependence at all → not mappable by
+// this machinery (and trivially parallel anyway).
+func TestPureInputsOnlyRejected(t *testing.T) {
+	nest := mustParse(t, "copy", []string{"i", "j"}, []int64{3, 3},
+		"B[i,j] = A[i,j]")
+	if _, err := Analyze(nest); err == nil || !strings.Contains(err.Error(), "no dependencies") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestEndToEndMatmulPipeline: parse → analyze → optimize: the derived
+// matmul must admit the paper's optimal schedule (t = μ(μ+2)+1 via the
+// schedule package is exercised in the example; here just check the
+// algorithm validates and matches the library constructor's deps as a
+// set).
+func TestEndToEndMatmulPipeline(t *testing.T) {
+	nest := mustParse(t, "matmul", []string{"i", "j", "k"}, []int64{4, 4, 4},
+		"C[i,j] = C[i,j] + A[i,k] * B[k,j]")
+	a := mustAnalyze(t, nest)
+	ref := uda.MatMul(4)
+	got := map[string]bool{}
+	for i := 0; i < a.Algorithm.NumDeps(); i++ {
+		got[a.Algorithm.Dep(i).String()] = true
+	}
+	for i := 0; i < ref.NumDeps(); i++ {
+		if !got[ref.Dep(i).String()] {
+			t.Errorf("derived D missing %v", ref.Dep(i))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ vars, stmt string }{
+		{"i", "= A[i]"},
+		{"i", "A[i] B[i]"},
+		{"i", "A[i] = "},
+		{"i", "A[i] = B[q]"},
+		{"i", "A[i] = B[i"},
+		{"i", "A[i] = B[i] extra[i] ="},
+		{"i", "A[] = B[i]"},
+		{"i", "A[i] = (B[i]"},
+		{"i", "A[i] = 2*"},
+		{"i", "A[i,, ] = B[i]"},
+	}
+	for _, c := range cases {
+		if _, err := Parse("x", strings.Split(c.vars, ","), []int64{4}, c.stmt); err == nil {
+			t.Errorf("Parse(%q) accepted", c.stmt)
+		}
+	}
+}
+
+func TestParseAffineForms(t *testing.T) {
+	nest := mustParse(t, "aff", []string{"i", "j"}, []int64{5, 5},
+		"A[2*i-j+3, j] = A[2*i-j+2, j] + B[i, -j]")
+	w := nest.Body.Write
+	if !w.Index[0].Coef.Equal(intmat.Vec(2, -1)) || w.Index[0].Const != 3 {
+		t.Errorf("write subscript 0 = %+v", w.Index[0])
+	}
+	if len(nest.Body.Reads) != 2 {
+		t.Fatalf("reads = %v", nest.Body.Reads)
+	}
+	b := nest.Body.Reads[1]
+	if !b.Index[1].Coef.Equal(intmat.Vec(0, -1)) {
+		t.Errorf("B subscript 1 = %+v", b.Index[1])
+	}
+	// The A self-reference has distance solving 2d_i − d_j = 1, d_j = 0
+	// → d = (?, 0): 2d_i = 1 has no integral solution → never aliases →
+	// A read becomes input-like with full-rank access → no dep from A;
+	// B[i,−j] full rank → no dep. Only... nothing: expect the
+	// no-dependencies error.
+	if _, err := Analyze(nest); err == nil || !strings.Contains(err.Error(), "no dependencies") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestParseFunctionCalls: the Levenshtein statement with min() must
+// derive the edit-distance dependence structure.
+func TestParseFunctionCalls(t *testing.T) {
+	nest := mustParse(t, "edit", []string{"i", "j"}, []int64{5, 5},
+		"D[i,j] = min(D[i-1,j]+1, D[i,j-1]+1, D[i-1,j-1]+sub(i,j))")
+	a := mustAnalyze(t, nest)
+	deps := depSet(a)
+	for _, want := range []string{"[1 0]", "[0 1]", "[1 1]"} {
+		if deps[want] != "flow" {
+			t.Errorf("missing flow dependence %s (got %v)", want, deps)
+		}
+	}
+	if len(deps) != 3 {
+		t.Errorf("deps = %v", deps)
+	}
+	// Empty argument list and nested calls parse.
+	if _, err := Parse("x", []string{"i"}, []int64{3}, "A[i] = f() + g(min(A[i-1], 2))"); err != nil {
+		t.Errorf("nested calls rejected: %v", err)
+	}
+	// Malformed calls fail.
+	for _, bad := range []string{"A[i] = min(A[i-1]", "A[i] = min(A[i-1];)", "A[i] = min(,)"} {
+		if _, err := Parse("x", []string{"i"}, []int64{3}, bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	good := mustParse(t, "ok", []string{"i"}, []int64{3}, "A[i] = A[i-1] + 1")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid nest rejected: %v", err)
+	}
+	bad := &Nest{Name: "x", Vars: nil, Bounds: nil}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty nest accepted")
+	}
+	bad2 := &Nest{Name: "x", Vars: []string{"i"}, Bounds: intmat.Vec(0)}
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if _, err := Parse("x", []string{"i"}, []int64{0}, "A[i] = A[i-1]"); err == nil {
+		t.Error("zero bound accepted by Parse")
+	}
+}
+
+func TestRefAndAffineString(t *testing.T) {
+	nest := mustParse(t, "s", []string{"i", "j"}, []int64{3, 3},
+		"A[2*i+1, j] = A[2*i, j] + 1")
+	s := nest.Body.Write.String()
+	if !strings.Contains(s, "A[") {
+		t.Errorf("Ref.String = %q", s)
+	}
+}

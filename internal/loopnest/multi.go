@@ -1,0 +1,385 @@
+package loopnest
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// This file extends the front end to multi-statement loop bodies via
+// statement alignment — the technique the paper points to for programs
+// with several statements ("Nested loop programs with multiple
+// statements can also use the techniques of this paper together with
+// the alignment method discussed in [14] and [24]", Section 2).
+//
+// Each statement S_s is given an integer offset σ_s; the instance of
+// S_s at iteration j̄ is re-indexed to j̄ + σ_s, and all statements at
+// the same re-indexed point merge into one macro-computation. A
+// cross-statement dependence with raw distance d̄ becomes
+// d̄ + σ_writer − σ_reader after alignment; a zero adjusted distance is
+// internal to the macro node (legal exactly when the writer precedes
+// the reader textually), and the optimizer chooses offsets minimizing
+// the total adjusted communication Σ‖d̄'‖₁ — driving as many edges to
+// zero as possible, the classical alignment objective.
+
+// MultiNest is a loop nest with an ordered list of statements.
+type MultiNest struct {
+	Name   string
+	Vars   []string
+	Bounds intmat.Vector
+	Stmts  []Statement
+}
+
+// Validate checks structure: distinct written arrays, consistent
+// subscript arities.
+func (mn *MultiNest) Validate() error {
+	if len(mn.Stmts) == 0 {
+		return errors.New("loopnest: no statements")
+	}
+	written := map[string]int{}
+	for s, st := range mn.Stmts {
+		single := &Nest{Name: mn.Name, Vars: mn.Vars, Bounds: mn.Bounds, Body: st}
+		if err := single.Validate(); err != nil {
+			return fmt.Errorf("statement %d: %w", s+1, err)
+		}
+		if prev, dup := written[st.Write.Array]; dup {
+			return fmt.Errorf("loopnest: array %s written by statements %d and %d — single assignment per array required", st.Write.Array, prev+1, s+1)
+		}
+		written[st.Write.Array] = s
+	}
+	return nil
+}
+
+// ParseMulti parses one statement string per list entry into a
+// MultiNest.
+func ParseMulti(name string, vars []string, bounds []int64, stmts []string) (*MultiNest, error) {
+	if len(stmts) == 0 {
+		return nil, errors.New("loopnest: no statements")
+	}
+	mn := &MultiNest{Name: name, Vars: vars, Bounds: append(intmat.Vector{}, bounds...)}
+	for i, stmt := range stmts {
+		nest, err := Parse(fmt.Sprintf("%s#%d", name, i+1), vars, bounds, stmt)
+		if err != nil {
+			return nil, err
+		}
+		mn.Stmts = append(mn.Stmts, nest.Body)
+	}
+	if err := mn.Validate(); err != nil {
+		return nil, err
+	}
+	return mn, nil
+}
+
+// CrossDep records one cross-statement dependence edge.
+type CrossDep struct {
+	Writer, Reader int // statement indexes (0-based)
+	Array          string
+	// Raw is the distance before alignment, Adjusted after.
+	Raw, Adjusted intmat.Vector
+}
+
+// MultiAnalysis is the merged, aligned uniform dependence algorithm.
+type MultiAnalysis struct {
+	Algorithm *uda.Algorithm
+	// Offsets are the alignment vectors σ_s per statement.
+	Offsets []intmat.Vector
+	// Edges are the cross-statement dependencies (zero Adjusted =
+	// internalized by the alignment).
+	Edges []CrossDep
+	// Dependencies records the columns of the merged D with provenance.
+	Dependencies []DependenceInfo
+	// Internalized counts cross edges driven to zero communication.
+	Internalized int
+}
+
+// AlignOptions bounds the offset search.
+type AlignOptions struct {
+	// MaxOffset bounds |σ_s[i]| (default: the largest raw cross
+	// distance magnitude, so any single edge can be internalized).
+	MaxOffset int64
+}
+
+// AnalyzeMulti derives per-statement and cross-statement dependencies,
+// aligns the statements, and merges everything into one uniform
+// dependence algorithm over the original index set. Boundary effects of
+// the re-indexing (instances shifted past the box edges) follow the
+// usual convention: out-of-set sources are inputs.
+func AnalyzeMulti(mn *MultiNest, opts *AlignOptions) (*MultiAnalysis, error) {
+	if err := mn.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &AlignOptions{}
+	}
+	n := len(mn.Vars)
+	q := len(mn.Stmts)
+	writerOf := map[string]int{}
+	for s, st := range mn.Stmts {
+		writerOf[st.Write.Array] = s
+	}
+
+	// Per-statement dependencies (self flows + input uniformization)
+	// are alignment-invariant: both endpoints shift together.
+	var deps []DependenceInfo
+	seen := map[string]bool{}
+	add := func(d intmat.Vector, kind, arr string) {
+		key := d.String()
+		if seen[key] || d.IsZero() {
+			return
+		}
+		seen[key] = true
+		deps = append(deps, DependenceInfo{Vector: d, Kind: kind, Array: arr})
+	}
+	var edges []CrossDep
+	for s, st := range mn.Stmts {
+		wMat, wOff := st.Write.accessMatrix(n)
+		for _, r := range st.Reads {
+			rMat, rOff := r.accessMatrix(n)
+			w, isCross := writerOf[r.Array]
+			switch {
+			case r.Array == st.Write.Array:
+				// Self flow: same machinery as the single-statement case.
+				if !wMat.Equal(rMat) {
+					return nil, fmt.Errorf("loopnest: statement %d: dependence on %s is not uniform", s+1, r.Array)
+				}
+				d, aliases, err := flowDistance(wMat, wOff.Sub(rOff))
+				if err != nil {
+					return nil, fmt.Errorf("loopnest: statement %d: %s: %w", s+1, r.Array, err)
+				}
+				if aliases {
+					add(d, "flow", r.Array)
+					continue
+				}
+				uniformizeInput(rMat, n, add, r.Array)
+			case isCross:
+				other := mn.Stmts[w]
+				owMat, owOff := other.Write.accessMatrix(n)
+				if len(r.Index) != len(other.Write.Index) {
+					return nil, fmt.Errorf("loopnest: %s read/write arity mismatch", r.Array)
+				}
+				if !owMat.Equal(rMat) {
+					return nil, fmt.Errorf("loopnest: cross dependence on %s is not uniform", r.Array)
+				}
+				d, aliases, err := crossDistance(owMat, owOff.Sub(rOff))
+				if err != nil {
+					return nil, fmt.Errorf("loopnest: %s (statement %d → %d): %w", r.Array, w+1, s+1, err)
+				}
+				if !aliases {
+					uniformizeInput(rMat, n, add, r.Array)
+					continue
+				}
+				edges = append(edges, CrossDep{Writer: w, Reader: s, Array: r.Array, Raw: d})
+			default:
+				uniformizeInput(rMat, n, add, r.Array)
+			}
+		}
+	}
+
+	// Alignment: bounded exhaustive search over offsets (σ_1 = 0).
+	offsets, err := alignOffsets(mn, edges, q, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	internalized := 0
+	for i := range edges {
+		e := &edges[i]
+		e.Adjusted = e.Raw.Add(offsets[e.Writer]).Sub(offsets[e.Reader])
+		if e.Adjusted.IsZero() {
+			internalized++
+			continue
+		}
+		add(e.Adjusted, "cross", e.Array)
+	}
+	if len(deps) == 0 {
+		return nil, errors.New("loopnest: merged statement induces no dependencies")
+	}
+	d := intmat.New(n, len(deps))
+	for i, di := range deps {
+		d.SetCol(i, di.Vector)
+	}
+	algo := &uda.Algorithm{Name: mn.Name, Set: uda.IndexSet{Upper: mn.Bounds.Clone()}, D: d}
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	return &MultiAnalysis{
+		Algorithm:    algo,
+		Offsets:      offsets,
+		Edges:        edges,
+		Dependencies: deps,
+		Internalized: internalized,
+	}, nil
+}
+
+// uniformizeInput adds broadcast-serialization dependencies for a read
+// with rank-deficient access.
+func uniformizeInput(rMat *intmat.Matrix, n int, add func(intmat.Vector, string, string), arr string) {
+	reduced := independentRows(rMat)
+	if reduced.Rows() == rMat.Cols() {
+		return
+	}
+	if reduced.Rows() == 0 {
+		for j := 0; j < n; j++ {
+			e := intmat.NewVector(n)
+			e[j] = 1
+			add(e, "uniformized", arr)
+		}
+		return
+	}
+	h, err := intmat.HermiteNormalForm(reduced)
+	if err != nil {
+		return
+	}
+	for _, w := range h.NullBasis() {
+		add(lexPositive(w), "uniformized", arr)
+	}
+}
+
+// crossDistance is flowDistance under the single-assignment reading of
+// cross-statement accesses (the paper's Definition 2.1 model is a
+// system of recurrence equations, so textual order carries no meaning):
+// a zero distance — the value produced by the other statement in the
+// same iteration — is always a candidate; cyclic same-iteration
+// dependence is rejected later by the alignment legality check.
+func crossDistance(w *intmat.Matrix, rhs intmat.Vector) (intmat.Vector, bool, error) {
+	if rhs.IsZero() {
+		// Zero solves W·d = 0 and is the lexicographically smallest
+		// non-negative distance.
+		return intmat.NewVector(w.Cols()), true, nil
+	}
+	d, aliases, err := flowDistance(w, rhs)
+	if err == nil {
+		return d, aliases, nil
+	}
+	if errors.Is(err, ErrSameIteration) {
+		return intmat.NewVector(w.Cols()), true, nil
+	}
+	return nil, false, err
+}
+
+// alignOffsets searches offsets σ_s ∈ [−B, B]^n (σ_1 = 0) minimizing
+// Σ‖adjusted‖₁ subject to every adjusted distance being legal:
+// lexicographically positive, or zero when the writer precedes the
+// reader.
+func alignOffsets(mn *MultiNest, edges []CrossDep, q, n int, opts *AlignOptions) ([]intmat.Vector, error) {
+	offsets := make([]intmat.Vector, q)
+	for s := range offsets {
+		offsets[s] = intmat.NewVector(n)
+	}
+	if len(edges) == 0 || q == 1 {
+		return offsets, nil
+	}
+	bound := opts.MaxOffset
+	if bound == 0 {
+		for _, e := range edges {
+			if m := e.Raw.InfNorm(); m > bound {
+				bound = m
+			}
+		}
+		if bound == 0 {
+			bound = 1
+		}
+	}
+	// Exhaustive search over (2B+1)^(n·(q−1)) assignments; statements
+	// and dimensions are small in this model (the search is gated).
+	dims := n * (q - 1)
+	total := 1.0
+	for i := 0; i < dims; i++ {
+		total *= float64(2*bound + 1)
+		if total > 5e7 {
+			return nil, fmt.Errorf("loopnest: alignment search space too large (%d statements × %d dims, |σ| ≤ %d); set AlignOptions.MaxOffset lower", q, n, bound)
+		}
+	}
+	bestCost := int64(1) << 62
+	var best []intmat.Vector
+	cur := make([]intmat.Vector, q)
+	cur[0] = intmat.NewVector(n)
+	var rec func(s, i int)
+	rec = func(s, i int) {
+		if s == q {
+			cost, ok := alignmentCost(edges, cur)
+			if ok && cost < bestCost {
+				bestCost = cost
+				best = make([]intmat.Vector, q)
+				for t := range cur {
+					best[t] = cur[t].Clone()
+				}
+			}
+			return
+		}
+		if i == n {
+			rec(s+1, 0)
+			return
+		}
+		if cur[s] == nil {
+			cur[s] = intmat.NewVector(n)
+		}
+		for v := -bound; v <= bound; v++ {
+			cur[s][i] = v
+			rec(s, i+1)
+		}
+		cur[s][i] = 0
+	}
+	rec(1, 0)
+	if best == nil {
+		return nil, errors.New("loopnest: no legal alignment within the offset bound — some cross dependence cannot be made lexicographically non-negative")
+	}
+	return best, nil
+}
+
+// alignmentCost returns Σ‖d + σ_w − σ_s‖₁ and whether the assignment
+// is legal: every adjusted edge lexicographically non-negative, and the
+// zero-adjusted edges acyclic among the statements (a cycle of
+// same-iteration dependencies has no execution order inside the merged
+// macro node).
+func alignmentCost(edges []CrossDep, offsets []intmat.Vector) (int64, bool) {
+	var cost int64
+	zeroAdj := make(map[int][]int) // writer → readers over zero edges
+	for _, e := range edges {
+		adj := e.Raw.Add(offsets[e.Writer]).Sub(offsets[e.Reader])
+		switch lexSign(adj) {
+		case -1:
+			return 0, false
+		case 0:
+			zeroAdj[e.Writer] = append(zeroAdj[e.Writer], e.Reader)
+		}
+		cost += adj.AbsSum()
+	}
+	if hasCycle(zeroAdj, len(offsets)) {
+		return 0, false
+	}
+	return cost, true
+}
+
+// hasCycle detects a directed cycle in the zero-edge statement graph.
+func hasCycle(adj map[int][]int, q int) bool {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, q)
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		state[v] = inStack
+		for _, w := range adj[v] {
+			switch state[w] {
+			case inStack:
+				return true
+			case unvisited:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		state[v] = done
+		return false
+	}
+	for v := 0; v < q; v++ {
+		if state[v] == unvisited && dfs(v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package loopnest
+
+import (
+	"strings"
+	"testing"
+
+	"lodim/internal/intmat"
+)
+
+func mustMulti(t *testing.T, vars []string, bounds []int64, stmts ...string) *MultiNest {
+	t.Helper()
+	mn, err := ParseMulti("multi", vars, bounds, stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mn
+}
+
+// TestAlignmentInternalizesShift: the classic alignment example — a
+// producer/consumer pair with a constant shift. Offsetting statement 2
+// by the shift drives the cross edge to zero communication.
+func TestAlignmentInternalizesShift(t *testing.T) {
+	mn := mustMulti(t, []string{"i"}, []int64{9},
+		"B[i] = A[i] + 1",
+		"C[i] = C[i-1] + B[i-3]",
+	)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Internalized != 1 {
+		t.Errorf("internalized = %d, want 1 (edges: %+v)", ma.Internalized, ma.Edges)
+	}
+	// σ_1 = 0 (fixed); σ_2 must absorb the raw distance 3:
+	// adjusted = raw + σ_w − σ_r = 3 + 0 − σ_2 = 0 → σ_2 = (3).
+	if !ma.Offsets[1].Equal(intmat.Vec(3)) {
+		t.Errorf("σ_2 = %v, want [3]", ma.Offsets[1])
+	}
+	// The merged algorithm keeps C's self-recurrence (0-D shifted: (1)).
+	found := false
+	for _, d := range ma.Dependencies {
+		if d.Vector.Equal(intmat.Vec(1)) && d.Kind == "flow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing C recurrence in %v", ma.Dependencies)
+	}
+}
+
+// TestAlignmentTwoDimensional: a 2-D pipeline with different shifts per
+// axis; the minimizer must zero the edge with σ_2 = (1, 2).
+func TestAlignmentTwoDimensional(t *testing.T) {
+	mn := mustMulti(t, []string{"i", "j"}, []int64{5, 5},
+		"B[i,j] = A[i,j] + 1",
+		"C[i,j] = C[i-1,j] + B[i-1,j-2]",
+	)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Internalized != 1 {
+		t.Errorf("internalized = %d (edges %+v)", ma.Internalized, ma.Edges)
+	}
+	if !ma.Offsets[1].Equal(intmat.Vec(1, 2)) {
+		t.Errorf("σ_2 = %v, want [1 2]", ma.Offsets[1])
+	}
+}
+
+// TestAlignmentIndependentConsumers: two consumers of B with different
+// shifts get independent offsets — both edges internalized.
+func TestAlignmentIndependentConsumers(t *testing.T) {
+	mn := mustMulti(t, []string{"i"}, []int64{9},
+		"B[i] = A[i] + 1",
+		"C[i] = C[i-1] + B[i-1]",
+		"D[i] = D[i-1] + B[i-3]",
+	)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ma.Edges) != 2 || ma.Internalized != 2 {
+		t.Fatalf("edges = %+v, internalized %d", ma.Edges, ma.Internalized)
+	}
+	if !ma.Offsets[1].Equal(intmat.Vec(1)) || !ma.Offsets[2].Equal(intmat.Vec(3)) {
+		t.Errorf("offsets = %v", ma.Offsets)
+	}
+}
+
+// TestAlignmentConflictingEdges: one consumer reading B at two
+// different shifts — only one edge can be internalized; the optimal
+// residual communication is |3 − 1| = 2.
+func TestAlignmentConflictingEdges(t *testing.T) {
+	mn := mustMulti(t, []string{"i"}, []int64{9},
+		"B[i] = A[i] + 1",
+		"C[i] = C[i-1] + B[i-1] + B[i-3]",
+	)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ma.Edges) != 2 {
+		t.Fatalf("edges = %+v", ma.Edges)
+	}
+	var total int64
+	for _, e := range ma.Edges {
+		if lexSign(e.Adjusted) < 0 {
+			t.Errorf("illegal adjusted edge %+v", e)
+		}
+		total += e.Adjusted.AbsSum()
+	}
+	if total != 2 {
+		t.Errorf("total adjusted communication = %d, want 2 (edges %+v)", total, ma.Edges)
+	}
+}
+
+// TestSameIterationCrossEdge: a read of a value produced earlier in the
+// same iteration is legal and internal from the start.
+func TestSameIterationCrossEdge(t *testing.T) {
+	mn := mustMulti(t, []string{"i"}, []int64{5},
+		"B[i] = A[i] + 1",
+		"C[i] = C[i-1] + B[i]",
+	)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Internalized != 1 {
+		t.Errorf("internalized = %d (edges %+v)", ma.Internalized, ma.Edges)
+	}
+	if !ma.Offsets[1].IsZero() {
+		t.Errorf("σ_2 = %v, want zero", ma.Offsets[1])
+	}
+}
+
+// TestReversedSameIterationLegal: under the single-assignment reading
+// (Definition 2.1 is a recurrence system; textual order is meaningless)
+// statement 1 may read statement 2's same-iteration output — the edge
+// is internal to the merged macro node.
+func TestReversedSameIterationLegal(t *testing.T) {
+	mn := mustMulti(t, []string{"i"}, []int64{5},
+		"B[i] = C[i] + 1",
+		"C[i] = C[i-1] + A[i]",
+	)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Internalized != 1 {
+		t.Errorf("internalized = %d (edges %+v)", ma.Internalized, ma.Edges)
+	}
+}
+
+// TestCyclicSameIterationRejected: mutually same-iteration-dependent
+// statements have no execution order — the alignment must fail.
+func TestCyclicSameIterationRejected(t *testing.T) {
+	mn := mustMulti(t, []string{"i"}, []int64{5},
+		"B[i] = C[i] + 1",
+		"C[i] = B[i] + A[i]",
+	)
+	if _, err := AnalyzeMulti(mn, nil); err == nil || !strings.Contains(err.Error(), "no legal alignment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMultiValidateErrors(t *testing.T) {
+	if _, err := ParseMulti("x", []string{"i"}, []int64{4}, nil); err == nil {
+		t.Error("empty statement list accepted")
+	}
+	if _, err := ParseMulti("x", []string{"i"}, []int64{4},
+		[]string{"B[i] = A[i]", "B[i] = C[i]"}); err == nil || !strings.Contains(err.Error(), "single assignment") {
+		t.Errorf("double write: %v", err)
+	}
+	if _, err := ParseMulti("x", []string{"i"}, []int64{4}, []string{"B[i] = ["}); err == nil {
+		t.Error("parse error swallowed")
+	}
+}
+
+func TestMultiNonUniformCrossRejected(t *testing.T) {
+	mn := mustMulti(t, []string{"i", "j"}, []int64{4, 4},
+		"B[i,j] = A[i,j] + 1",
+		"C[i,j] = C[i-1,j] + B[j,i]",
+	)
+	if _, err := AnalyzeMulti(mn, nil); err == nil || !strings.Contains(err.Error(), "not uniform") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMultiSingleStatementMatchesAnalyze(t *testing.T) {
+	stmt := "C[i,j] = C[i,j] + A[i,k]*B[k,j]"
+	single, err := Parse("mm", []string{"i", "j", "k"}, []int64{3, 3, 3}, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Analyze(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := mustMulti(t, []string{"i", "j", "k"}, []int64{3, 3, 3}, stmt)
+	ma, err := AnalyzeMulti(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Algorithm.NumDeps() != sa.Algorithm.NumDeps() {
+		t.Errorf("multi deps %d != single deps %d", ma.Algorithm.NumDeps(), sa.Algorithm.NumDeps())
+	}
+}
+
+func TestAlignmentSearchSpaceGuard(t *testing.T) {
+	// Large MaxOffset over many statements/dims must be rejected, not
+	// hang.
+	mn := mustMulti(t, []string{"i", "j", "k"}, []int64{4, 4, 4},
+		"B[i,j,k] = A[i,j,k] + 1",
+		"C[i,j,k] = C[i,j,k-1] + B[i-1,j,k]",
+		"D[i,j,k] = D[i,j,k-1] + B[i,j-1,k]",
+		"E[i,j,k] = E[i,j,k-1] + C[i-2,j,k] + D[i,j-2,k]",
+	)
+	if _, err := AnalyzeMulti(mn, &AlignOptions{MaxOffset: 50}); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+package loopnest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a Nest from a textual single-statement loop body, e.g.
+//
+//	Parse("matmul", []string{"i", "j", "k"}, intmat.Vec(4, 4, 4),
+//	      "C[i,j] = C[i,j] + A[i,k] * B[k,j]")
+//
+// The statement grammar is
+//
+//	stmt    := ref '=' expr
+//	expr    := term  (('+'|'-') term)*
+//	term    := factor (('*'|'/') factor)*
+//	factor  := ref | number | ident | '(' expr ')'
+//	ref     := ident '[' affine (',' affine)* ']'
+//	affine  := ['+'|'-'] aterm (('+'|'-') aterm)*
+//	aterm   := number ['*' var] | var
+//
+// Only array references matter for dependence analysis; scalar
+// identifiers and literal arithmetic are accepted and ignored.
+func Parse(name string, vars []string, bounds []int64, stmt string) (*Nest, error) {
+	p := &parser{vars: vars}
+	p.tokenize(stmt)
+	lhs, err := p.ref()
+	if err != nil {
+		return nil, fmt.Errorf("loopnest: parse %q: left-hand side: %w", stmt, err)
+	}
+	if !p.eat("=") {
+		return nil, fmt.Errorf("loopnest: parse %q: expected '=' after %s", stmt, lhs)
+	}
+	if err := p.expr(); err != nil {
+		return nil, fmt.Errorf("loopnest: parse %q: %w", stmt, err)
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("loopnest: parse %q: trailing input at %q", stmt, p.peek())
+	}
+	nest := &Nest{Name: name, Vars: vars, Bounds: append([]int64{}, bounds...), Body: Statement{Write: lhs, Reads: p.reads}}
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	return nest, nil
+}
+
+type parser struct {
+	vars  []string
+	toks  []string
+	pos   int
+	reads []Ref
+}
+
+func (p *parser) tokenize(s string) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(s) && unicode.IsDigit(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	p.toks = toks
+}
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.atEnd() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) eat(tok string) bool {
+	if p.peek() == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isIdent(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	c := rune(tok[0])
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isNumber(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	return unicode.IsDigit(rune(tok[0]))
+}
+
+// expr parses an expression, collecting array references into p.reads.
+func (p *parser) expr() error {
+	// Optional leading sign.
+	if p.peek() == "+" || p.peek() == "-" {
+		p.pos++
+	}
+	if err := p.term(); err != nil {
+		return err
+	}
+	for p.peek() == "+" || p.peek() == "-" {
+		p.pos++
+		if err := p.term(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) term() error {
+	if err := p.factor(); err != nil {
+		return err
+	}
+	for p.peek() == "*" || p.peek() == "/" {
+		p.pos++
+		if err := p.factor(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) factor() error {
+	tok := p.peek()
+	switch {
+	case tok == "(":
+		p.pos++
+		if err := p.expr(); err != nil {
+			return err
+		}
+		if !p.eat(")") {
+			return fmt.Errorf("expected ')' at %q", p.peek())
+		}
+		return nil
+	case isNumber(tok):
+		p.pos++
+		return nil
+	case isIdent(tok):
+		// Array reference, function call, or plain scalar.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1] == "[" {
+			r, err := p.ref()
+			if err != nil {
+				return err
+			}
+			p.reads = append(p.reads, r)
+			return nil
+		}
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1] == "(" {
+			// Function call, e.g. min(D[i-1,j]+1, D[i,j-1]+1): the
+			// callee name is ignored; argument expressions are scanned
+			// for array references.
+			p.pos += 2 // consume name and '('
+			if p.eat(")") {
+				return nil
+			}
+			for {
+				if err := p.expr(); err != nil {
+					return err
+				}
+				if p.eat(",") {
+					continue
+				}
+				if p.eat(")") {
+					return nil
+				}
+				return fmt.Errorf("expected ',' or ')' in call to %s, got %q", tok, p.peek())
+			}
+		}
+		p.pos++
+		return nil
+	default:
+		return fmt.Errorf("unexpected token %q", tok)
+	}
+}
+
+func (p *parser) ref() (Ref, error) {
+	tok := p.peek()
+	if !isIdent(tok) {
+		return Ref{}, fmt.Errorf("expected array name, got %q", tok)
+	}
+	p.pos++
+	if !p.eat("[") {
+		return Ref{}, fmt.Errorf("expected '[' after %s", tok)
+	}
+	var idx []Affine
+	for {
+		a, err := p.affine()
+		if err != nil {
+			return Ref{}, err
+		}
+		idx = append(idx, a)
+		if p.eat(",") {
+			continue
+		}
+		if p.eat("]") {
+			break
+		}
+		return Ref{}, fmt.Errorf("expected ',' or ']' in subscripts of %s, got %q", tok, p.peek())
+	}
+	return Ref{Array: tok, Index: idx}, nil
+}
+
+// affine parses a subscript expression over the loop variables.
+func (p *parser) affine() (Affine, error) {
+	a := Affine{Coef: make([]int64, len(p.vars))}
+	sign := int64(1)
+	if p.eat("-") {
+		sign = -1
+	} else {
+		p.eat("+")
+	}
+	for {
+		if err := p.affineTerm(&a, sign); err != nil {
+			return Affine{}, err
+		}
+		if p.eat("+") {
+			sign = 1
+			continue
+		}
+		if p.eat("-") {
+			sign = -1
+			continue
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) affineTerm(a *Affine, sign int64) error {
+	tok := p.peek()
+	switch {
+	case isNumber(tok):
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return err
+		}
+		p.pos++
+		if p.eat("*") {
+			vtok := p.peek()
+			vi := p.varIndex(vtok)
+			if vi < 0 {
+				return fmt.Errorf("expected loop variable after '%d*', got %q", v, vtok)
+			}
+			p.pos++
+			a.Coef[vi] += sign * v
+			return nil
+		}
+		a.Const += sign * v
+		return nil
+	case isIdent(tok):
+		vi := p.varIndex(tok)
+		if vi < 0 {
+			return fmt.Errorf("unknown loop variable %q in subscript (declared: %s)", tok, strings.Join(p.vars, ", "))
+		}
+		p.pos++
+		a.Coef[vi] += sign
+		return nil
+	default:
+		return fmt.Errorf("unexpected token %q in subscript", tok)
+	}
+}
+
+func (p *parser) varIndex(tok string) int {
+	for i, v := range p.vars {
+		if v == tok {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,178 @@
+// Package lp implements an exact linear programming solver over the
+// rationals.
+//
+// The solver is a dense two-phase primal simplex with Bland's
+// anti-cycling rule, operating entirely in exact rational arithmetic
+// (internal/rat). It exists because the time-optimal mapping problem of
+// Shang & Fortes (1990) reduces — after the disjunctive decomposition of
+// the conflict-freeness constraint — to small linear programs whose
+// extreme points are provably integral; exact arithmetic lets the
+// integrality argument of the paper's appendix be used verbatim, and a
+// handful of variables and constraints makes performance a non-issue.
+//
+// The model is
+//
+//	minimize   c·x
+//	subject to a_i·x (≤ | = | ≥) b_i   for each constraint i
+//	           optional per-variable lower/upper bounds
+//
+// with variables free by default. Internally the problem is rewritten
+// to standard computational form (equalities over non-negative
+// variables): bounded variables are translated, free variables are
+// split into differences of non-negative pairs, and slack/surplus
+// variables absorb the inequalities.
+package lp
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/rat"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+const (
+	LE Relation = iota // a·x ≤ b
+	GE                 // a·x ≥ b
+	EQ                 // a·x = b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is a single linear constraint a·x (op) b. Coeffs must have
+// exactly NumVars entries.
+type Constraint struct {
+	Coeffs []rat.Rat
+	Op     Relation
+	RHS    rat.Rat
+	Name   string // optional, for diagnostics
+}
+
+// Bound is an optional variable bound.
+type Bound struct {
+	Valid bool
+	Value rat.Rat
+}
+
+// BoundAt returns a set bound with the given value.
+func BoundAt(v rat.Rat) Bound { return Bound{Valid: true, Value: v} }
+
+// Problem is a linear program: minimize C·x subject to Constraints and
+// bounds. Maximization is expressed by negating C.
+type Problem struct {
+	NumVars     int
+	C           []rat.Rat
+	Constraints []Constraint
+	Lower       []Bound // optional; nil means all free below
+	Upper       []Bound // optional; nil means all free above
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []rat.Rat // variable values in original model space (Optimal only)
+	Objective rat.Rat   // c·x at the optimum (Optimal only)
+}
+
+// ErrBadModel reports a structurally invalid problem.
+var ErrBadModel = errors.New("lp: invalid model")
+
+// Validate checks the structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars < 0 {
+		return fmt.Errorf("%w: negative NumVars", ErrBadModel)
+	}
+	if len(p.C) != p.NumVars {
+		return fmt.Errorf("%w: len(C) = %d, want %d", ErrBadModel, len(p.C), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("%w: constraint %d has %d coefficients, want %d", ErrBadModel, i, len(c.Coeffs), p.NumVars)
+		}
+	}
+	if p.Lower != nil && len(p.Lower) != p.NumVars {
+		return fmt.Errorf("%w: len(Lower) = %d, want %d", ErrBadModel, len(p.Lower), p.NumVars)
+	}
+	if p.Upper != nil && len(p.Upper) != p.NumVars {
+		return fmt.Errorf("%w: len(Upper) = %d, want %d", ErrBadModel, len(p.Upper), p.NumVars)
+	}
+	for j := 0; j < p.NumVars; j++ {
+		lo, hasLo := p.lowerAt(j)
+		up, hasUp := p.upperAt(j)
+		if hasLo && hasUp && up.Less(lo) {
+			return fmt.Errorf("%w: variable %d has lower bound %v above upper bound %v", ErrBadModel, j, lo, up)
+		}
+	}
+	return nil
+}
+
+func (p *Problem) lowerAt(j int) (rat.Rat, bool) {
+	if p.Lower == nil || !p.Lower[j].Valid {
+		return rat.Zero(), false
+	}
+	return p.Lower[j].Value, true
+}
+
+func (p *Problem) upperAt(j int) (rat.Rat, bool) {
+	if p.Upper == nil || !p.Upper[j].Valid {
+		return rat.Zero(), false
+	}
+	return p.Upper[j].Value, true
+}
+
+// Solve runs the two-phase simplex and returns the solution. The error
+// is non-nil only for invalid models; infeasibility and unboundedness
+// are reported through Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	std := standardize(p)
+	tab := newTableau(std)
+	status := tab.solve()
+	switch status {
+	case Infeasible:
+		return &Solution{Status: Infeasible}, nil
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	}
+	xStd := tab.extract()
+	x := std.recover(xStd)
+	obj := rat.Dot(p.C, x)
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}

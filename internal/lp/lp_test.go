@@ -1,0 +1,329 @@
+package lp
+
+import (
+	"testing"
+
+	"lodim/internal/rat"
+)
+
+func ri(n int64) rat.Rat    { return rat.FromInt(n) }
+func rf(n, d int64) rat.Rat { return rat.FromFrac(n, d) }
+func rvec(ns ...int64) []rat.Rat {
+	v := make([]rat.Rat, len(ns))
+	for i, n := range ns {
+		v[i] = rat.FromInt(n)
+	}
+	return v
+}
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+// min x+y s.t. x+y >= 2, x >= 0, y >= 0 → objective 2.
+func TestSimpleMin(t *testing.T) {
+	p := &Problem{
+		NumVars: 2,
+		C:       rvec(1, 1),
+		Constraints: []Constraint{
+			{Coeffs: rvec(1, 1), Op: GE, RHS: ri(2)},
+		},
+		Lower: []Bound{BoundAt(ri(0)), BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.Objective.Equal(ri(2)) {
+		t.Errorf("objective %v, want 2", sol.Objective)
+	}
+}
+
+// Classic 2-variable LP with fractional optimum:
+// max 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18, x,y>=0 → x=2, y=6, obj=36.
+func TestClassicDantzig(t *testing.T) {
+	p := &Problem{
+		NumVars: 2,
+		C:       rvec(-3, -5), // maximize via negation
+		Constraints: []Constraint{
+			{Coeffs: rvec(1, 0), Op: LE, RHS: ri(4)},
+			{Coeffs: rvec(0, 2), Op: LE, RHS: ri(12)},
+			{Coeffs: rvec(3, 2), Op: LE, RHS: ri(18)},
+		},
+		Lower: []Bound{BoundAt(ri(0)), BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.Objective.Equal(ri(-36)) {
+		t.Errorf("objective %v, want -36", sol.Objective)
+	}
+	if !sol.X[0].Equal(ri(2)) || !sol.X[1].Equal(ri(6)) {
+		t.Errorf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestFractionalOptimum(t *testing.T) {
+	// min -x-y s.t. 2x+y <= 3, x+2y <= 3, x,y >= 0 → x=y=1? Check:
+	// vertices (0,0),(3/2,0),(0,3/2),(1,1); max x+y at (1,1) = 2.
+	p := &Problem{
+		NumVars: 2,
+		C:       rvec(-1, -1),
+		Constraints: []Constraint{
+			{Coeffs: rvec(2, 1), Op: LE, RHS: ri(3)},
+			{Coeffs: rvec(1, 2), Op: LE, RHS: ri(3)},
+		},
+		Lower: []Bound{BoundAt(ri(0)), BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if !sol.Objective.Equal(ri(-2)) {
+		t.Errorf("objective %v, want -2", sol.Objective)
+	}
+	if !sol.X[0].Equal(ri(1)) || !sol.X[1].Equal(ri(1)) {
+		t.Errorf("x = %v, want [1 1]", sol.X)
+	}
+}
+
+func TestExactFractions(t *testing.T) {
+	// min x s.t. 3x >= 1 → x = 1/3 exactly.
+	p := &Problem{
+		NumVars:     1,
+		C:           rvec(1),
+		Constraints: []Constraint{{Coeffs: rvec(3), Op: GE, RHS: ri(1)}},
+		Lower:       []Bound{BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if !sol.X[0].Equal(rf(1, 3)) {
+		t.Errorf("x = %v, want 1/3", sol.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		C:       rvec(1),
+		Constraints: []Constraint{
+			{Coeffs: rvec(1), Op: GE, RHS: ri(3)},
+			{Coeffs: rvec(1), Op: LE, RHS: ri(2)},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:     1,
+		C:           rvec(-1), // maximize x
+		Constraints: []Constraint{{Coeffs: rvec(1), Op: GE, RHS: ri(0)}},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status %v, want unbounded", sol.Status)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x+y s.t. x+y = 5, x-y = 1 → x=3, y=2.
+	p := &Problem{
+		NumVars: 2,
+		C:       rvec(1, 1),
+		Constraints: []Constraint{
+			{Coeffs: rvec(1, 1), Op: EQ, RHS: ri(5)},
+			{Coeffs: rvec(1, -1), Op: EQ, RHS: ri(1)},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.X[0].Equal(ri(3)) || !sol.X[1].Equal(ri(2)) {
+		t.Errorf("x = %v, want [3 2]", sol.X)
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// min x s.t. x >= -10 via constraint (variable itself free) → x=-10.
+	p := &Problem{
+		NumVars:     1,
+		C:           rvec(1),
+		Constraints: []Constraint{{Coeffs: rvec(1), Op: GE, RHS: ri(-10)}},
+	}
+	sol := mustSolve(t, p)
+	if !sol.X[0].Equal(ri(-10)) {
+		t.Errorf("x = %v, want -10", sol.X[0])
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min -x s.t. -x >= -4 (i.e. x <= 4), x >= 0 → x=4.
+	p := &Problem{
+		NumVars:     1,
+		C:           rvec(-1),
+		Constraints: []Constraint{{Coeffs: rvec(-1), Op: GE, RHS: ri(-4)}},
+		Lower:       []Bound{BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if !sol.X[0].Equal(ri(4)) {
+		t.Errorf("x = %v, want 4", sol.X[0])
+	}
+}
+
+func TestVariableBounds(t *testing.T) {
+	// min -x-y with 1 <= x <= 3, 2 <= y <= 5 → x=3, y=5.
+	p := &Problem{
+		NumVars: 2,
+		C:       rvec(-1, -1),
+		Lower:   []Bound{BoundAt(ri(1)), BoundAt(ri(2))},
+		Upper:   []Bound{BoundAt(ri(3)), BoundAt(ri(5))},
+	}
+	sol := mustSolve(t, p)
+	if !sol.X[0].Equal(ri(3)) || !sol.X[1].Equal(ri(5)) {
+		t.Errorf("x = %v, want [3 5]", sol.X)
+	}
+}
+
+func TestUpperBoundOnly(t *testing.T) {
+	// min -x with x <= 7 (no lower bound) → x=7.
+	p := &Problem{
+		NumVars: 1,
+		C:       rvec(-1),
+		Upper:   []Bound{BoundAt(ri(7))},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.X[0].Equal(ri(7)) {
+		t.Errorf("x = %v, want 7", sol.X[0])
+	}
+}
+
+func TestLowerAboveUpperInvalid(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		C:       rvec(1),
+		Lower:   []Bound{BoundAt(ri(5))},
+		Upper:   []Bound{BoundAt(ri(3))},
+	}
+	if _, err := p.Solve(); err == nil {
+		t.Error("crossed bounds accepted")
+	}
+}
+
+func TestValidateShapeErrors(t *testing.T) {
+	bad := []*Problem{
+		{NumVars: 2, C: rvec(1)},
+		{NumVars: 1, C: rvec(1), Constraints: []Constraint{{Coeffs: rvec(1, 2), Op: LE, RHS: ri(0)}}},
+		{NumVars: 1, C: rvec(1), Lower: []Bound{{}, {}}},
+		{NumVars: -1},
+	}
+	for i, p := range bad {
+		if _, err := p.Solve(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestDegenerateCycleResistance(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	// min -3/4 x1 + 150 x2 - 1/50 x3 + 6 x4
+	// s.t. 1/4 x1 - 60 x2 - 1/25 x3 + 9 x4 <= 0
+	//      1/2 x1 - 90 x2 - 1/50 x3 + 3 x4 <= 0
+	//      x3 <= 1, x >= 0. Optimum = -1/20.
+	p := &Problem{
+		NumVars: 4,
+		C:       []rat.Rat{rf(-3, 4), ri(150), rf(-1, 50), ri(6)},
+		Constraints: []Constraint{
+			{Coeffs: []rat.Rat{rf(1, 4), ri(-60), rf(-1, 25), ri(9)}, Op: LE, RHS: ri(0)},
+			{Coeffs: []rat.Rat{rf(1, 2), ri(-90), rf(-1, 50), ri(3)}, Op: LE, RHS: ri(0)},
+			{Coeffs: rvec(0, 0, 1, 0), Op: LE, RHS: ri(1)},
+		},
+		Lower: []Bound{BoundAt(ri(0)), BoundAt(ri(0)), BoundAt(ri(0)), BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if !sol.Objective.Equal(rf(-1, 20)) {
+		t.Errorf("objective %v, want -1/20", sol.Objective)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows force purgeArtificials to drop a row.
+	p := &Problem{
+		NumVars: 2,
+		C:       rvec(1, 1),
+		Constraints: []Constraint{
+			{Coeffs: rvec(1, 1), Op: EQ, RHS: ri(4)},
+			{Coeffs: rvec(1, 1), Op: EQ, RHS: ri(4)},
+			{Coeffs: rvec(2, 2), Op: EQ, RHS: ri(8)},
+		},
+		Lower: []Bound{BoundAt(ri(0)), BoundAt(ri(0))},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || !sol.Objective.Equal(ri(4)) {
+		t.Errorf("status %v objective %v, want optimal 4", sol.Status, sol.Objective)
+	}
+}
+
+// TestPaperMatmulSubproblemI solves Formulation I of the paper's
+// appendix (Equation 8.1) as a pure LP:
+//
+//	min μ(π1+π2+π3) s.t. π_i ≥ 1, π2+π3 ≥ μ+1
+//
+// With μ = 4 the optimum is 1+1+μ = 6 scaled by μ → 24, attained at the
+// integral extreme points [1,1,μ] or [1,μ,1], exactly the paper's Π1/Π2.
+func TestPaperMatmulSubproblemI(t *testing.T) {
+	mu := int64(4)
+	p := &Problem{
+		NumVars: 3,
+		C:       rvec(mu, mu, mu),
+		Constraints: []Constraint{
+			{Coeffs: rvec(0, 1, 1), Op: GE, RHS: ri(mu + 1)},
+		},
+		Lower: []Bound{BoundAt(ri(1)), BoundAt(ri(1)), BoundAt(ri(1))},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	want := ri(mu * (1 + 1 + mu))
+	if !sol.Objective.Equal(want) {
+		t.Errorf("objective %v, want %v", sol.Objective, want)
+	}
+	// The optimum must be integral (the paper's integrality argument:
+	// all extreme points of this polyhedron are integral).
+	for i, x := range sol.X {
+		if !x.IsInt() {
+			t.Errorf("x[%d] = %v is not integral", i, x)
+		}
+	}
+}
+
+func BenchmarkSimplexSmall(b *testing.B) {
+	p := &Problem{
+		NumVars: 3,
+		C:       rvec(4, 4, 4),
+		Constraints: []Constraint{
+			{Coeffs: rvec(0, 1, 1), Op: GE, RHS: ri(5)},
+			{Coeffs: rvec(1, 0, 1), Op: GE, RHS: ri(5)},
+		},
+		Lower: []Bound{BoundAt(ri(1)), BoundAt(ri(1)), BoundAt(ri(1))},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

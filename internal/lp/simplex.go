@@ -1,0 +1,192 @@
+package lp
+
+import "lodim/internal/rat"
+
+// tableau is a dense simplex tableau over exact rationals. Columns
+// 0…n-1 are the standard-form variables; columns n…n+m-1 are the
+// phase-1 artificial variables. The row data a is kept in the
+// "updated" form B⁻¹A (and b = B⁻¹b̂), so reduced costs are computed
+// directly from the basis costs each iteration. Bland's rule makes
+// cycling impossible, so no perturbation is needed even on the highly
+// degenerate problems the mapping formulations produce.
+type tableau struct {
+	m, n  int // constraint rows, standard variables (excluding artificials)
+	a     [][]rat.Rat
+	b     []rat.Rat
+	costs []rat.Rat // phase-2 costs for standard variables
+	basis []int     // basis[i] = column basic in row i
+}
+
+func newTableau(s *stdProblem) *tableau {
+	m, n := len(s.a), s.nVars
+	t := &tableau{m: m, n: n, costs: s.c, basis: make([]int, m)}
+	t.a = make([][]rat.Rat, m)
+	t.b = make([]rat.Rat, m)
+	for i := 0; i < m; i++ {
+		row := make([]rat.Rat, n+m)
+		copy(row, s.a[i])
+		row[n+i] = rat.One() // artificial
+		t.a[i] = row
+		t.b[i] = s.b[i]
+		t.basis[i] = n + i
+	}
+	return t
+}
+
+// solve runs both phases. It returns Optimal, Infeasible or Unbounded.
+func (t *tableau) solve() Status {
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]rat.Rat, t.n+t.m)
+	for j := t.n; j < t.n+t.m; j++ {
+		phase1[j] = rat.One()
+	}
+	if st := t.iterate(phase1, true); st == Unbounded {
+		// The phase-1 objective is bounded below by zero; unbounded here
+		// would indicate a programming error.
+		panic("lp: phase 1 reported unbounded")
+	}
+	if t.objective(phase1).Sign() > 0 {
+		return Infeasible
+	}
+	t.purgeArtificials()
+
+	// Phase 2: minimize the real objective.
+	phase2 := make([]rat.Rat, t.n+t.m)
+	copy(phase2, t.costs)
+	return t.iterate(phase2, false)
+}
+
+// objective returns c_B·b for the given cost vector.
+func (t *tableau) objective(c []rat.Rat) rat.Rat {
+	obj := rat.Zero()
+	for i := 0; i < t.m; i++ {
+		obj = obj.Add(c[t.basis[i]].Mul(t.b[i]))
+	}
+	return obj
+}
+
+// iterate runs primal simplex iterations with Bland's rule until
+// optimality or unboundedness. When allowArtificial is false, artificial
+// columns may not enter the basis.
+func (t *tableau) iterate(c []rat.Rat, allowArtificial bool) Status {
+	for {
+		enter := -1
+		limit := t.n
+		if allowArtificial {
+			limit = t.n + t.m
+		}
+		// Reduced cost r_j = c_j - c_B·a_j; Bland: first negative wins.
+		for j := 0; j < limit; j++ {
+			if t.isBasic(j) {
+				continue
+			}
+			r := c[j]
+			for i := 0; i < t.m; i++ {
+				cb := c[t.basis[i]]
+				if cb.IsZero() || t.a[i][j].IsZero() {
+					continue
+				}
+				r = r.Sub(cb.Mul(t.a[i][j]))
+			}
+			if r.Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test; Bland's tie-break on smallest basis index.
+		leave := -1
+		var best rat.Rat
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij.Sign() <= 0 {
+				continue
+			}
+			ratio := t.b[i].Div(aij)
+			if leave < 0 || ratio.Less(best) || (ratio.Equal(best) && t.basis[i] < t.basis[leave]) {
+				leave, best = i, ratio
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	p := t.a[leave][enter]
+	inv := p.Inv()
+	for j := range t.a[leave] {
+		t.a[leave][j] = t.a[leave][j].Mul(inv)
+	}
+	t.b[leave] = t.b[leave].Mul(inv)
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f.IsZero() {
+			continue
+		}
+		for j := range t.a[i] {
+			t.a[i][j] = t.a[i][j].Sub(f.Mul(t.a[leave][j]))
+		}
+		t.b[i] = t.b[i].Sub(f.Mul(t.b[leave]))
+	}
+	t.basis[leave] = enter
+}
+
+// purgeArtificials removes artificial variables from the basis after a
+// successful phase 1. A basic artificial (necessarily at value zero) is
+// pivoted out through any non-artificial column with a non-zero entry
+// in its row; if the whole row is zero the constraint is redundant and
+// the row is dropped.
+func (t *tableau) purgeArtificials() {
+	for i := 0; i < t.m; {
+		if t.basis[i] < t.n {
+			i++
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < t.n; j++ {
+			if !t.isBasic(j) && !t.a[i][j].IsZero() {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+			i++
+			continue
+		}
+		// Redundant row: drop it.
+		t.a = append(t.a[:i], t.a[i+1:]...)
+		t.b = append(t.b[:i], t.b[i+1:]...)
+		t.basis = append(t.basis[:i], t.basis[i+1:]...)
+		t.m--
+	}
+}
+
+// extract returns the standard-form solution vector.
+func (t *tableau) extract() []rat.Rat {
+	x := make([]rat.Rat, t.n)
+	for i, bj := range t.basis {
+		if bj < t.n {
+			x[bj] = t.b[i]
+		}
+	}
+	return x
+}

@@ -1,0 +1,192 @@
+package lp
+
+import "lodim/internal/rat"
+
+// stdProblem is the computational standard form:
+//
+//	minimize  c·y
+//	subject to A·y = b,  y ≥ 0,  b ≥ 0
+//
+// together with the bookkeeping needed to map a standard-form solution
+// back to the original variables.
+type stdProblem struct {
+	nVars int // number of standard variables (columns of A)
+	c     []rat.Rat
+	a     [][]rat.Rat // m rows, nVars columns
+	b     []rat.Rat   // m entries, all ≥ 0
+
+	// Per original variable: how to reconstruct it.
+	//   kind shifted:  x_j = lower_j + y[pos]
+	//   kind split:    x_j = y[pos] - y[neg]
+	recov []varRecovery
+}
+
+type varRecovery struct {
+	split    bool
+	pos, neg int     // standard-variable indices
+	shift    rat.Rat // added when not split
+	negMult  bool    // true for the upper-bound-only encoding x = shift - y
+}
+
+// standardize rewrites p into stdProblem:
+//
+//   - a variable with a finite lower bound l is substituted x = l + y,
+//     y ≥ 0 (an upper bound u becomes the row y ≤ u - l);
+//   - a variable with only an upper bound u is substituted x = u - y,
+//     y ≥ 0, encoded as a shifted variable with coefficient negation;
+//   - a free variable is split x = y⁺ - y⁻;
+//   - every inequality gains a slack or surplus variable;
+//   - rows with negative right-hand side are negated.
+func standardize(p *Problem) *stdProblem {
+	s := &stdProblem{recov: make([]varRecovery, p.NumVars)}
+
+	// Column construction: for each original variable decide its
+	// standard representation; colCoef[j] maps (std var index → multiplier)
+	// applied to original coefficient of x_j; colShift[j] is the constant
+	// substituted into each row and the objective.
+	type colPiece struct {
+		idx  int
+		mult rat.Rat
+	}
+	pieces := make([][]colPiece, p.NumVars)
+	shift := make([]rat.Rat, p.NumVars)
+
+	for j := 0; j < p.NumVars; j++ {
+		lo, hasLo := p.lowerAt(j)
+		up, hasUp := p.upperAt(j)
+		switch {
+		case hasLo:
+			y := s.addVar(rat.Zero())
+			s.recov[j] = varRecovery{pos: y, shift: lo}
+			pieces[j] = []colPiece{{y, rat.One()}}
+			shift[j] = lo
+			// A coexisting upper bound becomes a synthesized x_j ≤ up
+			// row below.
+		case hasUp:
+			// x = up - y, y ≥ 0.
+			y := s.addVar(rat.Zero())
+			s.recov[j] = varRecovery{pos: y, shift: up, negMult: true}
+			// multiplier -1: coefficient a on x becomes -a on y, plus shift a·up.
+			pieces[j] = []colPiece{{y, rat.One().Neg()}}
+			shift[j] = up
+		default:
+			yp := s.addVar(rat.Zero())
+			yn := s.addVar(rat.Zero())
+			s.recov[j] = varRecovery{split: true, pos: yp, neg: yn}
+			pieces[j] = []colPiece{{yp, rat.One()}, {yn, rat.One().Neg()}}
+			shift[j] = rat.Zero()
+		}
+	}
+
+	// Objective: c·x = Σ c_j·(pieces_j + shift_j); constants are dropped
+	// (they do not affect the argmin) — Solve recomputes the true
+	// objective from the recovered x.
+	for j := 0; j < p.NumVars; j++ {
+		for _, pc := range pieces[j] {
+			s.c[pc.idx] = s.c[pc.idx].Add(p.C[j].Mul(pc.mult))
+		}
+	}
+
+	// Rows: original constraints plus synthesized upper-bound rows for
+	// doubly-bounded variables.
+	addRow := func(coeffs []rat.Rat, op Relation, rhs rat.Rat) {
+		row := make([]rat.Rat, s.nVars)
+		acc := rhs
+		for j := 0; j < p.NumVars; j++ {
+			cj := coeffs[j]
+			if cj.IsZero() {
+				continue
+			}
+			for _, pc := range pieces[j] {
+				row[pc.idx] = row[pc.idx].Add(cj.Mul(pc.mult))
+			}
+			acc = acc.Sub(cj.Mul(shift[j]))
+		}
+		// Slack/surplus.
+		switch op {
+		case LE:
+			sv := s.addVar(rat.Zero())
+			row = padTo(row, s.nVars)
+			row[sv] = rat.One()
+		case GE:
+			sv := s.addVar(rat.Zero())
+			row = padTo(row, s.nVars)
+			row[sv] = rat.One().Neg()
+		case EQ:
+			// nothing
+		}
+		row = padTo(row, s.nVars)
+		if acc.Sign() < 0 {
+			for i := range row {
+				row[i] = row[i].Neg()
+			}
+			acc = acc.Neg()
+		}
+		s.a = append(s.a, row)
+		s.b = append(s.b, acc)
+	}
+
+	for _, c := range p.Constraints {
+		addRow(c.Coeffs, c.Op, c.RHS)
+	}
+	// Upper bounds on lower-bounded variables: x_j ≤ u  ⇒  y ≤ u - lo.
+	for j := 0; j < p.NumVars; j++ {
+		_, hasLo := p.lowerAt(j)
+		up, hasUp := p.upperAt(j)
+		if hasLo && hasUp {
+			coeffs := make([]rat.Rat, p.NumVars)
+			coeffs[j] = rat.One()
+			addRow(coeffs, LE, up)
+		}
+	}
+
+	// Pad all earlier rows to the final variable count (slack variables
+	// are appended as rows are created, so earlier rows may be short).
+	for i := range s.a {
+		s.a[i] = padTo(s.a[i], s.nVars)
+	}
+	return s
+}
+
+func (s *stdProblem) addVar(c rat.Rat) int {
+	s.c = append(s.c, c)
+	s.nVars++
+	return s.nVars - 1
+}
+
+func padTo(row []rat.Rat, n int) []rat.Rat {
+	for len(row) < n {
+		row = append(row, rat.Zero())
+	}
+	return row
+}
+
+// recover maps a standard-form solution vector back to original space.
+func (s *stdProblem) recover(y []rat.Rat) []rat.Rat {
+	x := make([]rat.Rat, len(s.recov))
+	for j, r := range s.recov {
+		if r.split {
+			x[j] = y[r.pos].Sub(y[r.neg])
+			continue
+		}
+		// Shifted variable: detect the upper-bound encoding by the sign
+		// convention — we stored x = shift ± y; the multiplier sign is
+		// recoverable from whether shift was a lower or an upper bound.
+		// To keep recovery simple we re-derive: lower-bound encoding is
+		// x = shift + y, upper-bound-only is x = shift - y. The encoding
+		// kind is stored in negated form of the piece; we track it via
+		// the sign marker below.
+		x[j] = r.shift.Add(y[r.pos].Mul(r.mult()))
+	}
+	return x
+}
+
+// mult reports the ±1 multiplier of the shifted encoding. It is stored
+// implicitly: varRecovery for an upper-bound-only variable is written
+// with shift = upper bound and negMult = true.
+func (r varRecovery) mult() rat.Rat {
+	if r.negMult {
+		return rat.One().Neg()
+	}
+	return rat.One()
+}

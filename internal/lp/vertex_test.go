@@ -1,0 +1,93 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"lodim/internal/rat"
+)
+
+// TestSimplexAgainstVertexEnumeration cross-checks the solver on random
+// bounded 2-variable LPs against the fundamental theorem of linear
+// programming: the optimum over a bounded polytope is attained at a
+// vertex, and every vertex is the intersection of two active
+// constraints. The enumeration intersects every constraint pair
+// (including the box bounds), filters feasible points, and minimizes
+// exactly in rational arithmetic.
+func TestSimplexAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 200; trial++ {
+		// Random model: minimize c·x over 0 ≤ x, y ≤ 10 plus up to 4
+		// random half-planes a·x + b·y ≤ r.
+		c := []rat.Rat{ri(rng.Int63n(11) - 5), ri(rng.Int63n(11) - 5)}
+		nCons := 1 + rng.Intn(4)
+		// All constraints as rows a·x ≤ b, including the box.
+		type row struct {
+			a1, a2, b rat.Rat
+		}
+		rows := []row{
+			{ri(-1), ri(0), ri(0)}, // -x ≤ 0
+			{ri(0), ri(-1), ri(0)}, // -y ≤ 0
+			{ri(1), ri(0), ri(10)}, // x ≤ 10
+			{ri(0), ri(1), ri(10)}, // y ≤ 10
+		}
+		p := &Problem{
+			NumVars: 2,
+			C:       c,
+			Lower:   []Bound{BoundAt(ri(0)), BoundAt(ri(0))},
+			Upper:   []Bound{BoundAt(ri(10)), BoundAt(ri(10))},
+		}
+		for i := 0; i < nCons; i++ {
+			r := row{ri(rng.Int63n(9) - 4), ri(rng.Int63n(9) - 4), ri(rng.Int63n(41) - 10)}
+			rows = append(rows, r)
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []rat.Rat{r.a1, r.a2}, Op: LE, RHS: r.b,
+			})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Vertex enumeration.
+		feasible := func(x, y rat.Rat) bool {
+			for _, r := range rows {
+				if r.a1.Mul(x).Add(r.a2.Mul(y)).Cmp(r.b) > 0 {
+					return false
+				}
+			}
+			return true
+		}
+		var best rat.Rat
+		found := false
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				// Solve the 2x2 system rows[i], rows[j] as equalities.
+				det := rows[i].a1.Mul(rows[j].a2).Sub(rows[i].a2.Mul(rows[j].a1))
+				if det.IsZero() {
+					continue
+				}
+				x := rows[i].b.Mul(rows[j].a2).Sub(rows[i].a2.Mul(rows[j].b)).Div(det)
+				y := rows[i].a1.Mul(rows[j].b).Sub(rows[i].b.Mul(rows[j].a1)).Div(det)
+				if !feasible(x, y) {
+					continue
+				}
+				obj := c[0].Mul(x).Add(c[1].Mul(y))
+				if !found || obj.Less(best) {
+					best, found = obj, true
+				}
+			}
+		}
+		if !found {
+			if sol.Status != Infeasible {
+				t.Fatalf("trial %d: enumeration infeasible, solver says %v", trial, sol.Status)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: solver status %v, enumeration found %v", trial, sol.Status, best)
+		}
+		if !sol.Objective.Equal(best) {
+			t.Fatalf("trial %d: solver %v, enumeration %v", trial, sol.Objective, best)
+		}
+	}
+}

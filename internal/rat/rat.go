@@ -1,0 +1,182 @@
+// Package rat provides an immutable exact rational number type used by
+// the simplex and branch-and-bound solvers.
+//
+// The type is a thin veneer over math/big.Rat with value semantics:
+// every operation returns a fresh value and never mutates its operands,
+// which makes solver code read like arithmetic instead of like buffer
+// management. The mapping problems of Shang & Fortes (1990) produce LPs
+// with a handful of variables and constraints, so the allocation cost is
+// irrelevant while exactness is essential — the optimizers reason about
+// integrality of extreme points, which floating point cannot support.
+package rat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rat is an immutable exact rational number. The zero value is 0.
+type Rat struct {
+	r *big.Rat // nil means zero
+}
+
+// Zero returns 0.
+func Zero() Rat { return Rat{} }
+
+// One returns 1.
+func One() Rat { return FromInt(1) }
+
+// FromInt returns n as a rational.
+func FromInt(n int64) Rat { return Rat{r: new(big.Rat).SetInt64(n)} }
+
+// FromFrac returns num/den. It panics if den is zero.
+func FromFrac(num, den int64) Rat {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	return Rat{r: big.NewRat(num, den)}
+}
+
+// Parse parses strings like "3", "-7/2".
+func Parse(s string) (Rat, error) {
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
+	}
+	return Rat{r: r}, nil
+}
+
+func (a Rat) big() *big.Rat {
+	if a.r == nil {
+		return new(big.Rat)
+	}
+	return a.r
+}
+
+// Add returns a + b.
+func (a Rat) Add(b Rat) Rat { return Rat{r: new(big.Rat).Add(a.big(), b.big())} }
+
+// Sub returns a - b.
+func (a Rat) Sub(b Rat) Rat { return Rat{r: new(big.Rat).Sub(a.big(), b.big())} }
+
+// Mul returns a · b.
+func (a Rat) Mul(b Rat) Rat { return Rat{r: new(big.Rat).Mul(a.big(), b.big())} }
+
+// Div returns a / b. It panics if b is zero.
+func (a Rat) Div(b Rat) Rat {
+	if b.Sign() == 0 {
+		panic("rat: division by zero")
+	}
+	return Rat{r: new(big.Rat).Quo(a.big(), b.big())}
+}
+
+// Neg returns -a.
+func (a Rat) Neg() Rat { return Rat{r: new(big.Rat).Neg(a.big())} }
+
+// Abs returns |a|.
+func (a Rat) Abs() Rat { return Rat{r: new(big.Rat).Abs(a.big())} }
+
+// Inv returns 1/a. It panics if a is zero.
+func (a Rat) Inv() Rat {
+	if a.Sign() == 0 {
+		panic("rat: inverse of zero")
+	}
+	return Rat{r: new(big.Rat).Inv(a.big())}
+}
+
+// Sign returns -1, 0, or +1.
+func (a Rat) Sign() int { return a.big().Sign() }
+
+// Cmp compares a and b, returning -1, 0, or +1.
+func (a Rat) Cmp(b Rat) int { return a.big().Cmp(b.big()) }
+
+// Equal reports a == b.
+func (a Rat) Equal(b Rat) bool { return a.Cmp(b) == 0 }
+
+// Less reports a < b.
+func (a Rat) Less(b Rat) bool { return a.Cmp(b) < 0 }
+
+// LessEq reports a ≤ b.
+func (a Rat) LessEq(b Rat) bool { return a.Cmp(b) <= 0 }
+
+// IsZero reports a == 0.
+func (a Rat) IsZero() bool { return a.Sign() == 0 }
+
+// IsInt reports whether a is an integer.
+func (a Rat) IsInt() bool { return a.big().IsInt() }
+
+// Floor returns ⌊a⌋ as an int64. It panics if the result does not fit.
+func (a Rat) Floor() int64 {
+	r := a.big()
+	q := new(big.Int)
+	m := new(big.Int)
+	q.QuoRem(r.Num(), r.Denom(), m)
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("rat: Floor result exceeds int64")
+	}
+	return q.Int64()
+}
+
+// Ceil returns ⌈a⌉ as an int64. It panics if the result does not fit.
+func (a Rat) Ceil() int64 {
+	return -(a.Neg().Floor())
+}
+
+// Int64 returns the value as an int64 and whether the value is an
+// integer that fits.
+func (a Rat) Int64() (int64, bool) {
+	r := a.big()
+	if !r.IsInt() || !r.Num().IsInt64() {
+		return 0, false
+	}
+	return r.Num().Int64(), true
+}
+
+// Float64 returns the nearest float64 (for reporting only).
+func (a Rat) Float64() float64 {
+	f, _ := a.big().Float64()
+	return f
+}
+
+// String formats a as "p/q" or "p".
+func (a Rat) String() string { return a.big().RatString() }
+
+// Min returns the smaller of a and b.
+func Min(a, b Rat) Rat {
+	if a.Cmp(b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Rat) Rat {
+	if a.Cmp(b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// Sum returns the sum of all values (0 for none).
+func Sum(vs ...Rat) Rat {
+	s := Zero()
+	for _, v := range vs {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// Dot returns Σ a_i·b_i. It panics if the lengths differ.
+func Dot(a, b []Rat) Rat {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("rat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := Zero()
+	for i := range a {
+		s = s.Add(a[i].Mul(b[i]))
+	}
+	return s
+}

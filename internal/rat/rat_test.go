@@ -1,0 +1,216 @@
+package rat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var z Rat
+	if !z.IsZero() || z.Sign() != 0 {
+		t.Error("zero value is not 0")
+	}
+	if got := z.Add(FromInt(5)); !got.Equal(FromInt(5)) {
+		t.Errorf("0 + 5 = %v", got)
+	}
+	if z.String() != "0" {
+		t.Errorf("zero String = %q", z.String())
+	}
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	a, b := FromFrac(1, 2), FromFrac(1, 3)
+	if got := a.Add(b); !got.Equal(FromFrac(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(FromFrac(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %v", got)
+	}
+	if got := a.Mul(b); !got.Equal(FromFrac(1, 6)) {
+		t.Errorf("1/2 * 1/3 = %v", got)
+	}
+	if got := a.Div(b); !got.Equal(FromFrac(3, 2)) {
+		t.Errorf("(1/2)/(1/3) = %v", got)
+	}
+	if got := a.Neg(); !got.Equal(FromFrac(-1, 2)) {
+		t.Errorf("-1/2 = %v", got)
+	}
+	if got := FromFrac(-3, 4).Abs(); !got.Equal(FromFrac(3, 4)) {
+		t.Errorf("|-3/4| = %v", got)
+	}
+	if got := FromFrac(2, 5).Inv(); !got.Equal(FromFrac(5, 2)) {
+		t.Errorf("inv(2/5) = %v", got)
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	a := FromFrac(1, 2)
+	_ = a.Add(FromInt(1))
+	_ = a.Neg()
+	if !a.Equal(FromFrac(1, 2)) {
+		t.Error("operations mutated the receiver")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Div by zero did not panic")
+		}
+	}()
+	FromInt(1).Div(Zero())
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv of zero did not panic")
+		}
+	}()
+	Zero().Inv()
+}
+
+func TestFromFracZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromFrac with zero denominator did not panic")
+		}
+	}()
+	FromFrac(1, 0)
+}
+
+func TestComparisons(t *testing.T) {
+	if !FromFrac(1, 3).Less(FromFrac(1, 2)) {
+		t.Error("1/3 < 1/2 failed")
+	}
+	if !FromInt(2).LessEq(FromInt(2)) {
+		t.Error("2 <= 2 failed")
+	}
+	if FromInt(3).Cmp(FromInt(2)) != 1 {
+		t.Error("Cmp(3, 2) != 1")
+	}
+	if Min(FromInt(3), FromInt(2)).Cmp(FromInt(2)) != 0 {
+		t.Error("Min wrong")
+	}
+	if Max(FromInt(3), FromInt(2)).Cmp(FromInt(3)) != 0 {
+		t.Error("Max wrong")
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		v           Rat
+		floor, ceil int64
+	}{
+		{FromFrac(7, 2), 3, 4},
+		{FromFrac(-7, 2), -4, -3},
+		{FromInt(5), 5, 5},
+		{FromInt(-5), -5, -5},
+		{Zero(), 0, 0},
+		{FromFrac(1, 3), 0, 1},
+		{FromFrac(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.v, got, c.floor)
+		}
+		if got := c.v.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.v, got, c.ceil)
+		}
+	}
+}
+
+func TestIsIntAndInt64(t *testing.T) {
+	if !FromFrac(6, 3).IsInt() {
+		t.Error("6/3 not recognized as integer")
+	}
+	if FromFrac(1, 2).IsInt() {
+		t.Error("1/2 recognized as integer")
+	}
+	if v, ok := FromFrac(6, 3).Int64(); !ok || v != 2 {
+		t.Errorf("Int64(6/3) = %d, %v", v, ok)
+	}
+	if _, ok := FromFrac(1, 2).Int64(); ok {
+		t.Error("Int64(1/2) reported ok")
+	}
+}
+
+func TestParse(t *testing.T) {
+	v, err := Parse("-7/2")
+	if err != nil || !v.Equal(FromFrac(-7, 2)) {
+		t.Errorf("Parse(-7/2) = %v, %v", v, err)
+	}
+	if _, err := Parse("x"); err == nil {
+		t.Error("Parse(x) did not fail")
+	}
+}
+
+func TestSumAndDot(t *testing.T) {
+	if got := Sum(FromInt(1), FromInt(2), FromFrac(1, 2)); !got.Equal(FromFrac(7, 2)) {
+		t.Errorf("Sum = %v", got)
+	}
+	a := []Rat{FromInt(1), FromInt(2)}
+	b := []Rat{FromInt(3), FromFrac(1, 2)}
+	if got := Dot(a, b); !got.Equal(FromInt(4)) {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromFrac(4, 6).String(); got != "2/3" {
+		t.Errorf("String(4/6) = %q", got)
+	}
+	if got := FromInt(-3).String(); got != "-3" {
+		t.Errorf("String(-3) = %q", got)
+	}
+}
+
+// Property: field axioms spot-checks over random small fractions.
+func TestFieldProperties(t *testing.T) {
+	mk := func(n int16, d uint8) Rat {
+		return FromFrac(int64(n), int64(d)+1)
+	}
+	f := func(an int16, ad uint8, bn int16, bd uint8, cn int16, cd uint8) bool {
+		a, b, c := mk(an, ad), mk(bn, bd), mk(cn, cd)
+		// commutativity and associativity
+		if !a.Add(b).Equal(b.Add(a)) || !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			return false
+		}
+		// distributivity
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			return false
+		}
+		// inverses
+		if !a.Sub(a).IsZero() {
+			return false
+		}
+		if !a.IsZero() && !a.Div(a).Equal(One()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Floor/Ceil bracket the value.
+func TestFloorCeilProperty(t *testing.T) {
+	f := func(n int16, d uint8) bool {
+		v := FromFrac(int64(n), int64(d)+1)
+		fl, ce := v.Floor(), v.Ceil()
+		if FromInt(fl).Cmp(v) > 0 || v.Cmp(FromInt(ce)) > 0 {
+			return false
+		}
+		if ce-fl > 1 {
+			return false
+		}
+		return v.IsInt() == (fl == ce)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

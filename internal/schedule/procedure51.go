@@ -1,0 +1,289 @@
+package schedule
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lodim/internal/conflict"
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// FindOptimal implements Procedure 5.1: schedule vectors Π are
+// enumerated in strictly increasing order of the objective
+// f = Σ|π_i|·μ_i (by Theorem 2.1 total time is monotone in the |π_i|,
+// so the first candidate passing every test is time-optimal). Each
+// candidate is tested against:
+//
+//  1. ΠD > 0,
+//  2. rank(T) = k,
+//  3. conflict-freeness (conflict.Decide — exact at every k), and
+//  4. when a machine is configured, realizability SD = PK within slack.
+//
+// Within one objective level candidates are visited in lexicographic
+// order, making the result deterministic.
+func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	n := algo.Dim()
+	if s.Cols() != n {
+		return nil, fmt.Errorf("schedule: S has %d columns, algorithm dimension is %d", s.Cols(), n)
+	}
+	maxCost := opts.MaxCost
+	if maxCost == 0 {
+		maxCost = defaultMaxCost(algo.Set)
+	}
+	minCost := opts.MinCost
+	if minCost < 1 {
+		minCost = 1
+	}
+	// The factored analyzer caches the Π-independent null(S) basis so
+	// each candidate costs a handful of gcd steps instead of a full
+	// Hermite reduction; it is exact (theorem certificates with an
+	// enumeration fallback). Rank-deficient S surfaces on first use.
+	var analyzer *conflict.SpaceAnalyzer
+	if !opts.NoFactorization {
+		var err error
+		analyzer, err = conflict.NewSpaceAnalyzer(s, algo.Set)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.MinimizeBuffers && opts.Machine == nil {
+		return nil, fmt.Errorf("schedule: MinimizeBuffers requires a Machine")
+	}
+	candidates := 0
+	var found *Result
+	var levelBuf []int64 // reused flat storage for level-mode candidates
+	for cost := minCost; cost <= maxCost && found == nil; cost++ {
+		if opts.Workers > 1 || opts.MinimizeBuffers {
+			// Level-synchronous evaluation: materialize the level into a
+			// reused flat buffer, test candidates (in parallel when
+			// configured), then apply the deterministic selection rule
+			// over all passers.
+			levelBuf = levelBuf[:0]
+			enumerate(algo.Set.Upper, cost, func(pi intmat.Vector) bool {
+				levelBuf = append(levelBuf, pi...)
+				return true
+			})
+			level := make([]intmat.Vector, len(levelBuf)/n)
+			for i := range level {
+				level[i] = intmat.Vector(levelBuf[i*n : (i+1)*n])
+			}
+			candidates += len(level)
+			results := evaluateLevel(level, algo, s, opts, analyzer)
+			found = pickWinner(results, opts)
+			continue
+		}
+		// Sequential fast path: the first passer in enumeration order
+		// wins, so evaluation can stop early.
+		enumerate(algo.Set.Upper, cost, func(pi intmat.Vector) bool {
+			candidates++
+			r, ok := tryCandidateWith(algo, s, pi, opts, analyzer)
+			if !ok {
+				return true
+			}
+			found = r
+			return false
+		})
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: algorithm %q, S =\n%v, cost ≤ %d", ErrNoSchedule, algo.Name, s, maxCost)
+	}
+	found.Candidates = candidates
+	found.Method = "procedure-5.1"
+	return found, nil
+}
+
+// evaluateLevel tests every candidate of one objective level, fanning
+// the work across opts.Workers goroutines. The result slice is aligned
+// with the input (nil = rejected), so selection order is independent of
+// scheduling.
+func evaluateLevel(level []intmat.Vector, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) []*Result {
+	results := make([]*Result, len(level))
+	workers := opts.Workers
+	if workers <= 1 {
+		for i, pi := range level {
+			if r, ok := tryCandidateWith(algo, s, pi, opts, analyzer); ok {
+				results[i] = r
+			}
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := int64(0)
+	// Most candidates are rejected by the ΠD > 0 test in nanoseconds,
+	// so workers claim chunks rather than single indexes — per-item
+	// atomics would cost more than the work itself.
+	const chunk = 512
+	// bestIdx is a monotone watermark: once a passer at index i exists,
+	// later indexes cannot win the earliest-passer rule, so workers skip
+	// them. Under MinimizeBuffers every passer matters and the watermark
+	// stays disabled.
+	bestIdx := int64(len(level))
+	useWatermark := !opts.MinimizeBuffers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := (atomic.AddInt64(&next, 1) - 1) * chunk
+				if lo >= int64(len(level)) {
+					return
+				}
+				hi := lo + chunk
+				if hi > int64(len(level)) {
+					hi = int64(len(level))
+				}
+				if useWatermark && lo > atomic.LoadInt64(&bestIdx) {
+					continue
+				}
+				for i := lo; i < hi; i++ {
+					if useWatermark && i > atomic.LoadInt64(&bestIdx) {
+						break
+					}
+					if r, ok := tryCandidateWith(algo, s, level[i], opts, analyzer); ok {
+						results[i] = r
+						if useWatermark {
+							for {
+								cur := atomic.LoadInt64(&bestIdx)
+								if i >= cur || atomic.CompareAndSwapInt64(&bestIdx, cur, i) {
+									break
+								}
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// pickWinner applies the deterministic selection rule to one level's
+// results: earliest passer, or — under MinimizeBuffers — the passer
+// with the fewest total buffers (earliest among equals).
+func pickWinner(results []*Result, opts *Options) *Result {
+	var best *Result
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if best == nil {
+			best = r
+			if !opts.MinimizeBuffers {
+				return best
+			}
+			continue
+		}
+		if opts.MinimizeBuffers && r.Decomp.TotalBuffers() < best.Decomp.TotalBuffers() {
+			best = r
+		}
+	}
+	return best
+}
+
+// tryCandidate applies the four tests of Procedure 5.1's step 5 to a
+// single Π, building the full Result on success.
+func tryCandidate(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Options) (*Result, bool) {
+	return tryCandidateWith(algo, s, pi, opts, nil)
+}
+
+// tryCandidateWith is tryCandidate with an optional pre-built factored
+// analyzer for S (used by the enumeration loop to amortize the
+// Π-independent work). The analyzer also subsumes the rank(T) = k test:
+// it reports ErrRank exactly when Π is a rational combination of S's
+// rows.
+func tryCandidateWith(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Options, analyzer *conflict.SpaceAnalyzer) (*Result, bool) {
+	if !Valid(pi, algo.D) {
+		return nil, false
+	}
+	var res conflict.Result
+	var err error
+	if analyzer != nil {
+		res, err = analyzer.Decide(pi)
+	} else {
+		t := s.AppendRow(pi)
+		if t.Rank() != t.Rows() {
+			return nil, false
+		}
+		res, err = conflict.Decide(t, algo.Set)
+	}
+	if err != nil || !res.ConflictFree {
+		return nil, false
+	}
+	r := &Result{
+		Mapping:  &Mapping{Algo: algo, S: s, Pi: pi.Clone(), T: s.AppendRow(pi)},
+		Time:     TotalTime(pi, algo.Set),
+		Conflict: res,
+	}
+	if opts.Machine != nil {
+		dec, err := opts.Machine.Decompose(s, algo.D, pi)
+		if err != nil {
+			return nil, false
+		}
+		if opts.RequireSingleHop && !dec.SingleHop() {
+			return nil, false
+		}
+		r.Decomp = dec
+	}
+	return r, true
+}
+
+// defaultMaxCost is a generous ceiling on Σ|π_i|·μ_i: large enough for
+// every optimum this repository meets (the matmul optimum is μ(μ+2),
+// the transitive-closure optimum μ(μ+3)) while keeping a wrong-model
+// search from running unbounded.
+func defaultMaxCost(set uda.IndexSet) int64 {
+	var sum, max int64
+	for _, u := range set.Upper {
+		sum += u
+		if u > max {
+			max = u
+		}
+	}
+	return 4 * (max + 2) * sum
+}
+
+// enumerate visits every integer vector π with Σ|π_i|·μ_i exactly equal
+// to cost, in lexicographic order (negative before positive at equal
+// magnitude ordering is avoided by visiting values in increasing order
+// −v_max … +v_max per coordinate). The visitor returns false to stop.
+func enumerate(mu intmat.Vector, cost int64, visit func(intmat.Vector) bool) bool {
+	n := len(mu)
+	pi := make(intmat.Vector, n)
+	var rec func(i int, remaining int64) bool
+	rec = func(i int, remaining int64) bool {
+		if i == n {
+			if remaining != 0 {
+				return true
+			}
+			return visit(pi)
+		}
+		// Remaining coordinates can absorb at most Σ_{j>i} ... no upper
+		// bound needed: each coordinate may take any value v with
+		// |v|·μ_i ≤ remaining; the final coordinate must land exactly.
+		maxAbs := remaining / mu[i]
+		for v := -maxAbs; v <= maxAbs; v++ {
+			pi[i] = v
+			var used int64
+			if v < 0 {
+				used = -v * mu[i]
+			} else {
+				used = v * mu[i]
+			}
+			if !rec(i+1, remaining-used) {
+				return false
+			}
+		}
+		pi[i] = 0
+		return true
+	}
+	return rec(0, cost)
+}

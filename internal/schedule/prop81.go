@@ -1,0 +1,103 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/intmat"
+)
+
+// This file implements Proposition 8.1 of the paper's appendix: for a
+// mapping matrix T = [S; Π] ∈ Z^{3×5} with the space mapping normalized
+// so that s11 = 1 and s22 − s21·s12 = 1, the last two columns of the
+// Hermite multiplier U — i.e. a basis of the conflict-vector lattice —
+// are available in closed form as integer combinations of the vectors
+//
+//	w_q = (c1q, c2q, e_q)ᵀ,  q = 3, 4, 5,
+//
+// which span the null space of S, weighted by the linear forms
+// h_q(Π) = Π·w_q. This is what makes the Theorem 4.7-based integer
+// program of (5.5)–(5.6) expressible with U as a function of Π.
+
+// ErrProp81Shape is returned when S does not satisfy the proposition's
+// normalization or shape requirements.
+var ErrProp81Shape = errors.New("schedule: Proposition 8.1 requires S ∈ Z^{2×5} with s11 = 1 and s22 − s21·s12 = 1")
+
+// ErrProp81Degenerate is returned when every h_q(Π) vanishes, i.e. Π
+// lies in the row space of S and rank(T) < 3.
+var ErrProp81Degenerate = errors.New("schedule: Proposition 8.1 degenerate — Π is a rational combination of the rows of S")
+
+// Prop81NullVectors returns a basis (u4, u5) of the conflict-vector
+// lattice of T = [S; Π] computed by the closed form of Proposition 8.1.
+// The returned vectors satisfy T·u = 0, are integral and span the same
+// integer lattice as the Hermite-normal-form null basis (verified by
+// the package tests against intmat.HermiteNormalForm).
+func Prop81NullVectors(s *intmat.Matrix, pi intmat.Vector) (u4, u5 intmat.Vector, err error) {
+	if s.Rows() != 2 || s.Cols() != 5 || len(pi) != 5 {
+		return nil, nil, fmt.Errorf("%w: got S %dx%d, Π length %d", ErrProp81Shape, s.Rows(), s.Cols(), len(pi))
+	}
+	if s.At(0, 0) != 1 || s.At(1, 1)-s.At(1, 0)*s.At(0, 1) != 1 {
+		return nil, nil, ErrProp81Shape
+	}
+	s12, s21 := s.At(0, 1), s.At(1, 0)
+
+	// w_q = (c1q, c2q, δ3q, δ4q, δ5q): S·w_q = 0 by the normalization.
+	w := make([]intmat.Vector, 3) // w[0] = w3, w[1] = w4, w[2] = w5
+	h := make([]int64, 3)         // h[q] = Π·w_q (Equations 8.4)
+	for t := 0; t < 3; t++ {
+		q := t + 2 // column index 2,3,4 (paper's 3,4,5)
+		c2 := s21*s.At(0, q) - s.At(1, q)
+		c1 := -s12*c2 - s.At(0, q)
+		wq := intmat.NewVector(5)
+		wq[0], wq[1], wq[q] = c1, c2, 1
+		w[t] = wq
+		h[t] = pi.Dot(wq)
+	}
+	h3, h4, h5 := h[0], h[1], h[2]
+
+	// u4 kills (h3, h4): u4 = (h4/g1)·w3 − (h3/g1)·w4 with g1 = gcd.
+	// u5 kills (g1, h5) through the Bézout pair p1·h3 + q1·h4 = g1:
+	// u5 = −(p1·h5/g2)·w3 − (q1·h5/g2)·w4 + (g1/g2)·w5.
+	switch {
+	case h3 == 0 && h4 == 0 && h5 == 0:
+		return nil, nil, ErrProp81Degenerate
+	case h3 == 0 && h4 == 0:
+		// w3 and w4 already lie in null(T).
+		return w[0].Clone(), w[1].Clone(), nil
+	}
+	g1, p1, q1 := intmat.ExtGCD(h3, h4)
+	u4 = w[0].Scale(h4 / g1).Sub(w[1].Scale(h3 / g1))
+	g2 := intmat.GCD(g1, h5)
+	if g2 == 0 {
+		// h5 = 0 with g1 ≠ 0: w5 itself is annihilated by Π.
+		return u4, w[2].Clone(), nil
+	}
+	u5 = w[2].Scale(g1 / g2).
+		Sub(w[0].Scale(p1 * (h5 / g2))).
+		Sub(w[1].Scale(q1 * (h5 / g2)))
+	return u4, u5, nil
+}
+
+// Prop81HForms returns the linear forms h_3(Π), h_4(Π), h_5(Π) of
+// Equations 8.4 as coefficient rows over (π_1, …, π_5): row q-3 holds
+// the coefficients of h_q. These drive the Theorem 4.7 integer program
+// for 5-dimensional algorithms mapped to 2-D arrays.
+func Prop81HForms(s *intmat.Matrix) (*intmat.Matrix, error) {
+	if s.Rows() != 2 || s.Cols() != 5 {
+		return nil, fmt.Errorf("%w: got S %dx%d", ErrProp81Shape, s.Rows(), s.Cols())
+	}
+	if s.At(0, 0) != 1 || s.At(1, 1)-s.At(1, 0)*s.At(0, 1) != 1 {
+		return nil, ErrProp81Shape
+	}
+	s12, s21 := s.At(0, 1), s.At(1, 0)
+	forms := intmat.New(3, 5)
+	for t := 0; t < 3; t++ {
+		q := t + 2
+		c2 := s21*s.At(0, q) - s.At(1, q)
+		c1 := -s12*c2 - s.At(0, q)
+		forms.Set(t, 0, c1)
+		forms.Set(t, 1, c2)
+		forms.Set(t, q, 1)
+	}
+	return forms, nil
+}

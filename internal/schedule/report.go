@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// DesignReport renders everything a designer needs to know about a
+// solved mapping as one text block: the mapping matrices, the schedule
+// certificate, execution time against the dataflow bound, and — when a
+// machine realization exists — the interconnection usage, buffers and
+// collision status. The examples and CLIs print it; downstream users
+// get a one-call summary.
+func DesignReport(res *Result) string {
+	var b strings.Builder
+	m := res.Mapping
+	algo := m.Algo
+	fmt.Fprintf(&b, "design report: %s\n", algo)
+	fmt.Fprintf(&b, "mapping matrix T = [S; Π]:\n%v\n", m.T)
+	fmt.Fprintf(&b, "schedule: Π = %v found by %s (%d candidates examined)\n", m.Pi, res.Method, res.Candidates)
+	fmt.Fprintf(&b, "conflict certificate: %s\n", res.Conflict)
+	fmt.Fprintf(&b, "total execution time: t = %d\n", res.Time)
+	if cp, err := algo.CriticalPath(); err == nil {
+		slack := "meets"
+		if res.Time > cp {
+			slack = fmt.Sprintf("%.2fx above", float64(res.Time)/float64(cp))
+		}
+		fmt.Fprintf(&b, "dataflow bound (critical path): %d — schedule is %s the bound\n", cp, slack)
+	}
+	procs := designProcessors(m)
+	fmt.Fprintf(&b, "processors: %d (array dimensionality %d)\n", procs, m.S.Rows())
+	if res.Decomp != nil {
+		fmt.Fprintf(&b, "machine realization: buffers %v (total %d), single-hop: %v\n",
+			res.Decomp.Buffers, res.Decomp.TotalBuffers(), res.Decomp.SingleHop())
+	}
+	return b.String()
+}
+
+// designProcessors counts |S(J)| exactly.
+func designProcessors(m *Mapping) int64 {
+	seen := map[string]struct{}{}
+	m.Algo.Set.Each(func(j intmat.Vector) bool {
+		seen[m.Processor(j).String()] = struct{}{}
+		return true
+	})
+	return int64(len(seen))
+}
+
+// CompareDesigns renders a side-by-side comparison of several solved
+// mappings of the same algorithm — the form the paper's Example 5.1
+// uses to contrast its design with reference [23]'s.
+func CompareDesigns(algo *uda.Algorithm, machine *array.Machine, labeled map[string]*Result) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design comparison for %s\n", algo)
+	fmt.Fprintf(&b, "%-14s | %-14s | %6s | %10s | %7s\n", "design", "Π", "t", "processors", "buffers")
+	names := make([]string, 0, len(labeled))
+	for name := range labeled {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := labeled[name]
+		buffers := "-"
+		if machine != nil {
+			dec, err := machine.Decompose(res.Mapping.S, algo.D, res.Mapping.Pi)
+			if err != nil {
+				return "", fmt.Errorf("schedule: design %q not realizable: %w", name, err)
+			}
+			buffers = fmt.Sprint(dec.TotalBuffers())
+		}
+		fmt.Fprintf(&b, "%-14s | %-14v | %6d | %10d | %7s\n",
+			name, res.Mapping.Pi, res.Time, designProcessors(res.Mapping), buffers)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,96 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+func TestDesignReport(t *testing.T) {
+	algo := uda.MatMul(4)
+	s := intmat.FromRows([]int64{1, 1, -1})
+	res, err := FindOptimal(algo, s, &Options{Machine: array.NearestNeighbor(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DesignReport(res)
+	for _, want := range []string{
+		"design report: matmul",
+		"t = 25",
+		"dataflow bound (critical path): 13",
+		"processors: 13",
+		"buffers",
+		"conflict certificate: conflict-free",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDesignReportWithoutMachine(t *testing.T) {
+	algo := uda.TransitiveClosure(3)
+	res, err := FindOptimal(algo, intmat.FromRows([]int64{0, 0, 1}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := DesignReport(res)
+	if strings.Contains(out, "machine realization") {
+		t.Errorf("machine section present without machine:\n%s", out)
+	}
+	if !strings.Contains(out, "dataflow bound") {
+		t.Errorf("missing dataflow bound:\n%s", out)
+	}
+}
+
+func TestCompareDesigns(t *testing.T) {
+	algo := uda.MatMul(4)
+	s := intmat.FromRows([]int64{1, 1, -1})
+	machine := array.NearestNeighbor(1)
+	opt, err := FindOptimal(algo, s, &Options{Machine: machine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMapping, err := NewMapping(algo, s, intmat.Vec(2, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refChk, err := refMapping.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &Result{Mapping: refMapping, Time: refMapping.TotalTime(), Conflict: refChk, Method: "manual"}
+	out, err := CompareDesigns(algo, machine, map[string]*Result{
+		"this paper": opt,
+		"ref [23]":   ref,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"this paper", "ref [23]", "25", "29", "3", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted label order: "ref [23]" before "this paper".
+	if strings.Index(out, "ref [23]") > strings.Index(out, "this paper") {
+		t.Error("labels not sorted")
+	}
+	// Unrealizable design errors.
+	bad, err := NewMapping(algo, intmat.FromRows([]int64{2, 1, -1}), intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badRes := &Result{Mapping: bad, Time: bad.TotalTime(), Method: "manual"}
+	if _, err := CompareDesigns(algo, machine, map[string]*Result{"bad": badRes}); err == nil {
+		t.Error("unrealizable design accepted")
+	}
+	// Without a machine, buffers are dashed and nothing errors.
+	out2, err := CompareDesigns(algo, nil, map[string]*Result{"x": opt})
+	if err != nil || !strings.Contains(out2, "-") {
+		t.Errorf("machineless comparison: %v\n%s", err, out2)
+	}
+}

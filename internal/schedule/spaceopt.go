@@ -1,0 +1,271 @@
+package schedule
+
+import (
+	"fmt"
+
+	"lodim/internal/conflict"
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// This file implements the two optimization problems the paper's
+// Section 6 poses as future work:
+//
+//   - Problem 6.1 (space-optimal, conflict-free mapping): given a
+//     linear schedule Π, find a space mapping S such that T = [S; Π] is
+//     conflict-free and "the number of processors plus the wire length
+//     of the array is minimized".
+//   - Problem 6.2 (optimal conflict-free mapping): neither S nor Π is
+//     given; find a conflict-free T optimizing a joint criterion (here:
+//     total execution time first, then array cost).
+//
+// Both are solved by exhaustive search over small-coefficient space
+// mappings — the paper gives no algorithm, and the space of practically
+// used mappings has entries in {−1, 0, 1} (every S in the paper and its
+// references does), so bounded exhaustive search is both exact for that
+// class and fast. Candidates equivalent up to row reordering and row
+// negation (which relabel the array without changing its geometry) are
+// enumerated once.
+
+// SpaceOptions configures FindSpaceMapping and FindJointMapping.
+type SpaceOptions struct {
+	// MaxEntry bounds |s_ij| in the search (default 1).
+	MaxEntry int64
+	// WireWeight scales the wire-length term of the cost (default 1).
+	WireWeight int64
+	// Schedule options applied to the inner Π search (joint problem
+	// only); the Machine option also applies to Problem 6.1.
+	Schedule Options
+}
+
+// SpaceResult is the outcome of a space-mapping search.
+type SpaceResult struct {
+	Mapping *Mapping
+	// Processors is |S(J)|, the exact number of array cells used.
+	Processors int64
+	// WireLength is Σ_i ‖S·d̄_i‖₁, the total transfer distance per use.
+	WireLength int64
+	// Cost = Processors + WireWeight·WireLength, the Problem 6.1
+	// objective.
+	Cost int64
+	// Candidates counts space mappings examined.
+	Candidates int
+	// Time is the total execution time (joint problem: of the winning
+	// schedule; Problem 6.1: of the given Π).
+	Time int64
+}
+
+func (r *SpaceResult) String() string {
+	return fmt.Sprintf("S =\n%v\nΠ = %v: %d processors, wire %d, t = %d",
+		r.Mapping.S, r.Mapping.Pi, r.Processors, r.WireLength, r.Time)
+}
+
+// FindSpaceMapping solves Problem 6.1 by exhaustive search over
+// (k−1)×n space mappings with entries bounded by MaxEntry: among all S
+// making T = [S; Π] a valid conflict-free mapping (full rank; machine
+// realizability when configured), it returns the one minimizing
+// |S(J)| + WireWeight·Σ‖S·d̄_i‖₁, breaking ties lexicographically.
+func FindSpaceMapping(algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts *SpaceOptions) (*SpaceResult, error) {
+	if opts == nil {
+		opts = &SpaceOptions{}
+	}
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pi) != algo.Dim() {
+		return nil, fmt.Errorf("schedule: Π has %d entries, algorithm dimension is %d", len(pi), algo.Dim())
+	}
+	if !Valid(pi, algo.D) {
+		return nil, fmt.Errorf("schedule: ΠD > 0 violated for Π = %v", pi)
+	}
+	if arrayDims < 1 || arrayDims >= algo.Dim() {
+		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
+	}
+	var best *SpaceResult
+	candidates := 0
+	err := enumerateSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts), func(s *intmat.Matrix) bool {
+		candidates++
+		r, ok := evaluateSpaceMapping(algo, s, pi, opts)
+		if ok && (best == nil || r.Cost < best.Cost) {
+			best = r
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no conflict-free space mapping with |entries| ≤ %d for Π = %v",
+			ErrNoSchedule, maxEntryOrDefault(opts), pi)
+	}
+	best.Candidates = candidates
+	return best, nil
+}
+
+// JointResult is the outcome of the joint Problem 6.2 search.
+type JointResult struct {
+	SpaceResult
+	// ScheduleResult carries the inner optimizer's certificate.
+	ScheduleResult *Result
+}
+
+// FindJointMapping solves Problem 6.2: over all space mappings S with
+// bounded entries, run the time-optimal schedule search and keep the
+// mapping with the smallest total execution time, breaking ties by the
+// Problem 6.1 array cost. The returned mapping is exact within the
+// entry bound; entries beyond {−1, 0, 1} are rarely useful for space
+// mappings but can be enabled through MaxEntry.
+func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*JointResult, error) {
+	if opts == nil {
+		opts = &SpaceOptions{}
+	}
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	if arrayDims < 1 || arrayDims >= algo.Dim() {
+		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
+	}
+	var best *JointResult
+	candidates := 0
+	err := enumerateSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts), func(s *intmat.Matrix) bool {
+		candidates++
+		schedOpts := opts.Schedule
+		if best != nil {
+			// Bound the inner search: anything at or above the
+			// incumbent's time cannot win on the primary criterion,
+			// except to tie-break — so allow equality.
+			schedOpts.MaxCost = best.Time - 1
+		}
+		res, err := FindOptimal(algo, s, &schedOpts)
+		if err != nil {
+			return true // no schedule for this S within bounds; skip
+		}
+		r, ok := evaluateSpaceMapping(algo, s, res.Mapping.Pi, opts)
+		if !ok {
+			return true
+		}
+		jr := &JointResult{SpaceResult: *r, ScheduleResult: res}
+		if best == nil || res.Time < best.Time || (res.Time == best.Time && r.Cost < best.Cost) {
+			best = jr
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no conflict-free joint mapping with |entries| ≤ %d",
+			ErrNoSchedule, maxEntryOrDefault(opts))
+	}
+	best.Candidates = candidates
+	return best, nil
+}
+
+func maxEntryOrDefault(opts *SpaceOptions) int64 {
+	if opts.MaxEntry > 0 {
+		return opts.MaxEntry
+	}
+	return 1
+}
+
+// evaluateSpaceMapping checks validity and conflict-freeness of [S; Π]
+// and computes the Problem 6.1 metrics.
+func evaluateSpaceMapping(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *SpaceOptions) (*SpaceResult, bool) {
+	t := s.AppendRow(pi)
+	if t.Rank() != t.Rows() {
+		return nil, false
+	}
+	res, err := conflict.Decide(t, algo.Set)
+	if err != nil || !res.ConflictFree {
+		return nil, false
+	}
+	m := &Mapping{Algo: algo, S: s.Clone(), Pi: pi.Clone(), T: t}
+	if opts.Schedule.Machine != nil {
+		if _, err := opts.Schedule.Machine.Decompose(s, algo.D, pi); err != nil {
+			return nil, false
+		}
+	}
+	procs := countProcessors(m)
+	wire := wireLength(s, algo.D)
+	weight := opts.WireWeight
+	if weight == 0 {
+		weight = 1
+	}
+	return &SpaceResult{
+		Mapping:    m,
+		Processors: procs,
+		WireLength: wire,
+		Cost:       procs + weight*wire,
+		Time:       TotalTime(pi, algo.Set),
+	}, true
+}
+
+// countProcessors returns |S(J)| exactly by enumerating the index set.
+func countProcessors(m *Mapping) int64 {
+	seen := make(map[string]struct{})
+	m.Algo.Set.Each(func(j intmat.Vector) bool {
+		seen[m.Processor(j).String()] = struct{}{}
+		return true
+	})
+	return int64(len(seen))
+}
+
+// wireLength returns Σ_i ‖S·d̄_i‖₁.
+func wireLength(s *intmat.Matrix, d *intmat.Matrix) int64 {
+	sd := s.Mul(d)
+	var total int64
+	for i := 0; i < sd.Cols(); i++ {
+		total += sd.Col(i).AbsSum()
+	}
+	return total
+}
+
+// enumerateSpaceMappings visits every (rows×n) integer matrix with
+// entries in [−maxEntry, maxEntry], full row rank, and rows in
+// canonical orientation and order: each row's first non-zero entry is
+// positive (negating a row merely relabels array coordinates) and rows
+// appear in a fixed generation order without repetition (reordering
+// rows merely relabels axes), so each geometric array is visited once.
+// The visitor returns false to stop early.
+func enumerateSpaceMappings(n, rows int, maxEntry int64, visit func(*intmat.Matrix) bool) error {
+	if rows < 1 {
+		return fmt.Errorf("schedule: need at least one space row")
+	}
+	// Generate canonical rows once.
+	var rowSet []intmat.Vector
+	var gen func(i int, v intmat.Vector)
+	gen = func(i int, v intmat.Vector) {
+		if i == n {
+			if fz := v.FirstNonZero(); fz >= 0 && v[fz] > 0 {
+				rowSet = append(rowSet, v.Clone())
+			}
+			return
+		}
+		for e := -maxEntry; e <= maxEntry; e++ {
+			v[i] = e
+			gen(i+1, v)
+		}
+		v[i] = 0
+	}
+	gen(0, make(intmat.Vector, n))
+
+	s := intmat.New(rows, n)
+	var rec func(r, start int) bool
+	rec = func(r, start int) bool {
+		if r == rows {
+			if s.Rank() != rows {
+				return true
+			}
+			return visit(s)
+		}
+		for c := start; c < len(rowSet); c++ {
+			s.SetRow(r, rowSet[c])
+			if !rec(r+1, c+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+	return nil
+}

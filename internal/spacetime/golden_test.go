@@ -1,0 +1,83 @@
+package spacetime
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare checks the rendered artifact against its stored golden
+// file; `go test -update` rewrites the files after an intentional
+// format change.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -update ./internal/spacetime/`): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenFigure1(t *testing.T) {
+	set := uda.Box(4, 4)
+	nf, err := RenderIndexSet2D(set, intmat.Vec(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "figure1_nonfeasible.txt", nf)
+	fe, err := RenderIndexSet2D(set, intmat.Vec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "figure1_feasible.txt", fe)
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	m := figure3Mapping(t)
+	dec, err := array.NearestNeighbor(1).Decompose(m.S, m.Algo.D, m.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderLinearArray(m, dec, []string{"B", "A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "figure2_array.txt", out)
+}
+
+func TestGoldenFigure3(t *testing.T) {
+	m := figure3Mapping(t)
+	out, err := RenderSpaceTime(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "figure3_spacetime.txt", out)
+}
+
+func TestGoldenFigure3CSV(t *testing.T) {
+	m := figure3Mapping(t)
+	out, err := RenderSpaceTimeCSV(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "figure3_spacetime.csv", out)
+}

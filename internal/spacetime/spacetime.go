@@ -1,0 +1,301 @@
+// Package spacetime renders the paper's figures as deterministic text:
+// Figure 1 (feasible versus non-feasible conflict vectors in a 2-D
+// index set), Figure 2 (the block diagram of a linear array design) and
+// Figure 3 (the space-time execution diagram of a mapped algorithm).
+// The experiment driver writes these artifacts so a reader can compare
+// them with the paper side by side.
+package spacetime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lodim/internal/array"
+	"lodim/internal/conflict"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// RenderIndexSet2D draws a 2-dimensional constant-bounded index set
+// with one conflict vector anchored at the origin, marking the lattice
+// points it passes through — the content of Figure 1. Rows are printed
+// with j2 decreasing so the origin sits at the bottom-left.
+func RenderIndexSet2D(set uda.IndexSet, gamma intmat.Vector) (string, error) {
+	if set.Dim() != 2 || len(gamma) != 2 {
+		return "", fmt.Errorf("spacetime: RenderIndexSet2D needs dimension 2, got set %d / γ %d", set.Dim(), len(gamma))
+	}
+	feasible := conflict.Feasible(set, gamma)
+	onRay := func(x, y int64) bool {
+		// (x,y) = t·γ for a positive integer t.
+		gx, gy := gamma[0], gamma[1]
+		if gx == 0 && gy == 0 {
+			return false
+		}
+		if gx != 0 {
+			if x%gx != 0 || x/gx <= 0 {
+				return false
+			}
+			t := x / gx
+			return t*gy == y
+		}
+		if x != 0 {
+			return false
+		}
+		return y%gy == 0 && y/gy > 0
+	}
+	var b strings.Builder
+	status := "FEASIBLE (leaves the index set from every anchor)"
+	if !feasible {
+		status = "NON-FEASIBLE (connects index points inside the set)"
+	}
+	fmt.Fprintf(&b, "index set 0<=j1<=%d, 0<=j2<=%d; conflict vector γ = %v — %s\n",
+		set.Upper[0], set.Upper[1], gamma, status)
+	for y := set.Upper[1]; y >= 0; y-- {
+		fmt.Fprintf(&b, "j2=%d |", y)
+		for x := int64(0); x <= set.Upper[0]; x++ {
+			switch {
+			case x == 0 && y == 0:
+				b.WriteString(" O") // anchor
+			case onRay(x, y):
+				b.WriteString(" *") // hit by a multiple of γ
+			default:
+				b.WriteString(" .")
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("      ")
+	for x := int64(0); x <= set.Upper[0]; x++ {
+		b.WriteString("--")
+	}
+	b.WriteString("\n       j1 ->\n")
+	return b.String(), nil
+}
+
+// RenderLinearArray draws the block diagram of a 1-dimensional array
+// design — the content of Figure 2: the PE range, and one line per
+// dependence stream giving its travel direction, hop count and buffer
+// count.
+func RenderLinearArray(m *schedule.Mapping, dec *array.Decomposition, streamNames []string) (string, error) {
+	if m.S.Rows() != 1 {
+		return "", fmt.Errorf("spacetime: RenderLinearArray needs a 1-D space mapping, S has %d rows", m.S.Rows())
+	}
+	lo, hi := peRange(m)
+	var b strings.Builder
+	fmt.Fprintf(&b, "linear array for %s: S = %v, Π = %v\n", m.Algo.Name, m.S.Row(0), m.Pi)
+	fmt.Fprintf(&b, "processors %d..%d:  ", lo, hi)
+	for p := lo; p <= hi; p++ {
+		fmt.Fprintf(&b, "[PE%+d]", p)
+		if p != hi {
+			b.WriteString("--")
+		}
+	}
+	b.WriteString("\n")
+	sd := m.S.Mul(m.Algo.D)
+	for i := 0; i < m.Algo.NumDeps(); i++ {
+		name := fmt.Sprintf("d%d", i+1)
+		if streamNames != nil && i < len(streamNames) && streamNames[i] != "" {
+			name = streamNames[i]
+		}
+		dir := "stays resident"
+		if v := sd.At(0, i); v > 0 {
+			dir = fmt.Sprintf("travels left→right (%+d/use)", v)
+		} else if v < 0 {
+			dir = fmt.Sprintf("travels right→left (%+d/use)", v)
+		}
+		buffers := int64(0)
+		if dec != nil {
+			buffers = dec.Buffers[i]
+		}
+		fmt.Fprintf(&b, "  link %-12s %-28s buffers: %d\n", name+":", dir, buffers)
+	}
+	if dec != nil {
+		fmt.Fprintf(&b, "total buffers: %d, single-hop (collision-free by construction): %v\n",
+			dec.TotalBuffers(), dec.SingleHop())
+	}
+	return b.String(), nil
+}
+
+// RenderSpaceTime draws the space-time execution table of a mapping
+// with a 1-dimensional space part — the content of Figure 3. Rows are
+// processors, columns time steps, and each cell holds the index point
+// computed there ("..." marks idle slots; a cell with more than one
+// point is a computational conflict and is flagged with '!').
+func RenderSpaceTime(m *schedule.Mapping) (string, error) {
+	if m.S.Rows() != 1 {
+		return "", fmt.Errorf("spacetime: RenderSpaceTime needs a 1-D space mapping, S has %d rows", m.S.Rows())
+	}
+	type cellKey struct {
+		pe, t int64
+	}
+	cells := make(map[cellKey][]intmat.Vector)
+	minT, maxT := int64(1)<<62, int64(-1)<<62
+	m.Algo.Set.Each(func(j intmat.Vector) bool {
+		pe := m.Processor(j)[0]
+		t := m.Time(j)
+		cells[cellKey{pe, t}] = append(cells[cellKey{pe, t}], j)
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+		return true
+	})
+	lo, hi := peRange(m)
+	cellText := func(pts []intmat.Vector) string {
+		if len(pts) == 0 {
+			return "..."
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].String() < pts[b].String() })
+		parts := make([]string, len(pts))
+		for i, p := range pts {
+			s := make([]string, len(p))
+			for q, x := range p {
+				s[q] = fmt.Sprint(x)
+			}
+			parts[i] = strings.Join(s, "")
+		}
+		out := strings.Join(parts, "!")
+		if len(pts) > 1 {
+			out = "!" + out
+		}
+		return out
+	}
+	width := 0
+	for _, pts := range cells {
+		if w := len(cellText(pts)); w > width {
+			width = w
+		}
+	}
+	if width < 3 {
+		width = 3
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "space-time diagram for %s: T = [S; Π], S = %v, Π = %v\n", m.Algo.Name, m.S.Row(0), m.Pi)
+	fmt.Fprintf(&b, "cell = index point j1j2…jn computed at that (PE, t); '!' marks conflicts\n")
+	fmt.Fprintf(&b, "%8s", "PE\\t")
+	for t := minT; t <= maxT; t++ {
+		fmt.Fprintf(&b, " %*d", width, t)
+	}
+	b.WriteString("\n")
+	for p := lo; p <= hi; p++ {
+		fmt.Fprintf(&b, "%8d", p)
+		for t := minT; t <= maxT; t++ {
+			fmt.Fprintf(&b, " %*s", width, cellText(cells[cellKey{p, t}]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func peRange(m *schedule.Mapping) (lo, hi int64) {
+	row := m.S.Row(0)
+	for i, c := range row {
+		if c > 0 {
+			hi += c * m.Algo.Set.Upper[i]
+		} else {
+			lo += c * m.Algo.Set.Upper[i]
+		}
+	}
+	return lo, hi
+}
+
+// RenderGrid2D renders occupancy frames of a 2-dimensional array: one
+// small grid per requested time step, each cell showing how many
+// computations execute on that PE at that step ('.' idle, '#' one,
+// a digit for conflicts). A nil times slice selects the first, middle
+// and last steps of the schedule.
+func RenderGrid2D(m *schedule.Mapping, times []int64) (string, error) {
+	if m.S.Rows() != 2 {
+		return "", fmt.Errorf("spacetime: RenderGrid2D needs a 2-D space mapping, S has %d rows", m.S.Rows())
+	}
+	type cell struct{ x, y, t int64 }
+	counts := make(map[cell]int)
+	minX, maxX := int64(1)<<62, int64(-1)<<62
+	minY, maxY := int64(1)<<62, int64(-1)<<62
+	minT, maxT := int64(1)<<62, int64(-1)<<62
+	m.Algo.Set.Each(func(j intmat.Vector) bool {
+		pe := m.Processor(j)
+		t := m.Time(j)
+		counts[cell{pe[0], pe[1], t}]++
+		minX, maxX = min64(minX, pe[0]), max64(maxX, pe[0])
+		minY, maxY = min64(minY, pe[1]), max64(maxY, pe[1])
+		minT, maxT = min64(minT, t), max64(maxT, t)
+		return true
+	})
+	if times == nil {
+		times = []int64{minT, (minT + maxT) / 2, maxT}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "2-D array occupancy for %s: S rows %v / %v, Π = %v; PEs x∈[%d,%d], y∈[%d,%d]\n",
+		m.Algo.Name, m.S.Row(0), m.S.Row(1), m.Pi, minX, maxX, minY, maxY)
+	for _, t := range times {
+		fmt.Fprintf(&b, "t = %d:\n", t)
+		for y := maxY; y >= minY; y-- {
+			b.WriteString("  ")
+			for x := minX; x <= maxX; x++ {
+				switch c := counts[cell{x, y, t}]; {
+				case c == 0:
+					b.WriteString(". ")
+				case c == 1:
+					b.WriteString("# ")
+				case c < 10:
+					fmt.Fprintf(&b, "%d ", c)
+				default:
+					b.WriteString("* ")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderSpaceTimeCSV emits the same table as RenderSpaceTime in CSV
+// form (pe,time,point) for machine comparison.
+func RenderSpaceTimeCSV(m *schedule.Mapping) (string, error) {
+	if m.S.Rows() != 1 {
+		return "", fmt.Errorf("spacetime: RenderSpaceTimeCSV needs a 1-D space mapping, S has %d rows", m.S.Rows())
+	}
+	type row struct {
+		pe, t int64
+		point string
+	}
+	var rows []row
+	m.Algo.Set.Each(func(j intmat.Vector) bool {
+		rows = append(rows, row{m.Processor(j)[0], m.Time(j), j.String()})
+		return true
+	})
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].t != rows[b].t {
+			return rows[a].t < rows[b].t
+		}
+		if rows[a].pe != rows[b].pe {
+			return rows[a].pe < rows[b].pe
+		}
+		return rows[a].point < rows[b].point
+	})
+	var b strings.Builder
+	b.WriteString("pe,time,point\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%d,%q\n", r.pe, r.t, r.point)
+	}
+	return b.String(), nil
+}

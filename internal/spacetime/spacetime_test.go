@@ -1,0 +1,224 @@
+package spacetime
+
+import (
+	"strings"
+	"testing"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+func figure3Mapping(t *testing.T) *schedule.Mapping {
+	t.Helper()
+	m, err := schedule.NewMapping(uda.MatMul(4), intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRenderIndexSet2DFigure1(t *testing.T) {
+	set := uda.Box(4, 4)
+	nf, err := RenderIndexSet2D(set, intmat.Vec(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nf, "NON-FEASIBLE") {
+		t.Errorf("γ=[1 1] not marked non-feasible:\n%s", nf)
+	}
+	// The ray of [1,1] hits (1,1), ..., (4,4): four stars.
+	if got := strings.Count(nf, "*"); got != 4 {
+		t.Errorf("star count = %d, want 4:\n%s", got, nf)
+	}
+	f, err := RenderIndexSet2D(set, intmat.Vec(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f, "FEASIBLE") || strings.Contains(f, "NON-FEASIBLE") {
+		t.Errorf("γ=[3 5] not marked feasible:\n%s", f)
+	}
+	// [3,5] leaves the box immediately: zero stars.
+	if got := strings.Count(f, "*"); got != 0 {
+		t.Errorf("star count = %d, want 0:\n%s", got, f)
+	}
+}
+
+func TestRenderIndexSet2DShapeError(t *testing.T) {
+	if _, err := RenderIndexSet2D(uda.Cube(3, 2), intmat.Vec(1, 1, 1)); err == nil {
+		t.Error("3-D set accepted")
+	}
+	if _, err := RenderIndexSet2D(uda.Box(2, 2), intmat.Vec(1)); err == nil {
+		t.Error("short γ accepted")
+	}
+}
+
+func TestRenderLinearArrayFigure2(t *testing.T) {
+	m := figure3Mapping(t)
+	dec, err := array.NearestNeighbor(1).Decompose(m.S, m.Algo.D, m.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderLinearArray(m, dec, []string{"B", "A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"link B:", "link A:", "link C:", "buffers: 3", "total buffers: 3", "right→left"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// 13 PEs from -4 to +8.
+	if !strings.Contains(out, "processors -4..8") {
+		t.Errorf("PE range missing:\n%s", out)
+	}
+}
+
+func TestRenderLinearArrayNeeds1D(t *testing.T) {
+	m, err := schedule.NewMapping(uda.MatMul(3),
+		intmat.FromRows([]int64{1, 0, 0}, []int64{0, 1, 0}), intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RenderLinearArray(m, nil, nil); err == nil {
+		t.Error("2-D space mapping accepted")
+	}
+}
+
+func TestRenderSpaceTimeFigure3(t *testing.T) {
+	m := figure3Mapping(t)
+	out, err := RenderSpaceTime(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No conflicts for the optimal schedule.
+	if strings.Contains(out, "!") && strings.Contains(strings.SplitN(out, "\n", 3)[2], "!") {
+		t.Errorf("conflict marker in conflict-free diagram:\n%s", out)
+	}
+	// Computation (0,0,0) executes at PE 0, t = 0; (4,4,4) at PE 4, t = 24.
+	if !strings.Contains(out, "000") || !strings.Contains(out, "444") {
+		t.Errorf("missing corner computations:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header (2 lines) + PE\t line + 13 PE rows.
+	if len(lines) != 3+13 {
+		t.Errorf("line count = %d, want 16:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderSpaceTimeShowsConflicts(t *testing.T) {
+	m, err := schedule.NewMapping(uda.MatMul(2), intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderSpaceTime(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "!") {
+		t.Errorf("no conflict markers for conflicting mapping:\n%s", out)
+	}
+}
+
+func TestRenderSpaceTimeCSV(t *testing.T) {
+	m := figure3Mapping(t)
+	out, err := RenderSpaceTimeCSV(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "pe,time,point" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+125 {
+		t.Errorf("row count = %d, want 126 (header + 5³ points)", len(lines))
+	}
+	// Sorted by time: first data row is the origin at t=0.
+	if !strings.Contains(lines[1], `"[0 0 0]"`) {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestRenderGrid2D(t *testing.T) {
+	m, err := schedule.NewMapping(uda.MatMul(3),
+		intmat.FromRows([]int64{1, 0, 0}, []int64{0, 1, 0}), intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderGrid2D(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three frames by default.
+	if got := strings.Count(out, "t = "); got != 3 {
+		t.Errorf("frames = %d, want 3:\n%s", got, out)
+	}
+	// k = n projection is conflict-free: no digit cells.
+	for _, d := range []string{"2 ", "3 ", "4 "} {
+		if strings.Contains(out, d) {
+			t.Errorf("conflict marker %q in conflict-free grid:\n%s", d, out)
+		}
+	}
+	// Explicit frames.
+	out2, err := RenderGrid2D(m, []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t = 0 only the origin runs.
+	if got := strings.Count(out2, "#"); got != 1 {
+		t.Errorf("t=0 occupancy = %d cells, want 1:\n%s", got, out2)
+	}
+}
+
+func TestRenderGrid2DShowsConflicts(t *testing.T) {
+	// Collapse j3 onto time with a conflicting schedule: S = rows e1,e2
+	// with Π = [0,0,1] is invalid (ΠD); use a mapping with genuine
+	// conflicts: S = [e1, e1] is rank deficient; instead use matmul on
+	// a 1-point-thick... simplest: bit of a conflicting 2-D mapping:
+	// S = (e1, e2) over a 4-D cube with Π summing the rest ambiguously.
+	algo := uda.BitLevelConvolution(2, 2, 2)
+	s := intmat.FromRows(
+		[]int64{1, 0, 0, 0},
+		[]int64{0, 1, 0, 0},
+	)
+	m, err := schedule.NewMapping(algo, s, intmat.Vec(1, 1, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.ConflictFree {
+		t.Skip("chosen mapping unexpectedly conflict-free")
+	}
+	out, err := RenderGrid2D(m, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsAny(out, "23456789*") {
+		t.Errorf("no conflict markers in conflicting grid:\n%s", out)
+	}
+}
+
+func TestRenderGrid2DShapeError(t *testing.T) {
+	m := figure3Mapping(t)
+	if _, err := RenderGrid2D(m, nil); err == nil {
+		t.Error("1-D space mapping accepted")
+	}
+}
+
+func TestRenderSpaceTimeCSVShapeError(t *testing.T) {
+	m, err := schedule.NewMapping(uda.MatMul(3),
+		intmat.FromRows([]int64{1, 0, 0}, []int64{0, 1, 0}), intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RenderSpaceTimeCSV(m); err == nil {
+		t.Error("2-D space mapping accepted")
+	}
+	if _, err := RenderSpaceTime(m); err == nil {
+		t.Error("2-D space mapping accepted by RenderSpaceTime")
+	}
+}

@@ -1,0 +1,180 @@
+package systolic
+
+import (
+	"fmt"
+
+	"lodim/internal/intmat"
+)
+
+// MatMulProgram carries the data semantics of the 3-D matrix
+// multiplication algorithm of Example 3.1: computing C = A·B where the
+// computation at j̄ = (j1, j2, j3) performs c_{j1,j2} += a_{j1,j3}·b_{j3,j2}.
+// Stream assignment follows the paper: d̄_1 carries B (traveling along
+// j1), d̄_2 carries A (along j2), d̄_3 accumulates C (along j3).
+type MatMulProgram struct {
+	A, B [][]int64 // (μ+1)×(μ+1) operand matrices
+}
+
+// NewMatMulProgram validates the operand shapes: both must be
+// (μ+1)×(μ+1) for the cube bound μ.
+func NewMatMulProgram(mu int64, a, b [][]int64) (*MatMulProgram, error) {
+	n := int(mu + 1)
+	check := func(name string, m [][]int64) error {
+		if len(m) != n {
+			return fmt.Errorf("systolic: %s has %d rows, want %d", name, len(m), n)
+		}
+		for i, row := range m {
+			if len(row) != n {
+				return fmt.Errorf("systolic: %s row %d has %d entries, want %d", name, i, len(row), n)
+			}
+		}
+		return nil
+	}
+	if err := check("A", a); err != nil {
+		return nil, err
+	}
+	if err := check("B", b); err != nil {
+		return nil, err
+	}
+	return &MatMulProgram{A: a, B: b}, nil
+}
+
+// Boundary feeds operands at the faces of the cube: B enters at j1 = 0,
+// A at j2 = 0, and the C accumulator starts at zero at j3 = 0.
+func (p *MatMulProgram) Boundary(stream int, j intmat.Vector) int64 {
+	switch stream {
+	case 0: // B value b_{j3,j2} enters where j1 = 0
+		return p.B[j[2]][j[1]]
+	case 1: // A value a_{j1,j3} enters where j2 = 0
+		return p.A[j[0]][j[2]]
+	default: // C accumulator
+		return 0
+	}
+}
+
+// Step passes A and B through and accumulates C.
+func (p *MatMulProgram) Step(j intmat.Vector, in []int64) []int64 {
+	b, a, c := in[0], in[1], in[2]
+	return []int64{b, a, c + a*b}
+}
+
+// CollectMatMulOutputs assembles the product matrix from the simulation
+// outputs: the completed c_{j1,j2} leaves stream 2 at the j3 = μ face.
+func CollectMatMulOutputs(mu int64, outputs []StreamOutput) [][]int64 {
+	n := int(mu + 1)
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+	}
+	for _, o := range outputs {
+		if o.Stream == 2 && o.Point[2] == mu {
+			c[o.Point[0]][o.Point[1]] = o.Value
+		}
+	}
+	return c
+}
+
+// MatMulReference is the sequential ground truth C = A·B.
+func MatMulReference(a, b [][]int64) [][]int64 {
+	n := len(a)
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += a[i][k] * b[k][j]
+			}
+			c[i][j] = s
+		}
+	}
+	return c
+}
+
+// ConvolutionProgram carries the semantics of the 2-D convolution
+// y_i = Σ_k h_k·x_{i−k}: stream 0 holds the resident weight h_k
+// (dependence (1,0)), stream 1 moves the input x diagonally (dependence
+// (1,1)), and stream 2 accumulates y along k (dependence (0,1)).
+type ConvolutionProgram struct {
+	H []int64 // muTap+1 weights
+	X []int64 // muOut+1 inputs
+}
+
+// Boundary feeds weights at i = 0, inputs along the i−k = const
+// diagonals (zero for negative indices), and zero accumulators at k = 0.
+func (p *ConvolutionProgram) Boundary(stream int, j intmat.Vector) int64 {
+	i, k := j[0], j[1]
+	switch stream {
+	case 0:
+		return p.H[k]
+	case 1:
+		if idx := i - k; idx >= 0 && int(idx) < len(p.X) {
+			return p.X[idx]
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Step passes h and x through and accumulates y += h·x.
+func (p *ConvolutionProgram) Step(j intmat.Vector, in []int64) []int64 {
+	h, x, y := in[0], in[1], in[2]
+	return []int64{h, x, y + h*x}
+}
+
+// CollectConvolutionOutputs assembles y from the k = muTap exit face.
+func CollectConvolutionOutputs(muOut, muTap int64, outputs []StreamOutput) []int64 {
+	y := make([]int64, muOut+1)
+	for _, o := range outputs {
+		if o.Stream == 2 && o.Point[1] == muTap {
+			y[o.Point[0]] = o.Value
+		}
+	}
+	return y
+}
+
+// ConvolutionReference is the sequential ground truth.
+func ConvolutionReference(h, x []int64) []int64 {
+	y := make([]int64, len(x))
+	for i := range x {
+		var s int64
+		for k := range h {
+			if i-k >= 0 {
+				s += h[k] * x[i-k]
+			}
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// ChecksumProgram is a generic program for algorithms without a
+// dedicated data semantics in this repository: every stream mixes its
+// input with the point coordinates through an injective-ish hash, so
+// any misrouting or mis-scheduling perturbs downstream values. It turns
+// the simulator into a dataflow-determinism checker for arbitrary
+// uniform dependence algorithms.
+type ChecksumProgram struct{ Streams int }
+
+// Boundary seeds each stream with a point-and-stream-dependent value.
+func (p *ChecksumProgram) Boundary(stream int, j intmat.Vector) int64 {
+	h := int64(stream + 1)
+	for _, x := range j {
+		h = h*1000003 + x
+	}
+	return h
+}
+
+// Step mixes all inputs into each output stream.
+func (p *ChecksumProgram) Step(j intmat.Vector, in []int64) []int64 {
+	var mix int64
+	for _, v := range in {
+		mix = mix*31 + v
+	}
+	out := make([]int64, p.Streams)
+	for i := range out {
+		out[i] = mix + int64(i)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package systolic
+
+import "lodim/internal/intmat"
+
+// EditDistanceProgram carries the Levenshtein dynamic program through
+// the array: point (i, j) computes the distance table entry
+// D[i+1][j+1] for prefixes s1[0..i] and s2[0..j], with the classic
+// recurrence
+//
+//	D[a][b] = min(D[a-1][b]+1, D[a][b-1]+1, D[a-1][b-1]+sub)
+//
+// carried by the three dependence streams (1,0), (0,1) and (1,1) of
+// uda.EditDistance. All streams forward the freshly computed entry.
+type EditDistanceProgram struct {
+	S1, S2 []byte // lengths μ1+1 and μ2+1
+}
+
+// Boundary supplies the table borders: D[0][b] = b and D[a][0] = a.
+func (p *EditDistanceProgram) Boundary(stream int, j intmat.Vector) int64 {
+	i, jj := j[0], j[1]
+	switch stream {
+	case 0: // needs D[i][j+1]; out of set iff i = 0
+		return jj + 1
+	case 1: // needs D[i+1][j]; out of set iff j = 0
+		return i + 1
+	default: // diagonal D[i][j]; out of set iff i = 0 or j = 0
+		if i == 0 {
+			return jj
+		}
+		return i
+	}
+}
+
+// Step computes the recurrence and forwards the entry on all streams.
+func (p *EditDistanceProgram) Step(j intmat.Vector, in []int64) []int64 {
+	sub := int64(1)
+	if p.S1[j[0]] == p.S2[j[1]] {
+		sub = 0
+	}
+	v := in[0] + 1
+	if w := in[1] + 1; w < v {
+		v = w
+	}
+	if w := in[2] + sub; w < v {
+		v = w
+	}
+	return []int64{v, v, v}
+}
+
+// CollectEditDistance extracts the final distance (the value leaving
+// the far corner).
+func CollectEditDistance(mu1, mu2 int64, outputs []StreamOutput) int64 {
+	for _, o := range outputs {
+		if o.Stream == 2 && o.Point[0] == mu1 && o.Point[1] == mu2 {
+			return o.Value
+		}
+	}
+	return -1
+}
+
+// EditDistanceReference is the sequential Levenshtein distance.
+func EditDistanceReference(s1, s2 []byte) int64 {
+	n, m := len(s1), len(s2)
+	prev := make([]int64, m+1)
+	cur := make([]int64, m+1)
+	for b := 0; b <= m; b++ {
+		prev[b] = int64(b)
+	}
+	for a := 1; a <= n; a++ {
+		cur[0] = int64(a)
+		for b := 1; b <= m; b++ {
+			sub := int64(1)
+			if s1[a-1] == s2[b-1] {
+				sub = 0
+			}
+			v := prev[b] + 1
+			if w := cur[b-1] + 1; w < v {
+				v = w
+			}
+			if w := prev[b-1] + sub; w < v {
+				v = w
+			}
+			cur[b] = v
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// JacobiProgram carries an integer five-point Jacobi relaxation: the
+// value at (t, x, y) is the floor-average of the five stencil sources
+// on the previous time plane, with zero padding outside the spatial
+// grid and the initial plane supplied at t = 0. The five dependence
+// streams of uda.Jacobi2D — (1,0,0), (1,1,0), (1,−1,0), (1,0,1),
+// (1,0,−1) — each forward the freshly computed value.
+type JacobiProgram struct {
+	Init [][]int64 // (μX+1)×(μY+1) initial grid
+}
+
+// Boundary supplies sources outside the index set: the initial plane
+// for t = 0 (offset by the stream's spatial displacement), zero padding
+// outside the spatial extent.
+func (p *JacobiProgram) Boundary(stream int, j intmat.Vector) int64 {
+	// The source of stream s at point (t,x,y) is (t,x,y) − d_s.
+	dx := [5]int64{0, -1, 1, 0, 0}
+	dy := [5]int64{0, 0, 0, -1, 1}
+	x, y := j[1]+dx[stream], j[2]+dy[stream]
+	if j[0] != 0 {
+		// Inside the time range but spatially out of grid: zero pad.
+		return 0
+	}
+	if x < 0 || y < 0 || int(x) >= len(p.Init) || int(y) >= len(p.Init[0]) {
+		return 0
+	}
+	return p.Init[x][y]
+}
+
+// Step averages the five inputs (floor division) and forwards.
+func (p *JacobiProgram) Step(j intmat.Vector, in []int64) []int64 {
+	sum := in[0] + in[1] + in[2] + in[3] + in[4]
+	v := floorDiv5(sum)
+	return []int64{v, v, v, v, v}
+}
+
+func floorDiv5(a int64) int64 {
+	q := a / 5
+	if a%5 != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// CollectJacobi assembles the final time plane from the outputs.
+func CollectJacobi(muT, muX, muY int64, outputs []StreamOutput) [][]int64 {
+	grid := make([][]int64, muX+1)
+	for i := range grid {
+		grid[i] = make([]int64, muY+1)
+	}
+	for _, o := range outputs {
+		// Stream 0 (pure time step) exits at t = μT for every (x, y).
+		if o.Stream == 0 && o.Point[0] == muT {
+			grid[o.Point[1]][o.Point[2]] = o.Value
+		}
+	}
+	return grid
+}
+
+// JacobiReference runs the identical recurrence sequentially.
+func JacobiReference(init [][]int64, steps int64) [][]int64 {
+	nx, ny := len(init), len(init[0])
+	at := func(g [][]int64, x, y int) int64 {
+		if x < 0 || y < 0 || x >= nx || y >= ny {
+			return 0
+		}
+		return g[x][y]
+	}
+	prev := init
+	for t := int64(0); t <= steps; t++ {
+		next := make([][]int64, nx)
+		for x := 0; x < nx; x++ {
+			next[x] = make([]int64, ny)
+			for y := 0; y < ny; y++ {
+				sum := at(prev, x, y) + at(prev, x-1, y) + at(prev, x+1, y) + at(prev, x, y-1) + at(prev, x, y+1)
+				next[x][y] = floorDiv5(sum)
+			}
+		}
+		prev = next
+	}
+	return prev
+}

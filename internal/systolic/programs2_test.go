@@ -1,0 +1,128 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// TestEditDistanceExecution maps the string-edit DP onto a linear array
+// (anti-diagonal projection S = [1,-1]) and verifies the computed
+// distance against the sequential reference for a batch of string pairs.
+func TestEditDistanceExecution(t *testing.T) {
+	cases := []struct{ s1, s2 string }{
+		{"kitten", "sitting"},
+		{"flaw", "lawn"},
+		{"abc", "abc"},
+		{"abcd", "efgh"},
+		{"ax", "abcdef"},
+	}
+	for _, c := range cases {
+		mu1, mu2 := int64(len(c.s1)-1), int64(len(c.s2)-1)
+		algo := uda.EditDistance(mu1, mu2)
+		res, err := schedule.FindOptimal(algo, intmat.FromRows([]int64{1, -1}), nil)
+		if err != nil {
+			t.Fatalf("%q/%q: %v", c.s1, c.s2, err)
+		}
+		prog := &EditDistanceProgram{S1: []byte(c.s1), S2: []byte(c.s2)}
+		sim, err := New(res.Mapping, prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(run.Conflicts) != 0 {
+			t.Fatalf("%q/%q: conflicts %v", c.s1, c.s2, run.Conflicts[0])
+		}
+		got := CollectEditDistance(mu1, mu2, run.Outputs)
+		want := EditDistanceReference([]byte(c.s1), []byte(c.s2))
+		if got != want {
+			t.Errorf("edit(%q, %q) = %d, want %d", c.s1, c.s2, got, want)
+		}
+	}
+}
+
+func TestEditDistanceReferenceKnown(t *testing.T) {
+	if got := EditDistanceReference([]byte("kitten"), []byte("sitting")); got != 3 {
+		t.Errorf("kitten/sitting = %d, want 3", got)
+	}
+	if got := EditDistanceReference([]byte(""), []byte("abc")); got != 3 {
+		t.Errorf("empty/abc = %d, want 3", got)
+	}
+	if got := EditDistanceReference([]byte("same"), []byte("same")); got != 0 {
+		t.Errorf("same/same = %d, want 0", got)
+	}
+}
+
+// TestJacobiExecution runs the 3-D Jacobi sweep on a 2-D array
+// (projection onto the spatial axes — the natural time-multiplexed
+// design) and compares the final plane with the sequential reference.
+func TestJacobiExecution(t *testing.T) {
+	muT, muX, muY := int64(3), int64(4), int64(4)
+	algo := uda.Jacobi2D(muT, muX, muY)
+	s := intmat.FromRows(
+		[]int64{0, 1, 0},
+		[]int64{0, 0, 1},
+	)
+	m, err := schedule.NewMapping(algo, s, intmat.Vec(3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := m.Check()
+	if err != nil || !chk.ConflictFree {
+		t.Fatalf("mapping not conflict-free: %v %v", chk, err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	init := make([][]int64, muX+1)
+	for x := range init {
+		init[x] = make([]int64, muY+1)
+		for y := range init[x] {
+			init[x][y] = rng.Int63n(1001) - 500
+		}
+	}
+	prog := &JacobiProgram{Init: init}
+	sim, err := New(m, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", run.Conflicts[0])
+	}
+	got := CollectJacobi(muT, muX, muY, run.Outputs)
+	want := JacobiReference(init, muT)
+	for x := range want {
+		for y := range want[x] {
+			if got[x][y] != want[x][y] {
+				t.Errorf("u[%d][%d] = %d, want %d", x, y, got[x][y], want[x][y])
+			}
+		}
+	}
+	// The spatial projection uses one PE per grid point.
+	if run.Processors != int((muX+1)*(muY+1)) {
+		t.Errorf("processors = %d, want %d", run.Processors, (muX+1)*(muY+1))
+	}
+}
+
+func TestFloorDiv5(t *testing.T) {
+	cases := []struct{ in, want int64 }{{10, 2}, {9, 1}, {-10, -2}, {-9, -2}, {0, 0}, {4, 0}, {-1, -1}}
+	for _, c := range cases {
+		if got := floorDiv5(c.in); got != c.want {
+			t.Errorf("floorDiv5(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCollectEditDistanceMissing(t *testing.T) {
+	if got := CollectEditDistance(3, 3, nil); got != -1 {
+		t.Errorf("missing output = %d, want -1", got)
+	}
+}

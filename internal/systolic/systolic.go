@@ -1,0 +1,364 @@
+// Package systolic is a cycle-accurate software simulator for the
+// processor arrays targeted by Shang & Fortes (1990).
+//
+// The paper's hardware context — 2-D bit-level arrays such as GAPP, DAP
+// and MPP, or custom linear systolic arrays — is not available, so this
+// simulator substitutes for it while preserving exactly the properties
+// the theory speaks about:
+//
+//   - each processing element executes at most one computation per time
+//     unit (violations are computational conflicts, Definition 2.2
+//     condition 3);
+//   - data move one interconnection primitive per time unit along
+//     per-dependence channels, with FIFO delay registers (buffers)
+//     absorbing schedule slack (Equation 2.3);
+//   - two tokens of the same stream contending for the same directed
+//     channel in the same cycle are a data-link collision (the
+//     phenomenon [23] introduced and the paper's appendix discusses).
+//
+// The simulator executes real data through a Program, so functional
+// results (e.g. the matrix product C = A·B of Example 5.1 / Figure 3)
+// are checked end to end, not just structurally.
+package systolic
+
+import (
+	"fmt"
+	"sort"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+)
+
+// Program supplies the data semantics of a uniform dependence
+// algorithm: stream i is the value flow along dependence vector d̄_i.
+type Program interface {
+	// Boundary returns the value entering stream i at point j when the
+	// source j − d̄_i falls outside the index set.
+	Boundary(stream int, j intmat.Vector) int64
+	// Step computes the point j: in[i] is the value arriving along
+	// stream i, and the returned slice (length m) is the value sent
+	// onward along each stream.
+	Step(j intmat.Vector, in []int64) []int64
+}
+
+// ComputationalConflict records two index points mapped to the same
+// processor and time.
+type ComputationalConflict struct {
+	A, B      intmat.Vector
+	Processor intmat.Vector
+	Time      int64
+}
+
+func (c ComputationalConflict) String() string {
+	return fmt.Sprintf("points %v and %v both at PE %v, t = %d", c.A, c.B, c.Processor, c.Time)
+}
+
+// LinkCollision records two tokens of one stream contending for a
+// directed channel in the same cycle.
+type LinkCollision struct {
+	Stream    int
+	From      intmat.Vector // PE the hop leaves
+	Primitive int           // column of the machine's P
+	Time      int64
+}
+
+func (c LinkCollision) String() string {
+	return fmt.Sprintf("stream %d: channel from PE %v along primitive %d at t = %d", c.Stream, c.From, c.Primitive, c.Time)
+}
+
+// StreamOutput is a value leaving the array: the token sent along
+// stream Stream by point Point whose successor lies outside the index
+// set.
+type StreamOutput struct {
+	Stream int
+	Point  intmat.Vector
+	Value  int64
+}
+
+// RunResult is the outcome of a simulation.
+type RunResult struct {
+	// Cycles is the number of time units from the first to the last
+	// computation, inclusive — comparable to Equation 2.7.
+	Cycles int64
+	// FirstTime and LastTime bound the schedule.
+	FirstTime, LastTime int64
+	// Processors is the number of distinct PEs that executed at least
+	// one computation.
+	Processors int
+	// Computations is the number of index points executed.
+	Computations int64
+	// Conflicts holds every computational conflict observed.
+	Conflicts []ComputationalConflict
+	// Collisions holds every link collision observed (only when the
+	// simulator was built with a machine).
+	Collisions []LinkCollision
+	// Outputs are the values that left the array, sorted by stream and
+	// then by point (lexicographically).
+	Outputs []StreamOutput
+	// MaxOccupancy is the peak number of computations in one time unit
+	// across the whole array — the array's degree of parallelism.
+	MaxOccupancy int
+	// MaxBuffered[i] is the peak number of stream-i tokens waiting in
+	// any single PE's input buffer at one time — the register count a
+	// hardware implementation of that link needs. When the simulator
+	// has a machine it is bounded by the analytic slack Π·d̄_i − hops_i
+	// of the decomposition (Equation 2.3), and reaches it when the
+	// stream saturates. Without a machine, hops are zero and the bound
+	// is Π·d̄_i.
+	MaxBuffered []int64
+}
+
+// Utilization returns the fraction of PE-cycles doing useful work:
+// Computations / (Cycles × Processors). A perfectly packed array is 1.
+func (r *RunResult) Utilization() float64 {
+	if r.Cycles == 0 || r.Processors == 0 {
+		return 0
+	}
+	return float64(r.Computations) / (float64(r.Cycles) * float64(r.Processors))
+}
+
+// Simulator drives a mapped algorithm through the array model.
+type Simulator struct {
+	mapping *schedule.Mapping
+	prog    Program
+	machine *array.Machine
+	decomp  *array.Decomposition
+}
+
+// New builds a simulator for a mapping and program. machine may be nil,
+// in which case routing (and hence link-collision detection) is skipped
+// and data teleport from producer to consumer — the pure space-time
+// semantics of the linear transformation.
+func New(m *schedule.Mapping, prog Program, machine *array.Machine) (*Simulator, error) {
+	s := &Simulator{mapping: m, prog: prog, machine: machine}
+	if machine != nil {
+		dec, err := machine.Decompose(m.S, m.Algo.D, m.Pi)
+		if err != nil {
+			return nil, err
+		}
+		s.decomp = dec
+	}
+	return s, nil
+}
+
+// Run executes the full index set in schedule order.
+func (s *Simulator) Run() (*RunResult, error) {
+	m := s.mapping
+	algo := m.Algo
+	nDeps := algo.NumDeps()
+
+	// Pass 1: schedule table, conflict detection, occupancy.
+	type slot struct {
+		point intmat.Vector
+		time  int64
+	}
+	var slots []slot
+	occupant := make(map[string]intmat.Vector) // "pe|t" → first point
+	var conflicts []ComputationalConflict
+	peSeen := make(map[string]bool)
+	occupancy := make(map[int64]int)
+	first, last := int64(1)<<62, int64(-1)<<62
+	algo.Set.Each(func(j intmat.Vector) bool {
+		t := m.Time(j)
+		pe := m.Processor(j)
+		key := pe.String() + "|" + fmt.Sprint(t)
+		if prev, clash := occupant[key]; clash {
+			conflicts = append(conflicts, ComputationalConflict{A: prev, B: j, Processor: pe, Time: t})
+		} else {
+			occupant[key] = j
+		}
+		peSeen[pe.String()] = true
+		occupancy[t]++
+		if t < first {
+			first = t
+		}
+		if t > last {
+			last = t
+		}
+		slots = append(slots, slot{point: j, time: t})
+		return true
+	})
+	sort.SliceStable(slots, func(a, b int) bool { return slots[a].time < slots[b].time })
+
+	// Pass 2: dataflow in schedule order. produced[pointKey] = out values.
+	produced := make(map[string][]int64, len(slots))
+	var outputs []StreamOutput
+	for _, sl := range slots {
+		j := sl.point
+		in := make([]int64, nDeps)
+		for i := 0; i < nDeps; i++ {
+			src := j.Sub(algo.Dep(i))
+			if algo.Set.Contains(src) {
+				vals, ok := produced[src.String()]
+				if !ok {
+					return nil, fmt.Errorf("systolic: point %v consumed before its source %v executed — schedule violates dependence %d", j, src, i)
+				}
+				in[i] = vals[i]
+			} else {
+				in[i] = s.prog.Boundary(i, j)
+			}
+		}
+		out := s.prog.Step(j, in)
+		if len(out) != nDeps {
+			return nil, fmt.Errorf("systolic: Step returned %d values, want %d", len(out), nDeps)
+		}
+		produced[j.String()] = out
+		for i := 0; i < nDeps; i++ {
+			if !algo.Set.Contains(j.Add(algo.Dep(i))) {
+				outputs = append(outputs, StreamOutput{Stream: i, Point: j.Clone(), Value: out[i]})
+			}
+		}
+	}
+	sort.Slice(outputs, func(a, b int) bool {
+		if outputs[a].Stream != outputs[b].Stream {
+			return outputs[a].Stream < outputs[b].Stream
+		}
+		return lexLess(outputs[a].Point, outputs[b].Point)
+	})
+
+	// Pass 3: routing and link-collision detection.
+	var collisions []LinkCollision
+	if s.machine != nil {
+		collisions = s.routeAll()
+	}
+
+	maxOcc := 0
+	for _, c := range occupancy {
+		if c > maxOcc {
+			maxOcc = c
+		}
+	}
+	return &RunResult{
+		Cycles:       last - first + 1,
+		FirstTime:    first,
+		LastTime:     last,
+		Processors:   len(peSeen),
+		Computations: int64(len(slots)),
+		Conflicts:    conflicts,
+		Collisions:   collisions,
+		Outputs:      outputs,
+		MaxOccupancy: maxOcc,
+		MaxBuffered:  s.bufferPeaks(),
+	}, nil
+}
+
+// bufferPeaks computes, per stream, the maximum number of tokens
+// simultaneously waiting at one destination PE. A stream-i token for
+// consumer j̄+d̄_i arrives at its destination after its hops complete
+// (cycle t(j̄) + hops_i + 1; hops are zero without a machine) and leaves
+// the buffer when consumed at t(j̄) + Π·d̄_i, so it occupies the buffer
+// during [arrival, consumption]; the peak interval overlap per
+// (stream, destination) is the required register count.
+func (s *Simulator) bufferPeaks() []int64 {
+	m := s.mapping
+	algo := m.Algo
+	nDeps := algo.NumDeps()
+	hops := make([]int64, nDeps)
+	if s.decomp != nil {
+		for i := 0; i < nDeps; i++ {
+			for l := 0; l < s.decomp.K.Rows(); l++ {
+				hops[i] += s.decomp.K.At(l, i)
+			}
+		}
+	}
+	// events[stream][destPE] = list of (time, ±1) deltas.
+	type delta struct {
+		t int64
+		d int
+	}
+	events := make([]map[string][]delta, nDeps)
+	for i := range events {
+		events[i] = make(map[string][]delta)
+	}
+	algo.Set.Each(func(j intmat.Vector) bool {
+		t := m.Time(j)
+		for i := 0; i < nDeps; i++ {
+			cons := j.Add(algo.Dep(i))
+			if !algo.Set.Contains(cons) {
+				continue
+			}
+			arrive := t + hops[i] + 1
+			depart := t + m.Pi.Dot(algo.Dep(i)) // consumption time
+			if depart < arrive {
+				continue // consumed straight off the wire; never buffered
+			}
+			key := m.Processor(cons).String()
+			events[i][key] = append(events[i][key], delta{arrive, +1}, delta{depart + 1, -1})
+		}
+		return true
+	})
+	peaks := make([]int64, nDeps)
+	for i := 0; i < nDeps; i++ {
+		for _, evs := range events[i] {
+			sort.Slice(evs, func(a, b int) bool {
+				if evs[a].t != evs[b].t {
+					return evs[a].t < evs[b].t
+				}
+				return evs[a].d < evs[b].d // departures before arrivals at the same cycle
+			})
+			var cur, peak int64
+			for _, e := range evs {
+				cur += int64(e.d)
+				if cur > peak {
+					peak = cur
+				}
+			}
+			if peak > peaks[i] {
+				peaks[i] = peak
+			}
+		}
+	}
+	return peaks
+}
+
+// routeAll moves every in-set token hop by hop and records channel
+// contention. Stream i's hop sequence is the decomposition column K_i
+// expanded into primitive indices in increasing column order; a token
+// produced at time t occupies its h-th hop's channel during cycle
+// t + h + 1.
+func (s *Simulator) routeAll() []LinkCollision {
+	m := s.mapping
+	algo := m.Algo
+	hopSeq := make([][]int, algo.NumDeps())
+	for i := range hopSeq {
+		for l := 0; l < s.decomp.K.Rows(); l++ {
+			for c := int64(0); c < s.decomp.K.At(l, i); c++ {
+				hopSeq[i] = append(hopSeq[i], l)
+			}
+		}
+	}
+	channel := make(map[string]bool)
+	var collisions []LinkCollision
+	algo.Set.Each(func(j intmat.Vector) bool {
+		t := m.Time(j)
+		pe := m.Processor(j)
+		for i := 0; i < algo.NumDeps(); i++ {
+			if !algo.Set.Contains(j.Add(algo.Dep(i))) {
+				continue // token leaves the array; no internal channel used
+			}
+			pos := pe.Clone()
+			for h, prim := range hopSeq[i] {
+				cycle := t + int64(h) + 1
+				key := fmt.Sprintf("%d|%s|%d|%d", i, pos.String(), prim, cycle)
+				if channel[key] {
+					collisions = append(collisions, LinkCollision{Stream: i, From: pos.Clone(), Primitive: prim, Time: cycle})
+				} else {
+					channel[key] = true
+				}
+				pos = pos.Add(s.machine.P.Col(prim))
+			}
+		}
+		return true
+	})
+	return collisions
+}
+
+func lexLess(a, b intmat.Vector) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,356 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+func randMatrix64(rng *rand.Rand, n int, amp int64) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		for j := range m[i] {
+			m[i][j] = rng.Int63n(2*amp+1) - amp
+		}
+	}
+	return m
+}
+
+func equal2D(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFigure3MatMulExecution reproduces Figure 3: the μ = 4 matrix
+// multiplication on the linear array with T = [[1,1,-1],[1,4,1]]. The
+// execution must be conflict-free and collision-free, finish in
+// t = μ(μ+2)+1 = 25 cycles, use 3μ+1 = 13 processors (S·j̄ = j1+j2−j3
+// spans [−μ, 2μ]), and produce the correct product.
+func TestFigure3MatMulExecution(t *testing.T) {
+	mu := int64(4)
+	rng := rand.New(rand.NewSource(41))
+	a, b := randMatrix64(rng, int(mu+1), 9), randMatrix64(rng, int(mu+1), 9)
+	algo := uda.MatMul(mu)
+	m, err := schedule.NewMapping(algo, intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, mu, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewMatMulProgram(mu, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(m, prog, array.NearestNeighbor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("computational conflicts observed: %v", res.Conflicts[0])
+	}
+	if len(res.Collisions) != 0 {
+		t.Errorf("link collisions observed: %v", res.Collisions[0])
+	}
+	if want := mu*(mu+2) + 1; res.Cycles != want {
+		t.Errorf("cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.Processors != int(3*mu+1) {
+		t.Errorf("processors = %d, want %d", res.Processors, 3*mu+1)
+	}
+	if res.Computations != algo.Set.Size() {
+		t.Errorf("computations = %d, want %d", res.Computations, algo.Set.Size())
+	}
+	got := CollectMatMulOutputs(mu, res.Outputs)
+	if want := MatMulReference(a, b); !equal2D(got, want) {
+		t.Errorf("product mismatch:\ngot  %v\nwant %v", got, want)
+	}
+	// Buffer occupancy: the A stream (dependence d̄_2, slack Π·d̄_2 − 1 =
+	// 3) must need exactly the paper's 3 registers at saturation; B and
+	// C are consumed straight off the wire.
+	if len(res.MaxBuffered) != 3 {
+		t.Fatalf("MaxBuffered = %v", res.MaxBuffered)
+	}
+	if res.MaxBuffered[0] != 0 || res.MaxBuffered[2] != 0 {
+		t.Errorf("B/C buffered: %v, want 0", res.MaxBuffered)
+	}
+	if res.MaxBuffered[1] != 3 {
+		t.Errorf("A stream peak buffer = %d, want 3 (the paper's register count)", res.MaxBuffered[1])
+	}
+}
+
+// TestConflictingMappingObserved: the schedule Π = [1,1,1] on the same
+// space mapping is NOT conflict-free; the simulator must observe
+// concrete conflicts, and their count must agree with the brute-force
+// collision groups.
+func TestConflictingMappingObserved(t *testing.T) {
+	mu := int64(3)
+	algo := uda.MatMul(mu)
+	m, err := schedule.NewMapping(algo, intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &ChecksumProgram{Streams: algo.NumDeps()}
+	sim, err := New(m, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) == 0 {
+		t.Fatal("no conflicts observed for a conflicting mapping")
+	}
+	// Cross-check against the analytical verdict.
+	chk, err := m.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.ConflictFree {
+		t.Error("analysis disagrees with observation")
+	}
+}
+
+// TestSimulatorAgreesWithDecide: over a batch of mappings, the
+// simulator observes a conflict iff conflict.Decide predicts one.
+func TestSimulatorAgreesWithDecide(t *testing.T) {
+	mu := int64(3)
+	algo := uda.MatMul(mu)
+	s := intmat.FromRows([]int64{1, 1, -1})
+	for p1 := int64(1); p1 <= 4; p1++ {
+		for p2 := int64(1); p2 <= 4; p2++ {
+			for p3 := int64(1); p3 <= 4; p3++ {
+				pi := intmat.Vec(p1, p2, p3)
+				m, err := schedule.NewMapping(algo, s, pi)
+				if err != nil {
+					continue // rank-deficient T etc.
+				}
+				sim, err := New(m, &ChecksumProgram{Streams: 3}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				chk, err := m.Check()
+				if err != nil {
+					t.Fatal(err)
+				}
+				observed := len(res.Conflicts) > 0
+				if observed == chk.ConflictFree {
+					t.Errorf("Π = %v: observed conflict=%v but analysis says conflict-free=%v", pi, observed, chk.ConflictFree)
+				}
+			}
+		}
+	}
+}
+
+// TestExample52TransitiveClosureRun executes the transitive-closure
+// mapping of Example 5.2 with the checksum program: conflict-free,
+// collision-free, t = μ(μ+3)+1 cycles.
+func TestExample52TransitiveClosureRun(t *testing.T) {
+	mu := int64(4)
+	algo := uda.TransitiveClosure(mu)
+	m, err := schedule.NewMapping(algo, intmat.FromRows([]int64{0, 0, 1}), intmat.Vec(mu+1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(m, &ChecksumProgram{Streams: algo.NumDeps()}, array.NearestNeighbor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Errorf("conflicts: %v", res.Conflicts[0])
+	}
+	if len(res.Collisions) != 0 {
+		t.Errorf("collisions: %v", res.Collisions[0])
+	}
+	if want := mu*(mu+3) + 1; res.Cycles != want {
+		t.Errorf("cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.Processors != int(mu+1) {
+		t.Errorf("processors = %d, want %d (linear array of μ+1 PEs)", res.Processors, mu+1)
+	}
+}
+
+// TestConvolutionExecution runs the 2-D convolution on a linear array
+// (S = [1, 0]: output-stationary by diagonal... here PE = i) and checks
+// the functional result against the sequential reference.
+func TestConvolutionExecution(t *testing.T) {
+	muOut, muTap := int64(6), int64(3)
+	algo := uda.Convolution(muOut, muTap)
+	// S = [1, -1]: PE index i−k; Π = [muTap+1, 1] is valid and
+	// conflict-free (unique conflict vector check via the optimizer).
+	res, err := schedule.FindOptimal(algo, intmat.FromRows([]int64{1, -1}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := []int64{1, -2, 3, 0}
+	x := []int64{5, 1, -1, 2, 0, 4, -3}
+	prog := &ConvolutionProgram{H: h, X: x}
+	sim, err := New(res.Mapping, prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", run.Conflicts[0])
+	}
+	got := CollectConvolutionOutputs(muOut, muTap, run.Outputs)
+	want := ConvolutionReference(h, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("y[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMulProgramValidation(t *testing.T) {
+	if _, err := NewMatMulProgram(2, [][]int64{{1}}, [][]int64{{1}}); err == nil {
+		t.Error("short A accepted")
+	}
+	good := [][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	bad := [][]int64{{1, 2, 3}, {4, 5}, {7, 8, 9}}
+	if _, err := NewMatMulProgram(2, good, bad); err == nil {
+		t.Error("ragged B accepted")
+	}
+}
+
+// TestRoutingOnMesh maps 3-D matmul onto the 2-D mesh with S = I₂-like
+// projection and checks the multi-hop router finds no collisions for
+// the standard design.
+func TestRoutingOnMesh(t *testing.T) {
+	mu := int64(3)
+	algo := uda.MatMul(mu)
+	s := intmat.FromRows(
+		[]int64{1, 0, 0},
+		[]int64{0, 1, 0},
+	)
+	m, err := schedule.NewMapping(algo, s, intmat.Vec(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = n here: the square mapping is automatically conflict-free.
+	chk, err := m.Check()
+	if err != nil || !chk.ConflictFree {
+		t.Fatalf("projection mapping not conflict-free: %v %v", chk, err)
+	}
+	sim, err := New(m, &ChecksumProgram{Streams: 3}, array.NearestNeighbor(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 || len(res.Collisions) != 0 {
+		t.Errorf("conflicts=%d collisions=%d", len(res.Conflicts), len(res.Collisions))
+	}
+	if res.Processors != int((mu+1)*(mu+1)) {
+		t.Errorf("processors = %d, want %d", res.Processors, (mu+1)*(mu+1))
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	mu := int64(4)
+	algo := uda.MatMul(mu)
+	m, err := schedule.NewMapping(algo, intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, mu, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(m, &ChecksumProgram{Streams: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization()
+	want := float64(125) / (25.0 * 13.0)
+	if u < want-1e-9 || u > want+1e-9 {
+		t.Errorf("utilization = %f, want %f", u, want)
+	}
+	// Degenerate guard.
+	empty := &RunResult{}
+	if empty.Utilization() != 0 {
+		t.Error("empty result utilization non-zero")
+	}
+}
+
+func TestMaxOccupancyBounded(t *testing.T) {
+	mu := int64(4)
+	algo := uda.MatMul(mu)
+	m, err := schedule.NewMapping(algo, intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, mu, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(m, &ChecksumProgram{Streams: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflict-free: per-time occupancy can never exceed the processor
+	// count.
+	if res.MaxOccupancy > res.Processors {
+		t.Errorf("occupancy %d exceeds processor count %d", res.MaxOccupancy, res.Processors)
+	}
+	if res.MaxOccupancy < 1 {
+		t.Error("zero occupancy")
+	}
+}
+
+func BenchmarkSimulateMatMulMu4(b *testing.B) {
+	mu := int64(4)
+	rng := rand.New(rand.NewSource(43))
+	a, bb := randMatrix64(rng, int(mu+1), 9), randMatrix64(rng, int(mu+1), 9)
+	algo := uda.MatMul(mu)
+	m, err := schedule.NewMapping(algo, intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, mu, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := NewMatMulProgram(mu, a, bb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := New(m, prog, array.NearestNeighbor(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

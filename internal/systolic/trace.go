@@ -1,0 +1,134 @@
+package systolic
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lodim/internal/intmat"
+)
+
+// Event is one observable occurrence during a simulated execution.
+type Event struct {
+	Cycle int64
+	// Kind is one of "compute" (a PE fires an index point), "hop" (a
+	// token crosses a channel), or "output" (a token leaves the array).
+	Kind string
+	// PE is where the event happens (for hops: the source PE of the
+	// crossing).
+	PE intmat.Vector
+	// Point is the index point that produced the value involved.
+	Point intmat.Vector
+	// Stream is the dependence stream (-1 for compute events).
+	Stream int
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case "compute":
+		return fmt.Sprintf("t=%-4d compute  PE %v  point %v", e.Cycle, e.PE, e.Point)
+	case "hop":
+		return fmt.Sprintf("t=%-4d hop      PE %v  stream %d (from point %v)", e.Cycle, e.PE, e.Stream, e.Point)
+	case "output":
+		return fmt.Sprintf("t=%-4d output   PE %v  stream %d (from point %v)", e.Cycle, e.PE, e.Stream, e.Point)
+	default:
+		return fmt.Sprintf("t=%-4d %s PE %v point %v stream %d", e.Cycle, e.Kind, e.PE, e.Point, e.Stream)
+	}
+}
+
+// Tracer receives simulation events in nondecreasing cycle order per
+// kind (compute events globally sorted; hop/output events sorted at the
+// end of the run).
+type Tracer interface {
+	Event(e Event)
+}
+
+// CollectTracer stores every event.
+type CollectTracer struct {
+	Events []Event
+}
+
+// Event implements Tracer.
+func (c *CollectTracer) Event(e Event) { c.Events = append(c.Events, e) }
+
+// WriterTracer prints each event as one line, up to Limit events
+// (0 = unlimited).
+type WriterTracer struct {
+	W     io.Writer
+	Limit int
+	count int
+}
+
+// Event implements Tracer.
+func (w *WriterTracer) Event(e Event) {
+	if w.Limit > 0 && w.count >= w.Limit {
+		if w.count == w.Limit {
+			fmt.Fprintf(w.W, "… trace truncated at %d events\n", w.Limit)
+			w.count++
+		}
+		return
+	}
+	w.count++
+	fmt.Fprintln(w.W, e.String())
+}
+
+// Trace re-runs the schedule analysis emitting events to the tracer:
+// every computation in time order, every routing hop (when the
+// simulator has a machine), and every token leaving the array. It is a
+// pure observation pass — Run's results are unaffected.
+func (s *Simulator) Trace(tr Tracer) error {
+	m := s.mapping
+	algo := m.Algo
+	var events []Event
+	hopSeq := make([][]int, algo.NumDeps())
+	if s.decomp != nil {
+		for i := range hopSeq {
+			for l := 0; l < s.decomp.K.Rows(); l++ {
+				for c := int64(0); c < s.decomp.K.At(l, i); c++ {
+					hopSeq[i] = append(hopSeq[i], l)
+				}
+			}
+		}
+	}
+	algo.Set.Each(func(j intmat.Vector) bool {
+		t := m.Time(j)
+		pe := m.Processor(j)
+		events = append(events, Event{Cycle: t, Kind: "compute", PE: pe, Point: j.Clone(), Stream: -1})
+		for i := 0; i < algo.NumDeps(); i++ {
+			if !algo.Set.Contains(j.Add(algo.Dep(i))) {
+				events = append(events, Event{Cycle: t, Kind: "output", PE: pe, Point: j.Clone(), Stream: i})
+				continue
+			}
+			if s.machine == nil {
+				continue
+			}
+			pos := pe.Clone()
+			for h, prim := range hopSeq[i] {
+				events = append(events, Event{Cycle: t + int64(h) + 1, Kind: "hop", PE: pos.Clone(), Point: j.Clone(), Stream: i})
+				pos = pos.Add(s.machine.P.Col(prim))
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].Cycle != events[b].Cycle {
+			return events[a].Cycle < events[b].Cycle
+		}
+		return kindOrder(events[a].Kind) < kindOrder(events[b].Kind)
+	})
+	for _, e := range events {
+		tr.Event(e)
+	}
+	return nil
+}
+
+func kindOrder(k string) int {
+	switch k {
+	case "compute":
+		return 0
+	case "hop":
+		return 1
+	default:
+		return 2
+	}
+}

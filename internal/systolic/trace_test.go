@@ -1,0 +1,130 @@
+package systolic
+
+import (
+	"strings"
+	"testing"
+
+	"lodim/internal/array"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+func traceMapping(t *testing.T) *Simulator {
+	t.Helper()
+	m, err := schedule.NewMapping(uda.MatMul(2), intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(m, &ChecksumProgram{Streams: 3}, array.NearestNeighbor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestTraceEventCounts(t *testing.T) {
+	sim := traceMapping(t)
+	var c CollectTracer
+	if err := sim.Trace(&c); err != nil {
+		t.Fatal(err)
+	}
+	var computes, hops, outputs int
+	for _, e := range c.Events {
+		switch e.Kind {
+		case "compute":
+			computes++
+		case "hop":
+			hops++
+		case "output":
+			outputs++
+		default:
+			t.Errorf("unknown event kind %q", e.Kind)
+		}
+	}
+	// Every index point computes once: 27 points.
+	if computes != 27 {
+		t.Errorf("computes = %d, want 27", computes)
+	}
+	// Outputs: one per (point, stream) whose successor leaves the set:
+	// per stream a 3x3 face = 9, three streams → 27.
+	if outputs != 27 {
+		t.Errorf("outputs = %d, want 27", outputs)
+	}
+	// Hops: single-hop design → one hop per in-set transfer: 3 streams ×
+	// (27 − 9) = 54.
+	if hops != 54 {
+		t.Errorf("hops = %d, want 54", hops)
+	}
+}
+
+func TestTraceOrdering(t *testing.T) {
+	sim := traceMapping(t)
+	var c CollectTracer
+	if err := sim.Trace(&c); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1 << 62)
+	for _, e := range c.Events {
+		if e.Cycle < last {
+			t.Fatalf("events out of order: cycle %d after %d", e.Cycle, last)
+		}
+		last = e.Cycle
+	}
+	// The first event is the origin computing at t = 0.
+	if c.Events[0].Kind != "compute" || c.Events[0].Cycle != 0 || !c.Events[0].Point.Equal(intmat.Vec(0, 0, 0)) {
+		t.Errorf("first event = %v", c.Events[0])
+	}
+}
+
+func TestWriterTracerLimit(t *testing.T) {
+	sim := traceMapping(t)
+	var sb strings.Builder
+	if err := sim.Trace(&WriterTracer{W: &sb, Limit: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // 5 events + truncation notice
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "trace truncated") {
+		t.Errorf("missing truncation notice:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "compute") {
+		t.Errorf("first line = %q", lines[0])
+	}
+}
+
+func TestTraceWithoutMachineHasNoHops(t *testing.T) {
+	m, err := schedule.NewMapping(uda.MatMul(2), intmat.FromRows([]int64{1, 1, -1}), intmat.Vec(1, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(m, &ChecksumProgram{Streams: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c CollectTracer
+	if err := sim.Trace(&c); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range c.Events {
+		if e.Kind == "hop" {
+			t.Fatal("hop event without a machine")
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	for _, e := range []Event{
+		{Cycle: 1, Kind: "compute", PE: intmat.Vec(0), Point: intmat.Vec(0, 0, 0), Stream: -1},
+		{Cycle: 2, Kind: "hop", PE: intmat.Vec(1), Point: intmat.Vec(0, 0, 0), Stream: 1},
+		{Cycle: 3, Kind: "output", PE: intmat.Vec(2), Point: intmat.Vec(1, 1, 1), Stream: 2},
+		{Cycle: 4, Kind: "custom", PE: intmat.Vec(2), Point: intmat.Vec(1, 1, 1), Stream: 0},
+	} {
+		if e.String() == "" {
+			t.Errorf("empty String for %v", e.Kind)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package uda
+
+import (
+	"fmt"
+
+	"lodim/internal/intmat"
+)
+
+// This file computes dataflow-limit quantities of an algorithm: the
+// free (ASAP) schedule and the critical path. They bound what any
+// linear schedule — indeed any schedule at all with unit-time
+// computations — can achieve: t ≥ CriticalPath(algo), making them the
+// natural baseline column next to the achieved linear-schedule times in
+// the experiment tables.
+
+// FreeSchedule returns the earliest firing time of every index point
+// under pure dataflow execution (unbounded processors): level(j̄) =
+// 1 + max over in-set predecessors, with sources at level 1. The map is
+// keyed by the point's String(). Use only on enumerable index sets.
+func (a *Algorithm) FreeSchedule() (map[string]int64, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	level := make(map[string]int64, a.Set.Size())
+	// Lexicographic iteration is NOT generally a topological order of
+	// the dependence graph (dependence vectors may have negative
+	// entries), so iterate to a fixed point; each pass finalizes at
+	// least one more level, and the level values are bounded by |J|.
+	// For lex-positive dependence matrices one pass suffices.
+	lexPositiveDeps := true
+	for i := 0; i < a.NumDeps(); i++ {
+		d := a.Dep(i)
+		pos := false
+		for _, x := range d {
+			if x > 0 {
+				pos = true
+				break
+			}
+			if x < 0 {
+				break
+			}
+		}
+		if !pos {
+			lexPositiveDeps = false
+			break
+		}
+	}
+	passes := 1
+	if !lexPositiveDeps {
+		passes = int(a.Set.Size())
+	}
+	for p := 0; p < passes; p++ {
+		changed := false
+		a.Set.Each(func(j intmat.Vector) bool {
+			lv := int64(1)
+			for i := 0; i < a.NumDeps(); i++ {
+				src := j.Sub(a.Dep(i))
+				if !a.Set.Contains(src) {
+					continue
+				}
+				if sl := level[src.String()]; sl+1 > lv {
+					lv = sl + 1
+				}
+			}
+			if lv != level[j.String()] {
+				level[j.String()] = lv
+				changed = true
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+		if p == passes-1 && changed && !lexPositiveDeps {
+			return nil, fmt.Errorf("uda: %s: free schedule did not converge — the dependence graph has a cycle", a.Name)
+		}
+	}
+	return level, nil
+}
+
+// CriticalPath returns the length of the longest dependence chain in
+// the algorithm — the minimum possible total execution time with
+// unit-time computations, achieved by the free schedule on unboundedly
+// many processors. Any valid linear schedule satisfies
+// TotalTime(Π) ≥ CriticalPath.
+func (a *Algorithm) CriticalPath() (int64, error) {
+	levels, err := a.FreeSchedule()
+	if err != nil {
+		return 0, err
+	}
+	var max int64
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}

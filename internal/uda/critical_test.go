@@ -1,0 +1,98 @@
+package uda
+
+import (
+	"testing"
+
+	"lodim/internal/intmat"
+)
+
+// TestCriticalPathMatMul: with D = I over the μ-cube the longest chain
+// walks all three axes: 3μ + 1 levels.
+func TestCriticalPathMatMul(t *testing.T) {
+	for _, mu := range []int64{2, 3, 4} {
+		cp, err := MatMul(mu).CriticalPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 3*mu + 1; cp != want {
+			t.Errorf("μ=%d: critical path %d, want %d", mu, cp, want)
+		}
+	}
+}
+
+// TestCriticalPathEditDistance: the (1,1) diagonal dominates:
+// μ1 + μ2 + 1 levels.
+func TestCriticalPathEditDistance(t *testing.T) {
+	cp, err := EditDistance(3, 5).CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 9 {
+		t.Errorf("critical path %d, want 9", cp)
+	}
+}
+
+// TestFreeScheduleLevels: sources at level 1, levels increase along
+// dependencies.
+func TestFreeScheduleLevels(t *testing.T) {
+	a := MatMul(2)
+	levels, err := a.FreeSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[intmat.Vec(0, 0, 0).String()] != 1 {
+		t.Errorf("origin level %d, want 1", levels[intmat.Vec(0, 0, 0).String()])
+	}
+	if levels[intmat.Vec(2, 2, 2).String()] != 7 {
+		t.Errorf("corner level %d, want 7", levels[intmat.Vec(2, 2, 2).String()])
+	}
+	// Monotone along every dependence.
+	a.Set.Each(func(j intmat.Vector) bool {
+		for i := 0; i < a.NumDeps(); i++ {
+			src := j.Sub(a.Dep(i))
+			if a.Set.Contains(src) && levels[j.String()] <= levels[src.String()] {
+				t.Errorf("level not increasing along dependence at %v", j)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestCriticalPathNegativeEntries: transitive closure has dependence
+// vectors with negative entries, exercising the fixed-point path.
+func TestCriticalPathNegativeEntries(t *testing.T) {
+	a := TransitiveClosure(3)
+	cp, err := a.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: bounded by |J| and at least the μ+1 chain along d̄_1.
+	if cp < 4 || cp > a.Set.Size() {
+		t.Errorf("critical path %d out of sane range", cp)
+	}
+	// Any valid linear schedule dominates the critical path — check the
+	// paper's optimum.
+	piTime := int64(3*(3+3) + 1)
+	if piTime < cp {
+		t.Errorf("linear schedule t=%d below the dataflow bound %d", piTime, cp)
+	}
+}
+
+// TestCriticalPathBoundsLibrary: the dataflow bound never exceeds the
+// (schedule-dependent) box diameter bound and is ≥ 1.
+func TestCriticalPathBoundsLibrary(t *testing.T) {
+	for _, a := range Library() {
+		if a.Set.Size() > 3000 {
+			continue
+		}
+		cp, err := a.CriticalPath()
+		if err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+			continue
+		}
+		if cp < 1 || cp > a.Set.Size() {
+			t.Errorf("%s: critical path %d out of range", a.Name, cp)
+		}
+	}
+}

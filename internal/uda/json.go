@@ -1,0 +1,58 @@
+package uda
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lodim/internal/intmat"
+)
+
+// algorithmJSON is the stable on-disk representation of an Algorithm:
+//
+//	{
+//	  "name": "matmul",
+//	  "bounds": [4, 4, 4],
+//	  "dependencies": [[1,0,0], [0,1,0], [0,0,1]]
+//	}
+//
+// Dependence vectors are listed as rows (one vector per entry), the
+// transpose of the paper's column convention, because a list of vectors
+// is the natural JSON shape.
+type algorithmJSON struct {
+	Name         string    `json:"name"`
+	Bounds       []int64   `json:"bounds"`
+	Dependencies [][]int64 `json:"dependencies"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *Algorithm) MarshalJSON() ([]byte, error) {
+	out := algorithmJSON{Name: a.Name, Bounds: a.Set.Upper}
+	for i := 0; i < a.NumDeps(); i++ {
+		out.Dependencies = append(out.Dependencies, a.Dep(i))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the decoded
+// algorithm.
+func (a *Algorithm) UnmarshalJSON(data []byte) error {
+	var in algorithmJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	n := len(in.Bounds)
+	if n == 0 {
+		return fmt.Errorf("uda: algorithm %q has no bounds", in.Name)
+	}
+	d := intmat.New(n, len(in.Dependencies))
+	for c, dep := range in.Dependencies {
+		if len(dep) != n {
+			return fmt.Errorf("uda: algorithm %q: dependence %d has %d entries, want %d", in.Name, c+1, len(dep), n)
+		}
+		d.SetCol(c, dep)
+	}
+	a.Name = in.Name
+	a.Set = IndexSet{Upper: append(intmat.Vector{}, in.Bounds...)}
+	a.D = d
+	return a.Validate()
+}

@@ -1,0 +1,261 @@
+package uda
+
+import "lodim/internal/intmat"
+
+// This file is the algorithm library: constructors for the uniform
+// dependence algorithms used in the paper and in its motivating
+// applications. Each dependence matrix is written column-per-dependence
+// exactly as printed in the paper where the paper gives one.
+
+// MatMul returns the 3-dimensional matrix multiplication algorithm of
+// Example 3.1 (Equation 3.4): C = A·B over the cube 0 ≤ j_i ≤ μ with
+//
+//	D = [1 0 0]
+//	    [0 1 0]
+//	    [0 0 1]
+//
+// where d̄_1, d̄_2, d̄_3 are induced by B, A and C respectively.
+func MatMul(mu int64) *Algorithm {
+	return &Algorithm{
+		Name: "matmul",
+		Set:  Cube(3, mu),
+		D: intmat.FromRows(
+			[]int64{1, 0, 0},
+			[]int64{0, 1, 0},
+			[]int64{0, 0, 1},
+		),
+	}
+}
+
+// TransitiveClosure returns the 3-dimensional reindexed transitive
+// closure algorithm of Example 3.2 (Equation 3.6):
+//
+//	D = [0 0  1  1  1]
+//	    [0 1 -1 -1  0]
+//	    [1 0 -1  0 -1]
+func TransitiveClosure(mu int64) *Algorithm {
+	return &Algorithm{
+		Name: "transitive-closure",
+		Set:  Cube(3, mu),
+		D: intmat.FromRows(
+			[]int64{0, 0, 1, 1, 1},
+			[]int64{0, 1, -1, -1, 0},
+			[]int64{1, 0, -1, 0, -1},
+		),
+	}
+}
+
+// Convolution returns the 2-dimensional word-level convolution
+// y_i = Σ_k h_k·x_{i−k} over 0 ≤ i ≤ muOut, 0 ≤ k ≤ muTap, with the
+// standard uniformized dependencies: weights stay resident along i
+// (d̄_1), inputs travel along the diagonal (d̄_2) and partial sums
+// accumulate along k (d̄_3).
+func Convolution(muOut, muTap int64) *Algorithm {
+	return &Algorithm{
+		Name: "convolution",
+		Set:  Box(muOut, muTap),
+		D: intmat.FromRows(
+			[]int64{1, 1, 0},
+			[]int64{0, 1, 1},
+		),
+	}
+}
+
+// LU returns the 3-dimensional LU decomposition algorithm (without
+// pivoting) with the classical uniformized dependence matrix: pivot
+// rows propagate along i (d̄_1), pivot columns along j (d̄_2) and
+// updates along k (d̄_3).
+func LU(mu int64) *Algorithm {
+	return &Algorithm{
+		Name: "lu",
+		Set:  Cube(3, mu),
+		D: intmat.FromRows(
+			[]int64{1, 0, 0},
+			[]int64{0, 1, 0},
+			[]int64{0, 0, 1},
+		),
+	}
+}
+
+// SOR returns a 2-dimensional successive-over-relaxation stencil sweep
+// (one time-like axis, one space axis) with the three-point dependence
+// pattern d̄_1 = (1,0), d̄_2 = (1,1), d̄_3 = (1,−1).
+func SOR(muT, muX int64) *Algorithm {
+	return &Algorithm{
+		Name: "sor",
+		Set:  Box(muT, muX),
+		D: intmat.FromRows(
+			[]int64{1, 1, 1},
+			[]int64{0, 1, -1},
+		),
+	}
+}
+
+// BitLevelConvolution returns the 4-dimensional bit-level convolution
+// of the paper's Section 3 motivation ("mapping of 4-dimensional
+// convolution algorithm at bit-level [26] into a 2-dimensional systolic
+// array"). The word-level indices (i, k) are expanded with a
+// multiplicand bit index l and a partial-sum bit index p; word-level
+// dependencies are inherited on the first two coordinates and the
+// bit-serial arithmetic adds bit-broadcast (d̄_4) and carry (d̄_5)
+// dependencies on the last two:
+//
+//	d̄_1 = (1,0,0,0)  weights resident along i
+//	d̄_2 = (1,1,0,0)  inputs along the diagonal
+//	d̄_3 = (0,1,0,0)  partial-sum accumulation along k
+//	d̄_4 = (0,0,1,0)  operand bit recurrence along l
+//	d̄_5 = (0,0,0,1)  sum bit recurrence along p
+//	d̄_6 = (0,0,1,-1) carry propagation between bit planes
+func BitLevelConvolution(muOut, muTap, muBit int64) *Algorithm {
+	return &Algorithm{
+		Name: "bit-convolution",
+		Set:  Box(muOut, muTap, muBit, muBit),
+		D: intmat.FromRows(
+			[]int64{1, 1, 0, 0, 0, 0},
+			[]int64{0, 1, 1, 0, 0, 0},
+			[]int64{0, 0, 0, 1, 0, 1},
+			[]int64{0, 0, 0, 0, 1, -1},
+		),
+	}
+}
+
+// BitLevelMatMul returns a 5-dimensional bit-level matrix
+// multiplication: word-level (i, j, k) indices expanded with a
+// multiplier bit index l and an accumulation bit index p. This is the
+// algorithm class the paper's RAB motivation targets ("often a four or
+// five dimensional bit level algorithm into a 2-dimensional bit level
+// processor array") and the subject of Theorem 4.8 (k = n−3 = 2+1 rows
+// maps 5-D into 2-D arrays):
+//
+//	d̄_1 = (1,0,0,0,0)  B operand reuse along i
+//	d̄_2 = (0,1,0,0,0)  A operand reuse along j
+//	d̄_3 = (0,0,1,0,0)  word-level accumulation along k
+//	d̄_4 = (0,0,0,1,0)  operand bit recurrence along l
+//	d̄_5 = (0,0,0,0,1)  sum bit recurrence along p
+//	d̄_6 = (0,0,0,1,-1) carry propagation between bit planes
+func BitLevelMatMul(mu, muBit int64) *Algorithm {
+	return &Algorithm{
+		Name: "bit-matmul",
+		Set:  Box(mu, mu, mu, muBit, muBit),
+		D: intmat.FromRows(
+			[]int64{1, 0, 0, 0, 0, 0},
+			[]int64{0, 1, 0, 0, 0, 0},
+			[]int64{0, 0, 1, 0, 0, 0},
+			[]int64{0, 0, 0, 1, 0, 1},
+			[]int64{0, 0, 0, 0, 1, -1},
+		),
+	}
+}
+
+// MatVec returns the 2-dimensional matrix-vector product y = A·x over
+// 0 ≤ i ≤ muRow (result index), 0 ≤ j ≤ muCol (reduction index):
+// x values stay resident along i (d̄_1), partial sums accumulate along
+// j (d̄_2).
+func MatVec(muRow, muCol int64) *Algorithm {
+	return &Algorithm{
+		Name: "matvec",
+		Set:  Box(muRow, muCol),
+		D: intmat.FromRows(
+			[]int64{1, 0},
+			[]int64{0, 1},
+		),
+	}
+}
+
+// EditDistance returns the 2-dimensional string-edit dynamic program
+// (Levenshtein recurrence): cell (i, j) depends on (i−1, j), (i, j−1)
+// and (i−1, j−1).
+func EditDistance(mu1, mu2 int64) *Algorithm {
+	return &Algorithm{
+		Name: "edit-distance",
+		Set:  Box(mu1, mu2),
+		D: intmat.FromRows(
+			[]int64{1, 0, 1},
+			[]int64{0, 1, 1},
+		),
+	}
+}
+
+// Jacobi2D returns a 3-dimensional Jacobi sweep over a 2-D grid with a
+// time-like axis t and the five-point spatial stencil: point (t, x, y)
+// reads (t−1, x, y), (t−1, x±1, y) and (t−1, x, y±1).
+func Jacobi2D(muT, muX, muY int64) *Algorithm {
+	return &Algorithm{
+		Name: "jacobi2d",
+		Set:  Box(muT, muX, muY),
+		D: intmat.FromRows(
+			[]int64{1, 1, 1, 1, 1},
+			[]int64{0, 1, -1, 0, 0},
+			[]int64{0, 0, 0, 1, -1},
+		),
+	}
+}
+
+// Correlation returns the 2-dimensional cross-correlation
+// r_i = Σ_k a_k·b_{i+k}: the reference sequence stays resident along i
+// (d̄_1), the searched sequence travels against the diagonal (d̄_2), and
+// sums accumulate along k (d̄_3). It differs from Convolution only in
+// the diagonal's sign, which flips the natural travel direction on the
+// array — a useful contrast case for the optimizers.
+func Correlation(muOut, muLag int64) *Algorithm {
+	return &Algorithm{
+		Name: "correlation",
+		Set:  Box(muOut, muLag),
+		D: intmat.FromRows(
+			[]int64{1, 1, 0},
+			[]int64{0, -1, 1},
+		),
+	}
+}
+
+// BitExpand performs the generic word-to-bit-level expansion of the
+// RAB pipeline ("algorithms are first expanded into bit level
+// algorithms"): an n-dimensional word-level algorithm becomes an
+// (n+2)-dimensional bit-level algorithm with an operand-bit axis l and
+// a sum-bit axis p, both bounded by muBit. Word-level dependencies are
+// inherited on the first n coordinates; bit-serial arithmetic adds the
+// operand-bit recurrence e_{n+1}, the sum-bit recurrence e_{n+2}, and
+// the carry dependence e_{n+1} − e_{n+2} between bit planes.
+//
+// BitExpand(MatMul(μ), w) equals BitLevelMatMul(μ, w) and
+// BitExpand(Convolution(a, b), w) equals BitLevelConvolution(a, b, w);
+// the named constructors remain for documentation value.
+func BitExpand(word *Algorithm, muBit int64) *Algorithm {
+	n := word.Dim()
+	m := word.NumDeps()
+	d := intmat.New(n+2, m+3)
+	for c := 0; c < m; c++ {
+		col := word.Dep(c)
+		for r := 0; r < n; r++ {
+			d.Set(r, c, col[r])
+		}
+	}
+	d.Set(n, m, 1)     // operand-bit recurrence e_{n+1}
+	d.Set(n+1, m+1, 1) // sum-bit recurrence e_{n+2}
+	d.Set(n, m+2, 1)   // carry: e_{n+1} − e_{n+2}
+	d.Set(n+1, m+2, -1)
+	upper := append(word.Set.Upper.Clone(), muBit, muBit)
+	return &Algorithm{
+		Name: "bit-" + word.Name,
+		Set:  IndexSet{Upper: upper},
+		D:    d,
+	}
+}
+
+// Library returns every named constructor instantiated at a small
+// default size, for table-driven tests and the experiment driver.
+func Library() []*Algorithm {
+	return []*Algorithm{
+		MatMul(4),
+		TransitiveClosure(4),
+		Convolution(6, 3),
+		LU(4),
+		SOR(5, 5),
+		BitLevelConvolution(4, 3, 3),
+		BitLevelMatMul(3, 3),
+		MatVec(4, 4),
+		EditDistance(5, 5),
+		Jacobi2D(4, 4, 4),
+		Correlation(6, 3),
+	}
+}

@@ -1,0 +1,177 @@
+// Package uda models uniform dependence algorithms — the algorithm
+// class of Shang & Fortes (1990), Definition 2.1.
+//
+// A uniform dependence algorithm is characterized structurally by the
+// pair (J, D): J is the index set (here always a constant-bounded box,
+// Assumption 2.1 / Equation 2.5 of the paper: 0 ≤ j_i ≤ μ_i) and D is
+// the n×m dependence matrix whose columns are the constant dependence
+// vectors. The computation at index point j̄ reads the values produced
+// at j̄ − d̄_i for every dependence column d̄_i that stays inside J.
+//
+// The package also carries the algorithm library used by the paper's
+// examples and by the bit-level motivation of its introduction:
+// matrix multiplication (Example 3.1/5.1), the reindexed transitive
+// closure (Example 3.2/5.2), convolution, LU decomposition, a 2-D
+// stencil, and 4-/5-dimensional bit-level expansions of convolution and
+// matrix multiplication.
+package uda
+
+import (
+	"errors"
+	"fmt"
+
+	"lodim/internal/intmat"
+)
+
+// IndexSet is a constant-bounded index set
+//
+//	J = { j ∈ Z^n : 0 ≤ j_i ≤ μ_i }
+//
+// (Equation 2.5). Upper holds the problem-size variables μ_i ≥ 1.
+type IndexSet struct {
+	Upper intmat.Vector
+}
+
+// Box returns the index set with the given upper bounds.
+func Box(upper ...int64) IndexSet {
+	return IndexSet{Upper: intmat.Vec(upper...)}
+}
+
+// Cube returns the n-dimensional index set with every bound equal to μ.
+func Cube(n int, mu int64) IndexSet {
+	u := make(intmat.Vector, n)
+	for i := range u {
+		u[i] = mu
+	}
+	return IndexSet{Upper: u}
+}
+
+// Dim returns the dimension n of the index set.
+func (s IndexSet) Dim() int { return len(s.Upper) }
+
+// Validate checks that every bound is a positive integer, as required
+// by Equation 2.5 (μ_i ∈ N⁺).
+func (s IndexSet) Validate() error {
+	if len(s.Upper) == 0 {
+		return errors.New("uda: empty index set")
+	}
+	for i, u := range s.Upper {
+		if u < 1 {
+			return fmt.Errorf("uda: bound μ_%d = %d, want ≥ 1", i+1, u)
+		}
+	}
+	return nil
+}
+
+// Contains reports whether j lies in the index set.
+func (s IndexSet) Contains(j intmat.Vector) bool {
+	if len(j) != len(s.Upper) {
+		return false
+	}
+	for i, x := range j {
+		if x < 0 || x > s.Upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns |J| = ∏(μ_i + 1).
+func (s IndexSet) Size() int64 {
+	size := int64(1)
+	for _, u := range s.Upper {
+		size *= u + 1
+	}
+	return size
+}
+
+// Each calls f for every index point in lexicographic order, stopping
+// early if f returns false. It reports whether the iteration ran to
+// completion.
+func (s IndexSet) Each(f func(j intmat.Vector) bool) bool {
+	n := s.Dim()
+	j := make(intmat.Vector, n)
+	for {
+		if !f(j.Clone()) {
+			return false
+		}
+		// Odometer increment.
+		i := n - 1
+		for i >= 0 {
+			j[i]++
+			if j[i] <= s.Upper[i] {
+				break
+			}
+			j[i] = 0
+			i--
+		}
+		if i < 0 {
+			return true
+		}
+	}
+}
+
+// Points returns all index points in lexicographic order. Use only for
+// small index sets (tests, brute-force validation).
+func (s IndexSet) Points() []intmat.Vector {
+	pts := make([]intmat.Vector, 0, s.Size())
+	s.Each(func(j intmat.Vector) bool {
+		pts = append(pts, j)
+		return true
+	})
+	return pts
+}
+
+// Algorithm is a uniform dependence algorithm characterized by (J, D).
+type Algorithm struct {
+	Name string
+	Set  IndexSet
+	// D is the n×m dependence matrix; column i is dependence vector d̄_i.
+	D *intmat.Matrix
+}
+
+// Dim returns the algorithm dimension n.
+func (a *Algorithm) Dim() int { return a.Set.Dim() }
+
+// NumDeps returns m, the number of dependence vectors.
+func (a *Algorithm) NumDeps() int { return a.D.Cols() }
+
+// Dep returns dependence vector d̄_i (0-based).
+func (a *Algorithm) Dep(i int) intmat.Vector { return a.D.Col(i) }
+
+// Validate checks structural consistency: a non-empty valid index set
+// and a dependence matrix with n rows and no zero columns (a zero
+// dependence would make the computation depend on itself).
+func (a *Algorithm) Validate() error {
+	if err := a.Set.Validate(); err != nil {
+		return err
+	}
+	if a.D == nil {
+		return fmt.Errorf("uda: algorithm %q has no dependence matrix", a.Name)
+	}
+	if a.D.Rows() != a.Set.Dim() {
+		return fmt.Errorf("uda: algorithm %q: D has %d rows, index set dimension is %d", a.Name, a.D.Rows(), a.Set.Dim())
+	}
+	for i := 0; i < a.D.Cols(); i++ {
+		if a.D.Col(i).IsZero() {
+			return fmt.Errorf("uda: algorithm %q: dependence vector %d is zero", a.Name, i+1)
+		}
+	}
+	return nil
+}
+
+// Predecessors returns the in-set dependence sources j̄ − d̄_i of point j.
+func (a *Algorithm) Predecessors(j intmat.Vector) []intmat.Vector {
+	var preds []intmat.Vector
+	for i := 0; i < a.NumDeps(); i++ {
+		p := j.Sub(a.Dep(i))
+		if a.Set.Contains(p) {
+			preds = append(preds, p)
+		}
+	}
+	return preds
+}
+
+func (a *Algorithm) String() string {
+	return fmt.Sprintf("%s: n=%d, m=%d, μ=%v", a.Name, a.Dim(), a.NumDeps(), a.Set.Upper)
+}

@@ -1,0 +1,315 @@
+package uda
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"lodim/internal/intmat"
+)
+
+func TestBoxAndCube(t *testing.T) {
+	b := Box(2, 3, 4)
+	if b.Dim() != 3 || b.Upper[2] != 4 {
+		t.Errorf("Box = %v", b)
+	}
+	c := Cube(4, 6)
+	if c.Dim() != 4 {
+		t.Fatalf("Cube dim %d", c.Dim())
+	}
+	for i, u := range c.Upper {
+		if u != 6 {
+			t.Errorf("Cube bound %d = %d", i, u)
+		}
+	}
+}
+
+func TestIndexSetValidate(t *testing.T) {
+	if err := Box(1, 2).Validate(); err != nil {
+		t.Errorf("valid box rejected: %v", err)
+	}
+	if err := Box().Validate(); err == nil {
+		t.Error("empty box accepted")
+	}
+	if err := Box(0).Validate(); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if err := Box(3, -1).Validate(); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Box(2, 3)
+	cases := []struct {
+		j    intmat.Vector
+		want bool
+	}{
+		{intmat.Vec(0, 0), true},
+		{intmat.Vec(2, 3), true},
+		{intmat.Vec(3, 0), false},
+		{intmat.Vec(0, 4), false},
+		{intmat.Vec(-1, 0), false},
+		{intmat.Vec(1), false},
+		{intmat.Vec(1, 1, 1), false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.j); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.j, got, c.want)
+		}
+	}
+}
+
+func TestSizeAndPoints(t *testing.T) {
+	s := Box(1, 2)
+	if s.Size() != 6 {
+		t.Errorf("Size = %d, want 6", s.Size())
+	}
+	pts := s.Points()
+	if int64(len(pts)) != s.Size() {
+		t.Fatalf("Points count %d, want %d", len(pts), s.Size())
+	}
+	// Lexicographic order with last coordinate fastest.
+	if !pts[0].Equal(intmat.Vec(0, 0)) || !pts[1].Equal(intmat.Vec(0, 1)) || !pts[5].Equal(intmat.Vec(1, 2)) {
+		t.Errorf("Points order wrong: %v", pts)
+	}
+	// All distinct and contained.
+	seen := map[string]bool{}
+	for _, p := range pts {
+		k := p.String()
+		if seen[k] {
+			t.Errorf("duplicate point %v", p)
+		}
+		seen[k] = true
+		if !s.Contains(p) {
+			t.Errorf("point %v outside set", p)
+		}
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	s := Box(3, 3)
+	count := 0
+	complete := s.Each(func(j intmat.Vector) bool {
+		count++
+		return count < 5
+	})
+	if complete {
+		t.Error("Each reported completion despite early stop")
+	}
+	if count != 5 {
+		t.Errorf("Each visited %d points after stop at 5", count)
+	}
+}
+
+// Property: Size always equals the number of enumerated points for
+// random small boxes.
+func TestSizeMatchesEnumeration(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s := Box(int64(a%4)+1, int64(b%4)+1)
+		return s.Size() == int64(len(s.Points()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmAccessors(t *testing.T) {
+	a := MatMul(4)
+	if a.Dim() != 3 || a.NumDeps() != 3 {
+		t.Errorf("MatMul dims: n=%d m=%d", a.Dim(), a.NumDeps())
+	}
+	if !a.Dep(0).Equal(intmat.Vec(1, 0, 0)) {
+		t.Errorf("Dep(0) = %v", a.Dep(0))
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAlgorithmValidate(t *testing.T) {
+	for _, a := range Library() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("library algorithm %q invalid: %v", a.Name, err)
+		}
+	}
+	bad := &Algorithm{Name: "bad-rows", Set: Cube(3, 2), D: intmat.FromRows([]int64{1, 0}, []int64{0, 1})}
+	if err := bad.Validate(); err == nil {
+		t.Error("row-mismatched D accepted")
+	}
+	zero := &Algorithm{Name: "bad-zero", Set: Cube(2, 2), D: intmat.New(2, 1)}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero dependence accepted")
+	}
+	nodep := &Algorithm{Name: "bad-nil", Set: Cube(2, 2)}
+	if err := nodep.Validate(); err == nil {
+		t.Error("nil D accepted")
+	}
+}
+
+func TestTransitiveClosureMatchesPaper(t *testing.T) {
+	a := TransitiveClosure(4)
+	// Equation 3.6 columns.
+	want := []intmat.Vector{
+		intmat.Vec(0, 0, 1),
+		intmat.Vec(0, 1, 0),
+		intmat.Vec(1, -1, -1),
+		intmat.Vec(1, -1, 0),
+		intmat.Vec(1, 0, -1),
+	}
+	if a.NumDeps() != len(want) {
+		t.Fatalf("m = %d, want %d", a.NumDeps(), len(want))
+	}
+	for i, w := range want {
+		if !a.Dep(i).Equal(w) {
+			t.Errorf("d_%d = %v, want %v", i+1, a.Dep(i), w)
+		}
+	}
+}
+
+func TestAlgorithmJSONRoundTrip(t *testing.T) {
+	for _, a := range Library() {
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", a.Name, err)
+		}
+		var back Algorithm
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", a.Name, err)
+		}
+		if back.Name != a.Name || !back.Set.Upper.Equal(a.Set.Upper) || !back.D.Equal(a.D) {
+			t.Errorf("%s: round trip mismatch:\n%v\nvs\n%v", a.Name, a, &back)
+		}
+	}
+}
+
+func TestAlgorithmJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"name":"x","bounds":[],"dependencies":[[1]]}`,
+		`{"name":"x","bounds":[3],"dependencies":[[1,2]]}`,
+		`{"name":"x","bounds":[3],"dependencies":[[0]]}`,
+		`{"name":"x","bounds":[0],"dependencies":[[1]]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		var a Algorithm
+		if err := json.Unmarshal([]byte(c), &a); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// A valid document decodes.
+	var a Algorithm
+	doc := `{"name":"mm","bounds":[4,4,4],"dependencies":[[1,0,0],[0,1,0],[0,0,1]]}`
+	if err := json.Unmarshal([]byte(doc), &a); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	if a.NumDeps() != 3 || a.Dim() != 3 {
+		t.Errorf("decoded shape n=%d m=%d", a.Dim(), a.NumDeps())
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	a := MatMul(2)
+	// Interior point: all three predecessors present.
+	if got := a.Predecessors(intmat.Vec(1, 1, 1)); len(got) != 3 {
+		t.Errorf("interior predecessors = %v", got)
+	}
+	// Origin: none.
+	if got := a.Predecessors(intmat.Vec(0, 0, 0)); len(got) != 0 {
+		t.Errorf("origin predecessors = %v", got)
+	}
+	// Face point (1,0,0): only the d1 = (1,0,0) source.
+	got := a.Predecessors(intmat.Vec(1, 0, 0))
+	if len(got) != 1 || !got[0].Equal(intmat.Vec(0, 0, 0)) {
+		t.Errorf("face predecessors = %v", got)
+	}
+}
+
+func TestNewLibraryAlgorithms(t *testing.T) {
+	cases := []struct {
+		algo *Algorithm
+		n, m int
+	}{
+		{MatVec(4, 3), 2, 2},
+		{EditDistance(5, 4), 2, 3},
+		{Jacobi2D(3, 4, 5), 3, 5},
+		{Correlation(6, 3), 2, 3},
+	}
+	for _, c := range cases {
+		if err := c.algo.Validate(); err != nil {
+			t.Errorf("%s: %v", c.algo.Name, err)
+		}
+		if c.algo.Dim() != c.n || c.algo.NumDeps() != c.m {
+			t.Errorf("%s: n=%d m=%d, want %d/%d", c.algo.Name, c.algo.Dim(), c.algo.NumDeps(), c.n, c.m)
+		}
+	}
+	// Jacobi2D stencil: interior point has all five predecessors.
+	j := Jacobi2D(3, 4, 4)
+	if got := j.Predecessors(intmat.Vec(2, 2, 2)); len(got) != 5 {
+		t.Errorf("jacobi2d interior predecessors = %d, want 5", len(got))
+	}
+	// EditDistance corner (1,1) has all three.
+	e := EditDistance(3, 3)
+	if got := e.Predecessors(intmat.Vec(1, 1)); len(got) != 3 {
+		t.Errorf("edit-distance predecessors = %d, want 3", len(got))
+	}
+}
+
+func TestLibraryCount(t *testing.T) {
+	lib := Library()
+	if len(lib) != 11 {
+		t.Errorf("library has %d algorithms, want 11", len(lib))
+	}
+	names := map[string]bool{}
+	for _, a := range lib {
+		if names[a.Name] {
+			t.Errorf("duplicate algorithm name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+}
+
+// TestBitExpandMatchesHandWritten: the generic expansion must coincide
+// with the hand-written bit-level constructors, dependence for
+// dependence.
+func TestBitExpandMatchesHandWritten(t *testing.T) {
+	gotMM := BitExpand(MatMul(3), 3)
+	refMM := BitLevelMatMul(3, 3)
+	if !gotMM.D.Equal(refMM.D) {
+		t.Errorf("bit matmul D:\n%v\nwant\n%v", gotMM.D, refMM.D)
+	}
+	if !gotMM.Set.Upper.Equal(refMM.Set.Upper) {
+		t.Errorf("bit matmul bounds %v, want %v", gotMM.Set.Upper, refMM.Set.Upper)
+	}
+	gotCV := BitExpand(Convolution(4, 3), 3)
+	refCV := BitLevelConvolution(4, 3, 3)
+	if !gotCV.D.Equal(refCV.D) {
+		t.Errorf("bit convolution D:\n%v\nwant\n%v", gotCV.D, refCV.D)
+	}
+	// Expansion of any library algorithm validates.
+	for _, a := range Library() {
+		b := BitExpand(a, 2)
+		if err := b.Validate(); err != nil {
+			t.Errorf("BitExpand(%s): %v", a.Name, err)
+		}
+		if b.Dim() != a.Dim()+2 || b.NumDeps() != a.NumDeps()+3 {
+			t.Errorf("BitExpand(%s) shape n=%d m=%d", a.Name, b.Dim(), b.NumDeps())
+		}
+	}
+}
+
+func TestBitLevelDimensions(t *testing.T) {
+	c := BitLevelConvolution(4, 3, 3)
+	if c.Dim() != 4 {
+		t.Errorf("bit-convolution dim %d, want 4", c.Dim())
+	}
+	m := BitLevelMatMul(3, 3)
+	if m.Dim() != 5 {
+		t.Errorf("bit-matmul dim %d, want 5", m.Dim())
+	}
+	// The carry dependence must couple the last two axes.
+	carry := m.Dep(5)
+	if carry[3] != 1 || carry[4] != -1 {
+		t.Errorf("carry dependence = %v", carry)
+	}
+}

@@ -1,0 +1,93 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"lodim/mapping"
+)
+
+// Problem 6.1 (paper future work): given Example 5.1's schedule, find a
+// cheaper array than the paper's 13-PE design.
+func ExampleFindSpaceMapping() {
+	algo := mapping.MatMul(4)
+	res, err := mapping.FindSpaceMapping(algo, mapping.Vec(1, 4, 1), 1, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("S =", res.Mapping.S.Row(0))
+	fmt.Println("processors:", res.Processors)
+	// Output:
+	// S = [0 1 -1]
+	// processors: 9
+}
+
+// Problem 6.2: joint optimization beats Example 5.2's fixed-S optimum.
+func ExampleFindJointMapping() {
+	algo := mapping.TransitiveClosure(4)
+	res, err := mapping.FindJointMapping(algo, 1, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("t =", res.Time, "(paper's fixed-S optimum: 29)")
+	// Output:
+	// t = 25 (paper's fixed-S optimum: 29)
+}
+
+// The generic word-to-bit-level expansion of the RAB pipeline.
+func ExampleBitExpand() {
+	word := mapping.MatMul(3)
+	bit := mapping.BitExpand(word, 3)
+	fmt.Println("n:", word.Dim(), "→", bit.Dim())
+	fmt.Println("m:", word.NumDeps(), "→", bit.NumDeps())
+	// Output:
+	// n: 3 → 5
+	// m: 3 → 6
+}
+
+// Multi-statement alignment internalizes a producer/consumer shift.
+func ExampleAnalyzeMultiNest() {
+	mn, err := mapping.ParseMultiNest("pipe", []string{"i"}, []int64{9}, []string{
+		"B[i] = A[i] + 1",
+		"C[i] = C[i-1] + B[i-3]",
+	})
+	if err != nil {
+		panic(err)
+	}
+	ma, err := mapping.AnalyzeMultiNest(mn, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("offset of statement 2:", ma.Offsets[1])
+	fmt.Println("cross edges internalized:", ma.Internalized)
+	// Output:
+	// offset of statement 2: [3]
+	// cross edges internalized: 1
+}
+
+// The Smith normal form exposes the invariant factors of a mapping
+// matrix — all ones exactly when the mapping is surjective onto Z^k.
+func ExampleSmithNormalForm() {
+	T := mapping.FromRows(
+		[]int64{1, 1, -1},
+		[]int64{1, 4, 1},
+	)
+	s, err := mapping.SmithNormalForm(T)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("invariant factors:", s.InvariantFactors())
+	// Output:
+	// invariant factors: [1 1]
+}
+
+// The dataflow bound: no schedule can beat the critical path.
+func ExampleAlgorithm_CriticalPath() {
+	algo := mapping.MatMul(4)
+	cp, err := algo.CriticalPath()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("critical path:", cp, "(= 3μ+1)")
+	// Output:
+	// critical path: 13 (= 3μ+1)
+}

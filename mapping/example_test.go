@@ -1,0 +1,124 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"lodim/mapping"
+)
+
+// The headline flow: find the time-optimal conflict-free schedule for
+// matrix multiplication on a linear processor array (paper Example 5.1).
+func ExampleFindOptimal() {
+	algo := mapping.MatMul(4)
+	S := mapping.FromRows([]int64{1, 1, -1})
+	res, err := mapping.FindOptimal(algo, S, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("t =", res.Time, "=", "μ(μ+2)+1")
+	fmt.Println("certificate:", res.Conflict.Method)
+	// Output:
+	// t = 25 = μ(μ+2)+1
+	// certificate: theorem-3.1
+}
+
+// The ILP engine solves the same problem through the paper's integer
+// programming formulation (5.1)–(5.2).
+func ExampleFindOptimalILP() {
+	algo := mapping.TransitiveClosure(4)
+	S := mapping.FromRows([]int64{0, 0, 1})
+	res, err := mapping.FindOptimalILP(algo, S, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Π° =", res.Mapping.Pi)
+	fmt.Println("t =", res.Time, "=", "μ(μ+3)+1")
+	// Output:
+	// Π° = [5 1 1]
+	// t = 29 = μ(μ+3)+1
+}
+
+// Deciding conflict-freeness of a specific mapping matrix — here the
+// paper's Example 2.1, which has the non-feasible conflict vector
+// [1 0 -1 0].
+func ExampleDecide() {
+	T := mapping.FromRows(
+		[]int64{1, 7, 1, 1},
+		[]int64{1, 7, 1, 0},
+	)
+	res, err := mapping.Decide(T, mapping.Cube(4, 6))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("conflict-free:", res.ConflictFree)
+	// Output:
+	// conflict-free: false
+}
+
+// The unique conflict vector of a codimension-one mapping (Theorem 3.1
+// / Equation 3.2), for the matmul mapping with Π = [1,4,1].
+func ExampleUniqueConflictVector() {
+	T := mapping.FromRows(
+		[]int64{1, 1, -1},
+		[]int64{1, 4, 1},
+	)
+	gamma, err := mapping.UniqueConflictVector(T)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("γ =", gamma)
+	fmt.Println("feasible on μ=4 cube:", mapping.Feasible(mapping.Cube(3, 4), gamma))
+	// Output:
+	// γ = [5 -2 3]
+	// feasible on μ=4 cube: true
+}
+
+// Theorem 2.2: a conflict vector is feasible iff some entry exceeds its
+// index-set bound.
+func ExampleFeasible() {
+	set := mapping.Box(4, 4)
+	fmt.Println(mapping.Feasible(set, mapping.Vec(1, 1)))
+	fmt.Println(mapping.Feasible(set, mapping.Vec(3, 5)))
+	// Output:
+	// false
+	// true
+}
+
+// The loop-nest front end derives the paper's Equation 3.4 dependence
+// matrix from source text.
+func ExampleAnalyzeNest() {
+	nest, err := mapping.ParseNest("matmul", []string{"i", "j", "k"}, []int64{4, 4, 4},
+		"C[i,j] = C[i,j] + A[i,k] * B[k,j]")
+	if err != nil {
+		panic(err)
+	}
+	analysis, err := mapping.AnalyzeNest(nest)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range analysis.Dependencies {
+		fmt.Printf("%v %s\n", d.Vector, d.Kind)
+	}
+	// Output:
+	// [0 0 1] flow
+	// [0 1 0] uniformized
+	// [1 0 0] uniformized
+}
+
+// Hermite normal form of a mapping matrix: TU = [L, 0] with the
+// trailing columns of U spanning the conflict-vector lattice.
+func ExampleHermiteNormalForm() {
+	T := mapping.FromRows(
+		[]int64{1, 7, 1, 1},
+		[]int64{1, 7, 1, 0},
+	)
+	h, err := mapping.HermiteNormalForm(T)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verify:", h.Verify())
+	fmt.Println("nullity:", h.NullityDim())
+	// Output:
+	// verify: <nil>
+	// nullity: 2
+}

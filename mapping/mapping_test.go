@@ -1,0 +1,261 @@
+package mapping_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"lodim/mapping"
+)
+
+// TestQuickstartFlow exercises the documented entry path end to end:
+// algorithm → optimal schedule → simulation with real data.
+func TestQuickstartFlow(t *testing.T) {
+	algo := mapping.MatMul(4)
+	s := mapping.FromRows([]int64{1, 1, -1})
+	res, err := mapping.FindOptimal(algo, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 25 {
+		t.Errorf("t = %d, want 25", res.Time)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	n := 5
+	a := make([][]int64, n)
+	b := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		b[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = rng.Int63n(19) - 9
+			b[i][j] = rng.Int63n(19) - 9
+		}
+	}
+	prog, err := mapping.NewMatMulProgram(4, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := mapping.NewSimulator(res.Mapping, prog, mapping.NearestNeighbor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Conflicts) != 0 || len(run.Collisions) != 0 {
+		t.Errorf("conflicts=%d collisions=%d", len(run.Conflicts), len(run.Collisions))
+	}
+	got := mapping.CollectMatMulOutputs(4, run.Outputs)
+	want := mapping.MatMulReference(a, b)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestNewAlgorithmValidates(t *testing.T) {
+	d := mapping.FromRows([]int64{1, 0}, []int64{0, 1})
+	algo, err := mapping.NewAlgorithm("custom", mapping.Box(3, 3), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Dim() != 2 || algo.NumDeps() != 2 {
+		t.Errorf("dims n=%d m=%d", algo.Dim(), algo.NumDeps())
+	}
+	if _, err := mapping.NewAlgorithm("bad", mapping.Box(3, 3, 3), d); err == nil {
+		t.Error("mismatched D accepted")
+	}
+}
+
+func TestDecideAndFeasibleFacade(t *testing.T) {
+	T := mapping.FromRows([]int64{1, 7, 1, 1}, []int64{1, 7, 1, 0})
+	set := mapping.Cube(4, 6)
+	res, err := mapping.Decide(T, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConflictFree {
+		t.Error("Example 2.1 matrix reported conflict-free")
+	}
+	if mapping.Feasible(set, mapping.Vec(1, 0, -1, 0)) {
+		t.Error("γ3 reported feasible")
+	}
+	if !mapping.Feasible(set, mapping.Vec(0, 1, -7, 0)) {
+		t.Error("γ1 reported non-feasible")
+	}
+	free, witness := mapping.BruteForce(T, set)
+	if free || witness == nil {
+		t.Error("brute force disagrees")
+	}
+}
+
+func TestHermiteNormalFormFacade(t *testing.T) {
+	T := mapping.FromRows([]int64{1, 7, 1, 1}, []int64{1, 7, 1, 0})
+	h, err := mapping.HermiteNormalForm(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Error(err)
+	}
+	if len(h.NullBasis()) != 2 {
+		t.Errorf("null basis size %d", len(h.NullBasis()))
+	}
+}
+
+func TestUniqueConflictVectorFacade(t *testing.T) {
+	T := mapping.FromRows([]int64{1, 1, -1}, []int64{1, 4, 1})
+	g, err := mapping.UniqueConflictVector(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(mapping.Vec(5, -2, 3)) {
+		t.Errorf("γ = %v", g)
+	}
+}
+
+func TestILPFacade(t *testing.T) {
+	algo := mapping.TransitiveClosure(4)
+	s := mapping.FromRows([]int64{0, 0, 1})
+	res, err := mapping.FindOptimalILP(algo, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 29 {
+		t.Errorf("t = %d, want 29", res.Time)
+	}
+}
+
+func TestTotalTimeFacade(t *testing.T) {
+	if got := mapping.TotalTime(mapping.Vec(1, 4, 1), mapping.Cube(3, 4)); got != 25 {
+		t.Errorf("TotalTime = %d", got)
+	}
+}
+
+func TestMachineFacade(t *testing.T) {
+	m := mapping.NearestNeighbor(2)
+	if m.Dim() != 2 {
+		t.Errorf("dim %d", m.Dim())
+	}
+	m2 := mapping.FromPrimitives(mapping.Vec(1), mapping.Vec(-1))
+	if m2.Dim() != 1 {
+		t.Errorf("dim %d", m2.Dim())
+	}
+}
+
+func TestSpaceAndJointOptimization(t *testing.T) {
+	algo := mapping.MatMul(3)
+	// Problem 6.1: given the schedule, find a cheaper array.
+	sres, err := mapping.FindSpaceMapping(algo, mapping.Vec(1, 3, 1), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Processors < 1 || sres.Cost < sres.Processors {
+		t.Errorf("degenerate metrics: %+v", sres)
+	}
+	// Problem 6.2: joint optimum at least ties the fixed-S optimum.
+	jres, err := mapping.FindJointMapping(algo, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jres.Time > 16 { // μ(μ+2)+1 at μ=3
+		t.Errorf("joint t = %d, want ≤ 16", jres.Time)
+	}
+	if free, _ := mapping.BruteForce(jres.Mapping.T, algo.Set); !free {
+		t.Error("joint winner has conflicts")
+	}
+}
+
+func TestFrontendFacade(t *testing.T) {
+	nest, err := mapping.ParseNest("mm", []string{"i", "j", "k"}, []int64{3, 3, 3},
+		"C[i,j] = C[i,j] + A[i,k]*B[k,j]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := mapping.AnalyzeNest(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.Algorithm.NumDeps() != 3 {
+		t.Errorf("deps = %d", analysis.Algorithm.NumDeps())
+	}
+	bit := mapping.BitExpand(analysis.Algorithm, 2)
+	if bit.Dim() != 5 || bit.NumDeps() != 6 {
+		t.Errorf("bit expansion shape n=%d m=%d", bit.Dim(), bit.NumDeps())
+	}
+	// The derived word-level algorithm admits the paper's optimum.
+	res, err := mapping.FindOptimal(analysis.Algorithm, mapping.FromRows([]int64{1, 1, -1}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 16 { // μ(μ+2)+1 at μ=3
+		t.Errorf("t = %d, want 16", res.Time)
+	}
+}
+
+func TestMultiStatementFacade(t *testing.T) {
+	mn, err := mapping.ParseMultiNest("pipe", []string{"i"}, []int64{9}, []string{
+		"B[i] = A[i] + 1",
+		"C[i] = C[i-1] + B[i-3]",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := mapping.AnalyzeMultiNest(mn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Internalized != 1 {
+		t.Errorf("internalized = %d", ma.Internalized)
+	}
+	if ma.Algorithm.NumDeps() < 1 {
+		t.Fatal("no dependencies in merged algorithm")
+	}
+	// The merged 1-D algorithm maps onto a single processor: the C
+	// recurrence serializes it with Π = [1].
+	res, err := mapping.FindOptimal(ma.Algorithm, mapping.NewMatrix(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 10 { // μ+1 steps, the dataflow minimum
+		t.Errorf("t = %d, want 10", res.Time)
+	}
+}
+
+func TestNewAlgorithmConstructors(t *testing.T) {
+	if mapping.MatVec(3, 3).Dim() != 2 {
+		t.Error("matvec dim")
+	}
+	if mapping.EditDistance(3, 3).NumDeps() != 3 {
+		t.Error("edit-distance deps")
+	}
+	if mapping.Jacobi2D(2, 3, 3).NumDeps() != 5 {
+		t.Error("jacobi2d deps")
+	}
+	if mapping.Correlation(4, 2).Dim() != 2 {
+		t.Error("correlation dim")
+	}
+}
+
+func TestBitLevelConstructors(t *testing.T) {
+	if got := mapping.BitLevelConvolution(4, 3, 3).Dim(); got != 4 {
+		t.Errorf("bit-conv dim %d", got)
+	}
+	if got := mapping.BitLevelMatMul(3, 3).Dim(); got != 5 {
+		t.Errorf("bit-matmul dim %d", got)
+	}
+	if got := mapping.SOR(4, 4).Dim(); got != 2 {
+		t.Errorf("sor dim %d", got)
+	}
+	if got := mapping.LU(3).Dim(); got != 3 {
+		t.Errorf("lu dim %d", got)
+	}
+	if got := mapping.Convolution(5, 2).Dim(); got != 2 {
+		t.Errorf("conv dim %d", got)
+	}
+}
