@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz cover experiments examples golden clean
+.PHONY: all check build test vet bench race race-hot fuzz cover experiments examples golden clean
 
 all: build vet test
+
+# The default pre-commit gate: build, vet, full tests, plus the race
+# detector on the concurrent search packages (the full -race run is
+# `make race`).
+check: build vet test race-hot
 
 build:
 	$(GO) build ./...
@@ -17,6 +22,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+race-hot:
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

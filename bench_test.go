@@ -12,6 +12,7 @@ package lodim_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lodim/internal/array"
@@ -421,6 +422,67 @@ func BenchmarkBitSerialMatMul(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJointMapping measures the Problem 6.2 engine (X6): the full
+// joint (S, Π) search on the two flagship algorithms, sequentially and
+// with the outer candidate loop fanned across NumCPU workers. The log
+// line reports the search effort — candidates enumerated versus pruned
+// before evaluation — and the invariant winner.
+func BenchmarkJointMapping(b *testing.B) {
+	algos := []*uda.Algorithm{uda.MatMul(4), uda.TransitiveClosure(4)}
+	for _, algo := range algos {
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/workers=%d", algo.Name, workers), func(b *testing.B) {
+				opts := &schedule.SpaceOptions{Schedule: schedule.Options{Workers: workers}}
+				var res *schedule.JointResult
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = schedule.FindJointMapping(algo, 1, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Candidates), "candidates")
+				b.ReportMetric(float64(res.Pruned), "pruned")
+				b.Logf("t=%d cost=%d procs=%d: %d candidates, %d pruned, S=%v, Π=%v",
+					res.Time, res.Cost, res.Processors, res.Candidates, res.Pruned,
+					res.Mapping.S.Row(0), res.Mapping.Pi)
+			})
+		}
+	}
+}
+
+// BenchmarkSpaceMapping measures the Problem 6.1 engine (X6): the
+// space-mapping search under the fixed paper schedules, sequentially
+// and at NumCPU workers.
+func BenchmarkSpaceMapping(b *testing.B) {
+	cases := []struct {
+		algo *uda.Algorithm
+		pi   intmat.Vector
+	}{
+		{uda.MatMul(4), intmat.Vec(1, 4, 1)},
+		{uda.TransitiveClosure(4), intmat.Vec(4, 1, 1)},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/workers=%d", c.algo.Name, workers), func(b *testing.B) {
+				opts := &schedule.SpaceOptions{Schedule: schedule.Options{Workers: workers}}
+				var res *schedule.SpaceResult
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = schedule.FindSpaceMapping(c.algo, c.pi, 1, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Candidates), "candidates")
+				b.ReportMetric(float64(res.Pruned), "pruned")
+				b.Logf("cost=%d procs=%d wire=%d: %d candidates, %d pruned",
+					res.Cost, res.Processors, res.WireLength, res.Candidates, res.Pruned)
+			})
 		}
 	}
 }

@@ -41,6 +41,50 @@ func matrixRows(m *intmat.Matrix) [][]int64 {
 	return rows
 }
 
+// jsonJointResult extends the schedule output with the Problem 6.2
+// array metrics.
+type jsonJointResult struct {
+	jsonResult
+	Processors int64 `json:"processors"`
+	WireLength int64 `json:"wire_length"`
+	Cost       int64 `json:"array_cost"`
+	Pruned     int   `json:"pruned"`
+}
+
+func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult) error {
+	out := jsonJointResult{
+		jsonResult: jsonResult{
+			Algorithm:  algo.Name,
+			Dim:        algo.Dim(),
+			NumDeps:    algo.NumDeps(),
+			Bounds:     algo.Set.Upper,
+			D:          matrixRows(algo.D),
+			S:          matrixRows(res.Mapping.S),
+			Pi:         res.Mapping.Pi,
+			TotalTime:  res.Time,
+			Objective:  res.Time - 1,
+			Method:     res.ScheduleResult.Method,
+			Candidates: res.Candidates,
+			Conflict:   res.ScheduleResult.Conflict.Method,
+		},
+		Processors: res.Processors,
+		WireLength: res.WireLength,
+		Cost:       res.Cost,
+		Pruned:     res.Pruned,
+	}
+	if d := res.ScheduleResult.Decomp; d != nil {
+		out.Machine = &jsonMach{
+			K:            matrixRows(d.K),
+			Buffers:      d.Buffers,
+			TotalBuffers: d.TotalBuffers(),
+			SingleHop:    d.SingleHop(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result) error {
 	out := jsonResult{
 		Algorithm:  algo.Name,

@@ -9,6 +9,12 @@
 //	mapfind -algo transitive-closure -mu 4 -s "0,0,1" -engine ilp
 //	mapfind -algo bit-matmul -mu 3,3 -s "1,0,0,0,0;0,1,0,0,0;0,0,1,1,0"
 //
+// With -joint no space mapping is given: the Problem 6.2 search finds
+// both S and Π (time first, then array cost), fanning candidates across
+// -workers goroutines:
+//
+//	mapfind -algo transitive-closure -mu 4 -joint -dims 1 -workers 4
+//
 // Instead of a named algorithm, a loop-nest statement can be analyzed
 // directly (the RAB front end), optionally expanded to bit level:
 //
@@ -43,12 +49,16 @@ func main() {
 		bits     = flag.Int64("bits", 0, "bit-expand the algorithm with the given bit bound (0 = word level)")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
 		algoFile = flag.String("algo-file", "", "load a custom algorithm from a JSON file (see uda JSON schema)")
+		joint    = flag.Bool("joint", false, "solve Problem 6.2: search S and Π jointly (ignores -s and -engine)")
+		dims     = flag.Int("dims", 1, "array dimensionality for -joint")
+		workers  = flag.Int("workers", 1, "parallel workers for the -joint candidate search")
 	)
 	flag.Parse()
 	if err := run2(options{
 		algo: *algoName, sizes: *sizes, s: *sSpec, engine: *engine,
 		machine: *machine, maxCost: *maxCost, stmt: *stmt, vars: *vars, bits: *bits,
 		json: *jsonOut, algoFile: *algoFile,
+		joint: *joint, dims: *dims, workers: *workers,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "mapfind:", err)
 		os.Exit(1)
@@ -62,6 +72,8 @@ type options struct {
 	bits                            int64
 	json                            bool
 	algoFile                        string
+	joint                           bool
+	dims, workers                   int
 }
 
 // run keeps the original positional signature used by the tests.
@@ -118,7 +130,40 @@ func run2(o options) error {
 		algo = uda.BitExpand(algo, o.bits)
 		fmt.Printf("bit-expanded to %s: n=%d, m=%d\n", algo.Name, algo.Dim(), algo.NumDeps())
 	}
+	if o.joint {
+		return solveJoint(algo, o)
+	}
 	return solve(algo, o.s, o.engine, o.machine, o.maxCost, o.json)
+}
+
+// solveJoint runs the Problem 6.2 joint (S, Π) search.
+func solveJoint(algo *uda.Algorithm, o options) error {
+	m, err := cli.Machine(o.machine)
+	if err != nil {
+		return err
+	}
+	opts := &schedule.SpaceOptions{
+		Schedule: schedule.Options{Machine: m, MaxCost: o.maxCost, Workers: o.workers},
+	}
+	if !o.json {
+		fmt.Printf("algorithm: %s\n", algo)
+		fmt.Printf("joint search: %d-D array, %d worker(s)\n", o.dims, o.workers)
+	}
+	res, err := schedule.FindJointMapping(algo, o.dims, opts)
+	if err != nil {
+		return err
+	}
+	if o.json {
+		return emitJointJSON(os.Stdout, algo, res)
+	}
+	fmt.Printf("\noptimal space mapping S =\n%v\n", res.Mapping.S)
+	fmt.Printf("optimal schedule Π° = %v\n", res.Mapping.Pi)
+	fmt.Printf("total execution time t = %d (objective f = %d)\n", res.Time, res.Time-1)
+	fmt.Printf("array: %d processors, wire length %d, cost %d\n", res.Processors, res.WireLength, res.Cost)
+	fmt.Printf("conflict certificate: %s\n", res.ScheduleResult.Conflict)
+	fmt.Printf("search: %d space candidates (%d pruned), %d schedule candidates for the winner\n",
+		res.Candidates, res.Pruned, res.ScheduleResult.Candidates)
+	return nil
 }
 
 func solve(algo *uda.Algorithm, sSpec, engine, machineSpec string, maxCost int64, jsonOut bool) error {

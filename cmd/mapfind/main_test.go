@@ -47,6 +47,35 @@ func TestEmitJSONShape(t *testing.T) {
 	}
 }
 
+func TestRunJointSearch(t *testing.T) {
+	if err := run2(options{
+		algo: "transitive-closure", sizes: "3", joint: true, dims: 1, workers: 4,
+		machine: "none",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJointJSON(t *testing.T) {
+	if err := run2(options{
+		algo: "matmul", sizes: "3", joint: true, dims: 1, workers: 1,
+		machine: "none", json: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJointErrors(t *testing.T) {
+	// Array dimensionality out of range must surface.
+	if err := run2(options{algo: "matmul", sizes: "3", joint: true, dims: 3, machine: "none"}); err == nil {
+		t.Error("dims = n accepted")
+	}
+	// Unreachable cost ceiling reports no schedule.
+	if err := run2(options{algo: "matmul", sizes: "3", joint: true, dims: 1, maxCost: 2, machine: "none"}); err == nil {
+		t.Error("maxcost too low accepted")
+	}
+}
+
 func TestRunAlgoFile(t *testing.T) {
 	f := t.TempDir() + "/algo.json"
 	doc := `{"name":"stencil","bounds":[5,5],"dependencies":[[1,0],[1,1],[1,-1]]}`

@@ -17,16 +17,16 @@ import (
 // The returned witness is the canonicalized difference of a colliding
 // pair (a non-feasible conflict vector), nil when conflict-free.
 func BruteForce(t *intmat.Matrix, set uda.IndexSet) (conflictFree bool, witness intmat.Vector) {
-	seen := make(map[string]intmat.Vector, set.Size())
+	seen := intmat.NewVecMap[intmat.Vector](int(set.Size()))
 	conflictFree = true
 	set.Each(func(j intmat.Vector) bool {
-		img := t.MulVec(j).String()
-		if prev, ok := seen[img]; ok {
+		img := intmat.KeyFor(t.MulVec(j))
+		if prev, ok := seen.Load(img); ok {
 			conflictFree = false
 			witness = j.Sub(prev).Canonical()
 			return false
 		}
-		seen[img] = j
+		seen.Store(img, j)
 		return true
 	})
 	return conflictFree, witness

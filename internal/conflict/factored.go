@@ -1,6 +1,7 @@
 package conflict
 
 import (
+	"errors"
 	"fmt"
 
 	"lodim/internal/intmat"
@@ -47,6 +48,22 @@ func NewSpaceAnalyzer(s *intmat.Matrix, set uda.IndexSet) (*SpaceAnalyzer, error
 			e[j] = 1
 			sa.W = append(sa.W, e)
 		}
+		return sa, nil
+	}
+	if s.Rows() == 1 {
+		// One-row space mappings (linear arrays) are by far the most
+		// common, and the joint optimizer builds one analyzer per
+		// enumerated S — the single-row extended-gcd reduction computes
+		// the same null lattice as the general Hermite form without its
+		// arbitrary-precision cost.
+		w, err := intmat.RowNullBasis(s.Row(0))
+		if err != nil {
+			if errors.Is(err, intmat.ErrRankDeficient) {
+				return nil, fmt.Errorf("conflict: space mapping: %w", err)
+			}
+			return nil, err
+		}
+		sa.W = w
 		return sa, nil
 	}
 	h, err := intmat.HermiteNormalForm(s)

@@ -1,0 +1,139 @@
+package intmat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file provides compact, comparable map keys for small integer
+// tuples. The optimizers and the simulator key maps by processor
+// images, index points and (processor, time) pairs millions of times
+// per search; formatting each tuple with Vector.String allocates a
+// fresh string per lookup and dominates those loops. A Key packs up to
+// keyMaxLen coordinates into a fixed-size comparable struct, so the map
+// operations allocate nothing; tuples that do not fit (too long, or a
+// coordinate outside int32) fall back to the string form through
+// TupleKey, keeping every caller exact for arbitrary inputs.
+
+// keyMaxLen is the maximum number of coordinates a Key can hold.
+const keyMaxLen = 8
+
+// Key is a comparable fixed-size encoding of an integer tuple with at
+// most keyMaxLen entries, each fitting in int32. The zero Key encodes
+// the empty tuple.
+type Key struct {
+	n int8
+	e [keyMaxLen]int32
+}
+
+// MakeKey encodes v; ok is false when v does not fit (length or
+// coordinate range), in which case callers must use the string form.
+func MakeKey(v Vector) (Key, bool) {
+	var k Key
+	if len(v) > keyMaxLen {
+		return k, false
+	}
+	k.n = int8(len(v))
+	for i, x := range v {
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			return Key{}, false
+		}
+		k.e[i] = int32(x)
+	}
+	return k, true
+}
+
+// With returns k extended by one coordinate; ok is false when k is full
+// or x is out of range.
+func (k Key) With(x int64) (Key, bool) {
+	if int(k.n) >= keyMaxLen || x < math.MinInt32 || x > math.MaxInt32 {
+		return Key{}, false
+	}
+	k.e[k.n] = int32(x)
+	k.n++
+	return k, true
+}
+
+// TupleKey is a tuple usable as a map key through VecMap: the compact
+// Key when the tuple fits, its string rendering otherwise.
+type TupleKey struct {
+	k    Key
+	fast bool
+	s    string
+}
+
+// KeyFor builds the TupleKey of v followed by the extra scalars.
+func KeyFor(v Vector, extra ...int64) TupleKey {
+	k, ok := MakeKey(v)
+	for _, x := range extra {
+		if !ok {
+			break
+		}
+		k, ok = k.With(x)
+	}
+	if ok {
+		return TupleKey{k: k, fast: true}
+	}
+	var sb strings.Builder
+	sb.WriteString(v.String())
+	for _, x := range extra {
+		fmt.Fprintf(&sb, "|%d", x)
+	}
+	return TupleKey{s: sb.String()}
+}
+
+// VecMap maps integer tuples to values of type V. Lookups on tuples
+// that fit a Key are allocation-free; oversized tuples share the map
+// through a string-keyed fallback (the two key spaces cannot collide,
+// because a given tuple always encodes the same way).
+type VecMap[V any] struct {
+	fast map[Key]V
+	slow map[string]V
+}
+
+// NewVecMap returns a VecMap with capacity hint n for the fast path.
+func NewVecMap[V any](n int) *VecMap[V] {
+	return &VecMap[V]{fast: make(map[Key]V, n)}
+}
+
+// Load returns the value stored under k.
+func (m *VecMap[V]) Load(k TupleKey) (V, bool) {
+	if k.fast {
+		v, ok := m.fast[k.k]
+		return v, ok
+	}
+	if m.slow == nil {
+		var zero V
+		return zero, false
+	}
+	v, ok := m.slow[k.s]
+	return v, ok
+}
+
+// Store sets the value stored under k.
+func (m *VecMap[V]) Store(k TupleKey, v V) {
+	if k.fast {
+		m.fast[k.k] = v
+		return
+	}
+	if m.slow == nil {
+		m.slow = make(map[string]V)
+	}
+	m.slow[k.s] = v
+}
+
+// Len returns the number of stored tuples.
+func (m *VecMap[V]) Len() int { return len(m.fast) + len(m.slow) }
+
+// Values returns the stored values in unspecified order.
+func (m *VecMap[V]) Values() []V {
+	out := make([]V, 0, m.Len())
+	for _, v := range m.fast {
+		out = append(out, v)
+	}
+	for _, v := range m.slow {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package intmat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMakeKeyRoundTrip(t *testing.T) {
+	a, ok := MakeKey(Vec(1, -2, 3))
+	if !ok {
+		t.Fatal("small vector did not encode")
+	}
+	b, ok := MakeKey(Vec(1, -2, 3))
+	if !ok || a != b {
+		t.Error("equal vectors encode to different keys")
+	}
+	c, _ := MakeKey(Vec(1, -2, 4))
+	if a == c {
+		t.Error("distinct vectors encode to the same key")
+	}
+	// Length is part of the key: [1 0] ≠ [1].
+	d, _ := MakeKey(Vec(1, 0))
+	e, _ := MakeKey(Vec(1))
+	if d == e {
+		t.Error("keys of different lengths collide")
+	}
+}
+
+func TestMakeKeyRejects(t *testing.T) {
+	if _, ok := MakeKey(make(Vector, keyMaxLen+1)); ok {
+		t.Error("over-long vector encoded")
+	}
+	if _, ok := MakeKey(Vec(math.MaxInt32 + 1)); ok {
+		t.Error("out-of-range coordinate encoded")
+	}
+	if _, ok := MakeKey(Vec(math.MinInt32)); !ok {
+		t.Error("in-range coordinate rejected")
+	}
+}
+
+func TestKeyWith(t *testing.T) {
+	k, _ := MakeKey(Vec(1, 2))
+	k2, ok := k.With(7)
+	if !ok {
+		t.Fatal("With failed on short key")
+	}
+	want, _ := MakeKey(Vec(1, 2, 7))
+	if k2 != want {
+		t.Error("With differs from direct encoding")
+	}
+	full, _ := MakeKey(make(Vector, keyMaxLen))
+	if _, ok := full.With(1); ok {
+		t.Error("With succeeded on a full key")
+	}
+	if _, ok := k.With(math.MaxInt32 + 1); ok {
+		t.Error("With accepted out-of-range coordinate")
+	}
+}
+
+func TestVecMapFastAndSlow(t *testing.T) {
+	m := NewVecMap[int](4)
+	m.Store(KeyFor(Vec(1, 2, 3)), 10)
+	m.Store(KeyFor(Vec(1, 2, 3), 9), 20)            // same vector, extra scalar
+	long := make(Vector, keyMaxLen+1)                // forces the slow path
+	m.Store(KeyFor(long), 30)
+	m.Store(KeyFor(Vec(math.MaxInt32 + 1)), 40)      // overflow forces slow path
+
+	if v, ok := m.Load(KeyFor(Vec(1, 2, 3))); !ok || v != 10 {
+		t.Errorf("fast load = %d,%v want 10", v, ok)
+	}
+	if v, ok := m.Load(KeyFor(Vec(1, 2, 3), 9)); !ok || v != 20 {
+		t.Errorf("fast load with extra = %d,%v want 20", v, ok)
+	}
+	if v, ok := m.Load(KeyFor(long)); !ok || v != 30 {
+		t.Errorf("slow load = %d,%v want 30", v, ok)
+	}
+	if v, ok := m.Load(KeyFor(Vec(math.MaxInt32 + 1))); !ok || v != 40 {
+		t.Errorf("slow overflow load = %d,%v want 40", v, ok)
+	}
+	if _, ok := m.Load(KeyFor(Vec(9, 9))); ok {
+		t.Error("missing tuple found")
+	}
+	if m.Len() != 4 {
+		t.Errorf("Len = %d, want 4", m.Len())
+	}
+	// Overwrite keeps Len stable.
+	m.Store(KeyFor(Vec(1, 2, 3)), 11)
+	if v, _ := m.Load(KeyFor(Vec(1, 2, 3))); v != 11 || m.Len() != 4 {
+		t.Errorf("overwrite: v=%d len=%d", v, m.Len())
+	}
+}
+
+func BenchmarkVecMapStore(b *testing.B) {
+	pts := make([]Vector, 64)
+	for i := range pts {
+		pts[i] = Vec(int64(i%8), int64(i/8), int64(i%5))
+	}
+	b.Run("key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := NewVecMap[struct{}](64)
+			for _, p := range pts {
+				m.Store(KeyFor(p, 3), struct{}{})
+			}
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := make(map[string]struct{}, 64)
+			for _, p := range pts {
+				m[p.String()+"|3"] = struct{}{}
+			}
+		}
+	})
+}

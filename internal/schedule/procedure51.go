@@ -30,17 +30,8 @@ func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result,
 	if err := algo.Validate(); err != nil {
 		return nil, err
 	}
-	n := algo.Dim()
-	if s.Cols() != n {
-		return nil, fmt.Errorf("schedule: S has %d columns, algorithm dimension is %d", s.Cols(), n)
-	}
-	maxCost := opts.MaxCost
-	if maxCost == 0 {
-		maxCost = defaultMaxCost(algo.Set)
-	}
-	minCost := opts.MinCost
-	if minCost < 1 {
-		minCost = 1
+	if s.Cols() != algo.Dim() {
+		return nil, fmt.Errorf("schedule: S has %d columns, algorithm dimension is %d", s.Cols(), algo.Dim())
 	}
 	// The factored analyzer caches the Π-independent null(S) basis so
 	// each candidate costs a handful of gcd steps instead of a full
@@ -54,9 +45,28 @@ func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result,
 			return nil, err
 		}
 	}
+	return findOptimalWith(algo, s, opts, analyzer)
+}
+
+// findOptimalWith is the enumeration engine behind FindOptimal with a
+// caller-supplied (possibly nil) factored analyzer. The joint optimizer
+// (spaceopt.go) builds one analyzer per space-mapping candidate and
+// shares it between this search and the array-metric evaluation, so the
+// Π-independent Hermite work happens exactly once per S.
+func findOptimalWith(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) (*Result, error) {
+	n := algo.Dim()
+	maxCost := opts.MaxCost
+	if maxCost == 0 {
+		maxCost = defaultMaxCost(algo.Set)
+	}
+	minCost := opts.MinCost
+	if minCost < 1 {
+		minCost = 1
+	}
 	if opts.MinimizeBuffers && opts.Machine == nil {
 		return nil, fmt.Errorf("schedule: MinimizeBuffers requires a Machine")
 	}
+	ctx := newCandCtx(algo, s, opts, analyzer)
 	candidates := 0
 	var found *Result
 	var levelBuf []int64 // reused flat storage for level-mode candidates
@@ -76,7 +86,7 @@ func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result,
 				level[i] = intmat.Vector(levelBuf[i*n : (i+1)*n])
 			}
 			candidates += len(level)
-			results := evaluateLevel(level, algo, s, opts, analyzer)
+			results := evaluateLevel(level, ctx)
 			found = pickWinner(results, opts)
 			continue
 		}
@@ -84,7 +94,7 @@ func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result,
 		// wins, so evaluation can stop early.
 		enumerate(algo.Set.Upper, cost, func(pi intmat.Vector) bool {
 			candidates++
-			r, ok := tryCandidateWith(algo, s, pi, opts, analyzer)
+			r, ok := ctx.try(pi)
 			if !ok {
 				return true
 			}
@@ -104,12 +114,12 @@ func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result,
 // the work across opts.Workers goroutines. The result slice is aligned
 // with the input (nil = rejected), so selection order is independent of
 // scheduling.
-func evaluateLevel(level []intmat.Vector, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) []*Result {
+func evaluateLevel(level []intmat.Vector, ctx *candCtx) []*Result {
 	results := make([]*Result, len(level))
-	workers := opts.Workers
+	workers := ctx.opts.Workers
 	if workers <= 1 {
 		for i, pi := range level {
-			if r, ok := tryCandidateWith(algo, s, pi, opts, analyzer); ok {
+			if r, ok := ctx.try(pi); ok {
 				results[i] = r
 			}
 		}
@@ -126,7 +136,7 @@ func evaluateLevel(level []intmat.Vector, algo *uda.Algorithm, s *intmat.Matrix,
 	// them. Under MinimizeBuffers every passer matters and the watermark
 	// stays disabled.
 	bestIdx := int64(len(level))
-	useWatermark := !opts.MinimizeBuffers
+	useWatermark := !ctx.opts.MinimizeBuffers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -147,7 +157,7 @@ func evaluateLevel(level []intmat.Vector, algo *uda.Algorithm, s *intmat.Matrix,
 					if useWatermark && i > atomic.LoadInt64(&bestIdx) {
 						break
 					}
-					if r, ok := tryCandidateWith(algo, s, level[i], opts, analyzer); ok {
+					if r, ok := ctx.try(level[i]); ok {
 						results[i] = r
 						if useWatermark {
 							for {
@@ -189,25 +199,55 @@ func pickWinner(results []*Result, opts *Options) *Result {
 	return best
 }
 
+// candCtx carries the per-search state of Procedure 5.1's step-5 tests:
+// the optional factored analyzer and the cached dependence columns
+// (Matrix.Col allocates a fresh vector per call, and the ΠD > 0 test
+// runs once per enumerated candidate).
+type candCtx struct {
+	algo     *uda.Algorithm
+	s        *intmat.Matrix
+	opts     *Options
+	analyzer *conflict.SpaceAnalyzer
+	depCols  []intmat.Vector
+}
+
+func newCandCtx(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) *candCtx {
+	cols := make([]intmat.Vector, algo.NumDeps())
+	for i := range cols {
+		cols[i] = algo.D.Col(i)
+	}
+	return &candCtx{algo: algo, s: s, opts: opts, analyzer: analyzer, depCols: cols}
+}
+
+// valid is Valid(pi, algo.D) on the cached columns.
+func (c *candCtx) valid(pi intmat.Vector) bool {
+	for _, d := range c.depCols {
+		if pi.Dot(d) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // tryCandidate applies the four tests of Procedure 5.1's step 5 to a
 // single Π, building the full Result on success.
 func tryCandidate(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Options) (*Result, bool) {
-	return tryCandidateWith(algo, s, pi, opts, nil)
+	return newCandCtx(algo, s, opts, nil).try(pi)
 }
 
-// tryCandidateWith is tryCandidate with an optional pre-built factored
-// analyzer for S (used by the enumeration loop to amortize the
-// Π-independent work). The analyzer also subsumes the rank(T) = k test:
-// it reports ErrRank exactly when Π is a rational combination of S's
-// rows.
-func tryCandidateWith(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Options, analyzer *conflict.SpaceAnalyzer) (*Result, bool) {
-	if !Valid(pi, algo.D) {
+// try applies the four tests of Procedure 5.1's step 5 to a single Π,
+// using the pre-built factored analyzer when available. The analyzer
+// also subsumes the rank(T) = k test: it reports ErrRank exactly when Π
+// is a rational combination of S's rows.
+func (c *candCtx) try(pi intmat.Vector) (*Result, bool) {
+	if !c.valid(pi) {
 		return nil, false
 	}
+	algo, s, opts := c.algo, c.s, c.opts
 	var res conflict.Result
 	var err error
-	if analyzer != nil {
-		res, err = analyzer.Decide(pi)
+	if c.analyzer != nil {
+		res, err = c.analyzer.Decide(pi)
 	} else {
 		t := s.AppendRow(pi)
 		if t.Rank() != t.Rows() {
@@ -255,8 +295,30 @@ func defaultMaxCost(set uda.IndexSet) int64 {
 // to cost, in lexicographic order (negative before positive at equal
 // magnitude ordering is avoided by visiting values in increasing order
 // −v_max … +v_max per coordinate). The visitor returns false to stop.
+//
+// A degenerate axis (μ_i = 0, a single-point dimension — legal even
+// though validated algorithms keep μ_i ≥ 1) contributes nothing to the
+// objective; it is enumerated at effective weight 1 so the recursion
+// stays finite instead of dividing by zero, which means levels
+// over-approximate f by |π_i| on such axes (the search stays complete
+// in the limit).
 func enumerate(mu intmat.Vector, cost int64, visit func(intmat.Vector) bool) bool {
 	n := len(mu)
+	w := make(intmat.Vector, n)
+	for i, m := range mu {
+		if m == 0 {
+			m = 1
+		}
+		w[i] = m
+	}
+	// sufGCD[i] = gcd(w_i, …, w_{n−1}): the remaining axes can absorb a
+	// budget only if it is divisible by their gcd, so whole subtrees —
+	// and entire fruitless levels, e.g. every cost ≢ 0 (mod μ) on a
+	// cube — are skipped in O(1).
+	sufGCD := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sufGCD[i] = intmat.GCDAll(w[i], sufGCD[i+1])
+	}
 	pi := make(intmat.Vector, n)
 	var rec func(i int, remaining int64) bool
 	rec = func(i int, remaining int64) bool {
@@ -266,17 +328,17 @@ func enumerate(mu intmat.Vector, cost int64, visit func(intmat.Vector) bool) boo
 			}
 			return visit(pi)
 		}
-		// Remaining coordinates can absorb at most Σ_{j>i} ... no upper
-		// bound needed: each coordinate may take any value v with
-		// |v|·μ_i ≤ remaining; the final coordinate must land exactly.
-		maxAbs := remaining / mu[i]
+		if remaining%sufGCD[i] != 0 {
+			return true
+		}
+		// Each coordinate may take any value v with |v|·w_i ≤ remaining;
+		// the final coordinate must land exactly.
+		maxAbs := remaining / w[i]
 		for v := -maxAbs; v <= maxAbs; v++ {
 			pi[i] = v
-			var used int64
-			if v < 0 {
-				used = -v * mu[i]
-			} else {
-				used = v * mu[i]
+			used := v * w[i]
+			if used < 0 {
+				used = -used
 			}
 			if !rec(i+1, remaining-used) {
 				return false

@@ -1,7 +1,12 @@
 package schedule
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
@@ -26,6 +31,14 @@ import (
 // class and fast. Candidates equivalent up to row reordering and row
 // negation (which relabel the array without changing its geometry) are
 // enumerated once.
+//
+// The search engine fans candidates across Schedule.Workers goroutines
+// and prunes with three exact rules (see DESIGN.md, "Joint search
+// engine"): axis-symmetry orbits keep only their lexicographically
+// least member, a processor-count lower bound rejects candidates that
+// cannot beat the incumbent cost, and the shared incumbent time bounds
+// every inner schedule search. All three preserve the sequential
+// winner, so results are identical at any worker count.
 
 // SpaceOptions configures FindSpaceMapping and FindJointMapping.
 type SpaceOptions struct {
@@ -34,8 +47,15 @@ type SpaceOptions struct {
 	// WireWeight scales the wire-length term of the cost (default 1).
 	WireWeight int64
 	// Schedule options applied to the inner Π search (joint problem
-	// only); the Machine option also applies to Problem 6.1.
+	// only); the Machine option also applies to Problem 6.1. The
+	// Workers field parallelizes the *outer* space-mapping search in
+	// both problems (the joint inner searches always run sequentially,
+	// which keeps their candidate counts deterministic).
 	Schedule Options
+	// NoPrune disables symmetry and lower-bound pruning, forcing every
+	// candidate through full evaluation. The winner is unaffected; the
+	// flag exists for validation and ablation measurements.
+	NoPrune bool
 }
 
 // SpaceResult is the outcome of a space-mapping search.
@@ -48,8 +68,14 @@ type SpaceResult struct {
 	// Cost = Processors + WireWeight·WireLength, the Problem 6.1
 	// objective.
 	Cost int64
-	// Candidates counts space mappings examined.
+	// Candidates counts space mappings enumerated (including pruned
+	// ones).
 	Candidates int
+	// Pruned counts space mappings rejected before evaluation, by
+	// symmetry or by cost lower bound. With Workers > 1 the lower-bound
+	// rule races the incumbent, so Pruned may vary between runs; the
+	// winning mapping never does.
+	Pruned int
 	// Time is the total execution time (joint problem: of the winning
 	// schedule; Problem 6.1: of the given Π).
 	Time int64
@@ -64,7 +90,9 @@ func (r *SpaceResult) String() string {
 // (k−1)×n space mappings with entries bounded by MaxEntry: among all S
 // making T = [S; Π] a valid conflict-free mapping (full rank; machine
 // realizability when configured), it returns the one minimizing
-// |S(J)| + WireWeight·Σ‖S·d̄_i‖₁, breaking ties lexicographically.
+// |S(J)| + WireWeight·Σ‖S·d̄_i‖₁, breaking ties lexicographically. The
+// search runs on Schedule.Workers goroutines and returns the same
+// winner at any worker count.
 func FindSpaceMapping(algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts *SpaceOptions) (*SpaceResult, error) {
 	if opts == nil {
 		opts = &SpaceOptions{}
@@ -81,24 +109,62 @@ func FindSpaceMapping(algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts
 	if arrayDims < 1 || arrayDims >= algo.Dim() {
 		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
 	}
-	var best *SpaceResult
-	candidates := 0
-	err := enumerateSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts), func(s *intmat.Matrix) bool {
-		candidates++
-		r, ok := evaluateSpaceMapping(algo, s, pi, opts)
-		if ok && (best == nil || r.Cost < best.Cost) {
-			best = r
-		}
-		return true
-	})
+	cands, err := collectSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts))
 	if err != nil {
 		return nil, err
+	}
+	symPruned := make([]bool, len(cands))
+	if !opts.NoPrune {
+		symPruned = symmetryPruned(cands, axisAutomorphisms(algo, pi))
+	}
+	weight := wireWeightOrDefault(opts)
+	results := make([]*SpaceResult, len(cands))
+	var bestCost, prunedCount atomic.Int64
+	bestCost.Store(math.MaxInt64)
+	forEachCandidate(len(cands), opts.Schedule.Workers, func(i int) {
+		s := cands[i]
+		if symPruned[i] {
+			prunedCount.Add(1)
+			return
+		}
+		if !opts.NoPrune {
+			// The candidate's cost is at least the processor lower
+			// bound plus its exact wire term; the incumbent only
+			// decreases, so a strict > here can never discard a
+			// candidate tying the final minimum.
+			lb := processorLowerBound(s, algo.Set.Upper) + weight*wireLength(s, algo.D)
+			if lb > bestCost.Load() {
+				prunedCount.Add(1)
+				return
+			}
+		}
+		r, ok := evaluateSpaceMapping(algo, s, pi, opts)
+		if !ok {
+			return
+		}
+		results[i] = r
+		for {
+			cur := bestCost.Load()
+			if r.Cost >= cur || bestCost.CompareAndSwap(cur, r.Cost) {
+				break
+			}
+		}
+	})
+	var best *SpaceResult
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if best == nil || r.Cost < best.Cost {
+			best = r
+		}
 	}
 	if best == nil {
 		return nil, fmt.Errorf("%w: no conflict-free space mapping with |entries| ≤ %d for Π = %v",
 			ErrNoSchedule, maxEntryOrDefault(opts), pi)
 	}
-	best.Candidates = candidates
+	best.Candidates = len(cands)
+	best.Pruned = int(prunedCount.Load())
 	return best, nil
 }
 
@@ -112,9 +178,17 @@ type JointResult struct {
 // FindJointMapping solves Problem 6.2: over all space mappings S with
 // bounded entries, run the time-optimal schedule search and keep the
 // mapping with the smallest total execution time, breaking ties by the
-// Problem 6.1 array cost. The returned mapping is exact within the
-// entry bound; entries beyond {−1, 0, 1} are rarely useful for space
-// mappings but can be enabled through MaxEntry.
+// Problem 6.1 array cost (then by enumeration order). The returned
+// mapping is exact within the entry bound; entries beyond {−1, 0, 1}
+// are rarely useful for space mappings but can be enabled through
+// MaxEntry.
+//
+// The outer candidate loop runs on Schedule.Workers goroutines sharing
+// a (time, cost) incumbent that tightens every inner search's cost
+// ceiling; selection is by (Time, Cost, enumeration index) over fully
+// evaluated candidates, so the winner is identical at any worker
+// count. Inner searches that exhaust their bound report ErrNoSchedule
+// and are skipped; any other inner error aborts the whole search.
 func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*JointResult, error) {
 	if opts == nil {
 		opts = &SpaceOptions{}
@@ -125,39 +199,119 @@ func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*
 	if arrayDims < 1 || arrayDims >= algo.Dim() {
 		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
 	}
-	var best *JointResult
-	candidates := 0
-	err := enumerateSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts), func(s *intmat.Matrix) bool {
-		candidates++
-		schedOpts := opts.Schedule
-		if best != nil {
-			// Bound the inner search: anything at or above the
-			// incumbent's time cannot win on the primary criterion,
-			// except to tie-break — so allow equality.
-			schedOpts.MaxCost = best.Time - 1
-		}
-		res, err := FindOptimal(algo, s, &schedOpts)
-		if err != nil {
-			return true // no schedule for this S within bounds; skip
-		}
-		r, ok := evaluateSpaceMapping(algo, s, res.Mapping.Pi, opts)
-		if !ok {
-			return true
-		}
-		jr := &JointResult{SpaceResult: *r, ScheduleResult: res}
-		if best == nil || res.Time < best.Time || (res.Time == best.Time && r.Cost < best.Cost) {
-			best = jr
-		}
-		return true
-	})
+	cands, err := collectSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts))
 	if err != nil {
 		return nil, err
+	}
+	symPruned := make([]bool, len(cands))
+	if !opts.NoPrune {
+		symPruned = symmetryPruned(cands, axisAutomorphisms(algo, nil))
+	}
+	weight := wireWeightOrDefault(opts)
+	baseMaxCost := opts.Schedule.MaxCost
+	if baseMaxCost == 0 {
+		baseMaxCost = defaultMaxCost(algo.Set)
+	}
+	// tFloor is a lower bound on the total time of *any* candidate: the
+	// cheapest Π satisfying ΠD > 0 alone (ignoring conflicts). Once the
+	// incumbent reaches it, time cannot improve further, so candidates
+	// whose cost lower bound loses the tie-break skip their inner
+	// search entirely.
+	tFloor := int64(-1)
+	if !opts.NoPrune {
+		if c := minValidCost(algo, baseMaxCost); c > 0 {
+			tFloor = 1 + c
+		}
+	}
+	inc := newIncumbent()
+	results := make([]*JointResult, len(cands))
+	errs := make([]error, len(cands))
+	var prunedCount atomic.Int64
+	forEachCandidate(len(cands), opts.Schedule.Workers, func(i int) {
+		s := cands[i]
+		if symPruned[i] {
+			prunedCount.Add(1)
+			return
+		}
+		wire := wireLength(s, algo.D)
+		costLB := processorLowerBound(s, algo.Set.Upper) + weight*wire
+		if !opts.NoPrune && tFloor > 0 {
+			if iT, iC := inc.snapshot(); iT <= tFloor && costLB > iC {
+				prunedCount.Add(1)
+				return
+			}
+		}
+		analyzer, err := conflict.NewSpaceAnalyzer(s, algo.Set)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		schedOpts := opts.Schedule
+		// The outer loop owns the parallelism; a sequential inner
+		// search also keeps the winner's Candidates count independent
+		// of worker scheduling.
+		schedOpts.Workers = 0
+		// Bound the inner search by the incumbent: anything strictly
+		// above the incumbent's time cannot win on the primary
+		// criterion, but ties must stay reachable for the cost
+		// tie-break — hence MaxCost = time − 1 (time = 1 + cost).
+		bound := baseMaxCost
+		if iT := inc.time(); iT != math.MaxInt64 && iT-1 < bound {
+			bound = iT - 1
+		}
+		if bound < 1 {
+			return
+		}
+		schedOpts.MaxCost = bound
+		res, err := findOptimalWith(algo, s, &schedOpts, analyzer)
+		if err != nil {
+			if errors.Is(err, ErrNoSchedule) {
+				return // bounded out or genuinely unschedulable: skip
+			}
+			errs[i] = err
+			return
+		}
+		iT, iC := inc.snapshot()
+		if res.Time > iT {
+			return // incumbent improved since the bound was read
+		}
+		if !opts.NoPrune && res.Time == iT && costLB > iC {
+			return // can only tie on time and already loses on cost
+		}
+		procs := countProcessorImages(s, algo.Set)
+		cost := procs + weight*wire
+		results[i] = &JointResult{
+			SpaceResult: SpaceResult{
+				Mapping:    res.Mapping,
+				Processors: procs,
+				WireLength: wire,
+				Cost:       cost,
+				Time:       res.Time,
+			},
+			ScheduleResult: res,
+		}
+		inc.offer(res.Time, cost)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("schedule: joint search: %w", err)
+		}
+	}
+	var best *JointResult
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if best == nil || r.Time < best.Time || (r.Time == best.Time && r.Cost < best.Cost) {
+			best = r
+		}
 	}
 	if best == nil {
 		return nil, fmt.Errorf("%w: no conflict-free joint mapping with |entries| ≤ %d",
 			ErrNoSchedule, maxEntryOrDefault(opts))
 	}
-	best.Candidates = candidates
+	best.Candidates = len(cands)
+	best.Pruned = int(prunedCount.Load())
 	return best, nil
 }
 
@@ -168,29 +322,132 @@ func maxEntryOrDefault(opts *SpaceOptions) int64 {
 	return 1
 }
 
+func wireWeightOrDefault(opts *SpaceOptions) int64 {
+	if opts.WireWeight > 0 {
+		return opts.WireWeight
+	}
+	return 1
+}
+
+// incumbent is the shared (time, cost) bound of the joint search,
+// lexicographically tightened as candidates complete. The time is
+// mirrored in an atomic so the hot bound-read needs no lock; the pair
+// is read and written under the mutex.
+type incumbent struct {
+	mu sync.Mutex
+	t  atomic.Int64
+	c  int64
+}
+
+func newIncumbent() *incumbent {
+	inc := &incumbent{c: math.MaxInt64}
+	inc.t.Store(math.MaxInt64)
+	return inc
+}
+
+func (inc *incumbent) time() int64 { return inc.t.Load() }
+
+func (inc *incumbent) snapshot() (int64, int64) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.t.Load(), inc.c
+}
+
+func (inc *incumbent) offer(t, c int64) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	cur := inc.t.Load()
+	if t < cur || (t == cur && c < inc.c) {
+		inc.t.Store(t)
+		inc.c = c
+	}
+}
+
+// forEachCandidate runs fn(i) for i in [0, count) on up to workers
+// goroutines (sequentially when workers ≤ 1). fn must confine writes to
+// slots it owns.
+func forEachCandidate(count, workers int, fn func(i int)) {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= count {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// minValidCost returns the smallest objective Σ|π_i|·μ_i of any Π with
+// ΠD > 0, ignoring conflict-freeness — so 1 + minValidCost lower-bounds
+// the total time of every candidate's optimal schedule. Returns −1 when
+// no valid Π exists within maxCost.
+func minValidCost(algo *uda.Algorithm, maxCost int64) int64 {
+	cols := make([]intmat.Vector, algo.NumDeps())
+	for i := range cols {
+		cols[i] = algo.D.Col(i)
+	}
+	for cost := int64(1); cost <= maxCost; cost++ {
+		found := false
+		enumerate(algo.Set.Upper, cost, func(pi intmat.Vector) bool {
+			for _, d := range cols {
+				if pi.Dot(d) <= 0 {
+					return true
+				}
+			}
+			found = true
+			return false
+		})
+		if found {
+			return cost
+		}
+	}
+	return -1
+}
+
 // evaluateSpaceMapping checks validity and conflict-freeness of [S; Π]
 // and computes the Problem 6.1 metrics.
 func evaluateSpaceMapping(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *SpaceOptions) (*SpaceResult, bool) {
-	t := s.AppendRow(pi)
-	if t.Rank() != t.Rows() {
+	analyzer, err := conflict.NewSpaceAnalyzer(s, algo.Set)
+	if err != nil {
 		return nil, false
 	}
-	res, err := conflict.Decide(t, algo.Set)
+	return evaluateSpaceMappingWith(algo, s, pi, opts, analyzer)
+}
+
+// evaluateSpaceMappingWith is evaluateSpaceMapping on a pre-built
+// analyzer for S. The analyzer's Decide subsumes the rank(T) = k test
+// (ErrRank when Π lies in the row space of S).
+func evaluateSpaceMappingWith(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *SpaceOptions, analyzer *conflict.SpaceAnalyzer) (*SpaceResult, bool) {
+	res, err := analyzer.Decide(pi)
 	if err != nil || !res.ConflictFree {
 		return nil, false
 	}
-	m := &Mapping{Algo: algo, S: s.Clone(), Pi: pi.Clone(), T: t}
+	m := &Mapping{Algo: algo, S: s.Clone(), Pi: pi.Clone(), T: s.AppendRow(pi)}
 	if opts.Schedule.Machine != nil {
 		if _, err := opts.Schedule.Machine.Decompose(s, algo.D, pi); err != nil {
 			return nil, false
 		}
 	}
-	procs := countProcessors(m)
+	procs := countProcessorImages(s, algo.Set)
 	wire := wireLength(s, algo.D)
-	weight := opts.WireWeight
-	if weight == 0 {
-		weight = 1
-	}
+	weight := wireWeightOrDefault(opts)
 	return &SpaceResult{
 		Mapping:    m,
 		Processors: procs,
@@ -200,14 +457,124 @@ func evaluateSpaceMapping(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vecto
 	}, true
 }
 
-// countProcessors returns |S(J)| exactly by enumerating the index set.
+// countProcessors returns |S(J)| exactly.
 func countProcessors(m *Mapping) int64 {
-	seen := make(map[string]struct{})
-	m.Algo.Set.Each(func(j intmat.Vector) bool {
-		seen[m.Processor(j).String()] = struct{}{}
+	return countProcessorImages(m.S, m.Algo.Set)
+}
+
+// countProcessorImages returns |S(J)| exactly: closed-form via the
+// 1-D image DP for linear arrays, enumeration with compact map keys
+// otherwise.
+func countProcessorImages(s *intmat.Matrix, set uda.IndexSet) int64 {
+	rows := make([]intmat.Vector, s.Rows())
+	for r := range rows {
+		rows[r] = s.Row(r)
+	}
+	if len(rows) == 0 {
+		return 1
+	}
+	if len(rows) == 1 {
+		if n := rowImageSize(rows[0], set.Upper); n >= 0 {
+			return n
+		}
+	}
+	seen := intmat.NewVecMap[struct{}](1024)
+	img := make(intmat.Vector, len(rows))
+	set.Each(func(j intmat.Vector) bool {
+		for r, row := range rows {
+			img[r] = row.Dot(j)
+		}
+		seen.Store(intmat.KeyFor(img), struct{}{})
 		return true
 	})
-	return int64(len(seen))
+	return int64(seen.Len())
+}
+
+// rowImageSize returns |{Σ_i c_i·j_i : 0 ≤ j_i ≤ μ_i}| for one row c —
+// the exact processor count of a 1-row space mapping — without touching
+// the (product-sized) index set. Reflecting axis i (j_i → μ_i − j_i)
+// shows the image size only depends on |c_i|, so the reachable sums are
+// a subset of [0, Σ|c_i|μ_i] computed by a bounded-knapsack DP over
+// that range: aux chains how many steps of one axis were taken since an
+// already-reachable sum. Returns −1 when the range is too wide to
+// tabulate (callers fall back to enumeration or a weaker bound).
+func rowImageSize(row intmat.Vector, upper intmat.Vector) int64 {
+	const maxWidth = 1 << 22
+	var hi int64
+	for i, c := range row {
+		if c < 0 {
+			c = -c
+		}
+		if c > 0 && upper[i] > maxWidth/c {
+			return -1
+		}
+		hi += c * upper[i]
+		if hi >= maxWidth {
+			return -1
+		}
+	}
+	if hi == 0 {
+		return 1
+	}
+	width := int(hi) + 1
+	reach := make([]bool, width)
+	aux := make([]int64, width)
+	reach[0] = true
+	for i, c := range row {
+		if c < 0 {
+			c = -c
+		}
+		if c == 0 || upper[i] == 0 {
+			continue
+		}
+		step, cnt := int(c), upper[i]
+		for x := 0; x < width; x++ {
+			if reach[x] {
+				aux[x] = 0
+				continue
+			}
+			a := int64(math.MaxInt64)
+			if x >= step && aux[x-step] != math.MaxInt64 {
+				a = aux[x-step] + 1
+			}
+			aux[x] = a
+			if a <= cnt {
+				reach[x] = true
+			}
+		}
+	}
+	var count int64
+	for _, r := range reach {
+		if r {
+			count++
+		}
+	}
+	return count
+}
+
+// processorLowerBound returns a lower bound on |S(J)|: each row of S,
+// alone, already distinguishes rowImageSize many processor images, so
+// the maximum over rows bounds the count from below. Exact for 1-row S.
+func processorLowerBound(s *intmat.Matrix, upper intmat.Vector) int64 {
+	lb := int64(1)
+	for r := 0; r < s.Rows(); r++ {
+		row := s.Row(r)
+		n := rowImageSize(row, upper)
+		if n < 0 {
+			// Range too wide to tabulate: along any axis with a
+			// non-zero coefficient the row takes μ_i + 1 distinct
+			// values with the other coordinates fixed.
+			for i, c := range row {
+				if c != 0 && upper[i]+1 > n {
+					n = upper[i] + 1
+				}
+			}
+		}
+		if n > lb {
+			lb = n
+		}
+	}
+	return lb
 }
 
 // wireLength returns Σ_i ‖S·d̄_i‖₁.
@@ -218,6 +585,150 @@ func wireLength(s *intmat.Matrix, d *intmat.Matrix) int64 {
 		total += sd.Col(i).AbsSum()
 	}
 	return total
+}
+
+// axisAutomorphisms returns the non-identity coordinate permutations σ
+// (encoded as p with (σv)_i = v_{p[i]}) under which the algorithm is
+// invariant: μ_{p[i]} = μ_i for all i and the multiset of dependence
+// columns of D maps onto itself. When pi is non-nil (Problem 6.1's
+// fixed schedule) Π must additionally be invariant. Applying such a σ
+// to a space mapping relabels the index space by an isomorphism, so
+// every mapping in the resulting orbit shares its time, processor
+// count, wire length — and hence its search metrics — exactly.
+func axisAutomorphisms(algo *uda.Algorithm, pi intmat.Vector) [][]int {
+	n := algo.Dim()
+	mu := algo.Set.Upper
+	cols := make([]intmat.Vector, algo.NumDeps())
+	colCount := make(map[string]int, len(cols))
+	for i := range cols {
+		cols[i] = algo.D.Col(i)
+		colCount[cols[i].String()]++
+	}
+	var perms [][]int
+	p := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			identity := true
+			for j, v := range p {
+				if v != j {
+					identity = false
+					break
+				}
+			}
+			if identity {
+				return
+			}
+			cnt := make(map[string]int, len(colCount))
+			pc := make(intmat.Vector, n)
+			for _, c := range cols {
+				for j := 0; j < n; j++ {
+					pc[j] = c[p[j]]
+				}
+				cnt[pc.String()]++
+			}
+			for k, v := range colCount {
+				if cnt[k] != v {
+					return
+				}
+			}
+			perms = append(perms, append([]int(nil), p...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || mu[v] != mu[i] {
+				continue
+			}
+			if pi != nil && pi[v] != pi[i] {
+				continue
+			}
+			used[v] = true
+			p[i] = v
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return perms
+}
+
+// symmetryPruned marks every candidate that is not the
+// lexicographically least member of its automorphism orbit. The
+// enumeration emits candidates in lexicographic matrix order
+// (canonical rows ascending), each orbit image is itself an enumerated
+// candidate (permuting coordinates of canonical rows and
+// re-canonicalizing stays within the row set, preserves rank and
+// distinctness), and orbit members share all search metrics — so
+// keeping only the least member preserves the (metric, enumeration
+// index) winner exactly.
+func symmetryPruned(cands []*intmat.Matrix, perms [][]int) []bool {
+	pruned := make([]bool, len(cands))
+	if len(perms) == 0 {
+		return pruned
+	}
+	for ci, s := range cands {
+		rows := make([]intmat.Vector, s.Rows())
+		for r := range rows {
+			rows[r] = s.Row(r)
+		}
+		for _, p := range perms {
+			img := make([]intmat.Vector, len(rows))
+			for r, row := range rows {
+				pr := make(intmat.Vector, len(row))
+				for j := range pr {
+					pr[j] = row[p[j]]
+				}
+				if fz := pr.FirstNonZero(); fz >= 0 && pr[fz] < 0 {
+					for j := range pr {
+						pr[j] = -pr[j]
+					}
+				}
+				img[r] = pr
+			}
+			sort.Slice(img, func(a, b int) bool { return vecLess(img[a], img[b]) })
+			if rowsLess(img, rows) {
+				pruned[ci] = true
+				break
+			}
+		}
+	}
+	return pruned
+}
+
+// vecLess is lexicographic order on equal-length vectors.
+func vecLess(a, b intmat.Vector) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// rowsLess is lexicographic order on equal-shape row lists.
+func rowsLess(a, b []intmat.Vector) bool {
+	for r := range a {
+		if vecLess(a[r], b[r]) {
+			return true
+		}
+		if vecLess(b[r], a[r]) {
+			return false
+		}
+	}
+	return false
+}
+
+// collectSpaceMappings materializes the canonical candidate list in
+// enumeration (lexicographic) order, so the parallel search can index
+// candidates stably.
+func collectSpaceMappings(n, rows int, maxEntry int64) ([]*intmat.Matrix, error) {
+	var out []*intmat.Matrix
+	err := enumerateSpaceMappings(n, rows, maxEntry, func(s *intmat.Matrix) bool {
+		out = append(out, s.Clone())
+		return true
+	})
+	return out, err
 }
 
 // enumerateSpaceMappings visits every (rows×n) integer matrix with

@@ -154,21 +154,21 @@ func (s *Simulator) Run() (*RunResult, error) {
 		time  int64
 	}
 	var slots []slot
-	occupant := make(map[string]intmat.Vector) // "pe|t" → first point
+	occupant := intmat.NewVecMap[intmat.Vector](int(algo.Set.Size())) // (pe, t) → first point
 	var conflicts []ComputationalConflict
-	peSeen := make(map[string]bool)
+	peSeen := intmat.NewVecMap[struct{}](64)
 	occupancy := make(map[int64]int)
 	first, last := int64(1)<<62, int64(-1)<<62
 	algo.Set.Each(func(j intmat.Vector) bool {
 		t := m.Time(j)
 		pe := m.Processor(j)
-		key := pe.String() + "|" + fmt.Sprint(t)
-		if prev, clash := occupant[key]; clash {
+		key := intmat.KeyFor(pe, t)
+		if prev, clash := occupant.Load(key); clash {
 			conflicts = append(conflicts, ComputationalConflict{A: prev, B: j, Processor: pe, Time: t})
 		} else {
-			occupant[key] = j
+			occupant.Store(key, j)
 		}
-		peSeen[pe.String()] = true
+		peSeen.Store(intmat.KeyFor(pe), struct{}{})
 		occupancy[t]++
 		if t < first {
 			first = t
@@ -181,8 +181,8 @@ func (s *Simulator) Run() (*RunResult, error) {
 	})
 	sort.SliceStable(slots, func(a, b int) bool { return slots[a].time < slots[b].time })
 
-	// Pass 2: dataflow in schedule order. produced[pointKey] = out values.
-	produced := make(map[string][]int64, len(slots))
+	// Pass 2: dataflow in schedule order. produced[point] = out values.
+	produced := intmat.NewVecMap[[]int64](len(slots))
 	var outputs []StreamOutput
 	for _, sl := range slots {
 		j := sl.point
@@ -190,7 +190,7 @@ func (s *Simulator) Run() (*RunResult, error) {
 		for i := 0; i < nDeps; i++ {
 			src := j.Sub(algo.Dep(i))
 			if algo.Set.Contains(src) {
-				vals, ok := produced[src.String()]
+				vals, ok := produced.Load(intmat.KeyFor(src))
 				if !ok {
 					return nil, fmt.Errorf("systolic: point %v consumed before its source %v executed — schedule violates dependence %d", j, src, i)
 				}
@@ -203,7 +203,7 @@ func (s *Simulator) Run() (*RunResult, error) {
 		if len(out) != nDeps {
 			return nil, fmt.Errorf("systolic: Step returned %d values, want %d", len(out), nDeps)
 		}
-		produced[j.String()] = out
+		produced.Store(intmat.KeyFor(j), out)
 		for i := 0; i < nDeps; i++ {
 			if !algo.Set.Contains(j.Add(algo.Dep(i))) {
 				outputs = append(outputs, StreamOutput{Stream: i, Point: j.Clone(), Value: out[i]})
@@ -233,7 +233,7 @@ func (s *Simulator) Run() (*RunResult, error) {
 		Cycles:       last - first + 1,
 		FirstTime:    first,
 		LastTime:     last,
-		Processors:   len(peSeen),
+		Processors:   peSeen.Len(),
 		Computations: int64(len(slots)),
 		Conflicts:    conflicts,
 		Collisions:   collisions,
@@ -267,9 +267,9 @@ func (s *Simulator) bufferPeaks() []int64 {
 		t int64
 		d int
 	}
-	events := make([]map[string][]delta, nDeps)
+	events := make([]*intmat.VecMap[[]delta], nDeps)
 	for i := range events {
-		events[i] = make(map[string][]delta)
+		events[i] = intmat.NewVecMap[[]delta](64)
 	}
 	algo.Set.Each(func(j intmat.Vector) bool {
 		t := m.Time(j)
@@ -283,14 +283,15 @@ func (s *Simulator) bufferPeaks() []int64 {
 			if depart < arrive {
 				continue // consumed straight off the wire; never buffered
 			}
-			key := m.Processor(cons).String()
-			events[i][key] = append(events[i][key], delta{arrive, +1}, delta{depart + 1, -1})
+			key := intmat.KeyFor(m.Processor(cons))
+			evs, _ := events[i].Load(key)
+			events[i].Store(key, append(evs, delta{arrive, +1}, delta{depart + 1, -1}))
 		}
 		return true
 	})
 	peaks := make([]int64, nDeps)
 	for i := 0; i < nDeps; i++ {
-		for _, evs := range events[i] {
+		for _, evs := range events[i].Values() {
 			sort.Slice(evs, func(a, b int) bool {
 				if evs[a].t != evs[b].t {
 					return evs[a].t < evs[b].t
@@ -328,7 +329,7 @@ func (s *Simulator) routeAll() []LinkCollision {
 			}
 		}
 	}
-	channel := make(map[string]bool)
+	channel := intmat.NewVecMap[struct{}](256)
 	var collisions []LinkCollision
 	algo.Set.Each(func(j intmat.Vector) bool {
 		t := m.Time(j)
@@ -340,11 +341,11 @@ func (s *Simulator) routeAll() []LinkCollision {
 			pos := pe.Clone()
 			for h, prim := range hopSeq[i] {
 				cycle := t + int64(h) + 1
-				key := fmt.Sprintf("%d|%s|%d|%d", i, pos.String(), prim, cycle)
-				if channel[key] {
+				key := intmat.KeyFor(pos, int64(i), int64(prim), cycle)
+				if _, used := channel.Load(key); used {
 					collisions = append(collisions, LinkCollision{Stream: i, From: pos.Clone(), Primitive: prim, Time: cycle})
 				} else {
-					channel[key] = true
+					channel.Store(key, struct{}{})
 				}
 				pos = pos.Add(s.machine.P.Col(prim))
 			}
