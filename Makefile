@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet bench race race-hot fuzz cover experiments examples golden clean
+.PHONY: all check build test vet bench race race-hot fuzz cover experiments examples golden serve clean
 
 all: build vet test
 
@@ -24,7 +24,7 @@ race:
 	$(GO) test -race ./...
 
 race-hot:
-	$(GO) test -race ./internal/schedule/... ./internal/conflict/...
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -50,6 +50,11 @@ examples:
 	$(GO) run ./examples/transitive
 	$(GO) run ./examples/bitlevel
 	$(GO) run ./examples/frontend
+
+# Run the mapping-as-a-service HTTP server on :8080 (see README for
+# the curl quickstart).
+serve:
+	$(GO) run ./cmd/mapserve -addr :8080
 
 # Regenerate the figure golden files after an intentional format change.
 golden:

@@ -10,6 +10,7 @@
 package lodim_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 	"lodim/internal/intmat"
 	"lodim/internal/loopnest"
 	"lodim/internal/schedule"
+	"lodim/internal/service"
 	"lodim/internal/spacetime"
 	"lodim/internal/systolic"
 	"lodim/internal/uda"
@@ -483,6 +485,50 @@ func BenchmarkSpaceMapping(b *testing.B) {
 				b.Logf("cost=%d procs=%d wire=%d: %d candidates, %d pruned",
 					res.Cost, res.Processors, res.WireLength, res.Candidates, res.Pruned)
 			})
+		}
+	}
+}
+
+// BenchmarkServiceCacheHit measures the mapserve fast path: a map
+// request answered from the canonical cache — canonicalization plus an
+// LRU lookup plus result translation, no search.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	svc := service.New(service.Config{Pool: 1, SearchWorkers: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	req := &service.MapRequest{Algorithm: "matmul", Sizes: []int64{3}, Dims: 1}
+	if _, _, err := svc.Map(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, status, err := svc.Map(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status != service.CacheHit {
+			b.Fatalf("status = %s, want hit", status)
+		}
+	}
+}
+
+// BenchmarkServiceCacheMiss measures the mapserve slow path: the same
+// request with the cache flushed every iteration, so each Map call runs
+// the full joint (S, Π) search. The hit/miss ratio of the two
+// benchmarks is the value of canonical caching.
+func BenchmarkServiceCacheMiss(b *testing.B) {
+	svc := service.New(service.Config{Pool: 1, SearchWorkers: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	req := &service.MapRequest{Algorithm: "matmul", Sizes: []int64{3}, Dims: 1}
+	for i := 0; i < b.N; i++ {
+		svc.FlushCache()
+		_, status, err := svc.Map(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status != service.CacheMiss {
+			b.Fatalf("status = %s, want miss", status)
 		}
 	}
 }

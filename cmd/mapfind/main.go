@@ -23,12 +23,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"lodim/internal/cli"
 	"lodim/internal/loopnest"
@@ -52,18 +54,30 @@ func main() {
 		joint    = flag.Bool("joint", false, "solve Problem 6.2: search S and Π jointly (ignores -s and -engine)")
 		dims     = flag.Int("dims", 1, "array dimensionality for -joint")
 		workers  = flag.Int("workers", 1, "parallel workers for the -joint candidate search")
+		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit); deadline exits with status 3")
 	)
 	flag.Parse()
 	if err := run2(options{
 		algo: *algoName, sizes: *sizes, s: *sSpec, engine: *engine,
 		machine: *machine, maxCost: *maxCost, stmt: *stmt, vars: *vars, bits: *bits,
 		json: *jsonOut, algoFile: *algoFile,
-		joint: *joint, dims: *dims, workers: *workers,
+		joint: *joint, dims: *dims, workers: *workers, timeout: *timeout,
 	}); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			if *jsonOut {
+				json.NewEncoder(os.Stdout).Encode(map[string]string{"error": err.Error()})
+			}
+			fmt.Fprintln(os.Stderr, "mapfind:", err)
+			os.Exit(exitTimeout)
+		}
 		fmt.Fprintln(os.Stderr, "mapfind:", err)
 		os.Exit(1)
 	}
 }
+
+// exitTimeout is the exit status for a search ended by -timeout, so
+// scripts can tell "deadline hit" from ordinary failures.
+const exitTimeout = 3
 
 type options struct {
 	algo, sizes, s, engine, machine string
@@ -74,6 +88,7 @@ type options struct {
 	algoFile                        string
 	joint                           bool
 	dims, workers                   int
+	timeout                         time.Duration
 }
 
 // run keeps the original positional signature used by the tests.
@@ -130,14 +145,20 @@ func run2(o options) error {
 		algo = uda.BitExpand(algo, o.bits)
 		fmt.Printf("bit-expanded to %s: n=%d, m=%d\n", algo.Name, algo.Dim(), algo.NumDeps())
 	}
-	if o.joint {
-		return solveJoint(algo, o)
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
 	}
-	return solve(algo, o.s, o.engine, o.machine, o.maxCost, o.json)
+	if o.joint {
+		return solveJoint(ctx, algo, o)
+	}
+	return solve(ctx, algo, o.s, o.engine, o.machine, o.maxCost, o.json)
 }
 
 // solveJoint runs the Problem 6.2 joint (S, Π) search.
-func solveJoint(algo *uda.Algorithm, o options) error {
+func solveJoint(ctx context.Context, algo *uda.Algorithm, o options) error {
 	m, err := cli.Machine(o.machine)
 	if err != nil {
 		return err
@@ -149,7 +170,7 @@ func solveJoint(algo *uda.Algorithm, o options) error {
 		fmt.Printf("algorithm: %s\n", algo)
 		fmt.Printf("joint search: %d-D array, %d worker(s)\n", o.dims, o.workers)
 	}
-	res, err := schedule.FindJointMapping(algo, o.dims, opts)
+	res, err := schedule.FindJointMappingContext(ctx, algo, o.dims, opts)
 	if err != nil {
 		return err
 	}
@@ -166,7 +187,7 @@ func solveJoint(algo *uda.Algorithm, o options) error {
 	return nil
 }
 
-func solve(algo *uda.Algorithm, sSpec, engine, machineSpec string, maxCost int64, jsonOut bool) error {
+func solve(ctx context.Context, algo *uda.Algorithm, sSpec, engine, machineSpec string, maxCost int64, jsonOut bool) error {
 	s, err := cli.ParseMatrix(sSpec)
 	if err != nil {
 		return err
@@ -185,8 +206,10 @@ func solve(algo *uda.Algorithm, sSpec, engine, machineSpec string, maxCost int64
 	var res *schedule.Result
 	switch engine {
 	case "procedure":
-		res, err = schedule.FindOptimal(algo, s, opts)
+		res, err = schedule.FindOptimalContext(ctx, algo, s, opts)
 	case "ilp":
+		// The ILP engine has no cancellation hooks; -timeout governs
+		// only the enumeration engines.
 		res, err = schedule.FindOptimalILP(algo, s, opts)
 	default:
 		return fmt.Errorf("unknown engine %q", engine)

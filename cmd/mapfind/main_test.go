@@ -1,9 +1,33 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"testing"
+	"time"
 )
+
+func TestTimeoutJointDeadline(t *testing.T) {
+	// Large enough that the joint search cannot finish in 1ms; the
+	// deadline error must surface so main can exit with status 3.
+	err := run2(options{
+		algo: "transitive-closure", sizes: "30", machine: "none",
+		joint: true, dims: 1, workers: 2, timeout: time.Millisecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestTimeoutGenerousStillSucceeds(t *testing.T) {
+	if err := run2(options{
+		algo: "matmul", sizes: "4", s: "1,1,-1", engine: "procedure",
+		machine: "none", timeout: time.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestRunMatmulProcedure(t *testing.T) {
 	if err := run("matmul", "4", "1,1,-1", "procedure", "none", 0); err != nil {

@@ -1,0 +1,95 @@
+// Command mapserve serves the joint (S, Π) mapping search, conflict
+// checking, and systolic simulation of this repository over HTTP.
+//
+// Usage:
+//
+//	mapserve -addr :8080 -pool 2 -queue 64 -cache 1024
+//
+// Endpoints:
+//
+//	POST /v1/map       — time-optimal conflict-free joint mapping
+//	POST /v1/conflict  — conflict-freeness decision for a mapping matrix
+//	POST /v1/simulate  — cycle-accurate systolic simulation
+//	GET  /metrics      — Prometheus text metrics
+//	GET  /debug/vars   — expvar counters
+//	GET  /healthz      — liveness probe
+//
+// Identical problems — including axis-permuted restatements of one
+// problem — are answered from a canonical LRU cache, and concurrent
+// identical requests share a single search (see internal/service).
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lodim/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		pool       = flag.Int("pool", 0, "max concurrent searches (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "max requests waiting for a search slot before 429 (-1 = no queue)")
+		cacheSize  = flag.Int("cache", 1024, "canonical result cache size in entries")
+		workers    = flag.Int("workers", 0, "goroutines per joint search (0 = GOMAXPROCS)")
+		defTimeout = flag.Duration("timeout", 30*time.Second, "default per-request search deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "ceiling on request-supplied deadlines")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Pool:           *pool,
+		Queue:          *queue,
+		CacheSize:      *cacheSize,
+		SearchWorkers:  *workers,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	// Expvar publication lives here, not in the service, so tests can
+	// build many Service instances without duplicate-Publish panics.
+	expvar.Publish("mapserve", expvar.Func(func() any { return svc.Metrics().Snapshot() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(svc))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mapserve: listening on %s (pool %d, queue %d, cache %d)", *addr, *pool, *queue, *cacheSize)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "mapserve:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		log.Printf("mapserve: %s received, draining for up to %s", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mapserve: shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("mapserve: bye")
+}

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,16 @@ import (
 // Within one objective level candidates are visited in lexicographic
 // order, making the result deterministic.
 func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result, error) {
+	return FindOptimalContext(context.Background(), algo, s, opts)
+}
+
+// FindOptimalContext is FindOptimal with cancellation: the enumeration
+// checks ctx between objective levels and every few hundred candidates,
+// so a cancelled or expired context stops the search promptly. When the
+// context ends before a schedule is found the context's error is
+// returned (not ErrNoSchedule — an interrupted search proves nothing
+// about feasibility).
+func FindOptimalContext(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -45,15 +56,20 @@ func FindOptimal(algo *uda.Algorithm, s *intmat.Matrix, opts *Options) (*Result,
 			return nil, err
 		}
 	}
-	return findOptimalWith(algo, s, opts, analyzer)
+	return findOptimalWith(ctx, algo, s, opts, analyzer)
 }
+
+// ctxCheckMask paces the in-level cancellation checks: ctx.Err() takes
+// a lock, while a typical rejected candidate costs nanoseconds, so the
+// enumeration polls once every 256 candidates (plus once per level).
+const ctxCheckMask = 255
 
 // findOptimalWith is the enumeration engine behind FindOptimal with a
 // caller-supplied (possibly nil) factored analyzer. The joint optimizer
 // (spaceopt.go) builds one analyzer per space-mapping candidate and
 // shares it between this search and the array-metric evaluation, so the
 // Π-independent Hermite work happens exactly once per S.
-func findOptimalWith(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) (*Result, error) {
+func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) (*Result, error) {
 	n := algo.Dim()
 	maxCost := opts.MaxCost
 	if maxCost == 0 {
@@ -66,11 +82,14 @@ func findOptimalWith(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analy
 	if opts.MinimizeBuffers && opts.Machine == nil {
 		return nil, fmt.Errorf("schedule: MinimizeBuffers requires a Machine")
 	}
-	ctx := newCandCtx(algo, s, opts, analyzer)
+	cctx := newCandCtx(algo, s, opts, analyzer)
 	candidates := 0
 	var found *Result
 	var levelBuf []int64 // reused flat storage for level-mode candidates
 	for cost := minCost; cost <= maxCost && found == nil; cost++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.Workers > 1 || opts.MinimizeBuffers {
 			// Level-synchronous evaluation: materialize the level into a
 			// reused flat buffer, test candidates (in parallel when
@@ -86,21 +105,36 @@ func findOptimalWith(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analy
 				level[i] = intmat.Vector(levelBuf[i*n : (i+1)*n])
 			}
 			candidates += len(level)
-			results := evaluateLevel(level, ctx)
+			results := evaluateLevel(ctx, level, cctx)
+			// A context that ended mid-level may have left earlier
+			// (potentially winning) candidates unevaluated, so the
+			// level's verdict cannot be trusted — report the
+			// interruption instead.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			found = pickWinner(results, opts)
 			continue
 		}
 		// Sequential fast path: the first passer in enumeration order
 		// wins, so evaluation can stop early.
+		interrupted := false
 		enumerate(algo.Set.Upper, cost, func(pi intmat.Vector) bool {
 			candidates++
-			r, ok := ctx.try(pi)
+			if candidates&ctxCheckMask == 0 && ctx.Err() != nil {
+				interrupted = true
+				return false
+			}
+			r, ok := cctx.try(pi)
 			if !ok {
 				return true
 			}
 			found = r
 			return false
 		})
+		if interrupted {
+			return nil, ctx.Err()
+		}
 	}
 	if found == nil {
 		return nil, fmt.Errorf("%w: algorithm %q, S =\n%v, cost ≤ %d", ErrNoSchedule, algo.Name, s, maxCost)
@@ -113,13 +147,17 @@ func findOptimalWith(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analy
 // evaluateLevel tests every candidate of one objective level, fanning
 // the work across opts.Workers goroutines. The result slice is aligned
 // with the input (nil = rejected), so selection order is independent of
-// scheduling.
-func evaluateLevel(level []intmat.Vector, ctx *candCtx) []*Result {
+// scheduling. A done context stops the evaluation early (checked once
+// per chunk); the caller detects the interruption via ctx.Err.
+func evaluateLevel(ctx context.Context, level []intmat.Vector, cctx *candCtx) []*Result {
 	results := make([]*Result, len(level))
-	workers := ctx.opts.Workers
+	workers := cctx.opts.Workers
 	if workers <= 1 {
 		for i, pi := range level {
-			if r, ok := ctx.try(pi); ok {
+			if i&ctxCheckMask == 0 && ctx.Err() != nil {
+				return results
+			}
+			if r, ok := cctx.try(pi); ok {
 				results[i] = r
 			}
 		}
@@ -136,12 +174,15 @@ func evaluateLevel(level []intmat.Vector, ctx *candCtx) []*Result {
 	// them. Under MinimizeBuffers every passer matters and the watermark
 	// stays disabled.
 	bestIdx := int64(len(level))
-	useWatermark := !ctx.opts.MinimizeBuffers
+	useWatermark := !cctx.opts.MinimizeBuffers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				lo := (atomic.AddInt64(&next, 1) - 1) * chunk
 				if lo >= int64(len(level)) {
 					return
@@ -157,7 +198,7 @@ func evaluateLevel(level []intmat.Vector, ctx *candCtx) []*Result {
 					if useWatermark && i > atomic.LoadInt64(&bestIdx) {
 						break
 					}
-					if r, ok := ctx.try(level[i]); ok {
+					if r, ok := cctx.try(level[i]); ok {
 						results[i] = r
 						if useWatermark {
 							for {

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -94,6 +95,13 @@ func (r *SpaceResult) String() string {
 // search runs on Schedule.Workers goroutines and returns the same
 // winner at any worker count.
 func FindSpaceMapping(algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts *SpaceOptions) (*SpaceResult, error) {
+	return FindSpaceMappingContext(context.Background(), algo, pi, arrayDims, opts)
+}
+
+// FindSpaceMappingContext is FindSpaceMapping with cancellation: a done
+// context stops the candidate loop promptly and the context's error is
+// returned (an interrupted search proves nothing about feasibility).
+func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts *SpaceOptions) (*SpaceResult, error) {
 	if opts == nil {
 		opts = &SpaceOptions{}
 	}
@@ -121,7 +129,7 @@ func FindSpaceMapping(algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts
 	results := make([]*SpaceResult, len(cands))
 	var bestCost, prunedCount atomic.Int64
 	bestCost.Store(math.MaxInt64)
-	forEachCandidate(len(cands), opts.Schedule.Workers, func(i int) {
+	forEachCandidate(ctx, len(cands), opts.Schedule.Workers, func(i int) {
 		s := cands[i]
 		if symPruned[i] {
 			prunedCount.Add(1)
@@ -150,6 +158,9 @@ func FindSpaceMapping(algo *uda.Algorithm, pi intmat.Vector, arrayDims int, opts
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("schedule: space search: %w", err)
+	}
 	var best *SpaceResult
 	for _, r := range results {
 		if r == nil {
@@ -190,6 +201,19 @@ type JointResult struct {
 // count. Inner searches that exhaust their bound report ErrNoSchedule
 // and are skipped; any other inner error aborts the whole search.
 func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*JointResult, error) {
+	return FindJointMappingContext(context.Background(), algo, arrayDims, opts)
+}
+
+// FindJointMappingContext is FindJointMapping with cancellation: the
+// outer candidate loop checks ctx before every claim and each inner Π
+// search polls it between objective levels and every few hundred
+// candidates, so a cancelled request stops burning workers promptly.
+// When the context ends before the search completes, the context's
+// error is returned (never ErrNoSchedule — an interrupted search proves
+// nothing about feasibility). The first real (non-ErrNoSchedule) inner
+// error also cancels the remaining candidates instead of letting the
+// workers drain the whole list.
+func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*JointResult, error) {
 	if opts == nil {
 		opts = &SpaceOptions{}
 	}
@@ -227,7 +251,12 @@ func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*
 	results := make([]*JointResult, len(cands))
 	errs := make([]error, len(cands))
 	var prunedCount atomic.Int64
-	forEachCandidate(len(cands), opts.Schedule.Workers, func(i int) {
+	// searchCtx lets the first real inner error cancel every other
+	// worker: the claim loop stops handing out candidates and running
+	// inner searches return searchCtx's error instead of finishing.
+	searchCtx, cancelSearch := context.WithCancel(ctx)
+	defer cancelSearch()
+	forEachCandidate(searchCtx, len(cands), opts.Schedule.Workers, func(i int) {
 		s := cands[i]
 		if symPruned[i] {
 			prunedCount.Add(1)
@@ -244,6 +273,7 @@ func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*
 		analyzer, err := conflict.NewSpaceAnalyzer(s, algo.Set)
 		if err != nil {
 			errs[i] = err
+			cancelSearch()
 			return
 		}
 		schedOpts := opts.Schedule
@@ -263,12 +293,13 @@ func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*
 			return
 		}
 		schedOpts.MaxCost = bound
-		res, err := findOptimalWith(algo, s, &schedOpts, analyzer)
+		res, err := findOptimalWith(searchCtx, algo, s, &schedOpts, analyzer)
 		if err != nil {
 			if errors.Is(err, ErrNoSchedule) {
 				return // bounded out or genuinely unschedulable: skip
 			}
 			errs[i] = err
+			cancelSearch() // first real error: stop the other workers now
 			return
 		}
 		iT, iC := inc.snapshot()
@@ -292,6 +323,18 @@ func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*
 		}
 		inc.offer(res.Time, cost)
 	})
+	// A real inner error wins over context errors: once cancelSearch
+	// fires, the still-running workers report searchCtx's cancellation,
+	// which must not mask the root cause.
+	for _, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		return nil, fmt.Errorf("schedule: joint search: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("schedule: joint search: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("schedule: joint search: %w", err)
@@ -365,13 +408,18 @@ func (inc *incumbent) offer(t, c int64) {
 
 // forEachCandidate runs fn(i) for i in [0, count) on up to workers
 // goroutines (sequentially when workers ≤ 1). fn must confine writes to
-// slots it owns.
-func forEachCandidate(count, workers int, fn func(i int)) {
+// slots it owns. A done context stops the loop before the next claim;
+// candidates already handed out finish their fn call (which observes
+// the same context itself when it is expensive).
+func forEachCandidate(ctx context.Context, count, workers int, fn func(i int)) {
 	if workers > count {
 		workers = count
 	}
 	if workers <= 1 {
 		for i := 0; i < count; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -383,6 +431,9 @@ func forEachCandidate(count, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= count {
 					return

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-bounded, thread-safe LRU map from canonical keys
+// to search results. Values are stored in canonical coordinates and
+// never mutated after insertion, so readers share them without copying.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and promotes the entry.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts or refreshes an entry, evicting the least recently used
+// entry when the cache is full.
+func (c *lruCache) Add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Flush drops every entry.
+func (c *lruCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}

@@ -1,0 +1,207 @@
+// Package service is the mapping-as-a-service layer: it exposes the
+// joint (S, Π) search, conflict checking, and systolic simulation of
+// this repository behind a concurrent, cache-aware, admission-controlled
+// API (HTTP handlers in http.go, plain Go methods in service.go).
+//
+// The centerpiece is canonical caching: a mapping query is determined by
+// its index-set bounds μ, dependence matrix D, and search parameters —
+// but many distinct queries are the same problem up to relabeling the
+// loop axes, the exact symmetry the joint search already prunes by
+// (schedule.spaceopt's axis automorphisms). The service normalizes every
+// query to a canonical representative of its axis-permutation orbit,
+// runs the search in canonical coordinates, caches by the canonical key,
+// and translates the winning mapping back into the caller's axis order —
+// so permuted variants of one problem cost a single search.
+package service
+
+import (
+	"strconv"
+	"strings"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// maxCanonPerms bounds the number of axis permutations the
+// canonicalizer will enumerate (the product of factorials of the
+// equal-μ group sizes). Beyond the bound — which no realistic query
+// reaches before the search itself becomes intractable — the
+// canonicalizer degrades to the μ-sorting permutation alone: keys stay
+// deterministic and cache lookups stay correct, but permuted variants
+// within one oversized equal-μ group may miss each other's entries.
+const maxCanonPerms = 5040 // 7!
+
+// Canonical is an algorithm normalized under axis permutation.
+type Canonical struct {
+	// Algo is the canonical-coordinate instance the search runs on: μ
+	// sorted ascending, dependence rows permuted accordingly, columns
+	// sorted lexicographically (column order is a multiset).
+	Algo *uda.Algorithm
+	// Perm maps canonical axes to request axes: canonical axis i is
+	// request axis Perm[i].
+	Perm []int
+	// Key is the canonical problem identity: every axis permutation of
+	// one algorithm yields the same key (within maxCanonPerms), and
+	// structurally different algorithms yield different keys.
+	Key string
+}
+
+// Canonicalize normalizes a validated algorithm under the axis
+// permutation symmetry. Among all permutations that sort μ ascending it
+// picks the one whose permuted, column-sorted dependence matrix encodes
+// lexicographically least — a total representative choice, so the
+// result depends only on the algorithm's isomorphism class.
+func Canonicalize(algo *uda.Algorithm) *Canonical {
+	n := algo.Dim()
+	mu := algo.Set.Upper
+	// Stable μ-ascending base order; equal-μ axes form the groups whose
+	// internal order the dependence matrix must decide.
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: stable, n is tiny
+		for j := i; j > 0 && mu[base[j]] < mu[base[j-1]]; j-- {
+			base[j], base[j-1] = base[j-1], base[j]
+		}
+	}
+	var groups [][2]int
+	perms := int64(1)
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && mu[base[hi]] == mu[base[lo]] {
+			hi++
+		}
+		if hi-lo > 1 {
+			groups = append(groups, [2]int{lo, hi})
+			for f := int64(2); f <= int64(hi-lo); f++ {
+				perms *= f
+			}
+		}
+		lo = hi
+	}
+
+	perm := append([]int(nil), base...)
+	bestPerm := append([]int(nil), base...)
+	bestEnc := encodeDeps(algo.D, base)
+	if perms > 1 && perms <= maxCanonPerms {
+		var rec func(g int)
+		rec = func(g int) {
+			if g == len(groups) {
+				if enc := encodeDeps(algo.D, perm); enc < bestEnc {
+					bestEnc = enc
+					copy(bestPerm, perm)
+				}
+				return
+			}
+			lo, hi := groups[g][0], groups[g][1]
+			var permute func(i int)
+			permute = func(i int) {
+				if i == hi {
+					rec(g + 1)
+					return
+				}
+				for j := i; j < hi; j++ {
+					perm[i], perm[j] = perm[j], perm[i]
+					permute(i + 1)
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+			}
+			permute(lo)
+		}
+		rec(0)
+	}
+
+	muCan := make(intmat.Vector, n)
+	for i, ax := range bestPerm {
+		muCan[i] = mu[ax]
+	}
+	canAlgo := &uda.Algorithm{
+		Name: algo.Name,
+		Set:  uda.IndexSet{Upper: muCan},
+		D:    depsMatrix(algo.D, bestPerm),
+	}
+	var key strings.Builder
+	key.WriteString("v1|mu=")
+	for i, u := range muCan {
+		if i > 0 {
+			key.WriteByte(',')
+		}
+		key.WriteString(strconv.FormatInt(u, 10))
+	}
+	key.WriteString("|D=")
+	key.WriteString(bestEnc)
+	return &Canonical{Algo: canAlgo, Perm: bestPerm, Key: key.String()}
+}
+
+// encodeDeps serializes the dependence matrix with rows permuted by
+// perm and columns sorted — the comparable part of a candidate key.
+func encodeDeps(d *intmat.Matrix, perm []int) string {
+	cols := sortedDepColumns(d, perm)
+	return strings.Join(cols, ";")
+}
+
+// sortedDepColumns returns the permuted dependence columns as sorted
+// strings (the multiset normal form of D's column order).
+func sortedDepColumns(d *intmat.Matrix, perm []int) []string {
+	cols := make([]string, d.Cols())
+	var b strings.Builder
+	for c := range cols {
+		b.Reset()
+		for i, ax := range perm {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(d.At(ax, c), 10))
+		}
+		cols[c] = b.String()
+	}
+	// Insertion sort keeps this allocation-free; m is small.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	return cols
+}
+
+// depsMatrix rebuilds D in canonical form: rows permuted by perm,
+// columns sorted.
+func depsMatrix(d *intmat.Matrix, perm []int) *intmat.Matrix {
+	n, m := d.Rows(), d.Cols()
+	cols := sortedDepColumns(d, perm)
+	out := intmat.New(n, m)
+	for c, enc := range cols {
+		parts := strings.Split(enc, ",")
+		v := make(intmat.Vector, n)
+		for i, p := range parts {
+			x, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				panic("service: internal canonical encoding error: " + err.Error())
+			}
+			v[i] = x
+		}
+		out.SetCol(c, v)
+	}
+	return out
+}
+
+// VectorToRequest maps a canonical-coordinate vector (a schedule Π)
+// back to the request's axis order.
+func (c *Canonical) VectorToRequest(v intmat.Vector) intmat.Vector {
+	out := make(intmat.Vector, len(v))
+	for i, ax := range c.Perm {
+		out[ax] = v[i]
+	}
+	return out
+}
+
+// MatrixToRequest maps a canonical-coordinate matrix (a space mapping
+// S, whose columns index axes) back to the request's axis order.
+func (c *Canonical) MatrixToRequest(m *intmat.Matrix) *intmat.Matrix {
+	out := intmat.New(m.Rows(), m.Cols())
+	for i, ax := range c.Perm {
+		out.SetCol(ax, m.Col(i))
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// randomAlgo draws a valid random instance: n ∈ [2,5], m ∈ [1,6],
+// entries in [-2,2] with zero columns repaired, bounds in [1,6] with
+// deliberate repetitions so equal-μ groups (the interesting case for
+// canonicalization) are common.
+func randomAlgo(rng *rand.Rand) *uda.Algorithm {
+	n := 2 + rng.Intn(4)
+	m := 1 + rng.Intn(6)
+	mu := make(intmat.Vector, n)
+	for i := range mu {
+		mu[i] = 1 + int64(rng.Intn(3)) // small range → many equal bounds
+	}
+	d := intmat.New(n, m)
+	for c := 0; c < m; c++ {
+		col := make(intmat.Vector, n)
+		zero := true
+		for i := range col {
+			col[i] = int64(rng.Intn(5) - 2)
+			zero = zero && col[i] == 0
+		}
+		if zero {
+			col[rng.Intn(n)] = 1
+		}
+		d.SetCol(c, col)
+	}
+	return &uda.Algorithm{Name: "rand", Set: uda.IndexSet{Upper: mu}, D: d}
+}
+
+// permuteAlgo applies axis permutation σ: axis i of the result is axis
+// sigma[i] of the input (bounds and dependence rows move together).
+func permuteAlgo(a *uda.Algorithm, sigma []int) *uda.Algorithm {
+	n := a.Dim()
+	mu := make(intmat.Vector, n)
+	d := intmat.New(n, a.NumDeps())
+	for i, ax := range sigma {
+		mu[i] = a.Set.Upper[ax]
+		for c := 0; c < a.NumDeps(); c++ {
+			d.Set(i, c, a.D.At(ax, c))
+		}
+	}
+	return &uda.Algorithm{Name: a.Name, Set: uda.IndexSet{Upper: mu}, D: d}
+}
+
+// TestCanonicalKeyPermutationInvariant is the property at the heart of
+// the cache: every axis permutation of an instance lands on the same
+// canonical key and the same canonical-coordinate algorithm.
+func TestCanonicalKeyPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		a := randomAlgo(rng)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random instance: %v", trial, err)
+		}
+		ca := Canonicalize(a)
+		sigma := rng.Perm(a.Dim())
+		b := permuteAlgo(a, sigma)
+		cb := Canonicalize(b)
+		if ca.Key != cb.Key {
+			t.Fatalf("trial %d: keys differ under σ=%v:\n  %s\n  %s", trial, sigma, ca.Key, cb.Key)
+		}
+		if !ca.Algo.Set.Upper.Equal(cb.Algo.Set.Upper) || !ca.Algo.D.Equal(cb.Algo.D) {
+			t.Fatalf("trial %d: canonical instances differ under σ=%v", trial, sigma)
+		}
+	}
+}
+
+// TestCanonicalIsIdempotentAndSorted: canonicalizing twice is stable and
+// the canonical μ is ascending.
+func TestCanonicalIsIdempotentAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		a := randomAlgo(rng)
+		c1 := Canonicalize(a)
+		mu := c1.Algo.Set.Upper
+		for i := 1; i < len(mu); i++ {
+			if mu[i] < mu[i-1] {
+				t.Fatalf("trial %d: canonical μ not ascending: %v", trial, mu)
+			}
+		}
+		c2 := Canonicalize(c1.Algo)
+		if c1.Key != c2.Key {
+			t.Fatalf("trial %d: key not idempotent:\n  %s\n  %s", trial, c1.Key, c2.Key)
+		}
+		if !c2.Algo.D.Equal(c1.Algo.D) {
+			t.Fatalf("trial %d: canonical form not a fixed point", trial)
+		}
+	}
+}
+
+// TestCanonicalTranslationRoundTrip: translating the canonical
+// dependence columns back through Perm recovers the request's
+// dependence multiset, and matrix translation agrees with vector
+// translation row by row.
+func TestCanonicalTranslationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a := randomAlgo(rng)
+		c := Canonicalize(a)
+
+		var want, got []string
+		for i := 0; i < a.NumDeps(); i++ {
+			want = append(want, a.D.Col(i).String())
+			got = append(got, c.VectorToRequest(c.Algo.D.Col(i)).String())
+		}
+		sort.Strings(want)
+		sort.Strings(got)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: dependence multiset changed:\nwant %v\ngot  %v", trial, want, got)
+			}
+		}
+
+		// μ translates back exactly (not just as a multiset).
+		muBack := c.VectorToRequest(c.Algo.Set.Upper)
+		if !muBack.Equal(a.Set.Upper) {
+			t.Fatalf("trial %d: μ round trip: %v → %v", trial, a.Set.Upper, muBack)
+		}
+
+		// A matrix is translated exactly like each of its rows.
+		m := intmat.New(2, a.Dim())
+		for j := 0; j < a.Dim(); j++ {
+			m.Set(0, j, int64(rng.Intn(7)-3))
+			m.Set(1, j, int64(rng.Intn(7)-3))
+		}
+		mt := c.MatrixToRequest(m)
+		for r := 0; r < 2; r++ {
+			if !mt.Row(r).Equal(c.VectorToRequest(m.Row(r))) {
+				t.Fatalf("trial %d: MatrixToRequest disagrees with VectorToRequest on row %d", trial, r)
+			}
+		}
+	}
+}
+
+// TestCanonicalKeySeparates: structurally different instances must not
+// collide (sanity, not a hash-strength claim — keys are lossless).
+func TestCanonicalKeySeparates(t *testing.T) {
+	a := &uda.Algorithm{Set: uda.Cube(3, 4), D: intmat.FromRows(
+		[]int64{1, 0, 0}, []int64{0, 1, 0}, []int64{0, 0, 1})}
+	b := &uda.Algorithm{Set: uda.Cube(3, 4), D: intmat.FromRows(
+		[]int64{1, 0, 0}, []int64{0, 1, 0}, []int64{0, 1, 1})}
+	c := &uda.Algorithm{Set: uda.IndexSet{Upper: intmat.Vec(4, 4, 5)}, D: a.D.Clone()}
+	ka, kb, kc := Canonicalize(a).Key, Canonicalize(b).Key, Canonicalize(c).Key
+	if ka == kb || ka == kc || kb == kc {
+		t.Fatalf("distinct instances collided: %q %q %q", ka, kb, kc)
+	}
+}

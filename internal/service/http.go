@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lodim/internal/schedule"
+)
+
+// maxBodyBytes bounds request bodies; every valid problem within the
+// service's dimension/dependence limits encodes far below this.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler wires the service's endpoints:
+//
+//	POST /v1/map       — joint (S, Π) mapping search
+//	POST /v1/conflict  — conflict-freeness decision
+//	POST /v1/simulate  — systolic simulation
+//	GET  /metrics      — Prometheus text exposition
+//	GET  /healthz      — liveness probe
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/conflict", s.handleConflict)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// decodeJSON reads one strict JSON document into dst, rejecting unknown
+// fields, trailing garbage, and oversized bodies.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("service: invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("service: trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps a service error to its HTTP status and JSON body,
+// recording timeout/failure metrics as it goes.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+		s.met.timeouts.Add(1)
+	case errors.Is(err, schedule.ErrNoSchedule):
+		// The search completed and proved infeasibility within its
+		// bounds — a definite answer about the problem, not a failure.
+		status = http.StatusUnprocessableEntity
+	default:
+		s.met.failures.Add(1)
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// withDeadline derives the request context honoring the body-supplied
+// timeout clamped into the configured window.
+func (s *Service) withDeadline(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.EffectiveTimeout(timeoutMS))
+}
+
+func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req MapRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.met.mapRequests.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMS)
+	defer cancel()
+	resp, status, err := s.Map(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Cache status travels in a header so hit, miss and shared bodies
+	// stay byte-identical for one problem.
+	w.Header().Set("X-Mapserve-Cache", string(status))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleConflict(w http.ResponseWriter, r *http.Request) {
+	var req ConflictRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.met.conflictRequests.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, 0)
+	defer cancel()
+	resp, err := s.Conflict(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.met.simulateRequests.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, 0)
+	defer cancel()
+	resp, err := s.Simulate(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WritePrometheus(w)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isClosed() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

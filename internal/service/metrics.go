@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the search-latency
+// histogram, log-spaced from "cache-adjacent" to "deep search". An
+// implicit +Inf bucket catches the rest.
+var latencyBuckets = [numLatencyBuckets]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+const numLatencyBuckets = 7
+
+// metrics aggregates the service counters. All fields are atomics so
+// the hot request path never takes a lock for observability.
+type metrics struct {
+	mapRequests      atomic.Int64
+	conflictRequests atomic.Int64
+	simulateRequests atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	searches    atomic.Int64 // actual joint searches executed
+	deduped     atomic.Int64 // requests that joined an in-progress flight
+
+	rejected atomic.Int64 // admission-control rejections (429)
+	timeouts atomic.Int64 // requests ended by deadline/cancellation
+	failures atomic.Int64 // internal errors (500)
+
+	inflight atomic.Int64 // searches holding a pool slot right now
+	queued   atomic.Int64 // requests waiting for a slot right now
+
+	latCounts [numLatencyBuckets + 1]atomic.Int64
+	latSumNs  atomic.Int64
+	latCount  atomic.Int64
+}
+
+// observeSearch records one search latency in the histogram.
+func (m *metrics) observeSearch(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
+		i++
+	}
+	m.latCounts[i].Add(1)
+	m.latSumNs.Add(d.Nanoseconds())
+	m.latCount.Add(1)
+}
+
+// WritePrometheus renders the counters in the Prometheus text
+// exposition format (the GET /metrics payload).
+func (m *metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP mapserve_requests_total Requests received, by endpoint.\n# TYPE mapserve_requests_total counter\n")
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"map\"} %d\n", m.mapRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"conflict\"} %d\n", m.conflictRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"simulate\"} %d\n", m.simulateRequests.Load())
+	counter("mapserve_cache_hits_total", "Map requests answered from the canonical result cache.", m.cacheHits.Load())
+	counter("mapserve_cache_misses_total", "Map requests that required a search.", m.cacheMisses.Load())
+	counter("mapserve_searches_total", "Joint (S, Pi) searches actually executed.", m.searches.Load())
+	counter("mapserve_singleflight_deduped_total", "Map requests that joined an identical in-progress search.", m.deduped.Load())
+	counter("mapserve_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
+	counter("mapserve_timeouts_total", "Requests ended by deadline or cancellation.", m.timeouts.Load())
+	counter("mapserve_failures_total", "Requests failed with an internal error.", m.failures.Load())
+	gauge("mapserve_inflight_searches", "Searches holding a worker-pool slot.", m.inflight.Load())
+	gauge("mapserve_queued_requests", "Requests waiting for a worker-pool slot.", m.queued.Load())
+	if hits, misses := m.cacheHits.Load(), m.cacheMisses.Load(); hits+misses > 0 {
+		fmt.Fprintf(w, "# HELP mapserve_cache_hit_ratio Cache hits over cacheable map requests.\n# TYPE mapserve_cache_hit_ratio gauge\nmapserve_cache_hit_ratio %.6f\n",
+			float64(hits)/float64(hits+misses))
+	}
+	fmt.Fprintf(w, "# HELP mapserve_search_latency_seconds Joint search wall time.\n# TYPE mapserve_search_latency_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latCounts[i].Load()
+		fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latCounts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "mapserve_search_latency_seconds_sum %.9f\n", float64(m.latSumNs.Load())/1e9)
+	fmt.Fprintf(w, "mapserve_search_latency_seconds_count %d\n", m.latCount.Load())
+}
+
+// Snapshot returns the counters as a flat map — the expvar surface
+// published by cmd/mapserve.
+func (m *metrics) Snapshot() map[string]any {
+	return map[string]any{
+		"map_requests":         m.mapRequests.Load(),
+		"conflict_requests":    m.conflictRequests.Load(),
+		"simulate_requests":    m.simulateRequests.Load(),
+		"cache_hits":           m.cacheHits.Load(),
+		"cache_misses":         m.cacheMisses.Load(),
+		"searches":             m.searches.Load(),
+		"singleflight_deduped": m.deduped.Load(),
+		"rejected":             m.rejected.Load(),
+		"timeouts":             m.timeouts.Load(),
+		"failures":             m.failures.Load(),
+		"inflight_searches":    m.inflight.Load(),
+		"queued_requests":      m.queued.Load(),
+		"search_latency_count": m.latCount.Load(),
+		"search_latency_sum_s": float64(m.latSumNs.Load()) / 1e9,
+	}
+}

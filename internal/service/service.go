@@ -1,0 +1,556 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lodim/internal/cli"
+	"lodim/internal/conflict"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/systolic"
+	"lodim/internal/uda"
+)
+
+// Input ceilings: the service refuses problems whose validation or
+// simulation would enumerate unbounded state. Searches themselves are
+// additionally bounded by the per-request deadline.
+const (
+	maxRequestDim  = 12        // algorithm dimension n
+	maxRequestDeps = 64        // dependence count m
+	maxIndexPoints = 1 << 20   // |J| ceiling for simulate/conflict enumeration
+	maxBound       = 1 << 20   // single μ_i ceiling
+)
+
+// Config sizes the service.
+type Config struct {
+	// Pool is the number of searches/simulations that may run
+	// concurrently (≤ 0 selects GOMAXPROCS).
+	Pool int
+	// Queue bounds the backlog: at most Pool+Queue requests may be
+	// waiting for a slot at once; arrivals beyond that are answered
+	// 429 immediately (0 selects 64; negative means "no extra queue",
+	// i.e. at most Pool waiters).
+	Queue int
+	// CacheSize bounds the canonical result cache in entries
+	// (≤ 0 selects 1024).
+	CacheSize int
+	// SearchWorkers is the Schedule.Workers fan-out of each joint
+	// search (≤ 0 selects GOMAXPROCS). Results are deterministic at any
+	// value.
+	SearchWorkers int
+	// DefaultTimeout applies when a request carries no deadline of its
+	// own (0 selects 30s). MaxTimeout caps request-supplied deadlines
+	// (0 selects 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Sentinel errors of the admission/lifecycle layer.
+var (
+	// ErrOverloaded reports that the worker pool and its queue are
+	// full — the HTTP layer maps it to 429.
+	ErrOverloaded = errors.New("service: overloaded, retry later")
+	// ErrShuttingDown reports that the service no longer accepts work —
+	// mapped to 503.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// BadRequestError wraps a validation failure — mapped to 400.
+type BadRequestError struct{ Err error }
+
+func (e *BadRequestError) Error() string { return e.Err.Error() }
+func (e *BadRequestError) Unwrap() error { return e.Err }
+
+func badRequest(format string, args ...any) error {
+	return &BadRequestError{Err: fmt.Errorf(format, args...)}
+}
+
+// CacheStatus tells a map caller how its result was produced.
+type CacheStatus string
+
+const (
+	CacheHit    CacheStatus = "hit"    // served from the canonical cache
+	CacheMiss   CacheStatus = "miss"   // this request executed the search
+	CacheShared CacheStatus = "shared" // joined an identical in-progress search
+)
+
+// Service is the concurrent mapping-as-a-service engine. Create with
+// New, serve over HTTP with NewHandler, stop with Close.
+type Service struct {
+	cfg     Config
+	cache   *lruCache
+	flights *flightGroup
+	sem     chan struct{}
+	met     *metrics
+	closed  chan struct{}
+	closing sync.Once
+	wg      sync.WaitGroup // in-flight requests, drained by Close
+
+	// searchJoint is the search engine; tests substitute it to make
+	// concurrency deterministic. Production always uses
+	// schedule.FindJointMappingContext.
+	searchJoint func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error)
+}
+
+// New builds a Service from the config (zero value = all defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:         cfg,
+		cache:       newLRUCache(cfg.CacheSize),
+		flights:     newFlightGroup(),
+		sem:         make(chan struct{}, cfg.Pool),
+		met:         &metrics{},
+		closed:      make(chan struct{}),
+		searchJoint: schedule.FindJointMappingContext,
+	}
+	s.flights.onJoin = func() { s.met.deduped.Add(1) }
+	return s
+}
+
+// Close stops admitting requests and waits for in-flight ones to
+// drain. Safe to call more than once.
+func (s *Service) Close() {
+	s.closing.Do(func() { close(s.closed) })
+	s.wg.Wait()
+}
+
+func (s *Service) isClosed() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// FlushCache drops every cached result (operational hook; also used by
+// the cache-miss benchmark).
+func (s *Service) FlushCache() { s.cache.Flush() }
+
+// CacheLen returns the number of cached canonical results.
+func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// Metrics exposes the counters for rendering (Prometheus text or
+// expvar snapshots).
+func (s *Service) Metrics() *metrics { return s.met }
+
+// EffectiveTimeout clamps a request-supplied timeout (milliseconds;
+// ≤ 0 = unset) into the configured window.
+func (s *Service) EffectiveTimeout(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// acquire admits one unit of pool work, honoring queue-depth limits:
+// when Pool slots are busy and Queue requests already wait, it fails
+// fast with ErrOverloaded instead of building an unbounded backlog.
+func (s *Service) acquire(ctx context.Context) (release func(), err error) {
+	if s.isClosed() {
+		return nil, ErrShuttingDown
+	}
+	// queued counts both waiting and running holders transiently; the
+	// admission bound is holders ≤ Pool + Queue.
+	if q := s.met.queued.Add(1); q > int64(s.cfg.Pool+s.cfg.Queue) {
+		s.met.queued.Add(-1)
+		s.met.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.met.queued.Add(-1)
+		s.met.inflight.Add(1)
+		return func() {
+			s.met.inflight.Add(-1)
+			<-s.sem
+		}, nil
+	case <-ctx.Done():
+		s.met.queued.Add(-1)
+		return nil, ctx.Err()
+	case <-s.closed:
+		s.met.queued.Add(-1)
+		return nil, ErrShuttingDown
+	}
+}
+
+// MapRequest asks for a time-optimal conflict-free joint (S, Π)
+// mapping. The algorithm comes either from the named library
+// (Algorithm + Sizes) or inline (Bounds + Dependencies, the uda JSON
+// shape: dependence vectors as rows).
+type MapRequest struct {
+	Algorithm    string    `json:"algorithm,omitempty"`
+	Sizes        []int64   `json:"sizes,omitempty"`
+	Bounds       []int64   `json:"bounds,omitempty"`
+	Dependencies [][]int64 `json:"dependencies,omitempty"`
+	// Dims is the target array dimensionality (default 1).
+	Dims int `json:"dims,omitempty"`
+	// MaxEntry, WireWeight, MaxCost tune the search as in
+	// schedule.SpaceOptions (0 = default).
+	MaxEntry   int64 `json:"max_entry,omitempty"`
+	WireWeight int64 `json:"wire_weight,omitempty"`
+	MaxCost    int64 `json:"max_cost,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds
+	// (0 = server default; capped by the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MapResponse is the search outcome, expressed in the request's axis
+// order.
+type MapResponse struct {
+	Algorithm    string    `json:"algorithm"`
+	Dim          int       `json:"n"`
+	NumDeps      int       `json:"m"`
+	Bounds       []int64   `json:"mu"`
+	Dims         int       `json:"array_dims"`
+	S            [][]int64 `json:"space_mapping"`
+	Pi           []int64   `json:"schedule"`
+	TotalTime    int64     `json:"total_time"`
+	Objective    int64     `json:"objective"`
+	Processors   int64     `json:"processors"`
+	WireLength   int64     `json:"wire_length"`
+	Cost         int64     `json:"array_cost"`
+	Engine       string    `json:"engine"`
+	Candidates   int       `json:"candidates"`
+	Pruned       int       `json:"pruned"`
+	Conflict     string    `json:"conflict_certificate"`
+	CanonicalKey string    `json:"canonical_key"`
+}
+
+// algoFromRequest builds and validates the algorithm a request names or
+// embeds.
+func algoFromRequest(name string, sizes, bounds []int64, deps [][]int64) (*uda.Algorithm, error) {
+	var algo *uda.Algorithm
+	switch {
+	case name != "":
+		a, err := cli.Algorithm(name, sizes)
+		if err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+		algo = a
+	case len(bounds) > 0:
+		n := len(bounds)
+		d := intmat.New(n, len(deps))
+		for c, dep := range deps {
+			if len(dep) != n {
+				return nil, badRequest("service: dependence %d has %d entries, want %d", c+1, len(dep), n)
+			}
+			d.SetCol(c, dep)
+		}
+		algo = &uda.Algorithm{Name: "custom", Set: uda.IndexSet{Upper: append(intmat.Vector{}, bounds...)}, D: d}
+	default:
+		return nil, badRequest("service: request needs either \"algorithm\" or \"bounds\"+\"dependencies\"")
+	}
+	if err := algo.Validate(); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	if algo.Dim() > maxRequestDim {
+		return nil, badRequest("service: dimension %d exceeds the limit %d", algo.Dim(), maxRequestDim)
+	}
+	if algo.NumDeps() > maxRequestDeps {
+		return nil, badRequest("service: %d dependencies exceed the limit %d", algo.NumDeps(), maxRequestDeps)
+	}
+	for i, u := range algo.Set.Upper {
+		if u > maxBound {
+			return nil, badRequest("service: bound μ_%d = %d exceeds the limit %d", i+1, u, maxBound)
+		}
+	}
+	return algo, nil
+}
+
+// Map answers a joint-mapping query: canonical cache first, then a
+// singleflight-deduplicated, admission-controlled search in canonical
+// coordinates, translated back to the caller's axis order.
+func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, CacheStatus, error) {
+	s.met.mapRequests.Add(1)
+	if s.isClosed() {
+		return nil, "", ErrShuttingDown
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+
+	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
+	if err != nil {
+		return nil, "", err
+	}
+	dims := req.Dims
+	if dims == 0 {
+		dims = 1
+	}
+	if dims < 1 || dims >= algo.Dim() {
+		return nil, "", badRequest("service: array dimensionality %d out of range [1, %d]", dims, algo.Dim()-1)
+	}
+	if dims > 1 && algo.Set.Size() > maxIndexPoints {
+		// Multi-row processor counting enumerates the index set.
+		return nil, "", badRequest("service: index set has %d points, limit for dims > 1 is %d", algo.Set.Size(), maxIndexPoints)
+	}
+	if req.MaxEntry < 0 || req.WireWeight < 0 || req.MaxCost < 0 {
+		return nil, "", badRequest("service: max_entry, wire_weight and max_cost must be ≥ 0")
+	}
+
+	canon := Canonicalize(algo)
+	key := fmt.Sprintf("%s|dims=%d|me=%d|ww=%d|mc=%d", canon.Key, dims, req.MaxEntry, req.WireWeight, req.MaxCost)
+	if v, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return buildMapResponse(algo, canon, key, dims, v.(*schedule.JointResult)), CacheHit, nil
+	}
+
+	v, err, leader := s.flights.Do(ctx, key, func() (any, error) {
+		release, err := s.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		// An earlier flight may have landed between our cache lookup
+		// and taking flight leadership — don't search twice.
+		if v, ok := s.cache.Get(key); ok {
+			return v, nil
+		}
+		s.met.searches.Add(1)
+		opts := &schedule.SpaceOptions{
+			MaxEntry:   req.MaxEntry,
+			WireWeight: req.WireWeight,
+			Schedule:   schedule.Options{MaxCost: req.MaxCost, Workers: s.cfg.SearchWorkers},
+		}
+		start := time.Now()
+		res, err := s.searchJoint(ctx, canon.Algo, dims, opts)
+		s.met.observeSearch(time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Add(key, res)
+		return res, nil
+	})
+	status := CacheShared
+	if leader {
+		status = CacheMiss
+		s.met.cacheMisses.Add(1)
+	}
+	if err != nil {
+		return nil, status, err
+	}
+	return buildMapResponse(algo, canon, key, dims, v.(*schedule.JointResult)), status, nil
+}
+
+// buildMapResponse translates a canonical-coordinate result into the
+// request's axis order. Time, processor count, wire length and cost are
+// invariant under the translation (it is an index-space isomorphism);
+// only S's columns and Π's entries move.
+func buildMapResponse(algo *uda.Algorithm, canon *Canonical, key string, dims int, res *schedule.JointResult) *MapResponse {
+	sReq := canon.MatrixToRequest(res.Mapping.S)
+	piReq := canon.VectorToRequest(res.Mapping.Pi)
+	return &MapResponse{
+		Algorithm:    algo.Name,
+		Dim:          algo.Dim(),
+		NumDeps:      algo.NumDeps(),
+		Bounds:       algo.Set.Upper,
+		Dims:         dims,
+		S:            matrixRows(sReq),
+		Pi:           piReq,
+		TotalTime:    res.Time,
+		Objective:    res.Time - 1,
+		Processors:   res.Processors,
+		WireLength:   res.WireLength,
+		Cost:         res.Cost,
+		Engine:       res.ScheduleResult.Method,
+		Candidates:   res.Candidates,
+		Pruned:       res.Pruned,
+		Conflict:     res.ScheduleResult.Conflict.Method,
+		CanonicalKey: key,
+	}
+}
+
+func matrixRows(m *intmat.Matrix) [][]int64 {
+	rows := make([][]int64, m.Rows())
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+// ConflictRequest asks for a conflict-freeness verdict on a mapping
+// matrix T (given directly as rows, or as space rows S plus schedule
+// Pi) over the index set Bounds.
+type ConflictRequest struct {
+	Bounds []int64   `json:"bounds"`
+	T      [][]int64 `json:"t,omitempty"`
+	S      [][]int64 `json:"s,omitempty"`
+	Pi     []int64   `json:"pi,omitempty"`
+}
+
+// ConflictResponse carries the exact decision and its certificate.
+type ConflictResponse struct {
+	ConflictFree bool    `json:"conflict_free"`
+	Witness      []int64 `json:"witness,omitempty"`
+	Method       string  `json:"method"`
+}
+
+// Conflict decides conflict-freeness of a mapping matrix.
+func (s *Service) Conflict(ctx context.Context, req *ConflictRequest) (*ConflictResponse, error) {
+	s.met.conflictRequests.Add(1)
+	if s.isClosed() {
+		return nil, ErrShuttingDown
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+
+	set := uda.IndexSet{Upper: append(intmat.Vector{}, req.Bounds...)}
+	if err := set.Validate(); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	if set.Dim() > maxRequestDim || set.Size() > maxIndexPoints {
+		return nil, badRequest("service: index set too large (dim ≤ %d, points ≤ %d)", maxRequestDim, maxIndexPoints)
+	}
+	rows := req.T
+	if len(rows) == 0 {
+		if req.Pi == nil {
+			return nil, badRequest("service: conflict check needs \"t\" or \"s\"+\"pi\"")
+		}
+		rows = append(append([][]int64{}, req.S...), req.Pi)
+	}
+	n := set.Dim()
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, badRequest("service: T row %d has %d entries, want %d", i+1, len(r), n)
+		}
+	}
+	t := intmat.FromRows(rows...)
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	res, err := conflict.Decide(t, set)
+	if err != nil {
+		if errors.Is(err, conflict.ErrRank) {
+			return nil, &BadRequestError{Err: err}
+		}
+		return nil, err
+	}
+	return &ConflictResponse{ConflictFree: res.ConflictFree, Witness: res.Witness, Method: res.Method}, nil
+}
+
+// SimulateRequest asks for a cycle-accurate run of a mapped algorithm
+// on the systolic simulator with the generic checksum program.
+type SimulateRequest struct {
+	Algorithm    string    `json:"algorithm,omitempty"`
+	Sizes        []int64   `json:"sizes,omitempty"`
+	Bounds       []int64   `json:"bounds,omitempty"`
+	Dependencies [][]int64 `json:"dependencies,omitempty"`
+	S            [][]int64 `json:"s"`
+	Pi           []int64   `json:"pi"`
+	// Machine is a cli machine spec: "", "none", "meshN", or "p:...".
+	Machine string `json:"machine,omitempty"`
+}
+
+// SimulateResponse carries the run statistics the simulator reports.
+type SimulateResponse struct {
+	Cycles          int64   `json:"cycles"`
+	ScheduleTime    int64   `json:"schedule_time"`
+	Processors      int     `json:"processors"`
+	Computations    int64   `json:"computations"`
+	PeakParallelism int     `json:"peak_parallelism"`
+	Utilization     float64 `json:"utilization"`
+	Conflicts       int     `json:"conflicts"`
+	Collisions      int     `json:"collisions"`
+	MaxBuffered     []int64 `json:"max_buffered"`
+}
+
+// Simulate runs a mapping through the systolic simulator.
+func (s *Service) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
+	s.met.simulateRequests.Add(1)
+	if s.isClosed() {
+		return nil, ErrShuttingDown
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+
+	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
+	if err != nil {
+		return nil, err
+	}
+	if algo.Set.Size() > maxIndexPoints {
+		return nil, badRequest("service: index set has %d points, simulation limit is %d", algo.Set.Size(), maxIndexPoints)
+	}
+	sm := intmat.New(0, algo.Dim())
+	if len(req.S) > 0 {
+		for i, r := range req.S {
+			if len(r) != algo.Dim() {
+				return nil, badRequest("service: S row %d has %d entries, want %d", i+1, len(r), algo.Dim())
+			}
+		}
+		sm = intmat.FromRows(req.S...)
+	}
+	if len(req.Pi) != algo.Dim() {
+		return nil, badRequest("service: Π has %d entries, want %d", len(req.Pi), algo.Dim())
+	}
+	mach, err := cli.Machine(req.Machine)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	m, err := schedule.NewMapping(algo, sm, intmat.Vector(req.Pi))
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sim, err := systolic.New(m, &systolic.ChecksumProgram{Streams: algo.NumDeps()}, mach)
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &SimulateResponse{
+		Cycles:          res.Cycles,
+		ScheduleTime:    m.TotalTime(),
+		Processors:      res.Processors,
+		Computations:    res.Computations,
+		PeakParallelism: res.MaxOccupancy,
+		Utilization:     res.Utilization(),
+		Conflicts:       len(res.Conflicts),
+		Collisions:      len(res.Collisions),
+		MaxBuffered:     res.MaxBuffered,
+	}, nil
+}

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived eviction")
+	}
+	if v, ok := c.Get("b"); !ok || v.(int) != 2 {
+		t.Errorf("b = %v, %v", v, ok)
+	}
+	// b is now most recent; adding d evicts c.
+	c.Add("d", 4)
+	if _, ok := c.Get("c"); ok {
+		t.Error("c survived eviction despite b's promotion")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Errorf("Len after Flush = %d", c.Len())
+	}
+}
+
+func TestFlightGroupDeduplicates(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	joined := make(chan struct{})
+	g.onJoin = func() { close(joined) }
+
+	var wg sync.WaitGroup
+	var leaderV, followerV any
+	var followerLeader bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderV, _, _ = g.Do(context.Background(), "k", func() (any, error) {
+			<-gate
+			return 42, nil
+		})
+	}()
+	// Start the follower only once the leader's flight is registered,
+	// and open the gate only once the follower has attached (onJoin) —
+	// the two polls make the dedup deterministic, not timing-dependent.
+	for {
+		g.mu.Lock()
+		_, inFlight := g.calls["k"]
+		g.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerV, _, followerLeader = g.Do(context.Background(), "k", func() (any, error) {
+			t.Error("follower executed fn")
+			return nil, nil
+		})
+	}()
+	<-joined
+	close(gate)
+	wg.Wait()
+	if leaderV != 42 || followerV != 42 {
+		t.Errorf("values = %v, %v, want 42, 42", leaderV, followerV)
+	}
+	if followerLeader {
+		t.Error("follower claims leadership")
+	}
+	select {
+	case <-joined:
+	default:
+		t.Error("onJoin never fired")
+	}
+}
+
+func TestFlightGroupFollowerHonorsContext(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	defer close(gate)
+	go g.Do(context.Background(), "k", func() (any, error) { <-gate; return nil, nil })
+	for {
+		g.mu.Lock()
+		_, inFlight := g.calls["k"]
+		g.mu.Unlock()
+		if inFlight {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, leader := g.Do(ctx, "k", func() (any, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) || leader {
+		t.Errorf("detached follower: err = %v, leader = %v", err, leader)
+	}
+}
+
+func TestAcquireRejectsBeyondQueue(t *testing.T) {
+	s := New(Config{Pool: 1, Queue: -1}) // bound: 1 waiter at most
+	defer s.Close()
+	release, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter is admitted (it backs the single pool slot)...
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterIn := make(chan error, 1)
+	go func() {
+		r, err := s.acquire(waiterCtx)
+		if r != nil {
+			r()
+		}
+		waiterIn <- err
+	}()
+	for s.met.queued.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// ...and the next arrival is rejected immediately.
+	if _, err := s.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire: err = %v, want ErrOverloaded", err)
+	}
+	if got := s.met.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	// A waiter whose context ends gets the context error.
+	cancelWaiter()
+	if err := <-waiterIn; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter: err = %v", err)
+	}
+	release()
+	// With the slot free again, admission recovers.
+	r2, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("post-recovery acquire: %v", err)
+	}
+	r2()
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	s := New(Config{Pool: 1})
+	s.Close()
+	if _, err := s.acquire(context.Background()); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("acquire after Close: %v", err)
+	}
+	if _, _, err := s.Map(context.Background(), &MapRequest{Algorithm: "matmul"}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Map after Close: %v", err)
+	}
+	if _, err := s.Conflict(context.Background(), &ConflictRequest{}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Conflict after Close: %v", err)
+	}
+	if _, err := s.Simulate(context.Background(), &SimulateRequest{}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Simulate after Close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestEffectiveTimeoutClamps(t *testing.T) {
+	s := New(Config{DefaultTimeout: time.Second, MaxTimeout: 5 * time.Second})
+	defer s.Close()
+	if got := s.EffectiveTimeout(0); got != time.Second {
+		t.Errorf("unset → %v", got)
+	}
+	if got := s.EffectiveTimeout(250); got != 250*time.Millisecond {
+		t.Errorf("250ms → %v", got)
+	}
+	if got := s.EffectiveTimeout(60_000); got != 5*time.Second {
+		t.Errorf("60s → %v, want the 5s ceiling", got)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	s := New(Config{Pool: 1})
+	defer s.Close()
+	cases := []struct {
+		name string
+		req  MapRequest
+	}{
+		{"no algorithm", MapRequest{}},
+		{"unknown algorithm", MapRequest{Algorithm: "no-such-algo"}},
+		{"dims too large", MapRequest{Algorithm: "matmul", Sizes: []int64{3}, Dims: 3}},
+		{"negative option", MapRequest{Algorithm: "matmul", Sizes: []int64{3}, MaxCost: -1}},
+		{"ragged deps", MapRequest{Bounds: []int64{2, 2}, Dependencies: [][]int64{{1}}}},
+		{"zero dep", MapRequest{Bounds: []int64{2, 2}, Dependencies: [][]int64{{0, 0}}}},
+		{"huge bound", MapRequest{Bounds: []int64{maxBound + 1}, Dependencies: [][]int64{{1}}}},
+	}
+	for _, c := range cases {
+		var bad *BadRequestError
+		if _, _, err := s.Map(context.Background(), &c.req); !errors.As(err, &bad) {
+			t.Errorf("%s: err = %v, want BadRequestError", c.name, err)
+		}
+	}
+}

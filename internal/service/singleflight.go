@@ -1,0 +1,64 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work by key: the first caller of
+// a key (the leader) executes fn; callers arriving while the flight is
+// open wait for the leader's outcome instead of repeating the work.
+// Waiters honor their own context — a waiter whose context ends detaches
+// and returns the context error while the leader's work continues.
+//
+// This is a minimal, context-aware reimplementation of the well-known
+// singleflight pattern (the module is dependency-free by design).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// onJoin, when set, is called every time a waiter attaches to an
+	// existing flight — the service counts deduplicated requests with
+	// it, and tests use the count to sequence concurrent callers.
+	onJoin func()
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn for key, deduplicating concurrent callers. The leader
+// runs fn in its own goroutine (and under its own context, captured by
+// fn); followers block until the flight completes or their ctx ends.
+// leader reports whether this caller executed fn itself.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (v any, err error, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if g.onJoin != nil {
+			g.onJoin()
+		}
+		select {
+		case <-c.done:
+			return c.val, c.err, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, true
+}
