@@ -114,6 +114,7 @@ type Service struct {
 	met     *metrics
 	closed  chan struct{}
 	closing sync.Once
+	admit   sync.Mutex     // serializes begin's closed check + wg.Add against Close
 	wg      sync.WaitGroup // in-flight requests, drained by Close
 
 	// searchJoint is the search engine; tests substitute it to make
@@ -141,7 +142,14 @@ func New(cfg Config) *Service {
 // Close stops admitting requests and waits for in-flight ones to
 // drain. Safe to call more than once.
 func (s *Service) Close() {
-	s.closing.Do(func() { close(s.closed) })
+	s.closing.Do(func() {
+		// Taking admit orders the close against every begin: once we
+		// hold it, no request can be between its closed check and its
+		// wg.Add, so wg.Wait below cannot race an Add.
+		s.admit.Lock()
+		close(s.closed)
+		s.admit.Unlock()
+	})
 	s.wg.Wait()
 }
 
@@ -152,6 +160,21 @@ func (s *Service) isClosed() bool {
 	default:
 		return false
 	}
+}
+
+// begin registers one in-flight request, refusing after Close. The
+// returned done must be called when the request finishes. The admit
+// mutex makes the closed check and wg.Add atomic with respect to
+// Close, so an Add can never run concurrently with a Wait that has
+// already observed a drained counter (a documented WaitGroup misuse).
+func (s *Service) begin() (done func(), err error) {
+	s.admit.Lock()
+	defer s.admit.Unlock()
+	if s.isClosed() {
+		return nil, ErrShuttingDown
+	}
+	s.wg.Add(1)
+	return s.wg.Done, nil
 }
 
 // FlushCache drops every cached result (operational hook; also used by
@@ -298,11 +321,11 @@ func algoFromRequest(name string, sizes, bounds []int64, deps [][]int64) (*uda.A
 // coordinates, translated back to the caller's axis order.
 func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, CacheStatus, error) {
 	s.met.mapRequests.Add(1)
-	if s.isClosed() {
-		return nil, "", ErrShuttingDown
+	done, err := s.begin()
+	if err != nil {
+		return nil, "", err
 	}
-	s.wg.Add(1)
-	defer s.wg.Done()
+	defer done()
 
 	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
 	if err != nil {
@@ -315,9 +338,9 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 	if dims < 1 || dims >= algo.Dim() {
 		return nil, "", badRequest("service: array dimensionality %d out of range [1, %d]", dims, algo.Dim()-1)
 	}
-	if dims > 1 && algo.Set.Size() > maxIndexPoints {
+	if dims > 1 && algo.Set.SizeExceeds(maxIndexPoints) {
 		// Multi-row processor counting enumerates the index set.
-		return nil, "", badRequest("service: index set has %d points, limit for dims > 1 is %d", algo.Set.Size(), maxIndexPoints)
+		return nil, "", badRequest("service: index set exceeds %d points, the limit for dims > 1", maxIndexPoints)
 	}
 	if req.MaxEntry < 0 || req.WireWeight < 0 || req.MaxCost < 0 {
 		return nil, "", badRequest("service: max_entry, wire_weight and max_cost must be ≥ 0")
@@ -330,41 +353,72 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 		return buildMapResponse(algo, canon, key, dims, v.(*schedule.JointResult)), CacheHit, nil
 	}
 
-	v, err, leader := s.flights.Do(ctx, key, func() (any, error) {
-		release, err := s.acquire(ctx)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
-		// An earlier flight may have landed between our cache lookup
-		// and taking flight leadership — don't search twice.
-		if v, ok := s.cache.Get(key); ok {
-			return v, nil
-		}
-		s.met.searches.Add(1)
-		opts := &schedule.SpaceOptions{
-			MaxEntry:   req.MaxEntry,
-			WireWeight: req.WireWeight,
-			Schedule:   schedule.Options{MaxCost: req.MaxCost, Workers: s.cfg.SearchWorkers},
-		}
-		start := time.Now()
-		res, err := s.searchJoint(ctx, canon.Algo, dims, opts)
-		s.met.observeSearch(time.Since(start))
-		if err != nil {
-			return nil, err
-		}
-		s.cache.Add(key, res)
-		return res, nil
+	// The flight context — not the request context — drives the search:
+	// it stays alive as long as any waiter (this request or one that
+	// joined the flight) still wants the result.
+	v, err, leader := s.flights.Do(ctx, key, func(fctx context.Context) (any, error) {
+		return s.runSearch(fctx, key, canon, dims, req)
 	})
+	if err != nil {
+		status := CacheShared
+		if leader {
+			status = CacheMiss
+			s.met.cacheMisses.Add(1)
+		}
+		return nil, status, err
+	}
+	out := v.(*flightOutcome)
 	status := CacheShared
-	if leader {
+	switch {
+	case leader && out.fromCache:
+		// The flight landed on an already-cached result (another
+		// flight completed between our cache lookup and leadership) —
+		// report it as the hit it is.
+		status = CacheHit
+		s.met.cacheHits.Add(1)
+	case leader:
 		status = CacheMiss
 		s.met.cacheMisses.Add(1)
 	}
+	return buildMapResponse(algo, canon, key, dims, out.res), status, nil
+}
+
+// flightOutcome is what a map flight resolves to: the canonical search
+// result, plus whether it came from the cache rather than a search.
+type flightOutcome struct {
+	res       *schedule.JointResult
+	fromCache bool
+}
+
+// runSearch is the body of a map flight: acquire a pool slot,
+// re-check the cache, search in canonical coordinates, cache the
+// result. ctx is the flight context — cancelled only when every
+// waiter on this flight has detached.
+func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, dims int, req *MapRequest) (*flightOutcome, error) {
+	release, err := s.acquire(ctx)
 	if err != nil {
-		return nil, status, err
+		return nil, err
 	}
-	return buildMapResponse(algo, canon, key, dims, v.(*schedule.JointResult)), status, nil
+	defer release()
+	// An earlier flight may have landed between our cache lookup
+	// and taking flight leadership — don't search twice.
+	if v, ok := s.cache.Get(key); ok {
+		return &flightOutcome{res: v.(*schedule.JointResult), fromCache: true}, nil
+	}
+	s.met.searches.Add(1)
+	opts := &schedule.SpaceOptions{
+		MaxEntry:   req.MaxEntry,
+		WireWeight: req.WireWeight,
+		Schedule:   schedule.Options{MaxCost: req.MaxCost, Workers: s.cfg.SearchWorkers},
+	}
+	start := time.Now()
+	res, err := s.searchJoint(ctx, canon.Algo, dims, opts)
+	s.met.observeSearch(time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Add(key, res)
+	return &flightOutcome{res: res}, nil
 }
 
 // buildMapResponse translates a canonical-coordinate result into the
@@ -423,17 +477,17 @@ type ConflictResponse struct {
 // Conflict decides conflict-freeness of a mapping matrix.
 func (s *Service) Conflict(ctx context.Context, req *ConflictRequest) (*ConflictResponse, error) {
 	s.met.conflictRequests.Add(1)
-	if s.isClosed() {
-		return nil, ErrShuttingDown
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
 	}
-	s.wg.Add(1)
-	defer s.wg.Done()
+	defer done()
 
 	set := uda.IndexSet{Upper: append(intmat.Vector{}, req.Bounds...)}
 	if err := set.Validate(); err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
-	if set.Dim() > maxRequestDim || set.Size() > maxIndexPoints {
+	if set.Dim() > maxRequestDim || set.SizeExceeds(maxIndexPoints) {
 		return nil, badRequest("service: index set too large (dim ≤ %d, points ≤ %d)", maxRequestDim, maxIndexPoints)
 	}
 	rows := req.T
@@ -495,18 +549,18 @@ type SimulateResponse struct {
 // Simulate runs a mapping through the systolic simulator.
 func (s *Service) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
 	s.met.simulateRequests.Add(1)
-	if s.isClosed() {
-		return nil, ErrShuttingDown
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
 	}
-	s.wg.Add(1)
-	defer s.wg.Done()
+	defer done()
 
 	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
 	if err != nil {
 		return nil, err
 	}
-	if algo.Set.Size() > maxIndexPoints {
-		return nil, badRequest("service: index set has %d points, simulation limit is %d", algo.Set.Size(), maxIndexPoints)
+	if algo.Set.SizeExceeds(maxIndexPoints) {
+		return nil, badRequest("service: index set exceeds the simulation limit of %d points", maxIndexPoints)
 	}
 	sm := intmat.New(0, algo.Dim())
 	if len(req.S) > 0 {

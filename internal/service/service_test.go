@@ -3,9 +3,13 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
 )
 
 func TestLRUCacheEvictsOldest(t *testing.T) {
@@ -45,7 +49,7 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		leaderV, _, _ = g.Do(context.Background(), "k", func() (any, error) {
+		leaderV, _, _ = g.Do(context.Background(), "k", func(context.Context) (any, error) {
 			<-gate
 			return 42, nil
 		})
@@ -65,7 +69,7 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		followerV, _, followerLeader = g.Do(context.Background(), "k", func() (any, error) {
+		followerV, _, followerLeader = g.Do(context.Background(), "k", func(context.Context) (any, error) {
 			t.Error("follower executed fn")
 			return nil, nil
 		})
@@ -90,21 +94,107 @@ func TestFlightGroupFollowerHonorsContext(t *testing.T) {
 	g := newFlightGroup()
 	gate := make(chan struct{})
 	defer close(gate)
-	go g.Do(context.Background(), "k", func() (any, error) { <-gate; return nil, nil })
+	go g.Do(context.Background(), "k", func(context.Context) (any, error) { <-gate; return nil, nil })
+	waitForFlight(t, g, "k")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, leader := g.Do(ctx, "k", func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) || leader {
+		t.Errorf("detached follower: err = %v, leader = %v", err, leader)
+	}
+}
+
+// waitForFlight polls until key has an open flight.
+func waitForFlight(t *testing.T, g *flightGroup, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
 	for {
 		g.mu.Lock()
-		_, inFlight := g.calls["k"]
+		_, inFlight := g.calls[key]
 		g.mu.Unlock()
 		if inFlight {
-			break
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %q never opened", key)
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
+}
+
+// TestFlightGroupFollowerSurvivesLeaderCancel: a follower with a
+// healthy context must get the real result even when the leader's
+// context ends mid-flight — the flight detaches from the leader rather
+// than poisoning its followers with the leader's context error.
+func TestFlightGroupFollowerSurvivesLeaderCancel(t *testing.T) {
+	g := newFlightGroup()
+	joined := make(chan struct{})
+	g.onJoin = func() { close(joined) }
+	gate := make(chan struct{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(leaderCtx, "k", func(fctx context.Context) (any, error) {
+			select {
+			case <-gate:
+				return 7, nil
+			case <-fctx.Done():
+				return nil, fctx.Err()
+			}
+		})
+		leaderErr <- err
+	}()
+	waitForFlight(t, g, "k")
+
+	type res struct {
+		v   any
+		err error
+	}
+	followerRes := make(chan res, 1)
+	go func() {
+		v, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			t.Error("follower executed fn")
+			return nil, nil
+		})
+		followerRes <- res{v, err}
+	}()
+	<-joined
+
+	// The leader detaches with its own context error...
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("detached leader: err = %v", err)
+	}
+	// ...while the flight keeps running and lands for the follower.
+	close(gate)
+	r := <-followerRes
+	if r.err != nil || r.v != 7 {
+		t.Errorf("follower after leader cancel: v = %v, err = %v, want 7, nil", r.v, r.err)
+	}
+}
+
+// TestFlightGroupLastWaiterCancelsFlight: when every waiter has
+// detached, the flight context is cancelled so fn stops doing work
+// nobody will read.
+func TestFlightGroupLastWaiterCancelsFlight(t *testing.T) {
+	g := newFlightGroup()
+	fnDone := make(chan error, 1)
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	_, err, leader := g.Do(ctx, "k", func() (any, error) { return nil, nil })
-	if !errors.Is(err, context.Canceled) || leader {
-		t.Errorf("detached follower: err = %v, leader = %v", err, leader)
+	go g.Do(ctx, "k", func(fctx context.Context) (any, error) {
+		<-fctx.Done()
+		fnDone <- fctx.Err()
+		return nil, fctx.Err()
+	})
+	waitForFlight(t, g, "k")
+	cancel() // sole waiter leaves → flight context must end
+	select {
+	case err := <-fnDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("flight context err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context never cancelled after last waiter left")
 	}
 }
 
@@ -195,11 +285,92 @@ func TestMapValidation(t *testing.T) {
 		{"ragged deps", MapRequest{Bounds: []int64{2, 2}, Dependencies: [][]int64{{1}}}},
 		{"zero dep", MapRequest{Bounds: []int64{2, 2}, Dependencies: [][]int64{{0, 0}}}},
 		{"huge bound", MapRequest{Bounds: []int64{maxBound + 1}, Dependencies: [][]int64{{1}}}},
+		// ∏(μ_i+1) = 2^64 wraps an int64 to 0 — the guard must reject
+		// by saturation, not by trusting the wrapped product.
+		{"overflowing index set", MapRequest{
+			Bounds:       []int64{65535, 65535, 65535, 65535},
+			Dependencies: [][]int64{{1, 0, 0, 0}},
+			Dims:         2,
+		}},
 	}
 	for _, c := range cases {
 		var bad *BadRequestError
 		if _, _, err := s.Map(context.Background(), &c.req); !errors.As(err, &bad) {
 			t.Errorf("%s: err = %v, want BadRequestError", c.name, err)
 		}
+	}
+}
+
+// TestSizeGuardsRejectOverflow: the point-count ceilings of Conflict
+// and Simulate must hold even when ∏(μ_i+1) wraps int64 (here 2^64 → 0,
+// which a plain comparison against the limit would wave through).
+func TestSizeGuardsRejectOverflow(t *testing.T) {
+	s := New(Config{Pool: 1})
+	defer s.Close()
+	overflow := []int64{65535, 65535, 65535, 65535}
+
+	var bad *BadRequestError
+	_, err := s.Conflict(context.Background(), &ConflictRequest{
+		Bounds: overflow,
+		T:      [][]int64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}},
+	})
+	if !errors.As(err, &bad) {
+		t.Errorf("Conflict on overflowing bounds: err = %v, want BadRequestError", err)
+	}
+	_, err = s.Simulate(context.Background(), &SimulateRequest{
+		Bounds:       overflow,
+		Dependencies: [][]int64{{1, 0, 0, 0}},
+		S:            [][]int64{{1, 0, 0, 0}},
+		Pi:           []int64{1, 1, 1, 1},
+	})
+	if !errors.As(err, &bad) {
+		t.Errorf("Simulate on overflowing bounds: err = %v, want BadRequestError", err)
+	}
+}
+
+// TestRunSearchReportsCacheLanding: a flight that finds its key already
+// cached (another flight landed between the caller's cache lookup and
+// taking leadership) must report fromCache so Map labels it a hit, not
+// a miss.
+func TestRunSearchReportsCacheLanding(t *testing.T) {
+	s := New(Config{Pool: 1, SearchWorkers: 1})
+	defer s.Close()
+	req := &MapRequest{Algorithm: "matmul", Sizes: []int64{3}, Dims: 1}
+
+	// Populate the cache with a genuine search…
+	if _, status, err := s.Map(context.Background(), req); err != nil || status != CacheMiss {
+		t.Fatalf("cold Map: status = %v, err = %v", status, err)
+	}
+	hits, misses := s.met.cacheHits.Load(), s.met.cacheMisses.Load()
+
+	// …then drive the flight body directly with the search engine
+	// booby-trapped: it must come back from the cache without searching.
+	s.searchJoint = func(context.Context, *uda.Algorithm, int, *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		t.Error("runSearch searched despite a cached result")
+		return nil, errors.New("unreachable")
+	}
+	algo, err := algoFromRequest(req.Algorithm, req.Sizes, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := Canonicalize(algo)
+	key := fmt.Sprintf("%s|dims=%d|me=%d|ww=%d|mc=%d", canon.Key, 1, 0, 0, 0)
+	out, err := s.runSearch(context.Background(), key, canon, 1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.fromCache || out.res == nil {
+		t.Errorf("outcome = {res: %v, fromCache: %v}, want cached result", out.res, out.fromCache)
+	}
+
+	// And end to end, the whole Map path counts that landing as a hit.
+	if _, status, err := s.Map(context.Background(), req); err != nil || status != CacheHit {
+		t.Errorf("warm Map: status = %v, err = %v, want hit", status, err)
+	}
+	if h := s.met.cacheHits.Load(); h != hits+1 {
+		t.Errorf("cacheHits = %d, want %d", h, hits+1)
+	}
+	if m := s.met.cacheMisses.Load(); m != misses {
+		t.Errorf("cacheMisses = %d, want %d", m, misses)
 	}
 }

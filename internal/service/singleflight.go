@@ -6,10 +6,16 @@ import (
 )
 
 // flightGroup deduplicates concurrent work by key: the first caller of
-// a key (the leader) executes fn; callers arriving while the flight is
-// open wait for the leader's outcome instead of repeating the work.
-// Waiters honor their own context — a waiter whose context ends detaches
-// and returns the context error while the leader's work continues.
+// a key (the leader) opens the flight; callers arriving while it is
+// open wait for its outcome instead of repeating the work.
+//
+// The work itself runs in a dedicated goroutine under a flight context
+// that is detached from every caller: a waiter (the leader included)
+// whose own context ends detaches and returns its context error, while
+// the flight keeps running for the waiters that remain. Only when the
+// last waiter detaches is the flight context cancelled — so a follower
+// with a healthy deadline is never poisoned by a leader whose deadline
+// was short or whose client disconnected.
 //
 // This is a minimal, context-aware reimplementation of the well-known
 // singleflight pattern (the module is dependency-free by design).
@@ -23,42 +29,67 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{} // closed when val/err are final
-	val  any
-	err  error
+	done    chan struct{} // closed when val/err are final
+	val     any
+	err     error
+	waiters int                // callers still waiting; guarded by flightGroup.mu
+	cancel  context.CancelFunc // cancels the flight context
 }
 
 func newFlightGroup() *flightGroup {
 	return &flightGroup{calls: make(map[string]*flightCall)}
 }
 
-// Do executes fn for key, deduplicating concurrent callers. The leader
-// runs fn in its own goroutine (and under its own context, captured by
-// fn); followers block until the flight completes or their ctx ends.
-// leader reports whether this caller executed fn itself.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (v any, err error, leader bool) {
+// Do executes fn for key, deduplicating concurrent callers. fn runs in
+// its own goroutine under a flight context detached from ctx; the
+// flight context is cancelled when the last waiter detaches, so fn
+// must honor it for abandoned work to stop. leader reports whether
+// this caller opened the flight (and so executed fn).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, err error, leader bool) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
+		c.waiters++
 		g.mu.Unlock()
 		if g.onJoin != nil {
 			g.onJoin()
 		}
-		select {
-		case <-c.done:
-			return c.val, c.err, false
-		case <-ctx.Done():
-			return nil, ctx.Err(), false
-		}
+		return g.wait(ctx, c, false)
 	}
-	c := &flightCall{done: make(chan struct{})}
+	// WithoutCancel keeps ctx's values but drops its deadline and
+	// cancellation: the flight outlives any individual caller.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	go func() {
+		v, err := fn(fctx)
+		g.mu.Lock()
+		c.val, c.err = v, err
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	return g.wait(ctx, c, true)
+}
 
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.val, c.err, true
+// wait blocks until the flight lands or ctx ends. A waiter that
+// detaches decrements the flight's refcount and, as the last one out,
+// cancels the flight context so fn stops burning resources on a result
+// nobody will read.
+func (g *flightGroup) wait(ctx context.Context, c *flightCall, leader bool) (any, error, bool) {
+	select {
+	case <-c.done:
+		return c.val, c.err, leader
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		g.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, ctx.Err(), leader
+	}
 }

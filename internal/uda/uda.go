@@ -76,13 +76,33 @@ func (s IndexSet) Contains(j intmat.Vector) bool {
 	return true
 }
 
-// Size returns |J| = ∏(μ_i + 1).
+// Size returns |J| = ∏(μ_i + 1). The product is computed in int64 and
+// can wrap for very large bounds; callers enforcing a ceiling must use
+// SizeExceeds, which saturates instead of overflowing.
 func (s IndexSet) Size() int64 {
 	size := int64(1)
 	for _, u := range s.Upper {
 		size *= u + 1
 	}
 	return size
+}
+
+// SizeExceeds reports whether |J| = ∏(μ_i + 1) > limit. Unlike Size,
+// the partial product cannot wrap: it answers true as soon as the
+// running product would pass limit, for any μ_i up to MaxInt64.
+func (s IndexSet) SizeExceeds(limit int64) bool {
+	if limit < 1 {
+		return true // |J| ≥ 1 always
+	}
+	size := int64(1)
+	for _, u := range s.Upper {
+		f := u + 1
+		if f <= 0 || size > limit/f {
+			return true
+		}
+		size *= f
+	}
+	return false
 }
 
 // Each calls f for every index point in lexicographic order, stopping

@@ -2,6 +2,7 @@ package uda
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -83,6 +84,33 @@ func TestSizeAndPoints(t *testing.T) {
 		seen[k] = true
 		if !s.Contains(p) {
 			t.Errorf("point %v outside set", p)
+		}
+	}
+}
+
+func TestSizeExceeds(t *testing.T) {
+	cases := []struct {
+		upper []int64
+		limit int64
+		want  bool
+	}{
+		{[]int64{1, 2}, 6, false},  // |J| = 6, exactly at the limit
+		{[]int64{1, 2}, 5, true},   // one past it
+		{[]int64{1, 2}, 0, true},   // |J| ≥ 1 beats any non-positive limit
+		{[]int64{1, 2}, -1, true},
+		// ∏(μ_i+1) = 65536^4 = 2^64 wraps int64 to exactly 0 — Size lies,
+		// SizeExceeds must not.
+		{[]int64{65535, 65535, 65535, 65535}, 1 << 20, true},
+		// μ_i+1 itself wraps negative.
+		{[]int64{math.MaxInt64, 1}, math.MaxInt64, true},
+		// Large but in-range products still compare exactly.
+		{[]int64{math.MaxInt64 - 1}, math.MaxInt64, false},
+		{[]int64{1 << 30, 1 << 30}, math.MaxInt64, false},
+	}
+	for _, c := range cases {
+		s := Box(c.upper...)
+		if got := s.SizeExceeds(c.limit); got != c.want {
+			t.Errorf("Box(%v).SizeExceeds(%d) = %v, want %v", c.upper, c.limit, got, c.want)
 		}
 	}
 }
