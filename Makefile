@@ -1,21 +1,27 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+BENCHTIME ?= 1x
 
-.PHONY: all check build test vet bench race race-hot fuzz cover experiments examples golden serve clean
+.PHONY: all check build test vet fmtcheck bench race race-hot fuzz cover experiments examples golden serve clean
 
 all: build vet test
 
-# The default pre-commit gate: build, vet, full tests, plus the race
-# detector on the concurrent search packages (the full -race run is
-# `make race`).
-check: build vet test race-hot
+# The default pre-commit gate: build, vet, formatting, full tests, plus
+# the race detector on the concurrent search packages (the full -race
+# run is `make race`).
+check: build vet fmtcheck test race-hot
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any tracked Go file is not gofmt-clean.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -24,10 +30,13 @@ race:
 	$(GO) test -race ./...
 
 race-hot:
-	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/...
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/verify/...
 
+# Benchmarks, normalized to JSON comparable against BENCH_baseline.json
+# (regenerate the baseline with `make bench BENCHTIME=2s > BENCH_baseline.json`
+# on a quiet machine).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	@$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./internal/tools/benchjson
 
 # Short fuzz campaigns on every fuzz target (seed corpora always run
 # under plain `make test`).
@@ -37,6 +46,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzHNFInvariants -fuzztime=30s ./internal/intmat/
 	$(GO) test -fuzz=FuzzRowNullBasis -fuzztime=30s ./internal/intmat/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/loopnest/
+	$(GO) test -fuzz=FuzzVerifyVsBruteForce -fuzztime=30s ./internal/verify/
+	$(GO) test -fuzz=FuzzClosedFormGamma -fuzztime=30s ./internal/verify/
 
 cover:
 	$(GO) test -cover ./...

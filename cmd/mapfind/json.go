@@ -7,6 +7,7 @@ import (
 	"lodim/internal/intmat"
 	"lodim/internal/schedule"
 	"lodim/internal/uda"
+	"lodim/internal/verify"
 )
 
 // jsonResult is the machine-readable output of mapfind -json.
@@ -24,6 +25,10 @@ type jsonResult struct {
 	Candidates int       `json:"candidates"`
 	Conflict   string    `json:"conflict_certificate"`
 	Machine    *jsonMach `json:"machine,omitempty"`
+	// Certificate is the independent verification engine's output when
+	// -verify is set; it is emitted even when verification rejects the
+	// mapping (the process then exits with status 4).
+	Certificate *verify.Certificate `json:"certificate,omitempty"`
 }
 
 type jsonMach struct {
@@ -51,7 +56,7 @@ type jsonJointResult struct {
 	Pruned     int   `json:"pruned"`
 }
 
-func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult) error {
+func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult, cert *verify.Certificate) error {
 	out := jsonJointResult{
 		jsonResult: jsonResult{
 			Algorithm:  algo.Name,
@@ -72,6 +77,7 @@ func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult) 
 		Cost:       res.Cost,
 		Pruned:     res.Pruned,
 	}
+	out.Certificate = cert
 	if d := res.ScheduleResult.Decomp; d != nil {
 		out.Machine = &jsonMach{
 			K:            matrixRows(d.K),
@@ -85,7 +91,7 @@ func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult) 
 	return enc.Encode(out)
 }
 
-func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result) error {
+func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result, cert *verify.Certificate) error {
 	out := jsonResult{
 		Algorithm:  algo.Name,
 		Dim:        algo.Dim(),
@@ -100,6 +106,7 @@ func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result) error {
 		Candidates: res.Candidates,
 		Conflict:   res.Conflict.Method,
 	}
+	out.Certificate = cert
 	if res.Decomp != nil {
 		out.Machine = &jsonMach{
 			K:            matrixRows(res.Decomp.K),

@@ -15,6 +15,12 @@
 //
 //	mapfind -algo transitive-closure -mu 4 -joint -dims 1 -workers 4
 //
+// With -verify the winning mapping is re-certified by the independent
+// verification engine (internal/verify); a rejected certificate is
+// printed (or embedded in the -json output) and the process exits 4:
+//
+//	mapfind -algo matmul -mu 4 -s "1,1,-1" -verify -json
+//
 // Instead of a named algorithm, a loop-nest statement can be analyzed
 // directly (the RAB front end), optionally expanded to bit level:
 //
@@ -36,6 +42,7 @@ import (
 	"lodim/internal/loopnest"
 	"lodim/internal/schedule"
 	"lodim/internal/uda"
+	"lodim/internal/verify"
 )
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 		vars     = flag.String("vars", "", "loop variables for -stmt, comma separated")
 		bits     = flag.Int64("bits", 0, "bit-expand the algorithm with the given bit bound (0 = word level)")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
+		verifyW  = flag.Bool("verify", false, "certify the winning mapping with the independent verification engine; a rejected certificate exits with status 4")
 		algoFile = flag.String("algo-file", "", "load a custom algorithm from a JSON file (see uda JSON schema)")
 		joint    = flag.Bool("joint", false, "solve Problem 6.2: search S and Π jointly (ignores -s and -engine)")
 		dims     = flag.Int("dims", 1, "array dimensionality for -joint")
@@ -62,6 +70,7 @@ func main() {
 		machine: *machine, maxCost: *maxCost, stmt: *stmt, vars: *vars, bits: *bits,
 		json: *jsonOut, algoFile: *algoFile,
 		joint: *joint, dims: *dims, workers: *workers, timeout: *timeout,
+		verify: *verifyW,
 	}); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			if *jsonOut {
@@ -69,6 +78,11 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, "mapfind:", err)
 			os.Exit(exitTimeout)
+		}
+		var fe *verify.FailureError
+		if errors.As(err, &fe) {
+			fmt.Fprintln(os.Stderr, "mapfind:", err)
+			os.Exit(exitVerify)
 		}
 		fmt.Fprintln(os.Stderr, "mapfind:", err)
 		os.Exit(1)
@@ -78,6 +92,12 @@ func main() {
 // exitTimeout is the exit status for a search ended by -timeout, so
 // scripts can tell "deadline hit" from ordinary failures.
 const exitTimeout = 3
+
+// exitVerify is the exit status when -verify rejects the winning
+// mapping: the search produced a result the independent certificate
+// checker refutes. The certificate (with its named failing witness) is
+// still emitted before exiting.
+const exitVerify = 4
 
 type options struct {
 	algo, sizes, s, engine, machine string
@@ -89,6 +109,38 @@ type options struct {
 	joint                           bool
 	dims, workers                   int
 	timeout                         time.Duration
+	verify                          bool
+}
+
+// certify runs the independent verification engine on a search winner.
+// The certificate is always returned for emission; the error is non-nil
+// when the certificate is rejected (or the engine itself failed), so
+// callers emit first and propagate second.
+func certify(m *schedule.Mapping) (*verify.Certificate, error) {
+	cert, err := verify.VerifyMapping(m, nil)
+	if err != nil {
+		return nil, fmt.Errorf("verification engine: %w", err)
+	}
+	return cert, cert.Err()
+}
+
+// printCertificate renders the text-mode witness summary.
+func printCertificate(cert *verify.Certificate) {
+	if cert == nil {
+		return
+	}
+	if !cert.Valid {
+		fmt.Printf("verification: REJECTED — %s witness failed: %s\n", cert.FailedWitness, cert.FailedDetail)
+		return
+	}
+	fmt.Printf("verification: certificate valid — conflict-free, t = %d, %s (lower bound %d via %s)\n",
+		cert.TotalTime, cert.Optimality, cert.LowerBound, cert.LowerBoundKind)
+	if cert.BruteForce != nil && cert.BruteForce.Ran {
+		fmt.Printf("  brute-force cross-check agrees (%d candidate vectors)\n", cert.BruteForce.Points)
+	}
+	if cert.Simulation != nil && cert.Simulation.Ran {
+		fmt.Printf("  simulation cross-check agrees (%d cycles, %d conflicts)\n", cert.Simulation.Cycles, cert.Simulation.Conflicts)
+	}
 }
 
 // run keeps the original positional signature used by the tests.
@@ -154,7 +206,7 @@ func run2(o options) error {
 	if o.joint {
 		return solveJoint(ctx, algo, o)
 	}
-	return solve(ctx, algo, o.s, o.engine, o.machine, o.maxCost, o.json)
+	return solve(ctx, algo, o)
 }
 
 // solveJoint runs the Problem 6.2 joint (S, Π) search.
@@ -174,8 +226,18 @@ func solveJoint(ctx context.Context, algo *uda.Algorithm, o options) error {
 	if err != nil {
 		return err
 	}
+	var cert *verify.Certificate
+	var certErr error
+	if o.verify {
+		if cert, certErr = certify(res.Mapping); cert == nil {
+			return certErr
+		}
+	}
 	if o.json {
-		return emitJointJSON(os.Stdout, algo, res)
+		if err := emitJointJSON(os.Stdout, algo, res, cert); err != nil {
+			return err
+		}
+		return certErr
 	}
 	fmt.Printf("\noptimal space mapping S =\n%v\n", res.Mapping.S)
 	fmt.Printf("optimal schedule Π° = %v\n", res.Mapping.Pi)
@@ -184,19 +246,21 @@ func solveJoint(ctx context.Context, algo *uda.Algorithm, o options) error {
 	fmt.Printf("conflict certificate: %s\n", res.ScheduleResult.Conflict)
 	fmt.Printf("search: %d space candidates (%d pruned), %d schedule candidates for the winner\n",
 		res.Candidates, res.Pruned, res.ScheduleResult.Candidates)
-	return nil
+	printCertificate(cert)
+	return certErr
 }
 
-func solve(ctx context.Context, algo *uda.Algorithm, sSpec, engine, machineSpec string, maxCost int64, jsonOut bool) error {
-	s, err := cli.ParseMatrix(sSpec)
+func solve(ctx context.Context, algo *uda.Algorithm, o options) error {
+	jsonOut := o.json
+	s, err := cli.ParseMatrix(o.s)
 	if err != nil {
 		return err
 	}
-	m, err := cli.Machine(machineSpec)
+	m, err := cli.Machine(o.machine)
 	if err != nil {
 		return err
 	}
-	opts := &schedule.Options{Machine: m, MaxCost: maxCost}
+	opts := &schedule.Options{Machine: m, MaxCost: o.maxCost}
 
 	if !jsonOut {
 		fmt.Printf("algorithm: %s\n", algo)
@@ -204,7 +268,7 @@ func solve(ctx context.Context, algo *uda.Algorithm, sSpec, engine, machineSpec 
 	}
 
 	var res *schedule.Result
-	switch engine {
+	switch o.engine {
 	case "procedure":
 		res, err = schedule.FindOptimalContext(ctx, algo, s, opts)
 	case "ilp":
@@ -212,13 +276,23 @@ func solve(ctx context.Context, algo *uda.Algorithm, sSpec, engine, machineSpec 
 		// only the enumeration engines.
 		res, err = schedule.FindOptimalILP(algo, s, opts)
 	default:
-		return fmt.Errorf("unknown engine %q", engine)
+		return fmt.Errorf("unknown engine %q", o.engine)
 	}
 	if err != nil {
 		return err
 	}
+	var cert *verify.Certificate
+	var certErr error
+	if o.verify {
+		if cert, certErr = certify(res.Mapping); cert == nil {
+			return certErr
+		}
+	}
 	if jsonOut {
-		return emitJSON(os.Stdout, algo, res)
+		if err := emitJSON(os.Stdout, algo, res, cert); err != nil {
+			return err
+		}
+		return certErr
 	}
 	fmt.Printf("\noptimal schedule Π° = %v\n", res.Mapping.Pi)
 	fmt.Printf("total execution time t = %d (objective f = %d)\n", res.Time, res.Time-1)
@@ -228,5 +302,6 @@ func solve(ctx context.Context, algo *uda.Algorithm, sSpec, engine, machineSpec 
 		fmt.Printf("machine realization: K =\n%v\nbuffers per dependence: %v (total %d), single-hop: %v\n",
 			res.Decomp.K, res.Decomp.Buffers, res.Decomp.TotalBuffers(), res.Decomp.SingleHop())
 	}
-	return nil
+	printCertificate(cert)
+	return certErr
 }

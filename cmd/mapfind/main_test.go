@@ -155,6 +155,21 @@ func TestRunStatementErrors(t *testing.T) {
 	}
 }
 
+func TestRunVerifyAcceptsWinner(t *testing.T) {
+	// The search winner must satisfy its own independent certificate, in
+	// both engines and in the joint search.
+	for _, o := range []options{
+		{algo: "matmul", sizes: "4", s: "1,1,-1", engine: "procedure", machine: "none", verify: true},
+		{algo: "matmul", sizes: "3", s: "1,1,-1", engine: "ilp", machine: "none", verify: true},
+		{algo: "transitive-closure", sizes: "3", joint: true, dims: 1, workers: 2, machine: "none", verify: true},
+		{algo: "matmul", sizes: "3", s: "1,1,-1", engine: "procedure", machine: "none", verify: true, json: true},
+	} {
+		if err := run2(o); err != nil {
+			t.Errorf("%+v: %v", o, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := []struct {
 		name                            string

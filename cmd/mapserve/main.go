@@ -1,5 +1,6 @@
 // Command mapserve serves the joint (S, Π) mapping search, conflict
-// checking, and systolic simulation of this repository over HTTP.
+// checking, systolic simulation, and independent mapping certification
+// of this repository over HTTP.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	POST /v1/map       — time-optimal conflict-free joint mapping
 //	POST /v1/conflict  — conflict-freeness decision for a mapping matrix
 //	POST /v1/simulate  — cycle-accurate systolic simulation
+//	POST /v1/verify    — independent certificate for a given (S, Π)
 //	GET  /metrics      — Prometheus text metrics
 //	GET  /debug/vars   — expvar counters
 //	GET  /healthz      — liveness probe
@@ -26,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,61 +38,141 @@ import (
 	"lodim/internal/service"
 )
 
-func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		pool       = flag.Int("pool", 0, "max concurrent searches (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 64, "max requests waiting for a search slot before 429 (-1 = no queue)")
-		cacheSize  = flag.Int("cache", 1024, "canonical result cache size in entries")
-		workers    = flag.Int("workers", 0, "goroutines per joint search (0 = GOMAXPROCS)")
-		defTimeout = flag.Duration("timeout", 30*time.Second, "default per-request search deadline")
-		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "ceiling on request-supplied deadlines")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown grace period")
-	)
-	flag.Parse()
+// config is the parsed and validated command line.
+type config struct {
+	addr       string
+	pool       int
+	queue      int
+	cacheSize  int
+	workers    int
+	defTimeout time.Duration
+	maxTimeout time.Duration
+	drain      time.Duration
+}
 
+// parseFlags parses args (without the program name) into a validated
+// config. Kept apart from main so tests can drive the full flag surface
+// without exiting the process.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("mapserve", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.pool, "pool", 0, "max concurrent searches (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.queue, "queue", 64, "max requests waiting for a search slot before 429 (-1 = no queue)")
+	fs.IntVar(&cfg.cacheSize, "cache", 1024, "canonical result cache size in entries")
+	fs.IntVar(&cfg.workers, "workers", 0, "goroutines per joint search (0 = GOMAXPROCS)")
+	fs.DurationVar(&cfg.defTimeout, "timeout", 30*time.Second, "default per-request search deadline")
+	fs.DurationVar(&cfg.maxTimeout, "max-timeout", 2*time.Minute, "ceiling on request-supplied deadlines")
+	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown grace period")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if cfg.addr == "" {
+		return nil, errors.New("-addr must not be empty")
+	}
+	if cfg.pool < 0 {
+		return nil, fmt.Errorf("-pool must be >= 0, got %d", cfg.pool)
+	}
+	if cfg.queue < -1 {
+		return nil, fmt.Errorf("-queue must be >= -1, got %d", cfg.queue)
+	}
+	if cfg.cacheSize < 0 {
+		return nil, fmt.Errorf("-cache must be >= 0, got %d", cfg.cacheSize)
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", cfg.workers)
+	}
+	if cfg.defTimeout <= 0 {
+		return nil, fmt.Errorf("-timeout must be positive, got %s", cfg.defTimeout)
+	}
+	if cfg.maxTimeout < cfg.defTimeout {
+		return nil, fmt.Errorf("-max-timeout (%s) must be >= -timeout (%s)", cfg.maxTimeout, cfg.defTimeout)
+	}
+	if cfg.drain < 0 {
+		return nil, fmt.Errorf("-drain must be >= 0, got %s", cfg.drain)
+	}
+	return cfg, nil
+}
+
+// run starts the server and blocks until a signal arrives on sigCh or
+// the listener fails. ready (optional) is called with the bound address
+// once the listener is up — with "-addr 127.0.0.1:0" this is how tests
+// learn the ephemeral port. onService (optional) receives the Service
+// before serving starts; main uses it to publish expvar, which must
+// stay out of run so tests can start many instances without
+// duplicate-Publish panics.
+func run(cfg *config, sigCh <-chan os.Signal, ready func(addr string), onService func(*service.Service)) error {
 	svc := service.New(service.Config{
-		Pool:           *pool,
-		Queue:          *queue,
-		CacheSize:      *cacheSize,
-		SearchWorkers:  *workers,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		Pool:           cfg.pool,
+		Queue:          cfg.queue,
+		CacheSize:      cfg.cacheSize,
+		SearchWorkers:  cfg.workers,
+		DefaultTimeout: cfg.defTimeout,
+		MaxTimeout:     cfg.maxTimeout,
 	})
-	// Expvar publication lives here, not in the service, so tests can
-	// build many Service instances without duplicate-Publish panics.
-	expvar.Publish("mapserve", expvar.Func(func() any { return svc.Metrics().Snapshot() }))
+	if onService != nil {
+		onService(svc)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(svc))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("mapserve: listening on %s (pool %d, queue %d, cache %d)", *addr, *pool, *queue, *cacheSize)
-		errCh <- srv.ListenAndServe()
-	}()
-
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "mapserve:", err)
-		os.Exit(1)
-	case sig := <-sigCh:
-		log.Printf("mapserve: %s received, draining for up to %s", sig, *drain)
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	log.Printf("mapserve: listening on %s (pool %d, queue %d, cache %d)", ln.Addr(), cfg.pool, cfg.queue, cfg.cacheSize)
+	if ready != nil {
+		ready(ln.Addr().String())
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case sig := <-sigCh:
+		log.Printf("mapserve: %s received, draining for up to %s", sig, cfg.drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mapserve: shutdown: %v", err)
 	}
 	svc.Close()
 	log.Printf("mapserve: bye")
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "mapserve:", err)
+		os.Exit(2)
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	if err := run(cfg, sigCh, nil, func(svc *service.Service) {
+		// Expvar publication lives here, not in the service, so tests can
+		// build many Service instances without duplicate-Publish panics.
+		expvar.Publish("mapserve", expvar.Func(func() any { return svc.Metrics().Snapshot() }))
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "mapserve:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.queue != 64 || cfg.cacheSize != 1024 {
+		t.Errorf("defaults off: %+v", cfg)
+	}
+	if cfg.defTimeout != 30*time.Second || cfg.maxTimeout != 2*time.Minute || cfg.drain != 10*time.Second {
+		t.Errorf("duration defaults off: %+v", cfg)
+	}
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"empty addr", []string{"-addr", ""}},
+		{"negative pool", []string{"-pool", "-1"}},
+		{"queue below -1", []string{"-queue", "-2"}},
+		{"negative cache", []string{"-cache", "-5"}},
+		{"negative workers", []string{"-workers", "-1"}},
+		{"zero timeout", []string{"-timeout", "0s"}},
+		{"max below default", []string{"-timeout", "1m", "-max-timeout", "10s"}},
+		{"negative drain", []string{"-drain", "-1s"}},
+		{"positional junk", []string{"extra"}},
+		{"unknown flag", []string{"-no-such-flag"}},
+	}
+	for _, c := range cases {
+		if _, err := parseFlags(c.args); err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.args)
+		}
+	}
+}
+
+// TestRunServesAndShutsDown boots the real server on an ephemeral port,
+// exercises a request end to end, then drains it via the signal path —
+// the same lifecycle main drives.
+func TestRunServesAndShutsDown(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-pool", "1", "-drain", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(cfg, sigCh, func(addr string) { addrCh <- addr }, nil)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"algorithm":"matmul","sizes":[2],"s":[[1,1,-1]],"pi":[1,2,1]}`)
+	resp, err = http.Post("http://"+addr+"/v1/verify", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("verify over the real server: %d %s", resp.StatusCode, data)
+	}
+	var vr struct {
+		Valid bool `json:"valid"`
+	}
+	if err := json.Unmarshal(data, &vr); err != nil || !vr.Valid {
+		t.Errorf("verify response: valid=%v err=%v (%s)", vr.Valid, err, data)
+	}
+
+	sigCh <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestRunListenFailure: a taken port must surface as an error, not a
+// hang.
+func TestRunListenFailure(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(cfg, sigCh, func(a string) { addrCh <- a }, nil) }()
+	addr := <-addrCh
+	defer func() {
+		sigCh <- syscall.SIGTERM
+		<-done
+	}()
+
+	taken, err := parseFlags([]string{"-addr", addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(taken, make(chan os.Signal), nil, nil); err == nil {
+		t.Error("second bind on one address succeeded")
+	}
+}

@@ -60,10 +60,10 @@ func TestKeyWith(t *testing.T) {
 func TestVecMapFastAndSlow(t *testing.T) {
 	m := NewVecMap[int](4)
 	m.Store(KeyFor(Vec(1, 2, 3)), 10)
-	m.Store(KeyFor(Vec(1, 2, 3), 9), 20)            // same vector, extra scalar
-	long := make(Vector, keyMaxLen+1)                // forces the slow path
+	m.Store(KeyFor(Vec(1, 2, 3), 9), 20) // same vector, extra scalar
+	long := make(Vector, keyMaxLen+1)    // forces the slow path
 	m.Store(KeyFor(long), 30)
-	m.Store(KeyFor(Vec(math.MaxInt32 + 1)), 40)      // overflow forces slow path
+	m.Store(KeyFor(Vec(math.MaxInt32+1)), 40) // overflow forces slow path
 
 	if v, ok := m.Load(KeyFor(Vec(1, 2, 3))); !ok || v != 10 {
 		t.Errorf("fast load = %d,%v want 10", v, ok)

@@ -141,6 +141,11 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 	}
 	found.Candidates = candidates
 	found.Method = "procedure-5.1"
+	if opts.SelfCheck {
+		if err := runSelfCheck(found.Mapping); err != nil {
+			return nil, err
+		}
+	}
 	return found, nil
 }
 

@@ -156,6 +156,13 @@ type Options struct {
 	// Machine; within equal time and buffers the enumeration order
 	// still decides.
 	MinimizeBuffers bool
+	// SelfCheck certifies the winning mapping through the independent
+	// verification engine before returning it; a certificate failure
+	// surfaces as an error instead of a wrong answer. The checker is
+	// registered by importing lodim/internal/verify (the mapping facade
+	// and internal/service do so); with no checker registered, a search
+	// with SelfCheck set fails rather than silently skipping the check.
+	SelfCheck bool
 }
 
 // Result is an optimizer's answer.

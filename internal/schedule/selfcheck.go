@@ -1,0 +1,46 @@
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The self-check hook decouples this package from the verification
+// engine: internal/verify must import schedule (it certifies Mappings
+// and replays them through internal/systolic), so schedule cannot
+// import verify back. Instead verify registers itself here from its
+// init, and Options.SelfCheck dispatches through the registered
+// function.
+var (
+	selfCheckMu sync.RWMutex
+	selfChecker func(*Mapping) error
+)
+
+// ErrNoSelfChecker reports that Options.SelfCheck was requested but no
+// verification engine registered itself. Import lodim/mapping or
+// lodim/internal/verify (even blank) to install one.
+var ErrNoSelfChecker = errors.New("schedule: SelfCheck requested but no verifier is registered (import lodim/internal/verify)")
+
+// RegisterSelfChecker installs the certification function used by
+// Options.SelfCheck. It is called from internal/verify's init; the
+// last registration wins.
+func RegisterSelfChecker(f func(*Mapping) error) {
+	selfCheckMu.Lock()
+	defer selfCheckMu.Unlock()
+	selfChecker = f
+}
+
+// runSelfCheck certifies m through the registered checker.
+func runSelfCheck(m *Mapping) error {
+	selfCheckMu.RLock()
+	f := selfChecker
+	selfCheckMu.RUnlock()
+	if f == nil {
+		return ErrNoSelfChecker
+	}
+	if err := f(m); err != nil {
+		return fmt.Errorf("schedule: self-check rejected the winning mapping: %w", err)
+	}
+	return nil
+}

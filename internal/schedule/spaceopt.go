@@ -176,6 +176,11 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 	}
 	best.Candidates = len(cands)
 	best.Pruned = int(prunedCount.Load())
+	if opts.Schedule.SelfCheck {
+		if err := runSelfCheck(best.Mapping); err != nil {
+			return nil, err
+		}
+	}
 	return best, nil
 }
 
@@ -281,6 +286,10 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 		// search also keeps the winner's Candidates count independent
 		// of worker scheduling.
 		schedOpts.Workers = 0
+		// Self-checking every inner winner would certify hundreds of
+		// losing candidates; only the final joint winner is certified
+		// (below, after selection).
+		schedOpts.SelfCheck = false
 		// Bound the inner search by the incumbent: anything strictly
 		// above the incumbent's time cannot win on the primary
 		// criterion, but ties must stay reachable for the cost
@@ -355,6 +364,11 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	}
 	best.Candidates = len(cands)
 	best.Pruned = int(prunedCount.Load())
+	if opts.Schedule.SelfCheck {
+		if err := runSelfCheck(best.Mapping); err != nil {
+			return nil, err
+		}
+	}
 	return best, nil
 }
 

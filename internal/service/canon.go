@@ -205,3 +205,69 @@ func (c *Canonical) MatrixToRequest(m *intmat.Matrix) *intmat.Matrix {
 	}
 	return out
 }
+
+// VectorToCanonical maps a request-coordinate vector into canonical
+// axis order — the inverse of VectorToRequest: out[i] = v[Perm[i]].
+func (c *Canonical) VectorToCanonical(v intmat.Vector) intmat.Vector {
+	out := make(intmat.Vector, len(v))
+	for i, ax := range c.Perm {
+		out[i] = v[ax]
+	}
+	return out
+}
+
+// MatrixToCanonical maps a request-coordinate matrix (columns indexed
+// by axes) into canonical axis order — the inverse of MatrixToRequest.
+func (c *Canonical) MatrixToCanonical(m *intmat.Matrix) *intmat.Matrix {
+	out := intmat.New(m.Rows(), m.Cols())
+	if m.Rows() == 0 {
+		return out
+	}
+	for i, ax := range c.Perm {
+		out.SetCol(i, m.Col(ax))
+	}
+	return out
+}
+
+// AxisToRequest translates a canonical axis index into the request's
+// axis numbering.
+func (c *Canonical) AxisToRequest(i int) int {
+	if i < 0 || i >= len(c.Perm) {
+		return i
+	}
+	return c.Perm[i]
+}
+
+// DepColumnPerm returns the column correspondence induced by the
+// canonicalization's column sort: canonical dependence column j is
+// request column perm[j] of d (the request's dependence matrix). When
+// several request columns are identical the assignment among them is
+// arbitrary — they are the same vector, so any choice is correct.
+func (c *Canonical) DepColumnPerm(d *intmat.Matrix) []int {
+	m := d.Cols()
+	enc := make([]string, m)
+	var b strings.Builder
+	for col := 0; col < m; col++ {
+		b.Reset()
+		for i, ax := range c.Perm {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatInt(d.At(ax, col), 10))
+		}
+		enc[col] = b.String()
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable insertion sort by encoding, mirroring sortedDepColumns so
+	// position j here holds the request column that became canonical
+	// column j.
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && enc[idx[j]] < enc[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

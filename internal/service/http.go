@@ -24,6 +24,7 @@ type errorBody struct {
 //	POST /v1/map       — joint (S, Π) mapping search
 //	POST /v1/conflict  — conflict-freeness decision
 //	POST /v1/simulate  — systolic simulation
+//	POST /v1/verify    — independent mapping certification
 //	GET  /metrics      — Prometheus text exposition
 //	GET  /healthz      — liveness probe
 func NewHandler(s *Service) http.Handler {
@@ -31,6 +32,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/map", s.handleMap)
 	mux.HandleFunc("POST /v1/conflict", s.handleConflict)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -142,6 +144,28 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.met.verifyRequests.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMS)
+	defer cancel()
+	resp, status, err := s.VerifyMapping(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if status != "" {
+		w.Header().Set("X-Mapserve-Cache", string(status))
+	}
+	// An invalid mapping is a definite answer, not an error: the body
+	// carries the certificate with its named failing witness.
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -20,6 +20,10 @@ type metrics struct {
 	mapRequests      atomic.Int64
 	conflictRequests atomic.Int64
 	simulateRequests atomic.Int64
+	verifyRequests   atomic.Int64
+
+	verifyCacheHits   atomic.Int64
+	verifyCacheMisses atomic.Int64
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -63,8 +67,11 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"map\"} %d\n", m.mapRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"conflict\"} %d\n", m.conflictRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"simulate\"} %d\n", m.simulateRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"verify\"} %d\n", m.verifyRequests.Load())
 	counter("mapserve_cache_hits_total", "Map requests answered from the canonical result cache.", m.cacheHits.Load())
 	counter("mapserve_cache_misses_total", "Map requests that required a search.", m.cacheMisses.Load())
+	counter("mapserve_verify_cache_hits_total", "Verify requests answered from the canonical certificate cache.", m.verifyCacheHits.Load())
+	counter("mapserve_verify_cache_misses_total", "Verify requests that ran the certification engine.", m.verifyCacheMisses.Load())
 	counter("mapserve_searches_total", "Joint (S, Pi) searches actually executed.", m.searches.Load())
 	counter("mapserve_singleflight_deduped_total", "Map requests that joined an identical in-progress search.", m.deduped.Load())
 	counter("mapserve_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
@@ -95,8 +102,11 @@ func (m *metrics) Snapshot() map[string]any {
 		"map_requests":         m.mapRequests.Load(),
 		"conflict_requests":    m.conflictRequests.Load(),
 		"simulate_requests":    m.simulateRequests.Load(),
+		"verify_requests":      m.verifyRequests.Load(),
 		"cache_hits":           m.cacheHits.Load(),
 		"cache_misses":         m.cacheMisses.Load(),
+		"verify_cache_hits":    m.verifyCacheHits.Load(),
+		"verify_cache_misses":  m.verifyCacheMisses.Load(),
 		"searches":             m.searches.Load(),
 		"singleflight_deduped": m.deduped.Load(),
 		"rejected":             m.rejected.Load(),

@@ -20,10 +20,10 @@ import (
 // simulation would enumerate unbounded state. Searches themselves are
 // additionally bounded by the per-request deadline.
 const (
-	maxRequestDim  = 12        // algorithm dimension n
-	maxRequestDeps = 64        // dependence count m
-	maxIndexPoints = 1 << 20   // |J| ceiling for simulate/conflict enumeration
-	maxBound       = 1 << 20   // single μ_i ceiling
+	maxRequestDim  = 12      // algorithm dimension n
+	maxRequestDeps = 64      // dependence count m
+	maxIndexPoints = 1 << 20 // |J| ceiling for simulate/conflict enumeration
+	maxBound       = 1 << 20 // single μ_i ceiling
 )
 
 // Config sizes the service.

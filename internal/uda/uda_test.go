@@ -94,9 +94,9 @@ func TestSizeExceeds(t *testing.T) {
 		limit int64
 		want  bool
 	}{
-		{[]int64{1, 2}, 6, false},  // |J| = 6, exactly at the limit
-		{[]int64{1, 2}, 5, true},   // one past it
-		{[]int64{1, 2}, 0, true},   // |J| ≥ 1 beats any non-positive limit
+		{[]int64{1, 2}, 6, false}, // |J| = 6, exactly at the limit
+		{[]int64{1, 2}, 5, true},  // one past it
+		{[]int64{1, 2}, 0, true},  // |J| ≥ 1 beats any non-positive limit
 		{[]int64{1, 2}, -1, true},
 		// ∏(μ_i+1) = 65536^4 = 2^64 wraps int64 to exactly 0 — Size lies,
 		// SizeExceeds must not.

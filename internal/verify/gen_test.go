@@ -1,0 +1,212 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lodim/internal/intmat"
+	"lodim/internal/uda"
+)
+
+// The differential harness's instance generator: deterministic (the
+// caller seeds the *rand.Rand), biased toward the small shapes where
+// brute force is exact, and shrinkable — a failing instance is reduced
+// to a minimal one before being reported, so the reproducer in the
+// test log is as readable as a hand-written case.
+
+// instance is one random (n, k, T, μ) conflict problem.
+type instance struct {
+	t  *intmat.Matrix // k×n, full row rank
+	mu intmat.Vector  // n bounds ≥ 1
+}
+
+func (in instance) n() int            { return in.t.Cols() }
+func (in instance) k() int            { return in.t.Rows() }
+func (in instance) set() uda.IndexSet { return uda.IndexSet{Upper: in.mu} }
+
+func (in instance) String() string {
+	return fmt.Sprintf("T =\n%v\nμ = %v", in.t, in.mu)
+}
+
+func (in instance) clone() instance {
+	return instance{t: in.t.Clone(), mu: in.mu.Clone()}
+}
+
+// genInstance draws a full-row-rank k×n matrix with entries in
+// [−3, 3] and bounds in [1, 3]. Full rank is ensured by rejection;
+// with these ranges almost every draw qualifies.
+func genInstance(r *rand.Rand) instance {
+	for {
+		n := 2 + r.Intn(3)   // 2..4
+		k := 1 + r.Intn(n-1) // 1..n-1 (a proper lower-dimensional mapping)
+		if r.Intn(8) == 0 {  // occasionally full-dimensional
+			k = n
+		}
+		t := intmat.New(k, n)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				t.Set(i, j, r.Int63n(7)-3)
+			}
+		}
+		if t.Rank() != k {
+			continue
+		}
+		mu := make(intmat.Vector, n)
+		for i := range mu {
+			mu[i] = 1 + r.Int63n(3)
+		}
+		return instance{t: t, mu: mu}
+	}
+}
+
+// shrink greedily minimizes a failing instance: it repeatedly tries to
+// move matrix entries toward zero and bounds toward one, keeping any
+// reduction under which the instance still has full rank and still
+// fails. The result is a local minimum — every single-step reduction
+// either breaks the rank precondition or makes the failure disappear.
+func shrink(in instance, fails func(instance) bool) instance {
+	cur := in.clone()
+	for {
+		improved := false
+		for i := 0; i < cur.k(); i++ {
+			for j := 0; j < cur.n(); j++ {
+				v := cur.t.At(i, j)
+				if v == 0 {
+					continue
+				}
+				next := cur.clone()
+				step := int64(1)
+				if v < 0 {
+					step = -1
+				}
+				next.t.Set(i, j, v-step)
+				if next.t.Rank() == next.k() && fails(next) {
+					cur = next
+					improved = true
+				}
+			}
+		}
+		for i := range cur.mu {
+			if cur.mu[i] <= 1 {
+				continue
+			}
+			next := cur.clone()
+			next.mu[i]--
+			if fails(next) {
+				cur = next
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// genAlgorithm extends an instance into a full certification problem:
+// a dependence matrix D with a schedule Π satisfying ΠD > 0, and a
+// space mapping S making T = [S; Π] full rank. Used by the metamorphic
+// certificate tests, which need whole algorithms, not bare matrices.
+type certInstance struct {
+	algo *uda.Algorithm
+	s    *intmat.Matrix
+	pi   intmat.Vector
+}
+
+func genCertInstance(r *rand.Rand) certInstance {
+	for {
+		n := 2 + r.Intn(3) // 2..4
+		mu := make(intmat.Vector, n)
+		for i := range mu {
+			mu[i] = 1 + r.Int63n(3)
+		}
+		// A schedule vector with at least one non-zero entry.
+		pi := make(intmat.Vector, n)
+		for i := range pi {
+			pi[i] = r.Int63n(5) - 2
+		}
+		if pi.IsZero() {
+			continue
+		}
+		// Dependencies oriented into the Π > 0 half-space.
+		m := 1 + r.Intn(3)
+		d := intmat.New(n, m)
+		ok := true
+		for c := 0; c < m; c++ {
+			col := make(intmat.Vector, n)
+			for retry := 0; ; retry++ {
+				if retry > 32 {
+					ok = false
+					break
+				}
+				for i := range col {
+					col[i] = r.Int63n(5) - 2
+				}
+				dot := pi.Dot(col)
+				if dot == 0 || col.IsZero() {
+					continue
+				}
+				if dot < 0 {
+					col = col.Neg()
+				}
+				break
+			}
+			if !ok {
+				break
+			}
+			d.SetCol(c, col)
+		}
+		if !ok {
+			continue
+		}
+		k := 1 + r.Intn(n-1)
+		s := intmat.New(k-1, n)
+		for i := 0; i < k-1; i++ {
+			for j := 0; j < n; j++ {
+				s.Set(i, j, r.Int63n(5)-2)
+			}
+		}
+		if s.AppendRow(pi).Rank() != k {
+			continue
+		}
+		algo := &uda.Algorithm{Name: "gen", Set: uda.IndexSet{Upper: mu}, D: d}
+		if algo.Validate() != nil {
+			continue
+		}
+		return certInstance{algo: algo, s: s, pi: pi}
+	}
+}
+
+// permuted applies the axis permutation perm to a certification
+// instance: canonical-axis i of the result is axis perm[i] of the
+// input, exactly the convention of internal/service/canon.go. Mapping
+// matrices permute by column, bound vectors by entry.
+func (ci certInstance) permuted(perm []int) certInstance {
+	n := ci.algo.Dim()
+	mu := make(intmat.Vector, n)
+	pi := make(intmat.Vector, n)
+	for i, ax := range perm {
+		mu[i] = ci.algo.Set.Upper[ax]
+		pi[i] = ci.pi[ax]
+	}
+	d := intmat.New(n, ci.algo.NumDeps())
+	for c := 0; c < ci.algo.NumDeps(); c++ {
+		col := ci.algo.Dep(c)
+		out := make(intmat.Vector, n)
+		for i, ax := range perm {
+			out[i] = col[ax]
+		}
+		d.SetCol(c, out)
+	}
+	s := intmat.New(ci.s.Rows(), n)
+	if s.Rows() > 0 { // a 0×n S has no columns to permute
+		for i, ax := range perm {
+			s.SetCol(i, ci.s.Col(ax))
+		}
+	}
+	return certInstance{
+		algo: &uda.Algorithm{Name: ci.algo.Name, Set: uda.IndexSet{Upper: mu}, D: d},
+		s:    s,
+		pi:   pi,
+	}
+}

@@ -1,0 +1,188 @@
+package mapping_test
+
+import (
+	"errors"
+	"testing"
+
+	"lodim/internal/verify"
+	"lodim/mapping"
+)
+
+func TestDecideTable(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]int64
+		set  mapping.IndexSet
+		free bool
+	}{
+		{"paper example 2.1 conflicting", [][]int64{{1, 7, 1, 1}, {1, 7, 1, 0}}, mapping.Cube(4, 6), false},
+		{"matmul winner k=2", [][]int64{{1, 1, -1}, {1, 2, 3}}, mapping.Cube(3, 4), true},
+		{"paper pi [1,mu,1]", [][]int64{{1, 1, -1}, {1, 4, 1}}, mapping.Cube(3, 4), true},
+		{"identity is injective", [][]int64{{1, 0}, {0, 1}}, mapping.Box(5, 5), true},
+		{"projection collides", [][]int64{{1, 0}}, mapping.Box(5, 5), false},
+		{"deep codimension free", [][]int64{{1, 5, 25}}, mapping.Cube(3, 2), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			T := mapping.FromRows(c.rows...)
+			res, err := mapping.Decide(T, c.set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ConflictFree != c.free {
+				t.Errorf("Decide = %v (%s), want %v", res.ConflictFree, res.Method, c.free)
+			}
+			if free, witness := mapping.BruteForce(T, c.set); free != c.free {
+				t.Errorf("BruteForce = %v (witness %v) disagrees", free, witness)
+			}
+		})
+	}
+}
+
+func TestUniqueConflictVectorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		rows    [][]int64
+		want    []int64
+		wantErr bool
+	}{
+		{"matmul S,Pi", [][]int64{{1, 1, -1}, {1, 4, 1}}, []int64{5, -2, 3}, false},
+		{"axis drop", [][]int64{{1, 0, 0}, {0, 1, 0}}, []int64{0, 0, 1}, false},
+		{"2d schedule row", [][]int64{{2, 3}}, []int64{3, -2}, false},
+		{"rank deficient", [][]int64{{1, 1, 1}, {2, 2, 2}}, nil, true},
+		{"zero matrix", [][]int64{{0, 0}}, nil, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := mapping.UniqueConflictVector(mapping.FromRows(c.rows...))
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("got γ = %v, want error", g)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(mapping.Vec(c.want...)) {
+				t.Errorf("γ = %v, want %v", g, c.want)
+			}
+		})
+	}
+}
+
+func TestFeasibleTable(t *testing.T) {
+	set := mapping.Box(2, 3, 4)
+	cases := []struct {
+		gamma []int64
+		want  bool
+	}{
+		{[]int64{3, 0, 0}, true},  // |3| > μ1 = 2
+		{[]int64{2, 0, 0}, false}, // equality is not enough
+		{[]int64{0, 4, 0}, true},  // |4| > μ2 = 3
+		{[]int64{0, -4, 0}, true}, // sign-symmetric
+		{[]int64{2, 3, 4}, false}, // every entry within bounds
+		{[]int64{0, 0, -5}, true}, // |−5| > μ3 = 4
+		{[]int64{1, 1, 1}, false}, // in-box conflict vector
+		{[]int64{0, 0, 0}, false}, // zero never escapes the box
+	}
+	for _, c := range cases {
+		if got := mapping.Feasible(set, mapping.Vec(c.gamma...)); got != c.want {
+			t.Errorf("Feasible(%v) = %v, want %v", c.gamma, got, c.want)
+		}
+	}
+}
+
+func TestTotalTimeTable(t *testing.T) {
+	cases := []struct {
+		pi   []int64
+		mu   []int64
+		want int64
+	}{
+		{[]int64{1, 4, 1}, []int64{4, 4, 4}, 25},   // paper: μ(μ+2)+1
+		{[]int64{1, 2, 3}, []int64{4, 4, 4}, 25},   // equal-cost optimum
+		{[]int64{-1, 2, -3}, []int64{4, 4, 4}, 25}, // |π_i| is what counts
+		{[]int64{1}, []int64{9}, 10},
+		{[]int64{0, 0, 0}, []int64{4, 4, 4}, 1}, // degenerate zero schedule
+		{[]int64{1, 3, 1}, []int64{2, 3, 4}, 16},
+	}
+	for _, c := range cases {
+		if got := mapping.TotalTime(mapping.Vec(c.pi...), mapping.Box(c.mu...)); got != c.want {
+			t.Errorf("TotalTime(%v, %v) = %d, want %d", c.pi, c.mu, got, c.want)
+		}
+	}
+}
+
+func TestNewMappingErrorPaths(t *testing.T) {
+	algo := mapping.MatMul(4)
+	good := mapping.FromRows([]int64{1, 1, -1})
+	cases := []struct {
+		name string
+		s    *mapping.Matrix
+		pi   mapping.Vector
+	}{
+		{"S wrong width", mapping.FromRows([]int64{1, 1}), mapping.Vec(1, 2, 3)},
+		{"Pi wrong length", good, mapping.Vec(1, 2)},
+		{"Pi violates ΠD>0", good, mapping.Vec(1, -1, 1)},
+		{"Pi zero", good, mapping.Vec(0, 0, 0)},
+		{"rank-deficient T", mapping.FromRows([]int64{1, 2, 3}), mapping.Vec(1, 2, 3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if m, err := mapping.NewMapping(algo, c.s, c.pi); err == nil {
+				t.Errorf("accepted invalid mapping: %+v", m)
+			}
+		})
+	}
+	m, err := mapping.NewMapping(algo, good, mapping.Vec(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 2 || m.TotalTime() != 25 {
+		t.Errorf("K=%d t=%d, want 2 and 25", m.K(), m.TotalTime())
+	}
+}
+
+func TestVerifyFacade(t *testing.T) {
+	algo := mapping.MatMul(4)
+	m, err := mapping.NewMapping(algo, mapping.FromRows([]int64{1, 1, -1}), mapping.Vec(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := mapping.Verify(m)
+	if err != nil {
+		t.Fatalf("Verify rejected the documented optimum: %v", err)
+	}
+	if !cert.Valid || !cert.ConflictFree || cert.TotalTime != 25 {
+		t.Errorf("certificate: valid=%v free=%v t=%d", cert.Valid, cert.ConflictFree, cert.TotalTime)
+	}
+	if err := cert.Check(algo, m.S, m.Pi); err != nil {
+		t.Errorf("certificate fails its own checker: %v", err)
+	}
+
+	// A corrupted mapping (bypassing NewMapping's validation) must come
+	// back with a named failing witness and a typed error.
+	bad := *m
+	bad.Pi = mapping.Vec(1, -1, 1)
+	bad.T = bad.S.AppendRow(bad.Pi)
+	cert, err = mapping.Verify(&bad)
+	if err == nil || cert == nil {
+		t.Fatalf("corrupted mapping accepted (cert=%v err=%v)", cert, err)
+	}
+	var fe *verify.FailureError
+	if !errors.As(err, &fe) || fe.Witness != verify.WitnessSchedule {
+		t.Errorf("err = %v, want *FailureError on %q", err, verify.WitnessSchedule)
+	}
+	if cert.FailedWitness != verify.WitnessSchedule {
+		t.Errorf("failed witness = %q", cert.FailedWitness)
+	}
+
+	// VerifyWithOptions: simulation cross-check on the small instance.
+	cert, err = mapping.VerifyWithOptions(m, &mapping.VerifyOptions{Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Simulation == nil || !cert.Simulation.Ran || !cert.Simulation.Agrees {
+		t.Errorf("simulation witness missing: %+v", cert.Simulation)
+	}
+}
