@@ -29,6 +29,9 @@ type jsonResult struct {
 	// -verify is set; it is emitted even when verification rejects the
 	// mapping (the process then exits with status 4).
 	Certificate *verify.Certificate `json:"certificate,omitempty"`
+	// SearchStats carries the engine's effort report when -stats is set
+	// (absent for engines without stats collection, e.g. ILP).
+	SearchStats *schedule.SearchStats `json:"search_stats,omitempty"`
 }
 
 type jsonMach struct {
@@ -56,7 +59,7 @@ type jsonJointResult struct {
 	Pruned     int   `json:"pruned"`
 }
 
-func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult, cert *verify.Certificate) error {
+func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult, cert *verify.Certificate, stats *schedule.SearchStats) error {
 	out := jsonJointResult{
 		jsonResult: jsonResult{
 			Algorithm:  algo.Name,
@@ -78,6 +81,7 @@ func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult, 
 		Pruned:     res.Pruned,
 	}
 	out.Certificate = cert
+	out.SearchStats = stats
 	if d := res.ScheduleResult.Decomp; d != nil {
 		out.Machine = &jsonMach{
 			K:            matrixRows(d.K),
@@ -91,7 +95,7 @@ func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult, 
 	return enc.Encode(out)
 }
 
-func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result, cert *verify.Certificate) error {
+func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result, cert *verify.Certificate, stats *schedule.SearchStats) error {
 	out := jsonResult{
 		Algorithm:  algo.Name,
 		Dim:        algo.Dim(),
@@ -107,6 +111,7 @@ func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result, cert *veri
 		Conflict:   res.Conflict.Method,
 	}
 	out.Certificate = cert
+	out.SearchStats = stats
 	if res.Decomp != nil {
 		out.Machine = &jsonMach{
 			K:            matrixRows(res.Decomp.K),

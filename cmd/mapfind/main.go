@@ -57,6 +57,7 @@ func main() {
 		vars     = flag.String("vars", "", "loop variables for -stmt, comma separated")
 		bits     = flag.Int64("bits", 0, "bit-expand the algorithm with the given bit bound (0 = word level)")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
+		stats    = flag.Bool("stats", false, "report search statistics (candidates, pruning rules, wall time)")
 		verifyW  = flag.Bool("verify", false, "certify the winning mapping with the independent verification engine; a rejected certificate exits with status 4")
 		algoFile = flag.String("algo-file", "", "load a custom algorithm from a JSON file (see uda JSON schema)")
 		joint    = flag.Bool("joint", false, "solve Problem 6.2: search S and Π jointly (ignores -s and -engine)")
@@ -68,7 +69,7 @@ func main() {
 	if err := run2(options{
 		algo: *algoName, sizes: *sizes, s: *sSpec, engine: *engine,
 		machine: *machine, maxCost: *maxCost, stmt: *stmt, vars: *vars, bits: *bits,
-		json: *jsonOut, algoFile: *algoFile,
+		json: *jsonOut, stats: *stats, algoFile: *algoFile,
 		joint: *joint, dims: *dims, workers: *workers, timeout: *timeout,
 		verify: *verifyW,
 	}); err != nil {
@@ -105,6 +106,7 @@ type options struct {
 	stmt, vars                      string
 	bits                            int64
 	json                            bool
+	stats                           bool
 	algoFile                        string
 	joint                           bool
 	dims, workers                   int
@@ -234,7 +236,7 @@ func solveJoint(ctx context.Context, algo *uda.Algorithm, o options) error {
 		}
 	}
 	if o.json {
-		if err := emitJointJSON(os.Stdout, algo, res, cert); err != nil {
+		if err := emitJointJSON(os.Stdout, algo, res, cert, statsFor(o, res.Stats)); err != nil {
 			return err
 		}
 		return certErr
@@ -246,8 +248,30 @@ func solveJoint(ctx context.Context, algo *uda.Algorithm, o options) error {
 	fmt.Printf("conflict certificate: %s\n", res.ScheduleResult.Conflict)
 	fmt.Printf("search: %d space candidates (%d pruned), %d schedule candidates for the winner\n",
 		res.Candidates, res.Pruned, res.ScheduleResult.Candidates)
+	printStats(o, res.Stats)
 	printCertificate(cert)
 	return certErr
+}
+
+// statsFor gates a result's search statistics on the -stats flag.
+func statsFor(o options, st *schedule.SearchStats) *schedule.SearchStats {
+	if !o.stats {
+		return nil
+	}
+	return st
+}
+
+// printStats renders the text-mode statistics line. Engines that
+// predate stats collection (the ILP fallback) report nothing.
+func printStats(o options, st *schedule.SearchStats) {
+	if !o.stats {
+		return
+	}
+	if st == nil {
+		fmt.Println("search stats: not reported by this engine")
+		return
+	}
+	fmt.Printf("search stats: %s\n", st)
 }
 
 func solve(ctx context.Context, algo *uda.Algorithm, o options) error {
@@ -289,7 +313,7 @@ func solve(ctx context.Context, algo *uda.Algorithm, o options) error {
 		}
 	}
 	if jsonOut {
-		if err := emitJSON(os.Stdout, algo, res, cert); err != nil {
+		if err := emitJSON(os.Stdout, algo, res, cert, statsFor(o, res.Stats)); err != nil {
 			return err
 		}
 		return certErr
@@ -298,6 +322,7 @@ func solve(ctx context.Context, algo *uda.Algorithm, o options) error {
 	fmt.Printf("total execution time t = %d (objective f = %d)\n", res.Time, res.Time-1)
 	fmt.Printf("conflict certificate: %s\n", res.Conflict)
 	fmt.Printf("engine: %s, candidates/nodes examined: %d\n", res.Method, res.Candidates)
+	printStats(o, res.Stats)
 	if res.Decomp != nil {
 		fmt.Printf("machine realization: K =\n%v\nbuffers per dependence: %v (total %d), single-hop: %v\n",
 			res.Decomp.K, res.Decomp.Buffers, res.Decomp.TotalBuffers(), res.Decomp.SingleHop())

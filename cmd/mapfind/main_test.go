@@ -2,11 +2,39 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"os"
+	"strings"
 	"testing"
 	"time"
+
+	"lodim/internal/schedule"
 )
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	ferr := f()
+	w.Close()
+	data, rerr := io.ReadAll(r)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return string(data)
+}
 
 func TestTimeoutJointDeadline(t *testing.T) {
 	// Large enough that the joint search cannot finish in 1ms; the
@@ -86,6 +114,73 @@ func TestRunJointJSON(t *testing.T) {
 		machine: "none", json: true,
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStatsJSONJoint: -stats -json on the paper's matrix-multiplication
+// example emits a search_stats object whose pruning counters actually
+// fired — the cube is symmetric (orbit rule) and the incumbent cut
+// always triggers on later candidates.
+func TestStatsJSONJoint(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run2(options{
+			algo: "matmul", sizes: "4", joint: true, dims: 1, workers: 2,
+			machine: "none", json: true, stats: true,
+		})
+	})
+	var res struct {
+		SearchStats *schedule.SearchStats `json:"search_stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out)
+	}
+	st := res.SearchStats
+	if st == nil {
+		t.Fatalf("no search_stats in output:\n%s", out)
+	}
+	if st.Engine != "joint-6.2" {
+		t.Errorf("engine = %q, want joint-6.2", st.Engine)
+	}
+	if st.Pruned() < 1 || st.PrunedOrbit < 1 || st.PrunedIncumbent < 1 {
+		t.Errorf("pruning counters empty: %+v", st)
+	}
+	if st.SpaceCandidates < 1 || st.ScheduleCandidates < 1 || st.CostLevels < 1 {
+		t.Errorf("effort counters empty: %+v", st)
+	}
+}
+
+// TestStatsText: the one-line text summary appears with -stats, and
+// the ILP engine (which predates stats collection) degrades gracefully.
+func TestStatsText(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run2(options{
+			algo: "matmul", sizes: "4", s: "1,1,-1", engine: "procedure",
+			machine: "none", stats: true,
+		})
+	})
+	if !strings.Contains(out, "search stats: engine=procedure-5.1") {
+		t.Errorf("no stats line in text output:\n%s", out)
+	}
+	// The ILP engine either reports nothing (pure ILP path) or falls
+	// back to Procedure 5.1 and reports that engine's stats; both print
+	// a stats line.
+	out = captureStdout(t, func() error {
+		return run2(options{
+			algo: "matmul", sizes: "3", s: "1,1,-1", engine: "ilp",
+			machine: "none", stats: true,
+		})
+	})
+	if !strings.Contains(out, "search stats:") {
+		t.Errorf("ILP stats line missing:\n%s", out)
+	}
+	// Without -stats the line stays out.
+	out = captureStdout(t, func() error {
+		return run2(options{
+			algo: "matmul", sizes: "4", s: "1,1,-1", engine: "procedure", machine: "none",
+		})
+	})
+	if strings.Contains(out, "search stats:") {
+		t.Errorf("stats line printed without -stats:\n%s", out)
 	}
 }
 

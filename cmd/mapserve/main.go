@@ -28,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +43,8 @@ import (
 // config is the parsed and validated command line.
 type config struct {
 	addr       string
+	pprofAddr  string
+	logFormat  string
 	pool       int
 	queue      int
 	cacheSize  int
@@ -57,6 +61,8 @@ func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("mapserve", flag.ContinueOnError)
 	cfg := &config{}
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "access-log format: text or json")
 	fs.IntVar(&cfg.pool, "pool", 0, "max concurrent searches (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.queue, "queue", 64, "max requests waiting for a search slot before 429 (-1 = no queue)")
 	fs.IntVar(&cfg.cacheSize, "cache", 1024, "canonical result cache size in entries")
@@ -94,17 +100,42 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.drain < 0 {
 		return nil, fmt.Errorf("-drain must be >= 0, got %s", cfg.drain)
 	}
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", cfg.logFormat)
+	}
 	return cfg, nil
 }
 
+// newLogger builds the structured access logger for the chosen format.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// pprofHandler builds an explicit pprof mux — the profiling endpoints
+// are served only on the dedicated -pprof listener, never on the
+// service address.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // run starts the server and blocks until a signal arrives on sigCh or
-// the listener fails. ready (optional) is called with the bound address
-// once the listener is up — with "-addr 127.0.0.1:0" this is how tests
-// learn the ephemeral port. onService (optional) receives the Service
-// before serving starts; main uses it to publish expvar, which must
-// stay out of run so tests can start many instances without
-// duplicate-Publish panics.
-func run(cfg *config, sigCh <-chan os.Signal, ready func(addr string), onService func(*service.Service)) error {
+// the listener fails. ready (optional) is called with the bound service
+// and pprof addresses once the listeners are up — with
+// "-addr 127.0.0.1:0" this is how tests learn the ephemeral ports
+// (pprofAddr is "" when -pprof is disabled). onService (optional)
+// receives the Service before serving starts; main uses it to publish
+// expvar, which must stay out of run so tests can start many instances
+// without duplicate-Publish panics.
+func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string), onService func(*service.Service)) error {
 	svc := service.New(service.Config{
 		Pool:           cfg.pool,
 		Queue:          cfg.queue,
@@ -112,6 +143,7 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr string), onService
 		SearchWorkers:  cfg.workers,
 		DefaultTimeout: cfg.defTimeout,
 		MaxTimeout:     cfg.maxTimeout,
+		Logger:         newLogger(cfg.logFormat),
 	})
 	if onService != nil {
 		onService(svc)
@@ -130,9 +162,28 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr string), onService
 		svc.Close()
 		return err
 	}
+
+	pprofAddr := ""
+	if cfg.pprofAddr != "" {
+		pprofLn, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			ln.Close()
+			svc.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pprofSrv := &http.Server{
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go pprofSrv.Serve(pprofLn)
+		defer pprofSrv.Close()
+		pprofAddr = pprofLn.Addr().String()
+		log.Printf("mapserve: pprof listening on %s", pprofAddr)
+	}
+
 	log.Printf("mapserve: listening on %s (pool %d, queue %d, cache %d)", ln.Addr(), cfg.pool, cfg.queue, cfg.cacheSize)
 	if ready != nil {
-		ready(ln.Addr().String())
+		ready(ln.Addr().String(), pprofAddr)
 	}
 
 	errCh := make(chan error, 1)

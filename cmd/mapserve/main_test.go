@@ -22,6 +22,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.defTimeout != 30*time.Second || cfg.maxTimeout != 2*time.Minute || cfg.drain != 10*time.Second {
 		t.Errorf("duration defaults off: %+v", cfg)
 	}
+	if cfg.pprofAddr != "" || cfg.logFormat != "text" {
+		t.Errorf("observability defaults off: pprof=%q log-format=%q", cfg.pprofAddr, cfg.logFormat)
+	}
 }
 
 func TestParseFlagsValidation(t *testing.T) {
@@ -37,6 +40,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"zero timeout", []string{"-timeout", "0s"}},
 		{"max below default", []string{"-timeout", "1m", "-max-timeout", "10s"}},
 		{"negative drain", []string{"-drain", "-1s"}},
+		{"bad log format", []string{"-log-format", "xml"}},
 		{"positional junk", []string{"extra"}},
 		{"unknown flag", []string{"-no-such-flag"}},
 	}
@@ -51,20 +55,25 @@ func TestParseFlagsValidation(t *testing.T) {
 // exercises a request end to end, then drains it via the signal path —
 // the same lifecycle main drives.
 func TestRunServesAndShutsDown(t *testing.T) {
-	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-pool", "1", "-drain", "5s"})
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-pool", "1", "-drain", "5s",
+		"-pprof", "127.0.0.1:0", "-log-format", "json",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sigCh := make(chan os.Signal, 1)
-	addrCh := make(chan string, 1)
+	type addrs struct{ main, pprof string }
+	addrCh := make(chan addrs, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(cfg, sigCh, func(addr string) { addrCh <- addr }, nil)
+		done <- run(cfg, sigCh, func(addr, pprofAddr string) { addrCh <- addrs{addr, pprofAddr} }, nil)
 	}()
 
-	var addr string
+	var addr, pprofAddr string
 	select {
-	case addr = <-addrCh:
+	case a := <-addrCh:
+		addr, pprofAddr = a.main, a.pprof
 	case err := <-done:
 		t.Fatalf("run exited before ready: %v", err)
 	case <-time.After(10 * time.Second):
@@ -78,6 +87,27 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	// The pprof endpoints answer on their own listener and only there.
+	if pprofAddr == "" {
+		t.Fatal("pprof address not reported despite -pprof")
+	}
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof cmdline: %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("pprof reachable on the service address; it must stay on the -pprof listener")
 	}
 
 	body := strings.NewReader(`{"algorithm":"matmul","sizes":[2],"s":[[1,1,-1]],"pi":[1,2,1]}`)
@@ -118,7 +148,7 @@ func TestRunListenFailure(t *testing.T) {
 	sigCh := make(chan os.Signal, 1)
 	addrCh := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- run(cfg, sigCh, func(a string) { addrCh <- a }, nil) }()
+	go func() { done <- run(cfg, sigCh, func(a, _ string) { addrCh <- a }, nil) }()
 	addr := <-addrCh
 	defer func() {
 		sigCh <- syscall.SIGTERM

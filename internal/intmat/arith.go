@@ -39,6 +39,18 @@ func overflow(op string) {
 	panic(&OverflowError{Op: op})
 }
 
+// AddChecked returns a+b, panicking with *OverflowError on overflow.
+// Pair with Guard at an error-returning boundary.
+func AddChecked(a, b int64) int64 { return addChecked(a, b) }
+
+// MulChecked returns a*b, panicking with *OverflowError on overflow.
+// Pair with Guard at an error-returning boundary.
+func MulChecked(a, b int64) int64 { return mulChecked(a, b) }
+
+// AbsChecked returns |a|, panicking with *OverflowError when a is
+// MinInt64. Pair with Guard at an error-returning boundary.
+func AbsChecked(a int64) int64 { return absChecked(a) }
+
 // addChecked returns a+b, panicking with *OverflowError on overflow.
 func addChecked(a, b int64) int64 {
 	s := a + b

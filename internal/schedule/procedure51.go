@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
@@ -56,7 +57,7 @@ func FindOptimalContext(ctx context.Context, algo *uda.Algorithm, s *intmat.Matr
 			return nil, err
 		}
 	}
-	return findOptimalWith(ctx, algo, s, opts, analyzer)
+	return findOptimalWith(ctx, algo, s, opts, analyzer, nil)
 }
 
 // ctxCheckMask paces the in-level cancellation checks: ctx.Err() takes
@@ -69,7 +70,17 @@ const ctxCheckMask = 255
 // (spaceopt.go) builds one analyzer per space-mapping candidate and
 // shares it between this search and the array-metric evaluation, so the
 // Π-independent Hermite work happens exactly once per S.
-func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) (*Result, error) {
+//
+// stats, when non-nil, is a shared collector the engine accumulates
+// candidate and level counts into (the joint optimizer passes one
+// collector across all inner searches); when nil the engine owns a
+// fresh collector and attaches its snapshot to the winning Result.
+func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer, stats *statsCollector) (*Result, error) {
+	ownStats := stats == nil
+	if ownStats {
+		stats = &statsCollector{}
+	}
+	startAt := time.Now()
 	n := algo.Dim()
 	maxCost := opts.MaxCost
 	if maxCost == 0 {
@@ -90,6 +101,7 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		stats.costLevels.Add(1)
 		if opts.Workers > 1 || opts.MinimizeBuffers {
 			// Level-synchronous evaluation: materialize the level into a
 			// reused flat buffer, test candidates (in parallel when
@@ -136,6 +148,13 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 			return nil, ctx.Err()
 		}
 	}
+	stats.scheduleCandidates.Add(int64(candidates))
+	// An arithmetic overflow recorded by a worker invalidates the whole
+	// run — the enumeration may have mis-ranked candidates — and takes
+	// precedence over both a winner and ErrNoSchedule.
+	if err := cctx.takeErr(); err != nil {
+		return nil, err
+	}
 	if found == nil {
 		return nil, fmt.Errorf("%w: algorithm %q, S =\n%v, cost ≤ %d", ErrNoSchedule, algo.Name, s, maxCost)
 	}
@@ -145,6 +164,14 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 		if err := runSelfCheck(found.Mapping); err != nil {
 			return nil, err
 		}
+	}
+	if ownStats {
+		workers := opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		elapsed := time.Since(startAt)
+		found.Stats = stats.snapshot("procedure-5.1", workers, 0, elapsed, elapsed)
 	}
 	return found, nil
 }
@@ -255,6 +282,13 @@ type candCtx struct {
 	opts     *Options
 	analyzer *conflict.SpaceAnalyzer
 	depCols  []intmat.Vector
+
+	// errMu guards err, the first arithmetic failure observed by any
+	// worker. try runs inside evaluateLevel's goroutines, where a panic
+	// would crash the process instead of unwinding to the caller's
+	// Guard — so overflow is captured here and re-surfaced by takeErr.
+	errMu sync.Mutex
+	err   error
 }
 
 func newCandCtx(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer) *candCtx {
@@ -263,6 +297,22 @@ func newCandCtx(algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *
 		cols[i] = algo.D.Col(i)
 	}
 	return &candCtx{algo: algo, s: s, opts: opts, analyzer: analyzer, depCols: cols}
+}
+
+// recordErr stores the first failure; later ones are dropped.
+func (c *candCtx) recordErr(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// takeErr returns the recorded failure, if any.
+func (c *candCtx) takeErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
 }
 
 // valid is Valid(pi, algo.D) on the cached columns.
@@ -304,9 +354,14 @@ func (c *candCtx) try(pi intmat.Vector) (*Result, bool) {
 	if err != nil || !res.ConflictFree {
 		return nil, false
 	}
+	t, err := TotalTimeChecked(pi, algo.Set)
+	if err != nil {
+		c.recordErr(err)
+		return nil, false
+	}
 	r := &Result{
 		Mapping:  &Mapping{Algo: algo, S: s, Pi: pi.Clone(), T: s.AppendRow(pi)},
-		Time:     TotalTime(pi, algo.Set),
+		Time:     t,
 		Conflict: res,
 	}
 	if opts.Machine != nil {

@@ -44,22 +44,31 @@ func Valid(pi intmat.Vector, d *intmat.Matrix) bool {
 }
 
 // TotalTime returns the total execution time of Equation 2.7:
-// t = 1 + Σ|π_i|·μ_i.
+// t = 1 + Σ|π_i|·μ_i. The sum is computed with checked arithmetic: a Π
+// and μ whose product exceeds int64 used to wrap to a negative total
+// time that silently *won* incumbent-time comparisons; now the overflow
+// panics with *intmat.OverflowError. Callers handling untrusted Π
+// should use TotalTimeChecked, which converts the panic to an error.
 func TotalTime(pi intmat.Vector, set uda.IndexSet) int64 {
 	if len(pi) != set.Dim() {
 		panic(fmt.Sprintf("schedule: Π has %d entries, index set dimension is %d", len(pi), set.Dim()))
 	}
 	t := int64(1)
 	for i, p := range pi {
-		if p < 0 {
-			p = -p
-		}
-		t += p * set.Upper[i]
+		t = intmat.AddChecked(t, intmat.MulChecked(intmat.AbsChecked(p), set.Upper[i]))
 	}
 	return t
 }
 
-// Cost returns the objective f = t − 1 = Σ|π_i|·μ_i of Problem 2.2.
+// TotalTimeChecked is TotalTime with the overflow panic converted to an
+// error under intmat.Guard.
+func TotalTimeChecked(pi intmat.Vector, set uda.IndexSet) (t int64, err error) {
+	defer intmat.Guard(&err)
+	return TotalTime(pi, set), nil
+}
+
+// Cost returns the objective f = t − 1 = Σ|π_i|·μ_i of Problem 2.2. It
+// shares TotalTime's checked arithmetic (and its overflow panic).
 func Cost(pi intmat.Vector, set uda.IndexSet) int64 { return TotalTime(pi, set) - 1 }
 
 // Mapping is a complete, validated space-time mapping T = [S; Π] of an
@@ -108,6 +117,12 @@ func (m *Mapping) Time(j intmat.Vector) int64 { return m.Pi.Dot(j) }
 // TotalTime returns the schedule's total execution time over the
 // algorithm's index set.
 func (m *Mapping) TotalTime() int64 { return TotalTime(m.Pi, m.Algo.Set) }
+
+// TotalTimeChecked is the method form of the package-level
+// TotalTimeChecked: the overflow panic becomes an error.
+func (m *Mapping) TotalTimeChecked() (int64, error) {
+	return TotalTimeChecked(m.Pi, m.Algo.Set)
+}
 
 // Check decides conflict-freeness of the mapping.
 func (m *Mapping) Check() (conflict.Result, error) {
@@ -180,6 +195,10 @@ type Result struct {
 	Candidates int
 	// Method names the engine: "procedure-5.1" or "ilp".
 	Method string
+	// Stats carries the structured search statistics collected during
+	// the run (candidate counts per pruning rule, phase wall times).
+	// Nil when the engine predates stats collection (ILP fallback).
+	Stats *SearchStats
 }
 
 // ErrNoSchedule reports that no feasible conflict-free schedule exists

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
@@ -80,6 +81,11 @@ type SpaceResult struct {
 	// Time is the total execution time (joint problem: of the winning
 	// schedule; Problem 6.1: of the given Π).
 	Time int64
+	// Stats carries the structured search statistics: per-rule pruning
+	// counts, inner-search effort, and phase wall times. Unlike Pruned,
+	// the per-rule counters are exact for orbit pruning and may vary
+	// between runs for the incumbent-racing rules at Workers > 1.
+	Stats *SearchStats
 }
 
 func (r *SpaceResult) String() string {
@@ -117,6 +123,14 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 	if arrayDims < 1 || arrayDims >= algo.Dim() {
 		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
 	}
+	// Π is fixed across every candidate, so one checked evaluation here
+	// proves the TotalTime calls inside the worker goroutines (same
+	// inputs) cannot hit the overflow panic.
+	if _, err := TotalTimeChecked(pi, algo.Set); err != nil {
+		return nil, err
+	}
+	startAt := time.Now()
+	stats := &statsCollector{}
 	cands, err := collectSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts))
 	if err != nil {
 		return nil, err
@@ -125,14 +139,18 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 	if !opts.NoPrune {
 		symPruned = symmetryPruned(cands, axisAutomorphisms(algo, pi))
 	}
+	collectDur := time.Since(startAt)
+	stats.spaceCandidates.Add(int64(len(cands)))
 	weight := wireWeightOrDefault(opts)
 	results := make([]*SpaceResult, len(cands))
 	var bestCost, prunedCount atomic.Int64
 	bestCost.Store(math.MaxInt64)
+	searchAt := time.Now()
 	forEachCandidate(ctx, len(cands), opts.Schedule.Workers, func(i int) {
 		s := cands[i]
 		if symPruned[i] {
 			prunedCount.Add(1)
+			stats.prunedOrbit.Add(1)
 			return
 		}
 		if !opts.NoPrune {
@@ -143,6 +161,7 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 			lb := processorLowerBound(s, algo.Set.Upper) + weight*wireLength(s, algo.D)
 			if lb > bestCost.Load() {
 				prunedCount.Add(1)
+				stats.prunedLowerBound.Add(1)
 				return
 			}
 		}
@@ -181,7 +200,20 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 			return nil, err
 		}
 	}
+	best.Stats = stats.snapshot("space-6.1", effectiveWorkers(opts.Schedule.Workers, len(cands)),
+		collectDur, time.Since(searchAt), time.Since(startAt))
 	return best, nil
+}
+
+// effectiveWorkers mirrors forEachCandidate's clamping for reporting.
+func effectiveWorkers(workers, count int) int {
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // JointResult is the outcome of the joint Problem 6.2 search.
@@ -228,6 +260,8 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	if arrayDims < 1 || arrayDims >= algo.Dim() {
 		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
 	}
+	startAt := time.Now()
+	stats := &statsCollector{}
 	cands, err := collectSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts))
 	if err != nil {
 		return nil, err
@@ -236,6 +270,7 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	if !opts.NoPrune {
 		symPruned = symmetryPruned(cands, axisAutomorphisms(algo, nil))
 	}
+	stats.spaceCandidates.Add(int64(len(cands)))
 	weight := wireWeightOrDefault(opts)
 	baseMaxCost := opts.Schedule.MaxCost
 	if baseMaxCost == 0 {
@@ -261,10 +296,13 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	// inner searches return searchCtx's error instead of finishing.
 	searchCtx, cancelSearch := context.WithCancel(ctx)
 	defer cancelSearch()
+	collectDur := time.Since(startAt)
+	searchAt := time.Now()
 	forEachCandidate(searchCtx, len(cands), opts.Schedule.Workers, func(i int) {
 		s := cands[i]
 		if symPruned[i] {
 			prunedCount.Add(1)
+			stats.prunedOrbit.Add(1)
 			return
 		}
 		wire := wireLength(s, algo.D)
@@ -272,6 +310,7 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 		if !opts.NoPrune && tFloor > 0 {
 			if iT, iC := inc.snapshot(); iT <= tFloor && costLB > iC {
 				prunedCount.Add(1)
+				stats.prunedLowerBound.Add(1)
 				return
 			}
 		}
@@ -299,10 +338,12 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 			bound = iT - 1
 		}
 		if bound < 1 {
+			stats.prunedIncumbent.Add(1)
 			return
 		}
 		schedOpts.MaxCost = bound
-		res, err := findOptimalWith(searchCtx, algo, s, &schedOpts, analyzer)
+		stats.innerSearches.Add(1)
+		res, err := findOptimalWith(searchCtx, algo, s, &schedOpts, analyzer, stats)
 		if err != nil {
 			if errors.Is(err, ErrNoSchedule) {
 				return // bounded out or genuinely unschedulable: skip
@@ -313,9 +354,11 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 		}
 		iT, iC := inc.snapshot()
 		if res.Time > iT {
+			stats.prunedIncumbent.Add(1)
 			return // incumbent improved since the bound was read
 		}
 		if !opts.NoPrune && res.Time == iT && costLB > iC {
+			stats.prunedIncumbent.Add(1)
 			return // can only tie on time and already loses on cost
 		}
 		procs := countProcessorImages(s, algo.Set)
@@ -369,6 +412,9 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 			return nil, err
 		}
 	}
+	best.Stats = stats.snapshot("joint-6.2", effectiveWorkers(opts.Schedule.Workers, len(cands)),
+		collectDur, time.Since(searchAt), time.Since(startAt))
+	best.ScheduleResult.Stats = best.Stats
 	return best, nil
 }
 

@@ -1,0 +1,115 @@
+package schedule
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// SearchStats reports, in structured form, where a search spent its
+// effort: how many candidates each pruning rule removed before the
+// expensive conflict analysis ran, how many survived to be evaluated,
+// and the wall time of each phase. It is the per-run analogue of the
+// effort metric Result.Candidates, attached to Result.Stats and to
+// SpaceResult.Stats, and is the unit the service's Prometheus pruning
+// counters aggregate over.
+//
+// The counter fields are plain int64 snapshots — the atomics live in
+// the unexported statsCollector that the hot loops write through.
+type SearchStats struct {
+	// Engine names the search that produced the stats:
+	// "procedure-5.1", "space-6.1" or "joint-6.2".
+	Engine string `json:"engine"`
+	// Workers is the effective parallelism of the candidate loop.
+	Workers int `json:"workers"`
+
+	// SpaceCandidates counts space mappings S enumerated by the
+	// Problem 6.1/6.2 searches (zero for pure Procedure 5.1 runs).
+	SpaceCandidates int64 `json:"space_candidates,omitempty"`
+	// PrunedOrbit counts candidates removed by the axis-symmetry
+	// orbit rule before any evaluation.
+	PrunedOrbit int64 `json:"pruned_orbit,omitempty"`
+	// PrunedLowerBound counts candidates removed because their
+	// processor/cost lower bound already exceeded the best known cost.
+	PrunedLowerBound int64 `json:"pruned_lower_bound,omitempty"`
+	// PrunedIncumbent counts candidates removed by the shared
+	// incumbent-time cut (including post-search discards).
+	PrunedIncumbent int64 `json:"pruned_incumbent,omitempty"`
+	// InnerSearches counts Procedure 5.1 invocations launched by the
+	// joint search (one per surviving space candidate).
+	InnerSearches int64 `json:"inner_searches,omitempty"`
+
+	// ScheduleCandidates counts schedule vectors Π examined across all
+	// Procedure 5.1 cost levels (equals Result.Candidates for a pure
+	// schedule search; aggregates over inner searches for joint runs).
+	ScheduleCandidates int64 `json:"schedule_candidates"`
+	// CostLevels counts objective levels f = Σ|π_i|μ_i the Procedure
+	// 5.1 enumeration stepped through (aggregate over inner searches).
+	CostLevels int64 `json:"cost_levels"`
+
+	// Collect is the wall time spent enumerating/collecting candidate
+	// space mappings (zero for pure schedule searches); Search is the
+	// wall time of the candidate evaluation loop; Total spans the whole
+	// engine call.
+	Collect time.Duration `json:"collect_ns,omitempty"`
+	Search  time.Duration `json:"search_ns"`
+	Total   time.Duration `json:"total_ns"`
+}
+
+// Pruned returns the total number of candidates removed by all three
+// pruning rules.
+func (s *SearchStats) Pruned() int64 {
+	return s.PrunedOrbit + s.PrunedLowerBound + s.PrunedIncumbent
+}
+
+// String renders a one-line human-readable summary, used by
+// mapfind -stats.
+func (s *SearchStats) String() string {
+	if s == nil {
+		return "<no stats>"
+	}
+	out := fmt.Sprintf("engine=%s workers=%d", s.Engine, s.Workers)
+	if s.SpaceCandidates > 0 {
+		out += fmt.Sprintf(" space=%d pruned(orbit=%d lb=%d incumbent=%d) inner=%d",
+			s.SpaceCandidates, s.PrunedOrbit, s.PrunedLowerBound, s.PrunedIncumbent, s.InnerSearches)
+	}
+	out += fmt.Sprintf(" sched=%d levels=%d", s.ScheduleCandidates, s.CostLevels)
+	if s.Collect > 0 {
+		out += fmt.Sprintf(" collect=%s", s.Collect.Round(time.Microsecond))
+	}
+	out += fmt.Sprintf(" search=%s total=%s",
+		s.Search.Round(time.Microsecond), s.Total.Round(time.Microsecond))
+	return out
+}
+
+// statsCollector is the write side of SearchStats: atomic counters the
+// candidate loops bump from many goroutines, snapshotted once at the
+// end of the search.
+type statsCollector struct {
+	spaceCandidates    atomic.Int64
+	prunedOrbit        atomic.Int64
+	prunedLowerBound   atomic.Int64
+	prunedIncumbent    atomic.Int64
+	innerSearches      atomic.Int64
+	scheduleCandidates atomic.Int64
+	costLevels         atomic.Int64
+}
+
+// snapshot freezes the counters into a SearchStats. The caller fills
+// the identity and timing fields.
+func (c *statsCollector) snapshot(engine string, workers int, collect, search, total time.Duration) *SearchStats {
+	return &SearchStats{
+		Engine:             engine,
+		Workers:            workers,
+		SpaceCandidates:    c.spaceCandidates.Load(),
+		PrunedOrbit:        c.prunedOrbit.Load(),
+		PrunedLowerBound:   c.prunedLowerBound.Load(),
+		PrunedIncumbent:    c.prunedIncumbent.Load(),
+		InnerSearches:      c.innerSearches.Load(),
+		ScheduleCandidates: c.scheduleCandidates.Load(),
+		CostLevels:         c.costLevels.Load(),
+		Collect:            collect,
+		Search:             search,
+		Total:              total,
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"lodim/internal/schedule"
 )
@@ -27,24 +29,104 @@ type errorBody struct {
 //	POST /v1/verify    — independent mapping certification
 //	GET  /metrics      — Prometheus text exposition
 //	GET  /healthz      — liveness probe
+//
+// Every POST endpoint runs inside the instrument wrapper, which owns
+// the per-endpoint request counter (exactly one increment per request,
+// on every path), the request ID, the stage timer, and the structured
+// access-log line.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/map", s.handleMap)
-	mux.HandleFunc("POST /v1/conflict", s.handleConflict)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/map", s.instrument("map", s.handleMap))
+	mux.HandleFunc("POST /v1/conflict", s.instrument("conflict", s.handleConflict))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
+// obsWriter wraps the ResponseWriter to inject the observability
+// headers at WriteHeader time (headers must precede the status line)
+// and to remember the status for the access log.
+type obsWriter struct {
+	http.ResponseWriter
+	timer  *reqTimer
+	status int
+}
+
+func (w *obsWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+		w.Header().Set("X-Mapserve-Request", w.timer.id)
+		if th := w.timer.timingHeader(); th != "" {
+			w.Header().Set("X-Mapserve-Timing", th)
+		}
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *obsWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a POST handler with the per-request observability:
+// one counter increment, a fresh request ID and stage timer threaded
+// through the context, per-stage histogram ingestion, and one
+// structured access-log line when a logger is configured.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	counter := s.met.requestCounter(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		counter.Add(1)
+		start := time.Now()
+		tm := newReqTimer(newRequestID())
+		r = r.WithContext(withTimer(r.Context(), tm))
+		ow := &obsWriter{ResponseWriter: w, timer: tm}
+		h(ow, r)
+		s.met.observeTimer(tm)
+		if s.cfg.Logger != nil {
+			status := ow.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			attrs := []any{
+				slog.String("id", tm.id),
+				slog.String("endpoint", endpoint),
+				slog.Int("status", status),
+				slog.Duration("total", time.Since(start)),
+			}
+			if cache := ow.Header().Get("X-Mapserve-Cache"); cache != "" {
+				attrs = append(attrs, slog.String("cache", cache))
+			}
+			attrs = append(attrs, slog.Group("stages", tm.stageAttrs()...))
+			s.cfg.Logger.Info("request", attrs...)
+		}
+	}
+}
+
+// contentTooLargeError marks a body that exceeded maxBodyBytes — mapped
+// to 413, not 400: the request was never parsed, so "bad request"
+// would misreport a size limit as a syntax problem.
+type contentTooLargeError struct{ err error }
+
+func (e *contentTooLargeError) Error() string { return e.err.Error() }
+func (e *contentTooLargeError) Unwrap() error { return e.err }
+
 // decodeJSON reads one strict JSON document into dst, rejecting unknown
-// fields, trailing garbage, and oversized bodies.
+// fields, trailing garbage, and oversized bodies. Oversized bodies
+// surface as *contentTooLargeError (413); everything else is a 400.
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	defer recordStage(r.Context(), stageDecode, time.Now())
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &contentTooLargeError{err: fmt.Errorf("service: request body exceeds %d bytes", mbe.Limit)}
+		}
 		return badRequest("service: invalid request body: %v", err)
 	}
 	if dec.More() {
@@ -54,6 +136,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	if ow, ok := w.(*obsWriter); ok {
+		defer func(start time.Time) {
+			ow.timer.record(stageEncode, time.Since(start))
+		}(time.Now())
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -66,9 +153,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func (s *Service) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var bad *BadRequestError
+	var tooLarge *contentTooLargeError
 	switch {
 	case errors.As(err, &bad):
 		status = http.StatusBadRequest
+	case errors.As(err, &tooLarge):
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
@@ -96,7 +186,6 @@ func (s *Service) withDeadline(r *http.Request, timeoutMS int64) (context.Contex
 func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
 	var req MapRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.met.mapRequests.Add(1)
 		s.writeError(w, err)
 		return
 	}
@@ -116,7 +205,6 @@ func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleConflict(w http.ResponseWriter, r *http.Request) {
 	var req ConflictRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.met.conflictRequests.Add(1)
 		s.writeError(w, err)
 		return
 	}
@@ -133,7 +221,6 @@ func (s *Service) handleConflict(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.met.simulateRequests.Add(1)
 		s.writeError(w, err)
 		return
 	}
@@ -150,7 +237,6 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req VerifyRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		s.met.verifyRequests.Add(1)
 		s.writeError(w, err)
 		return
 	}

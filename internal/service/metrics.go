@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"lodim/internal/schedule"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the search-latency
@@ -40,16 +42,85 @@ type metrics struct {
 	latCounts [numLatencyBuckets + 1]atomic.Int64
 	latSumNs  atomic.Int64
 	latCount  atomic.Int64
+
+	// Per-stage request-timing histograms (same bucket bounds as the
+	// search-latency histogram), indexed by the timing.go stage
+	// constants.
+	stageCounts [numStages][numLatencyBuckets + 1]atomic.Int64
+	stageSumNs  [numStages]atomic.Int64
+	stageCount  [numStages]atomic.Int64
+
+	// Search-effort counters aggregated from schedule.SearchStats.
+	prunedOrbit        atomic.Int64
+	prunedLowerBound   atomic.Int64
+	prunedIncumbent    atomic.Int64
+	spaceCandidates    atomic.Int64
+	scheduleCandidates atomic.Int64
+	costLevels         atomic.Int64
+	innerSearches      atomic.Int64
 }
 
-// observeSearch records one search latency in the histogram.
-func (m *metrics) observeSearch(d time.Duration) {
-	secs := d.Seconds()
+// requestCounter returns the per-endpoint request counter; the
+// instrument wrapper is its only incrementer, so each request counts
+// exactly once on every path.
+func (m *metrics) requestCounter(endpoint string) *atomic.Int64 {
+	switch endpoint {
+	case "map":
+		return &m.mapRequests
+	case "conflict":
+		return &m.conflictRequests
+	case "simulate":
+		return &m.simulateRequests
+	case "verify":
+		return &m.verifyRequests
+	}
+	panic("service: unknown endpoint " + endpoint)
+}
+
+// bucketIndex returns the histogram bucket for a duration in seconds.
+func bucketIndex(secs float64) int {
 	i := 0
 	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
 		i++
 	}
-	m.latCounts[i].Add(1)
+	return i
+}
+
+// observeStage records one stage duration in its histogram.
+func (m *metrics) observeStage(stage int, d time.Duration) {
+	m.stageCounts[stage][bucketIndex(d.Seconds())].Add(1)
+	m.stageSumNs[stage].Add(d.Nanoseconds())
+	m.stageCount[stage].Add(1)
+}
+
+// observeTimer folds a finished request's stage timings into the
+// per-stage histograms.
+func (m *metrics) observeTimer(t *reqTimer) {
+	for stage := 0; stage < numStages; stage++ {
+		if d, ok := t.duration(stage); ok {
+			m.observeStage(stage, d)
+		}
+	}
+}
+
+// observeSearchStats folds one search's effort report into the
+// aggregate pruning counters.
+func (m *metrics) observeSearchStats(st *schedule.SearchStats) {
+	if st == nil {
+		return
+	}
+	m.prunedOrbit.Add(st.PrunedOrbit)
+	m.prunedLowerBound.Add(st.PrunedLowerBound)
+	m.prunedIncumbent.Add(st.PrunedIncumbent)
+	m.spaceCandidates.Add(st.SpaceCandidates)
+	m.scheduleCandidates.Add(st.ScheduleCandidates)
+	m.costLevels.Add(st.CostLevels)
+	m.innerSearches.Add(st.InnerSearches)
+}
+
+// observeSearch records one search latency in the histogram.
+func (m *metrics) observeSearch(d time.Duration) {
+	m.latCounts[bucketIndex(d.Seconds())].Add(1)
 	m.latSumNs.Add(d.Nanoseconds())
 	m.latCount.Add(1)
 }
@@ -83,6 +154,14 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP mapserve_cache_hit_ratio Cache hits over cacheable map requests.\n# TYPE mapserve_cache_hit_ratio gauge\nmapserve_cache_hit_ratio %.6f\n",
 			float64(hits)/float64(hits+misses))
 	}
+	fmt.Fprintf(w, "# HELP mapserve_search_pruned_total Search candidates removed before evaluation, by pruning rule.\n# TYPE mapserve_search_pruned_total counter\n")
+	fmt.Fprintf(w, "mapserve_search_pruned_total{rule=\"orbit\"} %d\n", m.prunedOrbit.Load())
+	fmt.Fprintf(w, "mapserve_search_pruned_total{rule=\"lower_bound\"} %d\n", m.prunedLowerBound.Load())
+	fmt.Fprintf(w, "mapserve_search_pruned_total{rule=\"incumbent\"} %d\n", m.prunedIncumbent.Load())
+	counter("mapserve_search_space_candidates_total", "Space mappings enumerated by the joint search.", m.spaceCandidates.Load())
+	counter("mapserve_search_schedule_candidates_total", "Schedule vectors examined across all inner searches.", m.scheduleCandidates.Load())
+	counter("mapserve_search_cost_levels_total", "Objective levels stepped through by Procedure 5.1.", m.costLevels.Load())
+	counter("mapserve_search_inner_searches_total", "Inner Procedure 5.1 searches launched by the joint search.", m.innerSearches.Load())
 	fmt.Fprintf(w, "# HELP mapserve_search_latency_seconds Joint search wall time.\n# TYPE mapserve_search_latency_seconds histogram\n")
 	var cum int64
 	for i, ub := range latencyBuckets {
@@ -93,12 +172,25 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "mapserve_search_latency_seconds_sum %.9f\n", float64(m.latSumNs.Load())/1e9)
 	fmt.Fprintf(w, "mapserve_search_latency_seconds_count %d\n", m.latCount.Load())
+	fmt.Fprintf(w, "# HELP mapserve_stage_duration_seconds Request time per processing stage.\n# TYPE mapserve_stage_duration_seconds histogram\n")
+	for stage := 0; stage < numStages; stage++ {
+		name := stageNames[stage]
+		var c int64
+		for i, ub := range latencyBuckets {
+			c += m.stageCounts[stage][i].Load()
+			fmt.Fprintf(w, "mapserve_stage_duration_seconds_bucket{stage=%q,le=\"%g\"} %d\n", name, ub, c)
+		}
+		c += m.stageCounts[stage][len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "mapserve_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, c)
+		fmt.Fprintf(w, "mapserve_stage_duration_seconds_sum{stage=%q} %.9f\n", name, float64(m.stageSumNs[stage].Load())/1e9)
+		fmt.Fprintf(w, "mapserve_stage_duration_seconds_count{stage=%q} %d\n", name, m.stageCount[stage].Load())
+	}
 }
 
 // Snapshot returns the counters as a flat map — the expvar surface
 // published by cmd/mapserve.
 func (m *metrics) Snapshot() map[string]any {
-	return map[string]any{
+	out := map[string]any{
 		"map_requests":         m.mapRequests.Load(),
 		"conflict_requests":    m.conflictRequests.Load(),
 		"simulate_requests":    m.simulateRequests.Load(),
@@ -117,4 +209,16 @@ func (m *metrics) Snapshot() map[string]any {
 		"search_latency_count": m.latCount.Load(),
 		"search_latency_sum_s": float64(m.latSumNs.Load()) / 1e9,
 	}
+	out["search_pruned_orbit"] = m.prunedOrbit.Load()
+	out["search_pruned_lower_bound"] = m.prunedLowerBound.Load()
+	out["search_pruned_incumbent"] = m.prunedIncumbent.Load()
+	out["search_space_candidates"] = m.spaceCandidates.Load()
+	out["search_schedule_candidates"] = m.scheduleCandidates.Load()
+	out["search_cost_levels"] = m.costLevels.Load()
+	out["search_inner_searches"] = m.innerSearches.Load()
+	for stage := 0; stage < numStages; stage++ {
+		out["stage_"+stageNames[stage]+"_count"] = m.stageCount[stage].Load()
+		out["stage_"+stageNames[stage]+"_sum_s"] = float64(m.stageSumNs[stage].Load()) / 1e9
+	}
+	return out
 }

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lodim/internal/schedule"
+)
+
+// --- reqTimer unit tests ---------------------------------------------
+
+func TestReqTimerEncoding(t *testing.T) {
+	tm := newReqTimer("abc")
+	if _, ok := tm.duration(stageDecode); ok {
+		t.Error("unset stage reported as ran")
+	}
+	tm.record(stageDecode, 0) // 0ns stage must still register as "ran"
+	if d, ok := tm.duration(stageDecode); !ok || d != 0 {
+		t.Errorf("0ns stage: d=%v ok=%v", d, ok)
+	}
+	tm.record(stageSearch, 1500*time.Microsecond)
+	tm.record(stageSearch, 500*time.Microsecond) // accumulates
+	if d, ok := tm.duration(stageSearch); !ok || d != 2*time.Millisecond {
+		t.Errorf("accumulated search stage = %v ok=%v, want 2ms", d, ok)
+	}
+	h := tm.timingHeader()
+	if !strings.Contains(h, "decode;dur=0.000") || !strings.Contains(h, "search;dur=2.000") {
+		t.Errorf("timing header = %q", h)
+	}
+	var nilTimer *reqTimer
+	nilTimer.record(stageDecode, time.Second) // must not panic
+	if _, ok := nilTimer.duration(stageDecode); ok {
+		t.Error("nil timer reported a stage")
+	}
+}
+
+// --- WritePrometheus invariants --------------------------------------
+
+// scrapeMetrics renders the metrics and parses every sample line into
+// name{labels} → value.
+func scrapeMetrics(t *testing.T, m *metrics) map[string]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	out := map[string]float64{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparsable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// histogramInvariants checks one rendered histogram family: cumulative
+// non-decreasing buckets, +Inf bucket equal to _count, and a _sum
+// consistent with the recorded durations.
+func histogramInvariants(t *testing.T, samples map[string]float64, prefix, labels string, wantCount int64, wantSumS float64) {
+	t.Helper()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	prev := -1.0
+	for _, ub := range latencyBuckets {
+		key := fmt.Sprintf("%s_bucket{%s%sle=\"%g\"}", prefix, labels, sep, ub)
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Errorf("bucket %s = %g below previous %g (cumulative le violated)", key, v, prev)
+		}
+		prev = v
+	}
+	infKey := fmt.Sprintf("%s_bucket{%s%sle=\"+Inf\"}", prefix, labels, sep)
+	inf, ok := samples[infKey]
+	if !ok {
+		t.Fatalf("missing +Inf bucket %s", infKey)
+	}
+	if inf < prev {
+		t.Errorf("+Inf bucket %g below last finite bucket %g", inf, prev)
+	}
+	countKey := prefix + "_count"
+	sumKey := prefix + "_sum"
+	if labels != "" {
+		countKey += "{" + labels + "}"
+		sumKey += "{" + labels + "}"
+	}
+	if got := samples[countKey]; got != float64(wantCount) {
+		t.Errorf("%s = %g, want %d", countKey, got, wantCount)
+	}
+	if inf != float64(wantCount) {
+		t.Errorf("+Inf bucket %g != count %d", inf, wantCount)
+	}
+	if got := samples[sumKey]; got < wantSumS-1e-9 || got > wantSumS+1e-9 {
+		t.Errorf("%s = %g, want ≈ %g", sumKey, got, wantSumS)
+	}
+}
+
+func TestWritePrometheusHistograms(t *testing.T) {
+	m := &metrics{}
+	durations := []time.Duration{500 * time.Microsecond, 30 * time.Millisecond, 3 * time.Second, 20 * time.Second}
+	var sum time.Duration
+	for _, d := range durations {
+		m.observeSearch(d)
+		m.observeStage(stageDecode, d)
+		sum += d
+	}
+	m.observeStage(stageSearch, time.Millisecond)
+	samples := scrapeMetrics(t, m)
+	histogramInvariants(t, samples, "mapserve_search_latency_seconds", "", 4, sum.Seconds())
+	histogramInvariants(t, samples, "mapserve_stage_duration_seconds", `stage="decode"`, 4, sum.Seconds())
+	histogramInvariants(t, samples, "mapserve_stage_duration_seconds", `stage="search"`, 1, 0.001)
+	// A 20s observation lands only in +Inf: the last finite bucket must
+	// be strictly below it.
+	last := samples[fmt.Sprintf("mapserve_search_latency_seconds_bucket{le=\"%g\"}", latencyBuckets[numLatencyBuckets-1])]
+	if last != 3 {
+		t.Errorf("last finite bucket = %g, want 3 (20s sample must spill to +Inf)", last)
+	}
+	// Every stage renders a family, even unobserved ones (zero series).
+	for _, name := range stageNames {
+		key := fmt.Sprintf("mapserve_stage_duration_seconds_count{stage=%q}", name)
+		if _, ok := samples[key]; !ok {
+			t.Errorf("missing per-stage histogram for %q", name)
+		}
+	}
+}
+
+func TestWritePrometheusSearchStatsCounters(t *testing.T) {
+	m := &metrics{}
+	m.observeSearchStats(nil) // no-op, must not panic
+	st := &searchStatsFixture
+	m.observeSearchStats(st)
+	m.observeSearchStats(st)
+	samples := scrapeMetrics(t, m)
+	cases := map[string]int64{
+		`mapserve_search_pruned_total{rule="orbit"}`:       2 * st.PrunedOrbit,
+		`mapserve_search_pruned_total{rule="lower_bound"}`: 2 * st.PrunedLowerBound,
+		`mapserve_search_pruned_total{rule="incumbent"}`:   2 * st.PrunedIncumbent,
+		"mapserve_search_space_candidates_total":           2 * st.SpaceCandidates,
+		"mapserve_search_schedule_candidates_total":        2 * st.ScheduleCandidates,
+		"mapserve_search_cost_levels_total":                2 * st.CostLevels,
+		"mapserve_search_inner_searches_total":             2 * st.InnerSearches,
+	}
+	for key, want := range cases {
+		if got := samples[key]; got != float64(want) {
+			t.Errorf("%s = %g, want %d", key, got, want)
+		}
+	}
+}
+
+// TestSnapshotPrometheusParity: every metric family rendered by
+// WritePrometheus has a Snapshot counterpart and vice versa, per the
+// explicit correspondence table — so the two surfaces cannot drift
+// silently.
+func TestSnapshotPrometheusParity(t *testing.T) {
+	m := &metrics{}
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	families := map[string]bool{}
+	for _, match := range regexp.MustCompile(`(?m)^# TYPE (\S+)`).FindAllStringSubmatch(buf.String(), -1) {
+		families[match[1]] = true
+	}
+	snap := m.Snapshot()
+
+	// family → snapshot keys (nil = deliberately Prometheus-only).
+	table := map[string][]string{
+		"mapserve_requests_total":                   {"map_requests", "conflict_requests", "simulate_requests", "verify_requests"},
+		"mapserve_cache_hits_total":                 {"cache_hits"},
+		"mapserve_cache_misses_total":               {"cache_misses"},
+		"mapserve_verify_cache_hits_total":          {"verify_cache_hits"},
+		"mapserve_verify_cache_misses_total":        {"verify_cache_misses"},
+		"mapserve_searches_total":                   {"searches"},
+		"mapserve_singleflight_deduped_total":       {"singleflight_deduped"},
+		"mapserve_rejected_total":                   {"rejected"},
+		"mapserve_timeouts_total":                   {"timeouts"},
+		"mapserve_failures_total":                   {"failures"},
+		"mapserve_inflight_searches":                {"inflight_searches"},
+		"mapserve_queued_requests":                  {"queued_requests"},
+		"mapserve_search_latency_seconds":           {"search_latency_count", "search_latency_sum_s"},
+		"mapserve_search_pruned_total":              {"search_pruned_orbit", "search_pruned_lower_bound", "search_pruned_incumbent"},
+		"mapserve_search_space_candidates_total":    {"search_space_candidates"},
+		"mapserve_search_schedule_candidates_total": {"search_schedule_candidates"},
+		"mapserve_search_cost_levels_total":         {"search_cost_levels"},
+		"mapserve_search_inner_searches_total":      {"search_inner_searches"},
+		// mapserve_cache_hit_ratio is derived and rendered only when
+		// hits+misses > 0; it has no snapshot counterpart by design.
+		"mapserve_cache_hit_ratio": nil,
+	}
+	var stageKeys []string
+	for _, name := range stageNames {
+		stageKeys = append(stageKeys, "stage_"+name+"_count", "stage_"+name+"_sum_s")
+	}
+	table["mapserve_stage_duration_seconds"] = stageKeys
+
+	for family, keys := range table {
+		if family != "mapserve_cache_hit_ratio" && !families[family] {
+			t.Errorf("table family %s not rendered by WritePrometheus", family)
+		}
+		for _, key := range keys {
+			if _, ok := snap[key]; !ok {
+				t.Errorf("family %s: snapshot key %q missing", family, key)
+			}
+		}
+		delete(families, family)
+	}
+	for family := range families {
+		t.Errorf("family %s rendered but absent from the parity table — add its Snapshot keys", family)
+	}
+	covered := map[string]bool{}
+	for _, keys := range table {
+		for _, k := range keys {
+			covered[k] = true
+		}
+	}
+	for key := range snap {
+		if !covered[key] {
+			t.Errorf("snapshot key %q has no WritePrometheus family in the parity table", key)
+		}
+	}
+}
+
+var searchStatsFixture = schedule.SearchStats{
+	Engine:             "joint-6.2",
+	Workers:            2,
+	SpaceCandidates:    20,
+	PrunedOrbit:        3,
+	PrunedLowerBound:   5,
+	PrunedIncumbent:    7,
+	InnerSearches:      11,
+	ScheduleCandidates: 400,
+	CostLevels:         9,
+}

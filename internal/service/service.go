@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -48,6 +49,10 @@ type Config struct {
 	// (0 selects 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Logger, when non-nil, receives one structured access-log line per
+	// HTTP request (id, endpoint, status, cache disposition, stage
+	// timings). Nil disables access logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -320,7 +325,6 @@ func algoFromRequest(name string, sizes, bounds []int64, deps [][]int64) (*uda.A
 // singleflight-deduplicated, admission-controlled search in canonical
 // coordinates, translated back to the caller's axis order.
 func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, CacheStatus, error) {
-	s.met.mapRequests.Add(1)
 	done, err := s.begin()
 	if err != nil {
 		return nil, "", err
@@ -346,11 +350,13 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 		return nil, "", badRequest("service: max_entry, wire_weight and max_cost must be ≥ 0")
 	}
 
+	canonStart := time.Now()
 	canon := Canonicalize(algo)
 	key := fmt.Sprintf("%s|dims=%d|me=%d|ww=%d|mc=%d", canon.Key, dims, req.MaxEntry, req.WireWeight, req.MaxCost)
+	recordStage(ctx, stageCanonicalize, canonStart)
 	if v, ok := s.cache.Get(key); ok {
 		s.met.cacheHits.Add(1)
-		return buildMapResponse(algo, canon, key, dims, v.(*schedule.JointResult)), CacheHit, nil
+		return s.mapResponse(ctx, algo, canon, key, dims, v.(*schedule.JointResult)), CacheHit, nil
 	}
 
 	// The flight context — not the request context — drives the search:
@@ -380,7 +386,14 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 		status = CacheMiss
 		s.met.cacheMisses.Add(1)
 	}
-	return buildMapResponse(algo, canon, key, dims, out.res), status, nil
+	return s.mapResponse(ctx, algo, canon, key, dims, out.res), status, nil
+}
+
+// mapResponse is buildMapResponse with the translate stage recorded
+// against the request's timer.
+func (s *Service) mapResponse(ctx context.Context, algo *uda.Algorithm, canon *Canonical, key string, dims int, res *schedule.JointResult) *MapResponse {
+	defer recordStage(ctx, stageTranslate, time.Now())
+	return buildMapResponse(algo, canon, key, dims, res)
 }
 
 // flightOutcome is what a map flight resolves to: the canonical search
@@ -395,7 +408,13 @@ type flightOutcome struct {
 // result. ctx is the flight context — cancelled only when every
 // waiter on this flight has detached.
 func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, dims int, req *MapRequest) (*flightOutcome, error) {
+	// ctx descends (via context.WithoutCancel) from the flight leader's
+	// request context, so its stage timer — when the request came over
+	// HTTP — is visible here even though the flight may outlive the
+	// leader's deadline. The timer's atomics make the late writes safe.
+	queueStart := time.Now()
 	release, err := s.acquire(ctx)
+	recordStage(ctx, stageQueue, queueStart)
 	if err != nil {
 		return nil, err
 	}
@@ -414,9 +433,11 @@ func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, d
 	start := time.Now()
 	res, err := s.searchJoint(ctx, canon.Algo, dims, opts)
 	s.met.observeSearch(time.Since(start))
+	recordStage(ctx, stageSearch, start)
 	if err != nil {
 		return nil, err
 	}
+	s.met.observeSearchStats(res.Stats)
 	s.cache.Add(key, res)
 	return &flightOutcome{res: res}, nil
 }
@@ -446,6 +467,9 @@ func buildMapResponse(algo *uda.Algorithm, canon *Canonical, key string, dims in
 		Pruned:       res.Pruned,
 		Conflict:     res.ScheduleResult.Conflict.Method,
 		CanonicalKey: key,
+		// SearchStats deliberately stays out of the body: its wall-time
+		// fields would break the byte-identical cache-hit invariant. The
+		// aggregate counters flow to GET /metrics instead.
 	}
 }
 
@@ -476,7 +500,6 @@ type ConflictResponse struct {
 
 // Conflict decides conflict-freeness of a mapping matrix.
 func (s *Service) Conflict(ctx context.Context, req *ConflictRequest) (*ConflictResponse, error) {
-	s.met.conflictRequests.Add(1)
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
@@ -505,11 +528,14 @@ func (s *Service) Conflict(ctx context.Context, req *ConflictRequest) (*Conflict
 	}
 	t := intmat.FromRows(rows...)
 
+	queueStart := time.Now()
 	release, err := s.acquire(ctx)
+	recordStage(ctx, stageQueue, queueStart)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	defer recordStage(ctx, stageSearch, time.Now())
 	res, err := conflict.Decide(t, set)
 	if err != nil {
 		if errors.Is(err, conflict.ErrRank) {
@@ -548,7 +574,6 @@ type SimulateResponse struct {
 
 // Simulate runs a mapping through the systolic simulator.
 func (s *Service) Simulate(ctx context.Context, req *SimulateRequest) (*SimulateResponse, error) {
-	s.met.simulateRequests.Add(1)
 	done, err := s.begin()
 	if err != nil {
 		return nil, err
@@ -582,12 +607,22 @@ func (s *Service) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
 	}
+	// Request-supplied Π and μ can drive 1 + Σ|π_i|μ_i past int64; the
+	// checked form turns the wrap into a 400 instead of reporting a
+	// negative schedule time.
+	totalTime, err := m.TotalTimeChecked()
+	if err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
 
+	queueStart := time.Now()
 	release, err := s.acquire(ctx)
+	recordStage(ctx, stageQueue, queueStart)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	defer recordStage(ctx, stageSearch, time.Now())
 	sim, err := systolic.New(m, &systolic.ChecksumProgram{Streams: algo.NumDeps()}, mach)
 	if err != nil {
 		return nil, &BadRequestError{Err: err}
@@ -598,7 +633,7 @@ func (s *Service) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	}
 	return &SimulateResponse{
 		Cycles:          res.Cycles,
-		ScheduleTime:    m.TotalTime(),
+		ScheduleTime:    totalTime,
 		Processors:      res.Processors,
 		Computations:    res.Computations,
 		PeakParallelism: res.MaxOccupancy,

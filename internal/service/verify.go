@@ -4,6 +4,7 @@ import (
 	"context"
 	"strconv"
 	"strings"
+	"time"
 
 	"lodim/internal/intmat"
 	"lodim/internal/verify"
@@ -47,7 +48,6 @@ type VerifyResponse struct {
 // VerifyMapping certifies a mapping, serving repeated (and axis-
 // permuted) queries from the canonical certificate cache.
 func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*VerifyResponse, CacheStatus, error) {
-	s.met.verifyRequests.Add(1)
 	done, err := s.begin()
 	if err != nil {
 		return nil, "", err
@@ -75,6 +75,7 @@ func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*Verif
 		return nil, "", badRequest("service: index set exceeds the simulation limit of %d points", maxIndexPoints)
 	}
 
+	canonStart := time.Now()
 	canon := Canonicalize(algo)
 	canonS := canon.MatrixToCanonical(sm)
 	canonPi := canon.VectorToCanonical(req.Pi)
@@ -83,32 +84,44 @@ func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*Verif
 	// Canonical column j of D is request column colPerm[j]; computed
 	// here because only the request still knows its column order.
 	colPerm := canon.DepColumnPerm(algo.D)
+	recordStage(ctx, stageCanonicalize, canonStart)
 
 	if v, ok := s.cache.Get(key); ok {
 		s.met.verifyCacheHits.Add(1)
-		return buildVerifyResponse(canon, colPerm, key, v.(*verify.Certificate)), CacheHit, nil
+		return s.verifyResponse(ctx, canon, colPerm, key, v.(*verify.Certificate)), CacheHit, nil
 	}
 
+	queueStart := time.Now()
 	release, err := s.acquire(ctx)
+	recordStage(ctx, stageQueue, queueStart)
 	if err != nil {
 		return nil, "", err
 	}
 	defer release()
 	if v, ok := s.cache.Get(key); ok { // landed while we waited for a slot
 		s.met.verifyCacheHits.Add(1)
-		return buildVerifyResponse(canon, colPerm, key, v.(*verify.Certificate)), CacheHit, nil
+		return s.verifyResponse(ctx, canon, colPerm, key, v.(*verify.Certificate)), CacheHit, nil
 	}
 	s.met.verifyCacheMisses.Add(1)
 
 	opts := &verify.Options{Simulate: req.Simulate}
+	certStart := time.Now()
 	cert, err := verify.Certify(canon.Algo, canonS, canonPi, opts)
+	recordStage(ctx, stageSearch, certStart)
 	if err != nil {
 		// Shape problems were screened above, so an engine error here is
 		// a resource limit or arithmetic overflow on this input.
 		return nil, CacheMiss, &BadRequestError{Err: err}
 	}
 	s.cache.Add(key, cert)
-	return buildVerifyResponse(canon, colPerm, key, cert), CacheMiss, nil
+	return s.verifyResponse(ctx, canon, colPerm, key, cert), CacheMiss, nil
+}
+
+// verifyResponse is buildVerifyResponse with the translate stage
+// recorded against the request's timer.
+func (s *Service) verifyResponse(ctx context.Context, canon *Canonical, colPerm []int, key string, cert *verify.Certificate) *VerifyResponse {
+	defer recordStage(ctx, stageTranslate, time.Now())
+	return buildVerifyResponse(canon, colPerm, key, cert)
 }
 
 // verifyCacheKey derives the canonical cache identity of a

@@ -131,10 +131,26 @@ func (s IndexSet) Each(f func(j intmat.Vector) bool) bool {
 	}
 }
 
+// maxPointsPrealloc caps the Points preallocation: beyond it the slice
+// grows by append instead of one up-front make.
+const maxPointsPrealloc = 1 << 20
+
+// pointsCap returns the preallocation capacity Points may safely pass
+// to make: |J| when it is small, maxPointsPrealloc otherwise. Size
+// wraps int64 for large bounds, and a wrapped negative capacity panics
+// makeslice — so the clamp must go through SizeExceeds, which saturates
+// instead of overflowing.
+func (s IndexSet) pointsCap() int64 {
+	if s.SizeExceeds(maxPointsPrealloc) {
+		return maxPointsPrealloc
+	}
+	return s.Size()
+}
+
 // Points returns all index points in lexicographic order. Use only for
 // small index sets (tests, brute-force validation).
 func (s IndexSet) Points() []intmat.Vector {
-	pts := make([]intmat.Vector, 0, s.Size())
+	pts := make([]intmat.Vector, 0, s.pointsCap())
 	s.Each(func(j intmat.Vector) bool {
 		pts = append(pts, j)
 		return true

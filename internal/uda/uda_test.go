@@ -341,3 +341,44 @@ func TestBitLevelDimensions(t *testing.T) {
 		t.Errorf("carry dependence = %v", carry)
 	}
 }
+
+// TestPointsCapClampsWrappedSize: Points used to preallocate with
+// Size(), which wraps int64 for large bounds — a wrapped negative
+// capacity panicked makeslice before the first point was ever visited.
+// The capacity must go through the saturating SizeExceeds clamp.
+func TestPointsCapClampsWrappedSize(t *testing.T) {
+	// ∏(μ_i+1) = (2^32)^2 · 2 = 2^65 ≡ 0 (mod 2^64); intermediate
+	// partial products pass through negative territory.
+	wrapped := Box(1<<32-1, 1<<32-1, 1)
+	if wrapped.SizeExceeds(maxPointsPrealloc) != true {
+		t.Fatal("precondition: crafted μ must exceed the prealloc cap")
+	}
+	c := wrapped.pointsCap()
+	if c != maxPointsPrealloc {
+		t.Errorf("pointsCap = %d, want the clamp %d", c, maxPointsPrealloc)
+	}
+	// The exact expression Points passes to make must not panic.
+	pts := make([]intmat.Vector, 0, wrapped.pointsCap())
+	_ = pts
+
+	// A μ whose product wraps to a *negative* int64 — the crash case:
+	// make([]T, 0, negative) panics "makeslice: cap out of range".
+	// Here ∏(μ_i+1) = 2^61 · 4 = 2^63 ≡ MinInt64.
+	negative := Box(1<<61-1, 3)
+	if negative.Size() >= 0 {
+		t.Fatalf("precondition: Size must wrap negative, got %d", negative.Size())
+	}
+	if c := negative.pointsCap(); c != maxPointsPrealloc {
+		t.Errorf("pointsCap on wrapped-negative Size = %d, want %d", c, maxPointsPrealloc)
+	}
+
+	// Small sets keep the exact preallocation.
+	small := Box(1, 2)
+	if c := small.pointsCap(); c != small.Size() {
+		t.Errorf("pointsCap on small set = %d, want %d", c, small.Size())
+	}
+	// And Points itself still enumerates correctly past the clamp logic.
+	if got := len(small.Points()); int64(got) != small.Size() {
+		t.Errorf("Points = %d points, want %d", got, small.Size())
+	}
+}

@@ -2,6 +2,7 @@ package mapping_test
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"lodim/internal/verify"
@@ -107,9 +108,20 @@ func TestTotalTimeTable(t *testing.T) {
 		{[]int64{1, 3, 1}, []int64{2, 3, 4}, 16},
 	}
 	for _, c := range cases {
-		if got := mapping.TotalTime(mapping.Vec(c.pi...), mapping.Box(c.mu...)); got != c.want {
+		got, err := mapping.TotalTime(mapping.Vec(c.pi...), mapping.Box(c.mu...))
+		if err != nil {
+			t.Errorf("TotalTime(%v, %v): unexpected error %v", c.pi, c.mu, err)
+			continue
+		}
+		if got != c.want {
 			t.Errorf("TotalTime(%v, %v) = %d, want %d", c.pi, c.mu, got, c.want)
 		}
+	}
+	// Regression: Σ|π_i|·μ_i beyond int64 used to wrap to a negative
+	// total time; it must surface as an overflow error instead.
+	huge := int64(math.MaxInt64 / 2)
+	if got, err := mapping.TotalTime(mapping.Vec(3, 1), mapping.Box(huge, 1)); err == nil {
+		t.Errorf("TotalTime overflow: got %d, want error", got)
 	}
 }
 

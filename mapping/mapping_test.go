@@ -132,7 +132,11 @@ func TestILPFacade(t *testing.T) {
 }
 
 func TestTotalTimeFacade(t *testing.T) {
-	if got := mapping.TotalTime(mapping.Vec(1, 4, 1), mapping.Cube(3, 4)); got != 25 {
+	got, err := mapping.TotalTime(mapping.Vec(1, 4, 1), mapping.Cube(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
 		t.Errorf("TotalTime = %d", got)
 	}
 }
