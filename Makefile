@@ -30,7 +30,7 @@ race:
 	$(GO) test -race ./...
 
 race-hot:
-	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/verify/...
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/verify/... ./internal/trace/...
 
 # Benchmarks, normalized to JSON comparable against BENCH_baseline.json
 # (regenerate the baseline with `make bench BENCHTIME=2s > BENCH_baseline.json`

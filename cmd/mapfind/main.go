@@ -41,6 +41,7 @@ import (
 	"lodim/internal/cli"
 	"lodim/internal/loopnest"
 	"lodim/internal/schedule"
+	"lodim/internal/trace"
 	"lodim/internal/uda"
 	"lodim/internal/verify"
 )
@@ -64,6 +65,7 @@ func main() {
 		dims     = flag.Int("dims", 1, "array dimensionality for -joint")
 		workers  = flag.Int("workers", 1, "parallel workers for the -joint candidate search")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit); deadline exits with status 3")
+		traceOut = flag.String("trace", "", "write a Perfetto JSON trace of the search to this file (open in ui.perfetto.dev)")
 	)
 	flag.Parse()
 	if err := run2(options{
@@ -71,7 +73,7 @@ func main() {
 		machine: *machine, maxCost: *maxCost, stmt: *stmt, vars: *vars, bits: *bits,
 		json: *jsonOut, stats: *stats, algoFile: *algoFile,
 		joint: *joint, dims: *dims, workers: *workers, timeout: *timeout,
-		verify: *verifyW,
+		verify: *verifyW, trace: *traceOut,
 	}); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			if *jsonOut {
@@ -112,6 +114,7 @@ type options struct {
 	dims, workers                   int
 	timeout                         time.Duration
 	verify                          bool
+	trace                           string
 }
 
 // certify runs the independent verification engine on a search winner.
@@ -205,10 +208,39 @@ func run2(o options) error {
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
+	if o.trace != "" {
+		tracer := trace.New(trace.Config{})
+		tctx, root := tracer.StartRoot(ctx, "mapfind", "")
+		ctx = tctx
+		root.SetStr("algorithm", algo.Name)
+		// The deferred write runs on every exit path, so a trace of a
+		// failed or timed-out search survives for inspection too.
+		defer func() {
+			root.End()
+			if err := writeTraceFile(o.trace, root.Trace()); err != nil {
+				fmt.Fprintln(os.Stderr, "mapfind: writing trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "mapfind: search trace written to %s (open in https://ui.perfetto.dev)\n", o.trace)
+		}()
+	}
 	if o.joint {
 		return solveJoint(ctx, algo, o)
 	}
 	return solve(ctx, algo, o)
+}
+
+// writeTraceFile exports one completed trace as Perfetto JSON.
+func writeTraceFile(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WritePerfetto(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // solveJoint runs the Problem 6.2 joint (S, Π) search.

@@ -14,7 +14,13 @@
 //	POST /v1/verify    — independent certificate for a given (S, Π)
 //	GET  /metrics      — Prometheus text metrics
 //	GET  /debug/vars   — expvar counters
-//	GET  /healthz      — liveness probe
+//	GET  /healthz      — liveness probe (JSON status)
+//
+// With -pprof ADDR a private debug listener additionally serves
+// /debug/pprof/ and the /debug/requests trace inspector (the last
+// -trace-buffer completed request traces as HTML, JSON, or Perfetto
+// exports); -trace-dir DIR keeps the slowest -trace-slowest traces per
+// endpoint on disk as Perfetto JSON.
 //
 // Identical problems — including axis-permuted restatements of one
 // problem — are answered from a canonical LRU cache, and concurrent
@@ -38,20 +44,24 @@ import (
 	"time"
 
 	"lodim/internal/service"
+	"lodim/internal/trace"
 )
 
 // config is the parsed and validated command line.
 type config struct {
-	addr       string
-	pprofAddr  string
-	logFormat  string
-	pool       int
-	queue      int
-	cacheSize  int
-	workers    int
-	defTimeout time.Duration
-	maxTimeout time.Duration
-	drain      time.Duration
+	addr         string
+	pprofAddr    string
+	logFormat    string
+	pool         int
+	queue        int
+	cacheSize    int
+	workers      int
+	defTimeout   time.Duration
+	maxTimeout   time.Duration
+	drain        time.Duration
+	traceBuffer  int
+	traceDir     string
+	traceSlowest int
 }
 
 // parseFlags parses args (without the program name) into a validated
@@ -70,6 +80,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.defTimeout, "timeout", 30*time.Second, "default per-request search deadline")
 	fs.DurationVar(&cfg.maxTimeout, "max-timeout", 2*time.Minute, "ceiling on request-supplied deadlines")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful shutdown grace period")
+	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 64, "completed request traces kept for the /debug/requests inspector (0 = tracing off)")
+	fs.StringVar(&cfg.traceDir, "trace-dir", "", "export the slowest traces per endpoint as Perfetto JSON into this directory (empty = disabled)")
+	fs.IntVar(&cfg.traceSlowest, "trace-slowest", 8, "slowest traces retained per endpoint in -trace-dir")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -103,6 +116,15 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.logFormat != "text" && cfg.logFormat != "json" {
 		return nil, fmt.Errorf("-log-format must be text or json, got %q", cfg.logFormat)
 	}
+	if cfg.traceBuffer < 0 {
+		return nil, fmt.Errorf("-trace-buffer must be >= 0, got %d", cfg.traceBuffer)
+	}
+	if cfg.traceSlowest < 1 {
+		return nil, fmt.Errorf("-trace-slowest must be >= 1, got %d", cfg.traceSlowest)
+	}
+	if cfg.traceDir != "" && cfg.traceBuffer == 0 {
+		return nil, errors.New("-trace-dir requires tracing: set -trace-buffer > 0")
+	}
 	return cfg, nil
 }
 
@@ -114,16 +136,20 @@ func newLogger(format string) *slog.Logger {
 	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
-// pprofHandler builds an explicit pprof mux — the profiling endpoints
-// are served only on the dedicated -pprof listener, never on the
-// service address.
-func pprofHandler() http.Handler {
+// pprofHandler builds an explicit mux for the private debug listener:
+// the profiling endpoints plus the /debug/requests trace inspector.
+// Both expose request internals, so they are served only on the
+// dedicated -pprof address, never on the service address.
+func pprofHandler(requests http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if requests != nil {
+		mux.Handle("/debug/requests", requests)
+	}
 	return mux
 }
 
@@ -144,7 +170,17 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string)
 		DefaultTimeout: cfg.defTimeout,
 		MaxTimeout:     cfg.maxTimeout,
 		Logger:         newLogger(cfg.logFormat),
+		TraceBuffer:    cfg.traceBuffer,
 	})
+	if cfg.traceDir != "" {
+		ds, err := trace.NewDirSink(cfg.traceDir, cfg.traceSlowest)
+		if err != nil {
+			svc.Close()
+			return fmt.Errorf("trace dir: %w", err)
+		}
+		svc.Tracer().AddSink(ds.Add)
+		log.Printf("mapserve: exporting the %d slowest traces per endpoint to %s", cfg.traceSlowest, cfg.traceDir)
+	}
 	if onService != nil {
 		onService(svc)
 	}
@@ -172,7 +208,7 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string)
 			return fmt.Errorf("pprof listener: %w", err)
 		}
 		pprofSrv := &http.Server{
-			Handler:           pprofHandler(),
+			Handler:           pprofHandler(svc.DebugHandler()),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go pprofSrv.Serve(pprofLn)

@@ -25,6 +25,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.pprofAddr != "" || cfg.logFormat != "text" {
 		t.Errorf("observability defaults off: pprof=%q log-format=%q", cfg.pprofAddr, cfg.logFormat)
 	}
+	if cfg.traceBuffer != 64 || cfg.traceDir != "" || cfg.traceSlowest != 8 {
+		t.Errorf("trace defaults off: buffer=%d dir=%q slowest=%d", cfg.traceBuffer, cfg.traceDir, cfg.traceSlowest)
+	}
 }
 
 func TestParseFlagsValidation(t *testing.T) {
@@ -43,6 +46,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"bad log format", []string{"-log-format", "xml"}},
 		{"positional junk", []string{"extra"}},
 		{"unknown flag", []string{"-no-such-flag"}},
+		{"negative trace buffer", []string{"-trace-buffer", "-1"}},
+		{"zero trace slowest", []string{"-trace-slowest", "0"}},
+		{"trace dir without tracing", []string{"-trace-buffer", "0", "-trace-dir", "/tmp/x"}},
 	}
 	for _, c := range cases {
 		if _, err := parseFlags(c.args); err == nil {
@@ -135,6 +141,113 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestRunTraceSurfaces: with tracing on, the /debug/requests inspector
+// answers on the private pprof listener only, and -trace-dir collects
+// Perfetto exports of completed requests.
+func TestRunTraceSurfaces(t *testing.T) {
+	traceDir := t.TempDir()
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-pool", "1", "-drain", "5s",
+		"-pprof", "127.0.0.1:0", "-trace-buffer", "8",
+		"-trace-dir", traceDir, "-trace-slowest", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	type addrs struct{ main, pprof string }
+	addrCh := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(cfg, sigCh, func(addr, pprofAddr string) { addrCh <- addrs{addr, pprofAddr} }, nil)
+	}()
+	var addr, pprofAddr string
+	select {
+	case a := <-addrCh:
+		addr, pprofAddr = a.main, a.pprof
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		sigCh <- syscall.SIGTERM
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+
+	body := strings.NewReader(`{"algorithm":"matmul","sizes":[2],"dims":1}`)
+	resp, err := http.Post("http://"+addr+"/v1/map", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("map: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Traceparent") == "" {
+		t.Error("traced response carries no traceparent header")
+	}
+
+	// The inspector lists the trace — on the pprof listener only. The
+	// root span ends just after the response, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get("http://" + pprofAddr + "/debug/requests?format=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var list struct {
+			Traces []struct {
+				Name string `json:"name"`
+			} `json:"traces"`
+		}
+		if err := json.Unmarshal(data, &list); err != nil {
+			t.Fatalf("inspector list: %v (%s)", err, data)
+		}
+		if len(list.Traces) > 0 {
+			if list.Traces[0].Name != "map" {
+				t.Errorf("inspector lists %q, want map", list.Traces[0].Name)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace never appeared in the inspector")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("/debug/requests reachable on the service address; it must stay on the -pprof listener")
+	}
+
+	// The directory sink exported the request as <endpoint>-<id>.json.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		files, err := os.ReadDir(traceDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) > 0 {
+			if !strings.HasPrefix(files[0].Name(), "map-") || !strings.HasSuffix(files[0].Name(), ".json") {
+				t.Errorf("trace-dir file %q, want map-<traceid>.json", files[0].Name())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace-dir never received an export")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
+	"lodim/internal/trace"
 	"lodim/internal/uda"
 )
 
@@ -75,11 +76,26 @@ const ctxCheckMask = 255
 // candidate and level counts into (the joint optimizer passes one
 // collector across all inner searches); when nil the engine owns a
 // fresh collector and attaches its snapshot to the winning Result.
-func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer, stats *statsCollector) (*Result, error) {
+func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, opts *Options, analyzer *conflict.SpaceAnalyzer, stats *statsCollector) (_ *Result, err error) {
 	ownStats := stats == nil
 	if ownStats {
 		stats = &statsCollector{}
 	}
+	// One span per Π search: a top-level Procedure 5.1 run gets its own,
+	// and each joint-search inner search becomes a child of its worker
+	// span. Candidate counts land as attributes at the end — per-span
+	// totals, never per-candidate spans.
+	ctx, span := trace.Start(ctx, "pi-search")
+	candidates := 0
+	levels := int64(0)
+	defer func() {
+		span.SetInt("candidates", int64(candidates))
+		span.SetInt("levels", levels)
+		if err != nil {
+			span.SetStr("error", err.Error())
+		}
+		span.End()
+	}()
 	startAt := time.Now()
 	n := algo.Dim()
 	maxCost := opts.MaxCost
@@ -94,7 +110,6 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 		return nil, fmt.Errorf("schedule: MinimizeBuffers requires a Machine")
 	}
 	cctx := newCandCtx(algo, s, opts, analyzer)
-	candidates := 0
 	var found *Result
 	var levelBuf []int64 // reused flat storage for level-mode candidates
 	for cost := minCost; cost <= maxCost && found == nil; cost++ {
@@ -102,6 +117,21 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 			return nil, err
 		}
 		stats.costLevels.Add(1)
+		levels++
+		// Cost-level spans only for a top-level search: a joint run's
+		// hundreds of inner searches would multiply them into noise
+		// (and through the per-trace span cap), while their level
+		// counts are already on the pi-search span.
+		var levelSpan *trace.Span
+		if ownStats {
+			_, levelSpan = trace.Start(ctx, "level")
+			levelSpan.SetInt("cost", cost)
+		}
+		levelStart := candidates
+		endLevel := func() {
+			levelSpan.SetInt("candidates", int64(candidates-levelStart))
+			levelSpan.End()
+		}
 		if opts.Workers > 1 || opts.MinimizeBuffers {
 			// Level-synchronous evaluation: materialize the level into a
 			// reused flat buffer, test candidates (in parallel when
@@ -123,9 +153,11 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 			// level's verdict cannot be trusted — report the
 			// interruption instead.
 			if err := ctx.Err(); err != nil {
+				endLevel()
 				return nil, err
 			}
 			found = pickWinner(results, opts)
+			endLevel()
 			continue
 		}
 		// Sequential fast path: the first passer in enumeration order
@@ -144,6 +176,7 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 			found = r
 			return false
 		})
+		endLevel()
 		if interrupted {
 			return nil, ctx.Err()
 		}
@@ -172,6 +205,8 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 		}
 		elapsed := time.Since(startAt)
 		found.Stats = stats.snapshot("procedure-5.1", workers, 0, elapsed, elapsed)
+		found.Stats.annotateSpan(span)
+		found.Trace = trace.SummaryFromContext(ctx)
 	}
 	return found, nil
 }

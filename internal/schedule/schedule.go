@@ -26,6 +26,7 @@ import (
 	"lodim/internal/array"
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
+	"lodim/internal/trace"
 	"lodim/internal/uda"
 )
 
@@ -199,6 +200,12 @@ type Result struct {
 	// the run (candidate counts per pruning rule, phase wall times).
 	// Nil when the engine predates stats collection (ILP fallback).
 	Stats *SearchStats
+	// Trace references the span trace recorded for this search when the
+	// caller's context carried an active trace span (see internal/trace);
+	// nil when tracing is off. The summary names the trace so the full
+	// span tree can be found in the /debug/requests inspector or a
+	// -trace-dir export.
+	Trace *trace.Summary
 }
 
 // ErrNoSchedule reports that no feasible conflict-free schedule exists

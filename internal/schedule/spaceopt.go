@@ -12,6 +12,7 @@ import (
 
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
+	"lodim/internal/trace"
 	"lodim/internal/uda"
 )
 
@@ -86,6 +87,10 @@ type SpaceResult struct {
 	// the per-rule counters are exact for orbit pruning and may vary
 	// between runs for the incumbent-racing rules at Workers > 1.
 	Stats *SearchStats
+	// Trace references the span trace recorded for this search when the
+	// caller's context carried an active trace span; nil when tracing is
+	// off (see Result.Trace).
+	Trace *trace.Summary
 }
 
 func (r *SpaceResult) String() string {
@@ -129,16 +134,23 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 	if _, err := TotalTimeChecked(pi, algo.Set); err != nil {
 		return nil, err
 	}
+	ctx, span := trace.Start(ctx, "space-search")
+	defer span.End()
+	span.SetInt("dims", int64(arrayDims))
 	startAt := time.Now()
 	stats := &statsCollector{}
+	_, collectSpan := trace.Start(ctx, "collect")
 	cands, err := collectSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts))
 	if err != nil {
+		collectSpan.End()
 		return nil, err
 	}
 	symPruned := make([]bool, len(cands))
 	if !opts.NoPrune {
 		symPruned = symmetryPruned(cands, axisAutomorphisms(algo, pi))
 	}
+	collectSpan.SetInt("candidates", int64(len(cands)))
+	collectSpan.End()
 	collectDur := time.Since(startAt)
 	stats.spaceCandidates.Add(int64(len(cands)))
 	weight := wireWeightOrDefault(opts)
@@ -146,7 +158,7 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 	var bestCost, prunedCount atomic.Int64
 	bestCost.Store(math.MaxInt64)
 	searchAt := time.Now()
-	forEachCandidate(ctx, len(cands), opts.Schedule.Workers, func(i int) {
+	forEachCandidate(ctx, len(cands), opts.Schedule.Workers, func(_ context.Context, i int) {
 		s := cands[i]
 		if symPruned[i] {
 			prunedCount.Add(1)
@@ -202,6 +214,8 @@ func FindSpaceMappingContext(ctx context.Context, algo *uda.Algorithm, pi intmat
 	}
 	best.Stats = stats.snapshot("space-6.1", effectiveWorkers(opts.Schedule.Workers, len(cands)),
 		collectDur, time.Since(searchAt), time.Since(startAt))
+	best.Stats.annotateSpan(span)
+	best.Trace = trace.SummaryFromContext(ctx)
 	return best, nil
 }
 
@@ -260,16 +274,23 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	if arrayDims < 1 || arrayDims >= algo.Dim() {
 		return nil, fmt.Errorf("schedule: array dimensionality %d out of range [1, n-1]", arrayDims)
 	}
+	ctx, span := trace.Start(ctx, "joint-search")
+	defer span.End()
+	span.SetInt("dims", int64(arrayDims))
 	startAt := time.Now()
 	stats := &statsCollector{}
+	_, collectSpan := trace.Start(ctx, "collect")
 	cands, err := collectSpaceMappings(algo.Dim(), arrayDims, maxEntryOrDefault(opts))
 	if err != nil {
+		collectSpan.End()
 		return nil, err
 	}
 	symPruned := make([]bool, len(cands))
 	if !opts.NoPrune {
 		symPruned = symmetryPruned(cands, axisAutomorphisms(algo, nil))
 	}
+	collectSpan.SetInt("candidates", int64(len(cands)))
+	collectSpan.End()
 	stats.spaceCandidates.Add(int64(len(cands)))
 	weight := wireWeightOrDefault(opts)
 	baseMaxCost := opts.Schedule.MaxCost
@@ -298,7 +319,7 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	defer cancelSearch()
 	collectDur := time.Since(startAt)
 	searchAt := time.Now()
-	forEachCandidate(searchCtx, len(cands), opts.Schedule.Workers, func(i int) {
+	forEachCandidate(searchCtx, len(cands), opts.Schedule.Workers, func(wctx context.Context, i int) {
 		s := cands[i]
 		if symPruned[i] {
 			prunedCount.Add(1)
@@ -343,7 +364,7 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 		}
 		schedOpts.MaxCost = bound
 		stats.innerSearches.Add(1)
-		res, err := findOptimalWith(searchCtx, algo, s, &schedOpts, analyzer, stats)
+		res, err := findOptimalWith(wctx, algo, s, &schedOpts, analyzer, stats)
 		if err != nil {
 			if errors.Is(err, ErrNoSchedule) {
 				return // bounded out or genuinely unschedulable: skip
@@ -415,6 +436,9 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	best.Stats = stats.snapshot("joint-6.2", effectiveWorkers(opts.Schedule.Workers, len(cands)),
 		collectDur, time.Since(searchAt), time.Since(startAt))
 	best.ScheduleResult.Stats = best.Stats
+	best.Stats.annotateSpan(span)
+	best.Trace = trace.SummaryFromContext(ctx)
+	best.ScheduleResult.Trace = best.Trace
 	return best, nil
 }
 
@@ -466,12 +490,18 @@ func (inc *incumbent) offer(t, c int64) {
 	}
 }
 
-// forEachCandidate runs fn(i) for i in [0, count) on up to workers
-// goroutines (sequentially when workers ≤ 1). fn must confine writes to
-// slots it owns. A done context stops the loop before the next claim;
-// candidates already handed out finish their fn call (which observes
-// the same context itself when it is expensive).
-func forEachCandidate(ctx context.Context, count, workers int, fn func(i int)) {
+// forEachCandidate runs fn(ctx, i) for i in [0, count) on up to
+// workers goroutines (sequentially when workers ≤ 1). fn must confine
+// writes to slots it owns. A done context stops the loop before the
+// next claim; candidates already handed out finish their fn call
+// (which observes the same context itself when it is expensive).
+//
+// Each parallel worker runs under its own "worker" trace span carrying
+// the count of candidates it claimed — the batching level the tracing
+// layer attributes candidate work to (fn receives the worker's span
+// context, so inner searches nest under it). The sequential path adds
+// no span: its work already nests under the caller's phase span.
+func forEachCandidate(ctx context.Context, count, workers int, fn func(ctx context.Context, i int)) {
 	if workers > count {
 		workers = count
 	}
@@ -480,7 +510,7 @@ func forEachCandidate(ctx context.Context, count, workers int, fn func(i int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			fn(ctx, i)
 		}
 		return
 	}
@@ -488,19 +518,27 @@ func forEachCandidate(ctx context.Context, count, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wctx, span := trace.Start(ctx, "worker")
+			span.SetInt("worker", int64(w))
+			claimed := int64(0)
+			defer func() {
+				span.SetInt("claimed", claimed)
+				span.End()
+			}()
 			for {
-				if ctx.Err() != nil {
+				if wctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1) - 1)
 				if i >= count {
 					return
 				}
-				fn(i)
+				claimed++
+				fn(wctx, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"lodim/internal/trace"
 )
 
 // SearchStats reports, in structured form, where a search spent its
@@ -80,6 +82,26 @@ func (s *SearchStats) String() string {
 	out += fmt.Sprintf(" search=%s total=%s",
 		s.Search.Round(time.Microsecond), s.Total.Round(time.Microsecond))
 	return out
+}
+
+// annotateSpan attaches the stats' counters to a search span, so the
+// trace inspector shows where the spanned search spent its effort
+// without a separate stats lookup. No-op on a nil span.
+func (s *SearchStats) annotateSpan(span *trace.Span) {
+	if s == nil || span == nil {
+		return
+	}
+	span.SetStr("engine", s.Engine)
+	span.SetInt("workers", int64(s.Workers))
+	if s.SpaceCandidates > 0 {
+		span.SetInt("space_candidates", s.SpaceCandidates)
+		span.SetInt("pruned_orbit", s.PrunedOrbit)
+		span.SetInt("pruned_lower_bound", s.PrunedLowerBound)
+		span.SetInt("pruned_incumbent", s.PrunedIncumbent)
+		span.SetInt("inner_searches", s.InnerSearches)
+	}
+	span.SetInt("schedule_candidates", s.ScheduleCandidates)
+	span.SetInt("cost_levels", s.CostLevels)
 }
 
 // statsCollector is the write side of SearchStats: atomic counters the

@@ -1,0 +1,124 @@
+package schedule
+
+import (
+	"context"
+	"testing"
+
+	"lodim/internal/intmat"
+	"lodim/internal/trace"
+	"lodim/internal/uda"
+)
+
+// traceTestAlgo is the matmul-shaped algorithm the schedule tests use.
+func traceTestAlgo(t *testing.T) *uda.Algorithm {
+	t.Helper()
+	return uda.MatMul(3)
+}
+
+// TestTracedSearchMatchesUntraced locks the invariant that tracing is
+// pure observation: the same joint search under an active trace span
+// returns the identical mapping, time, cost, and effort counters, and
+// additionally carries the trace summary.
+func TestTracedSearchMatchesUntraced(t *testing.T) {
+	algo := traceTestAlgo(t)
+	opts := &SpaceOptions{Schedule: Options{Workers: 4}}
+
+	plain, err := FindJointMappingContext(context.Background(), algo, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced search carries a trace summary")
+	}
+
+	tracer := trace.New(trace.Config{})
+	ctx, root := tracer.StartRoot(context.Background(), "test", "")
+	traced, err := FindJointMappingContext(ctx, algo, 1, opts)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !traced.Mapping.T.Equal(plain.Mapping.T) {
+		t.Fatalf("traced winner differs:\ntraced\n%v\nplain\n%v", traced.Mapping.T, plain.Mapping.T)
+	}
+	if traced.Time != plain.Time || traced.Cost != plain.Cost || traced.Candidates != plain.Candidates {
+		t.Fatalf("traced metrics differ: (%d,%d,%d) vs (%d,%d,%d)",
+			traced.Time, traced.Cost, traced.Candidates, plain.Time, plain.Cost, plain.Candidates)
+	}
+	// Orbit pruning is deterministic; the incumbent-racing counters can
+	// differ between runs, so only the exact ones are compared.
+	if traced.Stats.SpaceCandidates != plain.Stats.SpaceCandidates ||
+		traced.Stats.PrunedOrbit != plain.Stats.PrunedOrbit {
+		t.Fatalf("traced deterministic stats differ: %+v vs %+v", traced.Stats, plain.Stats)
+	}
+
+	if traced.Trace == nil {
+		t.Fatal("traced search did not attach a trace summary")
+	}
+	if traced.Trace.TraceID != root.TraceID() {
+		t.Fatalf("summary trace id %s, want %s", traced.Trace.TraceID, root.TraceID())
+	}
+	if traced.ScheduleResult.Trace != traced.Trace {
+		t.Fatal("ScheduleResult does not share the joint trace summary")
+	}
+
+	// The span tree has the expected taxonomy: joint-search with a
+	// collect child, worker spans, and nested pi-search spans.
+	names := map[string]int{}
+	var count func(s *trace.Span)
+	count = func(s *trace.Span) {
+		names[s.Name()]++
+		for _, c := range s.Children() {
+			count(c)
+		}
+	}
+	count(root)
+	for _, want := range []string{"joint-search", "collect", "worker", "pi-search"} {
+		if names[want] == 0 {
+			t.Fatalf("span taxonomy missing %q: %v", want, names)
+		}
+	}
+	if names["worker"] > 4 {
+		t.Fatalf("%d worker spans for Workers=4", names["worker"])
+	}
+}
+
+// TestTracedScheduleSearchLevels checks the top-level Procedure 5.1
+// span taxonomy: one pi-search span with per-cost-level children.
+func TestTracedScheduleSearchLevels(t *testing.T) {
+	algo := traceTestAlgo(t)
+	s := intmat.FromRows([]int64{1, 1, -1})
+
+	tracer := trace.New(trace.Config{})
+	ctx, root := tracer.StartRoot(context.Background(), "test", "")
+	res, err := FindOptimalContext(ctx, algo, s, nil)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.TraceID != root.TraceID() {
+		t.Fatalf("Result.Trace = %+v, want trace %s", res.Trace, root.TraceID())
+	}
+	var pi *trace.Span
+	for _, c := range root.Children() {
+		if c.Name() == "pi-search" {
+			pi = c
+		}
+	}
+	if pi == nil {
+		t.Fatal("no pi-search span under the root")
+	}
+	levels := 0
+	for _, c := range pi.Children() {
+		if c.Name() == "level" {
+			levels++
+		}
+	}
+	if levels == 0 {
+		t.Fatal("top-level schedule search recorded no cost-level spans")
+	}
+	if int64(levels) != res.Stats.CostLevels {
+		t.Fatalf("%d level spans but stats report %d cost levels", levels, res.Stats.CostLevels)
+	}
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// These tests pin the follower-side stage attribution of singleflight
+// waits (DESIGN.md §9/§10). A follower's whole wait happens inside
+// flights.DoMarked; without the flight mark it would either record
+// nothing or book pool-queue time as search time. The two tests cover
+// the two sides of the split point.
+
+// TestFollowerWaitAttributedToSearch: a follower that joins a flight
+// whose search is already running books its wait as search time, not
+// queue time.
+func TestFollowerWaitAttributedToSearch(t *testing.T) {
+	s := New(Config{Pool: 2, SearchWorkers: 1})
+	defer s.Close()
+
+	joined := make(chan struct{})
+	orig := s.flights.onJoin
+	s.flights.onJoin = func() { orig(); close(joined) }
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		close(entered)
+		<-release
+		return schedule.FindJointMappingContext(ctx, algo, dims, opts)
+	}
+	req := &MapRequest{Algorithm: "matmul", Sizes: []int64{2}, Dims: 1}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, status, err := s.Map(context.Background(), req); err != nil || status != CacheMiss {
+			t.Errorf("leader: status = %v, err = %v", status, err)
+		}
+	}()
+	<-entered // the leader's search is now running
+
+	followerTimer := newReqTimer("follower")
+	fctx := withTimer(context.Background(), followerTimer)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, status, err := s.Map(fctx, req); err != nil || status != CacheShared {
+			t.Errorf("follower: status = %v, err = %v", status, err)
+		}
+	}()
+	<-joined
+	time.Sleep(150 * time.Millisecond) // the follower waits inside a running search
+	close(release)
+	wg.Wait()
+
+	if d, ok := followerTimer.duration(stageSearch); !ok || d < 100*time.Millisecond {
+		t.Errorf("follower search stage = %v (recorded %v), want ≥ 100ms", d, ok)
+	}
+	if d, ok := followerTimer.duration(stageQueue); ok && d > 50*time.Millisecond {
+		t.Errorf("follower queue stage = %v: time inside a running search was booked as queue", d)
+	}
+}
+
+// TestFollowerWaitAttributedToQueue: a follower that joins while the
+// flight is still waiting for a pool slot books that wait as queue
+// time — the search stage must not absorb time the engine never saw.
+func TestFollowerWaitAttributedToQueue(t *testing.T) {
+	s := New(Config{Pool: 1, SearchWorkers: 1})
+	defer s.Close()
+
+	joined := make(chan struct{})
+	orig := s.flights.onJoin
+	s.flights.onJoin = func() { orig(); close(joined) }
+
+	occupying := make(chan struct{})
+	release := make(chan struct{})
+	s.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		if opts.Schedule.MaxCost == 0 { // the slot occupier's search
+			close(occupying)
+			<-release
+		}
+		return schedule.FindJointMappingContext(ctx, algo, dims, opts)
+	}
+	// Distinct MaxCost values give distinct flight keys for one problem.
+	occupier := &MapRequest{Algorithm: "matmul", Sizes: []int64{2}, Dims: 1}
+	contested := &MapRequest{Algorithm: "matmul", Sizes: []int64{2}, Dims: 1, MaxCost: 1000}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := s.Map(context.Background(), occupier); err != nil {
+			t.Errorf("occupier: %v", err)
+		}
+	}()
+	<-occupying // the only pool slot is now held
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, status, err := s.Map(context.Background(), contested); err != nil || status != CacheMiss {
+			t.Errorf("leader: status = %v, err = %v", status, err)
+		}
+	}()
+	// Wait until the contested flight's leader is queued for the slot.
+	for start := time.Now(); s.met.queued.Load() == 0; {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("contested leader never queued for the pool slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	followerTimer := newReqTimer("follower")
+	fctx := withTimer(context.Background(), followerTimer)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, status, err := s.Map(fctx, contested); err != nil || status != CacheShared {
+			t.Errorf("follower: status = %v, err = %v", status, err)
+		}
+	}()
+	<-joined
+	time.Sleep(150 * time.Millisecond) // the follower waits behind the pool queue
+	close(release)
+	wg.Wait()
+
+	if d, ok := followerTimer.duration(stageQueue); !ok || d < 100*time.Millisecond {
+		t.Errorf("follower queue stage = %v (recorded %v), want ≥ 100ms", d, ok)
+	}
+	if d, ok := followerTimer.duration(stageSearch); ok && d > 100*time.Millisecond {
+		t.Errorf("follower search stage = %v: pool-queue wait was double-counted into search", d)
+	}
+}

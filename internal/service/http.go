@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lodim/internal/schedule"
+	"lodim/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; every valid problem within the
@@ -50,8 +51,9 @@ func NewHandler(s *Service) http.Handler {
 // and to remember the status for the access log.
 type obsWriter struct {
 	http.ResponseWriter
-	timer  *reqTimer
-	status int
+	timer       *reqTimer
+	status      int
+	traceparent string // response traceparent; empty when tracing is off
 }
 
 func (w *obsWriter) WriteHeader(status int) {
@@ -60,6 +62,9 @@ func (w *obsWriter) WriteHeader(status int) {
 		w.Header().Set("X-Mapserve-Request", w.timer.id)
 		if th := w.timer.timingHeader(); th != "" {
 			w.Header().Set("X-Mapserve-Timing", th)
+		}
+		if w.traceparent != "" {
+			w.Header().Set("Traceparent", w.traceparent)
 		}
 	}
 	w.ResponseWriter.WriteHeader(status)
@@ -74,28 +79,55 @@ func (w *obsWriter) Write(p []byte) (int, error) {
 
 // instrument wraps a POST handler with the per-request observability:
 // one counter increment, a fresh request ID and stage timer threaded
-// through the context, per-stage histogram ingestion, and one
-// structured access-log line when a logger is configured.
+// through the context, a root trace span (joining any W3C traceparent
+// the caller sent), per-stage histogram ingestion, and one structured
+// access-log line when a logger is configured. The trace id rides in
+// the response Traceparent header and the access-log line, keyed to
+// the same request id — one identity across all three surfaces.
 func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	counter := s.met.requestCounter(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		counter.Add(1)
 		start := time.Now()
 		tm := newReqTimer(newRequestID())
-		r = r.WithContext(withTimer(r.Context(), tm))
+		ctx := withTimer(r.Context(), tm)
+
+		var root *trace.Span
+		if s.tracer != nil {
+			incomingTrace, incomingSpan, joined := trace.ParseTraceparent(r.Header.Get("Traceparent"))
+			if !joined {
+				incomingTrace = ""
+			}
+			ctx, root = s.tracer.StartRoot(ctx, endpoint, incomingTrace)
+			root.SetStr("request_id", tm.id)
+			if joined {
+				root.SetStr("parent_span_id", incomingSpan)
+			}
+		}
+		r = r.WithContext(ctx)
 		ow := &obsWriter{ResponseWriter: w, timer: tm}
+		if root != nil {
+			ow.traceparent = trace.Traceparent(root.TraceID(), root.IDHex())
+		}
 		h(ow, r)
+		status := ow.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if root != nil {
+			root.SetInt("status", int64(status))
+			root.End() // completes the trace: sinks (ring, dir) fire here
+		}
 		s.met.observeTimer(tm)
 		if s.cfg.Logger != nil {
-			status := ow.status
-			if status == 0 {
-				status = http.StatusOK
-			}
 			attrs := []any{
 				slog.String("id", tm.id),
 				slog.String("endpoint", endpoint),
 				slog.Int("status", status),
 				slog.Duration("total", time.Since(start)),
+			}
+			if root != nil {
+				attrs = append(attrs, slog.String("trace", root.TraceID()))
 			}
 			if cache := ow.Header().Get("X-Mapserve-Cache"); cache != "" {
 				attrs = append(attrs, slog.String("cache", cache))
@@ -260,10 +292,15 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.WritePrometheus(w)
 }
 
+// handleHealthz reports the shared Status snapshot as JSON: probes key
+// on the HTTP status (503 while shutting down), humans and tooling get
+// uptime, build identity and runtime vitals — the same source the
+// /debug/requests inspector renders.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.isClosed() {
-		http.Error(w, "shutting down", http.StatusServiceUnavailable)
-		return
+	st := s.Status()
+	code := http.StatusOK
+	if st.Status != "ok" {
+		code = http.StatusServiceUnavailable
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, code, st)
 }

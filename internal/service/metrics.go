@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,11 @@ type metrics struct {
 	scheduleCandidates atomic.Int64
 	costLevels         atomic.Int64
 	innerSearches      atomic.Int64
+
+	// traceCounters, when set, reports the tracer's (started, dropped,
+	// finished) span/trace counts — wired by service.New so the metrics
+	// layer needs no tracer dependency.
+	traceCounters func() (started, dropped, finished int64)
 }
 
 // requestCounter returns the per-endpoint request counter; the
@@ -162,6 +168,12 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	counter("mapserve_search_schedule_candidates_total", "Schedule vectors examined across all inner searches.", m.scheduleCandidates.Load())
 	counter("mapserve_search_cost_levels_total", "Objective levels stepped through by Procedure 5.1.", m.costLevels.Load())
 	counter("mapserve_search_inner_searches_total", "Inner Procedure 5.1 searches launched by the joint search.", m.innerSearches.Load())
+	if m.traceCounters != nil {
+		spans, dropped, finished := m.traceCounters()
+		counter("mapserve_trace_spans_total", "Trace spans started.", spans)
+		counter("mapserve_trace_spans_dropped_total", "Spans dropped by the per-trace span cap.", dropped)
+		counter("mapserve_traces_total", "Traces completed.", finished)
+	}
 	fmt.Fprintf(w, "# HELP mapserve_search_latency_seconds Joint search wall time.\n# TYPE mapserve_search_latency_seconds histogram\n")
 	var cum int64
 	for i, ub := range latencyBuckets {
@@ -216,9 +228,37 @@ func (m *metrics) Snapshot() map[string]any {
 	out["search_schedule_candidates"] = m.scheduleCandidates.Load()
 	out["search_cost_levels"] = m.costLevels.Load()
 	out["search_inner_searches"] = m.innerSearches.Load()
+	// The Prometheus-only derived values mirror into the expvar surface
+	// so /debug/vars and /metrics never disagree: the hit ratio (same
+	// hits+misses > 0 gate) and the cumulative histogram buckets.
+	if hits, misses := m.cacheHits.Load(), m.cacheMisses.Load(); hits+misses > 0 {
+		out["cache_hit_ratio"] = float64(hits) / float64(hits+misses)
+	}
+	out["search_latency_buckets"] = cumulativeBuckets(&m.latCounts)
 	for stage := 0; stage < numStages; stage++ {
 		out["stage_"+stageNames[stage]+"_count"] = m.stageCount[stage].Load()
 		out["stage_"+stageNames[stage]+"_sum_s"] = float64(m.stageSumNs[stage].Load()) / 1e9
+		out["stage_"+stageNames[stage]+"_buckets"] = cumulativeBuckets(&m.stageCounts[stage])
 	}
+	if m.traceCounters != nil {
+		spans, dropped, finished := m.traceCounters()
+		out["trace_spans"] = spans
+		out["trace_spans_dropped"] = dropped
+		out["traces"] = finished
+	}
+	return out
+}
+
+// cumulativeBuckets renders one histogram's counts with the same
+// cumulative le-keyed semantics the Prometheus exposition uses.
+func cumulativeBuckets(counts *[numLatencyBuckets + 1]atomic.Int64) map[string]int64 {
+	out := make(map[string]int64, numLatencyBuckets+1)
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += counts[i].Load()
+		out[strconv.FormatFloat(ub, 'g', -1, 64)] = cum
+	}
+	cum += counts[numLatencyBuckets].Load()
+	out["+Inf"] = cum
 	return out
 }

@@ -172,6 +172,11 @@ func TestWritePrometheusSearchStatsCounters(t *testing.T) {
 // silently.
 func TestSnapshotPrometheusParity(t *testing.T) {
 	m := &metrics{}
+	// Seed the gated families so both surfaces render them: the hit
+	// ratio requires cacheable traffic, the trace counters a tracer.
+	m.cacheHits.Add(3)
+	m.cacheMisses.Add(1)
+	m.traceCounters = func() (int64, int64, int64) { return 5, 1, 2 }
 	var buf bytes.Buffer
 	m.WritePrometheus(&buf)
 	families := map[string]bool{}
@@ -194,24 +199,25 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 		"mapserve_failures_total":                   {"failures"},
 		"mapserve_inflight_searches":                {"inflight_searches"},
 		"mapserve_queued_requests":                  {"queued_requests"},
-		"mapserve_search_latency_seconds":           {"search_latency_count", "search_latency_sum_s"},
+		"mapserve_search_latency_seconds":           {"search_latency_count", "search_latency_sum_s", "search_latency_buckets"},
 		"mapserve_search_pruned_total":              {"search_pruned_orbit", "search_pruned_lower_bound", "search_pruned_incumbent"},
 		"mapserve_search_space_candidates_total":    {"search_space_candidates"},
 		"mapserve_search_schedule_candidates_total": {"search_schedule_candidates"},
 		"mapserve_search_cost_levels_total":         {"search_cost_levels"},
 		"mapserve_search_inner_searches_total":      {"search_inner_searches"},
-		// mapserve_cache_hit_ratio is derived and rendered only when
-		// hits+misses > 0; it has no snapshot counterpart by design.
-		"mapserve_cache_hit_ratio": nil,
+		"mapserve_cache_hit_ratio":                  {"cache_hit_ratio"},
+		"mapserve_trace_spans_total":                {"trace_spans"},
+		"mapserve_trace_spans_dropped_total":        {"trace_spans_dropped"},
+		"mapserve_traces_total":                     {"traces"},
 	}
 	var stageKeys []string
 	for _, name := range stageNames {
-		stageKeys = append(stageKeys, "stage_"+name+"_count", "stage_"+name+"_sum_s")
+		stageKeys = append(stageKeys, "stage_"+name+"_count", "stage_"+name+"_sum_s", "stage_"+name+"_buckets")
 	}
 	table["mapserve_stage_duration_seconds"] = stageKeys
 
 	for family, keys := range table {
-		if family != "mapserve_cache_hit_ratio" && !families[family] {
+		if !families[family] {
 			t.Errorf("table family %s not rendered by WritePrometheus", family)
 		}
 		for _, key := range keys {
@@ -234,6 +240,57 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 		if !covered[key] {
 			t.Errorf("snapshot key %q has no WritePrometheus family in the parity table", key)
 		}
+	}
+}
+
+// TestSnapshotBucketValueParity: the expvar bucket maps and hit ratio
+// carry the same values (cumulative, same le keys) as the Prometheus
+// exposition — not just the same families.
+func TestSnapshotBucketValueParity(t *testing.T) {
+	m := &metrics{}
+	for _, d := range []time.Duration{200 * time.Microsecond, 40 * time.Millisecond, 3 * time.Second, 30 * time.Second} {
+		m.observeSearch(d)
+		m.observeStage(stageSearch, d)
+	}
+	m.cacheHits.Add(7)
+	m.cacheMisses.Add(3)
+	samples := scrapeMetrics(t, m)
+	snap := m.Snapshot()
+
+	checkBuckets := func(snapKey, promPrefix, labels string) {
+		t.Helper()
+		buckets, ok := snap[snapKey].(map[string]int64)
+		if !ok {
+			t.Fatalf("snapshot %q is %T, want map[string]int64", snapKey, snap[snapKey])
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		for _, ub := range latencyBuckets {
+			le := strconv.FormatFloat(ub, 'g', -1, 64)
+			promKey := fmt.Sprintf("%s_bucket{%s%sle=\"%s\"}", promPrefix, labels, sep, le)
+			if float64(buckets[le]) != samples[promKey] {
+				t.Errorf("%s[%s] = %d, Prometheus %s = %g", snapKey, le, buckets[le], promKey, samples[promKey])
+			}
+		}
+		infKey := fmt.Sprintf("%s_bucket{%s%sle=\"+Inf\"}", promPrefix, labels, sep)
+		if float64(buckets["+Inf"]) != samples[infKey] {
+			t.Errorf("%s[+Inf] = %d, Prometheus %s = %g", snapKey, buckets["+Inf"], infKey, samples[infKey])
+		}
+	}
+	checkBuckets("search_latency_buckets", "mapserve_search_latency_seconds", "")
+	checkBuckets("stage_search_buckets", "mapserve_stage_duration_seconds", `stage="search"`)
+
+	ratio, ok := snap["cache_hit_ratio"].(float64)
+	if !ok {
+		t.Fatalf("cache_hit_ratio missing from snapshot: %v", snap["cache_hit_ratio"])
+	}
+	if prom := samples["mapserve_cache_hit_ratio"]; ratio < prom-1e-6 || ratio > prom+1e-6 {
+		t.Errorf("cache_hit_ratio %g != Prometheus %g", ratio, prom)
+	}
+	if _, ok := (&metrics{}).Snapshot()["cache_hit_ratio"]; ok {
+		t.Error("cache_hit_ratio rendered with no cacheable traffic (gate lost)")
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"lodim/internal/intmat"
 	"lodim/internal/schedule"
 	"lodim/internal/systolic"
+	"lodim/internal/trace"
 	"lodim/internal/uda"
 )
 
@@ -53,6 +56,11 @@ type Config struct {
 	// HTTP request (id, endpoint, status, cache disposition, stage
 	// timings). Nil disables access logging.
 	Logger *slog.Logger
+	// TraceBuffer, when > 0, enables hierarchical request tracing and
+	// sizes the ring of completed traces kept for GET /debug/requests.
+	// 0 disables tracing entirely (the disabled path costs one nil
+	// check per span site).
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +129,13 @@ type Service struct {
 	closing sync.Once
 	admit   sync.Mutex     // serializes begin's closed check + wg.Add against Close
 	wg      sync.WaitGroup // in-flight requests, drained by Close
+	started time.Time      // for Status().Uptime
+
+	// tracer and traces are non-nil iff Config.TraceBuffer > 0: the
+	// tracer mints one trace per HTTP request, the registry rings the
+	// last TraceBuffer completed ones for the /debug/requests inspector.
+	tracer *trace.Tracer
+	traces *trace.Registry
 
 	// searchJoint is the search engine; tests substitute it to make
 	// concurrency deterministic. Production always uses
@@ -138,10 +153,91 @@ func New(cfg Config) *Service {
 		sem:         make(chan struct{}, cfg.Pool),
 		met:         &metrics{},
 		closed:      make(chan struct{}),
+		started:     time.Now(),
 		searchJoint: schedule.FindJointMappingContext,
 	}
 	s.flights.onJoin = func() { s.met.deduped.Add(1) }
+	if cfg.TraceBuffer > 0 {
+		s.tracer = trace.New(trace.Config{})
+		s.traces = trace.NewRegistry(cfg.TraceBuffer)
+		s.tracer.AddSink(s.traces.Add)
+		s.met.traceCounters = s.tracer.Counters
+	}
 	return s
+}
+
+// Tracer returns the request tracer, or nil when tracing is disabled.
+// Callers may AddSink on it (cmd/mapserve attaches the slowest-trace
+// directory sink this way).
+func (s *Service) Tracer() *trace.Tracer { return s.tracer }
+
+// TraceRegistry returns the completed-trace ring, or nil when tracing
+// is disabled.
+func (s *Service) TraceRegistry() *trace.Registry { return s.traces }
+
+// DebugHandler serves the /debug/requests trace inspector. It is not
+// part of NewHandler: the inspector exposes request internals, so
+// cmd/mapserve mounts it only on the private pprof listener.
+func (s *Service) DebugHandler() http.Handler {
+	if s.traces == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "tracing disabled (start the service with a trace buffer)", http.StatusNotFound)
+		})
+	}
+	return trace.Handler(s.traces, func() any { return s.Status() })
+}
+
+// Status is the one health/identity snapshot shared by the /healthz
+// probe and the /debug/requests inspector.
+type Status struct {
+	Status        string    `json:"status"` // "ok" or "shutting_down"
+	StartTime     time.Time `json:"start_time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	GoVersion     string    `json:"go_version"`
+	BuildVersion  string    `json:"build_version,omitempty"`
+	VCSRevision   string    `json:"vcs_revision,omitempty"`
+	Goroutines    int       `json:"goroutines"`
+	TraceEnabled  bool      `json:"trace_enabled"`
+	TracesStored  int       `json:"traces_stored,omitempty"`
+}
+
+// buildFacts caches runtime/debug.ReadBuildInfo — immutable for the
+// process lifetime, so read once.
+type buildFacts struct{ version, revision string }
+
+var readBuildFacts = sync.OnceValue(func() buildFacts {
+	var bf buildFacts
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		bf.version = bi.Main.Version
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				bf.revision = kv.Value
+			}
+		}
+	}
+	return bf
+})
+
+// Status reports liveness, build identity and runtime vitals.
+func (s *Service) Status() Status {
+	bf := readBuildFacts()
+	st := Status{
+		Status:        "ok",
+		StartTime:     s.started,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+		BuildVersion:  bf.version,
+		VCSRevision:   bf.revision,
+		Goroutines:    runtime.NumGoroutine(),
+		TraceEnabled:  s.traces != nil,
+	}
+	if s.isClosed() {
+		st.Status = "shutting_down"
+	}
+	if s.traces != nil {
+		st.TracesStored = len(s.traces.Traces())
+	}
+	return st
 }
 
 // Close stops admitting requests and waits for in-flight ones to
@@ -362,9 +458,25 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 	// The flight context — not the request context — drives the search:
 	// it stays alive as long as any waiter (this request or one that
 	// joined the flight) still wants the result.
-	v, err, leader := s.flights.Do(ctx, key, func(fctx context.Context) (any, error) {
-		return s.runSearch(fctx, key, canon, dims, req)
+	fctx, fspan := trace.Start(ctx, "flight")
+	flightStart := time.Now()
+	v, err, leader, mark := s.flights.DoMarked(fctx, key, func(fc context.Context) (any, error) {
+		return s.runSearch(fc, key, canon, dims, req)
 	})
+	if !leader {
+		s.recordFollowerWait(ctx, mark, flightStart)
+	}
+	if fspan != nil {
+		role := "follower"
+		if leader {
+			role = "leader"
+		}
+		fspan.SetStr("role", role)
+		if err != nil {
+			fspan.SetStr("error", err.Error())
+		}
+		fspan.End()
+	}
 	if err != nil {
 		status := CacheShared
 		if leader {
@@ -403,6 +515,39 @@ type flightOutcome struct {
 	fromCache bool
 }
 
+// recordFollowerWait books a follower's time inside flights.DoMarked
+// against its own stage timer. The flight's stage records go to the
+// leader's timer (the flight context carries the leader's values), so
+// without this a follower would report no queue/search time at all —
+// and the naive fix of booking the whole wait as search time would
+// double-count pool-queue time the search never saw. The mark's
+// searchStartNs splits the wait at the instant the search actually
+// began: before it is queue, after it is search.
+func (s *Service) recordFollowerWait(ctx context.Context, mark *flightMark, joined time.Time) {
+	tm := timerFrom(ctx)
+	if tm == nil || mark == nil {
+		return
+	}
+	now := time.Now()
+	startNs := mark.searchStartNs.Load()
+	switch {
+	case startNs == 0:
+		// The search never started while we waited (the flight was still
+		// queued for a pool slot, or failed before searching): the whole
+		// wait was queue time.
+		tm.record(stageQueue, now.Sub(joined))
+	default:
+		start := time.Unix(0, startNs)
+		if start.After(joined) {
+			tm.record(stageQueue, start.Sub(joined))
+			tm.record(stageSearch, now.Sub(start))
+		} else {
+			// Joined after the search began: the wait was all search.
+			tm.record(stageSearch, now.Sub(joined))
+		}
+	}
+}
+
 // runSearch is the body of a map flight: acquire a pool slot,
 // re-check the cache, search in canonical coordinates, cache the
 // result. ctx is the flight context — cancelled only when every
@@ -425,6 +570,11 @@ func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, d
 		return &flightOutcome{res: v.(*schedule.JointResult), fromCache: true}, nil
 	}
 	s.met.searches.Add(1)
+	// Stamp the flight mark so followers can split their wait into
+	// queue-versus-search at the moment the search truly began.
+	if fm := markFrom(ctx); fm != nil {
+		fm.searchStartNs.CompareAndSwap(0, time.Now().UnixNano())
+	}
 	opts := &schedule.SpaceOptions{
 		MaxEntry:   req.MaxEntry,
 		WireWeight: req.WireWeight,

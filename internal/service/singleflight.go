@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // flightGroup deduplicates concurrent work by key: the first caller of
@@ -34,6 +35,30 @@ type flightCall struct {
 	err     error
 	waiters int                // callers still waiting; guarded by flightGroup.mu
 	cancel  context.CancelFunc // cancels the flight context
+	mark    flightMark         // progress marks shared with every waiter
+}
+
+// flightMark publishes a flight's progress to its waiters. A follower
+// that joined mid-flight reads searchStartNs to split its wait into
+// "queued behind the pool" versus "the search itself was running":
+// without the mark, a follower's whole wait would be booked as search
+// time even when the leader spent most of it waiting for a slot.
+type flightMark struct {
+	// searchStartNs is the wall clock (UnixNano) at which the flight's
+	// search actually began — i.e. after the pool slot was acquired and
+	// the post-queue cache re-check missed. Zero until then.
+	searchStartNs atomic.Int64
+}
+
+// markKey carries the flight's mark through the flight context so the
+// flight body (runSearch) can stamp progress without widening its
+// signature.
+type markKey struct{}
+
+// markFrom returns the flight mark, or nil outside a flight.
+func markFrom(ctx context.Context) *flightMark {
+	m, _ := ctx.Value(markKey{}).(*flightMark)
+	return m
 }
 
 func newFlightGroup() *flightGroup {
@@ -46,6 +71,14 @@ func newFlightGroup() *flightGroup {
 // must honor it for abandoned work to stop. leader reports whether
 // this caller opened the flight (and so executed fn).
 func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, err error, leader bool) {
+	v, err, leader, _ = g.DoMarked(ctx, key, fn)
+	return v, err, leader
+}
+
+// DoMarked is Do plus the flight's progress mark, which is shared by
+// the leader and every follower of one flight. The service uses it to
+// attribute a follower's wait to the correct timing stages.
+func (g *flightGroup) DoMarked(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, err error, leader bool, mark *flightMark) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		c.waiters++
@@ -53,12 +86,14 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Co
 		if g.onJoin != nil {
 			g.onJoin()
 		}
-		return g.wait(ctx, c, false)
+		v, err, leader = g.wait(ctx, c, false)
+		return v, err, leader, &c.mark
 	}
 	// WithoutCancel keeps ctx's values but drops its deadline and
 	// cancellation: the flight outlives any individual caller.
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	fctx = context.WithValue(fctx, markKey{}, &c.mark)
 	g.calls[key] = c
 	g.mu.Unlock()
 
@@ -71,7 +106,8 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Co
 		close(c.done)
 		cancel()
 	}()
-	return g.wait(ctx, c, true)
+	v, err, leader = g.wait(ctx, c, true)
+	return v, err, leader, &c.mark
 }
 
 // wait blocks until the flight lands or ctx ends. A waiter that

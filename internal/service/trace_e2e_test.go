@@ -1,0 +1,237 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lodim/internal/trace"
+)
+
+// clientTraceparent is the W3C example traceparent: the e2e test plays
+// an upstream caller that already has a trace open.
+const clientTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// TestE2ETraceRoundTrip is the tracing acceptance path: a /v1/map
+// request carrying a W3C traceparent joins the caller's trace, the
+// response header and the access-log line agree on the trace id, the
+// /debug/requests inspector shows the completed trace with the nested
+// search spans, and its Perfetto export validates.
+func TestE2ETraceRoundTrip(t *testing.T) {
+	var logBuf syncBuffer
+	svc, srv := newTestServer(t, Config{
+		Pool: 2,
+		// ≥ 2 workers forces the parallel candidate sweep so the span
+		// taxonomy includes worker spans regardless of the host's cores.
+		SearchWorkers: 2,
+		TraceBuffer:   8,
+		Logger:        slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	debug := httptest.NewServer(svc.DebugHandler())
+	defer debug.Close()
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/map", strings.NewReader(e2eBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Traceparent", clientTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status = %d", resp.StatusCode)
+	}
+
+	// The response traceparent continues the caller's trace under the
+	// server's own root span id.
+	traceID, spanID, ok := trace.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", resp.Header.Get("Traceparent"))
+	}
+	if want := "4bf92f3577b34da6a3ce929d0e0e4736"; traceID != want {
+		t.Fatalf("response trace id = %s, want the caller's %s", traceID, want)
+	}
+	if spanID == "00f067aa0ba902b7" {
+		t.Error("response span id echoes the caller's span instead of the server root")
+	}
+	reqID := resp.Header.Get("X-Mapserve-Request")
+	if reqID == "" {
+		t.Fatal("no X-Mapserve-Request id")
+	}
+
+	// The access-log line carries the same trace id, joined to the same
+	// request id the client saw.
+	var line struct {
+		accessLine
+		Trace string `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(waitLines(t, &logBuf, 1)[0]), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Trace != traceID {
+		t.Errorf("access-log trace = %q, header trace = %q", line.Trace, traceID)
+	}
+	if line.ID != reqID {
+		t.Errorf("access-log id = %q, header id = %q", line.ID, reqID)
+	}
+
+	// The inspector shows the completed trace. The root span ends just
+	// after the response bytes leave, so poll briefly.
+	var detail string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		dresp, err := http.Get(debug.URL + "/?id=" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(dresp.Body)
+		dresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dresp.StatusCode == http.StatusOK {
+			detail = string(body)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared in the inspector (last: %d %s)", traceID, dresp.StatusCode, body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, want := range []string{
+		"<b>map</b>", "<b>flight</b>", "<b>joint-search</b>", "<b>worker</b>", "<b>pi-search</b>",
+		"request_id=" + reqID, "parent_span_id=00f067aa0ba902b7",
+	} {
+		if !strings.Contains(detail, want) {
+			t.Errorf("inspector detail missing %q", want)
+		}
+	}
+
+	// The JSON list view carries the trace and the shared status block.
+	lresp, err := http.Get(debug.URL + "/?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Name    string `json:"name"`
+		} `json:"traces"`
+		Total  int64  `json:"total"`
+		Status Status `json:"status"`
+	}
+	err = json.NewDecoder(lresp.Body).Decode(&list)
+	lresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) == 0 || list.Traces[0].TraceID != traceID || list.Traces[0].Name != "map" {
+		t.Errorf("inspector list = %+v, want trace %s (map) first", list.Traces, traceID)
+	}
+	if list.Status.Status != "ok" || !list.Status.TraceEnabled {
+		t.Errorf("inspector status block = %+v", list.Status)
+	}
+
+	// The Perfetto export validates against the schema.
+	presp, err := http.Get(debug.URL + "/?id=" + traceID + "&format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidatePerfetto(data); err != nil {
+		t.Errorf("exported trace rejected: %v\n%s", err, data)
+	}
+}
+
+// TestE2ETraceDisabled: with TraceBuffer 0 nothing traces — no
+// response traceparent, no trace field in the log, and the debug
+// handler says so instead of serving an empty inspector.
+func TestE2ETraceDisabled(t *testing.T) {
+	var logBuf syncBuffer
+	svc, srv := newTestServer(t, Config{
+		Pool:   1,
+		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	status, hdr, _ := postJSON(t, srv.URL+"/v1/map", e2eBody)
+	if status != http.StatusOK {
+		t.Fatalf("map status = %d", status)
+	}
+	if tp := hdr.Get("Traceparent"); tp != "" {
+		t.Errorf("untraced response carries traceparent %q", tp)
+	}
+	if line := waitLines(t, &logBuf, 1)[0]; strings.Contains(line, `"trace"`) {
+		t.Errorf("untraced access log carries a trace field: %s", line)
+	}
+	dsrv := httptest.NewServer(svc.DebugHandler())
+	defer dsrv.Close()
+	dresp, err := http.Get(dsrv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "tracing disabled") {
+		t.Errorf("disabled inspector: %d %s", dresp.StatusCode, body)
+	}
+}
+
+// TestE2EHealthzStatusJSON: the liveness probe serves the shared
+// Status snapshot as JSON — 200/ok while serving, 503/shutting_down
+// after Close — with build identity and runtime vitals populated.
+func TestE2EHealthzStatusJSON(t *testing.T) {
+	svc, srv := newTestServer(t, Config{Pool: 1, TraceBuffer: 4})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("healthz content type = %q", ct)
+	}
+	var st Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" {
+		t.Errorf("status = %q, want ok", st.Status)
+	}
+	if st.GoVersion == "" || st.Goroutines <= 0 || st.UptimeSeconds < 0 {
+		t.Errorf("vitals incomplete: %+v", st)
+	}
+	if !st.TraceEnabled {
+		t.Error("trace_enabled false with a trace buffer configured")
+	}
+	if st.StartTime.IsZero() {
+		t.Error("start_time missing")
+	}
+
+	svc.Close()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || st.Status != "shutting_down" {
+		t.Errorf("post-close healthz = %d %q, want 503 shutting_down", resp.StatusCode, st.Status)
+	}
+}

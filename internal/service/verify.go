@@ -106,7 +106,9 @@ func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*Verif
 
 	opts := &verify.Options{Simulate: req.Simulate}
 	certStart := time.Now()
-	cert, err := verify.Certify(canon.Algo, canonS, canonPi, opts)
+	// The context-aware form threads the request's trace span into the
+	// engine, which records its certificate stages as child spans.
+	cert, err := verify.CertifyContext(ctx, canon.Algo, canonS, canonPi, opts)
 	recordStage(ctx, stageSearch, certStart)
 	if err != nil {
 		// Shape problems were screened above, so an engine error here is

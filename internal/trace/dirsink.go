@@ -1,0 +1,105 @@
+package trace
+
+// DirSink exports completed traces to a directory as Perfetto JSON,
+// keeping only the N slowest traces per category (category = root span
+// name = service endpoint). This is the post-mortem complement to the
+// live Registry: after a load run, the directory holds exactly the
+// requests worth opening in the Perfetto UI.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// dirEntry records one exported file for retention bookkeeping.
+type dirEntry struct {
+	path string
+	dur  time.Duration
+}
+
+// DirSink keeps the slowest-N traces per category on disk.
+type DirSink struct {
+	dir  string
+	keep int
+
+	mu   sync.Mutex
+	cats map[string][]dirEntry
+}
+
+// NewDirSink builds a sink writing under dir (created if missing),
+// retaining keep traces per category (keep ≤ 0 selects 8).
+func NewDirSink(dir string, keep int) (*DirSink, error) {
+	if keep <= 0 {
+		keep = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirSink{dir: dir, keep: keep, cats: make(map[string][]dirEntry)}, nil
+}
+
+// Add exports tr if it ranks among the slowest keep traces of its
+// category, evicting the fastest retained file when over budget. It has
+// the sink signature for Tracer.AddSink; export errors are swallowed —
+// tracing must never fail a request.
+func (d *DirSink) Add(tr *Trace) {
+	if d == nil || tr == nil {
+		return
+	}
+	cat := sanitizeCategory(tr.Name())
+	dur := tr.Duration()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries := d.cats[cat]
+	if len(entries) >= d.keep {
+		// Full: find the fastest retained trace; bail if tr is no slower.
+		fastest := 0
+		for i := 1; i < len(entries); i++ {
+			if entries[i].dur < entries[fastest].dur {
+				fastest = i
+			}
+		}
+		if dur <= entries[fastest].dur {
+			return
+		}
+		os.Remove(entries[fastest].path)
+		entries = append(entries[:fastest], entries[fastest+1:]...)
+	}
+
+	path := filepath.Join(d.dir, fmt.Sprintf("%s-%s.json", cat, tr.ID()))
+	f, err := os.Create(path)
+	if err != nil {
+		d.cats[cat] = entries
+		return
+	}
+	err = WritePerfetto(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		d.cats[cat] = entries
+		return
+	}
+	d.cats[cat] = append(entries, dirEntry{path: path, dur: dur})
+}
+
+// sanitizeCategory makes a root-span name safe as a filename prefix.
+func sanitizeCategory(name string) string {
+	if name == "" {
+		return "trace"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

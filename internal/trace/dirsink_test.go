@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// endTraceWithDuration completes a trace named name whose root lasts
+// exactly dur under a controllable clock.
+func endTraceWithDuration(t *testing.T, tracer *Tracer, clock *settableClock, name string, dur time.Duration) *Trace {
+	t.Helper()
+	_, root := tracer.StartRoot(context.Background(), name, "")
+	clock.Advance(dur)
+	root.End()
+	return root.Trace()
+}
+
+// settableClock advances only when told to, so trace durations are
+// exact.
+type settableClock struct {
+	now time.Time
+}
+
+func (c *settableClock) Now() time.Time          { return c.now }
+func (c *settableClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestDirSinkKeepsSlowest(t *testing.T) {
+	dir := t.TempDir()
+	clock := &settableClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+	tracer := New(Config{Now: clock.Now})
+	ds, err := NewDirSink(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.AddSink(ds.Add)
+
+	slow := endTraceWithDuration(t, tracer, clock, "map", 300*time.Millisecond)
+	fast := endTraceWithDuration(t, tracer, clock, "map", 10*time.Millisecond)
+	mid := endTraceWithDuration(t, tracer, clock, "map", 100*time.Millisecond)
+	slower := endTraceWithDuration(t, tracer, clock, "map", 500*time.Millisecond)
+	// Different category has its own budget.
+	other := endTraceWithDuration(t, tracer, clock, "verify", 1*time.Millisecond)
+
+	files, err := filepath.Glob(filepath.Join(dir, "map-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("kept %d map traces, want 2: %v", len(files), files)
+	}
+	kept := strings.Join(files, " ")
+	for _, want := range []*Trace{slow, slower} {
+		if !strings.Contains(kept, want.ID()) {
+			t.Fatalf("slowest trace %s (%s) not retained; kept %v", want.ID(), want.Duration(), files)
+		}
+	}
+	for _, evicted := range []*Trace{fast, mid} {
+		if strings.Contains(kept, evicted.ID()) {
+			t.Fatalf("faster trace %s (%s) survived retention; kept %v", evicted.ID(), evicted.Duration(), files)
+		}
+	}
+	otherFiles, _ := filepath.Glob(filepath.Join(dir, "verify-*.json"))
+	if len(otherFiles) != 1 || !strings.Contains(otherFiles[0], other.ID()) {
+		t.Fatalf("verify category files wrong: %v", otherFiles)
+	}
+
+	// Every surviving file validates as Perfetto JSON.
+	for _, f := range append(files, otherFiles...) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePerfetto(data); err != nil {
+			t.Fatalf("%s fails schema: %v", f, err)
+		}
+	}
+}
+
+func TestDirSinkSanitizesCategory(t *testing.T) {
+	dir := t.TempDir()
+	clock := &settableClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+	tracer := New(Config{Now: clock.Now})
+	ds, err := NewDirSink(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.AddSink(ds.Add)
+	endTraceWithDuration(t, tracer, clock, "/v1/map", 5*time.Millisecond)
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 || !strings.Contains(filepath.Base(files[0]), "_v1_map-") {
+		t.Fatalf("sanitized filename wrong: %v", files)
+	}
+}

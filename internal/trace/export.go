@@ -1,0 +1,160 @@
+package trace
+
+// Chrome trace-event ("Perfetto JSON") export. The output loads
+// directly into https://ui.perfetto.dev or chrome://tracing: every
+// span becomes one complete ("ph":"X") event with microsecond
+// timestamps relative to the trace start, and overlapping sibling
+// spans (parallel search workers) are spread across thread lanes so
+// the UI renders them side by side instead of stacking them into one
+// mangled row.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// perfettoFile is the top-level Chrome trace-event JSON object.
+type perfettoFile struct {
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	OtherData       map[string]any  `json:"otherData,omitempty"`
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+}
+
+// perfettoEvent is one complete ("X") trace event.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // µs since trace start
+	Dur  int64          `json:"dur"` // µs
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto writes tr as Chrome trace-event JSON. It is safe to
+// call on a live trace: still-open spans are exported with their
+// elapsed-so-far duration.
+func WritePerfetto(w io.Writer, tr *Trace) error {
+	root := tr.root.snap()
+	nowNs := tr.tracer.now().UnixNano()
+
+	var events []perfettoEvent
+	lanes := int64(0) // next unallocated lane
+	var walk func(s *snapshot, lane int64)
+	walk = func(s *snapshot, lane int64) {
+		end := s.endNs
+		if end == 0 {
+			end = nowNs
+		}
+		args := make(map[string]any, len(s.attrs)+1)
+		args["span_id"] = s.id
+		for _, a := range s.attrs {
+			args[a.Key] = a.Value()
+		}
+		events = append(events, perfettoEvent{
+			Name: s.name,
+			Cat:  "lodim",
+			Ph:   "X",
+			Ts:   (s.startNs - tr.start.UnixNano()) / 1e3,
+			Dur:  (end - s.startNs) / 1e3,
+			Pid:  1,
+			Tid:  lane,
+			Args: args,
+		})
+		// Children sorted by start time, then greedy interval
+		// partitioning: the first child inherits the parent's lane;
+		// a child overlapping every open lane gets a fresh one.
+		kids := append([]*snapshot(nil), s.children...)
+		sort.SliceStable(kids, func(i, j int) bool {
+			if kids[i].startNs != kids[j].startNs {
+				return kids[i].startNs < kids[j].startNs
+			}
+			return kids[i].id < kids[j].id
+		})
+		type openLane struct {
+			lane  int64
+			endNs int64
+		}
+		open := []openLane{}
+		for i, k := range kids {
+			kEnd := k.endNs
+			if kEnd == 0 {
+				kEnd = nowNs
+			}
+			assigned := int64(-1)
+			for j := range open {
+				if open[j].endNs <= k.startNs {
+					assigned = open[j].lane
+					open[j].endNs = kEnd
+					break
+				}
+			}
+			if assigned == -1 {
+				if i == 0 {
+					assigned = lane
+				} else {
+					lanes++
+					assigned = lanes
+				}
+				open = append(open, openLane{lane: assigned, endNs: kEnd})
+			}
+			walk(k, assigned)
+		}
+	}
+	walk(root, 0)
+
+	file := perfettoFile{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"trace_id":   tr.id,
+			"trace_name": tr.name,
+		},
+		TraceEvents: events,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// ValidatePerfetto structurally validates data against the trace-event
+// schema WritePerfetto emits: a displayTimeUnit, at least one complete
+// event, and per event a name, cat "lodim", ph "X", non-negative
+// ts/dur, and a nonzero span_id arg. Tests use it as the golden schema
+// check for exported traces.
+func ValidatePerfetto(data []byte) error {
+	var f perfettoFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("perfetto: not valid JSON: %w", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		return fmt.Errorf("perfetto: displayTimeUnit %q, want \"ms\"", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("perfetto: no traceEvents")
+	}
+	for i, ev := range f.TraceEvents {
+		switch {
+		case ev.Name == "":
+			return fmt.Errorf("perfetto: event %d has no name", i)
+		case ev.Ph != "X":
+			return fmt.Errorf("perfetto: event %d (%s) ph %q, want \"X\"", i, ev.Name, ev.Ph)
+		case ev.Cat != "lodim":
+			return fmt.Errorf("perfetto: event %d (%s) cat %q, want \"lodim\"", i, ev.Name, ev.Cat)
+		case ev.Ts < 0 || ev.Dur < 0:
+			return fmt.Errorf("perfetto: event %d (%s) negative ts/dur (%d, %d)", i, ev.Name, ev.Ts, ev.Dur)
+		case ev.Pid != 1:
+			return fmt.Errorf("perfetto: event %d (%s) pid %d, want 1", i, ev.Name, ev.Pid)
+		}
+		id, ok := ev.Args["span_id"]
+		if !ok {
+			return fmt.Errorf("perfetto: event %d (%s) missing span_id arg", i, ev.Name)
+		}
+		if n, ok := id.(float64); !ok || n < 1 {
+			return fmt.Errorf("perfetto: event %d (%s) bad span_id %v", i, ev.Name, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenTrace assembles a deterministic trace under a fake clock:
+// a request root, a joint search with two overlapping workers (lane
+// split in the export), and a verification stage — the span taxonomy
+// the service layers emit.
+func buildGoldenTrace() *Trace {
+	clock := newFakeClock(time.Millisecond)
+	tr := New(Config{Now: clock.Now})
+	ctx, root := tr.StartRoot(context.Background(), "map", "4bf92f3577b34da6a3ce929d0e0e4736")
+	root.SetStr("request_id", "deadbeefcafe0123")
+
+	jctx, joint := Start(ctx, "joint-search")
+	joint.SetInt("dims", 1)
+	_, w0 := Start(jctx, "worker")
+	w0.SetInt("worker", 0)
+	_, w1 := Start(jctx, "worker") // overlaps w0 → separate lane
+	w1.SetInt("worker", 1)
+	_, pi := Start(jctx, "pi-search")
+	pi.SetInt("candidates", 12)
+	pi.End()
+	w0.End()
+	w1.End()
+	joint.SetInt("space_candidates", 24)
+	joint.End()
+
+	_, ver := Start(ctx, "verify")
+	ver.SetStr("verdict", "valid")
+	ver.End()
+
+	root.End()
+	return root.Trace()
+}
+
+func TestWritePerfettoGolden(t *testing.T) {
+	tr := buildGoldenTrace()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	got := buf.String()
+
+	path := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -update ./internal/trace/`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("perfetto export differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePerfettoValidatesOwnSchema(t *testing.T) {
+	tr := buildGoldenTrace()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePerfetto(buf.Bytes()); err != nil {
+		t.Fatalf("export fails its own schema: %v", err)
+	}
+}
+
+func TestWritePerfettoLaneAssignment(t *testing.T) {
+	tr := buildGoldenTrace()
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Decode back and check the two overlapping workers landed on
+	// different lanes while the sequential verify span reuses lane 0.
+	var f perfettoFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[string][]int64{}
+	for _, ev := range f.TraceEvents {
+		lanes[ev.Name] = append(lanes[ev.Name], ev.Tid)
+	}
+	w := lanes["worker"]
+	if len(w) != 2 || w[0] == w[1] {
+		t.Fatalf("overlapping workers share a lane: %v", w)
+	}
+	if got := lanes["map"]; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("root lane = %v, want [0]", got)
+	}
+}
+
+func TestValidatePerfettoRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"no events":      `{"displayTimeUnit":"ms","traceEvents":[]}`,
+		"bad time unit":  `{"displayTimeUnit":"ns","traceEvents":[{"name":"x","cat":"lodim","ph":"X","ts":0,"dur":1,"pid":1,"tid":0,"args":{"span_id":1}}]}`,
+		"wrong phase":    `{"displayTimeUnit":"ms","traceEvents":[{"name":"x","cat":"lodim","ph":"B","ts":0,"dur":1,"pid":1,"tid":0,"args":{"span_id":1}}]}`,
+		"missing spanid": `{"displayTimeUnit":"ms","traceEvents":[{"name":"x","cat":"lodim","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]}`,
+		"negative ts":    `{"displayTimeUnit":"ms","traceEvents":[{"name":"x","cat":"lodim","ph":"X","ts":-5,"dur":1,"pid":1,"tid":0,"args":{"span_id":1}}]}`,
+	}
+	for name, body := range cases {
+		if err := ValidatePerfetto([]byte(body)); err == nil {
+			t.Errorf("%s: ValidatePerfetto accepted malformed input", name)
+		}
+	}
+}
+
+func TestWritePerfettoOpenSpan(t *testing.T) {
+	clock := newFakeClock(time.Millisecond)
+	tracer := New(Config{Now: clock.Now})
+	ctx, root := tracer.StartRoot(context.Background(), "map", "")
+	_, child := Start(ctx, "search") // never ended: a live in-flight trace
+	_ = child
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, root.Trace()); err != nil {
+		t.Fatalf("WritePerfetto on a live trace: %v", err)
+	}
+	if err := ValidatePerfetto(buf.Bytes()); err != nil {
+		t.Fatalf("live-trace export fails schema: %v", err)
+	}
+}

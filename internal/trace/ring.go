@@ -1,0 +1,279 @@
+package trace
+
+// Registry is the live-inspector sink: a fixed-size ring of the most
+// recently completed traces, served as HTML and JSON by Handler. The
+// ring holds pointers and copies nothing at insert, so the sink adds
+// one short critical section per request.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry retains the last N completed traces.
+type Registry struct {
+	mu    sync.Mutex
+	buf   []*Trace
+	next  int
+	total int64
+}
+
+// NewRegistry builds a registry retaining n traces (n ≤ 0 selects 64).
+func NewRegistry(n int) *Registry {
+	if n <= 0 {
+		n = 64
+	}
+	return &Registry{buf: make([]*Trace, n)}
+}
+
+// Add inserts a completed trace, evicting the oldest when full. It has
+// the sink signature for Tracer.AddSink.
+func (r *Registry) Add(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many traces have ever been added.
+func (r *Registry) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Traces returns the retained traces, newest first.
+func (r *Registry) Traces() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		if tr := r.buf[(r.next-i+len(r.buf))%len(r.buf)]; tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given id, or nil.
+func (r *Registry) Lookup(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, tr := range r.buf {
+		if tr != nil && tr.id == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// traceInfo is the JSON list form of one retained trace.
+type traceInfo struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int64     `json:"spans"`
+	Dropped    int64     `json:"dropped,omitempty"`
+}
+
+// spanJSON is the JSON detail form of one span subtree.
+type spanJSON struct {
+	SpanID     int64          `json:"span_id"`
+	Name       string         `json:"name"`
+	StartUs    int64          `json:"start_us"` // since trace start
+	DurationUs int64          `json:"duration_us"`
+	Open       bool           `json:"open,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*spanJSON    `json:"children,omitempty"`
+}
+
+// spanTree converts a snapshot subtree to its JSON form.
+func spanTree(s *snapshot, baseNs, nowNs int64) *spanJSON {
+	end := s.endNs
+	open := end == 0
+	if open {
+		end = nowNs
+	}
+	out := &spanJSON{
+		SpanID:     s.id,
+		Name:       s.name,
+		StartUs:    (s.startNs - baseNs) / 1e3,
+		DurationUs: (end - s.startNs) / 1e3,
+		Open:       open,
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value()
+		}
+	}
+	for _, k := range s.children {
+		out.Children = append(out.Children, spanTree(k, baseNs, nowNs))
+	}
+	return out
+}
+
+// Handler serves the registry as a live request inspector:
+//
+//	GET ?                      — HTML trace list (plus status block)
+//	GET ?format=json           — JSON trace list
+//	GET ?id=<trace-id>         — HTML span tree for one trace
+//	GET ?id=<id>&format=json   — JSON span tree
+//	GET ?id=<id>&format=perfetto — Chrome trace-event JSON
+//
+// status (optional) contributes a process-status object to the list
+// views; mapserve passes the same source /healthz serves.
+func Handler(r *Registry, status func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := req.URL.Query().Get("id")
+		format := req.URL.Query().Get("format")
+		if id == "" {
+			serveList(w, r, status, format)
+			return
+		}
+		tr := r.Lookup(id)
+		if tr == nil {
+			http.Error(w, "trace not found (evicted or unknown id)", http.StatusNotFound)
+			return
+		}
+		switch format {
+		case "perfetto":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%q", "trace-"+tr.id+".json"))
+			if err := WritePerfetto(w, tr); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			nowNs := tr.tracer.now().UnixNano()
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			enc.Encode(map[string]any{
+				"trace_id": tr.id,
+				"name":     tr.name,
+				"start":    tr.start,
+				"root":     spanTree(tr.root.snap(), tr.start.UnixNano(), nowNs),
+			})
+		default:
+			serveDetail(w, tr)
+		}
+	})
+}
+
+// serveList renders the trace list (HTML or JSON).
+func serveList(w http.ResponseWriter, r *Registry, status func() any, format string) {
+	traces := r.Traces()
+	if format == "json" {
+		infos := make([]traceInfo, len(traces))
+		for i, tr := range traces {
+			infos[i] = traceInfo{
+				TraceID:    tr.id,
+				Name:       tr.name,
+				Start:      tr.start,
+				DurationMs: float64(tr.Duration().Microseconds()) / 1e3,
+				Spans:      tr.SpanCount(),
+				Dropped:    tr.Dropped(),
+			}
+		}
+		body := map[string]any{"traces": infos, "total": r.Total()}
+		if status != nil {
+			body["status"] = status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(body)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>/debug/requests</title>")
+	b.WriteString("<style>body{font-family:monospace;margin:1.5em}table{border-collapse:collapse}" +
+		"td,th{border:1px solid #bbb;padding:2px 8px;text-align:left}th{background:#eee}" +
+		"pre{background:#f6f6f6;padding:8px}</style></head><body>")
+	b.WriteString("<h1>mapserve request traces</h1>")
+	if status != nil {
+		js, err := json.MarshalIndent(status(), "", " ")
+		if err == nil {
+			b.WriteString("<h2>status</h2><pre>" + html.EscapeString(string(js)) + "</pre>")
+		}
+	}
+	fmt.Fprintf(&b, "<h2>last %d of %d traces</h2>", len(traces), r.Total())
+	b.WriteString("<table><tr><th>trace</th><th>endpoint</th><th>start</th>" +
+		"<th>duration</th><th>spans</th><th>dropped</th><th>export</th></tr>")
+	for _, tr := range traces {
+		fmt.Fprintf(&b,
+			"<tr><td><a href=\"?id=%s\">%s</a></td><td>%s</td><td>%s</td>"+
+				"<td>%s</td><td>%d</td><td>%d</td>"+
+				"<td><a href=\"?id=%s&amp;format=perfetto\">perfetto</a></td></tr>",
+			tr.id, tr.id, html.EscapeString(tr.name),
+			tr.start.Format(time.RFC3339Nano), tr.Duration(),
+			tr.SpanCount(), tr.Dropped(), tr.id)
+	}
+	b.WriteString("</table></body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// serveDetail renders one trace's span tree as HTML.
+func serveDetail(w http.ResponseWriter, tr *Trace) {
+	nowNs := tr.tracer.now().UnixNano()
+	root := tr.root.snap()
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>trace " + tr.id + "</title>")
+	b.WriteString("<style>body{font-family:monospace;margin:1.5em}" +
+		"ul{list-style:none;border-left:1px dotted #999;margin-left:8px;padding-left:16px}" +
+		".d{color:#06c}.a{color:#777}</style></head><body>")
+	fmt.Fprintf(&b, "<h1>trace %s</h1><p>%s · started %s · %d spans (%d dropped) · "+
+		"<a href=\"?id=%s&amp;format=json\">json</a> · "+
+		"<a href=\"?id=%s&amp;format=perfetto\">perfetto</a> · <a href=\"?\">back</a></p>",
+		tr.id, html.EscapeString(tr.name), tr.start.Format(time.RFC3339Nano),
+		tr.SpanCount(), tr.Dropped(), tr.id, tr.id)
+	var walk func(s *snapshot)
+	walk = func(s *snapshot) {
+		end := s.endNs
+		openMark := ""
+		if end == 0 {
+			end = nowNs
+			openMark = " (open)"
+		}
+		fmt.Fprintf(&b, "<li><b>%s</b> <span class=\"d\">%s%s</span>",
+			html.EscapeString(s.name), time.Duration(end-s.startNs), openMark)
+		if len(s.attrs) > 0 {
+			parts := make([]string, len(s.attrs))
+			for i, a := range s.attrs {
+				parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value())
+			}
+			sort.Strings(parts)
+			b.WriteString(" <span class=\"a\">" + html.EscapeString(strings.Join(parts, " ")) + "</span>")
+		}
+		if len(s.children) > 0 {
+			b.WriteString("<ul>")
+			for _, k := range s.children {
+				walk(k)
+			}
+			b.WriteString("</ul>")
+		}
+		b.WriteString("</li>")
+	}
+	b.WriteString("<ul>")
+	walk(root)
+	b.WriteString("</ul></body></html>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

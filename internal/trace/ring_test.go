@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// endTrace makes one completed single-span trace named name on tracer
+// tr and returns it.
+func endTrace(t *testing.T, tr *Tracer, name string) *Trace {
+	t.Helper()
+	_, root := tr.StartRoot(context.Background(), name, "")
+	root.End()
+	return root.Trace()
+}
+
+func TestRegistryEvictionOrder(t *testing.T) {
+	tracer := New(Config{Now: newFakeClock(time.Millisecond).Now})
+	r := NewRegistry(3)
+	tracer.AddSink(r.Add)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := endTrace(t, tracer, fmt.Sprintf("t%d", i))
+		ids = append(ids, tr.ID())
+	}
+	got := r.Traces()
+	if len(got) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(got))
+	}
+	// Newest first: t4, t3, t2; t0 and t1 evicted.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if got[i].ID() != want {
+			t.Fatalf("Traces()[%d] = %s (%s), want %s", i, got[i].ID(), got[i].Name(), want)
+		}
+	}
+	if r.Lookup(ids[0]) != nil || r.Lookup(ids[1]) != nil {
+		t.Fatal("evicted traces still resolvable by Lookup")
+	}
+	if r.Lookup(ids[4]) == nil {
+		t.Fatal("retained trace not resolvable by Lookup")
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestRegistryPartialFill(t *testing.T) {
+	tracer := New(Config{})
+	r := NewRegistry(8)
+	a := endTrace(t, tracer, "a")
+	r.Add(a)
+	b := endTrace(t, tracer, "b")
+	r.Add(b)
+	got := r.Traces()
+	if len(got) != 2 || got[0] != b || got[1] != a {
+		t.Fatalf("partial ring order wrong: %v", got)
+	}
+}
+
+func TestHandlerListAndDetail(t *testing.T) {
+	tracer := New(Config{Now: newFakeClock(time.Millisecond).Now})
+	r := NewRegistry(4)
+	tracer.AddSink(r.Add)
+
+	ctx, root := tracer.StartRoot(context.Background(), "map", "")
+	_, child := Start(ctx, "joint-search")
+	child.SetInt("candidates", 9)
+	child.End()
+	root.End()
+	id := root.TraceID()
+
+	h := Handler(r, func() any { return map[string]any{"status": "ok"} })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(url string) (int, string, string) {
+		t.Helper()
+		res, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, res.Header.Get("Content-Type"), string(body)
+	}
+
+	// HTML list shows the trace id, the status block, and a detail link.
+	code, ctype, body := get(srv.URL)
+	if code != 200 || !strings.Contains(ctype, "text/html") {
+		t.Fatalf("list: code %d ctype %s", code, ctype)
+	}
+	for _, want := range []string{id, "status", "?id=" + id} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("HTML list missing %q:\n%s", want, body)
+		}
+	}
+
+	// JSON list parses and carries the trace plus the status object.
+	code, _, body = get(srv.URL + "?format=json")
+	if code != 200 {
+		t.Fatalf("json list code %d", code)
+	}
+	var list struct {
+		Traces []traceInfo    `json:"traces"`
+		Total  int64          `json:"total"`
+		Status map[string]any `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("json list does not parse: %v", err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != id || list.Traces[0].Spans != 2 {
+		t.Fatalf("json list wrong: %+v", list)
+	}
+	if list.Status["status"] != "ok" {
+		t.Fatalf("json list missing status: %+v", list.Status)
+	}
+
+	// HTML detail shows the nested child span with its attribute.
+	code, _, body = get(srv.URL + "?id=" + id)
+	if code != 200 {
+		t.Fatalf("detail code %d", code)
+	}
+	for _, want := range []string{"joint-search", "candidates=9"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("HTML detail missing %q:\n%s", want, body)
+		}
+	}
+
+	// JSON detail carries the span tree.
+	code, _, body = get(srv.URL + "?id=" + id + "&format=json")
+	if code != 200 {
+		t.Fatalf("json detail code %d", code)
+	}
+	var detail struct {
+		TraceID string   `json:"trace_id"`
+		Root    spanJSON `json:"root"`
+	}
+	if err := json.Unmarshal([]byte(body), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.TraceID != id || len(detail.Root.Children) != 1 || detail.Root.Children[0].Name != "joint-search" {
+		t.Fatalf("json detail wrong: %+v", detail)
+	}
+
+	// Perfetto export validates against the schema.
+	code, ctype, body = get(srv.URL + "?id=" + id + "&format=perfetto")
+	if code != 200 || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("perfetto: code %d ctype %s", code, ctype)
+	}
+	if err := ValidatePerfetto([]byte(body)); err != nil {
+		t.Fatalf("perfetto export from handler fails schema: %v", err)
+	}
+
+	// Unknown id is a 404; non-GET a 405.
+	if code, _, _ = get(srv.URL + "?id=" + strings.Repeat("0", 31) + "1"); code != 404 {
+		t.Fatalf("unknown id code %d, want 404", code)
+	}
+	res, err := srv.Client().Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 405 {
+		t.Fatalf("POST code %d, want 405", res.StatusCode)
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+// W3C Trace Context `traceparent` handling. The header joins mapserve
+// requests into callers' distributed traces:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// We accept version 00 (and, per spec, parse unknown future versions
+// leniently by their 00-shaped prefix), reject the reserved version ff
+// and all-zero ids, and always emit version 00 with the sampled flag.
+
+// traceparentLen is the exact length of a version-00 header.
+const traceparentLen = 55
+
+// ParseTraceparent extracts the trace id and parent span id from a
+// traceparent header value. ok is false for anything malformed; callers
+// then start a fresh trace.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	if len(h) < traceparentLen {
+		return "", "", false
+	}
+	// version "ff" is forbidden; other unknown versions are parsed by
+	// the fixed-width prefix as the spec directs.
+	if !isLowerHex(h[0:2]) || h[0:2] == "ff" {
+		return "", "", false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	if len(h) > traceparentLen && h[traceparentLen] != '-' {
+		return "", "", false
+	}
+	traceID = h[3:35]
+	parentID = h[36:52]
+	if !validTraceID(traceID) || !validSpanID(parentID) || !isLowerHex(h[53:55]) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+// Traceparent renders a version-00, sampled traceparent header for the
+// given trace and span ids.
+func Traceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// validTraceID reports whether s is a well-formed, nonzero 32-digit
+// lowercase hex trace id.
+func validTraceID(s string) bool {
+	return len(s) == 32 && isLowerHex(s) && !allZero(s)
+}
+
+// validSpanID reports whether s is a well-formed, nonzero 16-digit
+// lowercase hex span id.
+func validSpanID(s string) bool {
+	return len(s) == 16 && isLowerHex(s) && !allZero(s)
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

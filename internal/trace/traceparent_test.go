@@ -1,0 +1,50 @@
+package trace
+
+import "testing"
+
+func TestParseTraceparent(t *testing.T) {
+	const trID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const spID = "00f067aa0ba902b7"
+	cases := []struct {
+		name   string
+		header string
+		ok     bool
+	}{
+		{"canonical", "00-" + trID + "-" + spID + "-01", true},
+		{"not sampled", "00-" + trID + "-" + spID + "-00", true},
+		{"future version", "cc-" + trID + "-" + spID + "-01", true},
+		{"future version with suffix", "cc-" + trID + "-" + spID + "-01-extra", true},
+		{"version ff forbidden", "ff-" + trID + "-" + spID + "-01", false},
+		{"too short", "00-" + trID + "-" + spID, false},
+		{"zero trace id", "00-00000000000000000000000000000000-" + spID + "-01", false},
+		{"zero span id", "00-" + trID + "-0000000000000000-01", false},
+		{"uppercase hex", "00-" + "4BF92F3577B34DA6A3CE929D0E0E4736" + "-" + spID + "-01", false},
+		{"bad separators", "00_" + trID + "_" + spID + "_01", false},
+		{"v00 with trailing junk", "00-" + trID + "-" + spID + "-01extra", false},
+		{"empty", "", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gotTr, gotSp, ok := ParseTraceparent(c.header)
+			if ok != c.ok {
+				t.Fatalf("ParseTraceparent(%q) ok = %v, want %v", c.header, ok, c.ok)
+			}
+			if ok && (gotTr != trID || gotSp != spID) {
+				t.Fatalf("parsed (%q, %q), want (%q, %q)", gotTr, gotSp, trID, spID)
+			}
+		})
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const trID = "0af7651916cd43dd8448eb211c80319c"
+	const spID = "b7ad6b7169203331"
+	h := Traceparent(trID, spID)
+	if h != "00-"+trID+"-"+spID+"-01" {
+		t.Fatalf("Traceparent = %q", h)
+	}
+	gotTr, gotSp, ok := ParseTraceparent(h)
+	if !ok || gotTr != trID || gotSp != spID {
+		t.Fatalf("round trip failed: (%q, %q, %v)", gotTr, gotSp, ok)
+	}
+}

@@ -35,6 +35,7 @@
 package verify
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,7 @@ import (
 	"lodim/internal/intmat"
 	"lodim/internal/schedule"
 	"lodim/internal/systolic"
+	"lodim/internal/trace"
 	"lodim/internal/uda"
 )
 
@@ -270,10 +272,17 @@ func (c *Certificate) fail(witness, format string, args ...any) {
 // Mapping built as a raw struct literal can carry a T that is not the
 // stack of its own S and Π, which no downstream consumer would notice.
 func VerifyMapping(m *schedule.Mapping, opts *Options) (*Certificate, error) {
+	return VerifyMappingContext(context.Background(), m, opts)
+}
+
+// VerifyMappingContext is VerifyMapping under a caller context: when
+// the context carries an active trace span, the certificate stages are
+// recorded as child spans (see internal/trace).
+func VerifyMappingContext(ctx context.Context, m *schedule.Mapping, opts *Options) (*Certificate, error) {
 	if m == nil {
 		return nil, errors.New("verify: nil mapping")
 	}
-	cert, err := Certify(m.Algo, m.S, m.Pi, opts)
+	cert, err := CertifyContext(ctx, m.Algo, m.S, m.Pi, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +302,19 @@ func VerifyMapping(m *schedule.Mapping, opts *Options) (*Certificate, error) {
 // with Valid == false and a named FailedWitness. Use Certificate.Err
 // to convert the verdict into an error.
 func Certify(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Options) (*Certificate, error) {
+	return CertifyContext(context.Background(), algo, s, pi, opts)
+}
+
+// CertifyContext is Certify under a caller context. The context is
+// used for tracing only — each certificate stage (schedule witnesses,
+// conflict analysis, brute-force cross-check, simulation, optimality)
+// becomes a child span when the context carries an active trace; the
+// engine itself stays uninterruptible because every stage is budgeted
+// (EnumBudget, BruteForceLimit, SimulateLimit) rather than unbounded.
+func CertifyContext(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Options) (*Certificate, error) {
 	opt := opts.withDefaults()
+	ctx, span := trace.Start(ctx, "certify")
+	defer span.End()
 	if algo == nil {
 		return nil, &FailureError{Witness: WitnessShape, Detail: "nil algorithm"}
 	}
@@ -326,6 +347,7 @@ func Certify(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Opti
 	}
 
 	// (b) Schedule validity: Π·d̄_j ≥ 1 per dependence column.
+	_, schedSpan := trace.Start(ctx, "schedule-witnesses")
 	cert.Schedule = make([]ScheduleWitness, algo.NumDeps())
 	for j := 0; j < algo.NumDeps(); j++ {
 		dep := algo.Dep(j)
@@ -337,9 +359,13 @@ func Certify(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Opti
 		}
 	}
 	cert.TotalTime = totalTime(pi, algo.Set.Upper)
+	schedSpan.SetInt("dependencies", int64(algo.NumDeps()))
+	schedSpan.End()
 
 	// (a) Conflict-freeness from a fresh TU = [L, 0] factorization.
+	_, confSpan := trace.Start(ctx, "conflict-analysis")
 	free, witness, err := analyzeConflicts(cert, t, algo.Set, opt.EnumBudget)
+	confSpan.End()
 	if err != nil {
 		if errors.Is(err, intmat.ErrRankDeficient) {
 			cert.fail(WitnessRank, "rank(T) = %d < k = %d", t.Rank(), k)
@@ -355,9 +381,12 @@ func Certify(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Opti
 
 	// Definitional cross-check below the size cutoff.
 	if opt.BruteForceLimit > 0 && !algo.Set.SizeExceeds(opt.BruteForceLimit) {
+		_, bfSpan := trace.Start(ctx, "brute-force")
 		bfFree, bfWitness := conflict.BruteForce(t, algo.Set)
 		cc := &CrossCheck{Ran: true, Points: algo.Set.Size(), Agrees: bfFree == free, Witness: bfWitness}
 		cert.BruteForce = cc
+		bfSpan.SetInt("points", cc.Points)
+		bfSpan.End()
 		if !cc.Agrees {
 			cert.fail(WitnessBrute, "independent decision says free=%v but brute force says free=%v (bf witness %v)",
 				free, bfFree, bfWitness)
@@ -369,13 +398,23 @@ func Certify(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts *Opti
 	// schedule to replay at all.
 	if opt.Simulate && cert.FailedWitness != WitnessRank && scheduleAllOK(cert.Schedule) &&
 		!algo.Set.SizeExceeds(opt.SimulateLimit) {
+		_, simSpan := trace.Start(ctx, "simulation")
 		simulateWitness(cert, algo, s, pi, t)
+		simSpan.End()
 	}
 
 	// (c) Time-optimality bound. Only certified for valid schedules —
 	// TotalTime of an invalid Π bounds nothing.
 	if !opt.SkipOptimality && scheduleAllOK(cert.Schedule) {
+		_, optSpan := trace.Start(ctx, "optimality")
 		optimalityWitness(cert, algo, pi, opt)
+		optSpan.SetStr("verdict", cert.Optimality)
+		optSpan.End()
+	}
+	if cert.Valid {
+		span.SetStr("verdict", "valid")
+	} else {
+		span.SetStr("verdict", cert.FailedWitness)
 	}
 	return cert, nil
 }
