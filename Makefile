@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all check build test vet fmtcheck bench race race-hot fuzz cover experiments examples golden serve clean
+.PHONY: all check build test vet fmtcheck bench bench-diff race race-hot fuzz cover experiments examples golden serve clean
 
 all: build vet test
 
@@ -37,6 +37,14 @@ race-hot:
 # on a quiet machine).
 bench:
 	@$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./internal/tools/benchjson
+
+# Compare a captured benchmark report against the committed baseline,
+# flagging any metric that worsened by more than 10%:
+#   make bench > BENCH_new.json && make bench-diff NEW=BENCH_new.json
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_pr6.json
+bench-diff:
+	@$(GO) run ./internal/tools/benchjson -diff $(OLD) $(NEW)
 
 # Short fuzz campaigns on every fuzz target (seed corpora always run
 # under plain `make test`).

@@ -177,6 +177,15 @@ func (sa *SpaceAnalyzer) Decide(pi intmat.Vector) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return sa.decideFromBasis(basis, pi)
+}
+
+// decideFromBasis runs the criterion ladder over a size-reduced basis
+// of the conflict-vector lattice of [S; Π]. It is shared by Decide and
+// the scratch-backed DecideScratch; basis may be arena-backed — any
+// vector that escapes into the Result goes through Canonical, which
+// copies.
+func (sa *SpaceAnalyzer) decideFromBasis(basis []intmat.Vector, pi intmat.Vector) (Result, error) {
 	set := sa.Set
 	switch len(basis) {
 	case 0:

@@ -15,9 +15,16 @@ func FuzzHNFInvariants(f *testing.F) {
 			[]int64{int64(e), int64(g), int64(h), int64(i)},
 		)
 		hn, err := HermiteNormalForm(T)
+		ar := GetArena()
+		defer PutArena(ar)
+		var ha HNF
+		arenaErr := HNFInto(&ha, T, ar)
 		if err != nil {
 			if T.Rank() == 2 {
 				t.Fatalf("full-rank matrix rejected: %v\n%v", err, T)
+			}
+			if arenaErr == nil {
+				t.Fatalf("arena path accepted what the wrapper rejected:\n%v", T)
 			}
 			return
 		}
@@ -26,6 +33,10 @@ func FuzzHNFInvariants(f *testing.F) {
 		}
 		if err := hn.Verify(); err != nil {
 			t.Fatalf("invariants: %v\nT=\n%v", err, T)
+		}
+		// The arena-backed in-place decomposition must be byte-identical.
+		if arenaErr != nil || !ha.H.Equal(hn.H) || !ha.U.Equal(hn.U) {
+			t.Fatalf("HNFInto(arena) diverged (err=%v) for\n%v", arenaErr, T)
 		}
 		for _, u := range hn.NullBasis() {
 			if !T.MulVec(u).IsZero() {
@@ -47,14 +58,29 @@ func FuzzRowNullBasis(f *testing.F) {
 	f.Fuzz(func(t *testing.T, a, b, c, d int16) {
 		h := Vec(int64(a), int64(b), int64(c), int64(d))
 		basis, err := RowNullBasis(h)
+		ar := GetArena()
+		defer PutArena(ar)
+		arenaBasis, arenaErr := RowNullBasisAppend(nil, ar, h)
 		if err != nil {
 			if !h.IsZero() {
 				t.Fatalf("non-zero row rejected: %v", err)
+			}
+			if arenaErr == nil {
+				t.Fatalf("arena path accepted the zero row")
 			}
 			return
 		}
 		if len(basis) != 3 {
 			t.Fatalf("basis size %d", len(basis))
+		}
+		// The arena-backed append form must return the same basis.
+		if arenaErr != nil || len(arenaBasis) != len(basis) {
+			t.Fatalf("RowNullBasisAppend diverged (err=%v, %d vectors) for h=%v", arenaErr, len(arenaBasis), h)
+		}
+		for i, v := range basis {
+			if !arenaBasis[i].Equal(v) {
+				t.Fatalf("arena basis[%d] = %v, want %v for h=%v", i, arenaBasis[i], v, h)
+			}
 		}
 		for _, v := range basis {
 			if h.Dot(v) != 0 {

@@ -35,10 +35,206 @@ type HNF struct {
 // HermiteNormalForm computes the column-style Hermite normal form of t.
 // It returns ErrRankDeficient if rank(t) < t.Rows(), and an
 // *OverflowError if an entry of the result exceeds int64. The
-// computation itself runs in arbitrary precision, so only genuinely
-// oversized results are rejected — the column operations of the gcd
-// elimination can grow intermediates far beyond the final values.
-func HermiteNormalForm(t *Matrix) (h *HNF, err error) {
+// computation first runs an overflow-checked int64 elimination (the
+// common case for the small mapping matrices of the search engines) and
+// falls back to arbitrary precision when an intermediate overflows, so
+// only genuinely oversized results are rejected.
+func HermiteNormalForm(t *Matrix) (*HNF, error) {
+	h := &HNF{}
+	if err := HNFInto(h, t, nil); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// HNFInto computes the Hermite normal form of t into h, reusing h's
+// matrices when their shapes match (or drawing fresh ones from ar when
+// it is non-nil, in which case h.H and h.U obey the arena's lifetime —
+// valid until ar.Reset). The int64 fast path mirrors the
+// arbitrary-precision elimination operation for operation, so the two
+// produce identical decompositions; on intermediate overflow the big
+// path rebuilds the result on the heap regardless of ar.
+func HNFInto(h *HNF, t *Matrix, ar *Arena) error {
+	k, n := t.Rows(), t.Cols()
+	if k > n {
+		return fmt.Errorf("intmat: HermiteNormalForm of %dx%d matrix: more rows than columns implies rank deficiency: %w", k, n, ErrRankDeficient)
+	}
+	h.T = t
+	h.v = nil
+	H := intoMat(h.H, ar, k, n)
+	U := intoMat(h.U, ar, n, n)
+	copy(H.a, t.a)
+	for i := range U.a {
+		U.a[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		U.a[i*n+i] = 1
+	}
+	ok, rankDeficient := hnfFastInt64(H, U, k, n)
+	if ok {
+		if rankDeficient {
+			return ErrRankDeficient
+		}
+		h.H, h.U = H, U
+		return nil
+	}
+	// An int64 intermediate overflowed: redo in arbitrary precision. The
+	// big path replays the identical operation sequence, so it yields the
+	// same decomposition whenever the final entries fit in int64.
+	hb, err := hermiteNormalFormBig(t)
+	if err != nil {
+		return err
+	}
+	h.H, h.U = hb.H, hb.U
+	return nil
+}
+
+// intoMat picks destination storage for an Into-style decomposition:
+// arena-backed when ar is non-nil, otherwise prev when its shape already
+// matches, otherwise a fresh heap matrix.
+func intoMat(prev *Matrix, ar *Arena, rows, cols int) *Matrix {
+	if ar != nil {
+		return ar.Mat(rows, cols)
+	}
+	if prev != nil && prev.rows == rows && prev.cols == cols {
+		return prev
+	}
+	return New(rows, cols)
+}
+
+// hnfFastInt64 runs the column elimination on H and U in checked int64.
+// ok is false when an intermediate overflowed (H and U are then
+// partially transformed garbage and the caller must fall back);
+// rankDeficient reports a zero row, which the identical big-path
+// replay would detect at the same step.
+func hnfFastInt64(H, U *Matrix, k, n int) (ok, rankDeficient bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isOverflow := r.(*OverflowError); isOverflow {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	for r := 0; r < k; r++ {
+		// Bring a non-zero entry to the pivot position (r, r) using the
+		// columns at or to the right of r.
+		if H.a[r*n+r] == 0 {
+			p := -1
+			for j := r + 1; j < n; j++ {
+				if H.a[r*n+j] != 0 {
+					p = j
+					break
+				}
+			}
+			if p < 0 {
+				return true, true
+			}
+			H.swapCols(r, p)
+			U.swapCols(r, p)
+		}
+		// Zero out the rest of row r with extended-Euclid column combos.
+		for j := r + 1; j < n; j++ {
+			b := H.a[r*n+j]
+			if b == 0 {
+				continue
+			}
+			a := H.a[r*n+r]
+			g, x, y := ExtGCD(a, b)
+			// [col_r col_j] ← [x·col_r + y·col_j, -(b/g)·col_r + (a/g)·col_j].
+			u := negChecked(b / g)
+			v := a / g
+			H.combineCols(r, j, x, y, u, v)
+			U.combineCols(r, j, x, y, u, v)
+		}
+		// Normalize the pivot sign.
+		if H.a[r*n+r] < 0 {
+			H.negCol(r)
+			U.negCol(r)
+		}
+		// Reduce the entries left of the diagonal in row r modulo the
+		// pivot.
+		d := H.a[r*n+r]
+		for j := 0; j < r; j++ {
+			q := floorDiv(H.a[r*n+j], d)
+			if q != 0 {
+				H.addColMultiple(j, r, negChecked(q))
+				U.addColMultiple(j, r, negChecked(q))
+			}
+		}
+	}
+	U.sizeReduce(k)
+	return true, false
+}
+
+// colDotChecked returns the inner product of columns i and j in checked
+// int64.
+func (m *Matrix) colDotChecked(i, j int) int64 {
+	var s int64
+	for r := 0; r < m.rows; r++ {
+		s = addChecked(s, mulChecked(m.a[r*m.cols+i], m.a[r*m.cols+j]))
+	}
+	return s
+}
+
+// sizeReduce is the checked-int64 mirror of bigMatrix.sizeReduce; see
+// that function for the rationale. The sweep limits and reduction order
+// match exactly so the two paths stay byte-equal.
+func (m *Matrix) sizeReduce(k int) {
+	n := m.cols
+	if k >= n {
+		return
+	}
+	// Phase 1: pairwise reduction of the null columns until fixpoint.
+	for sweep := 0; sweep < 64; sweep++ {
+		changed := false
+		for p := k; p < n; p++ {
+			pp := m.colDotChecked(p, p)
+			if pp == 0 {
+				continue
+			}
+			for q := k; q < n; q++ {
+				if p == q {
+					continue
+				}
+				t := roundDiv(m.colDotChecked(q, p), pp)
+				if t != 0 {
+					m.addColMultiple(q, p, negChecked(t))
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Phase 2: reduce the pivot columns against the null lattice.
+	for sweep := 0; sweep < 8; sweep++ {
+		changed := false
+		for p := k; p < n; p++ {
+			pp := m.colDotChecked(p, p)
+			if pp == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				t := roundDiv(m.colDotChecked(j, p), pp)
+				if t != 0 {
+					m.addColMultiple(j, p, negChecked(t))
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// hermiteNormalFormBig is the arbitrary-precision reference elimination.
+// It is both the overflow fallback of HNFInto and the oracle the
+// differential tests compare the int64 fast path against.
+func hermiteNormalFormBig(t *Matrix) (h *HNF, err error) {
 	defer Guard(&err)
 	k, n := t.Rows(), t.Cols()
 	if k > n {
@@ -112,56 +308,88 @@ func HermiteNormalForm(t *Matrix) (h *HNF, err error) {
 // row Π·W. The basis vectors are columns of a unimodular matrix and
 // hence primitive. An all-zero h is rejected with ErrRankDeficient.
 func RowNullBasis(h Vector) (basis []Vector, err error) {
-	q := len(h)
-	fast := func() (bs []Vector, ok bool) {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, isOverflow := r.(*OverflowError); isOverflow {
-					ok = false
-					return
-				}
-				panic(r)
-			}
-		}()
-		w := h.Clone()
-		u := Identity(q)
-		// Bring a non-zero pivot to position 0.
-		p := w.FirstNonZero()
-		if p < 0 {
-			return nil, true // signals rank deficiency to the caller below
-		}
-		if p != 0 {
-			w[0], w[p] = w[p], w[0]
-			u.swapCols(0, p)
-		}
-		for j := 1; j < q; j++ {
-			if w[j] == 0 {
-				continue
-			}
-			a, b := w[0], w[j]
-			g, x, y := ExtGCD(a, b)
-			// [col_0 col_j] ← [x·col_0 + y·col_j, -(b/g)·col_0 + (a/g)·col_j].
-			u.combineCols(0, j, x, y, -(b / g), a/g)
-			w[0], w[j] = g, 0
-		}
-		bs = make([]Vector, 0, q-1)
-		for j := 1; j < q; j++ {
-			bs = append(bs, u.Col(j))
-		}
-		return bs, true
-	}
-	if bs, ok := fast(); ok {
-		if bs == nil {
+	return RowNullBasisAppend(nil, nil, h)
+}
+
+// RowNullBasisAppend is RowNullBasis with caller-provided storage: the
+// basis vectors are appended to dst (pass a reused dst[:0] to avoid the
+// slice-header allocation) and, when ar is non-nil, both the scratch and
+// the returned vectors are arena-backed — valid until ar.Reset, so
+// callers that keep a basis vector must clone it first. The overflow
+// fallback allocates on the heap regardless of ar.
+func RowNullBasisAppend(dst []Vector, ar *Arena, h Vector) ([]Vector, error) {
+	bs, rankDeficient, ok := rowNullBasisFast(dst, ar, h)
+	if ok {
+		if rankDeficient {
 			return nil, ErrRankDeficient
 		}
 		return bs, nil
 	}
 	// Overflow: fall back to the arbitrary-precision general path.
-	hn, err := HermiteNormalForm(FromRows(h))
+	hn, err := hermiteNormalFormBig(FromRows(h))
 	if err != nil {
 		return nil, err
 	}
-	return hn.NullBasis(), nil
+	return append(dst, hn.NullBasis()...), nil
+}
+
+// rowNullBasisFast is the checked-int64 single-row elimination. ok is
+// false on intermediate overflow (dst is then unchanged in content but
+// must be considered dirty; the callers re-append from the fallback).
+func rowNullBasisFast(dst []Vector, ar *Arena, h Vector) (bs []Vector, rankDeficient, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isOverflow := r.(*OverflowError); isOverflow {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	q := len(h)
+	var w Vector
+	var u *Matrix
+	if ar != nil {
+		w = ar.Vec(q)
+		copy(w, h)
+		u = ar.Identity(q)
+	} else {
+		w = h.Clone()
+		u = Identity(q)
+	}
+	// Bring a non-zero pivot to position 0.
+	p := w.FirstNonZero()
+	if p < 0 {
+		return nil, true, true
+	}
+	if p != 0 {
+		w[0], w[p] = w[p], w[0]
+		u.swapCols(0, p)
+	}
+	for j := 1; j < q; j++ {
+		if w[j] == 0 {
+			continue
+		}
+		a, b := w[0], w[j]
+		g, x, y := ExtGCD(a, b)
+		// [col_0 col_j] ← [x·col_0 + y·col_j, -(b/g)·col_0 + (a/g)·col_j].
+		u.combineCols(0, j, x, y, -(b / g), a/g)
+		w[0], w[j] = g, 0
+	}
+	bs = dst
+	for j := 1; j < q; j++ {
+		var c Vector
+		if ar != nil {
+			c = ar.Vec(q)
+		} else {
+			c = make(Vector, q)
+		}
+		for i := 0; i < q; i++ {
+			c[i] = u.a[i*q+j]
+		}
+		bs = append(bs, c)
+	}
+	return bs, false, true
 }
 
 // floorDiv returns ⌊a/b⌋ for b > 0.

@@ -126,6 +126,14 @@ func (m *VecMap[V]) Store(k TupleKey, v V) {
 // Len returns the number of stored tuples.
 func (m *VecMap[V]) Len() int { return len(m.fast) + len(m.slow) }
 
+// Clear removes all stored tuples but keeps the map storage, so a
+// pooled VecMap can be rebound to a new key space without reallocating
+// its buckets.
+func (m *VecMap[V]) Clear() {
+	clear(m.fast)
+	clear(m.slow)
+}
+
 // Values returns the stored values in unspecified order.
 func (m *VecMap[V]) Values() []V {
 	out := make([]V, 0, m.Len())

@@ -128,13 +128,7 @@ func (m *Matrix) SetCol(j int, v Vector) {
 
 // Transpose returns mᵀ.
 func (m *Matrix) Transpose() *Matrix {
-	t := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			t.a[j*t.cols+i] = m.a[i*m.cols+j]
-		}
-	}
-	return t
+	return TransposeInto(New(m.cols, m.rows), m)
 }
 
 // Mul returns the matrix product m·o. It panics on shape mismatch and
@@ -143,19 +137,7 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 	if m.cols != o.rows {
 		panic(fmt.Sprintf("intmat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, o.rows, o.cols))
 	}
-	p := New(m.rows, o.cols)
-	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			mik := m.a[i*m.cols+k]
-			if mik == 0 {
-				continue
-			}
-			for j := 0; j < o.cols; j++ {
-				p.a[i*p.cols+j] = addChecked(p.a[i*p.cols+j], mulChecked(mik, o.a[k*o.cols+j]))
-			}
-		}
-	}
-	return p
+	return MulInto(New(m.rows, o.cols), m, o)
 }
 
 // MulVec returns the matrix-vector product m·v (v as a column vector).
@@ -163,15 +145,7 @@ func (m *Matrix) MulVec(v Vector) Vector {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("intmat: MulVec shape mismatch %dx%d · %d", m.rows, m.cols, len(v)))
 	}
-	r := make(Vector, m.rows)
-	for i := 0; i < m.rows; i++ {
-		var s int64
-		for j := 0; j < m.cols; j++ {
-			s = addChecked(s, mulChecked(m.a[i*m.cols+j], v[j]))
-		}
-		r[i] = s
-	}
-	return r
+	return MulVecInto(make(Vector, m.rows), m, v)
 }
 
 // VecMul returns the vector-matrix product v·m (v as a row vector).
@@ -179,15 +153,7 @@ func (m *Matrix) VecMul(v Vector) Vector {
 	if m.rows != len(v) {
 		panic(fmt.Sprintf("intmat: VecMul shape mismatch %d · %dx%d", len(v), m.rows, m.cols))
 	}
-	r := make(Vector, m.cols)
-	for j := 0; j < m.cols; j++ {
-		var s int64
-		for i := 0; i < m.rows; i++ {
-			s = addChecked(s, mulChecked(v[i], m.a[i*m.cols+j]))
-		}
-		r[j] = s
-	}
-	return r
+	return VecMulInto(make(Vector, m.cols), v, m)
 }
 
 // Add returns m + o entrywise.
@@ -195,11 +161,7 @@ func (m *Matrix) Add(o *Matrix) *Matrix {
 	if m.rows != o.rows || m.cols != o.cols {
 		panic("intmat: Add shape mismatch")
 	}
-	r := New(m.rows, m.cols)
-	for i := range m.a {
-		r.a[i] = addChecked(m.a[i], o.a[i])
-	}
-	return r
+	return AddInto(New(m.rows, m.cols), m, o)
 }
 
 // Sub returns m - o entrywise.
@@ -207,20 +169,12 @@ func (m *Matrix) Sub(o *Matrix) *Matrix {
 	if m.rows != o.rows || m.cols != o.cols {
 		panic("intmat: Sub shape mismatch")
 	}
-	r := New(m.rows, m.cols)
-	for i := range m.a {
-		r.a[i] = subChecked(m.a[i], o.a[i])
-	}
-	return r
+	return SubInto(New(m.rows, m.cols), m, o)
 }
 
 // Scale returns c·m.
 func (m *Matrix) Scale(c int64) *Matrix {
-	r := New(m.rows, m.cols)
-	for i := range m.a {
-		r.a[i] = mulChecked(c, m.a[i])
-	}
-	return r
+	return ScaleInto(New(m.rows, m.cols), m, c)
 }
 
 // Neg returns -m.

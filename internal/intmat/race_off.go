@@ -1,0 +1,8 @@
+//go:build !race
+
+package intmat
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-budget tests skip under -race: the detector instruments
+// allocations and makes AllocsPerRun meaningless.
+const RaceEnabled = false

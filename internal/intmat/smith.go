@@ -24,10 +24,177 @@ type SNF struct {
 	Q *Matrix // n×n unimodular column multiplier
 }
 
-// SmithNormalForm computes the decomposition exactly (big.Int
-// internals; the result must fit in int64 or *OverflowError is
-// returned through the error).
-func SmithNormalForm(a *Matrix) (s *SNF, err error) {
+// SmithNormalForm computes the decomposition exactly. An
+// overflow-checked int64 elimination handles the common small inputs;
+// on intermediate overflow the computation reruns in big.Int (the
+// result must then fit in int64 or *OverflowError is returned through
+// the error).
+func SmithNormalForm(a *Matrix) (*SNF, error) {
+	s := &SNF{}
+	if err := SmithNormalFormInto(s, a, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SmithNormalFormInto computes the Smith normal form of a into s,
+// reusing s's matrices when their shapes match (or drawing fresh ones
+// from ar when non-nil; the results then obey the arena's lifetime).
+// The int64 fast path mirrors the arbitrary-precision elimination
+// operation for operation — same minimal-pivot choice, same restart
+// points — so the two produce identical decompositions; on intermediate
+// overflow the big path rebuilds the result on the heap regardless of
+// ar.
+func SmithNormalFormInto(s *SNF, a *Matrix, ar *Arena) error {
+	k, n := a.Rows(), a.Cols()
+	s.A = a
+	D := intoMat(s.D, ar, k, n)
+	P := intoMat(s.P, ar, k, k)
+	Q := intoMat(s.Q, ar, n, n)
+	copy(D.a, a.a)
+	setIdentity(P)
+	setIdentity(Q)
+	if smithFastInt64(D, P, Q, k, n) {
+		s.P, s.D, s.Q = P, D, Q
+		return nil
+	}
+	sb, err := smithNormalFormBig(a)
+	if err != nil {
+		return err
+	}
+	s.P, s.D, s.Q = sb.P, sb.D, sb.Q
+	return nil
+}
+
+func setIdentity(m *Matrix) {
+	for i := range m.a {
+		m.a[i] = 0
+	}
+	for i := 0; i < m.rows && i < m.cols; i++ {
+		m.a[i*m.cols+i] = 1
+	}
+}
+
+// addRowMultiple performs row_dst += c · row_src in checked int64.
+func (m *Matrix) addRowMultiple(dst, src int, c int64) {
+	if c == 0 {
+		return
+	}
+	for j := 0; j < m.cols; j++ {
+		m.a[dst*m.cols+j] = addChecked(m.a[dst*m.cols+j], mulChecked(c, m.a[src*m.cols+j]))
+	}
+}
+
+// smithFastInt64 runs the Smith elimination on D, P, Q in checked
+// int64, returning false when an intermediate overflowed (the matrices
+// are then partially transformed garbage and the caller must fall
+// back). The control flow replicates smithNormalFormBig exactly.
+func smithFastInt64(D, P, Q *Matrix, k, n int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isOverflow := r.(*OverflowError); isOverflow {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	r := 0
+	for r < k && r < n {
+		// Find a pivot: entry of minimal non-zero magnitude in the
+		// trailing block.
+		pi, pj := -1, -1
+		var best int64
+		for i := r; i < k; i++ {
+			for j := r; j < n; j++ {
+				v := D.a[i*n+j]
+				if v == 0 {
+					continue
+				}
+				av := absChecked(v)
+				if pi < 0 || av < best {
+					pi, pj, best = i, j, av
+				}
+			}
+		}
+		if pi < 0 {
+			break // trailing block all zero
+		}
+		D.swapRows(r, pi)
+		P.swapRows(r, pi)
+		D.swapCols(r, pj)
+		Q.swapCols(r, pj)
+
+		// Clear row r and column r by Euclidean reduction; any non-zero
+		// remainder is swapped into the pivot position (it is strictly
+		// smaller, so this terminates) and the scan restarts.
+	elim:
+		for {
+			p := D.a[r*n+r]
+			for i := r + 1; i < k; i++ {
+				v := D.a[i*n+r]
+				if v == 0 {
+					continue
+				}
+				q := v / p
+				if q != 0 {
+					D.addRowMultiple(i, r, negChecked(q))
+					P.addRowMultiple(i, r, negChecked(q))
+				}
+				if D.a[i*n+r] != 0 {
+					D.swapRows(r, i)
+					P.swapRows(r, i)
+					continue elim
+				}
+			}
+			for j := r + 1; j < n; j++ {
+				v := D.a[r*n+j]
+				if v == 0 {
+					continue
+				}
+				q := v / p
+				if q != 0 {
+					D.addColMultiple(j, r, negChecked(q))
+					Q.addColMultiple(j, r, negChecked(q))
+				}
+				if D.a[r*n+j] != 0 {
+					D.swapCols(r, j)
+					Q.swapCols(r, j)
+					continue elim
+				}
+			}
+			break
+		}
+		// Divisibility fix-up: the pivot must divide every remaining
+		// entry; if some D[i][j] resists, fold its row in and restart
+		// this pivot position.
+		p := D.a[r*n+r]
+		fixed := false
+		for i := r + 1; i < k && !fixed; i++ {
+			for j := r + 1; j < n && !fixed; j++ {
+				if D.a[i*n+j]%p != 0 {
+					D.addRowMultiple(r, i, 1)
+					P.addRowMultiple(r, i, 1)
+					fixed = true
+				}
+			}
+		}
+		if fixed {
+			continue // re-run elimination at the same r
+		}
+		if p < 0 {
+			D.negCol(r)
+			Q.negCol(r)
+		}
+		r++
+	}
+	return true
+}
+
+// smithNormalFormBig is the arbitrary-precision reference elimination —
+// the overflow fallback of SmithNormalFormInto and the oracle for the
+// differential tests.
+func smithNormalFormBig(a *Matrix) (s *SNF, err error) {
 	defer Guard(&err)
 	k, n := a.Rows(), a.Cols()
 	D := newBigMatrix(a)

@@ -1,40 +1,54 @@
 // Package rat provides an immutable exact rational number type used by
 // the simplex and branch-and-bound solvers.
 //
-// The type is a thin veneer over math/big.Rat with value semantics:
-// every operation returns a fresh value and never mutates its operands,
-// which makes solver code read like arithmetic instead of like buffer
-// management. The mapping problems of Shang & Fortes (1990) produce LPs
-// with a handful of variables and constraints, so the allocation cost is
-// irrelevant while exactness is essential — the optimizers reason about
-// integrality of extreme points, which floating point cannot support.
+// The type has value semantics: every operation returns a fresh value
+// and never mutates its operands, which makes solver code read like
+// arithmetic instead of like buffer management. Values small enough to
+// fit an int64 numerator and denominator — essentially every pivot the
+// mapping LPs of Shang & Fortes (1990) ever produce — are carried
+// inline with no heap allocation; an operation whose intermediates
+// overflow transparently falls back to math/big.Rat, and big results
+// that fit again shrink back to the inline form. Exactness is essential
+// either way: the optimizers reason about integrality of extreme
+// points, which floating point cannot support.
 package rat
 
 import (
 	"fmt"
+	"math"
 	"math/big"
+	"strconv"
 )
 
 // Rat is an immutable exact rational number. The zero value is 0.
+//
+// Representation: when r is nil the value is n/d in lowest terms with
+// d > 0, except that the all-zero struct (d == 0) represents 0 — so the
+// zero value stays valid. When r is non-nil it holds the value and n, d
+// are meaningless.
 type Rat struct {
-	r *big.Rat // nil means zero
+	n, d int64
+	r    *big.Rat
 }
 
 // Zero returns 0.
 func Zero() Rat { return Rat{} }
 
 // One returns 1.
-func One() Rat { return FromInt(1) }
+func One() Rat { return Rat{n: 1, d: 1} }
 
 // FromInt returns n as a rational.
-func FromInt(n int64) Rat { return Rat{r: new(big.Rat).SetInt64(n)} }
+func FromInt(n int64) Rat { return Rat{n: n, d: 1} }
 
 // FromFrac returns num/den. It panics if den is zero.
 func FromFrac(num, den int64) Rat {
 	if den == 0 {
 		panic("rat: zero denominator")
 	}
-	return Rat{r: big.NewRat(num, den)}
+	if r, ok := makeSmall(num, den); ok {
+		return r
+	}
+	return wrapBig(big.NewRat(num, den))
 }
 
 // Parse parses strings like "3", "-7/2".
@@ -43,52 +57,226 @@ func Parse(s string) (Rat, error) {
 	if !ok {
 		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
 	}
-	return Rat{r: r}, nil
+	return wrapBig(r), nil
+}
+
+// parts returns the inline numerator and denominator; ok is false for
+// big-backed values.
+func (a Rat) parts() (n, d int64, ok bool) {
+	if a.r != nil {
+		return 0, 0, false
+	}
+	if a.d == 0 {
+		return a.n, 1, true // zero value
+	}
+	return a.n, a.d, true
+}
+
+// makeSmall normalizes num/den (den ≠ 0) into the inline form: sign on
+// the numerator, lowest terms. ok is false when normalization itself
+// would overflow (den == MinInt64 needing negation).
+func makeSmall(num, den int64) (Rat, bool) {
+	if den < 0 {
+		if num == math.MinInt64 || den == math.MinInt64 {
+			return Rat{}, false
+		}
+		num, den = -num, -den
+	}
+	if num == 0 {
+		return Rat{}, true
+	}
+	if g := gcd64(num, den); g > 1 {
+		num, den = num/g, den/g
+	}
+	return Rat{n: num, d: den}, true
+}
+
+// gcd64 returns gcd(|a|, |b|) computed without int64 negation overflow.
+func gcd64(a, b int64) int64 {
+	ua, ub := absU(a), absU(b)
+	for ub != 0 {
+		ua, ub = ub, ua%ub
+	}
+	if ua > math.MaxInt64 {
+		// gcd(MinInt64, MinInt64) — callers only hit this when both
+		// operands are MinInt64; treat as no reduction.
+		return 1
+	}
+	return int64(ua)
+}
+
+func absU(a int64) uint64 {
+	if a < 0 {
+		return uint64(-(a + 1)) + 1
+	}
+	return uint64(a)
+}
+
+// wrapBig wraps a big.Rat, shrinking back to the inline form when the
+// components fit int64 — keeping later arithmetic on the fast path.
+func wrapBig(r *big.Rat) Rat {
+	if r.Num().IsInt64() && r.Denom().IsInt64() {
+		if s, ok := makeSmall(r.Num().Int64(), r.Denom().Int64()); ok {
+			return s
+		}
+	}
+	return Rat{r: r}
 }
 
 func (a Rat) big() *big.Rat {
-	if a.r == nil {
-		return new(big.Rat)
+	if a.r != nil {
+		return a.r
 	}
-	return a.r
+	n, d, _ := a.parts()
+	return new(big.Rat).SetFrac64(n, d)
+}
+
+// Overflow-aware int64 helpers; ok = false means fall back to big.
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	return p, true
 }
 
 // Add returns a + b.
-func (a Rat) Add(b Rat) Rat { return Rat{r: new(big.Rat).Add(a.big(), b.big())} }
+func (a Rat) Add(b Rat) Rat {
+	if an, ad, ok := a.parts(); ok {
+		if bn, bd, ok := b.parts(); ok {
+			// a/ad + b/bd = (an·(bd/g) + bn·(ad/g)) / (ad·(bd/g)), g = gcd(ad, bd).
+			g := gcd64(ad, bd)
+			if x, ok := mulOv(an, bd/g); ok {
+				if y, ok := mulOv(bn, ad/g); ok {
+					if num, ok := addOv(x, y); ok {
+						if den, ok := mulOv(ad, bd/g); ok {
+							if r, ok := makeSmall(num, den); ok {
+								return r
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return wrapBig(new(big.Rat).Add(a.big(), b.big()))
+}
 
 // Sub returns a - b.
-func (a Rat) Sub(b Rat) Rat { return Rat{r: new(big.Rat).Sub(a.big(), b.big())} }
+func (a Rat) Sub(b Rat) Rat { return a.Add(b.Neg()) }
 
 // Mul returns a · b.
-func (a Rat) Mul(b Rat) Rat { return Rat{r: new(big.Rat).Mul(a.big(), b.big())} }
+func (a Rat) Mul(b Rat) Rat {
+	if an, ad, ok := a.parts(); ok {
+		if bn, bd, ok := b.parts(); ok {
+			// Cross-reduce before multiplying: keeps intermediates small
+			// and the products in range for every realistic pivot.
+			if g := gcd64(an, bd); g > 1 {
+				an, bd = an/g, bd/g
+			}
+			if g := gcd64(bn, ad); g > 1 {
+				bn, ad = bn/g, ad/g
+			}
+			if num, ok := mulOv(an, bn); ok {
+				if den, ok := mulOv(ad, bd); ok {
+					if r, ok := makeSmall(num, den); ok {
+						return r
+					}
+				}
+			}
+		}
+	}
+	return wrapBig(new(big.Rat).Mul(a.big(), b.big()))
+}
 
 // Div returns a / b. It panics if b is zero.
 func (a Rat) Div(b Rat) Rat {
 	if b.Sign() == 0 {
 		panic("rat: division by zero")
 	}
-	return Rat{r: new(big.Rat).Quo(a.big(), b.big())}
+	if bn, bd, ok := b.parts(); ok && bn != math.MinInt64 {
+		// a / (bn/bd) = a · (bd/bn) with the sign moved to the numerator.
+		if bn < 0 {
+			bn, bd = -bn, -bd
+		}
+		return a.Mul(Rat{n: bd, d: bn})
+	}
+	return wrapBig(new(big.Rat).Quo(a.big(), b.big()))
 }
 
 // Neg returns -a.
-func (a Rat) Neg() Rat { return Rat{r: new(big.Rat).Neg(a.big())} }
+func (a Rat) Neg() Rat {
+	if n, d, ok := a.parts(); ok && n != math.MinInt64 {
+		if n == 0 {
+			return Rat{}
+		}
+		return Rat{n: -n, d: d}
+	}
+	return wrapBig(new(big.Rat).Neg(a.big()))
+}
 
 // Abs returns |a|.
-func (a Rat) Abs() Rat { return Rat{r: new(big.Rat).Abs(a.big())} }
+func (a Rat) Abs() Rat {
+	if a.Sign() >= 0 {
+		return a
+	}
+	return a.Neg()
+}
 
 // Inv returns 1/a. It panics if a is zero.
 func (a Rat) Inv() Rat {
 	if a.Sign() == 0 {
 		panic("rat: inverse of zero")
 	}
-	return Rat{r: new(big.Rat).Inv(a.big())}
+	return One().Div(a)
 }
 
 // Sign returns -1, 0, or +1.
-func (a Rat) Sign() int { return a.big().Sign() }
+func (a Rat) Sign() int {
+	if n, _, ok := a.parts(); ok {
+		switch {
+		case n > 0:
+			return 1
+		case n < 0:
+			return -1
+		}
+		return 0
+	}
+	return a.r.Sign()
+}
 
 // Cmp compares a and b, returning -1, 0, or +1.
-func (a Rat) Cmp(b Rat) int { return a.big().Cmp(b.big()) }
+func (a Rat) Cmp(b Rat) int {
+	if an, ad, ok := a.parts(); ok {
+		if bn, bd, ok := b.parts(); ok {
+			// Both in lowest terms with positive denominators, so the
+			// cross products decide (when they fit).
+			if x, ok := mulOv(an, bd); ok {
+				if y, ok := mulOv(bn, ad); ok {
+					switch {
+					case x < y:
+						return -1
+					case x > y:
+						return 1
+					}
+					return 0
+				}
+			}
+		}
+	}
+	return a.big().Cmp(b.big())
+}
 
 // Equal reports a == b.
 func (a Rat) Equal(b Rat) bool { return a.Cmp(b) == 0 }
@@ -103,11 +291,23 @@ func (a Rat) LessEq(b Rat) bool { return a.Cmp(b) <= 0 }
 func (a Rat) IsZero() bool { return a.Sign() == 0 }
 
 // IsInt reports whether a is an integer.
-func (a Rat) IsInt() bool { return a.big().IsInt() }
+func (a Rat) IsInt() bool {
+	if _, d, ok := a.parts(); ok {
+		return d == 1
+	}
+	return a.r.IsInt()
+}
 
 // Floor returns ⌊a⌋ as an int64. It panics if the result does not fit.
 func (a Rat) Floor() int64 {
-	r := a.big()
+	if n, d, ok := a.parts(); ok {
+		q := n / d
+		if n%d != 0 && n < 0 {
+			q--
+		}
+		return q
+	}
+	r := a.r
 	q := new(big.Int)
 	m := new(big.Int)
 	q.QuoRem(r.Num(), r.Denom(), m)
@@ -122,27 +322,50 @@ func (a Rat) Floor() int64 {
 
 // Ceil returns ⌈a⌉ as an int64. It panics if the result does not fit.
 func (a Rat) Ceil() int64 {
+	if n, d, ok := a.parts(); ok {
+		q := n / d
+		if n%d != 0 && n > 0 {
+			q++
+		}
+		return q
+	}
 	return -(a.Neg().Floor())
 }
 
 // Int64 returns the value as an int64 and whether the value is an
 // integer that fits.
 func (a Rat) Int64() (int64, bool) {
-	r := a.big()
-	if !r.IsInt() || !r.Num().IsInt64() {
+	if n, d, ok := a.parts(); ok {
+		if d != 1 {
+			return 0, false
+		}
+		return n, true
+	}
+	if !a.r.IsInt() || !a.r.Num().IsInt64() {
 		return 0, false
 	}
-	return r.Num().Int64(), true
+	return a.r.Num().Int64(), true
 }
 
 // Float64 returns the nearest float64 (for reporting only).
 func (a Rat) Float64() float64 {
-	f, _ := a.big().Float64()
+	if n, d, ok := a.parts(); ok {
+		return float64(n) / float64(d)
+	}
+	f, _ := a.r.Float64()
 	return f
 }
 
 // String formats a as "p/q" or "p".
-func (a Rat) String() string { return a.big().RatString() }
+func (a Rat) String() string {
+	if n, d, ok := a.parts(); ok {
+		if d == 1 {
+			return strconv.FormatInt(n, 10)
+		}
+		return strconv.FormatInt(n, 10) + "/" + strconv.FormatInt(d, 10)
+	}
+	return a.r.RatString()
+}
 
 // Min returns the smaller of a and b.
 func Min(a, b Rat) Rat {

@@ -110,6 +110,33 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 		return nil, fmt.Errorf("schedule: MinimizeBuffers requires a Machine")
 	}
 	cctx := newCandCtx(algo, s, opts, analyzer)
+	// One conflict scratch per worker, held across cost levels: the
+	// scratch's decision cache is what makes neighbouring candidates
+	// incremental (adjacent levels re-probe the same h lines), so it must
+	// survive level boundaries. Counters drain into stats before the
+	// snapshot and again — idempotently — when the scratches are
+	// released.
+	var scs []*conflict.Scratch
+	if analyzer != nil {
+		nw := opts.Workers
+		if nw < 1 {
+			nw = 1
+		}
+		scs = make([]*conflict.Scratch, nw)
+		for i := range scs {
+			scs[i] = conflict.GetScratch()
+		}
+		defer func() {
+			for _, sc := range scs {
+				stats.drainScratch(sc)
+				conflict.PutScratch(sc)
+			}
+		}()
+	}
+	var seqScratch *conflict.Scratch
+	if len(scs) > 0 {
+		seqScratch = scs[0]
+	}
 	var found *Result
 	var levelBuf []int64 // reused flat storage for level-mode candidates
 	for cost := minCost; cost <= maxCost && found == nil; cost++ {
@@ -147,7 +174,7 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 				level[i] = intmat.Vector(levelBuf[i*n : (i+1)*n])
 			}
 			candidates += len(level)
-			results := evaluateLevel(ctx, level, cctx)
+			results := evaluateLevel(ctx, level, cctx, scs)
 			// A context that ended mid-level may have left earlier
 			// (potentially winning) candidates unevaluated, so the
 			// level's verdict cannot be trusted — report the
@@ -169,7 +196,7 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 				interrupted = true
 				return false
 			}
-			r, ok := cctx.try(pi)
+			r, ok := cctx.tryWith(pi, seqScratch)
 			if !ok {
 				return true
 			}
@@ -182,6 +209,9 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 		}
 	}
 	stats.scheduleCandidates.Add(int64(candidates))
+	for _, sc := range scs {
+		stats.drainScratch(sc)
+	}
 	// An arithmetic overflow recorded by a worker invalidates the whole
 	// run — the enumeration may have mis-ranked candidates — and takes
 	// precedence over both a winner and ErrNoSchedule.
@@ -216,15 +246,27 @@ func findOptimalWith(ctx context.Context, algo *uda.Algorithm, s *intmat.Matrix,
 // with the input (nil = rejected), so selection order is independent of
 // scheduling. A done context stops the evaluation early (checked once
 // per chunk); the caller detects the interruption via ctx.Err.
-func evaluateLevel(ctx context.Context, level []intmat.Vector, cctx *candCtx) []*Result {
+//
+// scs, when non-empty, holds one conflict scratch per worker (index w
+// for goroutine w) — scratches are single-owner, and this indexing
+// keeps each one on exactly one goroutine per level while its decision
+// cache persists across levels.
+func evaluateLevel(ctx context.Context, level []intmat.Vector, cctx *candCtx, scs []*conflict.Scratch) []*Result {
 	results := make([]*Result, len(level))
 	workers := cctx.opts.Workers
+	scratchFor := func(w int) *conflict.Scratch {
+		if w < len(scs) {
+			return scs[w]
+		}
+		return nil
+	}
 	if workers <= 1 {
+		sc := scratchFor(0)
 		for i, pi := range level {
 			if i&ctxCheckMask == 0 && ctx.Err() != nil {
 				return results
 			}
-			if r, ok := cctx.try(pi); ok {
+			if r, ok := cctx.tryWith(pi, sc); ok {
 				results[i] = r
 			}
 		}
@@ -244,7 +286,7 @@ func evaluateLevel(ctx context.Context, level []intmat.Vector, cctx *candCtx) []
 	useWatermark := !cctx.opts.MinimizeBuffers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sc *conflict.Scratch) {
 			defer wg.Done()
 			for {
 				if ctx.Err() != nil {
@@ -265,7 +307,7 @@ func evaluateLevel(ctx context.Context, level []intmat.Vector, cctx *candCtx) []
 					if useWatermark && i > atomic.LoadInt64(&bestIdx) {
 						break
 					}
-					if r, ok := cctx.try(level[i]); ok {
+					if r, ok := cctx.tryWith(level[i], sc); ok {
 						results[i] = r
 						if useWatermark {
 							for {
@@ -278,7 +320,7 @@ func evaluateLevel(ctx context.Context, level []intmat.Vector, cctx *candCtx) []
 					}
 				}
 			}
-		}()
+		}(scratchFor(w))
 	}
 	wg.Wait()
 	return results
@@ -371,15 +413,27 @@ func tryCandidate(algo *uda.Algorithm, s *intmat.Matrix, pi intmat.Vector, opts 
 // also subsumes the rank(T) = k test: it reports ErrRank exactly when Π
 // is a rational combination of S's rows.
 func (c *candCtx) try(pi intmat.Vector) (*Result, bool) {
+	return c.tryWith(pi, nil)
+}
+
+// tryWith is try with an optional per-worker conflict scratch, which
+// routes the decision through the arena-backed incremental path
+// (conflict.DecideScratch). The verdict is identical either way; only
+// the allocation profile and the informational Method/Witness of the
+// conflict Result can differ.
+func (c *candCtx) tryWith(pi intmat.Vector, sc *conflict.Scratch) (*Result, bool) {
 	if !c.valid(pi) {
 		return nil, false
 	}
 	algo, s, opts := c.algo, c.s, c.opts
 	var res conflict.Result
 	var err error
-	if c.analyzer != nil {
+	switch {
+	case c.analyzer != nil && sc != nil:
+		res, err = c.analyzer.DecideScratch(sc, pi)
+	case c.analyzer != nil:
 		res, err = c.analyzer.Decide(pi)
-	} else {
+	default:
 		t := s.AppendRow(pi)
 		if t.Rank() != t.Rows() {
 			return nil, false

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lodim/internal/conflict"
 	"lodim/internal/trace"
 )
 
@@ -49,6 +50,14 @@ type SearchStats struct {
 	// 5.1 enumeration stepped through (aggregate over inner searches).
 	CostLevels int64 `json:"cost_levels"`
 
+	// HNFIncremental counts conflict decisions answered incrementally —
+	// the candidate's h = Π·W line matched a decomposition already held
+	// by the per-worker scratch cache, so no new Hermite reduction ran.
+	HNFIncremental int64 `json:"hnf_incremental,omitempty"`
+	// HNFFromScratch counts conflict decisions that ran a fresh
+	// decomposition.
+	HNFFromScratch int64 `json:"hnf_from_scratch,omitempty"`
+
 	// Collect is the wall time spent enumerating/collecting candidate
 	// space mappings (zero for pure schedule searches); Search is the
 	// wall time of the candidate evaluation loop; Total spans the whole
@@ -76,6 +85,9 @@ func (s *SearchStats) String() string {
 			s.SpaceCandidates, s.PrunedOrbit, s.PrunedLowerBound, s.PrunedIncumbent, s.InnerSearches)
 	}
 	out += fmt.Sprintf(" sched=%d levels=%d", s.ScheduleCandidates, s.CostLevels)
+	if s.HNFIncremental > 0 || s.HNFFromScratch > 0 {
+		out += fmt.Sprintf(" hnf(incremental=%d scratch=%d)", s.HNFIncremental, s.HNFFromScratch)
+	}
 	if s.Collect > 0 {
 		out += fmt.Sprintf(" collect=%s", s.Collect.Round(time.Microsecond))
 	}
@@ -102,6 +114,10 @@ func (s *SearchStats) annotateSpan(span *trace.Span) {
 	}
 	span.SetInt("schedule_candidates", s.ScheduleCandidates)
 	span.SetInt("cost_levels", s.CostLevels)
+	if s.HNFIncremental > 0 || s.HNFFromScratch > 0 {
+		span.SetInt("hnf_incremental", s.HNFIncremental)
+		span.SetInt("hnf_from_scratch", s.HNFFromScratch)
+	}
 }
 
 // statsCollector is the write side of SearchStats: atomic counters the
@@ -115,6 +131,20 @@ type statsCollector struct {
 	innerSearches      atomic.Int64
 	scheduleCandidates atomic.Int64
 	costLevels         atomic.Int64
+	hnfIncremental     atomic.Int64
+	hnfFromScratch     atomic.Int64
+}
+
+// drainScratch folds a worker scratch's cache counters into the
+// collector; called when a worker finishes with (or releases) its
+// scratch. Nil-safe on both sides.
+func (c *statsCollector) drainScratch(sc *conflict.Scratch) {
+	if c == nil || sc == nil {
+		return
+	}
+	hits, misses := sc.TakeStats()
+	c.hnfIncremental.Add(hits)
+	c.hnfFromScratch.Add(misses)
 }
 
 // snapshot freezes the counters into a SearchStats. The caller fills
@@ -130,6 +160,8 @@ func (c *statsCollector) snapshot(engine string, workers int, collect, search, t
 		InnerSearches:      c.innerSearches.Load(),
 		ScheduleCandidates: c.scheduleCandidates.Load(),
 		CostLevels:         c.costLevels.Load(),
+		HNFIncremental:     c.hnfIncremental.Load(),
+		HNFFromScratch:     c.hnfFromScratch.Load(),
 		Collect:            collect,
 		Search:             search,
 		Total:              total,

@@ -138,6 +138,83 @@ func TestSearchStatsDeterministicCounts(t *testing.T) {
 	}
 }
 
+// TestSearchStatsHNFCounters: the factored engines route decisions
+// through the per-worker scratch, and the incremental/from-scratch
+// split must land in the stats. On the matmul search many candidates
+// share h lines (shifting Π by a row of S leaves h = Π·W unchanged),
+// so a healthy cache shows plenty of incremental decisions.
+func TestSearchStatsHNFCounters(t *testing.T) {
+	algo := uda.MatMul(6)
+	s := intmat.FromRows([]int64{1, 1, -1})
+	res, err := FindOptimal(algo, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.HNFFromScratch < 1 {
+		t.Fatalf("HNFFromScratch = %d, want ≥ 1 (stats: %+v)", st.HNFFromScratch, st)
+	}
+	if st.HNFIncremental < 1 {
+		t.Fatalf("HNFIncremental = %d, want ≥ 1 — the decision cache never hit (stats: %+v)", st.HNFIncremental, st)
+	}
+	if !strings.Contains(st.String(), "hnf(incremental=") {
+		t.Errorf("String() lacks hnf counters: %q", st.String())
+	}
+
+	// The joint search shares one collector across inner searches; the
+	// counters must aggregate there too.
+	joint, err := FindJointMapping(algo, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Stats.HNFFromScratch < 1 {
+		t.Errorf("joint HNFFromScratch = %d, want ≥ 1", joint.Stats.HNFFromScratch)
+	}
+
+	// A NoFactorization run never touches the scratch path.
+	plain, err := FindOptimal(algo, s, &Options{NoFactorization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.HNFIncremental != 0 || plain.Stats.HNFFromScratch != 0 {
+		t.Errorf("NoFactorization run reported hnf counters: %+v", plain.Stats)
+	}
+}
+
+// TestScratchSearchMatchesUncached: the scratch cache must not change
+// what the search finds — same Π, time, conflict verdict, and effort
+// counters as the factored-but-uncached and the unfactored engines.
+func TestScratchSearchMatchesUncached(t *testing.T) {
+	cases := []struct {
+		algo *uda.Algorithm
+		s    *intmat.Matrix
+	}{
+		{uda.MatMul(4), intmat.FromRows([]int64{1, 1, -1})},
+		{uda.MatMul(6), intmat.FromRows([]int64{1, 1, -1})},
+		{uda.MatMul(4), intmat.FromRows([]int64{1, 0, 0})},
+	}
+	for _, c := range cases {
+		cached, err := FindOptimal(c.algo, c.s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := FindOptimal(c.algo, c.s, &Options{NoFactorization: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached.Mapping.Pi.Equal(plain.Mapping.Pi) {
+			t.Fatalf("winner differs: cached Π=%v, plain Π=%v", cached.Mapping.Pi, plain.Mapping.Pi)
+		}
+		if cached.Time != plain.Time || cached.Candidates != plain.Candidates {
+			t.Fatalf("effort differs: cached (t=%d, cand=%d) plain (t=%d, cand=%d)",
+				cached.Time, cached.Candidates, plain.Time, plain.Candidates)
+		}
+		if cached.Conflict.ConflictFree != plain.Conflict.ConflictFree {
+			t.Fatalf("conflict verdict differs for Π=%v", cached.Mapping.Pi)
+		}
+	}
+}
+
 // TestTotalTimeOverflow is the regression test for the unchecked
 // t += p·μ_i wrap: the checked arithmetic must refuse instead of
 // returning a negative total time that wins incumbent comparisons.

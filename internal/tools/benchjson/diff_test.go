@@ -1,0 +1,87 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func rep(bs ...Benchmark) *Report { return &Report{Benchmarks: bs} }
+
+func TestDiffReportsDeltasAndRegressions(t *testing.T) {
+	oldRep := rep(
+		Benchmark{Pkg: "p", Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 800, AllocsPerOp: 40},
+		Benchmark{Pkg: "p", Name: "BenchmarkB", NsPerOp: 500},
+		Benchmark{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 1},
+	)
+	newRep := rep(
+		Benchmark{Pkg: "p", Name: "BenchmarkA", NsPerOp: 900, BytesPerOp: 80, AllocsPerOp: 4},
+		Benchmark{Pkg: "p", Name: "BenchmarkB", NsPerOp: 600}, // +20% — regressed at 10%
+		Benchmark{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 2},
+	)
+	diffs := diffReports(oldRep, newRep, 0.10)
+	if len(diffs) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(diffs), diffs)
+	}
+	byName := map[string]benchDiff{}
+	for _, d := range diffs {
+		byName[d.Name] = d
+	}
+	a := byName["BenchmarkA"]
+	if a.regressed() {
+		t.Errorf("A (all improved) flagged regressed: %+v", a)
+	}
+	if len(a.Metrics) != 3 || a.Metrics[0].Unit != "ns/op" || a.Metrics[0].Pct >= 0 {
+		t.Errorf("A metrics: %+v", a.Metrics)
+	}
+	if got := a.Metrics[2]; got.Unit != "allocs/op" || math.Abs(got.Pct-(-0.9)) > 1e-9 {
+		t.Errorf("A allocs delta: %+v", got)
+	}
+	b := byName["BenchmarkB"]
+	if !b.regressed() {
+		t.Errorf("B (+20%% ns/op) not flagged at threshold 10%%: %+v", b)
+	}
+	if len(b.Metrics) != 1 {
+		t.Errorf("B should only compare ns/op (no -benchmem data): %+v", b.Metrics)
+	}
+	if !byName["BenchmarkGone"].OnlyOld || !byName["BenchmarkNew"].OnlyNew {
+		t.Errorf("presence flags: %+v %+v", byName["BenchmarkGone"], byName["BenchmarkNew"])
+	}
+
+	// The same pair at a looser threshold has no regressions.
+	for _, d := range diffReports(oldRep, newRep, 0.25) {
+		if d.regressed() {
+			t.Errorf("threshold 25%%: %s still regressed", d.Name)
+		}
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	oldRep := rep(Benchmark{Pkg: "p", Name: "BenchmarkZ", NsPerOp: 10, AllocsPerOp: 0, BytesPerOp: 0})
+	newRep := rep(Benchmark{Pkg: "p", Name: "BenchmarkZ", NsPerOp: 10, AllocsPerOp: 3, BytesPerOp: 64})
+	diffs := diffReports(oldRep, newRep, 0.10)
+	if len(diffs) != 1 || !diffs[0].regressed() {
+		t.Fatalf("0→3 allocs must regress: %+v", diffs)
+	}
+	for _, m := range diffs[0].Metrics {
+		if m.Unit != "ns/op" && !math.IsInf(m.Pct, 1) {
+			t.Errorf("zero baseline pct should be +inf: %+v", m)
+		}
+	}
+}
+
+func TestWriteDiffOutput(t *testing.T) {
+	oldRep := rep(Benchmark{Pkg: "p", Name: "BenchmarkB", NsPerOp: 500})
+	newRep := rep(Benchmark{Pkg: "p", Name: "BenchmarkB", NsPerOp: 600})
+	var sb strings.Builder
+	n := writeDiff(&sb, diffReports(oldRep, newRep, 0.10), 0.10)
+	if n != 1 {
+		t.Fatalf("regression count = %d, want 1", n)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkB", "ns/op 500→600", "+20.0%", "REGRESSED", "1 benchmarks compared, 1 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

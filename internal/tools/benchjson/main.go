@@ -6,11 +6,21 @@
 //
 // Output is sorted by (package, benchmark name), making the document
 // independent of package scheduling order.
+//
+// With -diff it instead compares two previously captured documents:
+//
+//	go run ./internal/tools/benchjson -diff BENCH_baseline.json BENCH_pr6.json
+//
+// printing per-benchmark ns/op, B/op and allocs/op deltas and marking
+// any metric that worsened by more than -threshold (default 10%) as
+// REGRESSED. With -fail, one or more regressions make the exit status
+// nonzero, so the comparison can gate CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -122,6 +132,17 @@ func parseLine(line string) (Benchmark, bool, error) {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two captured JSON reports: benchjson -diff OLD NEW")
+	threshold := flag.Float64("threshold", 0.10, "relative worsening beyond which a metric is REGRESSED")
+	fail := flag.Bool("fail", false, "with -diff: exit nonzero when any benchmark regressed")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-threshold 0.10] [-fail] OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold, *fail))
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -29,6 +29,14 @@
 //     internal/systolic asserting no PE executes two computations in
 //     one step, in agreement with the algebraic verdict.
 //
+// For the same reason, this package stays on intmat's allocating API
+// (HermiteNormalForm, SmithNormalForm, Mul, …) rather than the
+// arena/scratch machinery the search engines use (DESIGN.md §11): the
+// allocating wrappers are one-line shims over the same *Into
+// arithmetic, so the referee exercises identical math with fresh heap
+// storage per call and no aliasing against a searcher's scratch state.
+// Verification runs once per result; allocation here is noise.
+//
 // Importing this package (directly, or through the mapping facade or
 // internal/service) registers the self-checker hook that powers
 // schedule.Options.SelfCheck.
