@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all check build test vet fmtcheck bench bench-diff race race-hot fuzz cover experiments examples golden serve clean
+.PHONY: all check build test vet fmtcheck bench bench-diff race race-hot cluster-e2e loadgen fuzz cover experiments examples golden serve clean
 
 all: build vet test
 
@@ -30,7 +30,23 @@ race:
 	$(GO) test -race ./...
 
 race-hot:
-	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/verify/... ./internal/trace/...
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/cluster/... ./internal/verify/... ./internal/trace/...
+
+# The multi-node federation tests: an in-process 3-node cluster under
+# the race detector (distributed singleflight, peer cache-fill, peer
+# death fallback, fill validation, hop-loop rejection).
+cluster-e2e:
+	$(GO) test -race -run 'TestClusterE2E' -v ./internal/service/
+	$(GO) test -race -run 'TestRunInprocCluster' -v ./cmd/maploadgen/
+
+# Reproducible cluster load test: replays a seeded permuted corpus
+# against an in-process 3-node cluster and writes the JSON report
+# (latency percentiles, cache-disposition ratios, SLO verdicts) to
+# BENCH_pr7_cluster.json. Text summary goes to the terminal.
+LOADGEN_OUT ?= BENCH_pr7_cluster.json
+loadgen:
+	$(GO) run ./cmd/maploadgen -inproc 3 -n 1200 -problems 48 -concurrency 16 -seed 1 \
+		-slo-error-rate 0 -slo-hit-ratio 0.5 -json $(LOADGEN_OUT)
 
 # Benchmarks, normalized to JSON comparable against BENCH_baseline.json
 # (regenerate the baseline with `make bench BENCHTIME=2s > BENCH_baseline.json`

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"io"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	bad := [][]string{
+		{},                                       // neither -targets nor -inproc
+		{"-targets", "http://x", "-inproc", "2"}, // both
+		{"-inproc", "0"},
+		{"-inproc", "17"},
+		{"-inproc", "2", "-n", "0"},
+		{"-inproc", "2", "-problems", "0"},
+		{"-inproc", "2", "-concurrency", "0"},
+		{"-inproc", "2", "-dims", "3"},
+		{"-inproc", "2", "-rps", "-1"},
+		{"-inproc", "2", "-max-retries", "-1"},
+		{"-inproc", "2", "junk"},
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+
+	cfg, err := parseFlags([]string{"-targets", "http://a/, http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.targets) != 2 || cfg.targets[0] != "http://a" || cfg.targets[1] != "http://b" {
+		t.Errorf("targets = %v", cfg.targets)
+	}
+}
+
+// TestCorpusDeterministicAndPermuted: one seed gives one corpus, and
+// every request is a permutation of a base problem — same multiset of
+// bounds, same dependency count.
+func TestCorpusDeterministicAndPermuted(t *testing.T) {
+	cfg := &config{n: 100, problems: 8, seed: 7, dims: 1}
+	a, b := corpus(cfg), corpus(cfg)
+	if len(a) != 100 {
+		t.Fatalf("corpus size %d", len(a))
+	}
+	for i := range a {
+		if len(a[i].Bounds) != 3 || len(a[i].Dependencies) < 3 {
+			t.Fatalf("degenerate problem %d: %+v", i, a[i])
+		}
+		if !sameProblem(a[i], b[i]) {
+			t.Fatalf("corpus not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Distinct seeds must differ somewhere.
+	c := corpus(&config{n: 100, problems: 8, seed: 8, dims: 1})
+	same := true
+	for i := range a {
+		if !sameProblem(a[i], c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two seeds produced identical corpora")
+	}
+}
+
+func sameProblem(x, y problem) bool {
+	if len(x.Bounds) != len(y.Bounds) || len(x.Dependencies) != len(y.Dependencies) {
+		return false
+	}
+	for i := range x.Bounds {
+		if x.Bounds[i] != y.Bounds[i] {
+			return false
+		}
+	}
+	for i := range x.Dependencies {
+		for j := range x.Dependencies[i] {
+			if x.Dependencies[i][j] != y.Dependencies[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sort.Float64s(vals)
+	for _, c := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.95, 9}, {0.99, 9}, {1.0, 10}} {
+		if got := percentile(vals, c.q); got != c.want {
+			t.Errorf("p%.0f = %g, want %g", c.q*100, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %g, want 0", got)
+	}
+}
+
+// TestRunInprocCluster drives a real 2-node in-process cluster with a
+// small permuted corpus: every request succeeds, duplicates hit caches
+// rather than searching, and the SLO verdicts land in the report.
+func TestRunInprocCluster(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-inproc", "2", "-n", "60", "-problems", "4",
+		"-concurrency", "4", "-seed", "3", "-timeout", "30s",
+		"-slo-error-rate", "0", "-slo-hit-ratio", "0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, pass, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 60 || rep.Errors != 0 {
+		t.Fatalf("ok/errors = %d/%d, want 60/0 (%+v)", rep.OK, rep.Errors, rep.ByStatus)
+	}
+	// 4 distinct problems; everything beyond the first statement of
+	// each must come from a cache somewhere in the cluster. Allow twice
+	// the corpus for races where both nodes search one problem.
+	searches := rep.Cache["miss"] + rep.Cache["peer_miss"]
+	if searches > 2*cfg.problems {
+		t.Errorf("searches = %d for %d problems (%+v)", searches, cfg.problems, rep.Cache)
+	}
+	if got := rep.Ratios["aggregate_hit"]; got < 0.5 {
+		t.Errorf("aggregate hit ratio %.3f < 0.5 (%+v)", got, rep.Cache)
+	}
+	if !pass {
+		t.Errorf("SLOs failed: %+v", rep.SLOs)
+	}
+	if len(rep.SLOs) != 2 {
+		t.Errorf("slo verdicts = %+v, want error_rate and hit_ratio", rep.SLOs)
+	}
+	if rep.LatencyMS["p99"] <= 0 || rep.WallSecs <= 0 {
+		t.Errorf("degenerate timing: %+v %v", rep.LatencyMS, rep.WallSecs)
+	}
+	if time.Since(start) > 60*time.Second {
+		t.Errorf("load test took %v", time.Since(start))
+	}
+}

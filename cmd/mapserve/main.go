@@ -16,6 +16,13 @@
 //	GET  /debug/vars   — expvar counters
 //	GET  /healthz      — liveness probe (JSON status)
 //
+// With -peers "a=http://hostA:8080,b=http://hostB:8080" and -node-id
+// the server joins a mapserve cluster: the canonical cache is sharded
+// over a consistent-hash ring, cache misses are forwarded to the key's
+// owner (POST /peer/v1/lookup) and filled locally, and a distributed
+// singleflight guarantees each problem is searched at most once
+// cluster-wide. POST /v1/batch answers many map queries per request.
+//
 // With -pprof ADDR a private debug listener additionally serves
 // /debug/pprof/ and the /debug/requests trace inspector (the last
 // -trace-buffer completed request traces as HTML, JSON, or Perfetto
@@ -40,9 +47,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lodim/internal/cluster"
 	"lodim/internal/service"
 	"lodim/internal/trace"
 )
@@ -62,6 +71,12 @@ type config struct {
 	traceBuffer  int
 	traceDir     string
 	traceSlowest int
+
+	// Cluster membership (all empty = single node).
+	nodeID    string
+	advertise string
+	peers     []cluster.Member
+	vnodes    int
 }
 
 // parseFlags parses args (without the program name) into a validated
@@ -83,6 +98,11 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 64, "completed request traces kept for the /debug/requests inspector (0 = tracing off)")
 	fs.StringVar(&cfg.traceDir, "trace-dir", "", "export the slowest traces per endpoint as Perfetto JSON into this directory (empty = disabled)")
 	fs.IntVar(&cfg.traceSlowest, "trace-slowest", 8, "slowest traces retained per endpoint in -trace-dir")
+	var peersFlag string
+	fs.StringVar(&cfg.nodeID, "node-id", "", "this node's cluster identity (required with -peers)")
+	fs.StringVar(&cfg.advertise, "advertise", "", "URL peers use to reach this node, e.g. http://10.0.0.1:8080 (required with -peers)")
+	fs.StringVar(&peersFlag, "peers", "", "comma-separated cluster membership as id=url pairs, including this node (empty = single node)")
+	fs.IntVar(&cfg.vnodes, "vnodes", cluster.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -125,7 +145,64 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.traceDir != "" && cfg.traceBuffer == 0 {
 		return nil, errors.New("-trace-dir requires tracing: set -trace-buffer > 0")
 	}
+	if err := parseClusterFlags(cfg, peersFlag); err != nil {
+		return nil, err
+	}
 	return cfg, nil
+}
+
+// parseClusterFlags validates the membership trio: -peers lists every
+// member as id=url pairs (this node included, so one list can be copied
+// to every node), -node-id picks this node out of the list, and
+// -advertise must agree with the list's entry for it. Building the ring
+// here surfaces duplicate IDs or an empty membership as a flag error
+// (exit 2) instead of a later panic in service.New.
+func parseClusterFlags(cfg *config, peersFlag string) error {
+	if peersFlag == "" {
+		if cfg.nodeID != "" || cfg.advertise != "" {
+			return errors.New("-node-id/-advertise require -peers")
+		}
+		return nil
+	}
+	if cfg.nodeID == "" {
+		return errors.New("-peers requires -node-id")
+	}
+	if cfg.vnodes < 1 {
+		return fmt.Errorf("-vnodes must be >= 1, got %d", cfg.vnodes)
+	}
+	var members []cluster.Member
+	selfListed := false
+	for _, pair := range strings.Split(peersFlag, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			return fmt.Errorf("-peers entry %q is not id=url", pair)
+		}
+		m := cluster.Member{ID: id, URL: strings.TrimSuffix(url, "/")}
+		if id == cfg.nodeID {
+			selfListed = true
+			if cfg.advertise == "" {
+				cfg.advertise = m.URL
+			} else if strings.TrimSuffix(cfg.advertise, "/") != m.URL {
+				return fmt.Errorf("-advertise %q disagrees with the -peers entry for %s (%s)", cfg.advertise, id, m.URL)
+			}
+			continue
+		}
+		members = append(members, m)
+	}
+	if !selfListed && cfg.advertise == "" {
+		return fmt.Errorf("-peers does not list -node-id %q and no -advertise was given", cfg.nodeID)
+	}
+	cfg.advertise = strings.TrimSuffix(cfg.advertise, "/")
+	cfg.peers = members
+	all := append([]cluster.Member{{ID: cfg.nodeID, URL: cfg.advertise}}, members...)
+	if _, err := cluster.NewRing(cfg.vnodes, all...); err != nil {
+		return fmt.Errorf("-peers: %w", err)
+	}
+	return nil
 }
 
 // newLogger builds the structured access logger for the chosen format.
@@ -162,7 +239,7 @@ func pprofHandler(requests http.Handler) http.Handler {
 // expvar, which must stay out of run so tests can start many instances
 // without duplicate-Publish panics.
 func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string), onService func(*service.Service)) error {
-	svc := service.New(service.Config{
+	scfg := service.Config{
 		Pool:           cfg.pool,
 		Queue:          cfg.queue,
 		CacheSize:      cfg.cacheSize,
@@ -171,7 +248,16 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string)
 		MaxTimeout:     cfg.maxTimeout,
 		Logger:         newLogger(cfg.logFormat),
 		TraceBuffer:    cfg.traceBuffer,
-	})
+	}
+	if cfg.nodeID != "" {
+		scfg.Cluster = &service.ClusterConfig{
+			Self:   cluster.Member{ID: cfg.nodeID, URL: cfg.advertise},
+			Peers:  cfg.peers,
+			VNodes: cfg.vnodes,
+		}
+		log.Printf("mapserve: cluster node %s advertising %s with %d peer(s)", cfg.nodeID, cfg.advertise, len(cfg.peers))
+	}
+	svc := service.New(scfg)
 	if cfg.traceDir != "" {
 		ds, err := trace.NewDirSink(cfg.traceDir, cfg.traceSlowest)
 		if err != nil {

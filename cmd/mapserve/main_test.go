@@ -276,3 +276,46 @@ func TestRunListenFailure(t *testing.T) {
 		t.Error("second bind on one address succeeded")
 	}
 }
+
+func TestParseClusterFlags(t *testing.T) {
+	peers := "a=http://h1:1,b=http://h2:2,c=http://h3:3"
+	cfg, err := parseFlags([]string{"-node-id", "b", "-peers", peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.nodeID != "b" || cfg.advertise != "http://h2:2" {
+		t.Errorf("self = %q @ %q, want b @ http://h2:2", cfg.nodeID, cfg.advertise)
+	}
+	// cfg.peers holds the other members; self rides separately.
+	if len(cfg.peers) != 2 || cfg.peers[0].ID != "a" || cfg.peers[1].ID != "c" {
+		t.Errorf("peers = %v, want members a and c", cfg.peers)
+	}
+
+	// A node absent from -peers must advertise explicitly.
+	cfg, err = parseFlags([]string{"-node-id", "d", "-advertise", "http://h4:4", "-peers", peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.advertise != "http://h4:4" || len(cfg.peers) != 3 {
+		t.Errorf("external self: %+v", cfg)
+	}
+
+	bad := []struct {
+		name string
+		args []string
+	}{
+		{"peers without node-id", []string{"-peers", peers}},
+		{"node-id without peers", []string{"-node-id", "a"}},
+		{"advertise without peers", []string{"-advertise", "http://x:1"}},
+		{"self unlisted, no advertise", []string{"-node-id", "zz", "-peers", peers}},
+		{"advertise disagrees with list", []string{"-node-id", "b", "-advertise", "http://other:9", "-peers", peers}},
+		{"malformed pair", []string{"-node-id", "a", "-peers", "a=http://h1:1,b"}},
+		{"duplicate id", []string{"-node-id", "a", "-peers", "a=http://h1:1,a=http://h2:2"}},
+		{"zero vnodes", []string{"-node-id", "b", "-peers", peers, "-vnodes", "0"}},
+	}
+	for _, c := range bad {
+		if _, err := parseFlags(c.args); err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.args)
+		}
+	}
+}

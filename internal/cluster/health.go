@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health passively tracks peer reachability from the outcomes of real
+// peer calls — no probing goroutines, no timers. A peer with no
+// traffic yet reports healthy (innocent until proven unreachable);
+// only transport-level failures mark it down, and the next successful
+// call marks it back up.
+type Health struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+type peerHealth struct {
+	member      Member
+	healthy     bool
+	lastError   string
+	lastContact time.Time
+	successes   int64
+	failures    int64
+}
+
+// PeerStatus is one peer's passive health snapshot, rendered in
+// /healthz.
+type PeerStatus struct {
+	ID          string    `json:"id"`
+	URL         string    `json:"url"`
+	Healthy     bool      `json:"healthy"`
+	Successes   int64     `json:"successes"`
+	Failures    int64     `json:"failures"`
+	LastError   string    `json:"last_error,omitempty"`
+	LastContact time.Time `json:"last_contact"`
+}
+
+// NewHealth builds a tracker for the given peers.
+func NewHealth(peers ...Member) *Health {
+	h := &Health{peers: make(map[string]*peerHealth, len(peers))}
+	for _, m := range peers {
+		h.peers[m.ID] = &peerHealth{member: m, healthy: true}
+	}
+	return h
+}
+
+// ReportOK records a successful call to the peer.
+func (h *Health) ReportOK(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return
+	}
+	p.healthy = true
+	p.lastError = ""
+	p.lastContact = time.Now()
+	p.successes++
+}
+
+// ReportError records a failed call to the peer.
+func (h *Health) ReportError(id string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	if !ok {
+		return
+	}
+	p.healthy = false
+	if err != nil {
+		p.lastError = err.Error()
+	}
+	p.lastContact = time.Now()
+	p.failures++
+}
+
+// Snapshot returns every peer's status, sorted by ID.
+func (h *Health) Snapshot() []PeerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PeerStatus, 0, len(h.peers))
+	for _, p := range h.peers {
+		out = append(out, PeerStatus{
+			ID:          p.member.ID,
+			URL:         p.member.URL,
+			Healthy:     p.healthy,
+			Successes:   p.successes,
+			Failures:    p.failures,
+			LastError:   p.lastError,
+			LastContact: p.lastContact,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

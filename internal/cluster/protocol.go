@@ -1,0 +1,101 @@
+package cluster
+
+// The peer protocol: two JSON-over-HTTP endpoints every clustered
+// mapserve node serves alongside its public API.
+//
+//	POST /peer/v1/lookup — resolve a canonical problem: answer from the
+//	  local cache or run the search (deduplicated with every other
+//	  lookup of the same key, local or remote). The forwarder caches
+//	  the result locally afterwards (forward-then-fill).
+//	POST /peer/v1/fill — push a finished result into the receiver's
+//	  cache. Used by a node that had to search locally because the
+//	  owner was unreachable, so the owner converges once it returns.
+//
+// Both bodies carry the problem in *canonical* coordinates (the
+// internal/service canonicalizer's output): receivers re-canonicalize
+// and reject any body whose recomputed key disagrees, so a buggy or
+// malicious peer cannot poison a cache.
+const (
+	LookupPath = "/peer/v1/lookup"
+	FillPath   = "/peer/v1/fill"
+)
+
+// HopHeader counts peer-to-peer forwards. Origin requests have no hop
+// header; a forwarded lookup carries "1". A receiving node always
+// answers a peer lookup locally — it never re-forwards — so a value
+// above MaxHops can only mean a forwarding loop (for example two nodes
+// with disagreeing membership views each believing the other is the
+// owner under a future protocol change) and is rejected with 508.
+const (
+	HopHeader = "X-Mapserve-Hop"
+	MaxHops   = 1
+)
+
+// Problem identifies one canonical map query: the canonical algorithm
+// (bounds μ ascending, dependence columns sorted) plus the search
+// parameters that are part of the cache identity. Key is the composite
+// cache key the sender computed; receivers recompute it from the rest
+// of the fields and reject mismatches.
+type Problem struct {
+	Key          string    `json:"key"`
+	Bounds       []int64   `json:"bounds"`
+	Dependencies [][]int64 `json:"dependencies"`
+	Dims         int       `json:"dims"`
+	MaxEntry     int64     `json:"max_entry,omitempty"`
+	WireWeight   int64     `json:"wire_weight,omitempty"`
+	MaxCost      int64     `json:"max_cost,omitempty"`
+}
+
+// LookupRequest asks the receiver to resolve a canonical problem.
+// TimeoutMS propagates the remaining deadline of the originating
+// request so the owner bounds its search by the caller's budget, not
+// its own default.
+type LookupRequest struct {
+	Problem
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Dispositions a lookup can resolve with, from the owner's point of
+// view. The forwarding node reports them to its client as
+// "peer_hit" / "peer_miss" / "peer_shared".
+const (
+	DispositionHit    = "hit"    // served from the owner's cache
+	DispositionMiss   = "miss"   // the owner ran the search
+	DispositionShared = "shared" // joined an in-progress search on the owner
+)
+
+// LookupResponse carries the canonical-coordinate result and how the
+// owner produced it.
+type LookupResponse struct {
+	Disposition string     `json:"disposition"`
+	Result      WireResult `json:"result"`
+}
+
+// WireResult is a search result in canonical coordinates, flattened for
+// transport. It carries exactly the fields the service layer needs to
+// rebuild a cacheable result whose rendered responses are byte-identical
+// to the owner's own.
+type WireResult struct {
+	S                  [][]int64 `json:"s"`
+	Pi                 []int64   `json:"pi"`
+	Time               int64     `json:"time"`
+	Processors         int64     `json:"processors"`
+	WireLength         int64     `json:"wire_length"`
+	Cost               int64     `json:"cost"`
+	Candidates         int       `json:"candidates"`
+	Pruned             int       `json:"pruned"`
+	ScheduleCandidates int       `json:"schedule_candidates"`
+	Engine             string    `json:"engine"`
+	ConflictMethod     string    `json:"conflict_method"`
+}
+
+// FillRequest pushes a finished result into the receiver's cache.
+type FillRequest struct {
+	Problem
+	Result WireResult `json:"result"`
+}
+
+// FillResponse acknowledges a fill.
+type FillResponse struct {
+	Stored bool `json:"stored"`
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Member is one node of the cluster: a stable identity plus the base
+// URL its peers use to reach it (scheme://host:port, no trailing
+// slash).
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// DefaultVNodes is the virtual-node count per member when the caller
+// does not choose one. 128 points per member keeps the expected
+// per-member load within a few percent of uniform for small clusters
+// while the ring stays tiny (a few KB).
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring: each member contributes
+// vnodes points on a 64-bit circle, and a key is owned by the member
+// whose point follows the key's hash clockwise. Adding or removing one
+// member moves only the keys that member gains or loses — on average a
+// 1/len(members) share — and no key ever moves between two members that
+// are present in both rings.
+//
+// Construction is deterministic in the membership *set*: members are
+// sorted by ID before hashing, so every node that knows the same
+// members builds the identical ring regardless of configuration order.
+type Ring struct {
+	vnodes  int
+	members []Member // sorted by ID
+	points  []point  // sorted by hash
+}
+
+type point struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// NewRing builds a ring from the member set. Duplicate IDs and empty
+// member lists are configuration errors.
+func NewRing(vnodes int, members ...Member) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, m := range sorted {
+		if m.ID == "" {
+			return nil, fmt.Errorf("cluster: member %d (%q) has an empty ID", i, m.URL)
+		}
+		if i > 0 && sorted[i-1].ID == m.ID {
+			return nil, fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+	}
+	r := &Ring{
+		vnodes:  vnodes,
+		members: sorted,
+		points:  make([]point, 0, vnodes*len(sorted)),
+	}
+	for mi, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(m.ID, v), member: int32(mi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties between members (astronomically rare with 64-bit
+		// FNV, but possible) resolve by member order so every node
+		// breaks them identically.
+		return a.member < b.member
+	})
+	return r, nil
+}
+
+// Owner returns the member that owns key.
+func (r *Ring) Owner(key string) Member {
+	h := keyHash(key)
+	// First point with hash >= h, wrapping to the start of the circle.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].member]
+}
+
+// Members returns the membership sorted by ID. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []Member { return r.members }
+
+// Member looks a member up by ID.
+func (r *Ring) Member(id string) (Member, bool) {
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i].ID >= id })
+	if i < len(r.members) && r.members[i].ID == id {
+		return r.members[i], true
+	}
+	return Member{}, false
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// keyHash positions a key on the circle (64-bit FNV-1a).
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// vnodeHash positions one virtual node of a member on the circle. The
+// NUL separator keeps distinct (ID, index) pairs from colliding as
+// strings ("node1"+"1" vs "node"+"11").
+func vnodeHash(id string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(vnode)))
+	return h.Sum64()
+}

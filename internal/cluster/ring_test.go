@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func members(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: fmt.Sprintf("node%d", i), URL: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return out
+}
+
+func corpus(n int) []string {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v1|mu=%d,%d,%d|D=%d;%d|dims=%d", rng.Intn(20)+2, rng.Intn(20)+2,
+			rng.Intn(20)+2, rng.Int63(), rng.Int63(), rng.Intn(2)+1)
+	}
+	return keys
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(8); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing(8, Member{ID: "a"}, Member{ID: "a"}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := NewRing(8, Member{ID: "", URL: "http://x"}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	r, err := NewRing(0, Member{ID: "solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Errorf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	if got := r.Owner("anything"); got.ID != "solo" {
+		t.Errorf("single-member ring owner = %q", got.ID)
+	}
+}
+
+// TestRingDeterministicAcrossNodes: every node that knows the same
+// membership set — in any configuration order — owns identical lookups.
+func TestRingDeterministicAcrossNodes(t *testing.T) {
+	ms := members(5)
+	r1, err := NewRing(64, ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]Member(nil), ms...)
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	r2, err := NewRing(64, shuffled...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range corpus(10000) {
+		if a, b := r1.Owner(key), r2.Owner(key); a != b {
+			t.Fatalf("key %q: owner %q vs %q across member orderings", key, a.ID, b.ID)
+		}
+	}
+}
+
+// TestRingBoundedMovementOnAdd: adding one node to an n-node ring
+// remaps only keys the new node gains — every other key keeps its
+// owner — and the gained share stays near 1/(n+1) of a 10k-key corpus.
+func TestRingBoundedMovementOnAdd(t *testing.T) {
+	keys := corpus(10000)
+	for _, n := range []int{2, 3, 5, 8} {
+		ms := members(n + 1)
+		before, err := NewRing(DefaultVNodes, ms[:n]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(DefaultVNodes, ms...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := ms[n].ID
+		moved := 0
+		for _, key := range keys {
+			a, b := before.Owner(key), after.Owner(key)
+			if a == b {
+				continue
+			}
+			if b.ID != added {
+				t.Fatalf("n=%d: key %q moved %q → %q, not to the added node %q", n, key, a.ID, b.ID, added)
+			}
+			moved++
+		}
+		share := float64(moved) / float64(len(keys))
+		ideal := 1.0 / float64(n+1)
+		// Virtual nodes make the share approximate; allow 2× the ideal
+		// share as the "bounded movement" ceiling and require it is not
+		// degenerate (zero would mean the node takes no load).
+		if share > 2*ideal {
+			t.Errorf("n=%d: adding one node moved %.1f%% of keys, ideal %.1f%%", n, 100*share, 100*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: added node received no keys", n)
+		}
+	}
+}
+
+// TestRingBoundedMovementOnRemove: removing one node remaps only the
+// keys it owned, and survivors keep every key they had.
+func TestRingBoundedMovementOnRemove(t *testing.T) {
+	keys := corpus(10000)
+	ms := members(4)
+	full, err := NewRing(DefaultVNodes, ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := ms[2]
+	rest := append(append([]Member(nil), ms[:2]...), ms[3])
+	shrunk, err := NewRing(DefaultVNodes, rest...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range keys {
+		a, b := full.Owner(key), shrunk.Owner(key)
+		if a.ID == removed.ID {
+			moved++
+			continue // must move somewhere; any survivor is fine
+		}
+		if a != b {
+			t.Fatalf("key %q owned by surviving %q moved to %q", key, a.ID, b.ID)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed node owned no keys — degenerate ring")
+	}
+	if share := float64(moved) / float64(len(keys)); share > 2.0/float64(len(ms)) {
+		t.Errorf("removed node owned %.1f%% of keys, ideal %.1f%%", 100*share, 100.0/float64(len(ms)))
+	}
+}
+
+// TestRingBalance: with default vnodes no member's share of a 10k-key
+// corpus strays beyond ~2× the fair share.
+func TestRingBalance(t *testing.T) {
+	ms := members(4)
+	r, err := NewRing(DefaultVNodes, ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := corpus(10000)
+	for _, key := range keys {
+		counts[r.Owner(key).ID]++
+	}
+	fair := float64(len(keys)) / float64(len(ms))
+	for id, c := range counts {
+		if float64(c) > 2*fair || float64(c) < fair/3 {
+			t.Errorf("member %s owns %d of %d keys (fair %.0f)", id, c, len(keys), fair)
+		}
+	}
+	if len(counts) != len(ms) {
+		t.Errorf("only %d of %d members own keys", len(counts), len(ms))
+	}
+}
+
+func TestRingMemberLookup(t *testing.T) {
+	ms := members(3)
+	r, err := NewRing(8, ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := r.Member("node1"); !ok || m.URL != ms[1].URL {
+		t.Errorf("Member(node1) = %+v, %v", m, ok)
+	}
+	if _, ok := r.Member("ghost"); ok {
+		t.Error("unknown member found")
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// maxBatchItems bounds one batch request. The ceiling exists so a
+// single request cannot monopolize the decode path or produce an
+// unbounded response; corpora larger than this paginate trivially.
+const maxBatchItems = 256
+
+// BatchRequest carries many map queries in one HTTP request. Items
+// share the request's admission slot count — each item still passes the
+// worker-pool admission individually, so a batch cannot jump the queue,
+// but the per-request overheads (connection, decode, log line) are paid
+// once.
+type BatchRequest struct {
+	Items []MapRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome. Exactly one of Response or
+// Error is set; Status mirrors what the item would have received as a
+// standalone /v1/map call, and RetryAfterMS carries the same pacing
+// hint the Retry-After header would.
+type BatchItemResult struct {
+	Index        int          `json:"index"`
+	Status       int          `json:"status"`
+	Cache        CacheStatus  `json:"cache,omitempty"`
+	DurationMS   float64      `json:"duration_ms"`
+	RetryAfterMS int64        `json:"retry_after_ms,omitempty"`
+	Response     *MapResponse `json:"response,omitempty"`
+	Error        string       `json:"error,omitempty"`
+}
+
+// BatchResponse summarizes the batch: per-item results in input order
+// plus aggregate counts and wall time.
+type BatchResponse struct {
+	Items      []BatchItemResult `json:"items"`
+	OK         int               `json:"ok"`
+	Failed     int               `json:"failed"`
+	DurationMS float64           `json:"duration_ms"`
+}
+
+// Batch answers every item of a batch request, fanning out across at
+// most the worker-pool width. Items run through the full Map path —
+// cache, singleflight, cluster forwarding, admission — so a batch of
+// permuted duplicates still costs one search, and items beyond the
+// pool+queue budget fail individually with 429 rather than failing the
+// whole batch.
+func (s *Service) Batch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	if len(req.Items) == 0 {
+		return nil, badRequest("service: batch carries no items")
+	}
+	if len(req.Items) > maxBatchItems {
+		return nil, badRequest("service: batch carries %d items, the limit is %d", len(req.Items), maxBatchItems)
+	}
+
+	start := time.Now()
+	resp := &BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
+	// Fan-out matches the pool width: wider would only grow the
+	// admission queue (risking self-inflicted 429s on large batches),
+	// narrower would idle workers on cache-heavy corpora.
+	workers := s.cfg.Pool
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				resp.Items[i] = s.batchItem(ctx, i, &req.Items[i])
+			}
+		}()
+	}
+	for i := range req.Items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i := range resp.Items {
+		if resp.Items[i].Status == http.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	resp.DurationMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	return resp, nil
+}
+
+// batchItem runs one item through Map under its own clamped deadline.
+func (s *Service) batchItem(ctx context.Context, i int, item *MapRequest) BatchItemResult {
+	itemStart := time.Now()
+	ictx, cancel := context.WithTimeout(ctx, s.EffectiveTimeout(item.TimeoutMS))
+	defer cancel()
+	out, cacheStatus, err := s.Map(ictx, item)
+	res := BatchItemResult{
+		Index:      i,
+		Cache:      cacheStatus,
+		DurationMS: float64(time.Since(itemStart).Nanoseconds()) / 1e6,
+	}
+	if err != nil {
+		status, retryAfter := s.classifyError(err)
+		res.Status = status
+		res.Error = err.Error()
+		if retryAfter != "" {
+			secs, _ := strconv.ParseInt(retryAfter, 10, 64)
+			res.RetryAfterMS = secs * 1000
+		}
+		return res
+	}
+	res.Status = http.StatusOK
+	res.Response = out
+	return res
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// No whole-batch deadline beyond the per-item ones: items already
+	// clamp themselves, and a shared ceiling would make late items fail
+	// for the sins of early slow ones.
+	resp, err := s.Batch(r.Context(), &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

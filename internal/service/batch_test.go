@@ -1,0 +1,123 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestE2EBatch: a batch mixing permuted duplicates and one invalid item
+// answers per item — the duplicates share one search, the bad item
+// fails alone without failing the batch.
+func TestE2EBatch(t *testing.T) {
+	svc, srv := newTestServer(t, Config{Pool: 2, SearchWorkers: 1})
+
+	body := fmt.Sprintf(`{"items":[%s,%s,{"algorithm":"nope"}]}`, e2eBody, e2ePerm)
+	status, _, raw := postJSON(t, srv.URL+"/v1/batch", body)
+	if status != 200 {
+		t.Fatalf("batch: %d (%s)", status, raw)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(resp.Items))
+	}
+	if resp.OK != 2 || resp.Failed != 1 {
+		t.Errorf("ok/failed = %d/%d, want 2/1", resp.OK, resp.Failed)
+	}
+	for i, item := range resp.Items {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+	}
+	for _, i := range []int{0, 1} {
+		item := resp.Items[i]
+		if item.Status != 200 || item.Response == nil || item.Error != "" {
+			t.Errorf("item %d: %+v, want a 200 with a response", i, item)
+		}
+	}
+	bad := resp.Items[2]
+	if bad.Status != http.StatusBadRequest || bad.Response != nil || bad.Error == "" {
+		t.Errorf("invalid item: %+v, want a 400 with an error", bad)
+	}
+	// The two valid items are one canonical problem: exactly one search.
+	if n := svc.met.searches.Load(); n != 1 {
+		t.Errorf("searches = %d, want 1 (permuted duplicates must dedup)", n)
+	}
+	// Both rendered responses agree on the canonical key and figures.
+	a, b := resp.Items[0].Response, resp.Items[1].Response
+	if a.CanonicalKey != b.CanonicalKey || a.TotalTime != b.TotalTime {
+		t.Errorf("duplicate items disagree: %+v vs %+v", a, b)
+	}
+	if n := svc.met.batchRequests.Load(); n != 1 {
+		t.Errorf("batch request counter = %d, want 1", n)
+	}
+}
+
+// TestE2EBatchLimits: an empty batch and an oversized batch are refused
+// whole with 400.
+func TestE2EBatchLimits(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: 1})
+
+	status, _, raw := postJSON(t, srv.URL+"/v1/batch", `{"items":[]}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("empty batch: %d, want 400 (%s)", status, raw)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i <= maxBatchItems; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"bounds":[2,2,2],"dependencies":[[1,0,0],[0,1,0],[0,0,1]],"dims":1}`)
+	}
+	sb.WriteString(`]}`)
+	status, _, raw = postJSON(t, srv.URL+"/v1/batch", sb.String())
+	if status != http.StatusBadRequest {
+		t.Errorf("oversized batch: %d, want 400 (%s)", status, raw)
+	}
+	var e errorBody
+	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "limit") {
+		t.Errorf("oversized batch error body: %s", raw)
+	}
+}
+
+// TestRetryAfterHeaders: the backpressure statuses carry Retry-After so
+// clients can pace resubmission, and other errors do not.
+func TestRetryAfterHeaders(t *testing.T) {
+	svc := New(Config{Pool: 1})
+	t.Cleanup(func() { svc.Close() })
+
+	cases := []struct {
+		err    error
+		status int
+		after  string
+	}{
+		{ErrOverloaded, http.StatusTooManyRequests, "1"},
+		{ErrShuttingDown, http.StatusServiceUnavailable, "2"},
+		{badRequest("nope"), http.StatusBadRequest, ""},
+	}
+	for _, c := range cases {
+		status, after := svc.classifyError(c.err)
+		if status != c.status || after != c.after {
+			t.Errorf("classifyError(%v) = (%d, %q), want (%d, %q)", c.err, status, after, c.status, c.after)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	svc.writeError(rec, ErrOverloaded)
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After header = %q, want \"1\"", got)
+	}
+	rec = httptest.NewRecorder()
+	svc.writeError(rec, badRequest("nope"))
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Errorf("Retry-After on 400 = %q, want unset", got)
+	}
+}

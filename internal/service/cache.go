@@ -8,16 +8,24 @@ import (
 // lruCache is a size-bounded, thread-safe LRU map from canonical keys
 // to search results. Values are stored in canonical coordinates and
 // never mutated after insertion, so readers share them without copying.
+//
+// Besides hit/miss (counted by the service), the cache tracks its own
+// occupancy: entry count, cumulative evictions, and a bytes estimate
+// supplied by the caller at Add time — the signals /metrics needs for
+// shard-balance and sizing decisions.
 type lruCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions int64
+	bytes     int64 // Σ size hints of resident entries
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key   string
+	val   any
+	bytes int64
 }
 
 func newLRUCache(max int) *lruCache {
@@ -40,20 +48,27 @@ func (c *lruCache) Get(key string) (any, bool) {
 }
 
 // Add inserts or refreshes an entry, evicting the least recently used
-// entry when the cache is full.
-func (c *lruCache) Add(key string, val any) {
+// entry when the cache is full. bytes is the caller's size estimate for
+// the entry (see estimateResultBytes), folded into the occupancy gauge.
+func (c *lruCache) Add(key string, val any, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		c.bytes += bytes - e.bytes
+		e.val, e.bytes = val, bytes
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, bytes: bytes})
+	c.bytes += bytes
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*lruEntry).key)
+		e := last.Value.(*lruEntry)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
 	}
 }
 
@@ -64,10 +79,20 @@ func (c *lruCache) Len() int {
 	return c.ll.Len()
 }
 
-// Flush drops every entry.
+// Stats returns the occupancy snapshot: resident entries, cumulative
+// evictions (monotone across Flush), and the bytes estimate.
+func (c *lruCache) Stats() (entries, evictions, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.ll.Len()), c.evictions, c.bytes
+}
+
+// Flush drops every entry. Flushed entries do not count as evictions —
+// the eviction counter measures capacity pressure, not operator action.
 func (c *lruCache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.items)
+	c.bytes = 0
 }

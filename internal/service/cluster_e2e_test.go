@@ -1,0 +1,426 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lodim/internal/cluster"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// The third axis-permuted restatement of e2eBody, under σ = (1,2,0).
+// Together with e2eBody and e2ePerm this gives one distinct wire body
+// per node of a 3-node cluster, all canonicalizing to one problem.
+const e2ePerm2 = `{"bounds":[3,4,2],"dependencies":[[0,0,1],[1,0,1],[1,1,0]],"dims":1}`
+
+// testCluster is an n-node mapserve cluster on loopback listeners.
+// Ports are bound before the services exist so every node is built
+// with the full membership.
+type testCluster struct {
+	members []cluster.Member
+	svcs    []*Service
+	srvs    []*httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	tc := &testCluster{members: make([]cluster.Member, n)}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		tc.members[i] = cluster.Member{ID: fmt.Sprintf("node%d", i), URL: "http://" + ln.Addr().String()}
+	}
+	for i := 0; i < n; i++ {
+		svc := New(Config{
+			Pool:          2,
+			SearchWorkers: 1,
+			Cluster:       &ClusterConfig{Self: tc.members[i], Peers: tc.members},
+		})
+		srv := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: NewHandler(svc)}}
+		srv.Start()
+		tc.svcs = append(tc.svcs, svc)
+		tc.srvs = append(tc.srvs, srv)
+	}
+	t.Cleanup(func() {
+		for _, srv := range tc.srvs {
+			srv.Close()
+		}
+		for _, svc := range tc.svcs {
+			svc.Close()
+		}
+	})
+	return tc
+}
+
+// ownerIndex resolves which node owns the canonical problem a request
+// body describes.
+func (tc *testCluster) ownerIndex(t *testing.T, body string) int {
+	t.Helper()
+	var req MapRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	algo, dims, err := validateMapRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := mapCacheKey(Canonicalize(algo).Key, dims, &req)
+	owner := tc.svcs[0].clu.ring.Owner(key)
+	for i, m := range tc.members {
+		if m.ID == owner.ID {
+			return i
+		}
+	}
+	t.Fatalf("owner %q is not a member", owner.ID)
+	return -1
+}
+
+// totalSearches sums the search counter across every node.
+func (tc *testCluster) totalSearches() int64 {
+	var n int64
+	for _, svc := range tc.svcs {
+		n += svc.met.searches.Load()
+	}
+	return n
+}
+
+// gateSearches replaces every node's search with a gated wrapper and
+// returns the gate plus a counter of entered searches.
+func (tc *testCluster) gateSearches() (gate chan struct{}, entered *atomic.Int64) {
+	gate = make(chan struct{})
+	entered = &atomic.Int64{}
+	for _, svc := range tc.svcs {
+		real := svc.searchJoint
+		svc.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+			entered.Add(1)
+			<-gate
+			return real(ctx, algo, dims, opts)
+		}
+	}
+	return gate, entered
+}
+
+// TestClusterE2EDistributedSingleflight: three clients post permuted
+// restatements of one problem, each to a different node, concurrently.
+// Exactly one search runs cluster-wide, every body is byte-identical,
+// and the cache headers expose who served locally versus via a peer.
+func TestClusterE2EDistributedSingleflight(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	gate, entered := tc.gateSearches()
+
+	// The owner gets the problem's original statement; the two
+	// non-owners both get the same permuted restatement — responses are
+	// rendered in request coordinates, so byte-identity is only
+	// meaningful between identical requests.
+	ownerIdx := tc.ownerIndex(t, e2eBody)
+	owner := tc.svcs[ownerIdx]
+	bodies := make([]string, 3)
+	for i := range bodies {
+		if i == ownerIdx {
+			bodies[i] = e2eBody
+		} else {
+			bodies[i] = e2ePerm
+		}
+	}
+
+	type reply struct {
+		node   int
+		status int
+		cache  string
+		body   []byte
+	}
+	replies := make(chan reply, len(bodies))
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			status, hdr, body := postJSON(t, tc.srvs[i].URL+"/v1/map", b)
+			replies <- reply{i, status, hdr.Get("X-Mapserve-Cache"), body}
+		}(i, b)
+	}
+	// One search must be open and both non-owner requests must have
+	// joined the owner's flight (as peer-lookup followers) before the
+	// gate lifts: the dedup is then provably concurrent, not sequenced.
+	waitCounter(t, entered, 1)
+	waitCounter(t, &owner.met.deduped, 2)
+	close(gate)
+	wg.Wait()
+	close(replies)
+
+	var got []reply
+	for r := range replies {
+		if r.status != 200 {
+			t.Fatalf("node %d: status %d (%s)", r.node, r.status, r.body)
+		}
+		got = append(got, r)
+	}
+	if n := tc.totalSearches(); n != 1 {
+		t.Errorf("cluster-wide searches = %d, want exactly 1", n)
+	}
+	if n := entered.Load(); n != 1 {
+		t.Errorf("search bodies entered = %d, want exactly 1", n)
+	}
+	var followers []reply
+	var invariants []MapResponse
+	for _, r := range got {
+		var out MapResponse
+		if err := json.Unmarshal(r.body, &out); err != nil {
+			t.Fatal(err)
+		}
+		invariants = append(invariants, out)
+		if r.node == ownerIdx {
+			if r.cache != "miss" && r.cache != "shared" {
+				t.Errorf("owner node %d cache = %q, want miss or shared", r.node, r.cache)
+			}
+		} else {
+			followers = append(followers, r)
+			if r.cache != "peer_miss" && r.cache != "peer_shared" {
+				t.Errorf("non-owner node %d cache = %q, want peer_miss or peer_shared", r.node, r.cache)
+			}
+		}
+	}
+	// The two identical follower requests must get byte-identical
+	// bodies even though different nodes rendered them.
+	if len(followers) != 2 {
+		t.Fatalf("followers = %d, want 2", len(followers))
+	}
+	if !bytes.Equal(followers[0].body, followers[1].body) {
+		t.Errorf("follower bodies differ between node %d and node %d:\n%s\n%s",
+			followers[0].node, followers[1].node, followers[0].body, followers[1].body)
+	}
+	// Every answer shares the canonical key and all invariant figures.
+	for _, out := range invariants[1:] {
+		if out.CanonicalKey != invariants[0].CanonicalKey {
+			t.Errorf("canonical keys differ: %q vs %q", out.CanonicalKey, invariants[0].CanonicalKey)
+		}
+		if out.TotalTime != invariants[0].TotalTime || out.Processors != invariants[0].Processors ||
+			out.WireLength != invariants[0].WireLength || out.Cost != invariants[0].Cost {
+			t.Errorf("invariants differ across nodes: %+v vs %+v", out, invariants[0])
+		}
+	}
+}
+
+// TestClusterE2EPeerCacheFill: a forwarded answer is cached on the
+// forwarding node, so the node answers repeats locally — the aggregate
+// hit ratio rises above what any single node's cache could give.
+func TestClusterE2EPeerCacheFill(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ownerIdx := tc.ownerIndex(t, e2eBody)
+	follower := (ownerIdx + 1) % 3
+
+	// Cold: the non-owner forwards, the owner searches once.
+	status, hdr, first := postJSON(t, tc.srvs[follower].URL+"/v1/map", e2eBody)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "peer_miss" {
+		t.Fatalf("cold forward: %d %q (%s)", status, hdr.Get("X-Mapserve-Cache"), first)
+	}
+	if n := tc.totalSearches(); n != 1 {
+		t.Fatalf("searches after cold forward = %d, want 1", n)
+	}
+
+	// Warm: the forwarding node now answers from its own cache — no
+	// peer hop, no search — with a byte-identical body.
+	status, hdr, second := postJSON(t, tc.srvs[follower].URL+"/v1/map", e2eBody)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "hit" {
+		t.Fatalf("warm repeat: %d %q", status, hdr.Get("X-Mapserve-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("filled body differs from forwarded body:\n%s\n%s", first, second)
+	}
+
+	// A permuted restatement hits the same filled entry.
+	status, hdr, _ = postJSON(t, tc.srvs[follower].URL+"/v1/map", e2ePerm)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "hit" {
+		t.Fatalf("permuted warm repeat: %d %q", status, hdr.Get("X-Mapserve-Cache"))
+	}
+
+	// The owner kept its own copy too (it served the lookup).
+	status, hdr, _ = postJSON(t, tc.srvs[ownerIdx].URL+"/v1/map", e2ePerm2)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "hit" {
+		t.Fatalf("owner local: %d %q", status, hdr.Get("X-Mapserve-Cache"))
+	}
+	if n := tc.totalSearches(); n != 1 {
+		t.Errorf("searches after three requests = %d, want 1 (fill + owner cache)", n)
+	}
+
+	// The third node still misses locally and forwards: peer_hit now,
+	// because the owner holds the result.
+	third := (ownerIdx + 2) % 3
+	status, hdr, thirdBody := postJSON(t, tc.srvs[third].URL+"/v1/map", e2eBody)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "peer_hit" {
+		t.Fatalf("third node: %d %q", status, hdr.Get("X-Mapserve-Cache"))
+	}
+	if !bytes.Equal(first, thirdBody) {
+		t.Errorf("peer-hit body differs:\n%s\n%s", first, thirdBody)
+	}
+	if n := tc.totalSearches(); n != 1 {
+		t.Errorf("searches after peer hit = %d, want 1", n)
+	}
+}
+
+// TestClusterE2EPeerDeathFallback: when a problem's owner dies
+// mid-operation, a non-owner degrades to a local search and still
+// answers; the dead peer is marked unhealthy in /v1/status.
+func TestClusterE2EPeerDeathFallback(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	ownerIdx := tc.ownerIndex(t, e2eBody)
+	survivor := (ownerIdx + 1) % 3
+
+	tc.srvs[ownerIdx].Close()
+
+	status, hdr, body := postJSON(t, tc.srvs[survivor].URL+"/v1/map", e2eBody)
+	if status != 200 {
+		t.Fatalf("survivor request: %d (%s)", status, body)
+	}
+	if got := hdr.Get("X-Mapserve-Cache"); got != "miss" {
+		t.Errorf("cache = %q, want miss (local search fallback)", got)
+	}
+	svc := tc.svcs[survivor]
+	if n := svc.met.searches.Load(); n != 1 {
+		t.Errorf("survivor searches = %d, want 1", n)
+	}
+	if n := svc.met.peerForwardErrors.Load(); n != 1 {
+		t.Errorf("peer forward errors = %d, want 1", n)
+	}
+
+	// The survivor answers repeats from its cache even with the owner
+	// still down.
+	status, hdr, _ = postJSON(t, tc.srvs[survivor].URL+"/v1/map", e2ePerm)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "hit" {
+		t.Errorf("repeat after fallback: %d %q, want 200 hit", status, hdr.Get("X-Mapserve-Cache"))
+	}
+
+	// Health surfaces the death: the owner shows unhealthy in the
+	// survivor's cluster status.
+	st := svc.Status()
+	if st.Cluster == nil {
+		t.Fatal("cluster status missing")
+	}
+	found := false
+	for _, p := range st.Cluster.Peers {
+		if p.ID == tc.members[ownerIdx].ID {
+			found = true
+			if p.Healthy {
+				t.Errorf("dead owner %s still marked healthy", p.ID)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dead owner %s absent from peer status %+v", tc.members[ownerIdx].ID, st.Cluster.Peers)
+	}
+}
+
+// TestClusterE2EHopHeader: forwarded peer calls carry the hop header;
+// a request claiming more hops than the protocol allows is refused
+// with 508 before any work happens, and a malformed count is a 400.
+func TestClusterE2EHopHeader(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	lreq := `{"problem":{"key":"x","bounds":[2,2,2],"dependencies":[[1,0,0],[0,1,0],[0,0,1]],"dims":1}}`
+
+	for _, c := range []struct {
+		hop  string
+		want int
+	}{
+		{"2", http.StatusLoopDetected},
+		{"junk", http.StatusBadRequest},
+		{"-1", http.StatusBadRequest},
+	} {
+		req, _ := http.NewRequest("POST", tc.srvs[0].URL+cluster.LookupPath, strings.NewReader(lreq))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(cluster.HopHeader, c.hop)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("hop %q: status %d, want %d", c.hop, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestClusterE2EFillValidation: a peer fill carrying a tampered result
+// is rejected — the receiving node revalidates before caching.
+func TestClusterE2EFillValidation(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	ownerIdx := tc.ownerIndex(t, e2eBody)
+	other := 1 - ownerIdx
+
+	// Obtain a genuine wire result by asking the owner directly, then
+	// lifting the cached canonical result it just computed. Going
+	// through the owner keeps the other node's search count at zero.
+	status, _, body := postJSON(t, tc.srvs[ownerIdx].URL+"/v1/map", e2eBody)
+	if status != 200 {
+		t.Fatalf("seed request: %d (%s)", status, body)
+	}
+
+	var req MapRequest
+	if err := json.Unmarshal([]byte(e2eBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	algo, dims, err := validateMapRequest(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := Canonicalize(algo)
+	key := mapCacheKey(canon.Key, dims, &req)
+	prob := clusterProblem(key, canon, dims, &req)
+	cached, ok := tc.svcs[ownerIdx].cache.Get(key)
+	if !ok {
+		t.Fatal("seed result missing from node 0's cache")
+	}
+
+	fill := func(t *testing.T, res cluster.WireResult, wantStored bool, wantStatus int) {
+		t.Helper()
+		freq, _ := json.Marshal(&cluster.FillRequest{Problem: prob, Result: res})
+		status, _, body := postJSON(t, tc.srvs[other].URL+cluster.FillPath, string(freq))
+		if status != wantStatus {
+			t.Fatalf("fill status = %d, want %d (%s)", status, wantStatus, body)
+		}
+		if wantStatus != 200 {
+			return
+		}
+		var fresp cluster.FillResponse
+		if err := json.Unmarshal(body, &fresp); err != nil {
+			t.Fatal(err)
+		}
+		if fresp.Stored != wantStored {
+			t.Errorf("stored = %v, want %v", fresp.Stored, wantStored)
+		}
+	}
+
+	// A lying total time must be refused: the receiver recomputes the
+	// schedule figure from Π and the bounds.
+	genuine := *wireFromResult(cached.(*schedule.JointResult))
+	bogus := genuine
+	bogus.Time = genuine.Time + 1
+	fill(t, bogus, false, http.StatusBadRequest)
+	if n := tc.svcs[other].met.peerFillsRejected.Load(); n != 1 {
+		t.Errorf("rejected fills = %d, want 1", n)
+	}
+
+	// The genuine result is accepted and cached: the next local request
+	// is a hit with zero searches on node 1.
+	fill(t, genuine, true, http.StatusOK)
+	status, hdr, _ := postJSON(t, tc.srvs[other].URL+"/v1/map", e2ePerm)
+	if status != 200 || hdr.Get("X-Mapserve-Cache") != "hit" {
+		t.Errorf("after fill: %d %q, want 200 hit", status, hdr.Get("X-Mapserve-Cache"))
+	}
+	if n := tc.svcs[other].met.searches.Load(); n != 0 {
+		t.Errorf("non-owner searches = %d, want 0 (the fill preloaded it)", n)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
+	"lodim/internal/cluster"
 	"lodim/internal/schedule"
 	"lodim/internal/trace"
 )
@@ -25,11 +27,17 @@ type errorBody struct {
 // NewHandler wires the service's endpoints:
 //
 //	POST /v1/map       — joint (S, Π) mapping search
+//	POST /v1/batch     — many map queries, one admission-shared request
 //	POST /v1/conflict  — conflict-freeness decision
 //	POST /v1/simulate  — systolic simulation
 //	POST /v1/verify    — independent mapping certification
 //	GET  /metrics      — Prometheus text exposition
 //	GET  /healthz      — liveness probe
+//
+// Clustered nodes additionally serve the peer protocol:
+//
+//	POST /peer/v1/lookup — owner-side answer for a forwarded problem
+//	POST /peer/v1/fill   — best-effort cache push from a peer
 //
 // Every POST endpoint runs inside the instrument wrapper, which owns
 // the per-endpoint request counter (exactly one increment per request,
@@ -38,11 +46,16 @@ type errorBody struct {
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.instrument("map", s.handleMap))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/conflict", s.instrument("conflict", s.handleConflict))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.clu != nil {
+		mux.HandleFunc("POST "+cluster.LookupPath, s.instrument("peer_lookup", s.handlePeerLookup))
+		mux.HandleFunc("POST "+cluster.FillPath, s.instrument("peer_fill", s.handlePeerFill))
+	}
 	return mux
 }
 
@@ -180,10 +193,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError maps a service error to its HTTP status and JSON body,
-// recording timeout/failure metrics as it goes.
-func (s *Service) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// classifyError maps a service error to its HTTP status and an
+// optional Retry-After hint (seconds), recording timeout/failure
+// metrics as it goes. Shared by writeError and the batch endpoint's
+// per-item statuses so the two surfaces can never disagree.
+func (s *Service) classifyError(err error) (status int, retryAfter string) {
+	status = http.StatusInternalServerError
 	var bad *BadRequestError
 	var tooLarge *contentTooLargeError
 	switch {
@@ -192,10 +207,14 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &tooLarge):
 		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrOverloaded):
+		// Queue pressure clears as fast as searches finish — retry soon.
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		retryAfter = "1"
 	case errors.Is(err, ErrShuttingDown):
+		// Shutdown never un-happens here; the hint sizes a client's pause
+		// before trying a replacement or a restarted node.
 		status = http.StatusServiceUnavailable
+		retryAfter = "2"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusGatewayTimeout
 		s.met.timeouts.Add(1)
@@ -205,6 +224,17 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusUnprocessableEntity
 	default:
 		s.met.failures.Add(1)
+	}
+	return status, retryAfter
+}
+
+// writeError renders a service error as its JSON error body, with the
+// Retry-After header on backpressure statuses (429/503) so well-behaved
+// clients — including cmd/maploadgen — pace their retries.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	status, retryAfter := s.classifyError(err)
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -284,6 +314,70 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	// An invalid mapping is a definite answer, not an error: the body
 	// carries the certificate with its named failing witness.
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkHop rejects peer requests whose hop count exceeds the protocol
+// bound with 508 Loop Detected. Forwarding is structurally loop-free
+// (peer-opened flights never forward), so a trip here means a buggy or
+// misconfigured peer — failing loudly beats amplifying its traffic. A
+// missing header is allowed (a human poking the endpoint with curl).
+func (s *Service) checkHop(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get(cluster.HopHeader)
+	if h == "" {
+		return true
+	}
+	hops, err := strconv.Atoi(h)
+	if err != nil {
+		s.writeError(w, badRequest("service: malformed %s header %q", cluster.HopHeader, h))
+		return false
+	}
+	if hops > cluster.MaxHops {
+		writeJSON(w, http.StatusLoopDetected, errorBody{
+			Error: fmt.Sprintf("service: peer request exceeded %d hop(s) — forwarding loop", cluster.MaxHops),
+		})
+		return false
+	}
+	return true
+}
+
+func (s *Service) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
+	if !s.checkHop(w, r) {
+		return
+	}
+	var req cluster.LookupRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// The forwarder propagates its caller's budget in TimeoutMS; clamp
+	// it into this node's window exactly like an origin request.
+	ctx, cancel := s.withDeadline(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := s.PeerLookup(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handlePeerFill(w http.ResponseWriter, r *http.Request) {
+	if !s.checkHop(w, r) {
+		return
+	}
+	var req cluster.FillRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, 0)
+	defer cancel()
+	resp, err := s.PeerFill(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

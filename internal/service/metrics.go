@@ -20,10 +20,13 @@ const numLatencyBuckets = 7
 // metrics aggregates the service counters. All fields are atomics so
 // the hot request path never takes a lock for observability.
 type metrics struct {
-	mapRequests      atomic.Int64
-	conflictRequests atomic.Int64
-	simulateRequests atomic.Int64
-	verifyRequests   atomic.Int64
+	mapRequests        atomic.Int64
+	conflictRequests   atomic.Int64
+	simulateRequests   atomic.Int64
+	verifyRequests     atomic.Int64
+	batchRequests      atomic.Int64
+	peerLookupRequests atomic.Int64
+	peerFillRequests   atomic.Int64
 
 	verifyCacheHits   atomic.Int64
 	verifyCacheMisses atomic.Int64
@@ -60,6 +63,30 @@ type metrics struct {
 	costLevels         atomic.Int64
 	innerSearches      atomic.Int64
 
+	// Cluster-tier counters. The forward family is the non-owner side
+	// (what happened when this node forwarded a key to its owner); the
+	// served family is the owner side (dispositions of peer lookups this
+	// node answered); fills track /peer/v1/fill traffic both ways.
+	// Rendered only when clustered is true, so a single-node /metrics
+	// stays unchanged.
+	clustered         bool
+	peerForwardHit    atomic.Int64 // owner answered from its cache
+	peerForwardMiss   atomic.Int64 // owner ran the search for us
+	peerForwardShared atomic.Int64 // owner joined an in-flight search
+	peerForwardErrors atomic.Int64 // forward failed → local fallback search
+	peerServedHit     atomic.Int64
+	peerServedMiss    atomic.Int64
+	peerServedShared  atomic.Int64
+	peerFillsSent     atomic.Int64
+	peerFillsRecv     atomic.Int64
+	peerFillsRejected atomic.Int64
+	peerFillSendErrs  atomic.Int64
+
+	// cacheStats, when set, reports the LRU's (entries, evictions,
+	// bytes-estimate) occupancy — wired by service.New like
+	// traceCounters, so the metrics layer needs no cache dependency.
+	cacheStats func() (entries, evictions, bytes int64)
+
 	// traceCounters, when set, reports the tracer's (started, dropped,
 	// finished) span/trace counts — wired by service.New so the metrics
 	// layer needs no tracer dependency.
@@ -79,6 +106,12 @@ func (m *metrics) requestCounter(endpoint string) *atomic.Int64 {
 		return &m.simulateRequests
 	case "verify":
 		return &m.verifyRequests
+	case "batch":
+		return &m.batchRequests
+	case "peer_lookup":
+		return &m.peerLookupRequests
+	case "peer_fill":
+		return &m.peerFillRequests
 	}
 	panic("service: unknown endpoint " + endpoint)
 }
@@ -145,6 +178,9 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"conflict\"} %d\n", m.conflictRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"simulate\"} %d\n", m.simulateRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"verify\"} %d\n", m.verifyRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_lookup\"} %d\n", m.peerLookupRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_fill\"} %d\n", m.peerFillRequests.Load())
 	counter("mapserve_cache_hits_total", "Map requests answered from the canonical result cache.", m.cacheHits.Load())
 	counter("mapserve_cache_misses_total", "Map requests that required a search.", m.cacheMisses.Load())
 	counter("mapserve_verify_cache_hits_total", "Verify requests answered from the canonical certificate cache.", m.verifyCacheHits.Load())
@@ -159,6 +195,28 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	if hits, misses := m.cacheHits.Load(), m.cacheMisses.Load(); hits+misses > 0 {
 		fmt.Fprintf(w, "# HELP mapserve_cache_hit_ratio Cache hits over cacheable map requests.\n# TYPE mapserve_cache_hit_ratio gauge\nmapserve_cache_hit_ratio %.6f\n",
 			float64(hits)/float64(hits+misses))
+	}
+	if m.cacheStats != nil {
+		entries, evictions, bytes := m.cacheStats()
+		gauge("mapserve_cache_entries", "Resident canonical cache entries.", entries)
+		counter("mapserve_cache_evictions_total", "Entries evicted by LRU capacity pressure.", evictions)
+		gauge("mapserve_cache_bytes_estimate", "Estimated bytes held by resident cache entries.", bytes)
+	}
+	if m.clustered {
+		fmt.Fprintf(w, "# HELP mapserve_peer_forward_total Lookups this node forwarded to key owners, by outcome.\n# TYPE mapserve_peer_forward_total counter\n")
+		fmt.Fprintf(w, "mapserve_peer_forward_total{outcome=\"hit\"} %d\n", m.peerForwardHit.Load())
+		fmt.Fprintf(w, "mapserve_peer_forward_total{outcome=\"miss\"} %d\n", m.peerForwardMiss.Load())
+		fmt.Fprintf(w, "mapserve_peer_forward_total{outcome=\"shared\"} %d\n", m.peerForwardShared.Load())
+		fmt.Fprintf(w, "mapserve_peer_forward_total{outcome=\"error\"} %d\n", m.peerForwardErrors.Load())
+		fmt.Fprintf(w, "# HELP mapserve_peer_served_total Peer lookups this node answered as owner, by disposition.\n# TYPE mapserve_peer_served_total counter\n")
+		fmt.Fprintf(w, "mapserve_peer_served_total{disposition=\"hit\"} %d\n", m.peerServedHit.Load())
+		fmt.Fprintf(w, "mapserve_peer_served_total{disposition=\"miss\"} %d\n", m.peerServedMiss.Load())
+		fmt.Fprintf(w, "mapserve_peer_served_total{disposition=\"shared\"} %d\n", m.peerServedShared.Load())
+		fmt.Fprintf(w, "# HELP mapserve_peer_fills_total Peer cache-fill traffic, by kind.\n# TYPE mapserve_peer_fills_total counter\n")
+		fmt.Fprintf(w, "mapserve_peer_fills_total{kind=\"sent\"} %d\n", m.peerFillsSent.Load())
+		fmt.Fprintf(w, "mapserve_peer_fills_total{kind=\"received\"} %d\n", m.peerFillsRecv.Load())
+		fmt.Fprintf(w, "mapserve_peer_fills_total{kind=\"rejected\"} %d\n", m.peerFillsRejected.Load())
+		fmt.Fprintf(w, "mapserve_peer_fills_total{kind=\"send_error\"} %d\n", m.peerFillSendErrs.Load())
 	}
 	fmt.Fprintf(w, "# HELP mapserve_search_pruned_total Search candidates removed before evaluation, by pruning rule.\n# TYPE mapserve_search_pruned_total counter\n")
 	fmt.Fprintf(w, "mapserve_search_pruned_total{rule=\"orbit\"} %d\n", m.prunedOrbit.Load())
@@ -207,6 +265,9 @@ func (m *metrics) Snapshot() map[string]any {
 		"conflict_requests":    m.conflictRequests.Load(),
 		"simulate_requests":    m.simulateRequests.Load(),
 		"verify_requests":      m.verifyRequests.Load(),
+		"batch_requests":       m.batchRequests.Load(),
+		"peer_lookup_requests": m.peerLookupRequests.Load(),
+		"peer_fill_requests":   m.peerFillRequests.Load(),
 		"cache_hits":           m.cacheHits.Load(),
 		"cache_misses":         m.cacheMisses.Load(),
 		"verify_cache_hits":    m.verifyCacheHits.Load(),
@@ -233,6 +294,25 @@ func (m *metrics) Snapshot() map[string]any {
 	// hits+misses > 0 gate) and the cumulative histogram buckets.
 	if hits, misses := m.cacheHits.Load(), m.cacheMisses.Load(); hits+misses > 0 {
 		out["cache_hit_ratio"] = float64(hits) / float64(hits+misses)
+	}
+	if m.cacheStats != nil {
+		entries, evictions, bytes := m.cacheStats()
+		out["cache_entries"] = entries
+		out["cache_evictions"] = evictions
+		out["cache_bytes_estimate"] = bytes
+	}
+	if m.clustered {
+		out["peer_forward_hit"] = m.peerForwardHit.Load()
+		out["peer_forward_miss"] = m.peerForwardMiss.Load()
+		out["peer_forward_shared"] = m.peerForwardShared.Load()
+		out["peer_forward_error"] = m.peerForwardErrors.Load()
+		out["peer_served_hit"] = m.peerServedHit.Load()
+		out["peer_served_miss"] = m.peerServedMiss.Load()
+		out["peer_served_shared"] = m.peerServedShared.Load()
+		out["peer_fills_sent"] = m.peerFillsSent.Load()
+		out["peer_fills_received"] = m.peerFillsRecv.Load()
+		out["peer_fills_rejected"] = m.peerFillsRejected.Load()
+		out["peer_fills_send_error"] = m.peerFillSendErrs.Load()
 	}
 	out["search_latency_buckets"] = cumulativeBuckets(&m.latCounts)
 	for stage := 0; stage < numStages; stage++ {

@@ -173,10 +173,13 @@ func TestWritePrometheusSearchStatsCounters(t *testing.T) {
 func TestSnapshotPrometheusParity(t *testing.T) {
 	m := &metrics{}
 	// Seed the gated families so both surfaces render them: the hit
-	// ratio requires cacheable traffic, the trace counters a tracer.
+	// ratio requires cacheable traffic, the trace counters a tracer, the
+	// cache occupancy a wired cache, the peer families a cluster.
 	m.cacheHits.Add(3)
 	m.cacheMisses.Add(1)
 	m.traceCounters = func() (int64, int64, int64) { return 5, 1, 2 }
+	m.cacheStats = func() (int64, int64, int64) { return 4, 2, 4096 }
+	m.clustered = true
 	var buf bytes.Buffer
 	m.WritePrometheus(&buf)
 	families := map[string]bool{}
@@ -187,7 +190,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 
 	// family → snapshot keys (nil = deliberately Prometheus-only).
 	table := map[string][]string{
-		"mapserve_requests_total":                   {"map_requests", "conflict_requests", "simulate_requests", "verify_requests"},
+		"mapserve_requests_total":                   {"map_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "peer_lookup_requests", "peer_fill_requests"},
 		"mapserve_cache_hits_total":                 {"cache_hits"},
 		"mapserve_cache_misses_total":               {"cache_misses"},
 		"mapserve_verify_cache_hits_total":          {"verify_cache_hits"},
@@ -206,6 +209,12 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 		"mapserve_search_cost_levels_total":         {"search_cost_levels"},
 		"mapserve_search_inner_searches_total":      {"search_inner_searches"},
 		"mapserve_cache_hit_ratio":                  {"cache_hit_ratio"},
+		"mapserve_cache_entries":                    {"cache_entries"},
+		"mapserve_cache_evictions_total":            {"cache_evictions"},
+		"mapserve_cache_bytes_estimate":             {"cache_bytes_estimate"},
+		"mapserve_peer_forward_total":               {"peer_forward_hit", "peer_forward_miss", "peer_forward_shared", "peer_forward_error"},
+		"mapserve_peer_served_total":                {"peer_served_hit", "peer_served_miss", "peer_served_shared"},
+		"mapserve_peer_fills_total":                 {"peer_fills_sent", "peer_fills_received", "peer_fills_rejected", "peer_fills_send_error"},
 		"mapserve_trace_spans_total":                {"trace_spans"},
 		"mapserve_trace_spans_dropped_total":        {"trace_spans_dropped"},
 		"mapserve_traces_total":                     {"traces"},

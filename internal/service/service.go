@@ -61,6 +61,12 @@ type Config struct {
 	// 0 disables tracing entirely (the disabled path costs one nil
 	// check per span site).
 	TraceBuffer int
+	// Cluster, when non-nil, federates this service with its peers:
+	// canonical keys are sharded over a consistent-hash ring, non-owners
+	// forward to owners and cache-fill locally, and the peer protocol
+	// endpoints are served (see cluster.go). Nil runs single-node,
+	// byte-for-byte identical to the pre-cluster behavior.
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +121,12 @@ const (
 	CacheHit    CacheStatus = "hit"    // served from the canonical cache
 	CacheMiss   CacheStatus = "miss"   // this request executed the search
 	CacheShared CacheStatus = "shared" // joined an identical in-progress search
+
+	// Clustered statuses: the key's ring owner answered and this node
+	// cache-filled the result. The suffix is the owner's own disposition.
+	CachePeerHit    CacheStatus = "peer_hit"
+	CachePeerMiss   CacheStatus = "peer_miss"
+	CachePeerShared CacheStatus = "peer_shared"
 )
 
 // Service is the concurrent mapping-as-a-service engine. Create with
@@ -137,6 +149,10 @@ type Service struct {
 	tracer *trace.Tracer
 	traces *trace.Registry
 
+	// clu is non-nil iff Config.Cluster was set: the consistent-hash
+	// ring, the peer client, and the passive peer health tracker.
+	clu *clusterState
+
 	// searchJoint is the search engine; tests substitute it to make
 	// concurrency deterministic. Production always uses
 	// schedule.FindJointMappingContext.
@@ -157,6 +173,19 @@ func New(cfg Config) *Service {
 		searchJoint: schedule.FindJointMappingContext,
 	}
 	s.flights.onJoin = func() { s.met.deduped.Add(1) }
+	s.met.cacheStats = s.cache.Stats
+	if cfg.Cluster != nil {
+		clu, err := newClusterState(cfg.Cluster)
+		if err != nil {
+			// Cluster misconfiguration (duplicate IDs, empty membership)
+			// is a programming/deployment error callers must catch before
+			// New — cmd/mapserve validates the flag set by building the
+			// ring itself first.
+			panic("service: invalid cluster config: " + err.Error())
+		}
+		s.clu = clu
+		s.met.clustered = true
+	}
 	if cfg.TraceBuffer > 0 {
 		s.tracer = trace.New(trace.Config{})
 		s.traces = trace.NewRegistry(cfg.TraceBuffer)
@@ -199,6 +228,9 @@ type Status struct {
 	Goroutines    int       `json:"goroutines"`
 	TraceEnabled  bool      `json:"trace_enabled"`
 	TracesStored  int       `json:"traces_stored,omitempty"`
+	// Cluster is present only on clustered nodes: identity, membership
+	// and passive peer health (see cluster.go).
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // buildFacts caches runtime/debug.ReadBuildInfo — immutable for the
@@ -236,6 +268,9 @@ func (s *Service) Status() Status {
 	}
 	if s.traces != nil {
 		st.TracesStored = len(s.traces.Traces())
+	}
+	if s.clu != nil {
+		st.Cluster = s.clu.status()
 	}
 	return st
 }
@@ -417,9 +452,44 @@ func algoFromRequest(name string, sizes, bounds []int64, deps [][]int64) (*uda.A
 	return algo, nil
 }
 
+// validateMapRequest builds the algorithm a map request names or embeds
+// and checks the search knobs, returning the resolved target
+// dimensionality. Shared by Map, the batch endpoint, and the peer
+// protocol (which must re-validate wire problems before trusting them).
+func validateMapRequest(req *MapRequest) (*uda.Algorithm, int, error) {
+	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
+	if err != nil {
+		return nil, 0, err
+	}
+	dims := req.Dims
+	if dims == 0 {
+		dims = 1
+	}
+	if dims < 1 || dims >= algo.Dim() {
+		return nil, 0, badRequest("service: array dimensionality %d out of range [1, %d]", dims, algo.Dim()-1)
+	}
+	if dims > 1 && algo.Set.SizeExceeds(maxIndexPoints) {
+		// Multi-row processor counting enumerates the index set.
+		return nil, 0, badRequest("service: index set exceeds %d points, the limit for dims > 1", maxIndexPoints)
+	}
+	if req.MaxEntry < 0 || req.WireWeight < 0 || req.MaxCost < 0 {
+		return nil, 0, badRequest("service: max_entry, wire_weight and max_cost must be ≥ 0")
+	}
+	return algo, dims, nil
+}
+
+// mapCacheKey is the composite cache/shard key: the canonical problem
+// key plus every knob that changes the search outcome. The cluster ring
+// hashes exactly this string, so all nodes agree on ownership.
+func mapCacheKey(canonKey string, dims int, req *MapRequest) string {
+	return fmt.Sprintf("%s|dims=%d|me=%d|ww=%d|mc=%d", canonKey, dims, req.MaxEntry, req.WireWeight, req.MaxCost)
+}
+
 // Map answers a joint-mapping query: canonical cache first, then a
-// singleflight-deduplicated, admission-controlled search in canonical
-// coordinates, translated back to the caller's axis order.
+// singleflight-deduplicated flight that either forwards to the key's
+// ring owner (clustered, non-owner) or runs the admission-controlled
+// search in canonical coordinates, translated back to the caller's
+// axis order.
 func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, CacheStatus, error) {
 	done, err := s.begin()
 	if err != nil {
@@ -427,28 +497,14 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 	}
 	defer done()
 
-	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
+	algo, dims, err := validateMapRequest(req)
 	if err != nil {
 		return nil, "", err
-	}
-	dims := req.Dims
-	if dims == 0 {
-		dims = 1
-	}
-	if dims < 1 || dims >= algo.Dim() {
-		return nil, "", badRequest("service: array dimensionality %d out of range [1, %d]", dims, algo.Dim()-1)
-	}
-	if dims > 1 && algo.Set.SizeExceeds(maxIndexPoints) {
-		// Multi-row processor counting enumerates the index set.
-		return nil, "", badRequest("service: index set exceeds %d points, the limit for dims > 1", maxIndexPoints)
-	}
-	if req.MaxEntry < 0 || req.WireWeight < 0 || req.MaxCost < 0 {
-		return nil, "", badRequest("service: max_entry, wire_weight and max_cost must be ≥ 0")
 	}
 
 	canonStart := time.Now()
 	canon := Canonicalize(algo)
-	key := fmt.Sprintf("%s|dims=%d|me=%d|ww=%d|mc=%d", canon.Key, dims, req.MaxEntry, req.WireWeight, req.MaxCost)
+	key := mapCacheKey(canon.Key, dims, req)
 	recordStage(ctx, stageCanonicalize, canonStart)
 	if v, ok := s.cache.Get(key); ok {
 		s.met.cacheHits.Add(1)
@@ -461,7 +517,7 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 	fctx, fspan := trace.Start(ctx, "flight")
 	flightStart := time.Now()
 	v, err, leader, mark := s.flights.DoMarked(fctx, key, func(fc context.Context) (any, error) {
-		return s.runSearch(fc, key, canon, dims, req)
+		return s.runSearch(fc, key, canon, dims, req, true)
 	})
 	if !leader {
 		s.recordFollowerWait(ctx, mark, flightStart)
@@ -494,6 +550,12 @@ func (s *Service) Map(ctx context.Context, req *MapRequest) (*MapResponse, Cache
 		// report it as the hit it is.
 		status = CacheHit
 		s.met.cacheHits.Add(1)
+	case leader && out.viaPeer:
+		// The ring owner answered; report its disposition so clients
+		// (and the load driver) can tell a cluster-wide hit from a
+		// search. Local hit/miss counters stay untouched — they measure
+		// this node's cache; the peer_forward_* counters measure this.
+		status = CacheStatus("peer_" + out.peerDisposition)
 	case leader:
 		status = CacheMiss
 		s.met.cacheMisses.Add(1)
@@ -509,10 +571,14 @@ func (s *Service) mapResponse(ctx context.Context, algo *uda.Algorithm, canon *C
 }
 
 // flightOutcome is what a map flight resolves to: the canonical search
-// result, plus whether it came from the cache rather than a search.
+// result, plus how it was produced — from the local cache, from the
+// key's ring owner (viaPeer, with the owner's own disposition), or by
+// searching here.
 type flightOutcome struct {
-	res       *schedule.JointResult
-	fromCache bool
+	res             *schedule.JointResult
+	fromCache       bool
+	viaPeer         bool
+	peerDisposition string // cluster.Disposition* when viaPeer
 }
 
 // recordFollowerWait books a follower's time inside flights.DoMarked
@@ -548,11 +614,35 @@ func (s *Service) recordFollowerWait(ctx context.Context, mark *flightMark, join
 	}
 }
 
-// runSearch is the body of a map flight: acquire a pool slot,
-// re-check the cache, search in canonical coordinates, cache the
-// result. ctx is the flight context — cancelled only when every
-// waiter on this flight has detached.
-func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, dims int, req *MapRequest) (*flightOutcome, error) {
+// runSearch is the body of a map flight: re-check the cache, forward
+// to the key's ring owner when another node owns it (allowForward),
+// otherwise acquire a pool slot and search in canonical coordinates,
+// caching the result. ctx is the flight context — cancelled only when
+// every waiter on this flight has detached.
+//
+// allowForward is false for flights opened by the peer-lookup handler:
+// an owner answers locally even when its membership view disagrees, so
+// a forward chain is at most origin → owner and can never loop.
+func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, dims int, req *MapRequest, allowForward bool) (*flightOutcome, error) {
+	// An earlier flight may have landed between the caller's cache
+	// lookup and taking flight leadership — don't search (or forward)
+	// twice. Checked before admission: a hit needs no pool slot.
+	if v, ok := s.cache.Get(key); ok {
+		return &flightOutcome{res: v.(*schedule.JointResult), fromCache: true}, nil
+	}
+	fellBack := false
+	if allowForward {
+		out, err, verdict := s.tryPeerLookup(ctx, key, canon, dims, req)
+		switch verdict {
+		case peerDone:
+			return out, err
+		case peerFailed:
+			// Owner unreachable or answered garbage: degrade to a local
+			// search so one dead node never takes its keys down, then
+			// push the result to the owner for cluster convergence.
+			fellBack = true
+		}
+	}
 	// ctx descends (via context.WithoutCancel) from the flight leader's
 	// request context, so its stage timer — when the request came over
 	// HTTP — is visible here even though the flight may outlive the
@@ -564,8 +654,6 @@ func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, d
 		return nil, err
 	}
 	defer release()
-	// An earlier flight may have landed between our cache lookup
-	// and taking flight leadership — don't search twice.
 	if v, ok := s.cache.Get(key); ok {
 		return &flightOutcome{res: v.(*schedule.JointResult), fromCache: true}, nil
 	}
@@ -588,7 +676,10 @@ func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, d
 		return nil, err
 	}
 	s.met.observeSearchStats(res.Stats)
-	s.cache.Add(key, res)
+	s.cache.Add(key, res, estimateResultBytes(key, res))
+	if fellBack {
+		s.fillOwnerAsync(key, canon, dims, req, res)
+	}
 	return &flightOutcome{res: res}, nil
 }
 

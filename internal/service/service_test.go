@@ -14,9 +14,9 @@ import (
 
 func TestLRUCacheEvictsOldest(t *testing.T) {
 	c := newLRUCache(2)
-	c.Add("a", 1)
-	c.Add("b", 2)
-	c.Add("c", 3) // evicts a
+	c.Add("a", 1, 10)
+	c.Add("b", 2, 10)
+	c.Add("c", 3, 10) // evicts a
 	if _, ok := c.Get("a"); ok {
 		t.Error("a survived eviction")
 	}
@@ -24,16 +24,29 @@ func TestLRUCacheEvictsOldest(t *testing.T) {
 		t.Errorf("b = %v, %v", v, ok)
 	}
 	// b is now most recent; adding d evicts c.
-	c.Add("d", 4)
+	c.Add("d", 4, 10)
 	if _, ok := c.Get("c"); ok {
 		t.Error("c survived eviction despite b's promotion")
 	}
 	if c.Len() != 2 {
 		t.Errorf("Len = %d, want 2", c.Len())
 	}
+	if entries, evictions, bytes := c.Stats(); entries != 2 || evictions != 2 || bytes != 20 {
+		t.Errorf("Stats = (%d, %d, %d), want (2, 2, 20)", entries, evictions, bytes)
+	}
+	// Refreshing an entry replaces its size contribution, not adds to it.
+	c.Add("d", 5, 30)
+	if _, _, bytes := c.Stats(); bytes != 40 {
+		t.Errorf("bytes after refresh = %d, want 40", bytes)
+	}
 	c.Flush()
 	if c.Len() != 0 {
 		t.Errorf("Len after Flush = %d", c.Len())
+	}
+	// Flush zeroes occupancy but preserves the eviction counter — it
+	// measures capacity pressure, not operator action.
+	if entries, evictions, bytes := c.Stats(); entries != 0 || evictions != 2 || bytes != 0 {
+		t.Errorf("Stats after Flush = (%d, %d, %d), want (0, 2, 0)", entries, evictions, bytes)
 	}
 }
 
@@ -355,7 +368,7 @@ func TestRunSearchReportsCacheLanding(t *testing.T) {
 	}
 	canon := Canonicalize(algo)
 	key := fmt.Sprintf("%s|dims=%d|me=%d|ww=%d|mc=%d", canon.Key, 1, 0, 0, 0)
-	out, err := s.runSearch(context.Background(), key, canon, 1, req)
+	out, err := s.runSearch(context.Background(), key, canon, 1, req, true)
 	if err != nil {
 		t.Fatal(err)
 	}

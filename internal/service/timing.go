@@ -19,6 +19,7 @@ const (
 	stageDecode = iota
 	stageCanonicalize
 	stageQueue
+	stageForward // clustered only: the wait on the key owner's answer
 	stageSearch
 	stageTranslate
 	stageEncode
@@ -26,7 +27,7 @@ const (
 )
 
 // stageNames indexes the taxonomy for headers, metrics and logs.
-var stageNames = [numStages]string{"decode", "canonicalize", "queue", "search", "translate", "encode"}
+var stageNames = [numStages]string{"decode", "canonicalize", "queue", "forward", "search", "translate", "encode"}
 
 // reqTimer accumulates one request's stage durations. Writes go through
 // atomics because a map flight outlives a leader that timed out: the

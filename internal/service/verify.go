@@ -115,7 +115,9 @@ func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*Verif
 		// a resource limit or arithmetic overflow on this input.
 		return nil, CacheMiss, &BadRequestError{Err: err}
 	}
-	s.cache.Add(key, cert)
+	// Certificates are small and witness-bounded; a flat size hint keeps
+	// the bytes gauge honest without walking the witness lists.
+	s.cache.Add(key, cert, int64(len(key))+1024)
 	return s.verifyResponse(ctx, canon, colPerm, key, cert), CacheMiss, nil
 }
 
