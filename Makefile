@@ -3,14 +3,15 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all check build test vet fmtcheck bench bench-diff race race-hot cluster-e2e loadgen fuzz cover experiments examples golden serve clean
+.PHONY: all check build test vet fmtcheck bench bench-diff race race-hot cluster-e2e loadgen corpus corpus-check fuzz cover experiments examples golden serve clean
 
 all: build vet test
 
-# The default pre-commit gate: build, vet, formatting, full tests, plus
-# the race detector on the concurrent search packages (the full -race
-# run is `make race`).
-check: build vet fmtcheck test race-hot
+# The default pre-commit gate: build, vet, formatting, full tests, the
+# race detector on the concurrent search packages (the full -race run
+# is `make race`), and a stratified replay of the committed scenario
+# corpus against today's engines.
+check: build vet fmtcheck test race-hot corpus-check
 
 build:
 	$(GO) build ./...
@@ -30,7 +31,7 @@ race:
 	$(GO) test -race ./...
 
 race-hot:
-	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/cluster/... ./internal/verify/... ./internal/trace/...
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/cluster/... ./internal/verify/... ./internal/trace/... ./internal/jobs/...
 
 # The multi-node federation tests: an in-process 3-node cluster under
 # the race detector (distributed singleflight, peer cache-fill, peer
@@ -47,6 +48,19 @@ LOADGEN_OUT ?= BENCH_pr7_cluster.json
 loadgen:
 	$(GO) run ./cmd/maploadgen -inproc 3 -n 1200 -problems 48 -concurrency 16 -seed 1 \
 		-slo-error-rate 0 -slo-hit-ratio 0.5 -json $(LOADGEN_OUT)
+
+# Regenerate the committed scenario corpus (only needed when the
+# generator or the families change; the manifest is deterministic for
+# the seed, so an unchanged generator reproduces it byte for byte).
+corpus:
+	$(GO) run ./cmd/mapcorpus gen -n 10000 -seed 7 -out corpus/manifest.jsonl
+
+# Differential regression oracle: replay a deterministic stratified
+# sample of the committed corpus through the engines and the
+# independent verifier; any divergence from the recorded outcomes
+# fails the build.
+corpus-check:
+	$(GO) run ./cmd/mapcorpus check -manifest corpus/manifest.jsonl -sample 500 -seed 1
 
 # Benchmarks, normalized to JSON comparable against BENCH_baseline.json
 # (regenerate the baseline with `make bench BENCHTIME=2s > BENCH_baseline.json`

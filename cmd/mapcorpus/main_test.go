@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lodim/internal/corpus"
+)
+
+func TestGenCheckRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "manifest.jsonl")
+	ctx := context.Background()
+
+	var out, errw bytes.Buffer
+	if code := run(ctx, []string{"gen", "-n", "50", "-seed", "3", "-out", manifest}, &out, &errw); code != 0 {
+		t.Fatalf("gen exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "generated 50 instances") {
+		t.Fatalf("gen summary: %q", errw.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run(ctx, []string{"check", "-manifest", manifest, "-sample", "20"}, &out, &errw); code != 0 {
+		t.Fatalf("check exit %d: %s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), "0 divergences") {
+		t.Fatalf("check summary: %q", errw.String())
+	}
+
+	// Tamper with one recorded outcome: the checker must fail and name
+	// the instance.
+	meta, insts, err := corpus.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := ""
+	for i := range insts {
+		if insts[i].Feasible {
+			insts[i].TotalTime++
+			tampered = insts[i].ID
+			break
+		}
+	}
+	f, err := os.Create(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.Write(f, meta, insts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out.Reset()
+	errw.Reset()
+	if code := run(ctx, []string{"check", "-manifest", manifest, "-sample", "0"}, &out, &errw); code != 1 {
+		t.Fatalf("check of tampered manifest exit %d, want 1: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "DIVERGENCE "+tampered) {
+		t.Fatalf("divergence report %q does not name %s", out.String(), tampered)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(context.Background(), nil, &out, &errw); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"frobnicate"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"check", "-manifest", "/nonexistent/x.jsonl"}, &out, &errw); code != 2 {
+		t.Fatalf("missing manifest: exit %d, want 2", code)
+	}
+}

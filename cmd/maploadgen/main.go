@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"lodim/internal/cluster"
+	scenarios "lodim/internal/corpus"
 	"lodim/internal/service"
 )
 
@@ -46,6 +47,7 @@ type config struct {
 	inproc      int
 	n           int
 	problems    int
+	corpusPath  string
 	rps         float64
 	concurrency int
 	dims        int
@@ -67,6 +69,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.inproc, "inproc", 0, "spin up an in-process cluster of this many nodes instead of -targets")
 	fs.IntVar(&cfg.n, "n", 1000, "total requests to issue")
 	fs.IntVar(&cfg.problems, "problems", 64, "distinct base problems in the corpus")
+	fs.StringVar(&cfg.corpusPath, "corpus", "", "drive the feasible instances of a mapcorpus manifest instead of the synthetic corpus (-problems and -dims are then ignored)")
 	fs.Float64Var(&cfg.rps, "rps", 0, "aggregate request rate (0 = unpaced)")
 	fs.IntVar(&cfg.concurrency, "concurrency", 16, "concurrent client workers")
 	fs.IntVar(&cfg.dims, "dims", 1, "target array dimensionality of every request")
@@ -122,6 +125,8 @@ type problem struct {
 	Bounds       []int64   `json:"bounds"`
 	Dependencies [][]int64 `json:"dependencies"`
 	Dims         int       `json:"dims"`
+	MaxEntry     int64     `json:"max_entry,omitempty"`
+	MaxCost      int64     `json:"max_cost,omitempty"`
 }
 
 // corpus generates cfg.n request bodies over cfg.problems distinct base
@@ -158,12 +163,48 @@ func corpus(cfg *config) []problem {
 	return out
 }
 
+// manifestCorpus generates cfg.n request bodies from the feasible
+// instances of a mapcorpus manifest, each a random axis permutation of
+// one instance, and returns the per-request family labels so the
+// report can attribute hit ratios per scenario family.
+func manifestCorpus(cfg *config) ([]problem, []string, error) {
+	_, insts, err := scenarios.ReadFile(cfg.corpusPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	feasible := insts[:0:0]
+	for _, inst := range insts {
+		if inst.Feasible {
+			feasible = append(feasible, inst)
+		}
+	}
+	if len(feasible) == 0 {
+		return nil, nil, fmt.Errorf("manifest %s has no feasible instances", cfg.corpusPath)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	out := make([]problem, cfg.n)
+	families := make([]string, cfg.n)
+	for i := range out {
+		inst := feasible[i%len(feasible)]
+		if i >= len(feasible) {
+			inst = feasible[rng.Intn(len(feasible))]
+		}
+		base := problem{
+			Bounds: inst.Bounds, Dependencies: inst.Dependencies, Dims: inst.Dims,
+			MaxEntry: inst.MaxEntry, MaxCost: inst.MaxCost,
+		}
+		out[i] = permute(rng, base)
+		families[i] = inst.Family
+	}
+	return out, families, nil
+}
+
 // permute relabels a problem's axes by a random permutation — a
 // different JSON body, the same canonical problem.
 func permute(rng *rand.Rand, p problem) problem {
 	n := len(p.Bounds)
 	perm := rng.Perm(n)
-	out := problem{Bounds: make([]int64, n), Dependencies: make([][]int64, len(p.Dependencies)), Dims: p.Dims}
+	out := problem{Bounds: make([]int64, n), Dependencies: make([][]int64, len(p.Dependencies)), Dims: p.Dims, MaxEntry: p.MaxEntry, MaxCost: p.MaxCost}
 	for i, ax := range perm {
 		out.Bounds[i] = p.Bounds[ax]
 	}
@@ -292,7 +333,17 @@ func run(cfg *config, text io.Writer) (*report, bool, error) {
 		defer shutdown()
 	}
 
-	probs := corpus(cfg)
+	var probs []problem
+	var families []string
+	if cfg.corpusPath != "" {
+		var err error
+		probs, families, err = manifestCorpus(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+	} else {
+		probs = corpus(cfg)
+	}
 	bodies := make([][]byte, len(probs))
 	for i, p := range probs {
 		b, err := json.Marshal(p)
@@ -348,7 +399,7 @@ func run(cfg *config, text io.Writer) (*report, bool, error) {
 		close(stopPace)
 	}
 
-	rep := summarize(cfg, d.results, wall)
+	rep := summarize(cfg, families, d.results, wall)
 	pass := evaluateSLOs(cfg, rep)
 	writeText(text, cfg, rep)
 	return rep, pass, nil
@@ -375,7 +426,18 @@ type report struct {
 	LatencyMS map[string]float64 `json:"latency_ms"`
 	Cache     map[string]int     `json:"cache"`
 	Ratios    map[string]float64 `json:"ratios"`
-	SLOs      []sloVerdict       `json:"slos"`
+	// Families attributes outcomes per scenario family when the corpus
+	// comes from a mapcorpus manifest (-corpus).
+	Families map[string]*famStats `json:"families,omitempty"`
+	SLOs     []sloVerdict         `json:"slos"`
+}
+
+// famStats is one scenario family's slice of a corpus-driven run.
+type famStats struct {
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Hits     int     `json:"hits"`
+	HitRatio float64 `json:"hit_ratio"`
 }
 
 type sloVerdict struct {
@@ -385,7 +447,7 @@ type sloVerdict struct {
 	Pass   bool    `json:"pass"`
 }
 
-func summarize(cfg *config, results []outcome, wall time.Duration) *report {
+func summarize(cfg *config, families []string, results []outcome, wall time.Duration) *report {
 	rep := &report{
 		Tool: "maploadgen", GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		Targets: cfg.targets, Requests: len(results), Problems: cfg.problems,
@@ -442,6 +504,30 @@ func summarize(cfg *config, results []outcome, wall time.Duration) *report {
 		rep.Ratios["search"] = searches / ok
 	}
 	rep.Ratios["error_rate"] = float64(rep.Errors) / float64(len(results))
+	if len(families) == len(results) && len(families) > 0 {
+		rep.Families = map[string]*famStats{}
+		for i, r := range results {
+			fs := rep.Families[families[i]]
+			if fs == nil {
+				fs = &famStats{}
+				rep.Families[families[i]] = fs
+			}
+			fs.Requests++
+			if r.err != nil || r.status != http.StatusOK {
+				continue
+			}
+			fs.OK++
+			switch r.cache {
+			case "hit", "peer_hit", "shared", "peer_shared":
+				fs.Hits++
+			}
+		}
+		for _, fs := range rep.Families {
+			if fs.OK > 0 {
+				fs.HitRatio = float64(fs.Hits) / float64(fs.OK)
+			}
+		}
+	}
 	return rep
 }
 
@@ -490,6 +576,17 @@ func writeText(w io.Writer, cfg *config, rep *report) {
 	fmt.Fprintf(w, "  cache: %v\n", rep.Cache)
 	fmt.Fprintf(w, "  ratios: local_hit %.3f, peer_hit %.3f, aggregate_hit %.3f, search %.3f, error_rate %.4f\n",
 		rep.Ratios["local_hit"], rep.Ratios["peer_hit"], rep.Ratios["aggregate_hit"], rep.Ratios["search"], rep.Ratios["error_rate"])
+	if len(rep.Families) > 0 {
+		fams := make([]string, 0, len(rep.Families))
+		for f := range rep.Families {
+			fams = append(fams, f)
+		}
+		sort.Strings(fams)
+		for _, f := range fams {
+			fs := rep.Families[f]
+			fmt.Fprintf(w, "  family %-12s requests %4d, ok %4d, hit_ratio %.3f\n", f, fs.Requests, fs.OK, fs.HitRatio)
+		}
+	}
 	for _, s := range rep.SLOs {
 		verdict := "PASS"
 		if !s.Pass {

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"context"
+	"os"
+	"path/filepath"
+
 	"io"
+	scenarios "lodim/internal/corpus"
 	"sort"
 	"testing"
 	"time"
@@ -143,5 +148,73 @@ func TestRunInprocCluster(t *testing.T) {
 	}
 	if time.Since(start) > 60*time.Second {
 		t.Errorf("load test took %v", time.Since(start))
+	}
+}
+
+// TestRunWithManifestCorpus: a corpus-driven run against an in-process
+// cluster reports per-family request counts and hit ratios. Repeats of
+// each base instance (in permuted axis orders) must land in caches, so
+// every family's hit ratio is strictly positive.
+func TestRunWithManifestCorpus(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "manifest.jsonl")
+	meta, insts, err := scenarios.Generate(context.Background(), 11, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenarios.Write(f, meta, insts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfg, err := parseFlags([]string{
+		"-inproc", "2", "-n", "120", "-corpus", manifest,
+		"-concurrency", "4", "-seed", "5", "-slo-error-rate", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, pass, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass || rep.Errors != 0 {
+		t.Fatalf("corpus run failed: errors=%d slos=%+v statuses=%v", rep.Errors, rep.SLOs, rep.ByStatus)
+	}
+	if len(rep.Families) == 0 {
+		t.Fatal("corpus-driven report has no family breakdown")
+	}
+	total := 0
+	for fam, fs := range rep.Families {
+		total += fs.Requests
+		if fs.OK != fs.Requests {
+			t.Errorf("family %s: ok %d of %d requests", fam, fs.OK, fs.Requests)
+		}
+		// Every feasible base repeats many times across 120 requests,
+		// so each family must see cache hits.
+		if fs.HitRatio <= 0 {
+			t.Errorf("family %s: hit ratio %.3f, want > 0 (%+v)", fam, fs.HitRatio, fs)
+		}
+	}
+	if total != 120 {
+		t.Errorf("family requests sum to %d, want 120", total)
+	}
+
+	// The manifest corpus is deterministic for a seed.
+	p1, f1, err := manifestCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, f2, err := manifestCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if !sameProblem(p1[i], p2[i]) || f1[i] != f2[i] {
+			t.Fatalf("manifest corpus not deterministic at %d", i)
+		}
 	}
 }

@@ -72,6 +72,11 @@ type config struct {
 	traceDir     string
 	traceSlowest int
 
+	// Async job tier (empty jobsDir = disabled).
+	jobsDir    string
+	jobWorkers int
+	jobQueue   int
+
 	// Cluster membership (all empty = single node).
 	nodeID    string
 	advertise string
@@ -98,6 +103,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 64, "completed request traces kept for the /debug/requests inspector (0 = tracing off)")
 	fs.StringVar(&cfg.traceDir, "trace-dir", "", "export the slowest traces per endpoint as Perfetto JSON into this directory (empty = disabled)")
 	fs.IntVar(&cfg.traceSlowest, "trace-slowest", 8, "slowest traces retained per endpoint in -trace-dir")
+	fs.StringVar(&cfg.jobsDir, "jobs-dir", "", "spool directory for the durable async job tier (empty = /v1/jobs disabled)")
+	fs.IntVar(&cfg.jobWorkers, "job-workers", 0, "async job executor goroutines (0 = default)")
+	fs.IntVar(&cfg.jobQueue, "job-queue", 0, "queued jobs allowed per tenant before 429 (0 = default)")
 	var peersFlag string
 	fs.StringVar(&cfg.nodeID, "node-id", "", "this node's cluster identity (required with -peers)")
 	fs.StringVar(&cfg.advertise, "advertise", "", "URL peers use to reach this node, e.g. http://10.0.0.1:8080 (required with -peers)")
@@ -144,6 +152,22 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if cfg.traceDir != "" && cfg.traceBuffer == 0 {
 		return nil, errors.New("-trace-dir requires tracing: set -trace-buffer > 0")
+	}
+	if cfg.jobWorkers < 0 {
+		return nil, fmt.Errorf("-job-workers must be >= 0, got %d", cfg.jobWorkers)
+	}
+	if cfg.jobQueue < 0 {
+		return nil, fmt.Errorf("-job-queue must be >= 0, got %d", cfg.jobQueue)
+	}
+	if cfg.jobsDir == "" && (cfg.jobWorkers != 0 || cfg.jobQueue != 0) {
+		return nil, errors.New("-job-workers and -job-queue require -jobs-dir")
+	}
+	if cfg.jobsDir != "" {
+		// Probe the spool now: a bad path should be a flag error (exit
+		// 2), not a panic inside service.New.
+		if err := os.MkdirAll(cfg.jobsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("-jobs-dir: %w", err)
+		}
 	}
 	if err := parseClusterFlags(cfg, peersFlag); err != nil {
 		return nil, err
@@ -248,6 +272,14 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string)
 		MaxTimeout:     cfg.maxTimeout,
 		Logger:         newLogger(cfg.logFormat),
 		TraceBuffer:    cfg.traceBuffer,
+	}
+	if cfg.jobsDir != "" {
+		scfg.Jobs = &service.JobsConfig{
+			Dir:            cfg.jobsDir,
+			Workers:        cfg.jobWorkers,
+			PerTenantQueue: cfg.jobQueue,
+		}
+		log.Printf("mapserve: async job tier spooling to %s", cfg.jobsDir)
 	}
 	if cfg.nodeID != "" {
 		scfg.Cluster = &service.ClusterConfig{

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
@@ -49,6 +50,11 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"negative trace buffer", []string{"-trace-buffer", "-1"}},
 		{"zero trace slowest", []string{"-trace-slowest", "0"}},
 		{"trace dir without tracing", []string{"-trace-buffer", "0", "-trace-dir", "/tmp/x"}},
+		{"negative job workers", []string{"-jobs-dir", "/tmp/spool", "-job-workers", "-1"}},
+		{"negative job queue", []string{"-jobs-dir", "/tmp/spool", "-job-queue", "-1"}},
+		{"job workers without spool", []string{"-job-workers", "2"}},
+		{"job queue without spool", []string{"-job-queue", "8"}},
+		{"unusable jobs dir", []string{"-jobs-dir", "/dev/null/spool"}},
 	}
 	for _, c := range cases {
 		if _, err := parseFlags(c.args); err == nil {
@@ -317,5 +323,93 @@ func TestParseClusterFlags(t *testing.T) {
 		if _, err := parseFlags(c.args); err == nil {
 			t.Errorf("%s: accepted %v", c.name, c.args)
 		}
+	}
+}
+
+// TestRunJobTier: a server started with -jobs-dir serves the async job
+// endpoints end to end — submit, poll to done, replay the result — and
+// drains cleanly with the job tier active.
+func TestRunJobTier(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-pool", "1", "-drain", "5s",
+		"-jobs-dir", filepath.Join(t.TempDir(), "spool"),
+		"-job-workers", "1", "-job-queue", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(cfg, sigCh, func(addr, _ string) { addrCh <- addr }, nil)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	body := strings.NewReader(`{"map":{"bounds":[2,3,4],"dependencies":[[1,0,0],[0,1,0],[0,0,1]],"dims":1}}`)
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var jr struct {
+		ID    string `json:"job_id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(data, &jr); err != nil || jr.ID == "" {
+		t.Fatalf("submit response: %v (%s)", err, data)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for jr.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jr.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get("http://" + addr + "/v1/jobs/" + jr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("poll: %d %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = http.Get("http://" + addr + "/v1/jobs/" + jr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var mr struct {
+		TotalTime int64 `json:"total_time"`
+	}
+	if resp.StatusCode != 200 || json.Unmarshal(data, &mr) != nil || mr.TotalTime == 0 {
+		t.Fatalf("result: %d %s", resp.StatusCode, data)
+	}
+
+	sigCh <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
 	}
 }

@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lodim/internal/schedule"
+	"lodim/internal/verify"
+)
+
+// The check path is the regression oracle: each sampled instance is
+// re-solved by today's engine and compared against the recorded
+// outcome, then — when feasible — the winning mapping is certified by
+// the independent verification engine, which re-derives schedule
+// validity, conflict-freedom, and the total time from first
+// principles. A divergence on any axis fails the check.
+
+// CheckInstance replays one instance. It returns nil when the engine
+// and verifier reproduce the recorded outcome exactly.
+func CheckInstance(ctx context.Context, inst *Instance) error {
+	algo, err := inst.Algorithm()
+	if err != nil {
+		return err
+	}
+	res, err := schedule.FindJointMappingContext(ctx, algo, inst.Dims, inst.spaceOptions())
+	if errors.Is(err, schedule.ErrNoSchedule) {
+		if inst.Feasible {
+			return fmt.Errorf("corpus: %s: engine reports infeasible, manifest recorded total_time=%d processors=%d",
+				inst.ID, inst.TotalTime, inst.Processors)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("corpus: %s: engine: %w", inst.ID, err)
+	}
+	if !inst.Feasible {
+		return fmt.Errorf("corpus: %s: engine found a mapping (time=%d), manifest recorded infeasible", inst.ID, res.Time)
+	}
+	if res.Time != inst.TotalTime || res.Processors != inst.Processors {
+		return fmt.Errorf("corpus: %s: engine outcome time=%d processors=%d, manifest recorded time=%d processors=%d",
+			inst.ID, res.Time, res.Processors, inst.TotalTime, inst.Processors)
+	}
+	// Independent certification of the engine's winner. Optimality
+	// analysis is skipped — the manifest already pins the optimum; the
+	// certificate must confirm validity, conflict-freedom, and the
+	// recorded total time.
+	cert, err := verify.CertifyContext(ctx, algo, res.Mapping.S, res.Mapping.Pi, &verify.Options{SkipOptimality: true})
+	if err != nil {
+		return fmt.Errorf("corpus: %s: verifier: %w", inst.ID, err)
+	}
+	if !cert.Valid || !cert.ConflictFree {
+		return fmt.Errorf("corpus: %s: verifier rejected the engine's mapping: %s (%s)",
+			inst.ID, cert.FailedWitness, cert.FailedDetail)
+	}
+	if cert.TotalTime != inst.TotalTime {
+		return fmt.Errorf("corpus: %s: verifier total time %d, manifest recorded %d", inst.ID, cert.TotalTime, inst.TotalTime)
+	}
+	return nil
+}
+
+// Divergence pairs a failed instance with its mismatch, for reporting.
+type Divergence struct {
+	ID  string
+	Err error
+}
+
+// CheckSample replays a deterministic stratified sample of n
+// instances across workers and collects every divergence (it does not
+// stop at the first, so a report names all regressed instances).
+func CheckSample(ctx context.Context, insts []Instance, n int, seed uint64, workers int) ([]Divergence, error) {
+	sample := Sample(insts, n, seed)
+	divs := make([]Divergence, len(sample))
+	err := forAll(ctx, len(sample), workers, func(i int) error {
+		if cerr := CheckInstance(ctx, &sample[i]); cerr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			divs[i] = Divergence{ID: sample[i].ID, Err: cerr}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := divs[:0]
+	for _, d := range divs {
+		if d.Err != nil {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

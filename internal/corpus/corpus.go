@@ -1,0 +1,401 @@
+// Package corpus generates, stores, and replays the committed
+// scenario corpus: a large seeded set of mapping problems — classic
+// algorithm families, bit-level variants, and adversarial edge cases —
+// each carrying the outcome the engines produced when the corpus was
+// built (feasibility, total execution time, processor count). The
+// committed manifest is a regression oracle: replaying a stratified
+// sample through today's engines and the independent verifier must
+// reproduce every recorded outcome exactly.
+//
+// Determinism is the load-bearing property. Every instance is derived
+// from its own RNG, seeded by (corpus seed, family, index), so a
+// single instance can be regenerated without materializing its
+// predecessors, and the same seed always yields a byte-identical
+// manifest. Outcomes are deterministic because the engines are: the
+// joint search returns the same winner at any worker count.
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// Families lists the scenario families in manifest order. The split
+// leans on the paper's running examples (matrix product, transitive
+// closure, convolution and its bit-level form) plus an adversarial
+// family of degenerate, duplicated, wide, infeasible, and huge-bound
+// instances.
+var Families = []string{"matmul", "transitive", "convolution", "bitlevel", "adversarial"}
+
+// familyShare is each family's share of the corpus in percent,
+// parallel to Families.
+var familyShare = []int{25, 15, 25, 15, 20}
+
+// Meta is the manifest's first line: everything needed to regenerate
+// or sample the corpus.
+type Meta struct {
+	Corpus  string `json:"corpus"`
+	Version int    `json:"version"`
+	Seed    uint64 `json:"seed"`
+	Count   int    `json:"count"`
+	// Families maps each family to its instance count; instance IDs are
+	// "<family>/<index>" with indices 0..count-1.
+	Families map[string]int `json:"families"`
+}
+
+// Instance is one scenario: the problem statement plus the recorded
+// engine outcome. The problem fields mirror the service's map request
+// (dependence vectors as rows), so an instance converts directly into
+// an API body or a library call.
+type Instance struct {
+	ID           string    `json:"id"`
+	Family       string    `json:"family"`
+	Bounds       []int64   `json:"bounds"`
+	Dependencies [][]int64 `json:"dependencies"`
+	Dims         int       `json:"dims"`
+	MaxEntry     int64     `json:"max_entry,omitempty"`
+	MaxCost      int64     `json:"max_cost,omitempty"`
+
+	// Recorded outcome: Feasible reports whether a conflict-free
+	// mapping exists within the instance's bounds; TotalTime and
+	// Processors are the optimum's figures when it does.
+	Feasible   bool  `json:"feasible"`
+	TotalTime  int64 `json:"total_time,omitempty"`
+	Processors int64 `json:"processors,omitempty"`
+}
+
+// instanceRand derives the instance's private RNG. FNV-64a over the
+// (seed, family, index) triple keeps instances independently
+// regenerable: no instance's randomness depends on any other's.
+func instanceRand(seed uint64, family string, idx int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, family, idx)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Plan splits count instances across the families by familyShare,
+// handing remainder instances to the earliest families.
+func Plan(count int) map[string]int {
+	plan := make(map[string]int, len(Families))
+	total := 0
+	for i, fam := range Families {
+		n := count * familyShare[i] / 100
+		plan[fam] = n
+		total += n
+	}
+	for i := 0; total < count; i++ {
+		plan[Families[i%len(Families)]]++
+		total++
+	}
+	return plan
+}
+
+// NewInstance generates the problem statement of instance idx of a
+// family (outcome fields unset — see Solve).
+func NewInstance(seed uint64, family string, idx int) Instance {
+	r := instanceRand(seed, family, idx)
+	inst := Instance{
+		ID:     fmt.Sprintf("%s/%05d", family, idx),
+		Family: family,
+		Dims:   1,
+	}
+	unit := func(n, i int) []int64 {
+		d := make([]int64, n)
+		d[i] = 1
+		return d
+	}
+	bounds := func(n int, lo, hi int64) []int64 {
+		b := make([]int64, n)
+		for i := range b {
+			b[i] = lo + r.Int63n(hi-lo+1)
+		}
+		return b
+	}
+	switch family {
+	case "matmul":
+		// Matrix product (Example 2.1): three unit dependences over a
+		// 3-D index set; every fourth instance targets a 2-D array.
+		inst.Bounds = bounds(3, 2, 7)
+		inst.Dependencies = [][]int64{unit(3, 0), unit(3, 1), unit(3, 2)}
+		if idx%4 == 0 {
+			inst.Dims = 2
+		}
+	case "transitive":
+		// Transitive closure: the unit dependences plus a pipelining
+		// dependence with a negative component, which forces the
+		// schedule cone off the all-ones axis.
+		inst.Bounds = bounds(3, 2, 4)
+		inst.Dependencies = [][]int64{unit(3, 0), unit(3, 1), unit(3, 2), {1, 0, -1}}
+	case "convolution":
+		// Convolution (Example 5.1): n = 2 with dependence vectors
+		// (1,0), (1,1), (0,1).
+		inst.Bounds = bounds(2, 2, 12)
+		inst.Dependencies = [][]int64{{1, 0}, {1, 1}, {0, 1}}
+	case "bitlevel":
+		// Bit-level convolution: a 4-D index set over small word
+		// bounds, unit dependences plus a word-coupling vector; the
+		// search is explicitly pinned to |s_ij| ≤ 1.
+		inst.Bounds = bounds(4, 1, 3)
+		inst.Dependencies = [][]int64{
+			unit(4, 0), unit(4, 1), unit(4, 2), unit(4, 3), {1, 1, 0, 0},
+		}
+		inst.MaxEntry = 1
+		if idx%5 == 0 {
+			inst.Dims = 2
+		}
+	case "adversarial":
+		switch idx % 5 {
+		case 0:
+			// Degenerate: a size-1 axis collapses the index set.
+			inst.Bounds = []int64{1, 2 + r.Int63n(3), 2 + r.Int63n(6)}
+			inst.Dependencies = [][]int64{unit(3, 0), unit(3, 1), unit(3, 2)}
+			r.Shuffle(len(inst.Bounds), func(i, j int) {
+				inst.Bounds[i], inst.Bounds[j] = inst.Bounds[j], inst.Bounds[i]
+			})
+		case 1:
+			// Duplicated dependence columns must not change the answer.
+			inst.Bounds = bounds(3, 2, 5)
+			inst.Dependencies = [][]int64{unit(3, 0), unit(3, 0), {0, 1, 1}, {0, 1, 1}}
+		case 2:
+			// Wide entries: dependences with components up to ±3; the
+			// leading +1 keeps a schedule certain to exist.
+			inst.Bounds = bounds(3, 2, 4)
+			m := 2 + r.Intn(3)
+			deps := make([][]int64, m)
+			for i := range deps {
+				deps[i] = []int64{1 + r.Int63n(3), r.Int63n(7) - 3, r.Int63n(7) - 3}
+			}
+			inst.Dependencies = deps
+		case 3:
+			// Provably infeasible: the convolution dependences need
+			// π ≥ (1,1), so Σ|π_i|μ_i ≥ μ₁+μ₂ ≥ 4 > MaxCost.
+			inst.Bounds = bounds(2, 2, 9)
+			inst.Dependencies = [][]int64{{1, 0}, {1, 1}, {0, 1}}
+			inst.MaxCost = 1
+		default:
+			// Huge bounds: exercises the overflow-guarded arithmetic of
+			// total time and processor counting.
+			inst.Bounds = bounds(2, 50, 500)
+			inst.Dependencies = [][]int64{{1, 0}, {0, 1}}
+		}
+	default:
+		panic("corpus: unknown family " + family)
+	}
+	return inst
+}
+
+// Algorithm rebuilds the instance's uniform dependence algorithm
+// (dependence rows become the columns of D).
+func (inst *Instance) Algorithm() (*uda.Algorithm, error) {
+	n := len(inst.Bounds)
+	d := intmat.New(n, len(inst.Dependencies))
+	for c, dep := range inst.Dependencies {
+		if len(dep) != n {
+			return nil, fmt.Errorf("corpus: %s: dependence %d has %d entries, want %d", inst.ID, c+1, len(dep), n)
+		}
+		d.SetCol(c, dep)
+	}
+	algo := &uda.Algorithm{
+		Name: inst.ID,
+		Set:  uda.IndexSet{Upper: append(intmat.Vector{}, inst.Bounds...)},
+		D:    d,
+	}
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	return algo, nil
+}
+
+// spaceOptions translates the instance knobs into search options.
+func (inst *Instance) spaceOptions() *schedule.SpaceOptions {
+	return &schedule.SpaceOptions{
+		MaxEntry: inst.MaxEntry,
+		Schedule: schedule.Options{MaxCost: inst.MaxCost},
+	}
+}
+
+// Solve runs the joint search and records the outcome in place. A
+// definite ErrNoSchedule is an outcome (Feasible=false), not an error.
+func Solve(ctx context.Context, inst *Instance) error {
+	algo, err := inst.Algorithm()
+	if err != nil {
+		return err
+	}
+	res, err := schedule.FindJointMappingContext(ctx, algo, inst.Dims, inst.spaceOptions())
+	if errors.Is(err, schedule.ErrNoSchedule) {
+		inst.Feasible = false
+		inst.TotalTime = 0
+		inst.Processors = 0
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("corpus: %s: %w", inst.ID, err)
+	}
+	inst.Feasible = true
+	inst.TotalTime = res.Time
+	inst.Processors = res.Processors
+	return nil
+}
+
+// Generate builds the full corpus for a seed: every family's problem
+// statements, solved in parallel by workers (≤ 0 selects NumCPU). The
+// returned slice is in manifest order (Families order, then index).
+func Generate(ctx context.Context, seed uint64, count, workers int) (Meta, []Instance, error) {
+	plan := Plan(count)
+	insts := make([]Instance, 0, count)
+	for _, fam := range Families {
+		for idx := 0; idx < plan[fam]; idx++ {
+			insts = append(insts, NewInstance(seed, fam, idx))
+		}
+	}
+	if err := solveAll(ctx, insts, workers); err != nil {
+		return Meta{}, nil, err
+	}
+	meta := Meta{
+		Corpus:   "lodim-scenarios",
+		Version:  1,
+		Seed:     seed,
+		Count:    len(insts),
+		Families: plan,
+	}
+	return meta, insts, nil
+}
+
+// solveAll records outcomes for every instance, fanning the engine
+// runs across workers.
+func solveAll(ctx context.Context, insts []Instance, workers int) error {
+	return forAll(ctx, len(insts), workers, func(i int) error {
+		return Solve(ctx, &insts[i])
+	})
+}
+
+// forAll runs fn over [0,n) on a bounded worker pool (workers ≤ 0
+// selects NumCPU). The first returned error cancels the sweep and is
+// returned.
+func forAll(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Sample draws a deterministic stratified sample of n instances:
+// each family contributes in proportion to its corpus share, chosen
+// by a sampler RNG derived from the seed. Instances keep manifest
+// order within the sample.
+func Sample(insts []Instance, n int, seed uint64) []Instance {
+	if n >= len(insts) {
+		return insts
+	}
+	byFamily := make(map[string][]int)
+	for i, inst := range insts {
+		byFamily[inst.Family] = append(byFamily[inst.Family], i)
+	}
+	r := instanceRand(seed, "sample", n)
+	picked := make([]int, 0, n)
+	// Family quota by exact share of the live corpus; remainders go to
+	// the earliest families, mirroring Plan.
+	total := len(insts)
+	quota := make(map[string]int, len(byFamily))
+	used := 0
+	for _, fam := range Families {
+		q := n * len(byFamily[fam]) / total
+		quota[fam] = q
+		used += q
+	}
+	for i := 0; used < n; i++ {
+		fam := Families[i%len(Families)]
+		if quota[fam] < len(byFamily[fam]) {
+			quota[fam]++
+			used++
+		}
+	}
+	for _, fam := range Families {
+		idxs := append([]int(nil), byFamily[fam]...)
+		r.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		q := quota[fam]
+		if q > len(idxs) {
+			q = len(idxs)
+		}
+		picked = append(picked, idxs[:q]...)
+	}
+	sort.Ints(picked)
+	out := make([]Instance, len(picked))
+	for i, idx := range picked {
+		out[i] = insts[idx]
+	}
+	return out
+}
+
+// PermuteAxes restates an instance under an axis permutation σ (new
+// axis i is old axis perm[i]). Feasibility, total time, and processor
+// count are invariant under σ — the metamorphic property the
+// regression tests replay.
+func PermuteAxes(inst Instance, perm []int) Instance {
+	out := inst
+	out.Bounds = make([]int64, len(inst.Bounds))
+	for i, p := range perm {
+		out.Bounds[i] = inst.Bounds[p]
+	}
+	out.Dependencies = make([][]int64, len(inst.Dependencies))
+	for c, dep := range inst.Dependencies {
+		nd := make([]int64, len(dep))
+		for i, p := range perm {
+			nd[i] = dep[p]
+		}
+		out.Dependencies[c] = nd
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testCorpus generates a small solved corpus once per test binary.
+var testCorpus struct {
+	meta  Meta
+	insts []Instance
+}
+
+func corpusFixture(t *testing.T) (Meta, []Instance) {
+	t.Helper()
+	if testCorpus.insts == nil {
+		meta, insts, err := Generate(context.Background(), 42, 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCorpus.meta, testCorpus.insts = meta, insts
+	}
+	return testCorpus.meta, testCorpus.insts
+}
+
+func TestPlanSumsAndShares(t *testing.T) {
+	for _, count := range []int{1, 7, 100, 10000} {
+		plan := Plan(count)
+		total := 0
+		for _, fam := range Families {
+			total += plan[fam]
+		}
+		if total != count {
+			t.Errorf("Plan(%d) allocates %d instances", count, total)
+		}
+	}
+	plan := Plan(10000)
+	want := map[string]int{"matmul": 2500, "transitive": 1500, "convolution": 2500, "bitlevel": 1500, "adversarial": 2000}
+	for fam, n := range want {
+		if plan[fam] != n {
+			t.Errorf("Plan(10000)[%s] = %d, want %d", fam, plan[fam], n)
+		}
+	}
+}
+
+// TestManifestDeterministicRoundTrip: the same seed yields a byte-
+// identical manifest, and Read inverts Write exactly.
+func TestManifestDeterministicRoundTrip(t *testing.T) {
+	meta, insts := corpusFixture(t)
+
+	var buf1, buf2 bytes.Buffer
+	if err := Write(&buf1, meta, insts); err != nil {
+		t.Fatal(err)
+	}
+	meta2, insts2, err := Generate(context.Background(), 42, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf2, meta2, insts2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two generations from one seed are not byte-identical")
+	}
+
+	rmeta, rinsts, err := Read(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmeta.Seed != meta.Seed || rmeta.Count != len(rinsts) || len(rinsts) != len(insts) {
+		t.Fatalf("round-trip meta %+v over %d instances", rmeta, len(rinsts))
+	}
+	var buf3 bytes.Buffer
+	if err := Write(&buf3, rmeta, rinsts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf3.Bytes()) {
+		t.Fatal("Write ∘ Read is not the identity on the manifest bytes")
+	}
+}
+
+// TestInstanceRegenerableInIsolation: any single instance can be
+// rebuilt from (seed, family, index) without generating its
+// predecessors.
+func TestInstanceRegenerableInIsolation(t *testing.T) {
+	_, insts := corpusFixture(t)
+	for _, probe := range []int{0, 17, 63, len(insts) - 1} {
+		inst := insts[probe]
+		var idx int
+		if _, err := fmtSscanf(inst.ID, inst.Family, &idx); err != nil {
+			t.Fatalf("instance ID %q does not parse: %v", inst.ID, err)
+		}
+		regen := NewInstance(42, inst.Family, idx)
+		if regen.ID != inst.ID || regen.Dims != inst.Dims {
+			t.Fatalf("regenerated %q differs: %+v vs %+v", inst.ID, regen, inst)
+		}
+		if !equalI64(regen.Bounds, inst.Bounds) || !equalDeps(regen.Dependencies, inst.Dependencies) {
+			t.Fatalf("regenerated %q problem differs: %+v vs %+v", inst.ID, regen, inst)
+		}
+	}
+}
+
+// TestSampleStratifiedAndDeterministic: the sample is reproducible for
+// a seed and every family is represented proportionally.
+func TestSampleStratifiedAndDeterministic(t *testing.T) {
+	_, insts := corpusFixture(t)
+	s1 := Sample(insts, 30, 9)
+	s2 := Sample(insts, 30, 9)
+	if len(s1) != 30 || len(s2) != 30 {
+		t.Fatalf("sample sizes %d, %d, want 30", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].ID != s2[i].ID {
+			t.Fatalf("sample not deterministic at %d: %s vs %s", i, s1[i].ID, s2[i].ID)
+		}
+	}
+	perFamily := map[string]int{}
+	for _, inst := range s1 {
+		perFamily[inst.Family]++
+	}
+	for _, fam := range Families {
+		if perFamily[fam] == 0 {
+			t.Errorf("family %s absent from a stratified sample of 30", fam)
+		}
+	}
+	if got := Sample(insts, len(insts)+5, 9); len(got) != len(insts) {
+		t.Errorf("oversized sample returned %d instances", len(got))
+	}
+}
+
+// TestCheckSampleAgainstVerifier: replaying a sample through the
+// engine and the independent verifier reproduces every recorded
+// outcome.
+func TestCheckSampleAgainstVerifier(t *testing.T) {
+	_, insts := corpusFixture(t)
+	divs, err := CheckSample(context.Background(), insts, 40, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence %s: %v", d.ID, d.Err)
+	}
+}
+
+// TestCheckDetectsTamperedOutcome: the oracle actually fires — a
+// manifest with a wrong total time, a wrong feasibility verdict, or a
+// wrong processor count is reported as a divergence.
+func TestCheckDetectsTamperedOutcome(t *testing.T) {
+	_, insts := corpusFixture(t)
+	ctx := context.Background()
+	var feasible, infeasible *Instance
+	for i := range insts {
+		if insts[i].Feasible && feasible == nil {
+			feasible = &insts[i]
+		}
+		if !insts[i].Feasible && infeasible == nil {
+			infeasible = &insts[i]
+		}
+	}
+	if feasible == nil || infeasible == nil {
+		t.Fatal("fixture lacks a feasible or infeasible instance")
+	}
+	tampered := *feasible
+	tampered.TotalTime++
+	if err := CheckInstance(ctx, &tampered); err == nil {
+		t.Error("tampered total time not detected")
+	}
+	tampered = *feasible
+	tampered.Feasible = false
+	tampered.TotalTime, tampered.Processors = 0, 0
+	if err := CheckInstance(ctx, &tampered); err == nil {
+		t.Error("tampered feasibility not detected")
+	}
+	tampered = *infeasible
+	tampered.Feasible = true
+	tampered.TotalTime, tampered.Processors = 10, 10
+	if err := CheckInstance(ctx, &tampered); err == nil {
+		t.Error("infeasible instance recorded feasible not detected")
+	}
+	tampered = *feasible
+	tampered.Processors += 3
+	if err := CheckInstance(ctx, &tampered); err == nil {
+		t.Error("tampered processor count not detected")
+	}
+}
+
+// TestMetamorphicAxisPermutation: restating an instance under an axis
+// permutation never changes feasibility, total time, or processor
+// count.
+func TestMetamorphicAxisPermutation(t *testing.T) {
+	_, insts := corpusFixture(t)
+	perms3 := [][]int{{1, 2, 0}, {2, 0, 1}, {1, 0, 2}}
+	perms := map[int][][]int{
+		2: {{1, 0}},
+		3: perms3,
+		4: {{3, 1, 0, 2}, {1, 2, 3, 0}},
+	}
+	checked := 0
+	for i := range insts {
+		if i%4 != 0 { // a quarter of the fixture keeps the test fast
+			continue
+		}
+		inst := insts[i]
+		for _, perm := range perms[len(inst.Bounds)] {
+			p := PermuteAxes(inst, perm)
+			if err := Solve(context.Background(), &p); err != nil {
+				t.Fatalf("%s permuted %v: %v", inst.ID, perm, err)
+			}
+			if p.Feasible != inst.Feasible || p.TotalTime != inst.TotalTime || p.Processors != inst.Processors {
+				t.Errorf("%s under σ=%v: feasible=%v time=%d procs=%d, want %v/%d/%d",
+					inst.ID, perm, p.Feasible, p.TotalTime, p.Processors,
+					inst.Feasible, inst.TotalTime, inst.Processors)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no permutations checked")
+	}
+}
+
+// TestCommittedManifest: the manifest in the repository parses, has
+// the advertised shape, regenerates instance statements bit-exactly
+// from its seed, and a few spot instances replay cleanly.
+func TestCommittedManifest(t *testing.T) {
+	path := filepath.Join("..", "..", "corpus", "manifest.jsonl")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("committed manifest not present: %v", err)
+	}
+	meta, insts, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Count < 10000 {
+		t.Fatalf("committed corpus has %d instances, want ≥ 10000", meta.Count)
+	}
+	perFamily := map[string]int{}
+	feasible := 0
+	for i := range insts {
+		perFamily[insts[i].Family]++
+		if insts[i].Feasible {
+			feasible++
+		}
+	}
+	for _, fam := range Families {
+		if perFamily[fam] != meta.Families[fam] {
+			t.Errorf("family %s: %d instances, header says %d", fam, perFamily[fam], meta.Families[fam])
+		}
+	}
+	if feasible == len(insts) {
+		t.Error("committed corpus has no infeasible instances — the adversarial family is broken")
+	}
+	// Problem statements regenerate bit-exactly from the seed.
+	for _, probe := range []int{0, 1234, 9999} {
+		inst := insts[probe]
+		var idx int
+		if _, err := fmtSscanf(inst.ID, inst.Family, &idx); err != nil {
+			t.Fatalf("instance ID %q: %v", inst.ID, err)
+		}
+		regen := NewInstance(meta.Seed, inst.Family, idx)
+		if !equalI64(regen.Bounds, inst.Bounds) || !equalDeps(regen.Dependencies, inst.Dependencies) ||
+			regen.Dims != inst.Dims || regen.MaxEntry != inst.MaxEntry || regen.MaxCost != inst.MaxCost {
+			t.Errorf("committed %s does not regenerate from seed %d", inst.ID, meta.Seed)
+		}
+	}
+	// A thin replay slice; make corpus-check covers the wide sample.
+	divs, err := CheckSample(context.Background(), insts, 25, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence %s: %v", d.ID, d.Err)
+	}
+}
+
+// fmtSscanf parses "<family>/<index>" instance IDs.
+func fmtSscanf(id, family string, idx *int) (int, error) {
+	return fmt.Sscanf(id, family+"/%d", idx)
+}
+
+func equalI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalDeps(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalI64(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The manifest is JSON Lines: the Meta header on the first line, then
+// one Instance per line in manifest order. Line-oriented storage keeps
+// git diffs reviewable at corpus scale and lets the checker stream
+// without holding 10k instances' JSON in one document.
+
+// Write emits the manifest. Encoding goes through one json.Encoder so
+// the same (meta, instances) always serializes byte-identically.
+func Write(w io.Writer, meta Meta, insts []Instance) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for i := range insts {
+		if err := enc.Encode(&insts[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a manifest and cross-checks the header against the
+// instance lines.
+func Read(r io.Reader) (Meta, []Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Meta{}, nil, err
+		}
+		return Meta{}, nil, fmt.Errorf("corpus: empty manifest")
+	}
+	var meta Meta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("corpus: manifest header: %w", err)
+	}
+	insts := make([]Instance, 0, meta.Count)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var inst Instance
+		if err := json.Unmarshal(sc.Bytes(), &inst); err != nil {
+			return Meta{}, nil, fmt.Errorf("corpus: instance line %d: %w", len(insts)+2, err)
+		}
+		insts = append(insts, inst)
+	}
+	if err := sc.Err(); err != nil {
+		return Meta{}, nil, err
+	}
+	if meta.Count != len(insts) {
+		return Meta{}, nil, fmt.Errorf("corpus: manifest header says %d instances, found %d", meta.Count, len(insts))
+	}
+	return meta, insts, nil
+}
+
+// ReadFile reads a manifest from disk.
+func ReadFile(path string) (Meta, []Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,85 @@
+package jobs
+
+// fairQueue is a round-robin-across-tenants FIFO of job IDs: within a
+// tenant, jobs run in submission order; across tenants, dispatch
+// rotates so one tenant's backlog can never starve another's — the
+// processor-allocation-under-contention policy at queue granularity.
+// Not safe for concurrent use; the manager's mutex guards it.
+type fairQueue struct {
+	byTenant map[string][]string
+	// order lists tenants that currently have queued work, in first-
+	// arrival order; rr is the rotation cursor into it.
+	order []string
+	rr    int
+	size  int
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{byTenant: make(map[string][]string)}
+}
+
+// push appends a job to its tenant's FIFO.
+func (q *fairQueue) push(tenant, id string) {
+	if len(q.byTenant[tenant]) == 0 {
+		q.order = append(q.order, tenant)
+	}
+	q.byTenant[tenant] = append(q.byTenant[tenant], id)
+	q.size++
+}
+
+// pop removes and returns the next job in round-robin order.
+func (q *fairQueue) pop() (string, bool) {
+	if q.size == 0 {
+		return "", false
+	}
+	if q.rr >= len(q.order) {
+		q.rr = 0
+	}
+	tenant := q.order[q.rr]
+	fifo := q.byTenant[tenant]
+	id := fifo[0]
+	if len(fifo) == 1 {
+		delete(q.byTenant, tenant)
+		q.order = append(q.order[:q.rr], q.order[q.rr+1:]...)
+		// rr now points at the next tenant already; no advance.
+	} else {
+		q.byTenant[tenant] = fifo[1:]
+		q.rr++
+	}
+	q.size--
+	return id, true
+}
+
+// remove deletes a queued job (cancellation before dispatch).
+func (q *fairQueue) remove(tenant, id string) bool {
+	fifo := q.byTenant[tenant]
+	for i, qid := range fifo {
+		if qid != id {
+			continue
+		}
+		fifo = append(fifo[:i], fifo[i+1:]...)
+		if len(fifo) == 0 {
+			delete(q.byTenant, tenant)
+			for j, t := range q.order {
+				if t == tenant {
+					q.order = append(q.order[:j], q.order[j+1:]...)
+					if q.rr > j {
+						q.rr--
+					}
+					break
+				}
+			}
+		} else {
+			q.byTenant[tenant] = fifo
+		}
+		q.size--
+		return true
+	}
+	return false
+}
+
+// tenantLen reports a tenant's queued-job count (the per-tenant
+// admission bound checks it before accepting a submission).
+func (q *fairQueue) tenantLen(tenant string) int {
+	return len(q.byTenant[tenant])
+}

@@ -1,0 +1,93 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// store is the file-backed spool: one <id>.json document per job,
+// rewritten atomically (temp file + rename in the same directory) at
+// every state transition, so a crash at any instant leaves either the
+// previous or the next consistent record — never a torn one.
+type store struct{ dir string }
+
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: spool dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) path(id string) string {
+	return filepath.Join(st.dir, id+".json")
+}
+
+// save atomically persists one job record.
+func (st *store) save(r *record) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encode %s: %w", r.ID, err)
+	}
+	tmp, err := os.CreateTemp(st.dir, r.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: spool %s: %w", r.ID, err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("jobs: spool %s: %w", r.ID, werr)
+	}
+	if err := os.Rename(tmp.Name(), st.path(r.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: spool %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// load reads every job record in the spool, sorted by creation time
+// (then ID) so resumed jobs re-enter the queue in their original
+// submission order. Unparseable files — a torn write from a kernel
+// crash, say — are renamed aside with a .corrupt suffix rather than
+// wedging startup; leftover temp files are removed.
+func (st *store) load() ([]*record, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: spool dir: %w", err)
+	}
+	var recs []*record
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			if strings.Contains(name, ".tmp-") {
+				os.Remove(filepath.Join(st.dir, name))
+			}
+			continue
+		}
+		full := filepath.Join(st.dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: read %s: %w", name, err)
+		}
+		var r record
+		if err := json.Unmarshal(data, &r); err != nil || r.ID == "" {
+			os.Rename(full, full+".corrupt")
+			continue
+		}
+		recs = append(recs, &r)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Created.Equal(recs[j].Created) {
+			return recs[i].Created.Before(recs[j].Created)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, nil
+}

@@ -70,6 +70,7 @@ type clusterState struct {
 	self        cluster.Member
 	ring        *cluster.Ring
 	client      *cluster.Client
+	httpc       *http.Client // raw client, for job-endpoint proxying
 	health      *cluster.Health
 	fillTimeout time.Duration
 }
@@ -101,6 +102,7 @@ func newClusterState(cc *ClusterConfig) (*clusterState, error) {
 		self:        cc.Self,
 		ring:        ring,
 		client:      cluster.NewClient(httpc, health),
+		httpc:       httpc,
 		health:      health,
 		fillTimeout: ft,
 	}, nil

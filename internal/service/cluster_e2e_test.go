@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"lodim/internal/cluster"
+	"lodim/internal/jobs"
 	"lodim/internal/schedule"
 	"lodim/internal/uda"
 )
@@ -32,7 +33,7 @@ type testCluster struct {
 	srvs    []*httptest.Server
 }
 
-func newTestCluster(t *testing.T, n int) *testCluster {
+func newTestCluster(t *testing.T, n int, mods ...func(i int, cfg *Config)) *testCluster {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	tc := &testCluster{members: make([]cluster.Member, n)}
@@ -45,11 +46,15 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 		tc.members[i] = cluster.Member{ID: fmt.Sprintf("node%d", i), URL: "http://" + ln.Addr().String()}
 	}
 	for i := 0; i < n; i++ {
-		svc := New(Config{
+		cfg := Config{
 			Pool:          2,
 			SearchWorkers: 1,
 			Cluster:       &ClusterConfig{Self: tc.members[i], Peers: tc.members},
-		})
+		}
+		for _, mod := range mods {
+			mod(i, &cfg)
+		}
+		svc := New(cfg)
 		srv := &httptest.Server{Listener: lns[i], Config: &http.Server{Handler: NewHandler(svc)}}
 		srv.Start()
 		tc.svcs = append(tc.svcs, svc)
@@ -422,5 +427,97 @@ func TestClusterE2EFillValidation(t *testing.T) {
 	}
 	if n := tc.svcs[other].met.searches.Load(); n != 0 {
 		t.Errorf("non-owner searches = %d, want 0 (the fill preloaded it)", n)
+	}
+}
+
+// TestClusterE2EJobRouting: a job submitted to a non-owner node is
+// proxied to the ring owner of its job ID and lands there exactly
+// once; status, result, and cancel requests from any node reach the
+// same job; the replayed result matches the synchronous response.
+func TestClusterE2EJobRouting(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int, cfg *Config) {
+		cfg.Jobs = &JobsConfig{Dir: t.TempDir()}
+	})
+
+	// Resolve the ring owner of the job's ID (not of the cache key —
+	// job routing hashes "job|<id>").
+	var mreq MapRequest
+	if err := json.Unmarshal([]byte(e2eBody), &mreq); err != nil {
+		t.Fatal(err)
+	}
+	algo, dims, err := validateMapRequest(&mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := jobs.ID(JobKindMap, mapCacheKey(Canonicalize(algo).Key, dims, &mreq))
+	ownerMem := tc.svcs[0].clu.ring.Owner("job|" + id)
+	owner := -1
+	for i, m := range tc.members {
+		if m.ID == ownerMem.ID {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatalf("owner %q is not a member", ownerMem.ID)
+	}
+	submitter := (owner + 1) % 3
+	third := (owner + 2) % 3
+
+	status, _, body := postJSON(t, tc.srvs[submitter].URL+"/v1/jobs", `{"map":`+e2eBody+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit via non-owner: status %d: %s", status, body)
+	}
+	jr := decodeJobResponse(t, body)
+	if jr.ID != id {
+		t.Fatalf("submitted job ID %s, want %s", jr.ID, id)
+	}
+
+	// The job lives on the owner and nowhere else.
+	if _, ok := tc.svcs[owner].jobsMgr.Get(id); !ok {
+		t.Fatal("job not on the ring owner")
+	}
+	for _, i := range []int{submitter, third} {
+		if _, ok := tc.svcs[i].jobsMgr.Get(id); ok {
+			t.Fatalf("job also landed on node %d", i)
+		}
+		if st := tc.svcs[i].JobStats(); st.Submitted != 0 {
+			t.Fatalf("node %d stats %+v, want no submissions", i, st)
+		}
+	}
+	if st := tc.svcs[owner].JobStats(); st.Submitted != 1 {
+		t.Fatalf("owner stats %+v, want Submitted=1", st)
+	}
+	if n := tc.svcs[submitter].met.jobsForwarded.Load(); n != 1 {
+		t.Fatalf("submitter forwarded %d job requests, want 1", n)
+	}
+
+	// Status polling through the third node is forwarded to the owner.
+	final := waitJobHTTP(t, tc.srvs[third].URL, id, jobs.StateDone)
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", final.Attempts)
+	}
+	if n := tc.svcs[third].met.jobsForwarded.Load(); n == 0 {
+		t.Fatal("third node answered status without forwarding")
+	}
+
+	// The result replayed through a non-owner equals the synchronous
+	// response computed on the owner.
+	_, _, jobResult := httpReq(t, http.MethodGet, tc.srvs[third].URL+"/v1/jobs/"+id+"/result", "")
+	status, _, syncBody := postJSON(t, tc.srvs[owner].URL+"/v1/map", e2eBody)
+	if status != http.StatusOK {
+		t.Fatalf("sync map status %d", status)
+	}
+	if string(jobResult) != string(syncBody) {
+		t.Fatalf("cluster job result differs from synchronous response:\njob:  %s\nsync: %s", jobResult, syncBody)
+	}
+
+	// A duplicate submission through the other non-owner dedups on the
+	// owner's job.
+	status, _, body = postJSON(t, tc.srvs[third].URL+"/v1/jobs", `{"map":`+e2ePerm+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("dup submit status %d: %s", status, body)
+	}
+	if dup := decodeJobResponse(t, body); dup.ID != id || !dup.Deduped {
+		t.Fatalf("dup submit got %+v, want deduped job %s", dup, id)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lodim/internal/cluster"
+	"lodim/internal/jobs"
 	"lodim/internal/schedule"
 	"lodim/internal/trace"
 )
@@ -34,6 +35,15 @@ type errorBody struct {
 //	GET  /metrics      — Prometheus text exposition
 //	GET  /healthz      — liveness probe
 //
+// The async job tier (404 unless Config.Jobs is set):
+//
+//	POST   /v1/jobs              — submit a map/verify problem, get a job ID
+//	GET    /v1/jobs/{id}         — poll status, events and result
+//	GET    /v1/jobs/{id}/result  — the stored result, byte-identical to the
+//	                               synchronous response for the same problem
+//	GET    /v1/jobs/{id}/events  — stream state transitions (ndjson)
+//	DELETE /v1/jobs/{id}         — cancel a queued or running job
+//
 // Clustered nodes additionally serve the peer protocol:
 //
 //	POST /peer/v1/lookup — owner-side answer for a forwarded problem
@@ -50,6 +60,11 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/conflict", s.instrument("conflict", s.handleConflict))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.clu != nil {
@@ -210,6 +225,18 @@ func (s *Service) classifyError(err error) (status int, retryAfter string) {
 		// Queue pressure clears as fast as searches finish — retry soon.
 		status = http.StatusTooManyRequests
 		retryAfter = "1"
+	case errors.As(err, new(*jobs.QueueFullError)):
+		// A tenant's job backlog drains at worker speed, not request
+		// speed — hint a longer pause than plain admission pressure.
+		status = http.StatusTooManyRequests
+		retryAfter = "2"
+	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, ErrJobsDisabled):
+		status = http.StatusNotFound
+	case errors.Is(err, jobs.ErrTerminal):
+		status = http.StatusConflict
+	case errors.Is(err, jobs.ErrClosed):
+		status = http.StatusServiceUnavailable
+		retryAfter = "2"
 	case errors.Is(err, ErrShuttingDown):
 		// Shutdown never un-happens here; the hint sizes a client's pause
 		// before trying a replacement or a restarted node.

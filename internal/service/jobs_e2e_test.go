@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lodim/internal/jobs"
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// End-to-end coverage of the async job tier over HTTP: lifecycle and
+// byte-identical result replay, event streaming, dedup across axis
+// permutations, restart resume from the spool, queue-full back-
+// pressure, and cancellation releasing the worker slot.
+
+func newHTTPServer(svc *Service) *httptest.Server {
+	return httptest.NewServer(NewHandler(svc))
+}
+
+func jobsTestConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	return Config{
+		Pool:          2,
+		SearchWorkers: 1,
+		Jobs:          &JobsConfig{Dir: dir},
+	}
+}
+
+func httpReq(t *testing.T, method, url string, body string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+func decodeJobResponse(t *testing.T, data []byte) *JobResponse {
+	t.Helper()
+	var jr JobResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatalf("decoding job response %q: %v", data, err)
+	}
+	return &jr
+}
+
+// waitJobHTTP polls GET /v1/jobs/{id} until the job reaches want.
+func waitJobHTTP(t *testing.T, base, id string, want jobs.State) *JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, _, body := httpReq(t, http.MethodGet, base+"/v1/jobs/"+id, "")
+		if status != http.StatusOK {
+			t.Fatalf("GET job %s: status %d: %s", id, status, body)
+		}
+		jr := decodeJobResponse(t, body)
+		if jr.State == want {
+			return jr
+		}
+		if jr.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s state %q, want %q (error=%q)", id, jr.State, want, jr.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitMgrState polls the in-process manager until the job reaches want
+// — used where the test needs the state before issuing the next HTTP
+// request (e.g. restart while running).
+func waitMgrState(t *testing.T, svc *Service, id string, want jobs.State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sn, ok := svc.jobsMgr.Get(id)
+		if ok && sn.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %q (now %q, found=%v)", id, want, sn.State, ok)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJobsE2ELifecycle: submit → queued → running → done over HTTP,
+// events stream the full transition history, and the stored result is
+// byte-identical to the synchronous /v1/map response for the same
+// problem.
+func TestJobsE2ELifecycle(t *testing.T) {
+	_, srv := newTestServer(t, jobsTestConfig(t, t.TempDir()))
+
+	status, _, body := postJSON(t, srv.URL+"/v1/jobs", `{"map":`+e2eBody+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, body)
+	}
+	jr := decodeJobResponse(t, body)
+	if jr.ID == "" || jr.Kind != JobKindMap {
+		t.Fatalf("submit response %+v", jr)
+	}
+	if jr.StatusURL != "/v1/jobs/"+jr.ID || jr.EventsURL != "/v1/jobs/"+jr.ID+"/events" {
+		t.Fatalf("endpoint URLs: %+v", jr)
+	}
+
+	// The events stream replays history and follows the job to its
+	// terminal state, one JSON object per line.
+	resp, err := http.Get(srv.URL + jr.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var states []jobs.State
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq != len(states) {
+			t.Fatalf("event seq %d at position %d", ev.Seq, len(states))
+		}
+		states = append(states, ev.State)
+	}
+	want := []jobs.State{jobs.StateQueued, jobs.StateRunning, jobs.StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("event states %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("event states %v, want %v", states, want)
+		}
+	}
+
+	final := waitJobHTTP(t, srv.URL, jr.ID, jobs.StateDone)
+	if final.ResultURL != "/v1/jobs/"+jr.ID+"/result" {
+		t.Fatalf("done job has result_url %q", final.ResultURL)
+	}
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", final.Attempts)
+	}
+
+	status, hdr, jobResult := httpReq(t, http.MethodGet, srv.URL+final.ResultURL, "")
+	if status != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("result status %d content-type %q", status, hdr.Get("Content-Type"))
+	}
+	status, _, syncBody := postJSON(t, srv.URL+"/v1/map", e2eBody)
+	if status != http.StatusOK {
+		t.Fatalf("sync map status %d", status)
+	}
+	if string(jobResult) != string(syncBody) {
+		t.Fatalf("job result differs from synchronous response:\njob:  %s\nsync: %s", jobResult, syncBody)
+	}
+}
+
+// TestJobsE2EDedup: re-submitting the same problem — verbatim or in a
+// permuted axis order — returns the same job ID with deduped set, and
+// runs the engine only once.
+func TestJobsE2EDedup(t *testing.T) {
+	svc, srv := newTestServer(t, jobsTestConfig(t, t.TempDir()))
+	var runs atomic.Int32
+	real := svc.searchJoint
+	svc.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		runs.Add(1)
+		return real(ctx, algo, dims, opts)
+	}
+
+	status, _, body := postJSON(t, srv.URL+"/v1/jobs", `{"map":`+e2eBody+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, body)
+	}
+	first := decodeJobResponse(t, body)
+	waitJobHTTP(t, srv.URL, first.ID, jobs.StateDone)
+
+	for _, variant := range []string{e2eBody, e2ePerm} {
+		status, _, body := postJSON(t, srv.URL+"/v1/jobs", `{"map":`+variant+`}`)
+		if status != http.StatusAccepted {
+			t.Fatalf("resubmit status %d: %s", status, body)
+		}
+		jr := decodeJobResponse(t, body)
+		if jr.ID != first.ID {
+			t.Fatalf("resubmission of %s got job %s, want %s", variant, jr.ID, first.ID)
+		}
+		if !jr.Deduped {
+			t.Fatalf("resubmission not marked deduped: %+v", jr)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine ran %d times, want 1", got)
+	}
+	st := svc.JobStats()
+	if st.Submitted != 1 || st.Deduped != 2 {
+		t.Fatalf("stats %+v, want Submitted=1 Deduped=2", st)
+	}
+}
+
+// TestJobsE2ERestartResume: a job interrupted mid-run by a shutdown is
+// re-queued from the spool by the next Service on the same directory,
+// keeps its job ID, and its eventual result is byte-identical to the
+// synchronous response.
+func TestJobsE2ERestartResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := jobsTestConfig(t, dir)
+
+	svc1 := New(cfg)
+	srv1 := newHTTPServer(svc1)
+	// The search parks until the job's context is cancelled, so the job
+	// is mid-run when the shutdown interrupts it.
+	svc1.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	status, _, body := postJSON(t, srv1.URL+"/v1/jobs", `{"map":`+e2eBody+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, body)
+	}
+	id := decodeJobResponse(t, body).ID
+	waitMgrState(t, svc1, id, jobs.StateRunning)
+	srv1.Close()
+	svc1.Close()
+
+	// The restarted service resumes the spooled job and completes it.
+	svc2 := New(cfg)
+	srv2 := newHTTPServer(svc2)
+	final := waitJobHTTP(t, srv2.URL, id, jobs.StateDone)
+	if final.ID != id {
+		t.Fatalf("resumed job ID %s, want %s", final.ID, id)
+	}
+	resumed := false
+	for _, ev := range final.Events {
+		if strings.Contains(ev.Detail, "resumed") {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatalf("no resume event in %+v", final.Events)
+	}
+
+	_, _, jobResult := httpReq(t, http.MethodGet, srv2.URL+"/v1/jobs/"+id+"/result", "")
+	status, _, syncBody := postJSON(t, srv2.URL+"/v1/map", e2eBody)
+	if status != http.StatusOK {
+		t.Fatalf("sync map status %d", status)
+	}
+	if string(jobResult) != string(syncBody) {
+		t.Fatalf("resumed job result differs from synchronous response:\njob:  %s\nsync: %s", jobResult, syncBody)
+	}
+	if st := svc2.JobStats(); st.Resumed != 1 {
+		t.Fatalf("stats %+v, want Resumed=1", st)
+	}
+	attemptsBefore := final.Attempts
+	srv2.Close()
+	svc2.Close()
+
+	// One more restart, this time with the job already done: the result
+	// is now replayed from the spool rather than re-computed, and must
+	// still be byte-identical to the synchronous body (the spool keeps
+	// result bytes opaque so its own encoder can't reformat them).
+	svc3 := New(cfg)
+	srv3 := newHTTPServer(svc3)
+	defer func() {
+		srv3.Close()
+		svc3.Close()
+	}()
+	final = waitJobHTTP(t, srv3.URL, id, jobs.StateDone)
+	if got := final.Attempts; got != attemptsBefore {
+		t.Fatalf("done job re-ran after restart: attempts = %d, want %d", got, attemptsBefore)
+	}
+	_, _, jobResult = httpReq(t, http.MethodGet, srv3.URL+"/v1/jobs/"+id+"/result", "")
+	if string(jobResult) != string(syncBody) {
+		t.Fatalf("spool-replayed result differs from synchronous response:\njob:  %s\nsync: %s", jobResult, syncBody)
+	}
+}
+
+// TestJobsE2EQueueFull: with one worker and a per-tenant queue bound
+// of one, the third distinct submission answers 429 with Retry-After,
+// and is admitted once the backlog drains.
+func TestJobsE2EQueueFull(t *testing.T) {
+	cfg := jobsTestConfig(t, t.TempDir())
+	cfg.Jobs.Workers = 1
+	cfg.Jobs.PerTenantQueue = 1
+	svc, srv := newTestServer(t, cfg)
+
+	gate := make(chan struct{})
+	real := svc.searchJoint
+	svc.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return real(ctx, algo, dims, opts)
+	}
+
+	bodies := []string{
+		`{"map":{"bounds":[2,3,4],"dependencies":[[1,0,0],[1,1,0],[0,1,1]],"dims":1}}`,
+		`{"map":{"bounds":[3,3,3],"dependencies":[[1,0,0],[1,1,0],[0,1,1]],"dims":1}}`,
+		`{"map":{"bounds":[4,4,4],"dependencies":[[1,0,0],[1,1,0],[0,1,1]],"dims":1}}`,
+	}
+	status, _, body := postJSON(t, srv.URL+"/v1/jobs", bodies[0])
+	if status != http.StatusAccepted {
+		t.Fatalf("submit A status %d: %s", status, body)
+	}
+	idA := decodeJobResponse(t, body).ID
+	waitMgrState(t, svc, idA, jobs.StateRunning) // worker occupied, queue empty
+
+	status, _, body = postJSON(t, srv.URL+"/v1/jobs", bodies[1])
+	if status != http.StatusAccepted {
+		t.Fatalf("submit B status %d: %s", status, body)
+	}
+	idB := decodeJobResponse(t, body).ID
+
+	status, hdr, body := postJSON(t, srv.URL+"/v1/jobs", bodies[2])
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("submit C status %d, want 429: %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if st := svc.JobStats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v, want Rejected=1", st)
+	}
+
+	close(gate)
+	waitJobHTTP(t, srv.URL, idA, jobs.StateDone)
+	waitJobHTTP(t, srv.URL, idB, jobs.StateDone)
+	status, _, body = postJSON(t, srv.URL+"/v1/jobs", bodies[2])
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit C after drain: status %d: %s", status, body)
+	}
+	waitJobHTTP(t, srv.URL, decodeJobResponse(t, body).ID, jobs.StateDone)
+}
+
+// TestJobsE2ECancel: cancelling a running job interrupts its engine
+// run, settles it as cancelled, and releases the worker slot for the
+// next job. Cancelling it again answers 409; an unknown ID answers
+// 404.
+func TestJobsE2ECancel(t *testing.T) {
+	cfg := jobsTestConfig(t, t.TempDir())
+	cfg.Jobs.Workers = 1
+	svc, srv := newTestServer(t, cfg)
+
+	var calls atomic.Int32
+	real := svc.searchJoint
+	entered := make(chan struct{})
+	svc.searchJoint = func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return real(ctx, algo, dims, opts)
+	}
+
+	status, _, body := postJSON(t, srv.URL+"/v1/jobs", `{"map":`+e2eBody+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", status, body)
+	}
+	id := decodeJobResponse(t, body).ID
+	<-entered
+
+	status, _, body = httpReq(t, http.MethodDelete, srv.URL+"/v1/jobs/"+id, "")
+	if status != http.StatusOK {
+		t.Fatalf("cancel status %d: %s", status, body)
+	}
+	waitJobHTTP(t, srv.URL, id, jobs.StateCancelled)
+
+	status, _, body = httpReq(t, http.MethodDelete, srv.URL+"/v1/jobs/"+id, "")
+	if status != http.StatusConflict {
+		t.Fatalf("cancel terminal job: status %d, want 409: %s", status, body)
+	}
+	status, _, _ = httpReq(t, http.MethodGet, srv.URL+"/v1/jobs/j0123456789abcdef", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", status)
+	}
+	status, _, _ = httpReq(t, http.MethodGet, srv.URL+"/v1/jobs/not-a-job-id", "")
+	if status != http.StatusBadRequest {
+		t.Fatalf("malformed job id status %d, want 400", status)
+	}
+
+	// The freed slot runs the next job to completion.
+	status, _, body = postJSON(t, srv.URL+"/v1/jobs", `{"map":{"bounds":[3,3,3],"dependencies":[[1,0,0],[1,1,0],[0,1,1]],"dims":1}}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit status %d: %s", status, body)
+	}
+	waitJobHTTP(t, srv.URL, decodeJobResponse(t, body).ID, jobs.StateDone)
+}
+
+// TestJobsE2EDisabled: a service without a jobs spool answers 404 on
+// the job endpoints rather than failing obscurely.
+func TestJobsE2EDisabled(t *testing.T) {
+	_, srv := newTestServer(t, Config{Pool: 1})
+	status, _, _ := postJSON(t, srv.URL+"/v1/jobs", `{"map":`+e2eBody+`}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("submit on disabled tier: status %d, want 404", status)
+	}
+	status, _, _ = httpReq(t, http.MethodGet, srv.URL+"/v1/jobs/j0123456789abcdef", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("get on disabled tier: status %d, want 404", status)
+	}
+}

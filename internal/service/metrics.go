@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lodim/internal/jobs"
 	"lodim/internal/schedule"
 )
 
@@ -25,6 +26,7 @@ type metrics struct {
 	simulateRequests   atomic.Int64
 	verifyRequests     atomic.Int64
 	batchRequests      atomic.Int64
+	jobsRequests       atomic.Int64
 	peerLookupRequests atomic.Int64
 	peerFillRequests   atomic.Int64
 
@@ -91,6 +93,14 @@ type metrics struct {
 	// finished) span/trace counts — wired by service.New so the metrics
 	// layer needs no tracer dependency.
 	traceCounters func() (started, dropped, finished int64)
+
+	// jobStats, when set, reports the async job tier's counters — wired
+	// by service.New like cacheStats, and gating the jobs metric
+	// families so a node without the tier renders none of them.
+	jobStats func() jobs.Stats
+	// jobsForwarded counts job-endpoint requests this node proxied to
+	// their ring owner (the job tier's analogue of peer_forward).
+	jobsForwarded atomic.Int64
 }
 
 // requestCounter returns the per-endpoint request counter; the
@@ -108,6 +118,8 @@ func (m *metrics) requestCounter(endpoint string) *atomic.Int64 {
 		return &m.verifyRequests
 	case "batch":
 		return &m.batchRequests
+	case "jobs":
+		return &m.jobsRequests
 	case "peer_lookup":
 		return &m.peerLookupRequests
 	case "peer_fill":
@@ -179,6 +191,7 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"simulate\"} %d\n", m.simulateRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"verify\"} %d\n", m.verifyRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"jobs\"} %d\n", m.jobsRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_lookup\"} %d\n", m.peerLookupRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_fill\"} %d\n", m.peerFillRequests.Load())
 	counter("mapserve_cache_hits_total", "Map requests answered from the canonical result cache.", m.cacheHits.Load())
@@ -232,6 +245,21 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 		counter("mapserve_trace_spans_dropped_total", "Spans dropped by the per-trace span cap.", dropped)
 		counter("mapserve_traces_total", "Traces completed.", finished)
 	}
+	if m.jobStats != nil {
+		st := m.jobStats()
+		fmt.Fprintf(w, "# HELP mapserve_jobs_total Async job lifecycle events, by kind.\n# TYPE mapserve_jobs_total counter\n")
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"submitted\"} %d\n", st.Submitted)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"deduped\"} %d\n", st.Deduped)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"rejected\"} %d\n", st.Rejected)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"done\"} %d\n", st.Done)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"failed\"} %d\n", st.Failed)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"cancelled\"} %d\n", st.Cancelled)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"resumed\"} %d\n", st.Resumed)
+		fmt.Fprintf(w, "mapserve_jobs_total{event=\"requeued\"} %d\n", st.Requeued)
+		gauge("mapserve_jobs_queued", "Jobs waiting for a job worker.", st.Queued)
+		gauge("mapserve_jobs_running", "Jobs holding a job worker.", st.Running)
+		counter("mapserve_jobs_forwarded_total", "Job requests proxied to their ring owner.", m.jobsForwarded.Load())
+	}
 	fmt.Fprintf(w, "# HELP mapserve_search_latency_seconds Joint search wall time.\n# TYPE mapserve_search_latency_seconds histogram\n")
 	var cum int64
 	for i, ub := range latencyBuckets {
@@ -266,6 +294,7 @@ func (m *metrics) Snapshot() map[string]any {
 		"simulate_requests":    m.simulateRequests.Load(),
 		"verify_requests":      m.verifyRequests.Load(),
 		"batch_requests":       m.batchRequests.Load(),
+		"jobs_requests":        m.jobsRequests.Load(),
 		"peer_lookup_requests": m.peerLookupRequests.Load(),
 		"peer_fill_requests":   m.peerFillRequests.Load(),
 		"cache_hits":           m.cacheHits.Load(),
@@ -325,6 +354,20 @@ func (m *metrics) Snapshot() map[string]any {
 		out["trace_spans"] = spans
 		out["trace_spans_dropped"] = dropped
 		out["traces"] = finished
+	}
+	if m.jobStats != nil {
+		st := m.jobStats()
+		out["jobs_submitted"] = st.Submitted
+		out["jobs_deduped"] = st.Deduped
+		out["jobs_rejected"] = st.Rejected
+		out["jobs_done"] = st.Done
+		out["jobs_failed"] = st.Failed
+		out["jobs_cancelled"] = st.Cancelled
+		out["jobs_resumed"] = st.Resumed
+		out["jobs_requeued"] = st.Requeued
+		out["jobs_queued"] = st.Queued
+		out["jobs_running"] = st.Running
+		out["jobs_forwarded"] = m.jobsForwarded.Load()
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"lodim/internal/jobs"
 	"lodim/internal/schedule"
 )
 
@@ -180,6 +181,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 	m.traceCounters = func() (int64, int64, int64) { return 5, 1, 2 }
 	m.cacheStats = func() (int64, int64, int64) { return 4, 2, 4096 }
 	m.clustered = true
+	m.jobStats = func() jobs.Stats { return jobs.Stats{Submitted: 2, Done: 1, Queued: 1} }
 	var buf bytes.Buffer
 	m.WritePrometheus(&buf)
 	families := map[string]bool{}
@@ -190,7 +192,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 
 	// family → snapshot keys (nil = deliberately Prometheus-only).
 	table := map[string][]string{
-		"mapserve_requests_total":                   {"map_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "peer_lookup_requests", "peer_fill_requests"},
+		"mapserve_requests_total":                   {"map_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "jobs_requests", "peer_lookup_requests", "peer_fill_requests"},
 		"mapserve_cache_hits_total":                 {"cache_hits"},
 		"mapserve_cache_misses_total":               {"cache_misses"},
 		"mapserve_verify_cache_hits_total":          {"verify_cache_hits"},
@@ -218,6 +220,10 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 		"mapserve_trace_spans_total":                {"trace_spans"},
 		"mapserve_trace_spans_dropped_total":        {"trace_spans_dropped"},
 		"mapserve_traces_total":                     {"traces"},
+		"mapserve_jobs_total":                       {"jobs_submitted", "jobs_deduped", "jobs_rejected", "jobs_done", "jobs_failed", "jobs_cancelled", "jobs_resumed", "jobs_requeued"},
+		"mapserve_jobs_queued":                      {"jobs_queued"},
+		"mapserve_jobs_running":                     {"jobs_running"},
+		"mapserve_jobs_forwarded_total":             {"jobs_forwarded"},
 	}
 	var stageKeys []string
 	for _, name := range stageNames {

@@ -14,6 +14,7 @@ import (
 	"lodim/internal/cli"
 	"lodim/internal/conflict"
 	"lodim/internal/intmat"
+	"lodim/internal/jobs"
 	"lodim/internal/schedule"
 	"lodim/internal/systolic"
 	"lodim/internal/trace"
@@ -67,6 +68,12 @@ type Config struct {
 	// endpoints are served (see cluster.go). Nil runs single-node,
 	// byte-for-byte identical to the pre-cluster behavior.
 	Cluster *ClusterConfig
+	// Jobs, when non-nil, enables the durable asynchronous job tier
+	// (POST /v1/jobs and friends, see jobs.go): a spool-backed fair
+	// queue whose workers run map/verify problems through the same
+	// engines as the synchronous endpoints. Nil serves 404 on the job
+	// endpoints.
+	Jobs *JobsConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +160,10 @@ type Service struct {
 	// ring, the peer client, and the passive peer health tracker.
 	clu *clusterState
 
+	// jobsMgr is non-nil iff Config.Jobs was set: the durable async
+	// job manager (spool, fair queue, worker pool — see jobs.go).
+	jobsMgr *jobs.Manager
+
 	// searchJoint is the search engine; tests substitute it to make
 	// concurrency deterministic. Production always uses
 	// schedule.FindJointMappingContext.
@@ -191,6 +202,23 @@ func New(cfg Config) *Service {
 		s.traces = trace.NewRegistry(cfg.TraceBuffer)
 		s.tracer.AddSink(s.traces.Add)
 		s.met.traceCounters = s.tracer.Counters
+	}
+	if cfg.Jobs != nil {
+		mgr, err := jobs.Open(jobs.Config{
+			Dir:            cfg.Jobs.Dir,
+			Workers:        cfg.Jobs.Workers,
+			PerTenantQueue: cfg.Jobs.PerTenantQueue,
+			Exec:           s.executeJob,
+			Logger:         cfg.Logger,
+		})
+		if err != nil {
+			// Like cluster misconfiguration: an unusable spool directory is
+			// a deployment error callers must catch before New —
+			// cmd/mapserve creates and probes the directory at flag time.
+			panic("service: job tier: " + err.Error())
+		}
+		s.jobsMgr = mgr
+		s.met.jobStats = mgr.Stats
 	}
 	return s
 }
@@ -278,6 +306,13 @@ func (s *Service) Status() Status {
 // Close stops admitting requests and waits for in-flight ones to
 // drain. Safe to call more than once.
 func (s *Service) Close() {
+	// The job tier stops first: its workers call back into the engines
+	// through the same admission path as requests, so they must be out
+	// (cancelled, with their spool records left resumable) before the
+	// request drain below can complete.
+	if s.jobsMgr != nil {
+		s.jobsMgr.Close()
+	}
 	s.closing.Do(func() {
 		// Taking admit orders the close against every begin: once we
 		// hold it, no request can be between its closed check and its

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lodim/internal/intmat"
+	"lodim/internal/uda"
 	"lodim/internal/verify"
 )
 
@@ -45,6 +46,57 @@ type VerifyResponse struct {
 	CanonicalKey  string              `json:"canonical_key"`
 }
 
+// verifyCanon is a validated, canonicalized verify request: everything
+// VerifyMapping (and the job tier's identity derivation) needs beyond
+// the raw request.
+type verifyCanon struct {
+	algo    *uda.Algorithm
+	canon   *Canonical
+	canonS  *intmat.Matrix
+	canonPi intmat.Vector
+	colPerm []int
+	key     string
+}
+
+// prepareVerify validates a verify request's shapes and derives its
+// canonical coordinates and cache key — the single source of identity
+// for both the synchronous endpoint and the async job tier.
+func (s *Service) prepareVerify(req *VerifyRequest) (*verifyCanon, error) {
+	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
+	if err != nil {
+		return nil, err
+	}
+	n := algo.Dim()
+	sm := intmat.New(0, n)
+	if len(req.S) > 0 {
+		for i, r := range req.S {
+			if len(r) != n {
+				return nil, badRequest("service: S row %d has %d entries, want %d", i+1, len(r), n)
+			}
+		}
+		sm = intmat.FromRows(req.S...)
+	}
+	if len(req.Pi) != n {
+		return nil, badRequest("service: Π has %d entries, want %d", len(req.Pi), n)
+	}
+	if req.Simulate && algo.Set.SizeExceeds(maxIndexPoints) {
+		return nil, badRequest("service: index set exceeds the simulation limit of %d points", maxIndexPoints)
+	}
+	canon := Canonicalize(algo)
+	canonS := canon.MatrixToCanonical(sm)
+	canonPi := canon.VectorToCanonical(req.Pi)
+	return &verifyCanon{
+		algo:    algo,
+		canon:   canon,
+		canonS:  canonS,
+		canonPi: canonPi,
+		// Canonical column j of D is request column colPerm[j]; computed
+		// here because only the request still knows its column order.
+		colPerm: canon.DepColumnPerm(algo.D),
+		key:     verifyCacheKey(canon.Key, canonS, canonPi, req.Simulate),
+	}, nil
+}
+
 // VerifyMapping certifies a mapping, serving repeated (and axis-
 // permuted) queries from the canonical certificate cache.
 func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*VerifyResponse, CacheStatus, error) {
@@ -54,36 +106,12 @@ func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*Verif
 	}
 	defer done()
 
-	algo, err := algoFromRequest(req.Algorithm, req.Sizes, req.Bounds, req.Dependencies)
+	canonStart := time.Now()
+	vc, err := s.prepareVerify(req)
 	if err != nil {
 		return nil, "", err
 	}
-	n := algo.Dim()
-	sm := intmat.New(0, n)
-	if len(req.S) > 0 {
-		for i, r := range req.S {
-			if len(r) != n {
-				return nil, "", badRequest("service: S row %d has %d entries, want %d", i+1, len(r), n)
-			}
-		}
-		sm = intmat.FromRows(req.S...)
-	}
-	if len(req.Pi) != n {
-		return nil, "", badRequest("service: Π has %d entries, want %d", len(req.Pi), n)
-	}
-	if req.Simulate && algo.Set.SizeExceeds(maxIndexPoints) {
-		return nil, "", badRequest("service: index set exceeds the simulation limit of %d points", maxIndexPoints)
-	}
-
-	canonStart := time.Now()
-	canon := Canonicalize(algo)
-	canonS := canon.MatrixToCanonical(sm)
-	canonPi := canon.VectorToCanonical(req.Pi)
-	key := verifyCacheKey(canon.Key, canonS, canonPi, req.Simulate)
-
-	// Canonical column j of D is request column colPerm[j]; computed
-	// here because only the request still knows its column order.
-	colPerm := canon.DepColumnPerm(algo.D)
+	canon, colPerm, key := vc.canon, vc.colPerm, vc.key
 	recordStage(ctx, stageCanonicalize, canonStart)
 
 	if v, ok := s.cache.Get(key); ok {
@@ -108,7 +136,7 @@ func (s *Service) VerifyMapping(ctx context.Context, req *VerifyRequest) (*Verif
 	certStart := time.Now()
 	// The context-aware form threads the request's trace span into the
 	// engine, which records its certificate stages as child spans.
-	cert, err := verify.CertifyContext(ctx, canon.Algo, canonS, canonPi, opts)
+	cert, err := verify.CertifyContext(ctx, canon.Algo, vc.canonS, vc.canonPi, opts)
 	recordStage(ctx, stageSearch, certStart)
 	if err != nil {
 		// Shape problems were screened above, so an engine error here is
