@@ -25,6 +25,7 @@ import (
 	"lodim/internal/spacetime"
 	"lodim/internal/systolic"
 	"lodim/internal/uda"
+	"lodim/internal/verify"
 )
 
 // BenchmarkExample51Procedure regenerates Example 5.1 (E1): the
@@ -465,6 +466,94 @@ func BenchmarkJointMapping(b *testing.B) {
 					res.Time, res.Cost, res.Processors, res.Candidates, res.Pruned,
 					res.Mapping.S.Row(0), res.Mapping.Pi)
 			})
+		}
+	}
+}
+
+// BenchmarkPareto measures the multi-objective joint engine (X7): the
+// full non-dominated front over (time, processors, buffers, links) at
+// slack 0 (time-optimal members only) and slack 2 (widened window).
+// The front's head must reproduce the single-objective optimum — the
+// multi-objective sweep costs extra bookkeeping, never optimality.
+func BenchmarkPareto(b *testing.B) {
+	algos := []*uda.Algorithm{uda.MatMul(4), uda.TransitiveClosure(4)}
+	for _, algo := range algos {
+		joint, err := schedule.FindJointMapping(algo, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, slack := range []int64{0, 2} {
+			b.Run(fmt.Sprintf("%s/slack=%d", algo.Name, slack), func(b *testing.B) {
+				opts := &schedule.ParetoOptions{
+					Space:     schedule.SpaceOptions{Schedule: schedule.Options{Workers: 1}},
+					TimeSlack: slack,
+				}
+				var res *schedule.ParetoResult
+				for i := 0; i < b.N; i++ {
+					res, err = schedule.FindPareto(algo, 1, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if got := res.Front[0].Vector[schedule.ObjTime]; got != joint.Time {
+					b.Fatalf("front head at t=%d, joint optimum t=%d", got, joint.Time)
+				}
+				b.ReportMetric(float64(len(res.Front)), "front")
+				b.ReportMetric(float64(res.Candidates), "candidates")
+				b.Logf("front=%d members, window [*, %d], %d candidates (%d pruned)",
+					len(res.Front), res.TimeBound, res.Candidates, res.Pruned)
+			})
+		}
+	}
+}
+
+// BenchmarkParetoCertify measures the independent Pareto verifier on
+// the widened matmul front — the certification gate every front passes
+// before entering a mapserve cache.
+func BenchmarkParetoCertify(b *testing.B) {
+	algo := uda.MatMul(4)
+	res, err := schedule.FindPareto(algo, 1, &schedule.ParetoOptions{TimeSlack: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := make([]verify.ParetoInput, len(res.Front))
+	for i, m := range res.Front {
+		members[i] = verify.ParetoInput{S: m.Mapping.S, Pi: m.Mapping.Pi, Vector: [verify.ParetoAxes]int64(m.Vector)}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cert, err := verify.CertifyPareto(ctx, algo, members, res.TimeBound, &verify.Options{SkipOptimality: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cert.Valid {
+			b.Fatalf("front rejected: %s (%s)", cert.FailedWitness, cert.FailedDetail)
+		}
+	}
+}
+
+// BenchmarkServicePareto measures the /v1/pareto fast path: a front
+// query answered from the canonical cache with per-request best-member
+// selection — canonicalization, LRU lookup, selection, translation.
+func BenchmarkServicePareto(b *testing.B) {
+	svc := service.New(service.Config{Pool: 1, SearchWorkers: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	req := &service.ParetoRequest{Algorithm: "matmul", Sizes: []int64{3}, Dims: 1, TimeSlack: 2}
+	if _, _, err := svc.Pareto(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	sel := &service.ParetoRequest{Algorithm: "matmul", Sizes: []int64{3}, Dims: 1, TimeSlack: 2,
+		Mode: "lex", LexOrder: []string{"processors", "time"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, status, err := svc.Pareto(ctx, sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status != service.CacheHit {
+			b.Fatalf("status = %s, want hit", status)
 		}
 	}
 }

@@ -97,6 +97,7 @@ func runCheck(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	sample := fs.Int("sample", 500, "stratified sample size (0 = full corpus)")
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	workers := fs.Int("workers", 0, "checker parallelism (0 = NumCPU)")
+	pareto := fs.Bool("pareto", false, "replay through the multi-objective engine and Pareto verifier instead")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -110,7 +111,11 @@ func runCheck(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		n = len(insts)
 	}
 	start := time.Now()
-	divs, err := corpus.CheckSample(ctx, insts, n, *seed, *workers)
+	check := corpus.CheckSample
+	if *pareto {
+		check = corpus.CheckParetoSample
+	}
+	divs, err := check(ctx, insts, n, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(stderr, "mapcorpus:", err)
 		return 2

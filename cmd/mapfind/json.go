@@ -95,6 +95,66 @@ func emitJointJSON(w io.Writer, algo *uda.Algorithm, res *schedule.JointResult, 
 	return enc.Encode(out)
 }
 
+// jsonParetoMember is one non-dominated trade-off in -pareto output.
+type jsonParetoMember struct {
+	S          [][]int64 `json:"space_mapping"`
+	Pi         []int64   `json:"schedule"`
+	TotalTime  int64     `json:"total_time"`
+	Processors int64     `json:"processors"`
+	Buffers    int64     `json:"buffers"`
+	Links      int64     `json:"links"`
+}
+
+// jsonParetoResult is the machine-readable output of mapfind -pareto
+// -json: the whole front in pinned deterministic order plus the index
+// the selection mode marked best.
+type jsonParetoResult struct {
+	Algorithm  string             `json:"algorithm"`
+	Dim        int                `json:"n"`
+	NumDeps    int                `json:"m"`
+	Bounds     []int64            `json:"mu"`
+	D          [][]int64          `json:"dependence_matrix"`
+	Front      []jsonParetoMember `json:"front"`
+	Best       int                `json:"best"`
+	TimeBound  int64              `json:"time_bound"`
+	Candidates int                `json:"candidates"`
+	Pruned     int                `json:"pruned"`
+	// Certificate is the Pareto verifier's output when -verify is set;
+	// it is emitted even on rejection (the process then exits 4).
+	Certificate *verify.ParetoCertificate `json:"certificate,omitempty"`
+	SearchStats *schedule.SearchStats     `json:"search_stats,omitempty"`
+}
+
+func emitParetoJSON(w io.Writer, algo *uda.Algorithm, res *schedule.ParetoResult, cert *verify.ParetoCertificate, stats *schedule.SearchStats) error {
+	out := jsonParetoResult{
+		Algorithm:   algo.Name,
+		Dim:         algo.Dim(),
+		NumDeps:     algo.NumDeps(),
+		Bounds:      algo.Set.Upper,
+		D:           matrixRows(algo.D),
+		Front:       make([]jsonParetoMember, len(res.Front)),
+		Best:        res.Best,
+		TimeBound:   res.TimeBound,
+		Candidates:  res.Candidates,
+		Pruned:      res.Pruned,
+		Certificate: cert,
+		SearchStats: stats,
+	}
+	for i, m := range res.Front {
+		out.Front[i] = jsonParetoMember{
+			S:          matrixRows(m.Mapping.S),
+			Pi:         m.Mapping.Pi,
+			TotalTime:  m.Vector[schedule.ObjTime],
+			Processors: m.Vector[schedule.ObjProcessors],
+			Buffers:    m.Vector[schedule.ObjBuffers],
+			Links:      m.Vector[schedule.ObjLinks],
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func emitJSON(w io.Writer, algo *uda.Algorithm, res *schedule.Result, cert *verify.Certificate, stats *schedule.SearchStats) error {
 	out := jsonResult{
 		Algorithm:  algo.Name,

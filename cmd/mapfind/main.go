@@ -15,6 +15,16 @@
 //
 //	mapfind -algo transitive-closure -mu 4 -joint -dims 1 -workers 4
 //
+// With -pareto the joint search keeps every non-dominated trade-off
+// over (total time, processors, buffer depth, link count) instead of a
+// single winner; -pareto-slack widens the explored time window, and
+// -pareto-mode (with -pareto-lex or -pareto-weights) picks which front
+// member is marked best:
+//
+//	mapfind -algo matmul -mu 4 -pareto -dims 1 -pareto-slack 2
+//	mapfind -algo matmul -mu 4 -pareto -pareto-mode lex -pareto-lex processors,time
+//	mapfind -algo matmul -mu 4 -pareto -pareto-mode weighted -pareto-weights time=1,links=10
+//
 // With -verify the winning mapping is re-certified by the independent
 // verification engine (internal/verify); a rejected certificate is
 // printed (or embedded in the -json output) and the process exits 4:
@@ -35,10 +45,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"lodim/internal/cli"
+	"lodim/internal/intmat"
 	"lodim/internal/loopnest"
 	"lodim/internal/schedule"
 	"lodim/internal/trace"
@@ -62,6 +74,11 @@ func main() {
 		verifyW  = flag.Bool("verify", false, "certify the winning mapping with the independent verification engine; a rejected certificate exits with status 4")
 		algoFile = flag.String("algo-file", "", "load a custom algorithm from a JSON file (see uda JSON schema)")
 		joint    = flag.Bool("joint", false, "solve Problem 6.2: search S and Π jointly (ignores -s and -engine)")
+		pareto   = flag.Bool("pareto", false, "joint search keeping the whole Pareto front over (time, processors, buffers, links)")
+		pSlack   = flag.Int64("pareto-slack", 0, "admit schedules up to (optimal time + slack) into the front")
+		pMode    = flag.String("pareto-mode", "front", "best-member selection: front, lex, or weighted")
+		pLex     = flag.String("pareto-lex", "", "axis priority for -pareto-mode lex, comma separated (time, processors, buffers, links)")
+		pWeights = flag.String("pareto-weights", "", "axis weights for -pareto-mode weighted, e.g. time=1,links=10")
 		dims     = flag.Int("dims", 1, "array dimensionality for -joint")
 		workers  = flag.Int("workers", 1, "parallel workers for the -joint candidate search")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit); deadline exits with status 3")
@@ -74,6 +91,8 @@ func main() {
 		json: *jsonOut, stats: *stats, algoFile: *algoFile,
 		joint: *joint, dims: *dims, workers: *workers, timeout: *timeout,
 		verify: *verifyW, trace: *traceOut,
+		pareto: *pareto, paretoSlack: *pSlack, paretoMode: *pMode,
+		paretoLex: *pLex, paretoWeights: *pWeights,
 	}); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			if *jsonOut {
@@ -115,6 +134,10 @@ type options struct {
 	timeout                         time.Duration
 	verify                          bool
 	trace                           string
+	pareto                          bool
+	paretoSlack                     int64
+	paretoMode                      string
+	paretoLex, paretoWeights        string
 }
 
 // certify runs the independent verification engine on a search winner.
@@ -224,10 +247,135 @@ func run2(o options) error {
 			fmt.Fprintf(os.Stderr, "mapfind: search trace written to %s (open in https://ui.perfetto.dev)\n", o.trace)
 		}()
 	}
+	if o.pareto {
+		return solvePareto(ctx, algo, o)
+	}
 	if o.joint {
 		return solveJoint(ctx, algo, o)
 	}
 	return solve(ctx, algo, o)
+}
+
+// paretoSelection parses the -pareto-mode/-pareto-lex/-pareto-weights
+// flags into the engine's selection knobs. Knobs for an unselected
+// mode are rejected, not ignored.
+func paretoSelection(o options, opts *schedule.ParetoOptions) error {
+	switch o.paretoMode {
+	case "", "front":
+		opts.Mode = schedule.ModeFront
+	case "lex":
+		opts.Mode = schedule.ModeLex
+	case "weighted":
+		opts.Mode = schedule.ModeWeighted
+	default:
+		return fmt.Errorf("unknown -pareto-mode %q (want front, lex, or weighted)", o.paretoMode)
+	}
+	if o.paretoLex != "" && opts.Mode != schedule.ModeLex {
+		return errors.New("-pareto-lex is only valid with -pareto-mode lex")
+	}
+	if o.paretoWeights != "" && opts.Mode != schedule.ModeWeighted {
+		return errors.New("-pareto-weights is only valid with -pareto-mode weighted")
+	}
+	if o.paretoLex != "" {
+		for _, name := range strings.Split(o.paretoLex, ",") {
+			obj, err := schedule.ParseObjective(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opts.LexOrder = append(opts.LexOrder, obj)
+		}
+	}
+	if o.paretoWeights != "" {
+		for _, pair := range strings.Split(o.paretoWeights, ",") {
+			name, val, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("malformed -pareto-weights entry %q (want axis=weight)", pair)
+			}
+			obj, err := schedule.ParseObjective(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			w, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return fmt.Errorf("malformed -pareto-weights entry %q: %v", pair, err)
+			}
+			opts.Weights[obj] = w
+		}
+	}
+	return opts.ValidateSelection()
+}
+
+// solvePareto runs the multi-objective joint search and reports the
+// whole non-dominated front.
+func solvePareto(ctx context.Context, algo *uda.Algorithm, o options) error {
+	opts := &schedule.ParetoOptions{
+		Space:     schedule.SpaceOptions{Schedule: schedule.Options{MaxCost: o.maxCost, Workers: o.workers}},
+		TimeSlack: o.paretoSlack,
+	}
+	if err := paretoSelection(o, opts); err != nil {
+		return err
+	}
+	if !o.json {
+		fmt.Printf("algorithm: %s\n", algo)
+		fmt.Printf("pareto search: %d-D array, time slack %d, %d worker(s)\n", o.dims, o.paretoSlack, o.workers)
+	}
+	res, err := schedule.FindParetoContext(ctx, algo, o.dims, opts)
+	if err != nil {
+		return err
+	}
+	var cert *verify.ParetoCertificate
+	var certErr error
+	if o.verify {
+		members := make([]verify.ParetoInput, len(res.Front))
+		for i, m := range res.Front {
+			members[i] = verify.ParetoInput{S: m.Mapping.S, Pi: m.Mapping.Pi, Vector: [verify.ParetoAxes]int64(m.Vector)}
+		}
+		// Slack-window members are deliberately non-optimal in time, so
+		// optimality analysis is skipped; everything else — member
+		// validity, conflict-freedom, recomputed objectives, the window,
+		// non-domination, the pinned order — is re-derived.
+		if cert, err = verify.CertifyPareto(ctx, algo, members, res.TimeBound, &verify.Options{SkipOptimality: true}); err != nil {
+			return fmt.Errorf("verification engine: %w", err)
+		}
+		certErr = cert.Err()
+	}
+	if o.json {
+		if err := emitParetoJSON(os.Stdout, algo, res, cert, statsFor(o, res.Stats)); err != nil {
+			return err
+		}
+		return certErr
+	}
+	fmt.Printf("\npareto front: %d member(s), time window [*, %d]\n", len(res.Front), res.TimeBound)
+	for i, m := range res.Front {
+		marker := " "
+		if i == res.Best {
+			marker = "*"
+		}
+		fmt.Printf("%s [%d] t=%d processors=%d buffers=%d links=%d\n", marker, i,
+			m.Vector[schedule.ObjTime], m.Vector[schedule.ObjProcessors],
+			m.Vector[schedule.ObjBuffers], m.Vector[schedule.ObjLinks])
+		fmt.Printf("    S = %v  Π = %v\n", rowsOneLine(m.Mapping.S), m.Mapping.Pi)
+	}
+	fmt.Printf("search: %d space candidates (%d pruned)\n", res.Candidates, res.Pruned)
+	printStats(o, res.Stats)
+	if cert != nil {
+		if cert.Valid {
+			fmt.Printf("verification: pareto certificate valid — %d member(s), non-domination and order checked\n", len(cert.Members))
+		} else {
+			fmt.Printf("verification: REJECTED — member %d, %s witness failed: %s\n",
+				cert.FailedMember, cert.FailedWitness, cert.FailedDetail)
+		}
+	}
+	return certErr
+}
+
+// rowsOneLine renders a small matrix as nested row lists on one line.
+func rowsOneLine(m *intmat.Matrix) string {
+	parts := make([]string, m.Rows())
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%v", m.Row(i))
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
 }
 
 // writeTraceFile exports one completed trace as Perfetto JSON.

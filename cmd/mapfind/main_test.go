@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"lodim/internal/cli"
 	"lodim/internal/schedule"
+	"lodim/internal/uda"
 )
 
 // captureStdout runs f with os.Stdout redirected to a pipe and returns
@@ -286,4 +288,99 @@ func TestRunErrors(t *testing.T) {
 			t.Errorf("%s: no error", c.name)
 		}
 	}
+}
+
+// TestRunParetoJSON: -pareto -verify -json emits the whole certified
+// front in pinned order with a valid certificate and an in-range best
+// index; the time-optimal head matches the single-winner joint search.
+func TestRunParetoJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run2(options{
+			algo: "matmul", sizes: "3", dims: 1, workers: 2, machine: "none",
+			json: true, pareto: true, paretoSlack: 2, verify: true,
+		})
+	})
+	var res struct {
+		Front []struct {
+			TotalTime  int64 `json:"total_time"`
+			Processors int64 `json:"processors"`
+		} `json:"front"`
+		Best        int   `json:"best"`
+		TimeBound   int64 `json:"time_bound"`
+		Certificate *struct {
+			Valid         bool `json:"valid"`
+			NonDomination bool `json:"non_domination"`
+		} `json:"certificate"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, out)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if res.Best < 0 || res.Best >= len(res.Front) {
+		t.Errorf("best index %d out of range", res.Best)
+	}
+	if res.Certificate == nil || !res.Certificate.Valid || !res.Certificate.NonDomination {
+		t.Errorf("certificate missing or invalid: %+v", res.Certificate)
+	}
+	jres, err := schedule.FindJointMapping(mustAlgo(t, "matmul", "3"), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Front[0].TotalTime != jres.Time {
+		t.Errorf("pareto head at t=%d, joint optimum t=%d", res.Front[0].TotalTime, jres.Time)
+	}
+	if res.TimeBound != jres.Time+2 {
+		t.Errorf("time_bound = %d, want %d+2", res.TimeBound, jres.Time)
+	}
+}
+
+// TestRunParetoSelectionErrors: mode/knob mismatches are rejected
+// before any search runs.
+func TestRunParetoSelectionErrors(t *testing.T) {
+	cases := []options{
+		{algo: "matmul", sizes: "3", dims: 1, pareto: true, paretoMode: "best"},
+		{algo: "matmul", sizes: "3", dims: 1, pareto: true, paretoLex: "time"},
+		{algo: "matmul", sizes: "3", dims: 1, pareto: true, paretoMode: "lex", paretoWeights: "time=1"},
+		{algo: "matmul", sizes: "3", dims: 1, pareto: true, paretoMode: "lex", paretoLex: "latency"},
+		{algo: "matmul", sizes: "3", dims: 1, pareto: true, paretoMode: "weighted", paretoWeights: "time"},
+		{algo: "matmul", sizes: "3", dims: 1, pareto: true, paretoMode: "weighted", paretoWeights: "time=x"},
+	}
+	for _, o := range cases {
+		o.machine = "none"
+		o.workers = 1
+		o.json = true
+		if err := run2(o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+// TestRunParetoLexText: the text renderer marks the lex-selected
+// member and lists every front member.
+func TestRunParetoLexText(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run2(options{
+			algo: "matmul", sizes: "3", dims: 1, workers: 1, machine: "none",
+			pareto: true, paretoSlack: 2, paretoMode: "lex", paretoLex: "processors,time",
+		})
+	})
+	if !strings.Contains(out, "pareto front:") || !strings.Contains(out, "* [") {
+		t.Errorf("text output lacks the front listing or best marker:\n%s", out)
+	}
+}
+
+// mustAlgo builds a named algorithm for cross-checks.
+func mustAlgo(t *testing.T, name, sizes string) *uda.Algorithm {
+	t.Helper()
+	szs, err := cli.ParseSizes(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := cli.Algorithm(name, szs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algo
 }

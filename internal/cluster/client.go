@@ -77,6 +77,30 @@ func (c *Client) Fill(ctx context.Context, m Member, req *FillRequest) error {
 	return c.post(ctx, m, FillPath, req, "", &resp)
 }
 
+// ParetoLookup forwards a canonical multi-objective problem to its
+// owner — the Pareto leg's counterpart of Lookup.
+func (c *Client) ParetoLookup(ctx context.Context, m Member, req *ParetoLookupRequest, traceparent string) (*ParetoLookupResponse, error) {
+	var resp ParetoLookupResponse
+	if err := c.post(ctx, m, ParetoLookupPath, req, traceparent, &resp); err != nil {
+		return nil, err
+	}
+	switch resp.Disposition {
+	case DispositionHit, DispositionMiss, DispositionShared:
+	default:
+		err := &PeerError{Member: m, Err: fmt.Errorf("unknown disposition %q", resp.Disposition)}
+		c.report(m.ID, err)
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ParetoFill pushes a finished front into a peer's cache (best
+// effort, like Fill).
+func (c *Client) ParetoFill(ctx context.Context, m Member, req *ParetoFillRequest) error {
+	var resp ParetoFillResponse
+	return c.post(ctx, m, ParetoFillPath, req, "", &resp)
+}
+
 // post runs one peer call: encode, send with the hop header, decode,
 // and report the outcome to the health tracker.
 func (c *Client) post(ctx context.Context, m Member, path string, body any, traceparent string, out any) error {

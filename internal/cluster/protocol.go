@@ -99,3 +99,73 @@ type FillRequest struct {
 type FillResponse struct {
 	Stored bool `json:"stored"`
 }
+
+// The Pareto leg of the peer protocol mirrors the map leg: the same
+// ownership ring (hashing the composite pareto key), the same
+// forward-then-fill discipline, the same hop bound. Receivers
+// revalidate every front end to end — each member re-certified and the
+// non-domination/order invariants re-checked — before caching, so the
+// poisoning defense is at least as strong as the map leg's.
+const (
+	ParetoLookupPath = "/peer/v1/pareto/lookup"
+	ParetoFillPath   = "/peer/v1/pareto/fill"
+)
+
+// ParetoAxes is the wire width of an objective vector: time,
+// processors, buffers, links — pinned in that order.
+const ParetoAxes = 4
+
+// ParetoProblem identifies one canonical multi-objective query: the
+// canonical algorithm plus every knob that is part of the front's
+// cache identity. Selection knobs (mode, lex order, weights) are
+// deliberately absent — they pick from the front, they don't change it.
+type ParetoProblem struct {
+	Key          string    `json:"key"`
+	Bounds       []int64   `json:"bounds"`
+	Dependencies [][]int64 `json:"dependencies"`
+	Dims         int       `json:"dims"`
+	MaxEntry     int64     `json:"max_entry,omitempty"`
+	MaxCost      int64     `json:"max_cost,omitempty"`
+	TimeSlack    int64     `json:"time_slack,omitempty"`
+}
+
+// ParetoLookupRequest asks the receiver to resolve a canonical
+// multi-objective problem, propagating the origin request's budget.
+type ParetoLookupRequest struct {
+	ParetoProblem
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ParetoWireMember is one front member in canonical coordinates.
+type ParetoWireMember struct {
+	S      [][]int64         `json:"s"`
+	Pi     []int64           `json:"pi"`
+	Vector [ParetoAxes]int64 `json:"vector"`
+}
+
+// ParetoWireResult is a full front flattened for transport, in the
+// pinned deterministic order.
+type ParetoWireResult struct {
+	Members    []ParetoWireMember `json:"members"`
+	TimeBound  int64              `json:"time_bound"`
+	Candidates int                `json:"candidates"`
+	Pruned     int                `json:"pruned"`
+}
+
+// ParetoLookupResponse carries the canonical front and the owner's
+// disposition (the same Disposition* values as the map leg).
+type ParetoLookupResponse struct {
+	Disposition string           `json:"disposition"`
+	Result      ParetoWireResult `json:"result"`
+}
+
+// ParetoFillRequest pushes a finished front into the receiver's cache.
+type ParetoFillRequest struct {
+	ParetoProblem
+	Result ParetoWireResult `json:"result"`
+}
+
+// ParetoFillResponse acknowledges a Pareto fill.
+type ParetoFillResponse struct {
+	Stored bool `json:"stored"`
+}

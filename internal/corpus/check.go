@@ -59,6 +59,51 @@ func CheckInstance(ctx context.Context, inst *Instance) error {
 	return nil
 }
 
+// CheckParetoInstance replays one instance through the multi-objective
+// engine and cross-checks it against the recorded single-objective
+// outcome: a feasible instance's front must lead with a member at the
+// recorded optimal total time, the whole front must pass the Pareto
+// verifier (member certificates, non-domination, pinned order), and an
+// infeasible instance must stay infeasible.
+func CheckParetoInstance(ctx context.Context, inst *Instance) error {
+	algo, err := inst.Algorithm()
+	if err != nil {
+		return err
+	}
+	res, err := schedule.FindParetoContext(ctx, algo, inst.Dims, &schedule.ParetoOptions{Space: *inst.spaceOptions()})
+	if errors.Is(err, schedule.ErrNoSchedule) {
+		if inst.Feasible {
+			return fmt.Errorf("corpus: %s: pareto engine reports infeasible, manifest recorded total_time=%d", inst.ID, inst.TotalTime)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("corpus: %s: pareto engine: %w", inst.ID, err)
+	}
+	if !inst.Feasible {
+		return fmt.Errorf("corpus: %s: pareto engine found a front (time=%d), manifest recorded infeasible",
+			inst.ID, res.Front[0].Vector[schedule.ObjTime])
+	}
+	// The pinned front order leads with the time axis, so the head is
+	// the time-optimal member — it must land exactly on the recorded
+	// single-objective optimum.
+	if got := res.Front[0].Vector[schedule.ObjTime]; got != inst.TotalTime {
+		return fmt.Errorf("corpus: %s: pareto min-time member at time=%d, manifest recorded %d", inst.ID, got, inst.TotalTime)
+	}
+	members := make([]verify.ParetoInput, len(res.Front))
+	for i, m := range res.Front {
+		members[i] = verify.ParetoInput{S: m.Mapping.S, Pi: m.Mapping.Pi, Vector: [verify.ParetoAxes]int64(m.Vector)}
+	}
+	cert, err := verify.CertifyPareto(ctx, algo, members, res.TimeBound, &verify.Options{SkipOptimality: true})
+	if err != nil {
+		return fmt.Errorf("corpus: %s: pareto verifier: %w", inst.ID, err)
+	}
+	if cerr := cert.Err(); cerr != nil {
+		return fmt.Errorf("corpus: %s: pareto verifier rejected the front: %w", inst.ID, cerr)
+	}
+	return nil
+}
+
 // Divergence pairs a failed instance with its mismatch, for reporting.
 type Divergence struct {
 	ID  string
@@ -73,6 +118,32 @@ func CheckSample(ctx context.Context, insts []Instance, n int, seed uint64, work
 	divs := make([]Divergence, len(sample))
 	err := forAll(ctx, len(sample), workers, func(i int) error {
 		if cerr := CheckInstance(ctx, &sample[i]); cerr != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			divs[i] = Divergence{ID: sample[i].ID, Err: cerr}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := divs[:0]
+	for _, d := range divs {
+		if d.Err != nil {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// CheckParetoSample is CheckSample's multi-objective twin: the same
+// deterministic stratified sample replayed through CheckParetoInstance.
+func CheckParetoSample(ctx context.Context, insts []Instance, n int, seed uint64, workers int) ([]Divergence, error) {
+	sample := Sample(insts, n, seed)
+	divs := make([]Divergence, len(sample))
+	err := forAll(ctx, len(sample), workers, func(i int) error {
+		if cerr := CheckParetoInstance(ctx, &sample[i]); cerr != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}

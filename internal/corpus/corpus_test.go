@@ -146,6 +146,57 @@ func TestCheckSampleAgainstVerifier(t *testing.T) {
 	}
 }
 
+// TestCheckParetoSampleAgainstVerifier: the multi-objective oracle —
+// every sampled instance's Pareto front leads with the recorded
+// optimal time and the whole front is certified by the independent
+// Pareto verifier; infeasible instances stay infeasible.
+func TestCheckParetoSampleAgainstVerifier(t *testing.T) {
+	_, insts := corpusFixture(t)
+	divs, err := CheckParetoSample(context.Background(), insts, 40, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence %s: %v", d.ID, d.Err)
+	}
+}
+
+// TestCheckParetoDetectsTamperedOutcome: the Pareto oracle fires on a
+// manifest whose recorded optimum or feasibility verdict is wrong.
+func TestCheckParetoDetectsTamperedOutcome(t *testing.T) {
+	_, insts := corpusFixture(t)
+	ctx := context.Background()
+	var feasible, infeasible *Instance
+	for i := range insts {
+		if insts[i].Feasible && feasible == nil {
+			feasible = &insts[i]
+		}
+		if !insts[i].Feasible && infeasible == nil {
+			infeasible = &insts[i]
+		}
+	}
+	if feasible == nil || infeasible == nil {
+		t.Fatal("fixture lacks a feasible or infeasible instance")
+	}
+	tampered := *feasible
+	tampered.TotalTime++
+	if err := CheckParetoInstance(ctx, &tampered); err == nil {
+		t.Error("tampered total time not detected")
+	}
+	tampered = *feasible
+	tampered.Feasible = false
+	tampered.TotalTime, tampered.Processors = 0, 0
+	if err := CheckParetoInstance(ctx, &tampered); err == nil {
+		t.Error("tampered feasibility not detected")
+	}
+	tampered = *infeasible
+	tampered.Feasible = true
+	tampered.TotalTime, tampered.Processors = 10, 10
+	if err := CheckParetoInstance(ctx, &tampered); err == nil {
+		t.Error("infeasible instance recorded feasible not detected")
+	}
+}
+
 // TestCheckDetectsTamperedOutcome: the oracle actually fires — a
 // manifest with a wrong total time, a wrong feasibility verdict, or a
 // wrong processor count is reported as a divergence.

@@ -117,6 +117,14 @@ type job struct {
 }
 
 func (j *job) appendEvent(state State, detail string, at time.Time) Event {
+	// The event log promises monotone timestamps (streams resume on
+	// Seq, readers sort on At), but the call sites stamp wall-clock
+	// time, which can step backwards under NTP correction — and a
+	// spool written before such a step resumes with future-dated
+	// events. Clamp every append to the previous event's time.
+	if n := len(j.events); n > 0 && at.Before(j.events[n-1].At) {
+		at = j.events[n-1].At
+	}
 	ev := Event{Seq: len(j.events), State: state, At: at, Detail: detail}
 	j.events = append(j.events, ev)
 	return ev

@@ -585,3 +585,37 @@ func TestCorruptSpoolFileQuarantined(t *testing.T) {
 		t.Fatal("corrupt record was adopted")
 	}
 }
+
+// TestAppendEventMonotoneClamp: the event log promises monotone
+// timestamps, but call sites stamp wall-clock time, which can step
+// backwards under NTP correction — and a spool written before such a
+// step resumes with future-dated events. A backwards stamp is clamped
+// to the previous event's time; forward stamps pass through untouched.
+func TestAppendEventMonotoneClamp(t *testing.T) {
+	j := &job{}
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	j.appendEvent(StateQueued, "submitted", base)
+	j.appendEvent(StateRunning, "", base.Add(time.Second))
+
+	// The clock steps back ten seconds mid-run.
+	ev := j.appendEvent(StateDone, "", base.Add(-9*time.Second))
+	if !ev.At.Equal(base.Add(time.Second)) {
+		t.Errorf("backwards stamp not clamped: got %v, want %v", ev.At, base.Add(time.Second))
+	}
+
+	// Forward time after the clamp is honored as-is.
+	ev = j.appendEvent(StateQueued, "resubmitted", base.Add(2*time.Second))
+	if !ev.At.Equal(base.Add(2 * time.Second)) {
+		t.Errorf("forward stamp altered: got %v, want %v", ev.At, base.Add(2*time.Second))
+	}
+
+	// The whole log is monotone with dense sequence numbers.
+	for i, e := range j.events {
+		if e.Seq != i {
+			t.Errorf("event %d has Seq %d", i, e.Seq)
+		}
+		if i > 0 && e.At.Before(j.events[i-1].At) {
+			t.Errorf("event %d at %v precedes event %d at %v", i, e.At, i-1, j.events[i-1].At)
+		}
+	}
+}

@@ -240,16 +240,18 @@ type JointResult struct {
 // FindJointMapping solves Problem 6.2: over all space mappings S with
 // bounded entries, run the time-optimal schedule search and keep the
 // mapping with the smallest total execution time, breaking ties by the
-// Problem 6.1 array cost (then by enumeration order). The returned
+// Problem 6.1 array cost (then by the pinned semantic order of
+// jointLess). The returned
 // mapping is exact within the entry bound; entries beyond {−1, 0, 1}
 // are rarely useful for space mappings but can be enabled through
 // MaxEntry.
 //
 // The outer candidate loop runs on Schedule.Workers goroutines sharing
 // a (time, cost) incumbent that tightens every inner search's cost
-// ceiling; selection is by (Time, Cost, enumeration index) over fully
-// evaluated candidates, so the winner is identical at any worker
-// count. Inner searches that exhaust their bound report ErrNoSchedule
+// ceiling; selection is by the total order of jointLess (time, cost,
+// processors, Π key, S rows) over fully evaluated candidates, so the
+// winner is identical at any worker count and never depends on
+// discovery order. Inner searches that exhaust their bound report ErrNoSchedule
 // and are skipped; any other inner error aborts the whole search.
 func FindJointMapping(algo *uda.Algorithm, arrayDims int, opts *SpaceOptions) (*JointResult, error) {
 	return FindJointMappingContext(context.Background(), algo, arrayDims, opts)
@@ -418,7 +420,7 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 		if r == nil {
 			continue
 		}
-		if best == nil || r.Time < best.Time || (r.Time == best.Time && r.Cost < best.Cost) {
+		if best == nil || jointLess(r, best) {
 			best = r
 		}
 	}
@@ -440,6 +442,31 @@ func FindJointMappingContext(ctx context.Context, algo *uda.Algorithm, arrayDims
 	best.Trace = trace.SummaryFromContext(ctx)
 	best.ScheduleResult.Trace = best.Trace
 	return best, nil
+}
+
+// jointLess is the pinned total tie-break order of the joint search:
+// time, then Problem 6.1 array cost, then processor count, then the
+// lexicographic Π key, then the lexicographic S rows. Every key is a
+// property of the mapping itself — never a discovery index — so the
+// winner is a pure function of the problem, locked by the
+// Workers=1-vs-8 determinism test.
+func jointLess(a, b *JointResult) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	if a.Processors != b.Processors {
+		return a.Processors < b.Processors
+	}
+	if vecLess(a.Mapping.Pi, b.Mapping.Pi) {
+		return true
+	}
+	if vecLess(b.Mapping.Pi, a.Mapping.Pi) {
+		return false
+	}
+	return rowsLess(matrixRowVecs(a.Mapping.S), matrixRowVecs(b.Mapping.S))
 }
 
 func maxEntryOrDefault(opts *SpaceOptions) int64 {

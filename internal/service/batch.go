@@ -3,7 +3,6 @@ package service
 import (
 	"context"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 )
@@ -116,10 +115,11 @@ func (s *Service) batchItem(ctx context.Context, i int, item *MapRequest) BatchI
 		status, retryAfter := s.classifyError(err)
 		res.Status = status
 		res.Error = err.Error()
-		if retryAfter != "" {
-			secs, _ := strconv.ParseInt(retryAfter, 10, 64)
-			res.RetryAfterMS = secs * 1000
-		}
+		// Milliseconds straight from the classified duration — not
+		// reconstructed from the whole-second header rendering, which
+		// would drop sub-second pacing (and turn a short hint into "no
+		// hint" after truncating to 0 seconds).
+		res.RetryAfterMS = retryAfter.Milliseconds()
 		return res
 	}
 	res.Status = http.StatusOK

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestE2EBatch: a batch mixing permuted duplicates and one invalid item
@@ -97,16 +98,16 @@ func TestRetryAfterHeaders(t *testing.T) {
 	cases := []struct {
 		err    error
 		status int
-		after  string
+		after  time.Duration
 	}{
-		{ErrOverloaded, http.StatusTooManyRequests, "1"},
-		{ErrShuttingDown, http.StatusServiceUnavailable, "2"},
-		{badRequest("nope"), http.StatusBadRequest, ""},
+		{ErrOverloaded, http.StatusTooManyRequests, time.Second},
+		{ErrShuttingDown, http.StatusServiceUnavailable, 2 * time.Second},
+		{badRequest("nope"), http.StatusBadRequest, 0},
 	}
 	for _, c := range cases {
 		status, after := svc.classifyError(c.err)
 		if status != c.status || after != c.after {
-			t.Errorf("classifyError(%v) = (%d, %q), want (%d, %q)", c.err, status, after, c.status, c.after)
+			t.Errorf("classifyError(%v) = (%d, %v), want (%d, %v)", c.err, status, after, c.status, c.after)
 		}
 	}
 
@@ -119,5 +120,45 @@ func TestRetryAfterHeaders(t *testing.T) {
 	svc.writeError(rec, badRequest("nope"))
 	if got := rec.Header().Get("Retry-After"); got != "" {
 		t.Errorf("Retry-After on 400 = %q, want unset", got)
+	}
+}
+
+// TestRetryAfterSubSecondPrecision: the two renderings of one pacing
+// hint never disagree in a harmful direction. The header's
+// whole-second grammar rounds up — a sub-second hint must not become
+// "0", an immediate-retry invitation — while batch items carry the
+// exact millisecond value, neither truncated nor inflated.
+func TestRetryAfterSubSecondPrecision(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		header string
+		ms     int64
+	}{
+		{250 * time.Millisecond, "1", 250},
+		{999 * time.Millisecond, "1", 999},
+		{time.Second, "1", 1000},
+		{1001 * time.Millisecond, "2", 1001},
+		{1500 * time.Millisecond, "2", 1500},
+		{2 * time.Second, "2", 2000},
+	}
+	for _, c := range cases {
+		if got := retryAfterHeader(c.d); got != c.header {
+			t.Errorf("retryAfterHeader(%v) = %q, want %q", c.d, got, c.header)
+		}
+		if got := c.d.Milliseconds(); got != c.ms {
+			t.Errorf("%v.Milliseconds() = %d, want %d", c.d, got, c.ms)
+		}
+	}
+}
+
+// TestBatchRetryAfterMillisecondField: a backpressured batch item
+// reports its pacing hint in milliseconds, matching classifyError's
+// duration exactly.
+func TestBatchRetryAfterMillisecondField(t *testing.T) {
+	svc := New(Config{Pool: 1})
+	t.Cleanup(func() { svc.Close() })
+	_, after := svc.classifyError(ErrOverloaded)
+	if got := after.Milliseconds(); got != 1000 {
+		t.Fatalf("overload hint = %dms, want 1000", got)
 	}
 }

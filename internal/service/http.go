@@ -28,6 +28,8 @@ type errorBody struct {
 // NewHandler wires the service's endpoints:
 //
 //	POST /v1/map       — joint (S, Π) mapping search
+//	POST /v1/pareto    — multi-objective search: the certified Pareto
+//	                     front over (time, processors, buffers, links)
 //	POST /v1/batch     — many map queries, one admission-shared request
 //	POST /v1/conflict  — conflict-freeness decision
 //	POST /v1/simulate  — systolic simulation
@@ -44,10 +46,13 @@ type errorBody struct {
 //	GET    /v1/jobs/{id}/events  — stream state transitions (ndjson)
 //	DELETE /v1/jobs/{id}         — cancel a queued or running job
 //
-// Clustered nodes additionally serve the peer protocol:
+// Clustered nodes additionally serve the peer protocol (the pareto
+// legs mirror the map legs key-for-key):
 //
-//	POST /peer/v1/lookup — owner-side answer for a forwarded problem
-//	POST /peer/v1/fill   — best-effort cache push from a peer
+//	POST /peer/v1/lookup        — owner-side answer for a forwarded problem
+//	POST /peer/v1/fill          — best-effort cache push from a peer
+//	POST /peer/v1/pareto/lookup — owner-side answer for a forwarded front
+//	POST /peer/v1/pareto/fill   — best-effort front push from a peer
 //
 // Every POST endpoint runs inside the instrument wrapper, which owns
 // the per-endpoint request counter (exactly one increment per request,
@@ -56,6 +61,7 @@ type errorBody struct {
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/map", s.instrument("map", s.handleMap))
+	mux.HandleFunc("POST /v1/pareto", s.instrument("pareto", s.handlePareto))
 	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/conflict", s.instrument("conflict", s.handleConflict))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
@@ -70,6 +76,8 @@ func NewHandler(s *Service) http.Handler {
 	if s.clu != nil {
 		mux.HandleFunc("POST "+cluster.LookupPath, s.instrument("peer_lookup", s.handlePeerLookup))
 		mux.HandleFunc("POST "+cluster.FillPath, s.instrument("peer_fill", s.handlePeerFill))
+		mux.HandleFunc("POST "+cluster.ParetoLookupPath, s.instrument("peer_pareto_lookup", s.handlePeerParetoLookup))
+		mux.HandleFunc("POST "+cluster.ParetoFillPath, s.instrument("peer_pareto_fill", s.handlePeerParetoFill))
 	}
 	return mux
 }
@@ -209,10 +217,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // classifyError maps a service error to its HTTP status and an
-// optional Retry-After hint (seconds), recording timeout/failure
-// metrics as it goes. Shared by writeError and the batch endpoint's
-// per-item statuses so the two surfaces can never disagree.
-func (s *Service) classifyError(err error) (status int, retryAfter string) {
+// optional Retry-After pacing hint (0 = no hint), recording
+// timeout/failure metrics as it goes. Shared by writeError and the
+// batch endpoint's per-item statuses so the two surfaces can never
+// disagree. The hint is a duration, not header text: the header's
+// whole-second grammar rounds up (retryAfterHeader) while the batch
+// items keep millisecond precision, so sub-second hints are neither
+// truncated to "0" nor inflated a full second in the JSON.
+func (s *Service) classifyError(err error) (status int, retryAfter time.Duration) {
 	status = http.StatusInternalServerError
 	var bad *BadRequestError
 	var tooLarge *contentTooLargeError
@@ -224,24 +236,24 @@ func (s *Service) classifyError(err error) (status int, retryAfter string) {
 	case errors.Is(err, ErrOverloaded):
 		// Queue pressure clears as fast as searches finish — retry soon.
 		status = http.StatusTooManyRequests
-		retryAfter = "1"
+		retryAfter = time.Second
 	case errors.As(err, new(*jobs.QueueFullError)):
 		// A tenant's job backlog drains at worker speed, not request
 		// speed — hint a longer pause than plain admission pressure.
 		status = http.StatusTooManyRequests
-		retryAfter = "2"
+		retryAfter = 2 * time.Second
 	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, ErrJobsDisabled):
 		status = http.StatusNotFound
 	case errors.Is(err, jobs.ErrTerminal):
 		status = http.StatusConflict
 	case errors.Is(err, jobs.ErrClosed):
 		status = http.StatusServiceUnavailable
-		retryAfter = "2"
+		retryAfter = 2 * time.Second
 	case errors.Is(err, ErrShuttingDown):
 		// Shutdown never un-happens here; the hint sizes a client's pause
 		// before trying a replacement or a restarted node.
 		status = http.StatusServiceUnavailable
-		retryAfter = "2"
+		retryAfter = 2 * time.Second
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusGatewayTimeout
 		s.met.timeouts.Add(1)
@@ -260,10 +272,19 @@ func (s *Service) classifyError(err error) (status int, retryAfter string) {
 // clients — including cmd/maploadgen — pace their retries.
 func (s *Service) writeError(w http.ResponseWriter, err error) {
 	status, retryAfter := s.classifyError(err)
-	if retryAfter != "" {
-		w.Header().Set("Retry-After", retryAfter)
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", retryAfterHeader(retryAfter))
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// retryAfterHeader renders a pacing hint in the header's whole-second
+// grammar, rounding *up*: rounding down would turn a sub-second hint
+// into "0" (an immediate-retry invitation) or silently shorten the
+// intended pause.
+func retryAfterHeader(d time.Duration) string {
+	secs := (d + time.Second - 1) / time.Second
+	return strconv.FormatInt(int64(secs), 10)
 }
 
 // withDeadline derives the request context honoring the body-supplied
@@ -288,6 +309,61 @@ func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
 	// Cache status travels in a header so hit, miss and shared bodies
 	// stay byte-identical for one problem.
 	w.Header().Set("X-Mapserve-Cache", string(status))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req ParetoRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMS)
+	defer cancel()
+	resp, status, err := s.Pareto(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("X-Mapserve-Cache", string(status))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handlePeerParetoLookup(w http.ResponseWriter, r *http.Request) {
+	if !s.checkHop(w, r) {
+		return
+	}
+	var req cluster.ParetoLookupRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMS)
+	defer cancel()
+	resp, err := s.PeerParetoLookup(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handlePeerParetoFill(w http.ResponseWriter, r *http.Request) {
+	if !s.checkHop(w, r) {
+		return
+	}
+	var req cluster.ParetoFillRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, 0)
+	defer cancel()
+	resp, err := s.PeerParetoFill(ctx, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -21,14 +21,17 @@ const numLatencyBuckets = 7
 // metrics aggregates the service counters. All fields are atomics so
 // the hot request path never takes a lock for observability.
 type metrics struct {
-	mapRequests        atomic.Int64
-	conflictRequests   atomic.Int64
-	simulateRequests   atomic.Int64
-	verifyRequests     atomic.Int64
-	batchRequests      atomic.Int64
-	jobsRequests       atomic.Int64
-	peerLookupRequests atomic.Int64
-	peerFillRequests   atomic.Int64
+	mapRequests              atomic.Int64
+	paretoRequests           atomic.Int64
+	conflictRequests         atomic.Int64
+	simulateRequests         atomic.Int64
+	verifyRequests           atomic.Int64
+	batchRequests            atomic.Int64
+	jobsRequests             atomic.Int64
+	peerLookupRequests       atomic.Int64
+	peerFillRequests         atomic.Int64
+	peerParetoLookupRequests atomic.Int64
+	peerParetoFillRequests   atomic.Int64
 
 	verifyCacheHits   atomic.Int64
 	verifyCacheMisses atomic.Int64
@@ -124,6 +127,12 @@ func (m *metrics) requestCounter(endpoint string) *atomic.Int64 {
 		return &m.peerLookupRequests
 	case "peer_fill":
 		return &m.peerFillRequests
+	case "pareto":
+		return &m.paretoRequests
+	case "peer_pareto_lookup":
+		return &m.peerParetoLookupRequests
+	case "peer_pareto_fill":
+		return &m.peerParetoFillRequests
 	}
 	panic("service: unknown endpoint " + endpoint)
 }
@@ -187,6 +196,7 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# HELP mapserve_requests_total Requests received, by endpoint.\n# TYPE mapserve_requests_total counter\n")
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"map\"} %d\n", m.mapRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"pareto\"} %d\n", m.paretoRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"conflict\"} %d\n", m.conflictRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"simulate\"} %d\n", m.simulateRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"verify\"} %d\n", m.verifyRequests.Load())
@@ -194,6 +204,10 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"jobs\"} %d\n", m.jobsRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_lookup\"} %d\n", m.peerLookupRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_fill\"} %d\n", m.peerFillRequests.Load())
+	if m.clustered {
+		fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_pareto_lookup\"} %d\n", m.peerParetoLookupRequests.Load())
+		fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_pareto_fill\"} %d\n", m.peerParetoFillRequests.Load())
+	}
 	counter("mapserve_cache_hits_total", "Map requests answered from the canonical result cache.", m.cacheHits.Load())
 	counter("mapserve_cache_misses_total", "Map requests that required a search.", m.cacheMisses.Load())
 	counter("mapserve_verify_cache_hits_total", "Verify requests answered from the canonical certificate cache.", m.verifyCacheHits.Load())
@@ -290,6 +304,7 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 func (m *metrics) Snapshot() map[string]any {
 	out := map[string]any{
 		"map_requests":         m.mapRequests.Load(),
+		"pareto_requests":      m.paretoRequests.Load(),
 		"conflict_requests":    m.conflictRequests.Load(),
 		"simulate_requests":    m.simulateRequests.Load(),
 		"verify_requests":      m.verifyRequests.Load(),

@@ -192,7 +192,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 
 	// family → snapshot keys (nil = deliberately Prometheus-only).
 	table := map[string][]string{
-		"mapserve_requests_total":                   {"map_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "jobs_requests", "peer_lookup_requests", "peer_fill_requests"},
+		"mapserve_requests_total":                   {"map_requests", "pareto_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "jobs_requests", "peer_lookup_requests", "peer_fill_requests"},
 		"mapserve_cache_hits_total":                 {"cache_hits"},
 		"mapserve_cache_misses_total":               {"cache_misses"},
 		"mapserve_verify_cache_hits_total":          {"verify_cache_hits"},

@@ -1,0 +1,666 @@
+package service
+
+// The Pareto endpoint: POST /v1/pareto runs the multi-objective joint
+// search (schedule.FindPareto) and returns the certified front over
+// (total time, processors, buffer depth, link count).
+//
+// Caching follows the map endpoint's canonical discipline with one
+// extra move: the composite key covers only the knobs that shape the
+// front (problem identity, dims, MaxEntry, MaxCost, TimeSlack).
+// Selection knobs — mode, lex order, weights — never enter the key,
+// because they pick a member *from* the front without changing it; the
+// Best index is recomputed per request from the cached front, so every
+// selection of one problem costs a single search.
+//
+// Every front that enters the cache is verifier-certified first: the
+// searching node runs verify.CertifyPareto (member certificates plus
+// the non-domination and pinned-order invariants) on the canonical
+// result, and a node receiving a front over the peer protocol runs the
+// same certification before trusting it — the Pareto leg's
+// cache-poisoning defense subsumes the map leg's revalidation.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lodim/internal/cluster"
+	"lodim/internal/intmat"
+	"lodim/internal/schedule"
+	"lodim/internal/trace"
+	"lodim/internal/uda"
+	"lodim/internal/verify"
+)
+
+// maxTimeSlack caps the requested window widening: every extra level
+// re-enumerates the schedule cone once per candidate S, so an
+// unbounded slack would let one request buy an unbounded search.
+const maxTimeSlack = 64
+
+// ParetoRequest asks for the Pareto front of a mapping problem. The
+// algorithm and search knobs mirror MapRequest (WireWeight is absent:
+// the link axis replaces the scalarized wire term); the selection
+// knobs choose which front member the response marks Best.
+type ParetoRequest struct {
+	Algorithm    string    `json:"algorithm,omitempty"`
+	Sizes        []int64   `json:"sizes,omitempty"`
+	Bounds       []int64   `json:"bounds,omitempty"`
+	Dependencies [][]int64 `json:"dependencies,omitempty"`
+	Dims         int       `json:"dims,omitempty"`
+	MaxEntry     int64     `json:"max_entry,omitempty"`
+	MaxCost      int64     `json:"max_cost,omitempty"`
+	// TimeSlack admits schedules up to (optimal time + TimeSlack) into
+	// the front (0 = time-optimal members only; capped by maxTimeSlack).
+	TimeSlack int64 `json:"time_slack,omitempty"`
+	// Mode selects Best: "front" (default — the pinned-order head),
+	// "lex", or "weighted".
+	Mode string `json:"mode,omitempty"`
+	// LexOrder is the axis priority for mode "lex": names among
+	// "time", "processors", "buffers", "links"; omitted axes follow in
+	// canonical order.
+	LexOrder []string `json:"lex_order,omitempty"`
+	// Weights are the per-axis scalarization weights for mode
+	// "weighted", keyed by axis name.
+	Weights   map[string]int64 `json:"weights,omitempty"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+}
+
+// ParetoFrontMember is one front element in the request's axis order.
+type ParetoFrontMember struct {
+	S          [][]int64 `json:"space_mapping"`
+	Pi         []int64   `json:"schedule"`
+	TotalTime  int64     `json:"total_time"`
+	Processors int64     `json:"processors"`
+	Buffers    int64     `json:"buffers"`
+	Links      int64     `json:"links"`
+}
+
+// ParetoResponse carries the certified front in pinned deterministic
+// order. Best indexes the member the request's selection mode picked.
+type ParetoResponse struct {
+	Algorithm    string              `json:"algorithm"`
+	Dim          int                 `json:"n"`
+	NumDeps      int                 `json:"m"`
+	Bounds       []int64             `json:"mu"`
+	Dims         int                 `json:"array_dims"`
+	Front        []ParetoFrontMember `json:"front"`
+	Best         int                 `json:"best"`
+	TimeBound    int64               `json:"time_bound"`
+	Candidates   int                 `json:"candidates"`
+	Pruned       int                 `json:"pruned"`
+	Certified    bool                `json:"certified"`
+	CanonicalKey string              `json:"canonical_key"`
+}
+
+// paretoSelection parses and validates the request's selection knobs.
+// Knobs belonging to a mode that is not selected are rejected rather
+// than ignored — a silently dropped knob reads like a different front.
+func paretoSelection(req *ParetoRequest) (*schedule.ParetoOptions, error) {
+	sel := &schedule.ParetoOptions{}
+	switch req.Mode {
+	case "", "front":
+		sel.Mode = schedule.ModeFront
+	case "lex":
+		sel.Mode = schedule.ModeLex
+	case "weighted":
+		sel.Mode = schedule.ModeWeighted
+	default:
+		return nil, badRequest("service: unknown pareto mode %q (want front|lex|weighted)", req.Mode)
+	}
+	if sel.Mode != schedule.ModeLex && len(req.LexOrder) > 0 {
+		return nil, badRequest("service: lex_order is only valid with mode \"lex\"")
+	}
+	if sel.Mode != schedule.ModeWeighted && len(req.Weights) > 0 {
+		return nil, badRequest("service: weights are only valid with mode \"weighted\"")
+	}
+	for _, name := range req.LexOrder {
+		o, err := schedule.ParseObjective(name)
+		if err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+		sel.LexOrder = append(sel.LexOrder, o)
+	}
+	for name, w := range req.Weights {
+		o, err := schedule.ParseObjective(name)
+		if err != nil {
+			return nil, &BadRequestError{Err: err}
+		}
+		sel.Weights[o] = w
+	}
+	if err := sel.ValidateSelection(); err != nil {
+		return nil, &BadRequestError{Err: err}
+	}
+	return sel, nil
+}
+
+// validateParetoRequest reuses the map request validation for the
+// shared fields and checks the Pareto-specific knobs.
+func validateParetoRequest(req *ParetoRequest) (*uda.Algorithm, int, *schedule.ParetoOptions, error) {
+	mreq := &MapRequest{
+		Algorithm:    req.Algorithm,
+		Sizes:        req.Sizes,
+		Bounds:       req.Bounds,
+		Dependencies: req.Dependencies,
+		Dims:         req.Dims,
+		MaxEntry:     req.MaxEntry,
+		MaxCost:      req.MaxCost,
+	}
+	algo, dims, err := validateMapRequest(mreq)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if req.TimeSlack < 0 || req.TimeSlack > maxTimeSlack {
+		return nil, 0, nil, badRequest("service: time_slack %d out of range [0, %d]", req.TimeSlack, maxTimeSlack)
+	}
+	sel, err := paretoSelection(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return algo, dims, sel, nil
+}
+
+// paretoCacheKey is the front's composite cache/shard identity. The
+// selection knobs are absent by design (see the file comment).
+func paretoCacheKey(canonKey string, dims int, req *ParetoRequest) string {
+	return fmt.Sprintf("pareto|%s|dims=%d|me=%d|mc=%d|slack=%d", canonKey, dims, req.MaxEntry, req.MaxCost, req.TimeSlack)
+}
+
+// Pareto answers a multi-objective front query: canonical cache first,
+// then a singleflight-deduplicated flight that forwards to the key's
+// ring owner or runs the admission-controlled search, certifying the
+// front before it is cached.
+func (s *Service) Pareto(ctx context.Context, req *ParetoRequest) (*ParetoResponse, CacheStatus, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, "", err
+	}
+	defer done()
+
+	algo, dims, sel, err := validateParetoRequest(req)
+	if err != nil {
+		return nil, "", err
+	}
+
+	canonStart := time.Now()
+	canon := Canonicalize(algo)
+	key := paretoCacheKey(canon.Key, dims, req)
+	recordStage(ctx, stageCanonicalize, canonStart)
+	if v, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		return s.paretoResponse(ctx, algo, canon, key, dims, sel, v.(*schedule.ParetoResult))
+	}
+
+	fctx, fspan := trace.Start(ctx, "flight")
+	flightStart := time.Now()
+	v, err, leader, mark := s.flights.DoMarked(fctx, key, func(fc context.Context) (any, error) {
+		return s.runParetoSearch(fc, key, canon, dims, req, true)
+	})
+	if !leader {
+		s.recordFollowerWait(ctx, mark, flightStart)
+	}
+	if fspan != nil {
+		role := "follower"
+		if leader {
+			role = "leader"
+		}
+		fspan.SetStr("role", role)
+		if err != nil {
+			fspan.SetStr("error", err.Error())
+		}
+		fspan.End()
+	}
+	if err != nil {
+		status := CacheShared
+		if leader {
+			status = CacheMiss
+			s.met.cacheMisses.Add(1)
+		}
+		return nil, status, err
+	}
+	out := v.(*paretoFlightOutcome)
+	status := CacheShared
+	switch {
+	case leader && out.fromCache:
+		status = CacheHit
+		s.met.cacheHits.Add(1)
+	case leader && out.viaPeer:
+		status = CacheStatus("peer_" + out.peerDisposition)
+	case leader:
+		status = CacheMiss
+		s.met.cacheMisses.Add(1)
+	}
+	resp, _, err := s.paretoResponse(ctx, algo, canon, key, dims, sel, out.res)
+	return resp, status, err
+}
+
+// paretoFlightOutcome mirrors flightOutcome for the Pareto flight.
+type paretoFlightOutcome struct {
+	res             *schedule.ParetoResult
+	fromCache       bool
+	viaPeer         bool
+	peerDisposition string
+}
+
+// runParetoSearch is the body of a Pareto flight — the exact shape of
+// runSearch with the multi-objective engine and a certification gate
+// in front of the cache.
+func (s *Service) runParetoSearch(ctx context.Context, key string, canon *Canonical, dims int, req *ParetoRequest, allowForward bool) (*paretoFlightOutcome, error) {
+	if v, ok := s.cache.Get(key); ok {
+		return &paretoFlightOutcome{res: v.(*schedule.ParetoResult), fromCache: true}, nil
+	}
+	fellBack := false
+	if allowForward {
+		out, err, verdict := s.tryParetoPeerLookup(ctx, key, canon, dims, req)
+		switch verdict {
+		case peerDone:
+			return out, err
+		case peerFailed:
+			fellBack = true
+		}
+	}
+	queueStart := time.Now()
+	release, err := s.acquire(ctx)
+	recordStage(ctx, stageQueue, queueStart)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if v, ok := s.cache.Get(key); ok {
+		return &paretoFlightOutcome{res: v.(*schedule.ParetoResult), fromCache: true}, nil
+	}
+	s.met.searches.Add(1)
+	if fm := markFrom(ctx); fm != nil {
+		fm.searchStartNs.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	opts := &schedule.ParetoOptions{
+		Space: schedule.SpaceOptions{
+			MaxEntry: req.MaxEntry,
+			Schedule: schedule.Options{MaxCost: req.MaxCost, Workers: s.cfg.SearchWorkers},
+		},
+		TimeSlack: req.TimeSlack,
+		// ModeFront: selection happens per request, after the cache.
+	}
+	start := time.Now()
+	res, err := s.searchPareto(ctx, canon.Algo, dims, opts)
+	s.met.observeSearch(time.Since(start))
+	recordStage(ctx, stageSearch, start)
+	if err != nil {
+		return nil, err
+	}
+	s.met.observeSearchStats(res.Stats)
+	// No front enters the cache uncertified: the independent verifier
+	// re-derives every member certificate, every objective vector, and
+	// the non-domination/order invariants. A failure here is an engine
+	// bug, not a bad request — surface it loudly.
+	if err := s.certifyFront(ctx, canon.Algo, res); err != nil {
+		return nil, fmt.Errorf("service: front failed certification: %w", err)
+	}
+	s.cache.Add(key, res, estimateParetoBytes(key, res))
+	if fellBack {
+		s.fillParetoOwnerAsync(key, canon, dims, req, res)
+	}
+	return &paretoFlightOutcome{res: res}, nil
+}
+
+// certifyFront runs the Pareto verifier over a canonical-coordinate
+// result. Optimality analysis is skipped — slack-window members are
+// deliberately non-optimal in time — but member validity, conflict-
+// freedom, objective recomputation, the window, non-domination, and
+// the pinned order are all re-derived.
+func (s *Service) certifyFront(ctx context.Context, canonAlgo *uda.Algorithm, res *schedule.ParetoResult) error {
+	cert, err := verify.CertifyPareto(ctx, canonAlgo, paretoVerifyInputs(res), res.TimeBound, &verify.Options{SkipOptimality: true})
+	if err != nil {
+		return err
+	}
+	return cert.Err()
+}
+
+func paretoVerifyInputs(res *schedule.ParetoResult) []verify.ParetoInput {
+	inputs := make([]verify.ParetoInput, len(res.Front))
+	for i, m := range res.Front {
+		inputs[i] = verify.ParetoInput{S: m.Mapping.S, Pi: m.Mapping.Pi, Vector: [verify.ParetoAxes]int64(m.Vector)}
+	}
+	return inputs
+}
+
+// paretoResponse translates a canonical front into the request's axis
+// order and selects Best under the request's mode. The translation is
+// an index-space isomorphism, so every objective vector is invariant;
+// only S's columns and Π's entries move.
+func (s *Service) paretoResponse(ctx context.Context, algo *uda.Algorithm, canon *Canonical, key string, dims int, sel *schedule.ParetoOptions, res *schedule.ParetoResult) (*ParetoResponse, CacheStatus, error) {
+	defer recordStage(ctx, stageTranslate, time.Now())
+	best, err := schedule.SelectBest(res.Front, sel)
+	if err != nil {
+		// Selection was validated before the search; failing here means a
+		// cached front turned empty, which cannot happen.
+		return nil, "", err
+	}
+	front := make([]ParetoFrontMember, len(res.Front))
+	for i, m := range res.Front {
+		front[i] = ParetoFrontMember{
+			S:          matrixRows(canon.MatrixToRequest(m.Mapping.S)),
+			Pi:         canon.VectorToRequest(m.Mapping.Pi),
+			TotalTime:  m.Vector[schedule.ObjTime],
+			Processors: m.Vector[schedule.ObjProcessors],
+			Buffers:    m.Vector[schedule.ObjBuffers],
+			Links:      m.Vector[schedule.ObjLinks],
+		}
+	}
+	return &ParetoResponse{
+		Algorithm:    algo.Name,
+		Dim:          algo.Dim(),
+		NumDeps:      algo.NumDeps(),
+		Bounds:       algo.Set.Upper,
+		Dims:         dims,
+		Front:        front,
+		Best:         best,
+		TimeBound:    res.TimeBound,
+		Candidates:   res.Candidates,
+		Pruned:       res.Pruned,
+		Certified:    true,
+		CanonicalKey: key,
+	}, CacheHit, nil
+}
+
+// tryParetoPeerLookup forwards a missed front key to its ring owner —
+// the Pareto leg of tryPeerLookup, with the same three-way verdict.
+func (s *Service) tryParetoPeerLookup(ctx context.Context, key string, canon *Canonical, dims int, req *ParetoRequest) (*paretoFlightOutcome, error, peerVerdict) {
+	clu := s.clu
+	if clu == nil {
+		return nil, nil, peerSkip
+	}
+	owner := clu.ring.Owner(key)
+	if owner.ID == clu.self.ID {
+		return nil, nil, peerSkip
+	}
+
+	pctx, span := trace.Start(ctx, "peer-lookup")
+	var tp string
+	if span != nil {
+		span.SetStr("peer", owner.ID)
+		tp = trace.Traceparent(span.TraceID(), span.IDHex())
+		defer span.End()
+	}
+	defer recordStage(ctx, stageForward, time.Now())
+	cctx, cancel := context.WithTimeout(pctx, s.EffectiveTimeout(req.TimeoutMS)+peerLookupGrace)
+	defer cancel()
+	lreq := &cluster.ParetoLookupRequest{ParetoProblem: clusterParetoProblem(key, canon, dims, req), TimeoutMS: req.TimeoutMS}
+	resp, err := clu.client.ParetoLookup(cctx, owner, lreq, tp)
+	if err != nil {
+		var perr *cluster.PeerError
+		if errors.As(err, &perr) && perr.Status == http.StatusUnprocessableEntity {
+			s.met.peerForwardMiss.Add(1)
+			if span != nil {
+				span.SetStr("disposition", "infeasible")
+			}
+			return nil, fmt.Errorf("%w (decided by peer %s)", schedule.ErrNoSchedule, owner.ID), peerDone
+		}
+		s.met.peerForwardErrors.Add(1)
+		if span != nil {
+			span.SetStr("error", err.Error())
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), peerDone
+		}
+		return nil, nil, peerFailed
+	}
+	res, err := s.paretoFromWire(cctx, canon.Algo, dims, &resp.Result)
+	if err != nil {
+		s.met.peerForwardErrors.Add(1)
+		if span != nil {
+			span.SetStr("error", err.Error())
+		}
+		return nil, nil, peerFailed
+	}
+	switch resp.Disposition {
+	case cluster.DispositionHit:
+		s.met.peerForwardHit.Add(1)
+	case cluster.DispositionShared:
+		s.met.peerForwardShared.Add(1)
+	default:
+		s.met.peerForwardMiss.Add(1)
+	}
+	if span != nil {
+		span.SetStr("disposition", resp.Disposition)
+	}
+	s.cache.Add(key, res, estimateParetoBytes(key, res))
+	return &paretoFlightOutcome{res: res, viaPeer: true, peerDisposition: resp.Disposition}, nil, peerDone
+}
+
+// fillParetoOwnerAsync pushes a locally-searched front to its ring
+// owner after a failed forward, like fillOwnerAsync.
+func (s *Service) fillParetoOwnerAsync(key string, canon *Canonical, dims int, req *ParetoRequest, res *schedule.ParetoResult) {
+	clu := s.clu
+	if clu == nil {
+		return
+	}
+	owner := clu.ring.Owner(key)
+	if owner.ID == clu.self.ID {
+		return
+	}
+	done, err := s.begin()
+	if err != nil {
+		return
+	}
+	freq := &cluster.ParetoFillRequest{ParetoProblem: clusterParetoProblem(key, canon, dims, req), Result: *wireFromPareto(res)}
+	go func() {
+		defer done()
+		ctx, cancel := context.WithTimeout(context.Background(), clu.fillTimeout)
+		defer cancel()
+		if err := clu.client.ParetoFill(ctx, owner, freq); err != nil {
+			s.met.peerFillSendErrs.Add(1)
+			return
+		}
+		s.met.peerFillsSent.Add(1)
+	}()
+}
+
+// PeerParetoLookup answers one forwarded front problem as its ring
+// owner, sharing the flight group with origin /v1/pareto requests.
+func (s *Service) PeerParetoLookup(ctx context.Context, lreq *cluster.ParetoLookupRequest) (*cluster.ParetoLookupResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+
+	canon, dims, req, key, err := s.problemFromParetoWire(&lreq.ParetoProblem)
+	if err != nil {
+		return nil, err
+	}
+	req.TimeoutMS = lreq.TimeoutMS
+	if v, ok := s.cache.Get(key); ok {
+		s.met.peerServedHit.Add(1)
+		return &cluster.ParetoLookupResponse{Disposition: cluster.DispositionHit, Result: *wireFromPareto(v.(*schedule.ParetoResult))}, nil
+	}
+
+	fctx, fspan := trace.Start(ctx, "flight")
+	flightStart := time.Now()
+	v, err, leader, mark := s.flights.DoMarked(fctx, key, func(fc context.Context) (any, error) {
+		return s.runParetoSearch(fc, key, canon, dims, req, false)
+	})
+	if !leader {
+		s.recordFollowerWait(ctx, mark, flightStart)
+	}
+	if fspan != nil {
+		role := "follower"
+		if leader {
+			role = "leader"
+		}
+		fspan.SetStr("role", role)
+		if err != nil {
+			fspan.SetStr("error", err.Error())
+		}
+		fspan.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := v.(*paretoFlightOutcome)
+	disposition := cluster.DispositionShared
+	switch {
+	case !leader:
+		s.met.peerServedShared.Add(1)
+	case out.fromCache:
+		disposition = cluster.DispositionHit
+		s.met.peerServedHit.Add(1)
+	default:
+		disposition = cluster.DispositionMiss
+		s.met.peerServedMiss.Add(1)
+	}
+	return &cluster.ParetoLookupResponse{Disposition: disposition, Result: *wireFromPareto(out.res)}, nil
+}
+
+// PeerParetoFill accepts a best-effort front push, fully re-certified
+// before it enters the cache.
+func (s *Service) PeerParetoFill(ctx context.Context, freq *cluster.ParetoFillRequest) (*cluster.ParetoFillResponse, error) {
+	done, err := s.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+
+	canon, dims, _, key, err := s.problemFromParetoWire(&freq.ParetoProblem)
+	if err != nil {
+		s.met.peerFillsRejected.Add(1)
+		return nil, err
+	}
+	res, err := s.paretoFromWire(ctx, canon.Algo, dims, &freq.Result)
+	if err != nil {
+		s.met.peerFillsRejected.Add(1)
+		return nil, &BadRequestError{Err: err}
+	}
+	s.cache.Add(key, res, estimateParetoBytes(key, res))
+	s.met.peerFillsRecv.Add(1)
+	return &cluster.ParetoFillResponse{Stored: true}, nil
+}
+
+// clusterParetoProblem serializes a canonical front problem for the
+// peer protocol.
+func clusterParetoProblem(key string, canon *Canonical, dims int, req *ParetoRequest) cluster.ParetoProblem {
+	algo := canon.Algo
+	deps := make([][]int64, algo.NumDeps())
+	for c := range deps {
+		deps[c] = algo.D.Col(c)
+	}
+	return cluster.ParetoProblem{
+		Key:          key,
+		Bounds:       algo.Set.Upper,
+		Dependencies: deps,
+		Dims:         dims,
+		MaxEntry:     req.MaxEntry,
+		MaxCost:      req.MaxCost,
+		TimeSlack:    req.TimeSlack,
+	}
+}
+
+// problemFromParetoWire rebuilds and verifies a peer-supplied front
+// problem: full request validation, re-canonicalization, and the
+// recomputed key must match the wire key.
+func (s *Service) problemFromParetoWire(p *cluster.ParetoProblem) (*Canonical, int, *ParetoRequest, string, error) {
+	if p.Key == "" {
+		return nil, 0, nil, "", badRequest("service: peer pareto problem carries no key")
+	}
+	req := &ParetoRequest{
+		Bounds:       p.Bounds,
+		Dependencies: p.Dependencies,
+		Dims:         p.Dims,
+		MaxEntry:     p.MaxEntry,
+		MaxCost:      p.MaxCost,
+		TimeSlack:    p.TimeSlack,
+	}
+	algo, dims, _, err := validateParetoRequest(req)
+	if err != nil {
+		return nil, 0, nil, "", err
+	}
+	canon := Canonicalize(algo)
+	key := paretoCacheKey(canon.Key, dims, req)
+	if key != p.Key {
+		return nil, 0, nil, "", badRequest("service: peer pareto key %q does not match recomputed key %q", p.Key, key)
+	}
+	return canon, dims, req, key, nil
+}
+
+// wireFromPareto flattens a canonical front for the peer protocol.
+func wireFromPareto(res *schedule.ParetoResult) *cluster.ParetoWireResult {
+	members := make([]cluster.ParetoWireMember, len(res.Front))
+	for i, m := range res.Front {
+		members[i] = cluster.ParetoWireMember{
+			S:      matrixRows(m.Mapping.S),
+			Pi:     m.Mapping.Pi,
+			Vector: [cluster.ParetoAxes]int64(m.Vector),
+		}
+	}
+	return &cluster.ParetoWireResult{
+		Members:    members,
+		TimeBound:  res.TimeBound,
+		Candidates: res.Candidates,
+		Pruned:     res.Pruned,
+	}
+}
+
+// paretoFromWire revalidates a peer-supplied front end to end and
+// reassembles the canonical ParetoResult. The revalidation IS the
+// Pareto verifier: every member independently re-certified, every
+// objective vector recomputed, the window, non-domination and pinned
+// order re-checked — so a buggy or malicious peer cannot plant an
+// invalid member, a dominated vector, or a misordered front.
+func (s *Service) paretoFromWire(ctx context.Context, canonAlgo *uda.Algorithm, dims int, w *cluster.ParetoWireResult) (*schedule.ParetoResult, error) {
+	if len(w.Members) == 0 {
+		return nil, errors.New("service: peer front is empty")
+	}
+	n := canonAlgo.Dim()
+	front := make([]schedule.ParetoMember, len(w.Members))
+	inputs := make([]verify.ParetoInput, len(w.Members))
+	for i := range w.Members {
+		wm := &w.Members[i]
+		if len(wm.S) != dims {
+			return nil, fmt.Errorf("service: peer front member %d has %d space rows, want %d", i, len(wm.S), dims)
+		}
+		for r, row := range wm.S {
+			if len(row) != n {
+				return nil, fmt.Errorf("service: peer front member %d S row %d has %d entries, want %d", i, r+1, len(row), n)
+			}
+		}
+		if len(wm.Pi) != n {
+			return nil, fmt.Errorf("service: peer front member %d Π has %d entries, want %d", i, len(wm.Pi), n)
+		}
+		m, err := schedule.NewMapping(canonAlgo, intmat.FromRows(wm.S...), intmat.Vector(wm.Pi))
+		if err != nil {
+			return nil, fmt.Errorf("service: peer front member %d rejected: %w", i, err)
+		}
+		front[i] = schedule.ParetoMember{Mapping: m, Vector: schedule.ObjectiveVector(wm.Vector)}
+		inputs[i] = verify.ParetoInput{S: m.S, Pi: m.Pi, Vector: [verify.ParetoAxes]int64(wm.Vector)}
+	}
+	cert, err := verify.CertifyPareto(ctx, canonAlgo, inputs, w.TimeBound, &verify.Options{SkipOptimality: true})
+	if err != nil {
+		return nil, fmt.Errorf("service: peer front certification: %w", err)
+	}
+	if cerr := cert.Err(); cerr != nil {
+		return nil, fmt.Errorf("service: peer front rejected: %w", cerr)
+	}
+	return &schedule.ParetoResult{
+		Front:      front,
+		Best:       0,
+		TimeBound:  w.TimeBound,
+		Candidates: w.Candidates,
+		Pruned:     w.Pruned,
+	}, nil
+}
+
+// estimateParetoBytes approximates the resident size of one cached
+// front, like estimateResultBytes per member.
+func estimateParetoBytes(key string, res *schedule.ParetoResult) int64 {
+	b := int64(len(key)) + 512
+	for _, m := range res.Front {
+		if m.Mapping == nil {
+			continue
+		}
+		n := int64(m.Mapping.S.Cols())
+		rows := int64(m.Mapping.S.Rows())
+		b += 256 + 8*n*(2*rows+2)
+	}
+	return b
+}

@@ -168,20 +168,25 @@ type Service struct {
 	// concurrency deterministic. Production always uses
 	// schedule.FindJointMappingContext.
 	searchJoint func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.SpaceOptions) (*schedule.JointResult, error)
+	// searchPareto is the multi-objective engine behind /v1/pareto,
+	// substitutable like searchJoint. Production always uses
+	// schedule.FindParetoContext.
+	searchPareto func(ctx context.Context, algo *uda.Algorithm, dims int, opts *schedule.ParetoOptions) (*schedule.ParetoResult, error)
 }
 
 // New builds a Service from the config (zero value = all defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:         cfg,
-		cache:       newLRUCache(cfg.CacheSize),
-		flights:     newFlightGroup(),
-		sem:         make(chan struct{}, cfg.Pool),
-		met:         &metrics{},
-		closed:      make(chan struct{}),
-		started:     time.Now(),
-		searchJoint: schedule.FindJointMappingContext,
+		cfg:          cfg,
+		cache:        newLRUCache(cfg.CacheSize),
+		flights:      newFlightGroup(),
+		sem:          make(chan struct{}, cfg.Pool),
+		met:          &metrics{},
+		closed:       make(chan struct{}),
+		started:      time.Now(),
+		searchJoint:  schedule.FindJointMappingContext,
+		searchPareto: schedule.FindParetoContext,
 	}
 	s.flights.onJoin = func() { s.met.deduped.Add(1) }
 	s.met.cacheStats = s.cache.Stats

@@ -1,0 +1,129 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"lodim/internal/schedule"
+	"lodim/internal/uda"
+)
+
+// engineFront runs the multi-objective engine and converts its front
+// into the verifier's input shape.
+func engineFront(t *testing.T, algo *uda.Algorithm, slack int64) ([]ParetoInput, int64) {
+	t.Helper()
+	res, err := schedule.FindPareto(algo, 1, &schedule.ParetoOptions{TimeSlack: slack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]ParetoInput, len(res.Front))
+	for i, m := range res.Front {
+		members[i] = ParetoInput{S: m.Mapping.S, Pi: m.Mapping.Pi, Vector: [ParetoAxes]int64(m.Vector)}
+	}
+	return members, res.TimeBound
+}
+
+// TestCertifyParetoAcceptsEngineFront: the engine's front passes every
+// front-level witness with all objective axes independently confirmed.
+func TestCertifyParetoAcceptsEngineFront(t *testing.T) {
+	for _, algo := range []*uda.Algorithm{uda.MatMul(3), uda.TransitiveClosure(2), uda.Convolution(3, 2)} {
+		for _, slack := range []int64{0, 3} {
+			members, bound := engineFront(t, algo, slack)
+			cert, err := CertifyPareto(context.Background(), algo, members, bound, nil)
+			if err != nil {
+				t.Fatalf("%s slack=%d: %v", algo.Name, slack, err)
+			}
+			if !cert.Valid || !cert.NonDomination || !cert.OrderChecked {
+				t.Fatalf("%s slack=%d: rejected: %s (%s), member %d",
+					algo.Name, slack, cert.FailedWitness, cert.FailedDetail, cert.FailedMember)
+			}
+			for i, mc := range cert.Members {
+				if !mc.ProcessorsChecked {
+					t.Errorf("%s member %d: processors unchecked on a tiny index set", algo.Name, i)
+				}
+				if mc.Certificate.Optimality == "" {
+					t.Errorf("%s member %d: optimality analysis missing", algo.Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCertifyParetoRejections: each doctored front fails on the right
+// witness.
+func TestCertifyParetoRejections(t *testing.T) {
+	algo := uda.MatMul(3)
+	members, bound := engineFront(t, algo, 3)
+	if len(members) < 2 {
+		t.Skip("front too small to doctor")
+	}
+	ctx := context.Background()
+
+	t.Run("empty", func(t *testing.T) {
+		cert, err := CertifyPareto(ctx, algo, nil, bound, nil)
+		if err != nil || cert.Valid || cert.FailedWitness != WitnessParetoMember {
+			t.Fatalf("got valid=%v witness=%q err=%v", cert.Valid, cert.FailedWitness, err)
+		}
+	})
+
+	t.Run("doctored-vector", func(t *testing.T) {
+		bad := append([]ParetoInput(nil), members...)
+		bad[0].Vector[2]++ // inflate claimed buffers
+		cert, err := CertifyPareto(ctx, algo, bad, bound, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Valid || cert.FailedWitness != WitnessObjective || cert.FailedMember != 0 {
+			t.Fatalf("got valid=%v witness=%q member=%d", cert.Valid, cert.FailedWitness, cert.FailedMember)
+		}
+	})
+
+	t.Run("invalid-member", func(t *testing.T) {
+		bad := append([]ParetoInput(nil), members...)
+		pi := bad[0].Pi.Clone()
+		for i := range pi {
+			pi[i] = -1 // violates ΠD > 0 for matmul's identity dependences
+		}
+		bad[0].Pi = pi
+		cert, err := CertifyPareto(ctx, algo, bad, bound, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Valid || cert.FailedWitness != WitnessParetoMember {
+			t.Fatalf("got valid=%v witness=%q", cert.Valid, cert.FailedWitness)
+		}
+	})
+
+	t.Run("window", func(t *testing.T) {
+		cert, err := CertifyPareto(ctx, algo, members, members[0].Vector[0]-1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Valid || cert.FailedWitness != WitnessWindow {
+			t.Fatalf("got valid=%v witness=%q", cert.Valid, cert.FailedWitness)
+		}
+	})
+
+	t.Run("duplicate", func(t *testing.T) {
+		bad := append(append([]ParetoInput(nil), members...), members[len(members)-1])
+		cert, err := CertifyPareto(ctx, algo, bad, bound, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Valid || cert.NonDomination || cert.FailedWitness != WitnessDomination {
+			t.Fatalf("got valid=%v nondom=%v witness=%q", cert.Valid, cert.NonDomination, cert.FailedWitness)
+		}
+	})
+
+	t.Run("reordered", func(t *testing.T) {
+		bad := append([]ParetoInput(nil), members...)
+		bad[0], bad[1] = bad[1], bad[0]
+		cert, err := CertifyPareto(ctx, algo, bad, bound, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Valid || cert.OrderChecked || cert.FailedWitness != WitnessFrontOrder {
+			t.Fatalf("got valid=%v ordered=%v witness=%q", cert.Valid, cert.OrderChecked, cert.FailedWitness)
+		}
+	})
+}
