@@ -3,7 +3,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all check build test vet fmtcheck bench bench-diff race race-hot cluster-e2e loadgen corpus corpus-check fuzz cover experiments examples golden serve clean
+.PHONY: all check build test vet fmtcheck bench bench-diff bench-guard race race-hot cluster-e2e loadgen corpus corpus-check fuzz cover experiments examples golden serve clean
 
 all: build vet test
 
@@ -31,7 +31,7 @@ race:
 	$(GO) test -race ./...
 
 race-hot:
-	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/cluster/... ./internal/verify/... ./internal/trace/... ./internal/jobs/...
+	$(GO) test -race ./internal/schedule/... ./internal/conflict/... ./internal/service/... ./internal/cluster/... ./internal/verify/... ./internal/trace/... ./internal/jobs/... ./internal/slo/...
 
 # The multi-node federation tests: an in-process 3-node cluster under
 # the race detector (distributed singleflight, peer cache-fill, peer
@@ -75,6 +75,17 @@ OLD ?= BENCH_baseline.json
 NEW ?= BENCH_pr6.json
 bench-diff:
 	@$(GO) run ./internal/tools/benchjson -diff $(OLD) $(NEW)
+
+# Observability overhead guard: rerun the reference engine benchmark
+# and fail if ns/op worsened by more than 2% against the committed PR6
+# capture (benchmarks present only on one side are reported, never
+# counted). Run on a quiet machine; GUARD_BENCHTIME trades noise for
+# wall time.
+GUARD_BENCHTIME ?= 3s
+bench-guard:
+	@$(GO) test -run '^$$' -bench 'Engines/procedure/mu=8$$' -benchmem -benchtime=$(GUARD_BENCHTIME) . \
+		| $(GO) run ./internal/tools/benchjson > BENCH_guard.json
+	@$(GO) run ./internal/tools/benchjson -diff -threshold 0.02 -fail BENCH_pr6.json BENCH_guard.json
 
 # Short fuzz campaigns on every fuzz target (seed corpora always run
 # under plain `make test`).

@@ -16,6 +16,12 @@
 // round-robin across targets; 429/503 answers are retried honoring the
 // server's Retry-After hint plus jitter.
 //
+// With -tenants N every request carries an X-Mapserve-Tenant header
+// rotating over N synthetic tenants, exercising the server's per-tenant
+// accounting; -cluster-status polls /v1/cluster/status during the run
+// and prints the server-side fleet and SLO verdicts next to the
+// client-side ones.
+//
 // Exit status: 0 when every configured SLO passes, 1 otherwise.
 package main
 
@@ -59,6 +65,9 @@ type config struct {
 	sloP99       time.Duration
 	sloErrorRate float64
 	sloHitRatio  float64
+
+	tenants       int
+	clusterStatus bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -80,6 +89,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.sloP99, "slo-p99", 0, "fail if p99 latency exceeds this (0 = unchecked)")
 	fs.Float64Var(&cfg.sloErrorRate, "slo-error-rate", 0.01, "fail if the error rate exceeds this fraction (negative = unchecked)")
 	fs.Float64Var(&cfg.sloHitRatio, "slo-hit-ratio", -1, "fail if the aggregate cache-hit ratio falls below this fraction (negative = unchecked)")
+	fs.IntVar(&cfg.tenants, "tenants", 0, "tag requests with X-Mapserve-Tenant headers rotating over this many synthetic tenants (0 = untagged)")
+	fs.BoolVar(&cfg.clusterStatus, "cluster-status", false, "poll /v1/cluster/status during the run and report the server-side fleet verdicts next to the client-side ones")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -116,6 +127,9 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if cfg.maxRetries < 0 {
 		return nil, fmt.Errorf("-max-retries must be >= 0, got %d", cfg.maxRetries)
+	}
+	if cfg.tenants < 0 {
+		return nil, fmt.Errorf("-tenants must be >= 0, got %d", cfg.tenants)
 	}
 	return cfg, nil
 }
@@ -243,18 +257,18 @@ func (d *driver) worker(wg *sync.WaitGroup, jobs <-chan int, bodies [][]byte, se
 		if d.pace != nil {
 			<-d.pace
 		}
-		d.results[i] = d.issue(rng, d.cfg.targets[i%len(d.cfg.targets)], bodies[i])
+		d.results[i] = d.issue(rng, d.cfg.targets[i%len(d.cfg.targets)], bodies[i], i)
 	}
 }
 
 // issue posts one map request, retrying 429/503 with the server's
 // Retry-After hint plus up to 250ms of jitter so synchronized retry
 // herds cannot form.
-func (d *driver) issue(rng *rand.Rand, target string, body []byte) outcome {
+func (d *driver) issue(rng *rand.Rand, target string, body []byte, idx int) outcome {
 	start := time.Now()
 	retries := 0
 	for attempt := 0; ; attempt++ {
-		out := d.post(target, body)
+		out := d.post(target, body, idx)
 		retryable := out.err == nil &&
 			(out.status == http.StatusTooManyRequests || out.status == http.StatusServiceUnavailable)
 		if !retryable || attempt >= d.cfg.maxRetries {
@@ -271,8 +285,16 @@ func (d *driver) issue(rng *rand.Rand, target string, body []byte) outcome {
 	}
 }
 
-func (d *driver) post(target string, body []byte) outcome {
-	resp, err := d.client.Post(target+"/v1/map", "application/json", bytes.NewReader(body))
+func (d *driver) post(target string, body []byte, idx int) outcome {
+	req, err := http.NewRequest("POST", target+"/v1/map", bytes.NewReader(body))
+	if err != nil {
+		return outcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if d.cfg.tenants > 0 {
+		req.Header.Set(service.TenantHeader, fmt.Sprintf("tenant-%03d", idx%d.cfg.tenants))
+	}
+	resp, err := d.client.Do(req)
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -382,6 +404,11 @@ func run(cfg *config, text io.Writer) (*report, bool, error) {
 		d.pace = pace
 	}
 
+	var poller *statusPoller
+	if cfg.clusterStatus {
+		poller = startStatusPoller(d.client, cfg.targets[0])
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -400,9 +427,92 @@ func run(cfg *config, text io.Writer) (*report, bool, error) {
 	}
 
 	rep := summarize(cfg, families, d.results, wall)
+	if poller != nil {
+		rep.Server = poller.finish()
+		if rep.Server == nil {
+			fmt.Fprintln(text, "maploadgen: /v1/cluster/status never answered; no server-side verdicts")
+		}
+	}
 	pass := evaluateSLOs(cfg, rep)
 	writeText(text, cfg, rep)
 	return rep, pass, nil
+}
+
+// statusPoller samples /v1/cluster/status while the load runs, so the
+// server-side verdicts in the report reflect the run itself, not just
+// its aftermath.
+type statusPoller struct {
+	client *http.Client
+	target string
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu    sync.Mutex
+	polls int
+	last  *service.ClusterStatusResponse
+}
+
+func startStatusPoller(client *http.Client, target string) *statusPoller {
+	p := &statusPoller{client: client, target: target, stop: make(chan struct{}), done: make(chan struct{})}
+	go p.loop()
+	return p
+}
+
+func (p *statusPoller) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		p.poll()
+		select {
+		case <-tick.C:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *statusPoller) poll() {
+	cs, err := fetchClusterStatus(p.client, p.target)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.polls++
+	p.last = cs
+	p.mu.Unlock()
+}
+
+// finish stops the poller, takes one final sample after the load has
+// fully drained, and returns the server-side view — nil when the
+// endpoint never answered.
+func (p *statusPoller) finish() *serverView {
+	close(p.stop)
+	<-p.done
+	p.poll()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.last == nil {
+		return nil
+	}
+	return &serverView{Polls: p.polls, Fleet: p.last.Fleet}
+}
+
+func fetchClusterStatus(client *http.Client, target string) (*service.ClusterStatusResponse, error) {
+	resp, err := client.Get(target + "/v1/cluster/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster status: HTTP %d", resp.StatusCode)
+	}
+	var cs service.ClusterStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
 }
 
 // report is the JSON document maploadgen emits.
@@ -430,6 +540,15 @@ type report struct {
 	// comes from a mapcorpus manifest (-corpus).
 	Families map[string]*famStats `json:"families,omitempty"`
 	SLOs     []sloVerdict         `json:"slos"`
+	// Server is the fleet-side view sampled from /v1/cluster/status when
+	// -cluster-status is set.
+	Server *serverView `json:"server,omitempty"`
+}
+
+// serverView is the server-side fleet status seen during the run.
+type serverView struct {
+	Polls int                 `json:"polls"`
+	Fleet service.FleetStatus `json:"fleet"`
 }
 
 // famStats is one scenario family's slice of a corpus-driven run.
@@ -593,6 +712,22 @@ func writeText(w io.Writer, cfg *config, rep *report) {
 			verdict = "FAIL"
 		}
 		fmt.Fprintf(w, "  slo %-24s target %.4f actual %.4f  %s\n", s.Name, s.Target, s.Actual, verdict)
+	}
+	if rep.Server != nil {
+		f := rep.Server.Fleet
+		fmt.Fprintf(w, "  fleet %s: %d node(s), %d ok, %d degraded, %d unreachable; %d requests (%d status polls)\n",
+			f.Status, f.Nodes, f.Healthy, f.Degraded, f.Unreachable, f.Requests, rep.Server.Polls)
+		for _, ob := range f.SLO {
+			verdict := "OK"
+			if ob.Breached {
+				verdict = "BREACHED on " + strings.Join(ob.BreachedNodes, ",")
+			}
+			fmt.Fprintf(w, "  slo server:%-17s burn fast %.2f slow %.2f  %s\n", ob.Objective, ob.MaxFastBurn, ob.MaxSlowBurn, verdict)
+		}
+		for _, tu := range f.Tenants {
+			fmt.Fprintf(w, "  tenant %-16s requests %5d, cache hits %5d, search ms %6d, rejections %d\n",
+				tu.Tenant, tu.Requests, tu.CacheHits, tu.SearchMillis, tu.QueueRejections)
+		}
 	}
 }
 

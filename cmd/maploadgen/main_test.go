@@ -24,6 +24,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"-inproc", "2", "-dims", "3"},
 		{"-inproc", "2", "-rps", "-1"},
 		{"-inproc", "2", "-max-retries", "-1"},
+		{"-inproc", "2", "-tenants", "-1"},
 		{"-inproc", "2", "junk"},
 	}
 	for _, args := range bad {
@@ -115,6 +116,7 @@ func TestRunInprocCluster(t *testing.T) {
 		"-inproc", "2", "-n", "60", "-problems", "4",
 		"-concurrency", "4", "-seed", "3", "-timeout", "30s",
 		"-slo-error-rate", "0", "-slo-hit-ratio", "0.5",
+		"-tenants", "3", "-cluster-status",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -145,6 +147,32 @@ func TestRunInprocCluster(t *testing.T) {
 	}
 	if rep.LatencyMS["p99"] <= 0 || rep.WallSecs <= 0 {
 		t.Errorf("degenerate timing: %+v %v", rep.LatencyMS, rep.WallSecs)
+	}
+	// The server-side fleet view was polled and merged: both nodes
+	// healthy, and the three synthetic tenants each accounted. The last
+	// few requests may still be mid-accounting when the final status
+	// sample lands, so bound the total loosely from below.
+	if rep.Server == nil {
+		t.Fatal("-cluster-status set but the report has no server view")
+	}
+	fleet := rep.Server.Fleet
+	if fleet.Status != "ok" || fleet.Nodes != 2 || fleet.Healthy != 2 || fleet.Unreachable != 0 {
+		t.Errorf("fleet = %+v, want 2 healthy nodes", fleet)
+	}
+	if rep.Server.Polls < 1 {
+		t.Error("cluster status never polled")
+	}
+	var tenantTotal int64
+	seen := map[string]bool{}
+	for _, tu := range fleet.Tenants {
+		tenantTotal += tu.Requests
+		seen[tu.Tenant] = true
+	}
+	if len(seen) != 3 || !seen["tenant-000"] || !seen["tenant-001"] || !seen["tenant-002"] {
+		t.Errorf("fleet tenants = %+v, want tenant-000..002", fleet.Tenants)
+	}
+	if tenantTotal < 50 {
+		t.Errorf("fleet tenant requests sum to %d, want ≈ 60", tenantTotal)
 	}
 	if time.Since(start) > 60*time.Second {
 		t.Errorf("load test took %v", time.Since(start))

@@ -23,6 +23,13 @@
 // singleflight guarantees each problem is searched at most once
 // cluster-wide. POST /v1/batch answers many map queries per request.
 //
+// With -slo-availability and/or -slo-latency-p99 the server evaluates
+// rolling burn-rate SLOs over the public sync endpoints: a breach logs
+// one structured alert line, flips /healthz to "degraded", and (with
+// -slo-evidence-dir) captures a CPU profile plus the slowest traces.
+// GET /v1/cluster/status merges every node's snapshot — counters, SLO
+// verdicts, per-tenant usage (X-Mapserve-Tenant) — into a fleet view.
+//
 // With -pprof ADDR a private debug listener additionally serves
 // /debug/pprof/ and the /debug/requests trace inspector (the last
 // -trace-buffer completed request traces as HTML, JSON, or Perfetto
@@ -53,6 +60,7 @@ import (
 
 	"lodim/internal/cluster"
 	"lodim/internal/service"
+	"lodim/internal/slo"
 	"lodim/internal/trace"
 )
 
@@ -76,6 +84,13 @@ type config struct {
 	jobsDir    string
 	jobWorkers int
 	jobQueue   int
+
+	// SLO engine (both objectives zero = disabled).
+	sloAvailability float64
+	sloLatencyP99   time.Duration
+	sloWindow       string
+	sloEvidenceDir  string
+	traceMaxFiles   int
 
 	// Cluster membership (all empty = single node).
 	nodeID    string
@@ -103,6 +118,11 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.traceBuffer, "trace-buffer", 64, "completed request traces kept for the /debug/requests inspector (0 = tracing off)")
 	fs.StringVar(&cfg.traceDir, "trace-dir", "", "export the slowest traces per endpoint as Perfetto JSON into this directory (empty = disabled)")
 	fs.IntVar(&cfg.traceSlowest, "trace-slowest", 8, "slowest traces retained per endpoint in -trace-dir")
+	fs.IntVar(&cfg.traceMaxFiles, "trace-max-files", 0, "total trace files allowed in -trace-dir across all endpoints, oldest evicted first (0 = unlimited)")
+	fs.Float64Var(&cfg.sloAvailability, "slo-availability", 0, "availability SLO target in (0,1), e.g. 0.999 (0 = objective disabled)")
+	fs.DurationVar(&cfg.sloLatencyP99, "slo-latency-p99", 0, "p99 latency SLO threshold, e.g. 500ms (0 = objective disabled)")
+	fs.StringVar(&cfg.sloWindow, "slo-window", "5m", "slow SLO evaluation window: "+strings.Join(slo.SlowWindowNames(), ", "))
+	fs.StringVar(&cfg.sloEvidenceDir, "slo-evidence-dir", "", "write a breach evidence bundle (CPU profile + slowest traces) into this directory (empty = disabled)")
 	fs.StringVar(&cfg.jobsDir, "jobs-dir", "", "spool directory for the durable async job tier (empty = /v1/jobs disabled)")
 	fs.IntVar(&cfg.jobWorkers, "job-workers", 0, "async job executor goroutines (0 = default)")
 	fs.IntVar(&cfg.jobQueue, "job-queue", 0, "queued jobs allowed per tenant before 429 (0 = default)")
@@ -153,6 +173,36 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.traceDir != "" && cfg.traceBuffer == 0 {
 		return nil, errors.New("-trace-dir requires tracing: set -trace-buffer > 0")
 	}
+	if cfg.traceMaxFiles < 0 {
+		return nil, fmt.Errorf("-trace-max-files must be >= 0, got %d", cfg.traceMaxFiles)
+	}
+	if cfg.traceMaxFiles > 0 && cfg.traceDir == "" {
+		return nil, errors.New("-trace-max-files requires -trace-dir")
+	}
+	if cfg.sloAvailability < 0 || cfg.sloAvailability >= 1 {
+		if cfg.sloAvailability != 0 {
+			return nil, fmt.Errorf("-slo-availability must be in (0,1), got %g", cfg.sloAvailability)
+		}
+	}
+	if cfg.sloLatencyP99 < 0 {
+		return nil, fmt.Errorf("-slo-latency-p99 must be >= 0, got %s", cfg.sloLatencyP99)
+	}
+	if !slo.ValidSlowWindow(cfg.sloWindow) {
+		return nil, fmt.Errorf("-slo-window must be one of %s, got %q", strings.Join(slo.SlowWindowNames(), ", "), cfg.sloWindow)
+	}
+	if cfg.sloEvidenceDir != "" {
+		if cfg.sloAvailability == 0 && cfg.sloLatencyP99 == 0 {
+			return nil, errors.New("-slo-evidence-dir requires an objective: set -slo-availability or -slo-latency-p99")
+		}
+		// Probe the evidence directory now: a bad path should be a flag
+		// error, not a silently dropped capture at breach time.
+		if err := os.MkdirAll(cfg.sloEvidenceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("-slo-evidence-dir: %w", err)
+		}
+	}
+	if err := service.ValidateSLOConfig(cfg.sloConfig()); err != nil {
+		return nil, fmt.Errorf("slo flags: %w", err)
+	}
 	if cfg.jobWorkers < 0 {
 		return nil, fmt.Errorf("-job-workers must be >= 0, got %d", cfg.jobWorkers)
 	}
@@ -173,6 +223,20 @@ func parseFlags(args []string) (*config, error) {
 		return nil, err
 	}
 	return cfg, nil
+}
+
+// sloConfig assembles the service-facing SLO knobs, nil when no
+// objective was asked for.
+func (c *config) sloConfig() *service.SLOConfig {
+	if c.sloAvailability == 0 && c.sloLatencyP99 == 0 {
+		return nil
+	}
+	return &service.SLOConfig{
+		Availability: c.sloAvailability,
+		LatencyP99:   c.sloLatencyP99,
+		Window:       c.sloWindow,
+		EvidenceDir:  c.sloEvidenceDir,
+	}
 }
 
 // parseClusterFlags validates the membership trio: -peers lists every
@@ -272,6 +336,11 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string)
 		MaxTimeout:     cfg.maxTimeout,
 		Logger:         newLogger(cfg.logFormat),
 		TraceBuffer:    cfg.traceBuffer,
+		SLO:            cfg.sloConfig(),
+	}
+	if scfg.SLO != nil {
+		log.Printf("mapserve: slo engine on (availability %g, latency-p99 %s, window %s)",
+			cfg.sloAvailability, cfg.sloLatencyP99, cfg.sloWindow)
 	}
 	if cfg.jobsDir != "" {
 		scfg.Jobs = &service.JobsConfig{
@@ -291,7 +360,7 @@ func run(cfg *config, sigCh <-chan os.Signal, ready func(addr, pprofAddr string)
 	}
 	svc := service.New(scfg)
 	if cfg.traceDir != "" {
-		ds, err := trace.NewDirSink(cfg.traceDir, cfg.traceSlowest)
+		ds, err := trace.NewDirSinkLimited(cfg.traceDir, cfg.traceSlowest, cfg.traceMaxFiles)
 		if err != nil {
 			svc.Close()
 			return fmt.Errorf("trace dir: %w", err)

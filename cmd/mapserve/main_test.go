@@ -26,8 +26,32 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.pprofAddr != "" || cfg.logFormat != "text" {
 		t.Errorf("observability defaults off: pprof=%q log-format=%q", cfg.pprofAddr, cfg.logFormat)
 	}
-	if cfg.traceBuffer != 64 || cfg.traceDir != "" || cfg.traceSlowest != 8 {
-		t.Errorf("trace defaults off: buffer=%d dir=%q slowest=%d", cfg.traceBuffer, cfg.traceDir, cfg.traceSlowest)
+	if cfg.traceBuffer != 64 || cfg.traceDir != "" || cfg.traceSlowest != 8 || cfg.traceMaxFiles != 0 {
+		t.Errorf("trace defaults off: buffer=%d dir=%q slowest=%d max-files=%d", cfg.traceBuffer, cfg.traceDir, cfg.traceSlowest, cfg.traceMaxFiles)
+	}
+	if cfg.sloAvailability != 0 || cfg.sloLatencyP99 != 0 || cfg.sloWindow != "5m" || cfg.sloEvidenceDir != "" {
+		t.Errorf("slo defaults off: %+v", cfg)
+	}
+	if cfg.sloConfig() != nil {
+		t.Error("slo engine configured with no objective flags")
+	}
+}
+
+func TestParseFlagsSLO(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := parseFlags([]string{
+		"-slo-availability", "0.999", "-slo-latency-p99", "250ms",
+		"-slo-window", "30m", "-slo-evidence-dir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := cfg.sloConfig()
+	if slo == nil {
+		t.Fatal("sloConfig() = nil with both objectives set")
+	}
+	if slo.Availability != 0.999 || slo.LatencyP99 != 250*time.Millisecond || slo.Window != "30m" || slo.EvidenceDir != dir {
+		t.Errorf("sloConfig() = %+v", slo)
 	}
 }
 
@@ -55,6 +79,15 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"job workers without spool", []string{"-job-workers", "2"}},
 		{"job queue without spool", []string{"-job-queue", "8"}},
 		{"unusable jobs dir", []string{"-jobs-dir", "/dev/null/spool"}},
+		{"negative trace max files", []string{"-trace-max-files", "-1"}},
+		{"trace max files without dir", []string{"-trace-max-files", "5"}},
+		{"availability above 1", []string{"-slo-availability", "1.5"}},
+		{"availability exactly 1", []string{"-slo-availability", "1"}},
+		{"negative availability", []string{"-slo-availability", "-0.1"}},
+		{"negative latency slo", []string{"-slo-latency-p99", "-1s"}},
+		{"bad slo window", []string{"-slo-availability", "0.99", "-slo-window", "2h"}},
+		{"evidence dir without objective", []string{"-slo-evidence-dir", "/tmp/x"}},
+		{"unusable evidence dir", []string{"-slo-availability", "0.99", "-slo-evidence-dir", "/dev/null/x"}},
 	}
 	for _, c := range cases {
 		if _, err := parseFlags(c.args); err == nil {

@@ -101,6 +101,25 @@ func (c *Client) ParetoFill(ctx context.Context, m Member, req *ParetoFillReques
 	return c.post(ctx, m, ParetoFillPath, req, "", &resp)
 }
 
+// Status fetches a peer's observability snapshot — the read-only leg
+// of the protocol. It shares post's transport discipline (hop header,
+// body cap, passive health reporting).
+func (c *Client) Status(ctx context.Context, m Member, traceparent string) (*NodeStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+StatusPath, nil)
+	if err != nil {
+		return nil, &PeerError{Member: m, Err: err}
+	}
+	hreq.Header.Set(HopHeader, strconv.Itoa(MaxHops))
+	if traceparent != "" {
+		hreq.Header.Set("Traceparent", traceparent)
+	}
+	var resp NodeStatus
+	if err := c.do(m, StatusPath, hreq, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // post runs one peer call: encode, send with the hop header, decode,
 // and report the outcome to the health tracker.
 func (c *Client) post(ctx context.Context, m Member, path string, body any, traceparent string, out any) error {
@@ -117,6 +136,13 @@ func (c *Client) post(ctx context.Context, m Member, path string, body any, trac
 	if traceparent != "" {
 		hreq.Header.Set("Traceparent", traceparent)
 	}
+	return c.do(m, path, hreq, out)
+}
+
+// do sends a prepared request and handles the shared tail: bounded
+// read, non-200 classification (the peer is up — only transport
+// failures mark it unhealthy), decode, health report.
+func (c *Client) do(m Member, path string, hreq *http.Request, out any) error {
 	hresp, err := c.httpc.Do(hreq)
 	if err != nil {
 		perr := &PeerError{Member: m, Err: err}

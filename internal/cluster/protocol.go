@@ -1,5 +1,7 @@
 package cluster
 
+import "lodim/internal/slo"
+
 // The peer protocol: two JSON-over-HTTP endpoints every clustered
 // mapserve node serves alongside its public API.
 //
@@ -168,4 +170,57 @@ type ParetoFillRequest struct {
 // ParetoFillResponse acknowledges a Pareto fill.
 type ParetoFillResponse struct {
 	Stored bool `json:"stored"`
+}
+
+// The status leg of the peer protocol is read-only: one GET every
+// clustered (or standalone) node serves so a coordinator can merge a
+// fleet-wide view without ssh.
+//
+//	GET /peer/v1/status — the node's observability snapshot: request
+//	  counters, SLO engine state, tenant top-K and its view of the ring.
+//
+// The hop guard applies exactly as on the write legs: a status fan-out
+// carries MaxHops, so a receiving node answers locally and never
+// re-fans.
+const StatusPath = "/peer/v1/status"
+
+// TenantUsage is one tenant's accumulated usage counters. The service
+// layer bounds tenant-label cardinality (LRU + an "other" overflow
+// bucket), so a fleet merge sums a small, closed set.
+type TenantUsage struct {
+	Tenant          string `json:"tenant"`
+	Requests        int64  `json:"requests"`
+	CacheHits       int64  `json:"cache_hits"`
+	SearchMillis    int64  `json:"search_ms"`
+	QueueRejections int64  `json:"queue_rejections"`
+}
+
+// RingView is the node's own view of cluster membership and passive
+// peer health. Disagreeing views across nodes are themselves a finding
+// the fleet page surfaces.
+type RingView struct {
+	Self    string       `json:"self"`
+	Members []string     `json:"members"`
+	VNodes  int          `json:"vnodes"`
+	Peers   []PeerStatus `json:"peers,omitempty"`
+}
+
+// NodeStatus is one node's observability snapshot, served at
+// StatusPath and merged by /v1/cluster/status.
+type NodeStatus struct {
+	Node          string  `json:"node"`
+	Status        string  `json:"status"` // "ok" | "degraded" | "shutting_down"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Searches    int64 `json:"searches"`
+	Rejected    int64 `json:"rejected"`
+	Timeouts    int64 `json:"timeouts"`
+	Failures    int64 `json:"failures"`
+
+	SLO     *slo.Snapshot `json:"slo,omitempty"`
+	Tenants []TenantUsage `json:"tenants,omitempty"`
+	Ring    *RingView     `json:"ring,omitempty"`
 }

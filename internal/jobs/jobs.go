@@ -230,14 +230,16 @@ var (
 )
 
 // QueueFullError reports that a tenant's queue is at capacity — the
-// HTTP layer maps it to 429 with a Retry-After hint.
+// HTTP layer maps it to 429 with a Retry-After hint plus the rejecting
+// tenant's depth and limit in the JSON error body.
 type QueueFullError struct {
 	Tenant string
+	Depth  int // queued jobs for the tenant at rejection time
 	Limit  int
 }
 
 func (e *QueueFullError) Error() string {
-	return fmt.Sprintf("jobs: queue full for tenant %q (%d queued)", e.Tenant, e.Limit)
+	return fmt.Sprintf("jobs: queue full for tenant %q (%d queued, limit %d)", e.Tenant, e.Depth, e.Limit)
 }
 
 // RetryableError marks an executor failure as transient (admission

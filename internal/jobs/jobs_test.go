@@ -231,6 +231,9 @@ func TestQueueFullPerTenant(t *testing.T) {
 	if !errors.As(err, &qf) || qf.Tenant != "acme" {
 		t.Fatalf("err = %v, want QueueFullError for acme", err)
 	}
+	if qf.Depth != 1 || qf.Limit != 1 {
+		t.Fatalf("depth/limit = %d/%d, want 1/1", qf.Depth, qf.Limit)
+	}
 	if st := m.Stats(); st.Rejected != 1 {
 		t.Fatalf("rejected = %d", st.Rejected)
 	}

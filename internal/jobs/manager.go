@@ -171,9 +171,9 @@ func (m *Manager) Submit(kind, tenant, key string, payload json.RawMessage) (Sna
 			sn.Deduped = true
 			return sn, nil
 		default: // failed or cancelled: re-arm
-			if m.q.tenantLen(j.tenant) >= m.cfg.PerTenantQueue {
+			if depth := m.q.tenantLen(j.tenant); depth >= m.cfg.PerTenantQueue {
 				m.rejected.Add(1)
-				return Snapshot{}, &QueueFullError{Tenant: j.tenant, Limit: m.cfg.PerTenantQueue}
+				return Snapshot{}, &QueueFullError{Tenant: j.tenant, Depth: depth, Limit: m.cfg.PerTenantQueue}
 			}
 			j.state = StateQueued
 			j.finished = time.Time{}
@@ -192,9 +192,9 @@ func (m *Manager) Submit(kind, tenant, key string, payload json.RawMessage) (Sna
 			return j.snapshot(), nil
 		}
 	}
-	if m.q.tenantLen(tenant) >= m.cfg.PerTenantQueue {
+	if depth := m.q.tenantLen(tenant); depth >= m.cfg.PerTenantQueue {
 		m.rejected.Add(1)
-		return Snapshot{}, &QueueFullError{Tenant: tenant, Limit: m.cfg.PerTenantQueue}
+		return Snapshot{}, &QueueFullError{Tenant: tenant, Depth: depth, Limit: m.cfg.PerTenantQueue}
 	}
 	j := &job{
 		id:      id,

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logLines is a concurrency-safe slog sink for counting alert lines.
+type logLines struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (l *logLines) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *logLines) count(substr string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Count(l.buf.String(), substr)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestClusterE2EStatusAggregation: three nodes run a tight latency SLO;
+// tenant-tagged traffic to ONE node induces a breach there. Exactly that
+// node flips /healthz to degraded, logs exactly one alert line, and
+// writes exactly one evidence bundle; /v1/cluster/status asked of a
+// DIFFERENT node reports the fleet-wide verdict, names the breached
+// node, and merges the tenant top-K; /metrics carries an exemplar whose
+// trace id resolves in /debug/requests' registry.
+func TestClusterE2EStatusAggregation(t *testing.T) {
+	logs := make([]*logLines, 3)
+	evidence := make([]string, 3)
+	tc := newTestCluster(t, 3, func(i int, cfg *Config) {
+		logs[i] = &logLines{}
+		evidence[i] = t.TempDir()
+		cfg.TraceBuffer = 64
+		cfg.Logger = slog.New(slog.NewTextHandler(logs[i], nil))
+		cfg.SLO = &SLOConfig{
+			LatencyP99:      time.Nanosecond, // every request is over threshold
+			MinEvents:       5,
+			EvidenceDir:     evidence[i],
+			ProfileDuration: 10 * time.Millisecond,
+		}
+	})
+	// Drive the owner so the search (and its exemplar) land on the same
+	// node that breaches.
+	owner := tc.ownerIndex(t, e2eBody)
+	for i := 0; i < 8; i++ {
+		req, err := http.NewRequest("POST", tc.srvs[owner].URL+"/v1/map", strings.NewReader(e2eBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(TenantHeader, []string{"acme", "globex"}[i%2])
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Exactly one node degrades, and its liveness stays intact: /healthz
+	// answers 200 with the degraded status in the body.
+	waitFor(t, "owner to degrade", func() bool { return tc.svcs[owner].Status().Status == "degraded" })
+	for i, svc := range tc.svcs {
+		want := "ok"
+		if i == owner {
+			want = "degraded"
+		}
+		if got := svc.Status().Status; got != want {
+			t.Errorf("node%d status = %q, want %q", i, got, want)
+		}
+	}
+	var hz Status
+	if code := getJSON(t, tc.srvs[owner].URL+"/healthz", &hz); code != 200 {
+		t.Errorf("degraded /healthz returned %d, want 200 (liveness must survive a breach)", code)
+	}
+	if hz.Status != "degraded" || hz.SLO == nil || hz.SLO.Healthy {
+		t.Errorf("degraded /healthz body: status=%q slo=%+v", hz.Status, hz.SLO)
+	}
+
+	// Exactly one alert line, on exactly the breached node, and exactly
+	// one evidence bundle with profile, metadata and traces.
+	waitFor(t, "evidence capture", func() bool { return logs[owner].count("slo evidence captured") == 1 })
+	for i, lg := range logs {
+		want := 0
+		if i == owner {
+			want = 1
+		}
+		if got := lg.count(`msg="slo breach"`); got != want {
+			t.Errorf("node%d breach alert lines = %d, want %d", i, got, want)
+		}
+	}
+	for i, dir := range evidence {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != owner {
+			if len(entries) != 0 {
+				t.Errorf("node%d wrote evidence without breaching: %v", i, entries)
+			}
+			continue
+		}
+		if len(entries) != 1 || entries[0].Name() != "latency-p99-001" {
+			t.Fatalf("owner evidence dirs = %v, want exactly [latency-p99-001]", entries)
+		}
+		bundle := filepath.Join(dir, entries[0].Name())
+		for _, f := range []string{"meta.json", "cpu.pprof"} {
+			if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
+				t.Errorf("evidence bundle missing %s: %v", f, err)
+			}
+		}
+		traces, err := filepath.Glob(filepath.Join(bundle, "traces", "*.json"))
+		if err != nil || len(traces) == 0 {
+			t.Errorf("evidence bundle has no trace flush (err=%v)", err)
+		}
+		var meta struct {
+			Objective string `json:"objective"`
+		}
+		raw, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
+		if err != nil || json.Unmarshal(raw, &meta) != nil || meta.Objective != "latency-p99" {
+			t.Errorf("meta.json = %s (err=%v)", raw, err)
+		}
+	}
+
+	// The fleet view from a NON-breached node: cross-node verdict names
+	// the breached peer and the tenant top-K is merged.
+	asker := (owner + 1) % 3
+	var cs ClusterStatusResponse
+	if code := getJSON(t, tc.srvs[asker].URL+"/v1/cluster/status", &cs); code != 200 {
+		t.Fatalf("/v1/cluster/status returned %d", code)
+	}
+	f := cs.Fleet
+	if f.Status != "degraded" || f.Nodes != 3 || f.Healthy != 2 || f.Degraded != 1 || f.Unreachable != 0 {
+		t.Errorf("fleet = %+v, want degraded 3/2/1/0", f)
+	}
+	if len(cs.Nodes) != 3 {
+		t.Fatalf("node reports = %d, want 3", len(cs.Nodes))
+	}
+	ownerID := tc.members[owner].ID
+	var sawBreach bool
+	for _, ob := range f.SLO {
+		if ob.Objective == "latency-p99" {
+			sawBreach = true
+			if !ob.Breached || len(ob.BreachedNodes) != 1 || ob.BreachedNodes[0] != ownerID {
+				t.Errorf("fleet latency verdict = %+v, want breached by %s only", ob, ownerID)
+			}
+			if ob.MaxSlowBurn < 4 {
+				t.Errorf("fleet max slow burn = %g, want ≥ burn threshold", ob.MaxSlowBurn)
+			}
+		}
+	}
+	if !sawBreach {
+		t.Errorf("fleet SLO list %+v missing latency-p99", f.SLO)
+	}
+	tenants := map[string]int64{}
+	for _, u := range f.Tenants {
+		tenants[u.Tenant] = u.Requests
+	}
+	if tenants["acme"] != 4 || tenants["globex"] != 4 {
+		t.Errorf("fleet tenants = %v, want acme=4 globex=4", tenants)
+	}
+	for _, rep := range cs.Nodes {
+		if rep.Err != "" || rep.Status == nil {
+			t.Errorf("node report %s unreachable: %q", rep.Node, rep.Err)
+			continue
+		}
+		if rep.Status.Ring == nil || len(rep.Status.Ring.Members) != 3 {
+			t.Errorf("node %s ring view = %+v, want 3 members", rep.Node, rep.Status.Ring)
+		}
+	}
+
+	// The exposition carries an exemplar and its trace id resolves in the
+	// live registry behind /debug/requests.
+	resp, err := http.Get(tc.srvs[owner].URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(` # \{trace_id="([0-9a-f]+)"\}`).FindStringSubmatch(string(metricsBody))
+	if m == nil {
+		t.Fatal("/metrics has no exemplar")
+	}
+	if tc.svcs[owner].traces.Lookup(m[1]) == nil {
+		t.Errorf("exemplar trace id %s does not resolve in the trace registry", m[1])
+	}
+}
+
+// TestClusterE2EClusterStatusPeerDown: with one node hard-down, the
+// fleet view still answers, reports the dead node with its error, and
+// degrades the fleet verdict.
+func TestClusterE2EClusterStatusPeerDown(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tc.srvs[2].Close() // node2 goes dark; Cleanup's second Close is a no-op
+
+	var cs ClusterStatusResponse
+	if code := getJSON(t, tc.srvs[0].URL+"/v1/cluster/status", &cs); code != 200 {
+		t.Fatalf("/v1/cluster/status returned %d", code)
+	}
+	f := cs.Fleet
+	if f.Status != "degraded" || f.Nodes != 3 || f.Healthy != 2 || f.Unreachable != 1 {
+		t.Errorf("fleet = %+v, want degraded with 1 unreachable of 3", f)
+	}
+	var deadReport *NodeReport
+	for i := range cs.Nodes {
+		if cs.Nodes[i].Node == tc.members[2].ID {
+			deadReport = &cs.Nodes[i]
+		}
+	}
+	if deadReport == nil {
+		t.Fatal("dead node missing from reports")
+	}
+	if deadReport.Err == "" || deadReport.Status != nil {
+		t.Errorf("dead node report = %+v, want error and no snapshot", deadReport)
+	}
+}

@@ -1,0 +1,239 @@
+package service
+
+// Fleet status aggregation: GET /peer/v1/status serves this node's
+// observability snapshot; GET /v1/cluster/status fans out to every
+// ring member in parallel under one deadline budget and merges the
+// answers into per-node reports plus a fleet-wide view — summed
+// counters, cross-node SLO verdicts, and a merged tenant top-K. A
+// single-node service serves both too, reporting a one-node fleet.
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lodim/internal/cluster"
+	"lodim/internal/trace"
+)
+
+// statusFanoutTimeout bounds the whole peer fan-out. Status calls are
+// cheap snapshot reads; a peer that cannot answer in 3s is reported
+// unreachable rather than holding the fleet page.
+const statusFanoutTimeout = 3 * time.Second
+
+// tenantTopK bounds the tenant list in node and fleet views.
+const tenantTopK = 10
+
+// localNodeID labels a non-clustered node in status output.
+const localNodeID = "local"
+
+// nodeID is this node's identity in status output.
+func (s *Service) nodeID() string {
+	if s.clu != nil {
+		return s.clu.self.ID
+	}
+	return localNodeID
+}
+
+// nodeStatus builds this node's wire snapshot.
+func (s *Service) nodeStatus() *cluster.NodeStatus {
+	st := s.Status()
+	ns := &cluster.NodeStatus{
+		Node:          s.nodeID(),
+		Status:        st.Status,
+		UptimeSeconds: st.UptimeSeconds,
+		Requests:      s.met.requestsTotal(),
+		CacheHits:     s.met.cacheHits.Load(),
+		CacheMisses:   s.met.cacheMisses.Load(),
+		Searches:      s.met.searches.Load(),
+		Rejected:      s.met.rejected.Load(),
+		Timeouts:      s.met.timeouts.Load(),
+		Failures:      s.met.failures.Load(),
+		SLO:           st.SLO,
+		Tenants:       s.tenants.topK(tenantTopK),
+	}
+	if s.clu != nil {
+		cs := s.clu.status()
+		ns.Ring = &cluster.RingView{
+			Self:    cs.Self,
+			Members: cs.Members,
+			VNodes:  cs.VNodes,
+			Peers:   cs.Peers,
+		}
+	}
+	return ns
+}
+
+// handlePeerStatus serves GET /peer/v1/status (instrumented as
+// "peer_status"; hop-guarded like every peer leg).
+func (s *Service) handlePeerStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.checkHop(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.nodeStatus())
+}
+
+// NodeReport is one node's entry in the cluster status response:
+// either a snapshot or the error that kept it from answering.
+type NodeReport struct {
+	Node   string              `json:"node"`
+	Err    string              `json:"error,omitempty"`
+	Status *cluster.NodeStatus `json:"status,omitempty"`
+}
+
+// FleetSLO is one objective's cross-node verdict.
+type FleetSLO struct {
+	Objective     string   `json:"objective"`
+	Breached      bool     `json:"breached"`
+	BreachedNodes []string `json:"breached_nodes,omitempty"`
+	MaxFastBurn   float64  `json:"max_fast_burn"`
+	MaxSlowBurn   float64  `json:"max_slow_burn"`
+}
+
+// FleetStatus is the merged fleet-wide view.
+type FleetStatus struct {
+	Status      string `json:"status"` // "ok" or "degraded"
+	Nodes       int    `json:"nodes"`
+	Healthy     int    `json:"healthy"`
+	Degraded    int    `json:"degraded"`
+	Unreachable int    `json:"unreachable"`
+
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Searches    int64 `json:"searches"`
+	Rejected    int64 `json:"rejected"`
+	Failures    int64 `json:"failures"`
+
+	SLO     []FleetSLO            `json:"slo,omitempty"`
+	Tenants []cluster.TenantUsage `json:"tenants,omitempty"`
+}
+
+// ClusterStatusResponse is the GET /v1/cluster/status payload.
+type ClusterStatusResponse struct {
+	Fleet FleetStatus  `json:"fleet"`
+	Nodes []NodeReport `json:"nodes"`
+}
+
+// handleClusterStatus serves GET /v1/cluster/status (instrumented as
+// "cluster_status").
+func (s *Service) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), statusFanoutTimeout)
+	defer cancel()
+	var tp string
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		tp = trace.Traceparent(sp.TraceID(), sp.IDHex())
+	}
+	writeJSON(w, http.StatusOK, s.clusterStatus(ctx, tp))
+}
+
+// clusterStatus gathers every node's snapshot (self locally, peers in
+// parallel over the status leg) and merges the fleet view.
+func (s *Service) clusterStatus(ctx context.Context, traceparent string) *ClusterStatusResponse {
+	reports := []NodeReport{{Node: s.nodeID(), Status: s.nodeStatus()}}
+	if s.clu != nil {
+		var peers []cluster.Member
+		for _, m := range s.clu.ring.Members() {
+			if m.ID != s.clu.self.ID {
+				peers = append(peers, m)
+			}
+		}
+		peerReports := make([]NodeReport, len(peers))
+		var wg sync.WaitGroup
+		for i, m := range peers {
+			wg.Add(1)
+			go func(i int, m cluster.Member) {
+				defer wg.Done()
+				ns, err := s.clu.client.Status(ctx, m, traceparent)
+				if err != nil {
+					peerReports[i] = NodeReport{Node: m.ID, Err: err.Error()}
+					return
+				}
+				peerReports[i] = NodeReport{Node: m.ID, Status: ns}
+			}(i, m)
+		}
+		wg.Wait()
+		reports = append(reports, peerReports...)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
+	return &ClusterStatusResponse{Fleet: mergeFleet(reports), Nodes: reports}
+}
+
+// mergeFleet folds per-node reports into the fleet-wide view.
+func mergeFleet(reports []NodeReport) FleetStatus {
+	fleet := FleetStatus{Status: "ok", Nodes: len(reports)}
+	sloByName := map[string]*FleetSLO{}
+	var sloOrder []string
+	tenantAgg := map[string]cluster.TenantUsage{}
+	for _, rep := range reports {
+		if rep.Status == nil {
+			fleet.Unreachable++
+			continue
+		}
+		ns := rep.Status
+		switch ns.Status {
+		case "ok":
+			fleet.Healthy++
+		default: // degraded or shutting_down
+			fleet.Degraded++
+		}
+		fleet.Requests += ns.Requests
+		fleet.CacheHits += ns.CacheHits
+		fleet.CacheMisses += ns.CacheMisses
+		fleet.Searches += ns.Searches
+		fleet.Rejected += ns.Rejected
+		fleet.Failures += ns.Failures
+		if ns.SLO != nil {
+			for _, ob := range ns.SLO.Objectives {
+				fs, ok := sloByName[ob.Name]
+				if !ok {
+					fs = &FleetSLO{Objective: ob.Name}
+					sloByName[ob.Name] = fs
+					sloOrder = append(sloOrder, ob.Name)
+				}
+				if ob.Breached {
+					fs.Breached = true
+					fs.BreachedNodes = append(fs.BreachedNodes, rep.Node)
+				}
+				for _, wb := range ob.Burn {
+					switch wb.Window {
+					case ob.FastWindow:
+						fs.MaxFastBurn = max(fs.MaxFastBurn, wb.Burn)
+					case ob.Window:
+						fs.MaxSlowBurn = max(fs.MaxSlowBurn, wb.Burn)
+					}
+				}
+			}
+		}
+		for _, t := range ns.Tenants {
+			agg := tenantAgg[t.Tenant]
+			agg.Tenant = t.Tenant
+			agg.Requests += t.Requests
+			agg.CacheHits += t.CacheHits
+			agg.SearchMillis += t.SearchMillis
+			agg.QueueRejections += t.QueueRejections
+			tenantAgg[t.Tenant] = agg
+		}
+	}
+	for _, name := range sloOrder {
+		fleet.SLO = append(fleet.SLO, *sloByName[name])
+	}
+	for _, t := range tenantAgg {
+		fleet.Tenants = append(fleet.Tenants, t)
+	}
+	sort.Slice(fleet.Tenants, func(i, j int) bool {
+		if fleet.Tenants[i].Requests != fleet.Tenants[j].Requests {
+			return fleet.Tenants[i].Requests > fleet.Tenants[j].Requests
+		}
+		return fleet.Tenants[i].Tenant < fleet.Tenants[j].Tenant
+	})
+	if len(fleet.Tenants) > tenantTopK {
+		fleet.Tenants = fleet.Tenants[:tenantTopK]
+	}
+	if fleet.Degraded > 0 || fleet.Unreachable > 0 {
+		fleet.Status = "degraded"
+	}
+	return fleet
+}

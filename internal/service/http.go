@@ -34,8 +34,15 @@ type errorBody struct {
 //	POST /v1/conflict  — conflict-freeness decision
 //	POST /v1/simulate  — systolic simulation
 //	POST /v1/verify    — independent mapping certification
-//	GET  /metrics      — Prometheus text exposition
-//	GET  /healthz      — liveness probe
+//	GET  /metrics      — Prometheus text exposition (with exemplars)
+//	GET  /healthz      — liveness probe ("degraded" on an SLO breach,
+//	                     503 only while shutting down)
+//
+// Fleet observability (served in every mode; single-node reports a
+// one-node fleet):
+//
+//	GET /peer/v1/status    — this node's observability snapshot
+//	GET /v1/cluster/status — fan-out to all peers, merged fleet view
 //
 // The async job tier (404 unless Config.Jobs is set):
 //
@@ -73,6 +80,10 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The status legs are served even single-node: /v1/cluster/status
+	// then reports a one-node fleet, so dashboards need no mode switch.
+	mux.HandleFunc("GET "+cluster.StatusPath, s.instrument("peer_status", s.handlePeerStatus))
+	mux.HandleFunc("GET /v1/cluster/status", s.instrument("cluster_status", s.handleClusterStatus))
 	if s.clu != nil {
 		mux.HandleFunc("POST "+cluster.LookupPath, s.instrument("peer_lookup", s.handlePeerLookup))
 		mux.HandleFunc("POST "+cluster.FillPath, s.instrument("peer_fill", s.handlePeerFill))
@@ -155,6 +166,28 @@ func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 			root.End() // completes the trace: sinks (ring, dir) fire here
 		}
 		s.met.observeTimer(tm)
+		cache := ow.Header().Get("X-Mapserve-Cache")
+		var tenant string
+		if observedEndpoint(endpoint) {
+			// Tenant accounting and the SLO engine watch only the public
+			// sync endpoints: peer traffic carries no tenant, and status
+			// polling must not dilute (or pollute) the latency objective.
+			tenant = tenantName(r.Header.Get(TenantHeader))
+			delta := tenantCounters{}
+			if cache == string(CacheHit) || cache == string(CachePeerHit) {
+				delta.cacheHits = 1
+			}
+			if status == http.StatusTooManyRequests {
+				delta.queueRejections = 1
+			}
+			if d, ok := tm.duration(stageSearch); ok {
+				delta.searchMillis = d.Milliseconds()
+			}
+			s.tenants.observe(tenant, delta)
+			if s.slo != nil {
+				s.slo.observe(status, time.Since(start))
+			}
+		}
 		if s.cfg.Logger != nil {
 			attrs := []any{
 				slog.String("id", tm.id),
@@ -165,13 +198,26 @@ func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 			if root != nil {
 				attrs = append(attrs, slog.String("trace", root.TraceID()))
 			}
-			if cache := ow.Header().Get("X-Mapserve-Cache"); cache != "" {
+			if cache != "" {
 				attrs = append(attrs, slog.String("cache", cache))
+			}
+			if tenant != "" {
+				attrs = append(attrs, slog.String("tenant", tenant))
 			}
 			attrs = append(attrs, slog.Group("stages", tm.stageAttrs()...))
 			s.cfg.Logger.Info("request", attrs...)
 		}
 	}
+}
+
+// observedEndpoint gates SLO observation and tenant accounting to the
+// public synchronous endpoints.
+func observedEndpoint(endpoint string) bool {
+	switch endpoint {
+	case "map", "pareto", "conflict", "simulate", "verify", "batch", "jobs":
+		return true
+	}
+	return false
 }
 
 // contentTooLargeError marks a body that exceeded maxBodyBytes — mapped
@@ -275,7 +321,28 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", retryAfterHeader(retryAfter))
 	}
+	// A tenant-queue rejection tells the client *whose* queue is full
+	// and how full, so a well-behaved client can pace per tenant rather
+	// than globally.
+	var qf *jobs.QueueFullError
+	if errors.As(err, &qf) {
+		writeJSON(w, status, queueFullBody{
+			Error:      err.Error(),
+			Tenant:     qf.Tenant,
+			QueueDepth: qf.Depth,
+			QueueLimit: qf.Limit,
+		})
+		return
+	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// queueFullBody is the extended 429 body for tenant-queue rejections.
+type queueFullBody struct {
+	Error      string `json:"error"`
+	Tenant     string `json:"tenant"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueLimit int    `json:"queue_limit"`
 }
 
 // retryAfterHeader renders a pacing hint in the header's whole-second
@@ -492,11 +559,14 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports the shared Status snapshot as JSON: probes key
 // on the HTTP status (503 while shutting down), humans and tooling get
 // uptime, build identity and runtime vitals — the same source the
-// /debug/requests inspector renders.
+// /debug/requests inspector renders. An SLO breach reports "degraded"
+// in the body but stays 200: the process is alive and serving, and a
+// liveness probe that restarts a breaching node would turn a latency
+// incident into an availability one.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Status()
 	code := http.StatusOK
-	if st.Status != "ok" {
+	if st.Status == "shutting_down" {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, st)

@@ -7,8 +7,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lodim/internal/cluster"
 	"lodim/internal/jobs"
 	"lodim/internal/schedule"
+	"lodim/internal/slo"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the search-latency
@@ -32,6 +34,8 @@ type metrics struct {
 	peerFillRequests         atomic.Int64
 	peerParetoLookupRequests atomic.Int64
 	peerParetoFillRequests   atomic.Int64
+	peerStatusRequests       atomic.Int64
+	clusterStatusRequests    atomic.Int64
 
 	verifyCacheHits   atomic.Int64
 	verifyCacheMisses atomic.Int64
@@ -51,6 +55,11 @@ type metrics struct {
 	latCounts [numLatencyBuckets + 1]atomic.Int64
 	latSumNs  atomic.Int64
 	latCount  atomic.Int64
+	// latExemplars retains, per bucket, the most recently observed
+	// (trace-id, value, timestamp) — rendered in OpenMetrics exemplar
+	// syntax on /metrics and as the click-through table on
+	// /debug/requests. One pointer swap per search; no lock.
+	latExemplars [numLatencyBuckets + 1]atomic.Pointer[exemplar]
 
 	// Per-stage request-timing histograms (same bucket bounds as the
 	// search-latency histogram), indexed by the timing.go stage
@@ -104,6 +113,23 @@ type metrics struct {
 	// jobsForwarded counts job-endpoint requests this node proxied to
 	// their ring owner (the job tier's analogue of peer_forward).
 	jobsForwarded atomic.Int64
+
+	// sloStats, when set, reports the SLO engine's snapshot — wired by
+	// service.New when objectives are configured, and gating the SLO
+	// metric families.
+	sloStats func() slo.Snapshot
+
+	// tenantStats, when set, reports the bounded per-tenant usage table
+	// sorted by tenant name — wired by service.New, gating the tenant
+	// families.
+	tenantStats func() []cluster.TenantUsage
+}
+
+// exemplar is one retained histogram-bucket exemplar.
+type exemplar struct {
+	traceID string
+	value   float64 // seconds
+	unixMS  int64
 }
 
 // requestCounter returns the per-endpoint request counter; the
@@ -133,8 +159,22 @@ func (m *metrics) requestCounter(endpoint string) *atomic.Int64 {
 		return &m.peerParetoLookupRequests
 	case "peer_pareto_fill":
 		return &m.peerParetoFillRequests
+	case "peer_status":
+		return &m.peerStatusRequests
+	case "cluster_status":
+		return &m.clusterStatusRequests
 	}
 	panic("service: unknown endpoint " + endpoint)
+}
+
+// requestsTotal sums every endpoint counter — the node-level request
+// count the cluster status page reports.
+func (m *metrics) requestsTotal() int64 {
+	return m.mapRequests.Load() + m.paretoRequests.Load() + m.conflictRequests.Load() +
+		m.simulateRequests.Load() + m.verifyRequests.Load() + m.batchRequests.Load() +
+		m.jobsRequests.Load() + m.peerLookupRequests.Load() + m.peerFillRequests.Load() +
+		m.peerParetoLookupRequests.Load() + m.peerParetoFillRequests.Load() +
+		m.peerStatusRequests.Load() + m.clusterStatusRequests.Load()
 }
 
 // bucketIndex returns the histogram bucket for a duration in seconds.
@@ -178,11 +218,56 @@ func (m *metrics) observeSearchStats(st *schedule.SearchStats) {
 	m.innerSearches.Add(st.InnerSearches)
 }
 
-// observeSearch records one search latency in the histogram.
-func (m *metrics) observeSearch(d time.Duration) {
-	m.latCounts[bucketIndex(d.Seconds())].Add(1)
+// observeSearch records one search latency in the histogram and, when
+// the request carries a trace, retains it as the bucket's exemplar.
+func (m *metrics) observeSearch(d time.Duration, traceID string) {
+	idx := bucketIndex(d.Seconds())
+	m.latCounts[idx].Add(1)
 	m.latSumNs.Add(d.Nanoseconds())
 	m.latCount.Add(1)
+	if traceID != "" {
+		m.latExemplars[idx].Store(&exemplar{
+			traceID: traceID,
+			value:   d.Seconds(),
+			unixMS:  time.Now().UnixMilli(),
+		})
+	}
+}
+
+// exemplarBucketLabel is the le label of bucket i ("+Inf" for the
+// overflow bucket) — shared by the Prometheus render, the expvar
+// snapshot, and the /debug/requests table so they can never disagree.
+func exemplarBucketLabel(i int) string {
+	if i >= numLatencyBuckets {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(latencyBuckets[i], 'g', -1, 64)
+}
+
+// exemplars returns the retained bucket exemplars in bucket order.
+func (m *metrics) exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i := 0; i <= numLatencyBuckets; i++ {
+		ex := m.latExemplars[i].Load()
+		if ex == nil {
+			continue
+		}
+		out = append(out, BucketExemplar{
+			Bucket:  exemplarBucketLabel(i),
+			TraceID: ex.traceID,
+			Value:   ex.value,
+			UnixMS:  ex.unixMS,
+		})
+	}
+	return out
+}
+
+// BucketExemplar is one bucket's retained exemplar in exported form.
+type BucketExemplar struct {
+	Bucket  string
+	TraceID string
+	Value   float64 // seconds
+	UnixMS  int64
 }
 
 // WritePrometheus renders the counters in the Prometheus text
@@ -204,6 +289,8 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"jobs\"} %d\n", m.jobsRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_lookup\"} %d\n", m.peerLookupRequests.Load())
 	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_fill\"} %d\n", m.peerFillRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_status\"} %d\n", m.peerStatusRequests.Load())
+	fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"cluster_status\"} %d\n", m.clusterStatusRequests.Load())
 	if m.clustered {
 		fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_pareto_lookup\"} %d\n", m.peerParetoLookupRequests.Load())
 		fmt.Fprintf(w, "mapserve_requests_total{endpoint=\"peer_pareto_fill\"} %d\n", m.peerParetoFillRequests.Load())
@@ -274,14 +361,62 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 		gauge("mapserve_jobs_running", "Jobs holding a job worker.", st.Running)
 		counter("mapserve_jobs_forwarded_total", "Job requests proxied to their ring owner.", m.jobsForwarded.Load())
 	}
+	if m.sloStats != nil {
+		snap := m.sloStats()
+		fmt.Fprintf(w, "# HELP mapserve_slo_burn_rate Error-budget burn rate per objective and rolling window (1 = sustainable).\n# TYPE mapserve_slo_burn_rate gauge\n")
+		for _, ob := range snap.Objectives {
+			for _, wb := range ob.Burn {
+				fmt.Fprintf(w, "mapserve_slo_burn_rate{objective=%q,window=%q} %.6f\n", ob.Name, wb.Window, wb.Burn)
+			}
+		}
+		fmt.Fprintf(w, "# HELP mapserve_slo_budget_remaining Slow-window error budget left per objective (negative = overspending).\n# TYPE mapserve_slo_budget_remaining gauge\n")
+		for _, ob := range snap.Objectives {
+			fmt.Fprintf(w, "mapserve_slo_budget_remaining{objective=%q} %.6f\n", ob.Name, ob.BudgetRemaining)
+		}
+		fmt.Fprintf(w, "# HELP mapserve_slo_breached Whether the objective is currently breached.\n# TYPE mapserve_slo_breached gauge\n")
+		for _, ob := range snap.Objectives {
+			fmt.Fprintf(w, "mapserve_slo_breached{objective=%q} %d\n", ob.Name, boolToInt(ob.Breached))
+		}
+		fmt.Fprintf(w, "# HELP mapserve_slo_breaches_total Breach transitions per objective.\n# TYPE mapserve_slo_breaches_total counter\n")
+		for _, ob := range snap.Objectives {
+			fmt.Fprintf(w, "mapserve_slo_breaches_total{objective=%q} %d\n", ob.Name, ob.Breaches)
+		}
+		fmt.Fprintf(w, "# HELP mapserve_slo_captures_total Evidence captures triggered per objective.\n# TYPE mapserve_slo_captures_total counter\n")
+		for _, ob := range snap.Objectives {
+			fmt.Fprintf(w, "mapserve_slo_captures_total{objective=%q} %d\n", ob.Name, ob.Captures)
+		}
+	}
+	if m.tenantStats != nil {
+		tenants := m.tenantStats()
+		fmt.Fprintf(w, "# HELP mapserve_tenant_requests_total Sync requests per tenant (bounded cardinality; overflow folds into \"other\").\n# TYPE mapserve_tenant_requests_total counter\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "mapserve_tenant_requests_total{tenant=%q} %d\n", t.Tenant, t.Requests)
+		}
+		fmt.Fprintf(w, "# HELP mapserve_tenant_cache_hits_total Cache-served requests per tenant.\n# TYPE mapserve_tenant_cache_hits_total counter\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "mapserve_tenant_cache_hits_total{tenant=%q} %d\n", t.Tenant, t.CacheHits)
+		}
+		fmt.Fprintf(w, "# HELP mapserve_tenant_search_milliseconds_total Search wall time spent per tenant.\n# TYPE mapserve_tenant_search_milliseconds_total counter\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "mapserve_tenant_search_milliseconds_total{tenant=%q} %d\n", t.Tenant, t.SearchMillis)
+		}
+		fmt.Fprintf(w, "# HELP mapserve_tenant_queue_rejections_total 429 rejections per tenant.\n# TYPE mapserve_tenant_queue_rejections_total counter\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "mapserve_tenant_queue_rejections_total{tenant=%q} %d\n", t.Tenant, t.QueueRejections)
+		}
+	}
 	fmt.Fprintf(w, "# HELP mapserve_search_latency_seconds Joint search wall time.\n# TYPE mapserve_search_latency_seconds histogram\n")
 	var cum int64
 	for i, ub := range latencyBuckets {
 		cum += m.latCounts[i].Load()
-		fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+		fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"%g\"} %d", ub, cum)
+		m.writeExemplar(w, i)
+		io.WriteString(w, "\n")
 	}
 	cum += m.latCounts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "mapserve_search_latency_seconds_bucket{le=\"+Inf\"} %d", cum)
+	m.writeExemplar(w, numLatencyBuckets)
+	io.WriteString(w, "\n")
 	fmt.Fprintf(w, "mapserve_search_latency_seconds_sum %.9f\n", float64(m.latSumNs.Load())/1e9)
 	fmt.Fprintf(w, "mapserve_search_latency_seconds_count %d\n", m.latCount.Load())
 	fmt.Fprintf(w, "# HELP mapserve_stage_duration_seconds Request time per processing stage.\n# TYPE mapserve_stage_duration_seconds histogram\n")
@@ -299,32 +434,53 @@ func (m *metrics) WritePrometheus(w io.Writer) {
 	}
 }
 
+// writeExemplar appends bucket i's exemplar in OpenMetrics syntax
+// (" # {trace_id=\"…\"} value timestamp"), or nothing when the bucket
+// has none. Prometheus ≥ 2.26 ingests these; plain text-format parsers
+// treat the suffix as a comment.
+func (m *metrics) writeExemplar(w io.Writer, i int) {
+	ex := m.latExemplars[i].Load()
+	if ex == nil {
+		return
+	}
+	fmt.Fprintf(w, " # {trace_id=%q} %.9f %.3f", ex.traceID, ex.value, float64(ex.unixMS)/1e3)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Snapshot returns the counters as a flat map — the expvar surface
 // published by cmd/mapserve.
 func (m *metrics) Snapshot() map[string]any {
 	out := map[string]any{
-		"map_requests":         m.mapRequests.Load(),
-		"pareto_requests":      m.paretoRequests.Load(),
-		"conflict_requests":    m.conflictRequests.Load(),
-		"simulate_requests":    m.simulateRequests.Load(),
-		"verify_requests":      m.verifyRequests.Load(),
-		"batch_requests":       m.batchRequests.Load(),
-		"jobs_requests":        m.jobsRequests.Load(),
-		"peer_lookup_requests": m.peerLookupRequests.Load(),
-		"peer_fill_requests":   m.peerFillRequests.Load(),
-		"cache_hits":           m.cacheHits.Load(),
-		"cache_misses":         m.cacheMisses.Load(),
-		"verify_cache_hits":    m.verifyCacheHits.Load(),
-		"verify_cache_misses":  m.verifyCacheMisses.Load(),
-		"searches":             m.searches.Load(),
-		"singleflight_deduped": m.deduped.Load(),
-		"rejected":             m.rejected.Load(),
-		"timeouts":             m.timeouts.Load(),
-		"failures":             m.failures.Load(),
-		"inflight_searches":    m.inflight.Load(),
-		"queued_requests":      m.queued.Load(),
-		"search_latency_count": m.latCount.Load(),
-		"search_latency_sum_s": float64(m.latSumNs.Load()) / 1e9,
+		"map_requests":            m.mapRequests.Load(),
+		"pareto_requests":         m.paretoRequests.Load(),
+		"conflict_requests":       m.conflictRequests.Load(),
+		"simulate_requests":       m.simulateRequests.Load(),
+		"verify_requests":         m.verifyRequests.Load(),
+		"batch_requests":          m.batchRequests.Load(),
+		"jobs_requests":           m.jobsRequests.Load(),
+		"peer_lookup_requests":    m.peerLookupRequests.Load(),
+		"peer_fill_requests":      m.peerFillRequests.Load(),
+		"peer_status_requests":    m.peerStatusRequests.Load(),
+		"cluster_status_requests": m.clusterStatusRequests.Load(),
+		"cache_hits":              m.cacheHits.Load(),
+		"cache_misses":            m.cacheMisses.Load(),
+		"verify_cache_hits":       m.verifyCacheHits.Load(),
+		"verify_cache_misses":     m.verifyCacheMisses.Load(),
+		"searches":                m.searches.Load(),
+		"singleflight_deduped":    m.deduped.Load(),
+		"rejected":                m.rejected.Load(),
+		"timeouts":                m.timeouts.Load(),
+		"failures":                m.failures.Load(),
+		"inflight_searches":       m.inflight.Load(),
+		"queued_requests":         m.queued.Load(),
+		"search_latency_count":    m.latCount.Load(),
+		"search_latency_sum_s":    float64(m.latSumNs.Load()) / 1e9,
 	}
 	out["search_pruned_orbit"] = m.prunedOrbit.Load()
 	out["search_pruned_lower_bound"] = m.prunedLowerBound.Load()
@@ -359,6 +515,17 @@ func (m *metrics) Snapshot() map[string]any {
 		out["peer_fills_send_error"] = m.peerFillSendErrs.Load()
 	}
 	out["search_latency_buckets"] = cumulativeBuckets(&m.latCounts)
+	// Exemplars mirror the /metrics bucket suffixes: always present so
+	// the surface shape is stable, empty until a traced search lands.
+	exemplars := map[string]any{}
+	for _, ex := range m.exemplars() {
+		exemplars[ex.Bucket] = map[string]any{
+			"trace_id": ex.TraceID,
+			"value_s":  ex.Value,
+			"unix_ms":  ex.UnixMS,
+		}
+	}
+	out["search_latency_exemplars"] = exemplars
 	for stage := 0; stage < numStages; stage++ {
 		out["stage_"+stageNames[stage]+"_count"] = m.stageCount[stage].Load()
 		out["stage_"+stageNames[stage]+"_sum_s"] = float64(m.stageSumNs[stage].Load()) / 1e9
@@ -383,6 +550,44 @@ func (m *metrics) Snapshot() map[string]any {
 		out["jobs_queued"] = st.Queued
 		out["jobs_running"] = st.Running
 		out["jobs_forwarded"] = m.jobsForwarded.Load()
+	}
+	if m.sloStats != nil {
+		snap := m.sloStats()
+		burns := map[string]float64{}
+		budget := map[string]float64{}
+		breached := map[string]bool{}
+		breaches := map[string]int64{}
+		captures := map[string]int64{}
+		for _, ob := range snap.Objectives {
+			for _, wb := range ob.Burn {
+				burns[ob.Name+"/"+wb.Window] = wb.Burn
+			}
+			budget[ob.Name] = ob.BudgetRemaining
+			breached[ob.Name] = ob.Breached
+			breaches[ob.Name] = ob.Breaches
+			captures[ob.Name] = ob.Captures
+		}
+		out["slo_burn_rates"] = burns
+		out["slo_budget_remaining"] = budget
+		out["slo_breached"] = breached
+		out["slo_breaches"] = breaches
+		out["slo_captures"] = captures
+	}
+	if m.tenantStats != nil {
+		requests := map[string]int64{}
+		hits := map[string]int64{}
+		searchMS := map[string]int64{}
+		rejections := map[string]int64{}
+		for _, t := range m.tenantStats() {
+			requests[t.Tenant] = t.Requests
+			hits[t.Tenant] = t.CacheHits
+			searchMS[t.Tenant] = t.SearchMillis
+			rejections[t.Tenant] = t.QueueRejections
+		}
+		out["tenant_requests"] = requests
+		out["tenant_cache_hits"] = hits
+		out["tenant_search_ms"] = searchMS
+		out["tenant_queue_rejections"] = rejections
 	}
 	return out
 }

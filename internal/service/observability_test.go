@@ -10,8 +10,10 @@ import (
 	"testing"
 	"time"
 
+	"lodim/internal/cluster"
 	"lodim/internal/jobs"
 	"lodim/internal/schedule"
+	"lodim/internal/slo"
 )
 
 // --- reqTimer unit tests ---------------------------------------------
@@ -55,6 +57,11 @@ func scrapeMetrics(t *testing.T, m *metrics) map[string]float64 {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// Strip an OpenMetrics exemplar suffix before splitting off the
+		// sample value.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		i := strings.LastIndexByte(line, ' ')
 		if i < 0 {
@@ -120,7 +127,7 @@ func TestWritePrometheusHistograms(t *testing.T) {
 	durations := []time.Duration{500 * time.Microsecond, 30 * time.Millisecond, 3 * time.Second, 20 * time.Second}
 	var sum time.Duration
 	for _, d := range durations {
-		m.observeSearch(d)
+		m.observeSearch(d, "")
 		m.observeStage(stageDecode, d)
 		sum += d
 	}
@@ -142,6 +149,56 @@ func TestWritePrometheusHistograms(t *testing.T) {
 			t.Errorf("missing per-stage histogram for %q", name)
 		}
 	}
+}
+
+// TestWritePrometheusExemplars: a traced search observation attaches an
+// OpenMetrics exemplar to exactly its bucket line, the snapshot carries
+// the same exemplar under the same le key, and the exposition still
+// parses with the suffix present.
+func TestWritePrometheusExemplars(t *testing.T) {
+	m := &metrics{}
+	const tid = "deadbeef00000000deadbeef00000000"
+	m.observeSearch(40*time.Millisecond, tid)
+	m.observeSearch(3*time.Second, "") // untraced → no exemplar
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	var exLines []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, " # {") {
+			exLines = append(exLines, line)
+		}
+	}
+	if len(exLines) != 1 {
+		t.Fatalf("want exactly 1 exemplar line, got %d: %q", len(exLines), exLines)
+	}
+	line := exLines[0]
+	if !strings.HasPrefix(line, "mapserve_search_latency_seconds_bucket{") {
+		t.Errorf("exemplar attached to non-bucket line %q", line)
+	}
+	if !strings.Contains(line, fmt.Sprintf("# {trace_id=%q} 0.040000000", tid)) {
+		t.Errorf("exemplar line %q missing trace id/value", line)
+	}
+
+	exs, ok := m.Snapshot()["search_latency_exemplars"].(map[string]any)
+	if !ok || len(exs) != 1 {
+		t.Fatalf("snapshot search_latency_exemplars = %v", m.Snapshot()["search_latency_exemplars"])
+	}
+	for bucket, v := range exs {
+		ex, ok := v.(map[string]any)
+		if !ok {
+			t.Fatalf("snapshot exemplar is %T", v)
+		}
+		if ex["trace_id"] != tid {
+			t.Errorf("snapshot exemplar trace_id = %v, want %s", ex["trace_id"], tid)
+		}
+		if ex["value_s"] != (40 * time.Millisecond).Seconds() {
+			t.Errorf("snapshot exemplar value_s = %v, want 0.04", ex["value_s"])
+		}
+		if !strings.Contains(line, fmt.Sprintf("le=%q", bucket)) {
+			t.Errorf("snapshot exemplar bucket %q does not match exemplar line %q", bucket, line)
+		}
+	}
+	scrapeMetrics(t, m) // exposition must stay parseable with the suffix
 }
 
 func TestWritePrometheusSearchStatsCounters(t *testing.T) {
@@ -182,6 +239,28 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 	m.cacheStats = func() (int64, int64, int64) { return 4, 2, 4096 }
 	m.clustered = true
 	m.jobStats = func() jobs.Stats { return jobs.Stats{Submitted: 2, Done: 1, Queued: 1} }
+	m.sloStats = func() slo.Snapshot {
+		return slo.Snapshot{
+			BurnRate: 4,
+			Healthy:  false,
+			Objectives: []slo.ObjectiveSnapshot{{
+				Name:            "availability",
+				Target:          0.99,
+				Window:          "5m",
+				FastWindow:      "1m",
+				Burn:            []slo.WindowBurn{{Window: "1m", Burn: 6}, {Window: "5m", Burn: 5}},
+				BudgetRemaining: -4,
+				Events:          100,
+				Bad:             5,
+				Breached:        true,
+				Breaches:        1,
+				Captures:        1,
+			}},
+		}
+	}
+	m.tenantStats = func() []cluster.TenantUsage {
+		return []cluster.TenantUsage{{Tenant: "acme", Requests: 9, CacheHits: 4, SearchMillis: 120, QueueRejections: 1}}
+	}
 	var buf bytes.Buffer
 	m.WritePrometheus(&buf)
 	families := map[string]bool{}
@@ -192,7 +271,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 
 	// family → snapshot keys (nil = deliberately Prometheus-only).
 	table := map[string][]string{
-		"mapserve_requests_total":                   {"map_requests", "pareto_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "jobs_requests", "peer_lookup_requests", "peer_fill_requests"},
+		"mapserve_requests_total":                   {"map_requests", "pareto_requests", "conflict_requests", "simulate_requests", "verify_requests", "batch_requests", "jobs_requests", "peer_lookup_requests", "peer_fill_requests", "peer_status_requests", "cluster_status_requests"},
 		"mapserve_cache_hits_total":                 {"cache_hits"},
 		"mapserve_cache_misses_total":               {"cache_misses"},
 		"mapserve_verify_cache_hits_total":          {"verify_cache_hits"},
@@ -204,7 +283,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 		"mapserve_failures_total":                   {"failures"},
 		"mapserve_inflight_searches":                {"inflight_searches"},
 		"mapserve_queued_requests":                  {"queued_requests"},
-		"mapserve_search_latency_seconds":           {"search_latency_count", "search_latency_sum_s", "search_latency_buckets"},
+		"mapserve_search_latency_seconds":           {"search_latency_count", "search_latency_sum_s", "search_latency_buckets", "search_latency_exemplars"},
 		"mapserve_search_pruned_total":              {"search_pruned_orbit", "search_pruned_lower_bound", "search_pruned_incumbent"},
 		"mapserve_search_space_candidates_total":    {"search_space_candidates"},
 		"mapserve_search_schedule_candidates_total": {"search_schedule_candidates"},
@@ -224,6 +303,15 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 		"mapserve_jobs_queued":                      {"jobs_queued"},
 		"mapserve_jobs_running":                     {"jobs_running"},
 		"mapserve_jobs_forwarded_total":             {"jobs_forwarded"},
+		"mapserve_slo_burn_rate":                    {"slo_burn_rates"},
+		"mapserve_slo_budget_remaining":             {"slo_budget_remaining"},
+		"mapserve_slo_breached":                     {"slo_breached"},
+		"mapserve_slo_breaches_total":               {"slo_breaches"},
+		"mapserve_slo_captures_total":               {"slo_captures"},
+		"mapserve_tenant_requests_total":            {"tenant_requests"},
+		"mapserve_tenant_cache_hits_total":          {"tenant_cache_hits"},
+		"mapserve_tenant_search_milliseconds_total": {"tenant_search_ms"},
+		"mapserve_tenant_queue_rejections_total":    {"tenant_queue_rejections"},
 	}
 	var stageKeys []string
 	for _, name := range stageNames {
@@ -264,7 +352,7 @@ func TestSnapshotPrometheusParity(t *testing.T) {
 func TestSnapshotBucketValueParity(t *testing.T) {
 	m := &metrics{}
 	for _, d := range []time.Duration{200 * time.Microsecond, 40 * time.Millisecond, 3 * time.Second, 30 * time.Second} {
-		m.observeSearch(d)
+		m.observeSearch(d, "")
 		m.observeStage(stageSearch, d)
 	}
 	m.cacheHits.Add(7)

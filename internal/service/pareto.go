@@ -284,7 +284,7 @@ func (s *Service) runParetoSearch(ctx context.Context, key string, canon *Canoni
 	}
 	start := time.Now()
 	res, err := s.searchPareto(ctx, canon.Algo, dims, opts)
-	s.met.observeSearch(time.Since(start))
+	s.met.observeSearch(time.Since(start), trace.FromContext(ctx).TraceID())
 	recordStage(ctx, stageSearch, start)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"lodim/internal/intmat"
 	"lodim/internal/jobs"
 	"lodim/internal/schedule"
+	"lodim/internal/slo"
 	"lodim/internal/systolic"
 	"lodim/internal/trace"
 	"lodim/internal/uda"
@@ -74,6 +75,11 @@ type Config struct {
 	// engines as the synchronous endpoints. Nil serves 404 on the job
 	// endpoints.
 	Jobs *JobsConfig
+	// SLO, when non-nil with at least one objective enabled, runs the
+	// rolling-window burn-rate engine over sync-endpoint outcomes: a
+	// breach logs one alert line, flips /healthz to "degraded" and
+	// triggers a rate-limited evidence capture (see slo.go).
+	SLO *SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +170,14 @@ type Service struct {
 	// job manager (spool, fair queue, worker pool — see jobs.go).
 	jobsMgr *jobs.Manager
 
+	// slo is non-nil iff Config.SLO enabled at least one objective:
+	// the burn-rate engine plus alerting/evidence glue (see slo.go).
+	slo *sloState
+
+	// tenants is the bounded per-tenant usage table (always on — an
+	// absent tenant header accounts under "anonymous").
+	tenants *tenantTable
+
 	// searchJoint is the search engine; tests substitute it to make
 	// concurrency deterministic. Production always uses
 	// schedule.FindJointMappingContext.
@@ -190,6 +204,8 @@ func New(cfg Config) *Service {
 	}
 	s.flights.onJoin = func() { s.met.deduped.Add(1) }
 	s.met.cacheStats = s.cache.Stats
+	s.tenants = newTenantTable(defaultTenantLimit)
+	s.met.tenantStats = s.tenants.snapshot
 	if cfg.Cluster != nil {
 		clu, err := newClusterState(cfg.Cluster)
 		if err != nil {
@@ -225,6 +241,16 @@ func New(cfg Config) *Service {
 		s.jobsMgr = mgr
 		s.met.jobStats = mgr.Stats
 	}
+	if cfg.SLO.enabled() {
+		st, err := newSLOState(s, cfg.SLO)
+		if err != nil {
+			// Same contract as cluster/jobs misconfiguration: cmd/mapserve
+			// validates the flags (via slo.NewEngine) before New.
+			panic("service: invalid slo config: " + err.Error())
+		}
+		s.slo = st
+		s.met.sloStats = st.eng.Snapshot
+	}
 	return s
 }
 
@@ -246,13 +272,13 @@ func (s *Service) DebugHandler() http.Handler {
 			http.Error(w, "tracing disabled (start the service with a trace buffer)", http.StatusNotFound)
 		})
 	}
-	return trace.Handler(s.traces, func() any { return s.Status() })
+	return trace.Handler(s.traces, func() any { return s.Status() }, s.traceExemplars)
 }
 
 // Status is the one health/identity snapshot shared by the /healthz
 // probe and the /debug/requests inspector.
 type Status struct {
-	Status        string    `json:"status"` // "ok" or "shutting_down"
+	Status        string    `json:"status"` // "ok", "degraded" or "shutting_down"
 	StartTime     time.Time `json:"start_time"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	GoVersion     string    `json:"go_version"`
@@ -264,6 +290,9 @@ type Status struct {
 	// Cluster is present only on clustered nodes: identity, membership
 	// and passive peer health (see cluster.go).
 	Cluster *ClusterStatus `json:"cluster,omitempty"`
+	// SLO is present only when objectives are configured: the engine's
+	// full burn-rate snapshot.
+	SLO *slo.Snapshot `json:"slo,omitempty"`
 }
 
 // buildFacts caches runtime/debug.ReadBuildInfo — immutable for the
@@ -295,6 +324,13 @@ func (s *Service) Status() Status {
 		VCSRevision:   bf.revision,
 		Goroutines:    runtime.NumGoroutine(),
 		TraceEnabled:  s.traces != nil,
+	}
+	if s.slo != nil {
+		snap := s.slo.eng.Snapshot()
+		st.SLO = &snap
+		if !snap.Healthy {
+			st.Status = "degraded"
+		}
 	}
 	if s.isClosed() {
 		st.Status = "shutting_down"
@@ -710,7 +746,7 @@ func (s *Service) runSearch(ctx context.Context, key string, canon *Canonical, d
 	}
 	start := time.Now()
 	res, err := s.searchJoint(ctx, canon.Algo, dims, opts)
-	s.met.observeSearch(time.Since(start))
+	s.met.observeSearch(time.Since(start), trace.FromContext(ctx).TraceID())
 	recordStage(ctx, stageSearch, start)
 	if err != nil {
 		return nil, err

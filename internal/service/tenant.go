@@ -1,0 +1,163 @@
+package service
+
+// Per-tenant usage accounting with bounded label cardinality. Tenants
+// identify themselves with the X-Mapserve-Tenant header on the sync
+// endpoints (the jobs tier already carries a tenant in its payloads);
+// the table tracks the most recently active tenants in an LRU and
+// folds everything evicted into a single "other" overflow bucket, so
+// counts are conserved while /metrics label cardinality stays fixed no
+// matter how many distinct header values arrive.
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"lodim/internal/cluster"
+)
+
+const (
+	// TenantHeader names the requesting tenant on sync endpoints.
+	TenantHeader = "X-Mapserve-Tenant"
+	// tenantAnonymous labels requests without a tenant header.
+	tenantAnonymous = "anonymous"
+	// tenantOverflow is the fold-in bucket for evicted (or literally
+	// so-named) tenants.
+	tenantOverflow = "other"
+	// defaultTenantLimit bounds distinct live tenant labels.
+	defaultTenantLimit = 64
+	// maxTenantNameLen truncates hostile header values.
+	maxTenantNameLen = 64
+)
+
+// tenantName sanitizes a raw header value into a metrics-safe label:
+// empty becomes "anonymous", characters outside [A-Za-z0-9._-] become
+// '_', and over-long names are truncated. "other" maps to the overflow
+// bucket by construction.
+func tenantName(raw string) string {
+	if raw == "" {
+		return tenantAnonymous
+	}
+	if len(raw) > maxTenantNameLen {
+		raw = raw[:maxTenantNameLen]
+	}
+	b := []byte(raw)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// tenantCounters is one tenant's accumulated usage.
+type tenantCounters struct {
+	requests        int64
+	cacheHits       int64
+	searchMillis    int64
+	queueRejections int64
+}
+
+func (c *tenantCounters) add(o tenantCounters) {
+	c.requests += o.requests
+	c.cacheHits += o.cacheHits
+	c.searchMillis += o.searchMillis
+	c.queueRejections += o.queueRejections
+}
+
+// tenantEntry is one LRU slot.
+type tenantEntry struct {
+	name string
+	c    tenantCounters
+}
+
+// tenantTable is the bounded per-tenant accounting table. A mutex (not
+// atomics) is fine here: one short critical section per request, and
+// the LRU list needs it anyway.
+type tenantTable struct {
+	mu     sync.Mutex
+	limit  int
+	ll     *list.List // front = most recently active
+	byName map[string]*list.Element
+	other  tenantCounters
+}
+
+func newTenantTable(limit int) *tenantTable {
+	if limit <= 0 {
+		limit = defaultTenantLimit
+	}
+	return &tenantTable{limit: limit, ll: list.New(), byName: make(map[string]*list.Element)}
+}
+
+// observe folds one request's usage into the tenant's counters,
+// evicting the least recently active tenant into "other" when the
+// table is full. name must already be sanitized by tenantName.
+func (t *tenantTable) observe(name string, delta tenantCounters) {
+	delta.requests = 1
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if name == tenantOverflow {
+		t.other.add(delta)
+		return
+	}
+	if el, ok := t.byName[name]; ok {
+		t.ll.MoveToFront(el)
+		el.Value.(*tenantEntry).c.add(delta)
+		return
+	}
+	if t.ll.Len() >= t.limit {
+		back := t.ll.Back()
+		evicted := back.Value.(*tenantEntry)
+		t.other.add(evicted.c)
+		delete(t.byName, evicted.name)
+		t.ll.Remove(back)
+	}
+	t.byName[name] = t.ll.PushFront(&tenantEntry{name: name, c: delta})
+}
+
+// usage converts counters to the wire form.
+func usage(name string, c tenantCounters) cluster.TenantUsage {
+	return cluster.TenantUsage{
+		Tenant:          name,
+		Requests:        c.requests,
+		CacheHits:       c.cacheHits,
+		SearchMillis:    c.searchMillis,
+		QueueRejections: c.queueRejections,
+	}
+}
+
+// snapshot returns every live tenant plus the overflow bucket (when it
+// has absorbed anything), sorted by tenant name for deterministic
+// /metrics output.
+func (t *tenantTable) snapshot() []cluster.TenantUsage {
+	t.mu.Lock()
+	out := make([]cluster.TenantUsage, 0, t.ll.Len()+1)
+	for el := t.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*tenantEntry)
+		out = append(out, usage(e.name, e.c))
+	}
+	if t.other.requests > 0 {
+		out = append(out, usage(tenantOverflow, t.other))
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// topK returns the k tenants with the most requests (overflow bucket
+// included), ties broken by name.
+func (t *tenantTable) topK(k int) []cluster.TenantUsage {
+	out := t.snapshot()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		return out[i].Tenant < out[j].Tenant
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

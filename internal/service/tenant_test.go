@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTenantName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", tenantAnonymous},
+		{"acme", "acme"},
+		{"Team.A_1-x", "Team.A_1-x"},
+		{"weird tenant{le=\"x\"}", "weird_tenant_le__x__"},
+		{"tabs\tand\nnewlines", "tabs_and_newlines"},
+		{strings.Repeat("a", 100), strings.Repeat("a", maxTenantNameLen)},
+	}
+	for _, c := range cases {
+		if got := tenantName(c.in); got != c.want {
+			t.Errorf("tenantName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTenantTableLRUOverflow(t *testing.T) {
+	tt := newTenantTable(3)
+	// Fill to capacity, then keep t0 warm and add a fourth: the coldest
+	// (t1) must fold into "other" with its counters conserved.
+	tt.observe("t0", tenantCounters{searchMillis: 10})
+	tt.observe("t1", tenantCounters{cacheHits: 1, searchMillis: 20})
+	tt.observe("t2", tenantCounters{})
+	tt.observe("t0", tenantCounters{queueRejections: 1})
+	tt.observe("t3", tenantCounters{})
+
+	snap := tt.snapshot()
+	byName := map[string]int64{}
+	var totalReqs, totalMS int64
+	for _, u := range snap {
+		byName[u.Tenant] = u.Requests
+		totalReqs += u.Requests
+		totalMS += u.SearchMillis
+	}
+	if _, live := byName["t1"]; live {
+		t.Error("t1 still live after eviction")
+	}
+	if byName[tenantOverflow] != 1 {
+		t.Errorf("other requests = %d, want 1 (t1 folded in)", byName[tenantOverflow])
+	}
+	if totalReqs != 5 {
+		t.Errorf("total requests = %d, want 5 (counters must be conserved)", totalReqs)
+	}
+	if totalMS != 30 {
+		t.Errorf("total search ms = %d, want 30", totalMS)
+	}
+	if byName["t0"] != 2 {
+		t.Errorf("t0 requests = %d, want 2", byName["t0"])
+	}
+
+	// A literal "other" tenant merges into the overflow bucket rather
+	// than occupying an LRU slot.
+	tt.observe(tenantOverflow, tenantCounters{})
+	if got := len(tt.byName); got != 3 {
+		t.Errorf("literal %q took an LRU slot (%d live entries)", tenantOverflow, got)
+	}
+}
+
+func TestTenantTableTopK(t *testing.T) {
+	tt := newTenantTable(16)
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("t%d", i)
+		for j := 0; j <= i; j++ {
+			tt.observe(name, tenantCounters{})
+		}
+	}
+	top := tt.topK(3)
+	if len(top) != 3 {
+		t.Fatalf("topK(3) returned %d entries", len(top))
+	}
+	for i, want := range []string{"t5", "t4", "t3"} {
+		if top[i].Tenant != want {
+			t.Errorf("topK[%d] = %s (%d reqs), want %s", i, top[i].Tenant, top[i].Requests, want)
+		}
+	}
+	// Ties break by name for deterministic output.
+	tt2 := newTenantTable(8)
+	tt2.observe("b", tenantCounters{})
+	tt2.observe("a", tenantCounters{})
+	top2 := tt2.topK(2)
+	if top2[0].Tenant != "a" || top2[1].Tenant != "b" {
+		t.Errorf("tie order = %s, %s, want a, b", top2[0].Tenant, top2[1].Tenant)
+	}
+}

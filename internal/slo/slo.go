@@ -1,0 +1,411 @@
+// Package slo is a zero-dependency rolling-window SLO engine: fixed
+// rings of bucketed (total, bad) counters over four windows (1m, 5m,
+// 30m, 6h), availability and latency-threshold objectives, and
+// fast/slow multi-window burn-rate evaluation (the standard two-window
+// alerting shape: the slow window proves the budget is really burning,
+// the fast window proves it is burning *now* and gates recovery).
+//
+// The engine is deliberately callback-free: Observe returns the breach
+// and recovery events it produced, and the caller decides what an
+// alert or an evidence capture looks like. Capture rate-limiting is
+// the engine's job, though, because the cooldown is per-objective
+// state that must be evaluated under the same lock as the transition.
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// window is one rolling-window geometry: n buckets of width each.
+type window struct {
+	name  string
+	width time.Duration
+	n     int
+}
+
+// windows are the four fixed rolling windows, shortest first. The
+// bucket widths keep every ring at 60–72 buckets, so a full advance
+// costs at most one pass over a small array.
+var windows = [4]window{
+	{"1m", time.Second, 60},
+	{"5m", 5 * time.Second, 60},
+	{"30m", 30 * time.Second, 60},
+	{"6h", 5 * time.Minute, 72},
+}
+
+// WindowNames lists every rolling window, shortest first.
+func WindowNames() []string {
+	out := make([]string, len(windows))
+	for i, w := range windows {
+		out[i] = w.name
+	}
+	return out
+}
+
+// SlowWindowNames lists the windows valid as an objective's slow
+// window. The shortest window cannot be slow: the fast window is
+// always one step shorter.
+func SlowWindowNames() []string { return WindowNames()[1:] }
+
+// ValidSlowWindow reports whether name can serve as the slow window.
+func ValidSlowWindow(name string) bool {
+	for _, n := range SlowWindowNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func windowIndex(name string) int {
+	for i, w := range windows {
+		if w.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// bucket is one ring slot's counters.
+type bucket struct {
+	total int64
+	bad   int64
+}
+
+// ring is a fixed-size bucketed counter over one window. Stale buckets
+// are zeroed lazily on advance, and running sums are maintained
+// incrementally so reading totals is O(1) amortized.
+type ring struct {
+	width    time.Duration
+	buckets  []bucket
+	epoch    int64 // bucket epoch (unixNano / width) of the newest bucket
+	primed   bool
+	sumTotal int64
+	sumBad   int64
+}
+
+func newRing(w window) *ring {
+	return &ring{width: w.width, buckets: make([]bucket, w.n)}
+}
+
+func (r *ring) index(epoch int64) int {
+	n := int64(len(r.buckets))
+	return int(((epoch % n) + n) % n)
+}
+
+// advance rotates the ring forward to now, evicting buckets that fell
+// out of the window.
+func (r *ring) advance(now time.Time) {
+	e := now.UnixNano() / int64(r.width)
+	if !r.primed {
+		r.epoch = e
+		r.primed = true
+		return
+	}
+	if e <= r.epoch {
+		return
+	}
+	steps := e - r.epoch
+	if steps > int64(len(r.buckets)) {
+		steps = int64(len(r.buckets))
+	}
+	for i := int64(1); i <= steps; i++ {
+		idx := r.index(r.epoch + i)
+		r.sumTotal -= r.buckets[idx].total
+		r.sumBad -= r.buckets[idx].bad
+		r.buckets[idx] = bucket{}
+	}
+	r.epoch = e
+}
+
+func (r *ring) observe(now time.Time, bad bool) {
+	r.advance(now)
+	idx := r.index(r.epoch)
+	r.buckets[idx].total++
+	r.sumTotal++
+	if bad {
+		r.buckets[idx].bad++
+		r.sumBad++
+	}
+}
+
+func (r *ring) totals(now time.Time) (total, bad int64) {
+	r.advance(now)
+	return r.sumTotal, r.sumBad
+}
+
+// Objective is one SLO target. Target is the good fraction (e.g.
+// 0.999 availability). A zero Threshold makes it an availability
+// objective (bad = the caller said the request errored); a positive
+// Threshold makes it a latency objective (bad = latency above the
+// threshold, regardless of the error flag).
+type Objective struct {
+	Name      string
+	Target    float64
+	Threshold time.Duration
+}
+
+// Config sizes an Engine.
+type Config struct {
+	// Objectives to track (at least one; names must be unique).
+	Objectives []Objective
+	// Window names the slow window ("5m", "30m" or "6h"; default
+	// "5m"). The fast window is always one step shorter.
+	Window string
+	// BurnRate is the alerting threshold B: a breach requires both the
+	// fast and slow windows to burn budget at ≥ B× the sustainable
+	// rate (0 selects 4).
+	BurnRate float64
+	// MinEvents guards against deciding a breach from a handful of
+	// requests: the slow window must hold at least this many events
+	// (0 selects 20).
+	MinEvents int64
+	// CaptureCooldown rate-limits evidence captures per objective: a
+	// breach within the cooldown of the previous capture still alerts,
+	// but its Event carries Capture=false (0 selects 10m).
+	CaptureCooldown time.Duration
+	// Now injects the clock for tests (nil selects time.Now).
+	Now func() time.Time
+}
+
+// Event is one state transition produced by Observe.
+type Event struct {
+	Objective  string
+	Window     string // slow window name
+	FastWindow string
+	FastBurn   float64
+	SlowBurn   float64
+	BurnRate   float64 // the threshold that was crossed
+	Recovered  bool    // false = breach, true = recovery
+	Capture    bool    // breach only: the capture cooldown allows an evidence capture
+}
+
+// objectiveState is one objective's rings and breach state.
+type objectiveState struct {
+	cfg         Objective
+	rings       [len(windows)]*ring
+	breached    bool
+	breaches    int64
+	captures    int64
+	lastCapture time.Time
+}
+
+// Engine evaluates a set of objectives over the rolling windows.
+// Observe is safe for concurrent use.
+type Engine struct {
+	burnRate  float64
+	minEvents int64
+	cooldown  time.Duration
+	slowIdx   int
+	fastIdx   int
+	now       func() time.Time
+
+	mu   sync.Mutex
+	objs []*objectiveState
+}
+
+// NewEngine validates the config and builds the engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if len(cfg.Objectives) == 0 {
+		return nil, errors.New("slo: at least one objective is required")
+	}
+	if cfg.Window == "" {
+		cfg.Window = "5m"
+	}
+	if !ValidSlowWindow(cfg.Window) {
+		return nil, fmt.Errorf("slo: window %q is not one of %v", cfg.Window, SlowWindowNames())
+	}
+	if cfg.BurnRate == 0 {
+		cfg.BurnRate = 4
+	}
+	if cfg.BurnRate <= 1 {
+		return nil, fmt.Errorf("slo: burn rate %g must be > 1 (1 is the sustainable rate)", cfg.BurnRate)
+	}
+	if cfg.MinEvents == 0 {
+		cfg.MinEvents = 20
+	}
+	if cfg.MinEvents < 1 {
+		return nil, fmt.Errorf("slo: min events %d must be >= 1", cfg.MinEvents)
+	}
+	if cfg.CaptureCooldown == 0 {
+		cfg.CaptureCooldown = 10 * time.Minute
+	}
+	if cfg.CaptureCooldown < 0 {
+		return nil, fmt.Errorf("slo: capture cooldown %s must be >= 0", cfg.CaptureCooldown)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	seen := map[string]bool{}
+	e := &Engine{
+		burnRate:  cfg.BurnRate,
+		minEvents: cfg.MinEvents,
+		cooldown:  cfg.CaptureCooldown,
+		slowIdx:   windowIndex(cfg.Window),
+		now:       cfg.Now,
+	}
+	e.fastIdx = e.slowIdx - 1
+	for _, ob := range cfg.Objectives {
+		if ob.Name == "" {
+			return nil, errors.New("slo: objective name must not be empty")
+		}
+		if seen[ob.Name] {
+			return nil, fmt.Errorf("slo: duplicate objective %q", ob.Name)
+		}
+		seen[ob.Name] = true
+		if ob.Target <= 0 || ob.Target >= 1 {
+			return nil, fmt.Errorf("slo: objective %q target %g must be in (0, 1)", ob.Name, ob.Target)
+		}
+		if ob.Threshold < 0 {
+			return nil, fmt.Errorf("slo: objective %q threshold %s must be >= 0", ob.Name, ob.Threshold)
+		}
+		st := &objectiveState{cfg: ob}
+		for i, w := range windows {
+			st.rings[i] = newRing(w)
+		}
+		e.objs = append(e.objs, st)
+	}
+	return e, nil
+}
+
+// burn converts a window's bad fraction into a burn rate: 1.0 means
+// the error budget is being consumed exactly at the sustainable pace,
+// B means B× too fast. An empty window burns nothing.
+func burn(total, bad int64, target float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// Observe records one request outcome against every objective and
+// returns the breach/recovery transitions it caused (usually none).
+// errored marks the request failed for availability objectives;
+// latency is judged against each latency objective's own threshold.
+func (e *Engine) Observe(errored bool, latency time.Duration) []Event {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var events []Event
+	for _, st := range e.objs {
+		bad := errored
+		if st.cfg.Threshold > 0 {
+			bad = latency > st.cfg.Threshold
+		}
+		for _, r := range st.rings {
+			r.observe(now, bad)
+		}
+		fastTotal, fastBad := st.rings[e.fastIdx].totals(now)
+		slowTotal, slowBad := st.rings[e.slowIdx].totals(now)
+		fb := burn(fastTotal, fastBad, st.cfg.Target)
+		sb := burn(slowTotal, slowBad, st.cfg.Target)
+		switch {
+		case !st.breached && fb >= e.burnRate && sb >= e.burnRate && slowTotal >= e.minEvents:
+			st.breached = true
+			st.breaches++
+			capture := st.lastCapture.IsZero() || now.Sub(st.lastCapture) >= e.cooldown
+			if capture {
+				st.lastCapture = now
+				st.captures++
+			}
+			events = append(events, Event{
+				Objective: st.cfg.Name, Window: windows[e.slowIdx].name, FastWindow: windows[e.fastIdx].name,
+				FastBurn: fb, SlowBurn: sb, BurnRate: e.burnRate, Capture: capture,
+			})
+		case st.breached && fb < e.burnRate:
+			// Recovery keys on the fast window alone: the slow window can
+			// stay hot long after the incident ends, and re-alerting on it
+			// would flap.
+			st.breached = false
+			events = append(events, Event{
+				Objective: st.cfg.Name, Window: windows[e.slowIdx].name, FastWindow: windows[e.fastIdx].name,
+				FastBurn: fb, SlowBurn: sb, BurnRate: e.burnRate, Recovered: true,
+			})
+		}
+	}
+	return events
+}
+
+// WindowBurn is one window's burn rate, in shortest-first window order.
+type WindowBurn struct {
+	Window string  `json:"window"`
+	Burn   float64 `json:"burn"`
+}
+
+// ObjectiveSnapshot is one objective's full state.
+type ObjectiveSnapshot struct {
+	Name        string  `json:"name"`
+	Target      float64 `json:"target"`
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+	Window      string  `json:"window"`
+	FastWindow  string  `json:"fast_window"`
+	// Burn lists every window's current burn rate, shortest first.
+	Burn []WindowBurn `json:"burn"`
+	// BudgetRemaining is 1 − slow-window burn: 0 means the budget is
+	// being consumed exactly at the sustainable rate, negative means
+	// faster.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Events          int64   `json:"events"` // slow-window totals
+	Bad             int64   `json:"bad"`
+	Breached        bool    `json:"breached"`
+	Breaches        int64   `json:"breaches"`
+	Captures        int64   `json:"captures"`
+}
+
+// Snapshot is the engine's full state, for /healthz, /metrics and the
+// cluster status protocol.
+type Snapshot struct {
+	BurnRate   float64             `json:"burn_rate_threshold"`
+	Healthy    bool                `json:"healthy"`
+	Objectives []ObjectiveSnapshot `json:"objectives"`
+}
+
+// Snapshot reports every objective's windows, burns and breach state.
+func (e *Engine) Snapshot() Snapshot {
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Snapshot{BurnRate: e.burnRate, Healthy: true}
+	for _, st := range e.objs {
+		ob := ObjectiveSnapshot{
+			Name:       st.cfg.Name,
+			Target:     st.cfg.Target,
+			Window:     windows[e.slowIdx].name,
+			FastWindow: windows[e.fastIdx].name,
+			Breached:   st.breached,
+			Breaches:   st.breaches,
+			Captures:   st.captures,
+		}
+		if st.cfg.Threshold > 0 {
+			ob.ThresholdMS = float64(st.cfg.Threshold.Nanoseconds()) / 1e6
+		}
+		for i, w := range windows {
+			total, bad := st.rings[i].totals(now)
+			ob.Burn = append(ob.Burn, WindowBurn{Window: w.name, Burn: burn(total, bad, st.cfg.Target)})
+			if i == e.slowIdx {
+				ob.Events, ob.Bad = total, bad
+				ob.BudgetRemaining = 1 - burn(total, bad, st.cfg.Target)
+			}
+		}
+		if st.breached {
+			out.Healthy = false
+		}
+		out.Objectives = append(out.Objectives, ob)
+	}
+	return out
+}
+
+// Healthy reports whether no objective is currently breached.
+func (e *Engine) Healthy() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.objs {
+		if st.breached {
+			return false
+		}
+	}
+	return true
+}

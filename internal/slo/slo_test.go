@@ -1,0 +1,340 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a settable clock for deterministic window tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func availEngine(t *testing.T, clock *testClock, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.99}},
+		Window:     "5m",
+		MinEvents:  10,
+		Now:        clock.Now,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	avail := []Objective{{Name: "availability", Target: 0.99}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no objectives", Config{}},
+		{"bad window", Config{Objectives: avail, Window: "2m"}},
+		{"fast window as slow", Config{Objectives: avail, Window: "1m"}},
+		{"burn rate at 1", Config{Objectives: avail, BurnRate: 1}},
+		{"negative min events", Config{Objectives: avail, MinEvents: -1}},
+		{"negative cooldown", Config{Objectives: avail, CaptureCooldown: -time.Second}},
+		{"empty name", Config{Objectives: []Objective{{Target: 0.99}}}},
+		{"duplicate name", Config{Objectives: []Objective{{Name: "a", Target: 0.9}, {Name: "a", Target: 0.99}}}},
+		{"target zero", Config{Objectives: []Objective{{Name: "a"}}}},
+		{"target one", Config{Objectives: []Objective{{Name: "a", Target: 1}}}},
+		{"negative threshold", Config{Objectives: []Objective{{Name: "a", Target: 0.9, Threshold: -time.Second}}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewEngine(tc.cfg); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+	if _, err := NewEngine(Config{Objectives: avail}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestRingExpiry(t *testing.T) {
+	clock := newTestClock()
+	r := newRing(windows[0]) // 1m: 60 × 1s
+	for i := 0; i < 30; i++ {
+		r.observe(clock.Now(), i%2 == 0)
+		clock.Advance(time.Second)
+	}
+	if total, bad := r.totals(clock.Now()); total != 30 || bad != 15 {
+		t.Fatalf("totals = (%d, %d), want (30, 15)", total, bad)
+	}
+	// 45s later the first 16 observations (t=0..15s) have left the
+	// 60s window measured from the newest bucket.
+	clock.Advance(45 * time.Second)
+	if total, _ := r.totals(clock.Now()); total >= 30 {
+		t.Fatalf("after expiry total = %d, want < 30", total)
+	}
+	// Far future: everything expires, sums return to zero exactly.
+	clock.Advance(time.Hour)
+	if total, bad := r.totals(clock.Now()); total != 0 || bad != 0 {
+		t.Fatalf("after full expiry totals = (%d, %d), want (0, 0)", total, bad)
+	}
+}
+
+func TestBurnMath(t *testing.T) {
+	if got := burn(0, 0, 0.99); got != 0 {
+		t.Fatalf("empty window burn = %g, want 0", got)
+	}
+	// 10% bad against a 99% target burns 10× the sustainable rate.
+	if got := burn(100, 10, 0.99); got < 9.99 || got > 10.01 {
+		t.Fatalf("burn = %g, want 10", got)
+	}
+}
+
+func TestBreachAndRecovery(t *testing.T) {
+	clock := newTestClock()
+	e := availEngine(t, clock, nil)
+
+	// 100 good requests: no events, healthy.
+	for i := 0; i < 100; i++ {
+		if evs := e.Observe(false, time.Millisecond); len(evs) != 0 {
+			t.Fatalf("good traffic produced events: %+v", evs)
+		}
+	}
+	if !e.Healthy() {
+		t.Fatal("healthy = false before breach")
+	}
+
+	// Burst of failures: exactly one breach event.
+	var breaches int
+	for i := 0; i < 50; i++ {
+		for _, ev := range e.Observe(true, time.Millisecond) {
+			if ev.Recovered {
+				t.Fatalf("unexpected recovery: %+v", ev)
+			}
+			breaches++
+			if ev.Objective != "availability" || ev.Window != "5m" || ev.FastWindow != "1m" {
+				t.Fatalf("bad event fields: %+v", ev)
+			}
+			if ev.FastBurn < ev.BurnRate || ev.SlowBurn < ev.BurnRate {
+				t.Fatalf("breach below threshold: %+v", ev)
+			}
+			if !ev.Capture {
+				t.Fatalf("first breach did not capture: %+v", ev)
+			}
+		}
+	}
+	if breaches != 1 {
+		t.Fatalf("breach events = %d, want 1", breaches)
+	}
+	if e.Healthy() {
+		t.Fatal("healthy = true during breach")
+	}
+
+	// Two minutes of silence expire the fast window; the next good
+	// request recovers.
+	clock.Advance(2 * time.Minute)
+	evs := e.Observe(false, time.Millisecond)
+	if len(evs) != 1 || !evs[0].Recovered {
+		t.Fatalf("expected one recovery event, got %+v", evs)
+	}
+	if !e.Healthy() {
+		t.Fatal("healthy = false after recovery")
+	}
+}
+
+func TestMinEventsGuard(t *testing.T) {
+	clock := newTestClock()
+	e := availEngine(t, clock, func(c *Config) { c.MinEvents = 100 })
+	for i := 0; i < 99; i++ {
+		if evs := e.Observe(true, 0); len(evs) != 0 {
+			t.Fatalf("breach before min events at request %d: %+v", i, evs)
+		}
+	}
+	if evs := e.Observe(true, 0); len(evs) != 1 {
+		t.Fatalf("expected breach at min events, got %+v", evs)
+	}
+}
+
+func TestSlowWindowVetoesFastSpike(t *testing.T) {
+	clock := newTestClock()
+	e := availEngine(t, clock, nil)
+	// 4 minutes of good traffic fill the 5m window.
+	for i := 0; i < 240; i++ {
+		e.Observe(false, 0)
+		clock.Advance(time.Second)
+	}
+	// A short burst of failures saturates the 1m window but the slow
+	// burn stays diluted below threshold: no breach.
+	for i := 0; i < 10; i++ {
+		if evs := e.Observe(true, 0); len(evs) != 0 {
+			t.Fatalf("slow window did not veto: %+v", evs)
+		}
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	clock := newTestClock()
+	e := availEngine(t, clock, func(c *Config) {
+		c.Objectives = []Objective{{Name: "latency-p99", Target: 0.99, Threshold: 100 * time.Millisecond}}
+	})
+	// Fast-but-errored requests are fine for a latency objective.
+	for i := 0; i < 50; i++ {
+		if evs := e.Observe(true, time.Millisecond); len(evs) != 0 {
+			t.Fatalf("fast errored request breached latency objective: %+v", evs)
+		}
+	}
+	// Slow requests breach it.
+	var breached bool
+	for i := 0; i < 50; i++ {
+		for _, ev := range e.Observe(false, time.Second) {
+			breached = true
+			if ev.Objective != "latency-p99" {
+				t.Fatalf("bad objective: %+v", ev)
+			}
+		}
+	}
+	if !breached {
+		t.Fatal("slow requests did not breach latency objective")
+	}
+}
+
+func TestCaptureCooldown(t *testing.T) {
+	clock := newTestClock()
+	e := availEngine(t, clock, func(c *Config) { c.CaptureCooldown = 10 * time.Minute })
+
+	breach := func(wantCapture bool) {
+		t.Helper()
+		var got []Event
+		for i := 0; i < 50; i++ {
+			got = append(got, e.Observe(true, 0)...)
+		}
+		if len(got) != 1 || got[0].Recovered {
+			t.Fatalf("expected one breach, got %+v", got)
+		}
+		if got[0].Capture != wantCapture {
+			t.Fatalf("capture = %v, want %v", got[0].Capture, wantCapture)
+		}
+	}
+	recover := func() {
+		t.Helper()
+		clock.Advance(2 * time.Minute)
+		evs := e.Observe(false, 0)
+		if len(evs) != 1 || !evs[0].Recovered {
+			t.Fatalf("expected recovery, got %+v", evs)
+		}
+	}
+
+	breach(true) // first breach captures
+	recover()
+	breach(false) // ~2 minutes later: inside cooldown, alert without capture
+	recover()
+	clock.Advance(10 * time.Minute)
+	breach(true) // cooldown elapsed: captures again
+
+	snap := e.Snapshot()
+	if ob := snap.Objectives[0]; ob.Breaches != 3 || ob.Captures != 2 {
+		t.Fatalf("breaches = %d captures = %d, want 3 and 2", ob.Breaches, ob.Captures)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	clock := newTestClock()
+	e := availEngine(t, clock, func(c *Config) {
+		c.Objectives = []Objective{
+			{Name: "availability", Target: 0.99},
+			{Name: "latency-p99", Target: 0.99, Threshold: 250 * time.Millisecond},
+		}
+		c.Window = "30m"
+	})
+	for i := 0; i < 80; i++ {
+		e.Observe(i%4 == 0, time.Second) // 25% errored, all slow
+	}
+	snap := e.Snapshot()
+	if snap.BurnRate != 4 {
+		t.Fatalf("burn rate threshold = %g, want 4", snap.BurnRate)
+	}
+	if len(snap.Objectives) != 2 {
+		t.Fatalf("objectives = %d, want 2", len(snap.Objectives))
+	}
+	av, lat := snap.Objectives[0], snap.Objectives[1]
+	if av.Name != "availability" || lat.Name != "latency-p99" {
+		t.Fatalf("objective order: %q, %q", av.Name, lat.Name)
+	}
+	if av.Window != "30m" || av.FastWindow != "5m" {
+		t.Fatalf("windows = %q/%q, want 30m/5m", av.Window, av.FastWindow)
+	}
+	if lat.ThresholdMS != 250 {
+		t.Fatalf("threshold ms = %g, want 250", lat.ThresholdMS)
+	}
+	if av.Events != 80 || av.Bad != 20 {
+		t.Fatalf("availability events/bad = %d/%d, want 80/20", av.Events, av.Bad)
+	}
+	if lat.Bad != 80 {
+		t.Fatalf("latency bad = %d, want 80", lat.Bad)
+	}
+	if len(av.Burn) != len(windows) {
+		t.Fatalf("burn windows = %d, want %d", len(av.Burn), len(windows))
+	}
+	// 25% bad over a 99% target burns 25×; budget remaining 1−25 = −24.
+	if got := av.Burn[2].Burn; got < 24.9 || got > 25.1 {
+		t.Fatalf("30m burn = %g, want 25", got)
+	}
+	if av.BudgetRemaining > -23.9 || av.BudgetRemaining < -24.1 {
+		t.Fatalf("budget remaining = %g, want -24", av.BudgetRemaining)
+	}
+	if !av.Breached || !lat.Breached || snap.Healthy {
+		t.Fatalf("breach flags: avail %v latency %v healthy %v", av.Breached, lat.Breached, snap.Healthy)
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	e := availEngine(t, newTestClock(), func(c *Config) { c.Now = time.Now })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Observe(g%2 == 0 && i%3 == 0, time.Duration(i)*time.Microsecond)
+				if i%100 == 0 {
+					e.Snapshot()
+					e.Healthy()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := e.Snapshot()
+	if snap.Objectives[0].Events != 4000 {
+		t.Fatalf("events = %d, want 4000", snap.Objectives[0].Events)
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	if got := WindowNames(); len(got) != 4 || got[0] != "1m" || got[3] != "6h" {
+		t.Fatalf("WindowNames = %v", got)
+	}
+	if got := SlowWindowNames(); len(got) != 3 || got[0] != "5m" {
+		t.Fatalf("SlowWindowNames = %v", got)
+	}
+	if ValidSlowWindow("1m") || !ValidSlowWindow("6h") {
+		t.Fatal("ValidSlowWindow misclassifies")
+	}
+}

@@ -15,31 +15,48 @@ import (
 	"time"
 )
 
-// dirEntry records one exported file for retention bookkeeping.
+// dirEntry records one exported file for retention bookkeeping. seq is
+// a monotone write counter, so the globally-oldest file is the one
+// with the minimum seq.
 type dirEntry struct {
 	path string
 	dur  time.Duration
+	seq  int64
 }
 
-// DirSink keeps the slowest-N traces per category on disk.
+// DirSink keeps the slowest-N traces per category on disk, optionally
+// bounded by a total file cap across all categories.
 type DirSink struct {
-	dir  string
-	keep int
+	dir      string
+	keep     int
+	maxFiles int
 
-	mu   sync.Mutex
-	cats map[string][]dirEntry
+	mu    sync.Mutex
+	seq   int64
+	files int
+	cats  map[string][]dirEntry
 }
 
 // NewDirSink builds a sink writing under dir (created if missing),
-// retaining keep traces per category (keep ≤ 0 selects 8).
+// retaining keep traces per category (keep ≤ 0 selects 8) with no
+// total cap.
 func NewDirSink(dir string, keep int) (*DirSink, error) {
+	return NewDirSinkLimited(dir, keep, 0)
+}
+
+// NewDirSinkLimited is NewDirSink with a total retention cap: at most
+// maxFiles files across every category, evicting the oldest-written
+// file first (maxFiles ≤ 0 means unlimited). The per-category slowest
+// keep still applies; the cap bounds long soaks whose endpoint mix
+// keeps minting new categories.
+func NewDirSinkLimited(dir string, keep, maxFiles int) (*DirSink, error) {
 	if keep <= 0 {
 		keep = 8
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DirSink{dir: dir, keep: keep, cats: make(map[string][]dirEntry)}, nil
+	return &DirSink{dir: dir, keep: keep, maxFiles: maxFiles, cats: make(map[string][]dirEntry)}, nil
 }
 
 // Add exports tr if it ranks among the slowest keep traces of its
@@ -69,6 +86,7 @@ func (d *DirSink) Add(tr *Trace) {
 		}
 		os.Remove(entries[fastest].path)
 		entries = append(entries[:fastest], entries[fastest+1:]...)
+		d.files--
 	}
 
 	path := filepath.Join(d.dir, fmt.Sprintf("%s-%s.json", cat, tr.ID()))
@@ -86,7 +104,39 @@ func (d *DirSink) Add(tr *Trace) {
 		d.cats[cat] = entries
 		return
 	}
-	d.cats[cat] = append(entries, dirEntry{path: path, dur: dur})
+	d.seq++
+	d.cats[cat] = append(entries, dirEntry{path: path, dur: dur, seq: d.seq})
+	d.files++
+	for d.maxFiles > 0 && d.files > d.maxFiles {
+		d.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked removes the file with the lowest write seq across
+// all categories. The entry just written has the highest seq, so a new
+// trace is never its own eviction victim.
+func (d *DirSink) evictOldestLocked() {
+	oldCat, oldIdx := "", -1
+	var oldSeq int64
+	for cat, entries := range d.cats {
+		for i, e := range entries {
+			if oldIdx == -1 || e.seq < oldSeq {
+				oldCat, oldIdx, oldSeq = cat, i, e.seq
+			}
+		}
+	}
+	if oldIdx == -1 {
+		return
+	}
+	entries := d.cats[oldCat]
+	os.Remove(entries[oldIdx].path)
+	entries = append(entries[:oldIdx], entries[oldIdx+1:]...)
+	if len(entries) == 0 {
+		delete(d.cats, oldCat)
+	} else {
+		d.cats[oldCat] = entries
+	}
+	d.files--
 }
 
 // sanitizeCategory makes a root-span name safe as a filename prefix.

@@ -80,6 +80,72 @@ func TestDirSinkKeepsSlowest(t *testing.T) {
 	}
 }
 
+func TestDirSinkMaxFiles(t *testing.T) {
+	dir := t.TempDir()
+	clock := &settableClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+	tracer := New(Config{Now: clock.Now})
+	// Generous per-category budget, tight global cap: the cap is what
+	// binds.
+	ds, err := NewDirSinkLimited(dir, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer.AddSink(ds.Add)
+
+	// Six categories, one trace each, written in order. Only the three
+	// newest survive the cap.
+	var traces []*Trace
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		traces = append(traces, endTraceWithDuration(t, tracer, clock, name, 10*time.Millisecond))
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("kept %d files, want 3: %v", len(files), files)
+	}
+	kept := strings.Join(files, " ")
+	for _, tr := range traces[:3] {
+		if strings.Contains(kept, tr.ID()) {
+			t.Fatalf("oldest trace %s survived the cap; kept %v", tr.ID(), files)
+		}
+	}
+	for _, tr := range traces[3:] {
+		if !strings.Contains(kept, tr.ID()) {
+			t.Fatalf("newest trace %s evicted; kept %v", tr.ID(), files)
+		}
+	}
+
+	// The per-category slowest-keep still applies under the cap: a
+	// faster duplicate of a retained category is rejected outright.
+	before := len(glob(t, dir))
+	if before != 3 {
+		t.Fatalf("setup drifted: %d files", before)
+	}
+	capped, err := NewDirSinkLimited(t.TempDir(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer2 := New(Config{Now: clock.Now})
+	tracer2.AddSink(capped.Add)
+	slow := endTraceWithDuration(t, tracer2, clock, "map", 100*time.Millisecond)
+	endTraceWithDuration(t, tracer2, clock, "map", time.Millisecond) // faster: rejected by keep=1
+	files2 := glob(t, capped.dir)
+	if len(files2) != 1 || !strings.Contains(files2[0], slow.ID()) {
+		t.Fatalf("per-category keep broken under cap: %v", files2)
+	}
+}
+
+func glob(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
 func TestDirSinkSanitizesCategory(t *testing.T) {
 	dir := t.TempDir()
 	clock := &settableClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}

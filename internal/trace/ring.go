@@ -124,6 +124,16 @@ func spanTree(s *snapshot, baseNs, nowNs int64) *spanJSON {
 	return out
 }
 
+// Exemplar links one latency-histogram bucket to the trace that most
+// recently landed in it, so a histogram tail is one click from its
+// span tree. Bucket is the upper bound label ("0.1", "+Inf").
+type Exemplar struct {
+	Bucket  string  `json:"bucket"`
+	TraceID string  `json:"trace_id"`
+	ValueMS float64 `json:"value_ms"`
+	UnixMS  int64   `json:"unix_ms"`
+}
+
 // Handler serves the registry as a live request inspector:
 //
 //	GET ?                      — HTML trace list (plus status block)
@@ -133,8 +143,10 @@ func spanTree(s *snapshot, baseNs, nowNs int64) *spanJSON {
 //	GET ?id=<id>&format=perfetto — Chrome trace-event JSON
 //
 // status (optional) contributes a process-status object to the list
-// views; mapserve passes the same source /healthz serves.
-func Handler(r *Registry, status func() any) http.Handler {
+// views; mapserve passes the same source /healthz serves. exemplars
+// (optional) contributes the histogram-bucket exemplar table, each row
+// linking to its trace when the registry still retains it.
+func Handler(r *Registry, status func() any, exemplars func() []Exemplar) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -143,7 +155,7 @@ func Handler(r *Registry, status func() any) http.Handler {
 		id := req.URL.Query().Get("id")
 		format := req.URL.Query().Get("format")
 		if id == "" {
-			serveList(w, r, status, format)
+			serveList(w, r, status, exemplars, format)
 			return
 		}
 		tr := r.Lookup(id)
@@ -177,8 +189,12 @@ func Handler(r *Registry, status func() any) http.Handler {
 }
 
 // serveList renders the trace list (HTML or JSON).
-func serveList(w http.ResponseWriter, r *Registry, status func() any, format string) {
+func serveList(w http.ResponseWriter, r *Registry, status func() any, exemplars func() []Exemplar, format string) {
 	traces := r.Traces()
+	var exs []Exemplar
+	if exemplars != nil {
+		exs = exemplars()
+	}
 	if format == "json" {
 		infos := make([]traceInfo, len(traces))
 		for i, tr := range traces {
@@ -194,6 +210,9 @@ func serveList(w http.ResponseWriter, r *Registry, status func() any, format str
 		body := map[string]any{"traces": infos, "total": r.Total()}
 		if status != nil {
 			body["status"] = status()
+		}
+		if len(exs) > 0 {
+			body["exemplars"] = exs
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -212,6 +231,20 @@ func serveList(w http.ResponseWriter, r *Registry, status func() any, format str
 		if err == nil {
 			b.WriteString("<h2>status</h2><pre>" + html.EscapeString(string(js)) + "</pre>")
 		}
+	}
+	if len(exs) > 0 {
+		b.WriteString("<h2>latency exemplars</h2>" +
+			"<table><tr><th>bucket ≤</th><th>latency</th><th>trace</th><th>when</th></tr>")
+		for _, ex := range exs {
+			link := html.EscapeString(ex.TraceID)
+			if r.Lookup(ex.TraceID) != nil {
+				link = fmt.Sprintf("<a href=\"?id=%s\">%s</a>", ex.TraceID, ex.TraceID)
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%.3fms</td><td>%s</td><td>%s</td></tr>",
+				html.EscapeString(ex.Bucket), ex.ValueMS, link,
+				time.UnixMilli(ex.UnixMS).UTC().Format(time.RFC3339Nano))
+		}
+		b.WriteString("</table>")
 	}
 	fmt.Fprintf(&b, "<h2>last %d of %d traces</h2>", len(traces), r.Total())
 	b.WriteString("<table><tr><th>trace</th><th>endpoint</th><th>start</th>" +

@@ -75,7 +75,9 @@ func TestHandlerListAndDetail(t *testing.T) {
 	root.End()
 	id := root.TraceID()
 
-	h := Handler(r, func() any { return map[string]any{"status": "ok"} })
+	h := Handler(r, func() any { return map[string]any{"status": "ok"} }, func() []Exemplar {
+		return []Exemplar{{Bucket: "0.1", TraceID: id, ValueMS: 42.5, UnixMS: 1700000000000}}
+	})
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -98,7 +100,7 @@ func TestHandlerListAndDetail(t *testing.T) {
 	if code != 200 || !strings.Contains(ctype, "text/html") {
 		t.Fatalf("list: code %d ctype %s", code, ctype)
 	}
-	for _, want := range []string{id, "status", "?id=" + id} {
+	for _, want := range []string{id, "status", "?id=" + id, "latency exemplars", "42.500ms"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("HTML list missing %q:\n%s", want, body)
 		}
